@@ -1,0 +1,778 @@
+//! The builder-style assembler.
+
+use crate::object::Object;
+use avr_core::isa::{self, EncodeError, Instr, IwPair, Ptr, PtrMode, Reg};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A handle to a symbol: either a label bound to a position in the unit, or
+/// an absolute constant (see [`Asm::constant`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Assembly-time errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// An instruction's operands violate its encoding (see
+    /// [`EncodeError`]).
+    Encode(EncodeError),
+    /// A referenced label was never bound.
+    Unbound {
+        /// The label's name.
+        name: String,
+    },
+    /// A label was bound twice.
+    DuplicateBind {
+        /// The label's name.
+        name: String,
+    },
+    /// A relative jump/branch target is out of the instruction's reach.
+    RelativeOutOfRange {
+        /// Mnemonic of the instruction.
+        mnemonic: &'static str,
+        /// Word address of the instruction.
+        at: u32,
+        /// Resolved target word address.
+        target: u32,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::Encode(e) => write!(f, "{e}"),
+            AsmError::Unbound { name } => write!(f, "label `{name}` was never bound"),
+            AsmError::DuplicateBind { name } => write!(f, "label `{name}` bound twice"),
+            AsmError::RelativeOutOfRange { mnemonic, at, target } => write!(
+                f,
+                "{mnemonic} at {at:#06x} cannot reach {target:#06x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<EncodeError> for AsmError {
+    fn from(e: EncodeError) -> Self {
+        AsmError::Encode(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RelOp {
+    Rjmp,
+    Rcall,
+    Brbs(u8),
+    Brbc(u8),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum AbsOp {
+    Jmp,
+    Call,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SymPart {
+    Lo8,
+    Hi8,
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Fixed(Instr),
+    Bind(usize),
+    Rel { op: RelOp, label: usize },
+    Abs { op: AbsOp, label: usize },
+    LdiSym { d: Reg, label: usize, part: SymPart },
+    LdsSym { d: Reg, label: usize },
+    StsSym { label: usize, r: Reg },
+    Words(Vec<u16>),
+}
+
+impl Item {
+    fn words(&self) -> u32 {
+        match self {
+            Item::Fixed(i) => i.words(),
+            Item::Bind(_) => 0,
+            Item::Rel { .. } | Item::LdiSym { .. } => 1,
+            Item::Abs { .. } | Item::LdsSym { .. } | Item::StsSym { .. } => 2,
+            Item::Words(w) => w.len() as u32,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Sym {
+    name: String,
+    value: Option<u32>,
+    is_const: bool,
+}
+
+/// The assembler: accumulate instructions and labels, then
+/// [`assemble`](Asm::assemble).
+///
+/// Every mnemonic method appends one instruction. Common aliases are
+/// provided (`clr`, `tst`, `lsl`, `rol`, `breq`, `sei`, …) alongside the
+/// canonical forms, and [`Asm::emit`] accepts any prebuilt [`Instr`].
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    items: Vec<Item>,
+    syms: Vec<Sym>,
+}
+
+impl Asm {
+    /// Creates an empty unit.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Declares a label (bind it later with [`Asm::bind`]).
+    pub fn label(&mut self, name: &str) -> Label {
+        self.syms.push(Sym { name: name.to_string(), value: None, is_const: false });
+        Label(self.syms.len() - 1)
+    }
+
+    /// Declares and immediately binds a label at the current position.
+    pub fn here(&mut self, name: &str) -> Label {
+        let l = self.label(name);
+        self.bind(l);
+        l
+    }
+
+    /// Declares a symbol with an absolute value (a data address, a jump-table
+    /// word address, a port number…). Usable anywhere a label is.
+    pub fn constant(&mut self, name: &str, value: u32) -> Label {
+        self.syms.push(Sym { name: name.to_string(), value: Some(value), is_const: true });
+        Label(self.syms.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// Double binds are reported by [`Asm::assemble`].
+    pub fn bind(&mut self, label: Label) {
+        self.items.push(Item::Bind(label.0));
+    }
+
+    /// Appends a prebuilt instruction.
+    pub fn emit(&mut self, i: Instr) {
+        self.items.push(Item::Fixed(i));
+    }
+
+    /// Appends raw words (data tables, deliberately odd encodings).
+    pub fn words(&mut self, w: &[u16]) {
+        self.items.push(Item::Words(w.to_vec()));
+    }
+
+    /// Current size of the unit in words (labels bound after this many
+    /// words).
+    pub fn len_words(&self) -> u32 {
+        self.items.iter().map(Item::words).sum()
+    }
+
+    // ── two-register ALU ────────────────────────────────────────────────
+    /// `add Rd, Rr`
+    pub fn add(&mut self, d: Reg, r: Reg) {
+        self.emit(Instr::Add { d, r });
+    }
+    /// `adc Rd, Rr`
+    pub fn adc(&mut self, d: Reg, r: Reg) {
+        self.emit(Instr::Adc { d, r });
+    }
+    /// `sub Rd, Rr`
+    pub fn sub(&mut self, d: Reg, r: Reg) {
+        self.emit(Instr::Sub { d, r });
+    }
+    /// `sbc Rd, Rr`
+    pub fn sbc(&mut self, d: Reg, r: Reg) {
+        self.emit(Instr::Sbc { d, r });
+    }
+    /// `and Rd, Rr`
+    pub fn and(&mut self, d: Reg, r: Reg) {
+        self.emit(Instr::And { d, r });
+    }
+    /// `or Rd, Rr`
+    pub fn or(&mut self, d: Reg, r: Reg) {
+        self.emit(Instr::Or { d, r });
+    }
+    /// `eor Rd, Rr`
+    pub fn eor(&mut self, d: Reg, r: Reg) {
+        self.emit(Instr::Eor { d, r });
+    }
+    /// `mov Rd, Rr`
+    pub fn mov(&mut self, d: Reg, r: Reg) {
+        self.emit(Instr::Mov { d, r });
+    }
+    /// `movw Rd+1:Rd, Rr+1:Rr`
+    pub fn movw(&mut self, d: Reg, r: Reg) {
+        self.emit(Instr::Movw { d, r });
+    }
+    /// `cp Rd, Rr`
+    pub fn cp(&mut self, d: Reg, r: Reg) {
+        self.emit(Instr::Cp { d, r });
+    }
+    /// `cpc Rd, Rr`
+    pub fn cpc(&mut self, d: Reg, r: Reg) {
+        self.emit(Instr::Cpc { d, r });
+    }
+    /// `cpse Rd, Rr`
+    pub fn cpse(&mut self, d: Reg, r: Reg) {
+        self.emit(Instr::Cpse { d, r });
+    }
+    /// `mul Rd, Rr`
+    pub fn mul(&mut self, d: Reg, r: Reg) {
+        self.emit(Instr::Mul { d, r });
+    }
+    /// `clr Rd` (alias of `eor Rd, Rd`)
+    pub fn clr(&mut self, d: Reg) {
+        self.eor(d, d);
+    }
+    /// `tst Rd` (alias of `and Rd, Rd`)
+    pub fn tst(&mut self, d: Reg) {
+        self.and(d, d);
+    }
+    /// `lsl Rd` (alias of `add Rd, Rd`)
+    pub fn lsl(&mut self, d: Reg) {
+        self.add(d, d);
+    }
+    /// `rol Rd` (alias of `adc Rd, Rd`)
+    pub fn rol(&mut self, d: Reg) {
+        self.adc(d, d);
+    }
+
+    // ── immediates ──────────────────────────────────────────────────────
+    /// `ldi Rd, k` (`Rd` in r16..r31)
+    pub fn ldi(&mut self, d: Reg, k: u8) {
+        self.emit(Instr::Ldi { d, k });
+    }
+    /// `ser Rd` (alias of `ldi Rd, 0xff`)
+    pub fn ser(&mut self, d: Reg) {
+        self.ldi(d, 0xff);
+    }
+    /// `subi Rd, k`
+    pub fn subi(&mut self, d: Reg, k: u8) {
+        self.emit(Instr::Subi { d, k });
+    }
+    /// `sbci Rd, k`
+    pub fn sbci(&mut self, d: Reg, k: u8) {
+        self.emit(Instr::Sbci { d, k });
+    }
+    /// `andi Rd, k`
+    pub fn andi(&mut self, d: Reg, k: u8) {
+        self.emit(Instr::Andi { d, k });
+    }
+    /// `ori Rd, k`
+    pub fn ori(&mut self, d: Reg, k: u8) {
+        self.emit(Instr::Ori { d, k });
+    }
+    /// `cpi Rd, k`
+    pub fn cpi(&mut self, d: Reg, k: u8) {
+        self.emit(Instr::Cpi { d, k });
+    }
+    /// `ldi Rd, lo8(sym)`
+    pub fn ldi_lo8(&mut self, d: Reg, sym: Label) {
+        self.items.push(Item::LdiSym { d, label: sym.0, part: SymPart::Lo8 });
+    }
+    /// `ldi Rd, hi8(sym)`
+    pub fn ldi_hi8(&mut self, d: Reg, sym: Label) {
+        self.items.push(Item::LdiSym { d, label: sym.0, part: SymPart::Hi8 });
+    }
+    /// Loads a 16-bit immediate into the pair whose low register is `lo`
+    /// (both registers must be in r16..r31): `ldi lo, low(k)` +
+    /// `ldi lo+1, high(k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo` is `r31` (no high partner register exists).
+    pub fn ldi16(&mut self, lo: Reg, k: u16) {
+        let hi = Reg::new(lo.index() + 1).expect("pair has a high register");
+        self.ldi(lo, (k & 0xff) as u8);
+        self.ldi(hi, (k >> 8) as u8);
+    }
+
+    /// `adiw p, k`
+    pub fn adiw(&mut self, p: IwPair, k: u8) {
+        self.emit(Instr::Adiw { p, k });
+    }
+    /// `sbiw p, k`
+    pub fn sbiw(&mut self, p: IwPair, k: u8) {
+        self.emit(Instr::Sbiw { p, k });
+    }
+
+    // ── one-register ALU ────────────────────────────────────────────────
+    /// `com Rd`
+    pub fn com(&mut self, d: Reg) {
+        self.emit(Instr::Com { d });
+    }
+    /// `neg Rd`
+    pub fn neg(&mut self, d: Reg) {
+        self.emit(Instr::Neg { d });
+    }
+    /// `swap Rd`
+    pub fn swap(&mut self, d: Reg) {
+        self.emit(Instr::Swap { d });
+    }
+    /// `inc Rd`
+    pub fn inc(&mut self, d: Reg) {
+        self.emit(Instr::Inc { d });
+    }
+    /// `dec Rd`
+    pub fn dec(&mut self, d: Reg) {
+        self.emit(Instr::Dec { d });
+    }
+    /// `asr Rd`
+    pub fn asr(&mut self, d: Reg) {
+        self.emit(Instr::Asr { d });
+    }
+    /// `lsr Rd`
+    pub fn lsr(&mut self, d: Reg) {
+        self.emit(Instr::Lsr { d });
+    }
+    /// `ror Rd`
+    pub fn ror(&mut self, d: Reg) {
+        self.emit(Instr::Ror { d });
+    }
+
+    // ── control flow ────────────────────────────────────────────────────
+    /// `rjmp label`
+    pub fn rjmp(&mut self, l: Label) {
+        self.items.push(Item::Rel { op: RelOp::Rjmp, label: l.0 });
+    }
+    /// `rcall label`
+    pub fn rcall(&mut self, l: Label) {
+        self.items.push(Item::Rel { op: RelOp::Rcall, label: l.0 });
+    }
+    /// `jmp label` (two words)
+    pub fn jmp(&mut self, l: Label) {
+        self.items.push(Item::Abs { op: AbsOp::Jmp, label: l.0 });
+    }
+    /// `call label` (two words)
+    pub fn call(&mut self, l: Label) {
+        self.items.push(Item::Abs { op: AbsOp::Call, label: l.0 });
+    }
+    /// `jmp` to an absolute word address
+    pub fn jmp_abs(&mut self, k: u32) {
+        self.emit(Instr::Jmp { k });
+    }
+    /// `call` to an absolute word address
+    pub fn call_abs(&mut self, k: u32) {
+        self.emit(Instr::Call { k });
+    }
+    /// `ijmp`
+    pub fn ijmp(&mut self) {
+        self.emit(Instr::Ijmp);
+    }
+    /// `icall`
+    pub fn icall(&mut self) {
+        self.emit(Instr::Icall);
+    }
+    /// `ret`
+    pub fn ret(&mut self) {
+        self.emit(Instr::Ret);
+    }
+    /// `reti`
+    pub fn reti(&mut self) {
+        self.emit(Instr::Reti);
+    }
+    /// `brbs s, label`
+    pub fn brbs(&mut self, s: u8, l: Label) {
+        self.items.push(Item::Rel { op: RelOp::Brbs(s), label: l.0 });
+    }
+    /// `brbc s, label`
+    pub fn brbc(&mut self, s: u8, l: Label) {
+        self.items.push(Item::Rel { op: RelOp::Brbc(s), label: l.0 });
+    }
+    /// `breq label`
+    pub fn breq(&mut self, l: Label) {
+        self.brbs(isa::flags::Z, l);
+    }
+    /// `brne label`
+    pub fn brne(&mut self, l: Label) {
+        self.brbc(isa::flags::Z, l);
+    }
+    /// `brcs label` / `brlo label`
+    pub fn brcs(&mut self, l: Label) {
+        self.brbs(isa::flags::C, l);
+    }
+    /// `brcc label` / `brsh label`
+    pub fn brcc(&mut self, l: Label) {
+        self.brbc(isa::flags::C, l);
+    }
+    /// `brlo label` (unsigned <; alias of `brcs`)
+    pub fn brlo(&mut self, l: Label) {
+        self.brcs(l);
+    }
+    /// `brsh label` (unsigned >=; alias of `brcc`)
+    pub fn brsh(&mut self, l: Label) {
+        self.brcc(l);
+    }
+    /// `brmi label`
+    pub fn brmi(&mut self, l: Label) {
+        self.brbs(isa::flags::N, l);
+    }
+    /// `brpl label`
+    pub fn brpl(&mut self, l: Label) {
+        self.brbc(isa::flags::N, l);
+    }
+    /// `brge label` (signed >=)
+    pub fn brge(&mut self, l: Label) {
+        self.brbc(isa::flags::S, l);
+    }
+    /// `brlt label` (signed <)
+    pub fn brlt(&mut self, l: Label) {
+        self.brbs(isa::flags::S, l);
+    }
+    /// `sbrc Rr, b`
+    pub fn sbrc(&mut self, r: Reg, b: u8) {
+        self.emit(Instr::Sbrc { r, b });
+    }
+    /// `sbrs Rr, b`
+    pub fn sbrs(&mut self, r: Reg, b: u8) {
+        self.emit(Instr::Sbrs { r, b });
+    }
+    /// `sbic a, b`
+    pub fn sbic(&mut self, a: u8, b: u8) {
+        self.emit(Instr::Sbic { a, b });
+    }
+    /// `sbis a, b`
+    pub fn sbis(&mut self, a: u8, b: u8) {
+        self.emit(Instr::Sbis { a, b });
+    }
+
+    // ── data transfer ───────────────────────────────────────────────────
+    /// `ld Rd, {X,Y,Z}[+/-]`
+    pub fn ld(&mut self, d: Reg, ptr: Ptr, mode: PtrMode) {
+        self.emit(Instr::Ld { d, ptr, mode });
+    }
+    /// `st {X,Y,Z}[+/-], Rr`
+    pub fn st(&mut self, ptr: Ptr, mode: PtrMode, r: Reg) {
+        self.emit(Instr::St { ptr, mode, r });
+    }
+    /// `ldd Rd, Y/Z+q`
+    pub fn ldd(&mut self, d: Reg, ptr: Ptr, q: u8) {
+        self.emit(Instr::Ldd { d, ptr, q });
+    }
+    /// `std Y/Z+q, Rr`
+    pub fn std(&mut self, ptr: Ptr, q: u8, r: Reg) {
+        self.emit(Instr::Std { ptr, q, r });
+    }
+    /// `lds Rd, addr`
+    pub fn lds(&mut self, d: Reg, addr: u16) {
+        self.emit(Instr::Lds { d, k: addr });
+    }
+    /// `sts addr, Rr`
+    pub fn sts(&mut self, addr: u16, r: Reg) {
+        self.emit(Instr::Sts { k: addr, r });
+    }
+    /// `lds Rd, sym`
+    pub fn lds_sym(&mut self, d: Reg, sym: Label) {
+        self.items.push(Item::LdsSym { d, label: sym.0 });
+    }
+    /// `sts sym, Rr`
+    pub fn sts_sym(&mut self, sym: Label, r: Reg) {
+        self.items.push(Item::StsSym { label: sym.0, r });
+    }
+    /// `lpm Rd, Z[+]`
+    pub fn lpm(&mut self, d: Reg, inc: bool) {
+        self.emit(Instr::Lpm { d, inc });
+    }
+    /// `in Rd, a` (`in` is a keyword, hence the underscore)
+    pub fn in_(&mut self, d: Reg, a: u8) {
+        self.emit(Instr::In { d, a });
+    }
+    /// `out a, Rr`
+    pub fn out(&mut self, a: u8, r: Reg) {
+        self.emit(Instr::Out { a, r });
+    }
+    /// `push Rr`
+    pub fn push(&mut self, r: Reg) {
+        self.emit(Instr::Push { r });
+    }
+    /// `pop Rd`
+    pub fn pop(&mut self, d: Reg) {
+        self.emit(Instr::Pop { d });
+    }
+
+    // ── bit operations & MCU control ────────────────────────────────────
+    /// `bset s`
+    pub fn bset(&mut self, s: u8) {
+        self.emit(Instr::Bset { s });
+    }
+    /// `bclr s`
+    pub fn bclr(&mut self, s: u8) {
+        self.emit(Instr::Bclr { s });
+    }
+    /// `sei`
+    pub fn sei(&mut self) {
+        self.bset(isa::flags::I);
+    }
+    /// `cli`
+    pub fn cli(&mut self) {
+        self.bclr(isa::flags::I);
+    }
+    /// `sec`
+    pub fn sec(&mut self) {
+        self.bset(isa::flags::C);
+    }
+    /// `clc`
+    pub fn clc(&mut self) {
+        self.bclr(isa::flags::C);
+    }
+    /// `sbi a, b`
+    pub fn sbi(&mut self, a: u8, b: u8) {
+        self.emit(Instr::Sbi { a, b });
+    }
+    /// `cbi a, b`
+    pub fn cbi(&mut self, a: u8, b: u8) {
+        self.emit(Instr::Cbi { a, b });
+    }
+    /// `bst Rd, b`
+    pub fn bst(&mut self, d: Reg, b: u8) {
+        self.emit(Instr::Bst { d, b });
+    }
+    /// `bld Rd, b`
+    pub fn bld(&mut self, d: Reg, b: u8) {
+        self.emit(Instr::Bld { d, b });
+    }
+    /// `nop`
+    pub fn nop(&mut self) {
+        self.emit(Instr::Nop);
+    }
+    /// `sleep`
+    pub fn sleep(&mut self) {
+        self.emit(Instr::Sleep);
+    }
+    /// `wdr`
+    pub fn wdr(&mut self) {
+        self.emit(Instr::Wdr);
+    }
+    /// `break` (`break` is a keyword, hence `brk`)
+    pub fn brk(&mut self) {
+        self.emit(Instr::Break);
+    }
+
+    // ── assembly ────────────────────────────────────────────────────────
+
+    /// Resolves labels and encodes the unit at word address `origin`.
+    ///
+    /// # Errors
+    ///
+    /// [`AsmError::Unbound`] / [`AsmError::DuplicateBind`] for label
+    /// problems, [`AsmError::RelativeOutOfRange`] for unreachable relative
+    /// targets, [`AsmError::Encode`] for invalid operands.
+    pub fn assemble(&self, origin: u32) -> Result<Object, AsmError> {
+        // Pass 1: bind labels.
+        let mut values: Vec<Option<u32>> = self.syms.iter().map(|s| s.value).collect();
+        let mut pos = origin;
+        for item in &self.items {
+            if let Item::Bind(id) = item {
+                let sym = &self.syms[*id];
+                if values[*id].is_some() && !sym.is_const {
+                    return Err(AsmError::DuplicateBind { name: sym.name.clone() });
+                }
+                if sym.is_const {
+                    return Err(AsmError::DuplicateBind { name: sym.name.clone() });
+                }
+                values[*id] = Some(pos);
+            } else {
+                pos += item.words();
+            }
+        }
+
+        let resolve = |id: usize| -> Result<u32, AsmError> {
+            values[id].ok_or_else(|| AsmError::Unbound { name: self.syms[id].name.clone() })
+        };
+
+        // Pass 2: encode.
+        let mut words: Vec<u16> = Vec::new();
+        let mut pos = origin;
+        for item in &self.items {
+            match item {
+                Item::Bind(_) => continue,
+                Item::Fixed(i) => {
+                    words.extend_from_slice(isa::encode(*i)?.as_slice());
+                }
+                Item::Words(w) => words.extend_from_slice(w),
+                Item::Rel { op, label } => {
+                    let target = resolve(*label)?;
+                    let k = target as i64 - (pos as i64 + 1);
+                    let (instr, mnemonic, lo, hi): (Instr, _, i64, i64) = match op {
+                        RelOp::Rjmp => (Instr::Rjmp { k: k as i16 }, "rjmp", -2048, 2047),
+                        RelOp::Rcall => (Instr::Rcall { k: k as i16 }, "rcall", -2048, 2047),
+                        RelOp::Brbs(s) => (Instr::Brbs { s: *s, k: k as i8 }, "brbs", -64, 63),
+                        RelOp::Brbc(s) => (Instr::Brbc { s: *s, k: k as i8 }, "brbc", -64, 63),
+                    };
+                    if k < lo || k > hi {
+                        return Err(AsmError::RelativeOutOfRange { mnemonic, at: pos, target });
+                    }
+                    words.extend_from_slice(isa::encode(instr)?.as_slice());
+                }
+                Item::Abs { op, label } => {
+                    let k = resolve(*label)?;
+                    let i = match op {
+                        AbsOp::Jmp => Instr::Jmp { k },
+                        AbsOp::Call => Instr::Call { k },
+                    };
+                    words.extend_from_slice(isa::encode(i)?.as_slice());
+                }
+                Item::LdiSym { d, label, part } => {
+                    let v = resolve(*label)?;
+                    let k = match part {
+                        SymPart::Lo8 => v as u8,
+                        SymPart::Hi8 => (v >> 8) as u8,
+                    };
+                    words.extend_from_slice(isa::encode(Instr::Ldi { d: *d, k })?.as_slice());
+                }
+                Item::LdsSym { d, label } => {
+                    let v = resolve(*label)? as u16;
+                    words.extend_from_slice(isa::encode(Instr::Lds { d: *d, k: v })?.as_slice());
+                }
+                Item::StsSym { label, r } => {
+                    let v = resolve(*label)? as u16;
+                    words.extend_from_slice(isa::encode(Instr::Sts { k: v, r: *r })?.as_slice());
+                }
+            }
+            pos += item.words();
+        }
+
+        let mut symbols = BTreeMap::new();
+        for (sym, value) in self.syms.iter().zip(values) {
+            if let Some(v) = value {
+                symbols.insert(sym.name.clone(), v);
+            }
+        }
+        Ok(Object::new(origin, words, symbols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avr_core::isa::decode;
+
+    #[test]
+    fn forward_and_backward_references() {
+        let mut a = Asm::new();
+        let fwd = a.label("fwd");
+        let back = a.here("back");
+        a.nop(); // word 0 ... wait, `here` binds at 0; nop at 0
+        a.rjmp(fwd);
+        a.rjmp(back);
+        a.bind(fwd);
+        a.ret();
+        let obj = a.assemble(0).unwrap();
+        assert_eq!(obj.symbol("back"), Some(0));
+        assert_eq!(obj.symbol("fwd"), Some(3));
+        // rjmp fwd at word 1: k = 3 - 2 = 1
+        assert_eq!(decode(obj.words()[1], None).unwrap(), Instr::Rjmp { k: 1 });
+        // rjmp back at word 2: k = 0 - 3 = -3
+        assert_eq!(decode(obj.words()[2], None).unwrap(), Instr::Rjmp { k: -3 });
+    }
+
+    #[test]
+    fn origin_affects_absolute_but_not_relative() {
+        let mut a = Asm::new();
+        let l = a.label("f");
+        a.call(l);
+        a.ret();
+        a.bind(l);
+        a.nop();
+        let obj = a.assemble(0x100).unwrap();
+        assert_eq!(obj.symbol("f"), Some(0x103));
+        assert_eq!(obj.words()[1], 0x0103, "call's second word is absolute");
+    }
+
+    #[test]
+    fn constants_resolve_in_ldi_and_sts() {
+        let mut a = Asm::new();
+        let var = a.constant("kernel_var", 0x0123);
+        a.ldi_lo8(Reg::R30, var);
+        a.ldi_hi8(Reg::R31, var);
+        a.sts_sym(var, Reg::R16);
+        a.lds_sym(Reg::R17, var);
+        let obj = a.assemble(0).unwrap();
+        assert_eq!(decode(obj.words()[0], None).unwrap(), Instr::Ldi { d: Reg::R30, k: 0x23 });
+        assert_eq!(decode(obj.words()[1], None).unwrap(), Instr::Ldi { d: Reg::R31, k: 0x01 });
+        assert_eq!(
+            decode(obj.words()[2], Some(obj.words()[3])).unwrap(),
+            Instr::Sts { k: 0x0123, r: Reg::R16 }
+        );
+        assert_eq!(
+            decode(obj.words()[4], Some(obj.words()[5])).unwrap(),
+            Instr::Lds { d: Reg::R17, k: 0x0123 }
+        );
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut a = Asm::new();
+        let l = a.label("nowhere");
+        a.rjmp(l);
+        assert_eq!(a.assemble(0), Err(AsmError::Unbound { name: "nowhere".into() }));
+    }
+
+    #[test]
+    fn duplicate_bind_is_an_error() {
+        let mut a = Asm::new();
+        let l = a.label("twice");
+        a.bind(l);
+        a.nop();
+        a.bind(l);
+        assert_eq!(a.assemble(0), Err(AsmError::DuplicateBind { name: "twice".into() }));
+    }
+
+    #[test]
+    fn binding_a_constant_is_an_error() {
+        let mut a = Asm::new();
+        let c = a.constant("c", 1);
+        a.bind(c);
+        assert!(matches!(a.assemble(0), Err(AsmError::DuplicateBind { .. })));
+    }
+
+    #[test]
+    fn branch_out_of_range_is_detected() {
+        let mut a = Asm::new();
+        let far = a.label("far");
+        a.breq(far);
+        for _ in 0..100 {
+            a.nop();
+        }
+        a.bind(far);
+        a.ret();
+        assert!(matches!(
+            a.assemble(0),
+            Err(AsmError::RelativeOutOfRange { mnemonic: "brbs", .. })
+        ));
+    }
+
+    #[test]
+    fn aliases_encode_canonically() {
+        let mut a = Asm::new();
+        a.clr(Reg::R16);
+        a.lsl(Reg::R17);
+        a.ser(Reg::R18);
+        let obj = a.assemble(0).unwrap();
+        assert_eq!(decode(obj.words()[0], None).unwrap(), Instr::Eor { d: Reg::R16, r: Reg::R16 });
+        assert_eq!(decode(obj.words()[1], None).unwrap(), Instr::Add { d: Reg::R17, r: Reg::R17 });
+        assert_eq!(decode(obj.words()[2], None).unwrap(), Instr::Ldi { d: Reg::R18, k: 0xff });
+    }
+
+    #[test]
+    fn ldi16_loads_a_pair() {
+        let mut a = Asm::new();
+        a.ldi16(Reg::R26, 0x1234);
+        let obj = a.assemble(0).unwrap();
+        assert_eq!(decode(obj.words()[0], None).unwrap(), Instr::Ldi { d: Reg::R26, k: 0x34 });
+        assert_eq!(decode(obj.words()[1], None).unwrap(), Instr::Ldi { d: Reg::R27, k: 0x12 });
+    }
+
+    #[test]
+    fn raw_words_pass_through() {
+        let mut a = Asm::new();
+        a.words(&[0xdead, 0xbeef]);
+        let obj = a.assemble(0).unwrap();
+        assert_eq!(obj.words(), &[0xdead, 0xbeef]);
+        assert_eq!(obj.size_bytes(), 4);
+    }
+}

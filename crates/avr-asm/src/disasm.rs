@@ -1,0 +1,128 @@
+//! Flash-image disassembly, the front end of the SFI binary rewriter.
+
+use avr_core::isa::{self, Instr};
+use avr_core::WordAddr;
+
+/// One disassembled slot: a decoded instruction or a raw word that failed to
+/// decode (data, or an unsupported opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisasmItem {
+    /// A decoded instruction at the given word address.
+    Instr {
+        /// Word address of the first word.
+        addr: WordAddr,
+        /// The instruction.
+        instr: Instr,
+    },
+    /// A word that is not a valid opcode.
+    Raw {
+        /// Word address.
+        addr: WordAddr,
+        /// The raw word.
+        word: u16,
+    },
+}
+
+impl DisasmItem {
+    /// Word address of the item.
+    pub fn addr(&self) -> WordAddr {
+        match *self {
+            DisasmItem::Instr { addr, .. } | DisasmItem::Raw { addr, .. } => addr,
+        }
+    }
+
+    /// Size in words (raw words count as 1).
+    pub fn words(&self) -> u32 {
+        match self {
+            DisasmItem::Instr { instr, .. } => instr.words(),
+            DisasmItem::Raw { .. } => 1,
+        }
+    }
+}
+
+/// Disassembles one instruction from `words` at index `idx`, returning the
+/// item and the number of words consumed.
+pub fn disasm_one(base: WordAddr, words: &[u16], idx: usize) -> (DisasmItem, usize) {
+    let addr = base + idx as u32;
+    let w0 = words[idx];
+    let w1 = words.get(idx + 1).copied();
+    match isa::decode(w0, w1) {
+        Ok(instr) => (DisasmItem::Instr { addr, instr }, instr.words() as usize),
+        Err(_) => (DisasmItem::Raw { addr, word: w0 }, 1),
+    }
+}
+
+/// Linearly disassembles a word slice located at word address `base`.
+///
+/// Straight-line sweep (no control-flow recovery): exactly what the on-node
+/// verifier and the binary rewriter do, since sandboxed modules must be
+/// fully decodable — any raw word is itself a verification failure.
+pub fn disasm(base: WordAddr, words: &[u16]) -> Vec<DisasmItem> {
+    let mut out = Vec::new();
+    let mut idx = 0;
+    while idx < words.len() {
+        let (item, used) = disasm_one(base, words, idx);
+        out.push(item);
+        idx += used;
+    }
+    out
+}
+
+/// Formats a word slice as a human-readable disassembly listing
+/// (`addr: instruction` per line, raw words as `.word`).
+pub fn listing(base: WordAddr, words: &[u16]) -> String {
+    let mut out = String::new();
+    for item in disasm(base, words) {
+        match item {
+            DisasmItem::Instr { addr, instr } => {
+                out.push_str(&format!("{addr:#06x}: {instr}\n"));
+            }
+            DisasmItem::Raw { addr, word } => {
+                out.push_str(&format!("{addr:#06x}: .word {word:#06x}\n"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avr_core::isa::Reg;
+
+    #[test]
+    fn mixed_stream() {
+        let words = [
+            isa::encode(Instr::Ldi { d: Reg::R16, k: 1 }).unwrap().word0(),
+            0x940e, // call ...
+            0x0123, // ... target
+            0x9508, // ret
+        ];
+        let items = disasm(0x100, &words);
+        assert_eq!(items.len(), 3);
+        assert_eq!(
+            items[0],
+            DisasmItem::Instr { addr: 0x100, instr: Instr::Ldi { d: Reg::R16, k: 1 } }
+        );
+        assert_eq!(
+            items[1],
+            DisasmItem::Instr { addr: 0x101, instr: Instr::Call { k: 0x123 } }
+        );
+        assert_eq!(items[2], DisasmItem::Instr { addr: 0x103, instr: Instr::Ret });
+    }
+
+    #[test]
+    fn raw_words_survive() {
+        let items = disasm(0, &[0x0001, 0x0000]);
+        assert_eq!(items[0], DisasmItem::Raw { addr: 0, word: 0x0001 });
+        assert_eq!(items[1], DisasmItem::Instr { addr: 1, instr: Instr::Nop });
+    }
+
+    #[test]
+    fn two_word_instruction_at_end_without_operand() {
+        // A CALL opcode as the last word cannot fetch its target; it decodes
+        // as raw.
+        let items = disasm(0, &[0x940e]);
+        assert_eq!(items, vec![DisasmItem::Raw { addr: 0, word: 0x940e }]);
+    }
+}

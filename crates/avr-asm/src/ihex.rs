@@ -1,0 +1,205 @@
+//! Intel HEX import/export, the interchange format of real AVR toolchains
+//! (`avr-objcopy -O ihex`, avrdude, bootloaders).
+//!
+//! AVR flash is presented byte-addressed and little-endian within each
+//! 16-bit word, matching `avr-objcopy`'s output for `.text`.
+
+use crate::object::Object;
+use std::fmt;
+
+/// A malformed Intel HEX input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IhexError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for IhexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for IhexError {}
+
+fn checksum(bytes: &[u8]) -> u8 {
+    0u8.wrapping_sub(bytes.iter().fold(0u8, |a, &b| a.wrapping_add(b)))
+}
+
+/// Serialises `(byte_addr, data)` chunks as Intel HEX with 16-byte records
+/// and a terminating EOF record.
+pub fn encode(chunks: &[(u32, &[u8])]) -> String {
+    let mut out = String::new();
+    for &(base, data) in chunks {
+        for (i, rec) in data.chunks(16).enumerate() {
+            let addr = base + i as u32 * 16;
+            assert!(addr <= 0xffff, "extended addressing not needed for 128 KiB images");
+            let mut bytes = Vec::with_capacity(4 + rec.len());
+            bytes.push(rec.len() as u8);
+            bytes.push((addr >> 8) as u8);
+            bytes.push(addr as u8);
+            bytes.push(0x00); // data record
+            bytes.extend_from_slice(rec);
+            out.push(':');
+            for b in &bytes {
+                out.push_str(&format!("{b:02X}"));
+            }
+            out.push_str(&format!("{:02X}\n", checksum(&bytes)));
+        }
+    }
+    out.push_str(":00000001FF\n");
+    out
+}
+
+/// Parses Intel HEX into `(byte_addr, data)` chunks (one per contiguous
+/// run).
+///
+/// # Errors
+///
+/// [`IhexError`] on syntax, checksum or record-type problems.
+pub fn decode(src: &str) -> Result<Vec<(u32, Vec<u8>)>, IhexError> {
+    let mut chunks: Vec<(u32, Vec<u8>)> = Vec::new();
+    let err = |line: usize, message: &str| IhexError { line, message: message.to_string() };
+    for (i, raw) in src.lines().enumerate() {
+        let line = i + 1;
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let Some(hex) = raw.strip_prefix(':') else {
+            return Err(err(line, "record must start with ':'"));
+        };
+        if hex.len() % 2 != 0 || hex.len() < 10 {
+            return Err(err(line, "truncated record"));
+        }
+        let bytes: Vec<u8> = (0..hex.len() / 2)
+            .map(|j| u8::from_str_radix(&hex[j * 2..j * 2 + 2], 16))
+            .collect::<Result<_, _>>()
+            .map_err(|_| err(line, "non-hex digit"))?;
+        let (body, check) = bytes.split_at(bytes.len() - 1);
+        if checksum(body) != check[0] {
+            return Err(err(line, "checksum mismatch"));
+        }
+        let count = body[0] as usize;
+        if body.len() != count + 4 {
+            return Err(err(line, "length field disagrees with record size"));
+        }
+        let addr = ((body[1] as u32) << 8) | body[2] as u32;
+        match body[3] {
+            0x00 => {
+                let data = &body[4..];
+                match chunks.last_mut() {
+                    Some((base, buf)) if *base + buf.len() as u32 == addr => {
+                        buf.extend_from_slice(data);
+                    }
+                    _ => chunks.push((addr, data.to_vec())),
+                }
+            }
+            0x01 => return Ok(chunks),
+            other => return Err(err(line, &format!("unsupported record type {other:#04x}"))),
+        }
+    }
+    Err(IhexError { line: 0, message: "missing EOF record".to_string() })
+}
+
+impl Object {
+    /// Exports the object as Intel HEX (byte addresses; AVR little-endian
+    /// word order).
+    pub fn to_ihex(&self) -> String {
+        let bytes: Vec<u8> = self
+            .words()
+            .iter()
+            .flat_map(|w| [*w as u8, (*w >> 8) as u8])
+            .collect();
+        encode(&[(self.origin() * 2, &bytes)])
+    }
+}
+
+/// Loads Intel HEX into a flash image.
+///
+/// # Errors
+///
+/// [`IhexError`] on malformed input or odd (non-word-aligned) chunks.
+pub fn load_into_flash(src: &str, flash: &mut avr_core::mem::Flash) -> Result<(), IhexError> {
+    for (addr, data) in decode(src)? {
+        for (i, &b) in data.iter().enumerate() {
+            flash.set_byte(addr + i as u32, b);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Asm;
+    use avr_core::isa::Reg;
+    use avr_core::mem::Flash;
+
+    fn sample_object() -> Object {
+        let mut a = Asm::new();
+        let l = a.here("loop");
+        a.ldi(Reg::R16, 0x42);
+        a.sts(0x0100, Reg::R16);
+        a.rjmp(l);
+        a.assemble(0x0040).unwrap()
+    }
+
+    #[test]
+    fn object_round_trips_through_ihex() {
+        let obj = sample_object();
+        let hex = obj.to_ihex();
+        assert!(hex.starts_with(':'));
+        assert!(hex.ends_with(":00000001FF\n"));
+        let chunks = decode(&hex).unwrap();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].0, 0x0040 * 2);
+        let words: Vec<u16> = chunks[0]
+            .1
+            .chunks(2)
+            .map(|p| p[0] as u16 | ((p[1] as u16) << 8))
+            .collect();
+        assert_eq!(words, obj.words());
+    }
+
+    #[test]
+    fn flash_loading_matches_direct_load() {
+        let obj = sample_object();
+        let mut direct = Flash::new();
+        obj.load_into(&mut direct);
+        let mut via_hex = Flash::new();
+        load_into_flash(&obj.to_ihex(), &mut via_hex).unwrap();
+        for w in 0x0040..0x0048u32 {
+            assert_eq!(direct.word(w), via_hex.word(w), "word {w:#06x}");
+        }
+    }
+
+    #[test]
+    fn known_record_format() {
+        // One 4-byte record at 0x0010: classic fixture.
+        let hex = encode(&[(0x0010, &[0x12, 0x34, 0x56, 0x78])]);
+        assert_eq!(hex, ":0400100012345678D8\n:00000001FF\n");
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let good = encode(&[(0, &[1, 2, 3, 4])]);
+        // Flip a data nibble: checksum must catch it.
+        let bad = good.replacen("01", "02", 1);
+        assert!(decode(&bad).is_err());
+        assert!(decode("no colon\n").is_err());
+        assert!(decode(":000000").is_err(), "truncated");
+        assert!(decode(":0400100012345678D8\n").is_err(), "missing EOF");
+    }
+
+    #[test]
+    fn multiple_chunks_and_gaps() {
+        let hex = encode(&[(0x0000, &[0xaa; 20]), (0x0100, &[0xbb; 3])]);
+        let chunks = decode(&hex).unwrap();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].1.len(), 20, "split records merge back into one chunk");
+        assert_eq!(chunks[1], (0x0100, vec![0xbb; 3]));
+    }
+}

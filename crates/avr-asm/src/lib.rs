@@ -1,0 +1,48 @@
+//! Programmatic AVR assembler, text assembler and disassembler for the
+//! [`avr-core`](avr_core) simulator.
+//!
+//! The Harbor reproduction writes its trusted kernel, run-time check
+//! routines and application modules directly in AVR machine code; this crate
+//! makes that tractable:
+//!
+//! * [`Asm`] — a builder-style assembler with labels, forward references,
+//!   absolute constants, and a method per mnemonic (including the usual
+//!   aliases: `clr`, `lsl`, `breq`, `sei`, …);
+//! * [`Object`] — the assembled output: words at an origin plus a symbol
+//!   table;
+//! * [`disasm()`](fn@disasm) — a flash-image disassembler used by the SFI binary
+//!   rewriter and for debugging;
+//! * [`text`] — a line-oriented text assembler for examples and tests.
+//!
+//! # Example
+//!
+//! ```
+//! use avr_asm::Asm;
+//! use avr_core::isa::Reg;
+//!
+//! # fn main() -> Result<(), avr_asm::AsmError> {
+//! let mut a = Asm::new();
+//! let loop_ = a.label("loop");
+//! a.ldi(Reg::R16, 5);
+//! a.bind(loop_);
+//! a.dec(Reg::R16);
+//! a.brne(loop_);
+//! a.ret();
+//! let obj = a.assemble(0x100)?;
+//! assert_eq!(obj.symbol("loop"), Some(0x101));
+//! assert_eq!(obj.words().len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod asm;
+pub mod disasm;
+pub mod ihex;
+mod object;
+pub mod text;
+
+pub use asm::{Asm, AsmError, Label};
+pub use disasm::{disasm, disasm_one, listing, DisasmItem};
+pub use object::Object;

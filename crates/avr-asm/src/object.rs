@@ -1,0 +1,66 @@
+//! Assembled output: machine words plus a symbol table.
+
+use std::collections::BTreeMap;
+
+/// The result of assembling one unit: a contiguous run of words placed at an
+/// origin, with every label resolved to an absolute word address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Object {
+    origin: u32,
+    words: Vec<u16>,
+    symbols: BTreeMap<String, u32>,
+}
+
+impl Object {
+    pub(crate) fn new(origin: u32, words: Vec<u16>, symbols: BTreeMap<String, u32>) -> Object {
+        Object { origin, words, symbols }
+    }
+
+    /// Word address the unit was assembled at.
+    pub fn origin(&self) -> u32 {
+        self.origin
+    }
+
+    /// The machine-code words.
+    pub fn words(&self) -> &[u16] {
+        &self.words
+    }
+
+    /// First word address past the unit.
+    pub fn end(&self) -> u32 {
+        self.origin + self.words.len() as u32
+    }
+
+    /// Size in bytes (the FLASH cost of the unit).
+    pub fn size_bytes(&self) -> u32 {
+        self.words.len() as u32 * 2
+    }
+
+    /// Absolute word address of `label`, if defined.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Absolute word address of `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was never bound — a static programming error in
+    /// the image builder.
+    pub fn require(&self, name: &str) -> u32 {
+        match self.symbol(name) {
+            Some(a) => a,
+            None => panic!("symbol `{name}` not defined in object"),
+        }
+    }
+
+    /// All symbols, name → absolute word address.
+    pub fn symbols(&self) -> &BTreeMap<String, u32> {
+        &self.symbols
+    }
+
+    /// Copies the unit into a flash image.
+    pub fn load_into(&self, flash: &mut avr_core::mem::Flash) {
+        flash.load_words(self.origin, &self.words);
+    }
+}

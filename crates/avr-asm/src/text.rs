@@ -1,0 +1,630 @@
+//! A line-oriented text assembler over [`Asm`].
+//!
+//! Supports the conventional AVR syntax used in examples and tests:
+//!
+//! ```text
+//! ; a comment
+//! .equ VAR = 0x0123        ; absolute constant
+//! start:
+//!     ldi r16, 42
+//!     ldi r30, lo8(table)  ; symbol halves
+//!     st  X+, r16
+//!     ldd r17, Y+5
+//!     breq start
+//!     .word 0xdead         ; raw data
+//! ```
+
+use crate::asm::{Asm, AsmError, Label};
+use crate::object::Object;
+use avr_core::isa::{IwPair, Ptr, PtrMode, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A text-assembly error with its line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextAsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TextAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TextAsmError {}
+
+/// Assembles AVR source text at word address `origin`.
+///
+/// # Example
+///
+/// ```
+/// let obj = avr_asm::text::assemble_str("start:\n  ldi r16, 1\n  rjmp start\n", 0x40)
+///     .unwrap();
+/// assert_eq!(obj.symbol("start"), Some(0x40));
+/// assert_eq!(obj.words().len(), 2);
+/// ```
+///
+/// # Errors
+///
+/// [`TextAsmError`] with the offending line for syntax problems, or wrapping
+/// the underlying [`AsmError`] for resolution/encoding problems.
+pub fn assemble_str(src: &str, origin: u32) -> Result<Object, TextAsmError> {
+    let mut p = Parser { asm: Asm::new(), labels: HashMap::new() };
+    for (i, raw) in src.lines().enumerate() {
+        let line = i + 1;
+        p.parse_line(raw).map_err(|message| TextAsmError { line, message })?;
+    }
+    p.asm
+        .assemble(origin)
+        .map_err(|e: AsmError| TextAsmError { line: 0, message: e.to_string() })
+}
+
+struct Parser {
+    asm: Asm,
+    labels: HashMap<String, Label>,
+}
+
+impl Parser {
+    fn sym(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.labels.get(name) {
+            return l;
+        }
+        let l = self.asm.label(name);
+        self.labels.insert(name.to_string(), l);
+        l
+    }
+
+    fn parse_line(&mut self, raw: &str) -> Result<(), String> {
+        let mut line = raw;
+        if let Some(pos) = line.find(';') {
+            line = &line[..pos];
+        }
+        let mut line = line.trim();
+        if line.is_empty() {
+            return Ok(());
+        }
+        // Leading label(s).
+        while let Some(pos) = line.find(':') {
+            let (name, rest) = line.split_at(pos);
+            let name = name.trim();
+            if !is_ident(name) {
+                return Err(format!("invalid label name `{name}`"));
+            }
+            let l = self.sym(name);
+            self.asm.bind(l);
+            line = rest[1..].trim();
+            if line.is_empty() {
+                return Ok(());
+            }
+        }
+        let (mnemonic, rest) = match line.find(char::is_whitespace) {
+            Some(pos) => (&line[..pos], line[pos..].trim()),
+            None => (line, ""),
+        };
+        let ops: Vec<String> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            split_operands(rest)
+        };
+        self.dispatch(&mnemonic.to_ascii_lowercase(), &ops)
+    }
+
+    fn dispatch(&mut self, m: &str, ops: &[String]) -> Result<(), String> {
+        macro_rules! need {
+            ($n:expr) => {
+                if ops.len() != $n {
+                    return Err(format!("`{m}` expects {} operand(s), got {}", $n, ops.len()));
+                }
+            };
+        }
+        let a = &mut self.asm;
+        match m {
+            ".equ" => {
+                need!(1);
+                let (name, value) = ops[0]
+                    .split_once('=')
+                    .ok_or_else(|| ".equ expects NAME = VALUE".to_string())?;
+                let name = name.trim();
+                let value = parse_num(value.trim())?;
+                if self.labels.contains_key(name) {
+                    return Err(format!("symbol `{name}` already defined"));
+                }
+                let l = self.asm.constant(name, value);
+                self.labels.insert(name.to_string(), l);
+                return Ok(());
+            }
+            ".word" => {
+                let words: Result<Vec<u16>, String> =
+                    ops.iter().map(|o| parse_num(o).map(|v| v as u16)).collect();
+                self.asm.words(&words?);
+                return Ok(());
+            }
+            _ => {}
+        }
+
+        match m {
+            // two-register
+            "add" | "adc" | "sub" | "sbc" | "and" | "or" | "eor" | "mov" | "movw" | "cp"
+            | "cpc" | "cpse" | "mul" => {
+                need!(2);
+                let d = parse_reg(&ops[0])?;
+                let r = parse_reg(&ops[1])?;
+                match m {
+                    "add" => a.add(d, r),
+                    "adc" => a.adc(d, r),
+                    "sub" => a.sub(d, r),
+                    "sbc" => a.sbc(d, r),
+                    "and" => a.and(d, r),
+                    "or" => a.or(d, r),
+                    "eor" => a.eor(d, r),
+                    "mov" => a.mov(d, r),
+                    "movw" => a.movw(d, r),
+                    "cp" => a.cp(d, r),
+                    "cpc" => a.cpc(d, r),
+                    "cpse" => a.cpse(d, r),
+                    _ => a.mul(d, r),
+                }
+            }
+            // one-register
+            "clr" | "tst" | "lsl" | "rol" | "ser" | "com" | "neg" | "swap" | "inc" | "dec"
+            | "asr" | "lsr" | "ror" | "push" | "pop" => {
+                need!(1);
+                let d = parse_reg(&ops[0])?;
+                match m {
+                    "clr" => a.clr(d),
+                    "tst" => a.tst(d),
+                    "lsl" => a.lsl(d),
+                    "rol" => a.rol(d),
+                    "ser" => a.ser(d),
+                    "com" => a.com(d),
+                    "neg" => a.neg(d),
+                    "swap" => a.swap(d),
+                    "inc" => a.inc(d),
+                    "dec" => a.dec(d),
+                    "asr" => a.asr(d),
+                    "lsr" => a.lsr(d),
+                    "ror" => a.ror(d),
+                    "push" => a.push(d),
+                    _ => a.pop(d),
+                }
+            }
+            // register, immediate (with lo8/hi8 support on ldi)
+            "ldi" | "subi" | "sbci" | "andi" | "ori" | "cpi" => {
+                need!(2);
+                let d = parse_reg(&ops[0])?;
+                let imm = &ops[1];
+                if m == "ldi" {
+                    if let Some(name) = imm.strip_prefix("lo8(").and_then(|s| s.strip_suffix(')')) {
+                        let l = self.sym(name.trim());
+                        self.asm.ldi_lo8(d, l);
+                        return Ok(());
+                    }
+                    if let Some(name) = imm.strip_prefix("hi8(").and_then(|s| s.strip_suffix(')')) {
+                        let l = self.sym(name.trim());
+                        self.asm.ldi_hi8(d, l);
+                        return Ok(());
+                    }
+                }
+                let k = parse_num(imm)? as u8;
+                match m {
+                    "ldi" => a.ldi(d, k),
+                    "subi" => a.subi(d, k),
+                    "sbci" => a.sbci(d, k),
+                    "andi" => a.andi(d, k),
+                    "ori" => a.ori(d, k),
+                    _ => a.cpi(d, k),
+                }
+            }
+            "adiw" | "sbiw" => {
+                need!(2);
+                let p = parse_iw(&ops[0])?;
+                let k = parse_num(&ops[1])? as u8;
+                if m == "adiw" {
+                    a.adiw(p, k)
+                } else {
+                    a.sbiw(p, k)
+                }
+            }
+            // flow with label operand (numeric absolute targets allowed
+            // for jmp/call)
+            "rjmp" | "rcall" | "jmp" | "call" | "breq" | "brne" | "brcs" | "brcc" | "brlo"
+            | "brsh" | "brmi" | "brpl" | "brge" | "brlt" => {
+                need!(1);
+                if let Ok(addr) = parse_num(&ops[0]) {
+                    match m {
+                        "jmp" => {
+                            self.asm.jmp_abs(addr);
+                            return Ok(());
+                        }
+                        "call" => {
+                            self.asm.call_abs(addr);
+                            return Ok(());
+                        }
+                        _ => {
+                            return Err(format!(
+                                "`{m}` takes a label, not a numeric address"
+                            ))
+                        }
+                    }
+                }
+                let l = self.sym(&ops[0]);
+                let a = &mut self.asm;
+                match m {
+                    "rjmp" => a.rjmp(l),
+                    "rcall" => a.rcall(l),
+                    "jmp" => a.jmp(l),
+                    "call" => a.call(l),
+                    "breq" => a.breq(l),
+                    "brne" => a.brne(l),
+                    "brcs" => a.brcs(l),
+                    "brcc" => a.brcc(l),
+                    "brlo" => a.brlo(l),
+                    "brsh" => a.brsh(l),
+                    "brmi" => a.brmi(l),
+                    "brpl" => a.brpl(l),
+                    "brge" => a.brge(l),
+                    _ => a.brlt(l),
+                }
+            }
+            "ijmp" => {
+                need!(0);
+                a.ijmp()
+            }
+            "icall" => {
+                need!(0);
+                a.icall()
+            }
+            "ret" => {
+                need!(0);
+                a.ret()
+            }
+            "reti" => {
+                need!(0);
+                a.reti()
+            }
+            "sbrc" | "sbrs" | "bst" | "bld" => {
+                need!(2);
+                let r = parse_reg(&ops[0])?;
+                let b = parse_num(&ops[1])? as u8;
+                match m {
+                    "sbrc" => a.sbrc(r, b),
+                    "sbrs" => a.sbrs(r, b),
+                    "bst" => a.bst(r, b),
+                    _ => a.bld(r, b),
+                }
+            }
+            "sbic" | "sbis" | "sbi" | "cbi" => {
+                need!(2);
+                let port = parse_num(&ops[0])? as u8;
+                let b = parse_num(&ops[1])? as u8;
+                match m {
+                    "sbic" => a.sbic(port, b),
+                    "sbis" => a.sbis(port, b),
+                    "sbi" => a.sbi(port, b),
+                    _ => a.cbi(port, b),
+                }
+            }
+            "ld" => {
+                need!(2);
+                let d = parse_reg(&ops[0])?;
+                match parse_mem(&ops[1])? {
+                    Mem::Ptr(ptr, mode) => a.ld(d, ptr, mode),
+                    Mem::Disp(ptr, q) => a.ldd(d, ptr, q),
+                }
+            }
+            "ldd" => {
+                need!(2);
+                let d = parse_reg(&ops[0])?;
+                match parse_mem(&ops[1])? {
+                    Mem::Disp(ptr, q) => a.ldd(d, ptr, q),
+                    Mem::Ptr(..) => return Err("ldd needs a Y+q/Z+q operand".into()),
+                }
+            }
+            "st" => {
+                need!(2);
+                let r = parse_reg(&ops[1])?;
+                match parse_mem(&ops[0])? {
+                    Mem::Ptr(ptr, mode) => a.st(ptr, mode, r),
+                    Mem::Disp(ptr, q) => a.std(ptr, q, r),
+                }
+            }
+            "std" => {
+                need!(2);
+                let r = parse_reg(&ops[1])?;
+                match parse_mem(&ops[0])? {
+                    Mem::Disp(ptr, q) => a.std(ptr, q, r),
+                    Mem::Ptr(..) => return Err("std needs a Y+q/Z+q operand".into()),
+                }
+            }
+            "lds" => {
+                need!(2);
+                let d = parse_reg(&ops[0])?;
+                if let Ok(addr) = parse_num(&ops[1]) {
+                    a.lds(d, addr as u16)
+                } else {
+                    let l = self.sym(&ops[1]);
+                    self.asm.lds_sym(d, l)
+                }
+            }
+            "sts" => {
+                need!(2);
+                let r = parse_reg(&ops[1])?;
+                if let Ok(addr) = parse_num(&ops[0]) {
+                    a.sts(addr as u16, r)
+                } else {
+                    let l = self.sym(&ops[0]);
+                    self.asm.sts_sym(l, r)
+                }
+            }
+            "lpm" => {
+                need!(2);
+                let d = parse_reg(&ops[0])?;
+                match ops[1].as_str() {
+                    "Z" | "z" => a.lpm(d, false),
+                    "Z+" | "z+" => a.lpm(d, true),
+                    other => return Err(format!("lpm operand must be Z or Z+, got `{other}`")),
+                }
+            }
+            "in" => {
+                need!(2);
+                let d = parse_reg(&ops[0])?;
+                let port = parse_num(&ops[1])? as u8;
+                a.in_(d, port)
+            }
+            "out" => {
+                need!(2);
+                let port = parse_num(&ops[0])? as u8;
+                let r = parse_reg(&ops[1])?;
+                a.out(port, r)
+            }
+            "bset" | "bclr" => {
+                need!(1);
+                let s = parse_num(&ops[0])? as u8;
+                if m == "bset" {
+                    a.bset(s)
+                } else {
+                    a.bclr(s)
+                }
+            }
+            "sei" => {
+                need!(0);
+                a.sei()
+            }
+            "cli" => {
+                need!(0);
+                a.cli()
+            }
+            "sec" => {
+                need!(0);
+                a.sec()
+            }
+            "clc" => {
+                need!(0);
+                a.clc()
+            }
+            "nop" => {
+                need!(0);
+                a.nop()
+            }
+            "sleep" => {
+                need!(0);
+                a.sleep()
+            }
+            "wdr" => {
+                need!(0);
+                a.wdr()
+            }
+            "break" => {
+                need!(0);
+                a.brk()
+            }
+            other => return Err(format!("unknown mnemonic `{other}`")),
+        }
+        Ok(())
+    }
+}
+
+enum Mem {
+    Ptr(Ptr, PtrMode),
+    Disp(Ptr, u8),
+}
+
+fn parse_mem(s: &str) -> Result<Mem, String> {
+    let s = s.trim();
+    let base = |c: char| match c.to_ascii_uppercase() {
+        'X' => Ok(Ptr::X),
+        'Y' => Ok(Ptr::Y),
+        'Z' => Ok(Ptr::Z),
+        other => Err(format!("unknown pointer register `{other}`")),
+    };
+    if let Some(rest) = s.strip_prefix('-') {
+        let mut chars = rest.chars();
+        let p = base(chars.next().ok_or("empty pointer operand")?)?;
+        if chars.next().is_some() {
+            return Err(format!("malformed pointer operand `{s}`"));
+        }
+        return Ok(Mem::Ptr(p, PtrMode::PreDec));
+    }
+    let mut chars = s.chars();
+    let p = base(chars.next().ok_or("empty pointer operand")?)?;
+    let rest: String = chars.collect();
+    if rest.is_empty() {
+        Ok(Mem::Ptr(p, PtrMode::Plain))
+    } else if rest == "+" {
+        Ok(Mem::Ptr(p, PtrMode::PostInc))
+    } else if let Some(q) = rest.strip_prefix('+') {
+        Ok(Mem::Disp(p, parse_num(q)? as u8))
+    } else {
+        Err(format!("malformed pointer operand `{s}`"))
+    }
+}
+
+fn parse_reg(s: &str) -> Result<Reg, String> {
+    let s = s.trim();
+    let lower = s.to_ascii_lowercase();
+    match lower.as_str() {
+        "xl" => return Ok(Reg::XL),
+        "xh" => return Ok(Reg::XH),
+        "yl" => return Ok(Reg::YL),
+        "yh" => return Ok(Reg::YH),
+        "zl" => return Ok(Reg::ZL),
+        "zh" => return Ok(Reg::ZH),
+        _ => {}
+    }
+    let n: u8 = lower
+        .strip_prefix('r')
+        .ok_or_else(|| format!("expected register, got `{s}`"))?
+        .parse()
+        .map_err(|_| format!("expected register, got `{s}`"))?;
+    Reg::new(n).ok_or_else(|| format!("register number out of range in `{s}`"))
+}
+
+fn parse_iw(s: &str) -> Result<IwPair, String> {
+    match s.trim().to_ascii_uppercase().as_str() {
+        "X" | "R27:R26" => Ok(IwPair::X),
+        "Y" | "R29:R28" => Ok(IwPair::Y),
+        "Z" | "R31:R30" => Ok(IwPair::Z),
+        "W" | "R25:R24" | "R24" => Ok(IwPair::W),
+        other => Err(format!("expected word pair (W/X/Y/Z), got `{other}`")),
+    }
+}
+
+fn parse_num(s: &str) -> Result<u32, String> {
+    let s = s.trim();
+    let (neg, s) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16)
+    } else if let Some(bin) = s.strip_prefix("0b").or_else(|| s.strip_prefix("0B")) {
+        u32::from_str_radix(bin, 2)
+    } else {
+        s.parse()
+    }
+    .map_err(|_| format!("expected a number, got `{s}`"))?;
+    Ok(if neg { v.wrapping_neg() } else { v })
+}
+
+fn split_operands(s: &str) -> Vec<String> {
+    s.split(',').map(|o| o.trim().to_string()).collect()
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avr_core::exec::Cpu;
+    use avr_core::mem::PlainEnv;
+
+    #[test]
+    fn assemble_and_run_a_text_program() {
+        let src = r"
+            ; sum 1..5 into r16, store to VAR
+            .equ VAR = 0x0100
+            start:
+                clr r16
+                ldi r17, 5
+            loop:
+                add r16, r17
+                dec r17
+                brne loop
+                sts VAR, r16
+                break
+        ";
+        let obj = assemble_str(src, 0).unwrap();
+        let mut env = PlainEnv::new();
+        obj.load_into(&mut env.flash);
+        let mut cpu = Cpu::new(env);
+        cpu.run_to_break(1000).unwrap();
+        assert_eq!(cpu.env.sram_byte(0x0100), 15);
+    }
+
+    #[test]
+    fn pointer_operand_forms() {
+        let src = "
+            ld r0, X
+            ld r1, X+
+            ld r2, -Y
+            ldd r3, Z+5
+            st Y+, r4
+            std Z+63, r5
+        ";
+        let obj = assemble_str(src, 0).unwrap();
+        assert_eq!(obj.words().len(), 6);
+    }
+
+    #[test]
+    fn lo8_hi8_and_symbolic_lds() {
+        let src = "
+            .equ BUF = 0x0234
+            ldi r30, lo8(BUF)
+            ldi r31, hi8(BUF)
+            lds r16, BUF
+            sts BUF, r16
+        ";
+        let obj = assemble_str(src, 0).unwrap();
+        use avr_core::isa::{decode, Instr};
+        assert_eq!(
+            decode(obj.words()[0], None).unwrap(),
+            Instr::Ldi { d: Reg::R30, k: 0x34 }
+        );
+        assert_eq!(
+            decode(obj.words()[1], None).unwrap(),
+            Instr::Ldi { d: Reg::R31, k: 0x02 }
+        );
+        assert_eq!(
+            decode(obj.words()[2], Some(obj.words()[3])).unwrap(),
+            Instr::Lds { d: Reg::R16, k: 0x0234 }
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble_str("nop\nbogus r1\n", 0).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn unknown_register_is_an_error() {
+        assert!(assemble_str("mov r1, r40", 0).is_err());
+        assert!(assemble_str("ldi r5, 1", 0).is_err(), "ldi needs r16..r31");
+    }
+
+    #[test]
+    fn numeric_call_and_jmp_targets() {
+        use avr_core::isa::{decode, Instr};
+        let obj = assemble_str("call 0x800\njmp 64\n", 0).unwrap();
+        assert_eq!(
+            decode(obj.words()[0], Some(obj.words()[1])).unwrap(),
+            Instr::Call { k: 0x800 }
+        );
+        assert_eq!(
+            decode(obj.words()[2], Some(obj.words()[3])).unwrap(),
+            Instr::Jmp { k: 64 }
+        );
+        assert!(assemble_str("rjmp 0x10\n", 0).is_err(), "relative forms need labels");
+    }
+
+    #[test]
+    fn word_directive_and_labels_on_own_line() {
+        let src = "
+            table:
+            .word 0x1234, 0xabcd
+            rjmp table
+        ";
+        let obj = assemble_str(src, 0x10).unwrap();
+        assert_eq!(obj.symbol("table"), Some(0x10));
+        assert_eq!(&obj.words()[..2], &[0x1234, 0xabcd]);
+    }
+}

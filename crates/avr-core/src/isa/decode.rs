@@ -1,0 +1,336 @@
+//! Machine-code → instruction decoding (the inverse of [`encode`]).
+//!
+//! [`encode`]: super::encode
+
+use super::{Instr, IwPair, Ptr, PtrMode, Reg};
+use std::fmt;
+
+/// A word failed to decode into an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The word is not a (supported) AVR opcode. `EIJMP`/`EICALL`/`SPM` are
+    /// deliberately unsupported on this ATmega103-class model and decode to
+    /// this error.
+    Illegal(u16),
+    /// The first word begins a two-word instruction (`JMP`, `CALL`, `LDS`,
+    /// `STS`) but no second word was supplied.
+    MissingSecondWord(u16),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Illegal(w) => write!(f, "illegal opcode word {w:#06x}"),
+            DecodeError::MissingSecondWord(w) => {
+                write!(f, "opcode word {w:#06x} needs a second word")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Whether an opcode's first word implies a two-word instruction, without
+/// fully decoding it. Useful for walking raw flash.
+pub fn is_two_word(w0: u16) -> bool {
+    // JMP/CALL: 1001 010x xxxx 11xx ; LDS: 1001 000d dddd 0000 ;
+    // STS: 1001 001d dddd 0000.
+    (w0 & 0xfe0c) == 0x940c || (w0 & 0xfe0f) == 0x9000 || (w0 & 0xfe0f) == 0x9200
+}
+
+fn d5(w: u16) -> Reg {
+    Reg::num(((w >> 4) & 0x1f) as u8)
+}
+
+fn r5(w: u16) -> Reg {
+    Reg::num((((w >> 5) & 0x10) | (w & 0x0f)) as u8)
+}
+
+fn d4h(w: u16) -> Reg {
+    Reg::num(16 + ((w >> 4) & 0x0f) as u8)
+}
+
+fn k8(w: u16) -> u8 {
+    (((w >> 4) & 0xf0) | (w & 0x0f)) as u8
+}
+
+fn sext(v: u16, bits: u32) -> i16 {
+    let shift = 16 - bits;
+    ((v << shift) as i16) >> shift
+}
+
+fn need(w0: u16, w1: Option<u16>) -> Result<u16, DecodeError> {
+    w1.ok_or(DecodeError::MissingSecondWord(w0))
+}
+
+/// Decodes one instruction from its first word `w0`, consulting `w1` for
+/// two-word instructions.
+///
+/// Encoding aliases decode to their canonical instruction: `LSL d` comes back
+/// as `ADD d,d`, `LD Rd,Y` (which shares the `LDD Rd,Y+0` encoding) comes
+/// back as [`Instr::Ld`] with [`PtrMode::Plain`], and so on.
+///
+/// # Errors
+///
+/// [`DecodeError::Illegal`] for reserved or unsupported opcodes,
+/// [`DecodeError::MissingSecondWord`] if `w0` begins a `JMP`/`CALL`/`LDS`/
+/// `STS` and `w1` is `None`.
+pub fn decode(w0: u16, w1: Option<u16>) -> Result<Instr, DecodeError> {
+    use Instr::*;
+    let ill = Err(DecodeError::Illegal(w0));
+
+    match w0 >> 12 {
+        0x0 => match (w0 >> 8) & 0x0f {
+            0x0 => {
+                if w0 == 0 {
+                    Ok(Nop)
+                } else {
+                    ill
+                }
+            }
+            0x1 => Ok(Movw {
+                d: Reg::num((((w0 >> 4) & 0x0f) * 2) as u8),
+                r: Reg::num(((w0 & 0x0f) * 2) as u8),
+            }),
+            0x2 => Ok(Muls { d: d4h(w0), r: Reg::num(16 + (w0 & 0x0f) as u8) }),
+            0x3 => {
+                let d = Reg::num(16 + ((w0 >> 4) & 0x07) as u8);
+                let r = Reg::num(16 + (w0 & 0x07) as u8);
+                match ((w0 >> 7) & 1, (w0 >> 3) & 1) {
+                    (0, 0) => Ok(Mulsu { d, r }),
+                    (0, 1) => Ok(Fmul { d, r }),
+                    (1, 0) => Ok(Fmuls { d, r }),
+                    _ => Ok(Fmulsu { d, r }),
+                }
+            }
+            _ => match w0 >> 10 {
+                0b000001 => Ok(Cpc { d: d5(w0), r: r5(w0) }),
+                0b000010 => Ok(Sbc { d: d5(w0), r: r5(w0) }),
+                0b000011 => Ok(Add { d: d5(w0), r: r5(w0) }),
+                _ => ill,
+            },
+        },
+        0x1 => match w0 >> 10 {
+            0b000100 => Ok(Cpse { d: d5(w0), r: r5(w0) }),
+            0b000101 => Ok(Cp { d: d5(w0), r: r5(w0) }),
+            0b000110 => Ok(Sub { d: d5(w0), r: r5(w0) }),
+            _ => Ok(Adc { d: d5(w0), r: r5(w0) }),
+        },
+        0x2 => match w0 >> 10 {
+            0b001000 => Ok(And { d: d5(w0), r: r5(w0) }),
+            0b001001 => Ok(Eor { d: d5(w0), r: r5(w0) }),
+            0b001010 => Ok(Or { d: d5(w0), r: r5(w0) }),
+            _ => Ok(Mov { d: d5(w0), r: r5(w0) }),
+        },
+        0x3 => Ok(Cpi { d: d4h(w0), k: k8(w0) }),
+        0x4 => Ok(Sbci { d: d4h(w0), k: k8(w0) }),
+        0x5 => Ok(Subi { d: d4h(w0), k: k8(w0) }),
+        0x6 => Ok(Ori { d: d4h(w0), k: k8(w0) }),
+        0x7 => Ok(Andi { d: d4h(w0), k: k8(w0) }),
+        0x8 | 0xa => {
+            // LDD/STD space: 10q0 qqsd dddd yqqq (s = store, y = Y pointer)
+            let q = (((w0 >> 13) & 1) << 5 | ((w0 >> 10) & 3) << 3 | (w0 & 7)) as u8;
+            let reg = d5(w0);
+            let ptr = if w0 & 0x0008 != 0 { Ptr::Y } else { Ptr::Z };
+            let store = w0 & 0x0200 != 0;
+            Ok(match (store, q) {
+                (false, 0) => Ld { d: reg, ptr, mode: PtrMode::Plain },
+                (true, 0) => St { ptr, mode: PtrMode::Plain, r: reg },
+                (false, q) => Ldd { d: reg, ptr, q },
+                (true, q) => Std { ptr, q, r: reg },
+            })
+        }
+        0x9 => decode_9xxx(w0, w1),
+        0xb => {
+            let a = (((w0 >> 5) & 0x30) | (w0 & 0x0f)) as u8;
+            if w0 & 0x0800 == 0 {
+                Ok(In { d: d5(w0), a })
+            } else {
+                Ok(Out { a, r: d5(w0) })
+            }
+        }
+        0xc => Ok(Rjmp { k: sext(w0 & 0x0fff, 12) }),
+        0xd => Ok(Rcall { k: sext(w0 & 0x0fff, 12) }),
+        0xe => Ok(Ldi { d: d4h(w0), k: k8(w0) }),
+        0xf => {
+            let b = (w0 & 7) as u8;
+            match (w0 >> 9) & 7 {
+                0 | 1 => Ok(Brbs { s: b, k: sext((w0 >> 3) & 0x7f, 7) as i8 }),
+                2 | 3 => Ok(Brbc { s: b, k: sext((w0 >> 3) & 0x7f, 7) as i8 }),
+                4 if w0 & 8 == 0 => Ok(Bld { d: d5(w0), b }),
+                5 if w0 & 8 == 0 => Ok(Bst { d: d5(w0), b }),
+                6 if w0 & 8 == 0 => Ok(Sbrc { r: d5(w0), b }),
+                7 if w0 & 8 == 0 => Ok(Sbrs { r: d5(w0), b }),
+                _ => ill,
+            }
+        }
+        _ => ill,
+    }
+}
+
+fn decode_9xxx(w0: u16, w1: Option<u16>) -> Result<Instr, DecodeError> {
+    use Instr::*;
+    let ill = Err(DecodeError::Illegal(w0));
+    match (w0 >> 8) & 0x0f {
+        0x0 | 0x1 => {
+            // loads / LPM / POP
+            let d = d5(w0);
+            match w0 & 0x0f {
+                0x0 => Ok(Lds { d, k: need(w0, w1)? }),
+                0x1 => Ok(Ld { d, ptr: Ptr::Z, mode: PtrMode::PostInc }),
+                0x2 => Ok(Ld { d, ptr: Ptr::Z, mode: PtrMode::PreDec }),
+                0x4 => Ok(Lpm { d, inc: false }),
+                0x5 => Ok(Lpm { d, inc: true }),
+                0x6 => Ok(Elpm { d, inc: false }),
+                0x7 => Ok(Elpm { d, inc: true }),
+                0x9 => Ok(Ld { d, ptr: Ptr::Y, mode: PtrMode::PostInc }),
+                0xa => Ok(Ld { d, ptr: Ptr::Y, mode: PtrMode::PreDec }),
+                0xc => Ok(Ld { d, ptr: Ptr::X, mode: PtrMode::Plain }),
+                0xd => Ok(Ld { d, ptr: Ptr::X, mode: PtrMode::PostInc }),
+                0xe => Ok(Ld { d, ptr: Ptr::X, mode: PtrMode::PreDec }),
+                0xf => Ok(Pop { d }),
+                _ => ill,
+            }
+        }
+        0x2 | 0x3 => {
+            // stores / PUSH
+            let r = d5(w0);
+            match w0 & 0x0f {
+                0x0 => Ok(Sts { k: need(w0, w1)?, r }),
+                0x1 => Ok(St { ptr: Ptr::Z, mode: PtrMode::PostInc, r }),
+                0x2 => Ok(St { ptr: Ptr::Z, mode: PtrMode::PreDec, r }),
+                0x9 => Ok(St { ptr: Ptr::Y, mode: PtrMode::PostInc, r }),
+                0xa => Ok(St { ptr: Ptr::Y, mode: PtrMode::PreDec, r }),
+                0xc => Ok(St { ptr: Ptr::X, mode: PtrMode::Plain, r }),
+                0xd => Ok(St { ptr: Ptr::X, mode: PtrMode::PostInc, r }),
+                0xe => Ok(St { ptr: Ptr::X, mode: PtrMode::PreDec, r }),
+                0xf => Ok(Push { r }),
+                _ => ill,
+            }
+        }
+        0x4 | 0x5 => {
+            // one-operand ALU, flag ops, zero-operand ops, JMP/CALL
+            match w0 & 0x0f {
+                0x0 => Ok(Com { d: d5(w0) }),
+                0x1 => Ok(Neg { d: d5(w0) }),
+                0x2 => Ok(Swap { d: d5(w0) }),
+                0x3 => Ok(Inc { d: d5(w0) }),
+                0x5 => Ok(Asr { d: d5(w0) }),
+                0x6 => Ok(Lsr { d: d5(w0) }),
+                0x7 => Ok(Ror { d: d5(w0) }),
+                0xa => Ok(Dec { d: d5(w0) }),
+                0x8 => match w0 {
+                    0x9508 => Ok(Ret),
+                    0x9518 => Ok(Reti),
+                    0x9588 => Ok(Sleep),
+                    0x9598 => Ok(Break),
+                    0x95a8 => Ok(Wdr),
+                    0x95c8 => Ok(Lpm0),
+                    0x95d8 => Ok(Elpm0),
+                    w if w & 0xff8f == 0x9408 => Ok(Bset { s: ((w >> 4) & 7) as u8 }),
+                    w if w & 0xff8f == 0x9488 => Ok(Bclr { s: ((w >> 4) & 7) as u8 }),
+                    _ => ill,
+                },
+                0x9 => match w0 {
+                    0x9409 => Ok(Ijmp),
+                    0x9509 => Ok(Icall),
+                    _ => ill, // EIJMP/EICALL unsupported
+                },
+                0xc..=0xf => {
+                    let hi = ((((w0 >> 4) & 0x1f) << 1) | (w0 & 1)) as u32;
+                    let k = (hi << 16) | need(w0, w1)? as u32;
+                    if w0 & 0x0002 == 0 {
+                        Ok(Jmp { k })
+                    } else {
+                        Ok(Call { k })
+                    }
+                }
+                _ => ill,
+            }
+        }
+        0x6 => Ok(Adiw { p: IwPair::from_code((w0 >> 4) & 3), k: iw_k(w0) }),
+        0x7 => Ok(Sbiw { p: IwPair::from_code((w0 >> 4) & 3), k: iw_k(w0) }),
+        0x8 => Ok(Cbi { a: io5(w0), b: (w0 & 7) as u8 }),
+        0x9 => Ok(Sbic { a: io5(w0), b: (w0 & 7) as u8 }),
+        0xa => Ok(Sbi { a: io5(w0), b: (w0 & 7) as u8 }),
+        0xb => Ok(Sbis { a: io5(w0), b: (w0 & 7) as u8 }),
+        _ => Ok(Mul { d: d5(w0), r: r5(w0) }),
+    }
+}
+
+fn iw_k(w0: u16) -> u8 {
+    (((w0 >> 2) & 0x30) | (w0 & 0x0f)) as u8
+}
+
+fn io5(w0: u16) -> u8 {
+    ((w0 >> 3) & 0x1f) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::encode;
+    use super::*;
+
+    #[test]
+    fn decode_known_words() {
+        assert_eq!(decode(0x0000, None), Ok(Instr::Nop));
+        assert_eq!(decode(0x9508, None), Ok(Instr::Ret));
+        assert_eq!(decode(0x9409, None), Ok(Instr::Ijmp));
+        assert_eq!(
+            decode(0xcfff, None),
+            Ok(Instr::Rjmp { k: -1 }),
+            "rjmp .-2 decodes to offset -1"
+        );
+        assert_eq!(
+            decode(0x940c, Some(0x1234)),
+            Ok(Instr::Jmp { k: 0x1234 })
+        );
+        assert_eq!(
+            decode(0x2700, None),
+            Ok(Instr::Eor { d: Reg::R16, r: Reg::R16 }),
+            "clr r16 alias decodes to canonical eor"
+        );
+    }
+
+    #[test]
+    fn two_word_detection() {
+        assert!(is_two_word(0x940c)); // jmp
+        assert!(is_two_word(0x940e)); // call
+        assert!(is_two_word(0x9000)); // lds r0
+        assert!(is_two_word(0x9110)); // lds r17
+        assert!(is_two_word(0x9200)); // sts r0
+        assert!(!is_two_word(0x9508)); // ret
+        assert!(!is_two_word(0x0000)); // nop
+        assert!(!is_two_word(0x920f)); // push r0
+        assert!(!is_two_word(0x9409)); // ijmp
+    }
+
+    #[test]
+    fn missing_second_word_is_reported() {
+        assert_eq!(decode(0x940c, None), Err(DecodeError::MissingSecondWord(0x940c)));
+        assert_eq!(decode(0x9000, None), Err(DecodeError::MissingSecondWord(0x9000)));
+    }
+
+    #[test]
+    fn reserved_words_are_illegal() {
+        for w in [0x0001u16, 0x9419, 0x9519, 0x95e8, 0x9003, 0x9203, 0xf808] {
+            assert_eq!(decode(w, None), Err(DecodeError::Illegal(w)), "word {w:#06x}");
+        }
+    }
+
+    #[test]
+    fn ldd_q0_decodes_as_plain_ld() {
+        // LDD Rd, Z+0 and LD Rd, Z share an encoding; the canonical decode is
+        // the plain form.
+        let e = encode(Instr::Ldd { d: Reg::R7, ptr: Ptr::Z, q: 0 }).unwrap();
+        assert_eq!(
+            decode(e.word0(), None),
+            Ok(Instr::Ld { d: Reg::R7, ptr: Ptr::Z, mode: PtrMode::Plain })
+        );
+        let e = encode(Instr::Std { ptr: Ptr::Y, q: 0, r: Reg::R7 }).unwrap();
+        assert_eq!(
+            decode(e.word0(), None),
+            Ok(Instr::St { ptr: Ptr::Y, mode: PtrMode::Plain, r: Reg::R7 })
+        );
+    }
+}

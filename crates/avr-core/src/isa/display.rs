@@ -1,0 +1,131 @@
+//! Textual (disassembly) form of instructions.
+
+use super::{Instr, Ptr, PtrMode};
+use std::fmt;
+
+fn ptr_operand(ptr: Ptr, mode: PtrMode) -> String {
+    match mode {
+        PtrMode::Plain => format!("{ptr}"),
+        PtrMode::PostInc => format!("{ptr}+"),
+        PtrMode::PreDec => format!("-{ptr}"),
+    }
+}
+
+impl fmt::Display for Instr {
+    /// Formats the instruction in conventional AVR assembly syntax.
+    ///
+    /// Relative offsets are printed in bytes relative to the instruction's
+    /// own address (`rjmp .-2`), matching `avr-objdump` output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instr::*;
+        match *self {
+            Add { d, r } => write!(f, "add {d}, {r}"),
+            Adc { d, r } => write!(f, "adc {d}, {r}"),
+            Sub { d, r } => write!(f, "sub {d}, {r}"),
+            Sbc { d, r } => write!(f, "sbc {d}, {r}"),
+            And { d, r } => write!(f, "and {d}, {r}"),
+            Or { d, r } => write!(f, "or {d}, {r}"),
+            Eor { d, r } => write!(f, "eor {d}, {r}"),
+            Mov { d, r } => write!(f, "mov {d}, {r}"),
+            Cp { d, r } => write!(f, "cp {d}, {r}"),
+            Cpc { d, r } => write!(f, "cpc {d}, {r}"),
+            Cpse { d, r } => write!(f, "cpse {d}, {r}"),
+            Mul { d, r } => write!(f, "mul {d}, {r}"),
+            Muls { d, r } => write!(f, "muls {d}, {r}"),
+            Mulsu { d, r } => write!(f, "mulsu {d}, {r}"),
+            Fmul { d, r } => write!(f, "fmul {d}, {r}"),
+            Fmuls { d, r } => write!(f, "fmuls {d}, {r}"),
+            Fmulsu { d, r } => write!(f, "fmulsu {d}, {r}"),
+            Movw { d, r } => write!(
+                f,
+                "movw r{}:r{}, r{}:r{}",
+                d.index() + 1,
+                d.index(),
+                r.index() + 1,
+                r.index()
+            ),
+            Subi { d, k } => write!(f, "subi {d}, {k:#04x}"),
+            Sbci { d, k } => write!(f, "sbci {d}, {k:#04x}"),
+            Andi { d, k } => write!(f, "andi {d}, {k:#04x}"),
+            Ori { d, k } => write!(f, "ori {d}, {k:#04x}"),
+            Cpi { d, k } => write!(f, "cpi {d}, {k:#04x}"),
+            Ldi { d, k } => write!(f, "ldi {d}, {k:#04x}"),
+            Adiw { p, k } => write!(f, "adiw {p}, {k}"),
+            Sbiw { p, k } => write!(f, "sbiw {p}, {k}"),
+            Com { d } => write!(f, "com {d}"),
+            Neg { d } => write!(f, "neg {d}"),
+            Swap { d } => write!(f, "swap {d}"),
+            Inc { d } => write!(f, "inc {d}"),
+            Asr { d } => write!(f, "asr {d}"),
+            Lsr { d } => write!(f, "lsr {d}"),
+            Ror { d } => write!(f, "ror {d}"),
+            Dec { d } => write!(f, "dec {d}"),
+            Rjmp { k } => write!(f, "rjmp .{:+}", (k as i32 + 1) * 2 - 2),
+            Rcall { k } => write!(f, "rcall .{:+}", (k as i32 + 1) * 2 - 2),
+            Jmp { k } => write!(f, "jmp {:#x}", k * 2),
+            Call { k } => write!(f, "call {:#x}", k * 2),
+            Ijmp => f.write_str("ijmp"),
+            Icall => f.write_str("icall"),
+            Ret => f.write_str("ret"),
+            Reti => f.write_str("reti"),
+            Brbs { s, k } => write!(f, "brbs {s}, .{:+}", (k as i32 + 1) * 2 - 2),
+            Brbc { s, k } => write!(f, "brbc {s}, .{:+}", (k as i32 + 1) * 2 - 2),
+            Sbrc { r, b } => write!(f, "sbrc {r}, {b}"),
+            Sbrs { r, b } => write!(f, "sbrs {r}, {b}"),
+            Sbic { a, b } => write!(f, "sbic {a:#04x}, {b}"),
+            Sbis { a, b } => write!(f, "sbis {a:#04x}, {b}"),
+            Ld { d, ptr, mode } => write!(f, "ld {d}, {}", ptr_operand(ptr, mode)),
+            St { ptr, mode, r } => write!(f, "st {}, {r}", ptr_operand(ptr, mode)),
+            Ldd { d, ptr, q } => write!(f, "ldd {d}, {ptr}+{q}"),
+            Std { ptr, q, r } => write!(f, "std {ptr}+{q}, {r}"),
+            Lds { d, k } => write!(f, "lds {d}, {k:#06x}"),
+            Sts { k, r } => write!(f, "sts {k:#06x}, {r}"),
+            Lpm0 => f.write_str("lpm"),
+            Lpm { d, inc } => write!(f, "lpm {d}, Z{}", if inc { "+" } else { "" }),
+            Elpm0 => f.write_str("elpm"),
+            Elpm { d, inc } => write!(f, "elpm {d}, Z{}", if inc { "+" } else { "" }),
+            In { d, a } => write!(f, "in {d}, {a:#04x}"),
+            Out { a, r } => write!(f, "out {a:#04x}, {r}"),
+            Push { r } => write!(f, "push {r}"),
+            Pop { d } => write!(f, "pop {d}"),
+            Bset { s } => write!(f, "bset {s}"),
+            Bclr { s } => write!(f, "bclr {s}"),
+            Sbi { a, b } => write!(f, "sbi {a:#04x}, {b}"),
+            Cbi { a, b } => write!(f, "cbi {a:#04x}, {b}"),
+            Bst { d, b } => write!(f, "bst {d}, {b}"),
+            Bld { d, b } => write!(f, "bld {d}, {b}"),
+            Nop => f.write_str("nop"),
+            Sleep => f.write_str("sleep"),
+            Wdr => f.write_str("wdr"),
+            Break => f.write_str("break"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Reg;
+    use super::*;
+
+    #[test]
+    fn display_samples() {
+        assert_eq!(Instr::Nop.to_string(), "nop");
+        assert_eq!(Instr::Add { d: Reg::R1, r: Reg::R2 }.to_string(), "add r1, r2");
+        assert_eq!(Instr::Rjmp { k: -1 }.to_string(), "rjmp .-2");
+        assert_eq!(Instr::Rjmp { k: 0 }.to_string(), "rjmp .+0");
+        assert_eq!(Instr::Brbs { s: 1, k: 4 }.to_string(), "brbs 1, .+8");
+        assert_eq!(
+            Instr::Ld { d: Reg::R0, ptr: Ptr::X, mode: PtrMode::PostInc }.to_string(),
+            "ld r0, X+"
+        );
+        assert_eq!(
+            Instr::St { ptr: Ptr::Y, mode: PtrMode::PreDec, r: Reg::R3 }.to_string(),
+            "st -Y, r3"
+        );
+        assert_eq!(Instr::Jmp { k: 0x100 }.to_string(), "jmp 0x200");
+        assert_eq!(
+            Instr::Movw { d: Reg::R24, r: Reg::R30 }.to_string(),
+            "movw r25:r24, r31:r30"
+        );
+    }
+}

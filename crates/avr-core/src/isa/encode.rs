@@ -1,0 +1,482 @@
+//! Instruction → machine-code encoding (the inverse of [`decode`]).
+//!
+//! [`decode`]: super::decode
+
+use super::{Instr, Ptr, PtrMode, Reg};
+use std::fmt;
+
+/// The machine-code form of one instruction: one or two 16-bit words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Encoded {
+    words: [u16; 2],
+    len: u8,
+}
+
+impl Encoded {
+    const fn one(w0: u16) -> Encoded {
+        Encoded { words: [w0, 0], len: 1 }
+    }
+
+    const fn two(w0: u16, w1: u16) -> Encoded {
+        Encoded { words: [w0, w1], len: 2 }
+    }
+
+    /// The encoded words as a slice of length 1 or 2.
+    pub fn as_slice(&self) -> &[u16] {
+        &self.words[..self.len as usize]
+    }
+
+    /// First (or only) word.
+    pub const fn word0(&self) -> u16 {
+        self.words[0]
+    }
+
+    /// Second word for two-word instructions.
+    pub const fn word1(&self) -> Option<u16> {
+        if self.len == 2 {
+            Some(self.words[1])
+        } else {
+            None
+        }
+    }
+
+    /// Number of words (1 or 2).
+    pub const fn len(&self) -> u32 {
+        self.len as u32
+    }
+
+    /// Always false: an encoding has at least one word.
+    pub const fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Copies the words into a vector (convenience for emitters).
+    pub fn to_vec(&self) -> Vec<u16> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl IntoIterator for Encoded {
+    type Item = u16;
+    type IntoIter = std::vec::IntoIter<u16>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+/// An operand was out of range for the instruction's encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeError {
+    /// Mnemonic of the instruction that failed to encode.
+    pub mnemonic: &'static str,
+    /// Description of the violated constraint.
+    pub constraint: &'static str,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot encode {}: {}", self.mnemonic, self.constraint)
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+fn err(mnemonic: &'static str, constraint: &'static str) -> EncodeError {
+    EncodeError { mnemonic, constraint }
+}
+
+/// `oooooo rd dddd rrrr` two-register format.
+fn two_reg(op6: u16, d: Reg, r: Reg) -> u16 {
+    let d = d.index() as u16;
+    let r = r.index() as u16;
+    (op6 << 10) | ((r & 0x10) << 5) | (d << 4) | (r & 0x0f)
+}
+
+/// `oooo KKKK dddd KKKK` immediate format; `d` must be r16..r31.
+fn imm_reg(op4: u16, m: &'static str, d: Reg, k: u8) -> Result<u16, EncodeError> {
+    if !d.is_high() {
+        return Err(err(m, "destination register must be r16..r31"));
+    }
+    let d = (d.index() - 16) as u16;
+    let k = k as u16;
+    Ok((op4 << 12) | ((k & 0xf0) << 4) | (d << 4) | (k & 0x0f))
+}
+
+/// `1001 010d dddd oooo` one-register format.
+fn one_reg(op4: u16, d: Reg) -> u16 {
+    0x9400 | ((d.index() as u16) << 4) | op4
+}
+
+fn bit_in_range(m: &'static str, b: u8) -> Result<(), EncodeError> {
+    if b > 7 {
+        Err(err(m, "bit number must be 0..=7"))
+    } else {
+        Ok(())
+    }
+}
+
+fn io_lo(m: &'static str, a: u8) -> Result<u16, EncodeError> {
+    if a > 31 {
+        Err(err(m, "I/O address must be 0..=31"))
+    } else {
+        Ok(a as u16)
+    }
+}
+
+/// `LD`/`ST` low nibble for each pointer/mode combination (X plain = 0b1100…).
+fn ldst_nibble(m: &'static str, ptr: Ptr, mode: PtrMode) -> Result<(u16, bool), EncodeError> {
+    // Returns (low nibble, uses_0x8000_space) — plain Y/Z use the LDD/STD
+    // opcode space with q = 0.
+    match (ptr, mode) {
+        (Ptr::Z, PtrMode::Plain) => Ok((0b0000, true)),
+        (Ptr::Y, PtrMode::Plain) => Ok((0b1000, true)),
+        (Ptr::Z, PtrMode::PostInc) => Ok((0b0001, false)),
+        (Ptr::Z, PtrMode::PreDec) => Ok((0b0010, false)),
+        (Ptr::Y, PtrMode::PostInc) => Ok((0b1001, false)),
+        (Ptr::Y, PtrMode::PreDec) => Ok((0b1010, false)),
+        (Ptr::X, PtrMode::Plain) => Ok((0b1100, false)),
+        (Ptr::X, PtrMode::PostInc) => Ok((0b1101, false)),
+        (Ptr::X, PtrMode::PreDec) => Ok((0b1110, false)),
+        #[allow(unreachable_patterns)]
+        _ => Err(err(m, "unsupported pointer/mode combination")),
+    }
+}
+
+fn displaced(m: &'static str, store: bool, ptr: Ptr, q: u8, reg: Reg) -> Result<u16, EncodeError> {
+    if q > 63 {
+        return Err(err(m, "displacement must be 0..=63"));
+    }
+    let ybit = match ptr {
+        Ptr::Y => 0b1000,
+        Ptr::Z => 0,
+        Ptr::X => return Err(err(m, "displacement addressing supports only Y and Z")),
+    };
+    let q = q as u16;
+    let s = if store { 0x0200 } else { 0 };
+    Ok(0x8000
+        | s
+        | ((q & 0x20) << 8)
+        | ((q & 0x18) << 7)
+        | ((reg.index() as u16) << 4)
+        | ybit
+        | (q & 0x07))
+}
+
+/// Encodes an instruction into its machine-code words.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] when an operand violates the encoding's range
+/// constraints (immediate destination below `r16`, displacement above 63,
+/// relative offset out of reach, odd `MOVW` register, …).
+pub fn encode(i: Instr) -> Result<Encoded, EncodeError> {
+    use Instr::*;
+    Ok(match i {
+        Cpc { d, r } => Encoded::one(two_reg(0b000001, d, r)),
+        Sbc { d, r } => Encoded::one(two_reg(0b000010, d, r)),
+        Add { d, r } => Encoded::one(two_reg(0b000011, d, r)),
+        Cpse { d, r } => Encoded::one(two_reg(0b000100, d, r)),
+        Cp { d, r } => Encoded::one(two_reg(0b000101, d, r)),
+        Sub { d, r } => Encoded::one(two_reg(0b000110, d, r)),
+        Adc { d, r } => Encoded::one(two_reg(0b000111, d, r)),
+        And { d, r } => Encoded::one(two_reg(0b001000, d, r)),
+        Eor { d, r } => Encoded::one(two_reg(0b001001, d, r)),
+        Or { d, r } => Encoded::one(two_reg(0b001010, d, r)),
+        Mov { d, r } => Encoded::one(two_reg(0b001011, d, r)),
+        Mul { d, r } => Encoded::one(two_reg(0b100111, d, r)),
+
+        Movw { d, r } => {
+            if d.index() % 2 != 0 || r.index() % 2 != 0 {
+                return Err(err("movw", "registers must be even (low half of a pair)"));
+            }
+            Encoded::one(
+                0x0100 | (((d.index() / 2) as u16) << 4) | ((r.index() / 2) as u16),
+            )
+        }
+        Muls { d, r } => {
+            if !d.is_high() || !r.is_high() {
+                return Err(err("muls", "registers must be r16..r31"));
+            }
+            Encoded::one(
+                0x0200 | (((d.index() - 16) as u16) << 4) | ((r.index() - 16) as u16),
+            )
+        }
+        Mulsu { d, r } | Fmul { d, r } | Fmuls { d, r } | Fmulsu { d, r } => {
+            let (m, hi, lo) = match i {
+                Mulsu { .. } => ("mulsu", 0u16, 0u16),
+                Fmul { .. } => ("fmul", 0, 1),
+                Fmuls { .. } => ("fmuls", 1, 0),
+                _ => ("fmulsu", 1, 1),
+            };
+            let dr = d.index();
+            let rr = r.index();
+            if !(16..=23).contains(&dr) || !(16..=23).contains(&rr) {
+                return Err(err(m, "registers must be r16..r23"));
+            }
+            Encoded::one(
+                0x0300
+                    | (hi << 7)
+                    | (((dr - 16) as u16) << 4)
+                    | (lo << 3)
+                    | ((rr - 16) as u16),
+            )
+        }
+
+        Cpi { d, k } => Encoded::one(imm_reg(0b0011, "cpi", d, k)?),
+        Sbci { d, k } => Encoded::one(imm_reg(0b0100, "sbci", d, k)?),
+        Subi { d, k } => Encoded::one(imm_reg(0b0101, "subi", d, k)?),
+        Ori { d, k } => Encoded::one(imm_reg(0b0110, "ori", d, k)?),
+        Andi { d, k } => Encoded::one(imm_reg(0b0111, "andi", d, k)?),
+        Ldi { d, k } => Encoded::one(imm_reg(0b1110, "ldi", d, k)?),
+
+        Adiw { p, k } | Sbiw { p, k } => {
+            if k > 63 {
+                return Err(err("adiw/sbiw", "immediate must be 0..=63"));
+            }
+            let base: u16 = if matches!(i, Adiw { .. }) { 0x9600 } else { 0x9700 };
+            let k = k as u16;
+            Encoded::one(base | ((k & 0x30) << 2) | (p.code() << 4) | (k & 0x0f))
+        }
+
+        Com { d } => Encoded::one(one_reg(0b0000, d)),
+        Neg { d } => Encoded::one(one_reg(0b0001, d)),
+        Swap { d } => Encoded::one(one_reg(0b0010, d)),
+        Inc { d } => Encoded::one(one_reg(0b0011, d)),
+        Asr { d } => Encoded::one(one_reg(0b0101, d)),
+        Lsr { d } => Encoded::one(one_reg(0b0110, d)),
+        Ror { d } => Encoded::one(one_reg(0b0111, d)),
+        Dec { d } => Encoded::one(one_reg(0b1010, d)),
+
+        Rjmp { k } => {
+            if !(-2048..=2047).contains(&k) {
+                return Err(err("rjmp", "offset must be -2048..=2047 words"));
+            }
+            Encoded::one(0xc000 | ((k as u16) & 0x0fff))
+        }
+        Rcall { k } => {
+            if !(-2048..=2047).contains(&k) {
+                return Err(err("rcall", "offset must be -2048..=2047 words"));
+            }
+            Encoded::one(0xd000 | ((k as u16) & 0x0fff))
+        }
+        Jmp { k } | Call { k } => {
+            if k > 0x3f_ffff {
+                return Err(err("jmp/call", "target must fit in 22 bits"));
+            }
+            let tail: u16 = if matches!(i, Jmp { .. }) { 0b110 } else { 0b111 };
+            let hi = (k >> 16) as u16; // upper 6 bits of the 22-bit address
+            let w0 = 0x9400 | ((hi & 0x3e) << 3) | (tail << 1) | (hi & 1);
+            Encoded::two(w0, (k & 0xffff) as u16)
+        }
+        Ijmp => Encoded::one(0x9409),
+        Icall => Encoded::one(0x9509),
+        Ret => Encoded::one(0x9508),
+        Reti => Encoded::one(0x9518),
+
+        Brbs { s, k } | Brbc { s, k } => {
+            bit_in_range("brbs/brbc", s)?;
+            if !(-64..=63).contains(&k) {
+                return Err(err("brbs/brbc", "offset must be -64..=63 words"));
+            }
+            let base: u16 = if matches!(i, Brbs { .. }) { 0xf000 } else { 0xf400 };
+            Encoded::one(base | (((k as u16) & 0x7f) << 3) | s as u16)
+        }
+        Sbrc { r, b } => {
+            bit_in_range("sbrc", b)?;
+            Encoded::one(0xfc00 | ((r.index() as u16) << 4) | b as u16)
+        }
+        Sbrs { r, b } => {
+            bit_in_range("sbrs", b)?;
+            Encoded::one(0xfe00 | ((r.index() as u16) << 4) | b as u16)
+        }
+        Sbic { a, b } => {
+            bit_in_range("sbic", b)?;
+            Encoded::one(0x9900 | (io_lo("sbic", a)? << 3) | b as u16)
+        }
+        Sbis { a, b } => {
+            bit_in_range("sbis", b)?;
+            Encoded::one(0x9b00 | (io_lo("sbis", a)? << 3) | b as u16)
+        }
+
+        Ld { d, ptr, mode } => {
+            let (nib, disp_space) = ldst_nibble("ld", ptr, mode)?;
+            if disp_space {
+                Encoded::one(0x8000 | ((d.index() as u16) << 4) | nib)
+            } else {
+                Encoded::one(0x9000 | ((d.index() as u16) << 4) | nib)
+            }
+        }
+        St { ptr, mode, r } => {
+            let (nib, disp_space) = ldst_nibble("st", ptr, mode)?;
+            if disp_space {
+                Encoded::one(0x8200 | ((r.index() as u16) << 4) | nib)
+            } else {
+                Encoded::one(0x9200 | ((r.index() as u16) << 4) | nib)
+            }
+        }
+        Ldd { d, ptr, q } => Encoded::one(displaced("ldd", false, ptr, q, d)?),
+        Std { ptr, q, r } => Encoded::one(displaced("std", true, ptr, q, r)?),
+        Lds { d, k } => Encoded::two(0x9000 | ((d.index() as u16) << 4), k),
+        Sts { k, r } => Encoded::two(0x9200 | ((r.index() as u16) << 4), k),
+        Lpm0 => Encoded::one(0x95c8),
+        Lpm { d, inc } => {
+            Encoded::one(0x9000 | ((d.index() as u16) << 4) | if inc { 0b0101 } else { 0b0100 })
+        }
+        Elpm0 => Encoded::one(0x95d8),
+        Elpm { d, inc } => {
+            Encoded::one(0x9000 | ((d.index() as u16) << 4) | if inc { 0b0111 } else { 0b0110 })
+        }
+        In { d, a } => {
+            if a > 63 {
+                return Err(err("in", "I/O address must be 0..=63"));
+            }
+            let a = a as u16;
+            Encoded::one(0xb000 | ((a & 0x30) << 5) | ((d.index() as u16) << 4) | (a & 0x0f))
+        }
+        Out { a, r } => {
+            if a > 63 {
+                return Err(err("out", "I/O address must be 0..=63"));
+            }
+            let a = a as u16;
+            Encoded::one(0xb800 | ((a & 0x30) << 5) | ((r.index() as u16) << 4) | (a & 0x0f))
+        }
+        Push { r } => Encoded::one(0x9200 | ((r.index() as u16) << 4) | 0x0f),
+        Pop { d } => Encoded::one(0x9000 | ((d.index() as u16) << 4) | 0x0f),
+
+        Bset { s } => {
+            bit_in_range("bset", s)?;
+            Encoded::one(0x9408 | ((s as u16) << 4))
+        }
+        Bclr { s } => {
+            bit_in_range("bclr", s)?;
+            Encoded::one(0x9488 | ((s as u16) << 4))
+        }
+        Sbi { a, b } => {
+            bit_in_range("sbi", b)?;
+            Encoded::one(0x9a00 | (io_lo("sbi", a)? << 3) | b as u16)
+        }
+        Cbi { a, b } => {
+            bit_in_range("cbi", b)?;
+            Encoded::one(0x9800 | (io_lo("cbi", a)? << 3) | b as u16)
+        }
+        Bst { d, b } => {
+            bit_in_range("bst", b)?;
+            Encoded::one(0xfa00 | ((d.index() as u16) << 4) | b as u16)
+        }
+        Bld { d, b } => {
+            bit_in_range("bld", b)?;
+            Encoded::one(0xf800 | ((d.index() as u16) << 4) | b as u16)
+        }
+
+        Nop => Encoded::one(0x0000),
+        Sleep => Encoded::one(0x9588),
+        Wdr => Encoded::one(0x95a8),
+        Break => Encoded::one(0x9598),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encodings_match_the_manual() {
+        // Reference words cross-checked against the AVR instruction set manual.
+        let cases: &[(Instr, u16)] = &[
+            (Instr::Nop, 0x0000),
+            (Instr::Add { d: Reg::R1, r: Reg::R2 }, 0x0c12),
+            (Instr::Adc { d: Reg::R17, r: Reg::R30 }, 0x1f1e),
+            (Instr::Sub { d: Reg::R0, r: Reg::R31 }, 0x1a0f),
+            (Instr::Eor { d: Reg::R16, r: Reg::R16 }, 0x2700), // clr r16
+            (Instr::Mov { d: Reg::R5, r: Reg::R6 }, 0x2c56),
+            (Instr::Ldi { d: Reg::R16, k: 0xff }, 0xef0f), // ser r16
+            (Instr::Ldi { d: Reg::R31, k: 0x12 }, 0xe1f2),
+            (Instr::Cpi { d: Reg::R20, k: 0x34 }, 0x3344),
+            (Instr::Adiw { p: super::super::IwPair::X, k: 1 }, 0x9611),
+            (Instr::Sbiw { p: super::super::IwPair::W, k: 63 }, 0x97cf),
+            (Instr::Com { d: Reg::R9 }, 0x9490),
+            (Instr::Dec { d: Reg::R18 }, 0x952a),
+            (Instr::Rjmp { k: -1 }, 0xcfff), // rjmp .-2 (infinite loop)
+            (Instr::Rjmp { k: 0 }, 0xc000),
+            (Instr::Rcall { k: 3 }, 0xd003),
+            (Instr::Ijmp, 0x9409),
+            (Instr::Icall, 0x9509),
+            (Instr::Ret, 0x9508),
+            (Instr::Reti, 0x9518),
+            (Instr::Brbs { s: 1, k: -3 }, 0xf3e9), // breq .-6
+            (Instr::Brbc { s: 0, k: 5 }, 0xf428),  // brcc .+10
+            (Instr::Ld { d: Reg::R4, ptr: Ptr::X, mode: PtrMode::Plain }, 0x904c),
+            (Instr::Ld { d: Reg::R4, ptr: Ptr::X, mode: PtrMode::PostInc }, 0x904d),
+            (Instr::Ld { d: Reg::R4, ptr: Ptr::X, mode: PtrMode::PreDec }, 0x904e),
+            (Instr::Ld { d: Reg::R4, ptr: Ptr::Y, mode: PtrMode::Plain }, 0x8048),
+            (Instr::Ld { d: Reg::R4, ptr: Ptr::Z, mode: PtrMode::Plain }, 0x8040),
+            (Instr::St { ptr: Ptr::X, mode: PtrMode::PostInc, r: Reg::R7 }, 0x927d),
+            (Instr::St { ptr: Ptr::Z, mode: PtrMode::Plain, r: Reg::R1 }, 0x8210),
+            (Instr::Ldd { d: Reg::R2, ptr: Ptr::Y, q: 1 }, 0x8029),
+            (Instr::Std { ptr: Ptr::Z, q: 63, r: Reg::R3 }, 0xae37),
+            (Instr::Push { r: Reg::R29 }, 0x93df),
+            (Instr::Pop { d: Reg::R29 }, 0x91df),
+            (Instr::In { d: Reg::R25, a: 0x3f }, 0xb79f), // in r25, SREG
+            (Instr::Out { a: 0x3d, r: Reg::R28 }, 0xbfcd), // out SPL, r28
+            (Instr::Lpm0, 0x95c8),
+            (Instr::Lpm { d: Reg::R16, inc: true }, 0x9105),
+            (Instr::Bset { s: 7 }, 0x9478), // sei
+            (Instr::Bclr { s: 7 }, 0x94f8), // cli
+            (Instr::Sbi { a: 5, b: 3 }, 0x9a2b),
+            (Instr::Cbi { a: 5, b: 3 }, 0x982b),
+            (Instr::Sbrc { r: Reg::R10, b: 4 }, 0xfca4),
+            (Instr::Sbrs { r: Reg::R10, b: 4 }, 0xfea4),
+            (Instr::Sbic { a: 9, b: 2 }, 0x994a),
+            (Instr::Sbis { a: 9, b: 2 }, 0x9b4a),
+            (Instr::Bst { d: Reg::R3, b: 6 }, 0xfa36),
+            (Instr::Bld { d: Reg::R3, b: 6 }, 0xf836),
+            (Instr::Movw { d: Reg::R24, r: Reg::R30 }, 0x01cf),
+            (Instr::Mul { d: Reg::R4, r: Reg::R5 }, 0x9c45),
+            (Instr::Muls { d: Reg::R17, r: Reg::R18 }, 0x0212),
+            (Instr::Mulsu { d: Reg::R17, r: Reg::R18 }, 0x0312),
+            (Instr::Sleep, 0x9588),
+            (Instr::Wdr, 0x95a8),
+            (Instr::Break, 0x9598),
+        ];
+        for &(instr, expect) in cases {
+            let e = encode(instr).unwrap();
+            assert_eq!(e.word0(), expect, "encoding {instr:?}");
+            assert_eq!(e.len(), 1, "{instr:?} should be one word");
+        }
+    }
+
+    #[test]
+    fn two_word_encodings() {
+        let e = encode(Instr::Jmp { k: 0x1234 }).unwrap();
+        assert_eq!((e.word0(), e.word1()), (0x940c, Some(0x1234)));
+        let e = encode(Instr::Call { k: 0x0056 }).unwrap();
+        assert_eq!((e.word0(), e.word1()), (0x940e, Some(0x0056)));
+        // 22-bit target exercises the split high bits.
+        let e = encode(Instr::Jmp { k: 0x3f_ffff }).unwrap();
+        assert_eq!((e.word0(), e.word1()), (0x95fd, Some(0xffff)));
+        let e = encode(Instr::Lds { d: Reg::R17, k: 0x0fff }).unwrap();
+        assert_eq!((e.word0(), e.word1()), (0x9110, Some(0x0fff)));
+        let e = encode(Instr::Sts { k: 0x0060, r: Reg::R0 }).unwrap();
+        assert_eq!((e.word0(), e.word1()), (0x9200, Some(0x0060)));
+    }
+
+    #[test]
+    fn rejects_out_of_range_operands() {
+        assert!(encode(Instr::Ldi { d: Reg::R0, k: 1 }).is_err());
+        assert!(encode(Instr::Subi { d: Reg::R15, k: 1 }).is_err());
+        assert!(encode(Instr::Adiw { p: super::super::IwPair::W, k: 64 }).is_err());
+        assert!(encode(Instr::Rjmp { k: 2048 }).is_err());
+        assert!(encode(Instr::Rjmp { k: -2049 }).is_err());
+        assert!(encode(Instr::Brbs { s: 8, k: 0 }).is_err());
+        assert!(encode(Instr::Brbs { s: 0, k: 64 }).is_err());
+        assert!(encode(Instr::Ldd { d: Reg::R0, ptr: Ptr::Y, q: 64 }).is_err());
+        assert!(encode(Instr::Ldd { d: Reg::R0, ptr: Ptr::X, q: 1 }).is_err());
+        assert!(encode(Instr::Movw { d: Reg::R1, r: Reg::R2 }).is_err());
+        assert!(encode(Instr::Muls { d: Reg::R1, r: Reg::R17 }).is_err());
+        assert!(encode(Instr::Mulsu { d: Reg::R24, r: Reg::R17 }).is_err());
+        assert!(encode(Instr::In { d: Reg::R0, a: 64 }).is_err());
+        assert!(encode(Instr::Sbi { a: 32, b: 0 }).is_err());
+        assert!(encode(Instr::Jmp { k: 0x40_0000 }).is_err());
+    }
+}

@@ -1,0 +1,525 @@
+//! The AVR instruction set: operand types, the [`Instr`] enum, real opcode
+//! encodings and datasheet cycle counts.
+//!
+//! The instruction inventory is the classic megaAVR set implemented by the
+//! ATmega103 plus the enhanced-core `MOVW`/`MUL` family (useful for
+//! hand-written runtime routines; the decoder accepts them and the assembler
+//! can be told to reject them for strict ATmega103 builds).
+//!
+//! Aliases that share an encoding with a canonical instruction (`LSL d` =
+//! `ADD d,d`, `TST d` = `AND d,d`, `CLR d` = `EOR d,d`, `ROL d` = `ADC d,d`,
+//! `SER d` = `LDI d,0xFF`, `SEC` = `BSET 0`, `BREQ k` = `BRBS 1,k`, …) decode
+//! to the canonical form; the assembler provides the alias mnemonics.
+
+//! # Example
+//!
+//! ```
+//! use avr_core::isa::{decode, encode, Instr, Reg};
+//!
+//! let instr = Instr::Ldi { d: Reg::R16, k: 42 };
+//! let words = encode(instr).unwrap();
+//! assert_eq!(words.word0(), 0xe20a);
+//! assert_eq!(decode(words.word0(), None).unwrap(), instr);
+//! ```
+
+mod decode;
+mod display;
+mod encode;
+
+pub use decode::{decode, is_two_word, DecodeError};
+pub use encode::{encode, EncodeError, Encoded};
+
+use std::fmt;
+
+/// One of the 32 general-purpose registers `r0`–`r31`.
+///
+/// The upper half (`r16`–`r31`) is addressable by immediate instructions;
+/// constructors for immediate forms validate this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+#[allow(missing_docs)]
+impl Reg {
+    pub const R0: Reg = Reg(0);
+    pub const R1: Reg = Reg(1);
+    pub const R2: Reg = Reg(2);
+    pub const R3: Reg = Reg(3);
+    pub const R4: Reg = Reg(4);
+    pub const R5: Reg = Reg(5);
+    pub const R6: Reg = Reg(6);
+    pub const R7: Reg = Reg(7);
+    pub const R8: Reg = Reg(8);
+    pub const R9: Reg = Reg(9);
+    pub const R10: Reg = Reg(10);
+    pub const R11: Reg = Reg(11);
+    pub const R12: Reg = Reg(12);
+    pub const R13: Reg = Reg(13);
+    pub const R14: Reg = Reg(14);
+    pub const R15: Reg = Reg(15);
+    pub const R16: Reg = Reg(16);
+    pub const R17: Reg = Reg(17);
+    pub const R18: Reg = Reg(18);
+    pub const R19: Reg = Reg(19);
+    pub const R20: Reg = Reg(20);
+    pub const R21: Reg = Reg(21);
+    pub const R22: Reg = Reg(22);
+    pub const R23: Reg = Reg(23);
+    pub const R24: Reg = Reg(24);
+    pub const R25: Reg = Reg(25);
+    pub const R26: Reg = Reg(26);
+    pub const R27: Reg = Reg(27);
+    pub const R28: Reg = Reg(28);
+    pub const R29: Reg = Reg(29);
+    pub const R30: Reg = Reg(30);
+    pub const R31: Reg = Reg(31);
+
+    /// Low byte of the X pointer (`r26`).
+    pub const XL: Reg = Reg(26);
+    /// High byte of the X pointer (`r27`).
+    pub const XH: Reg = Reg(27);
+    /// Low byte of the Y pointer (`r28`).
+    pub const YL: Reg = Reg(28);
+    /// High byte of the Y pointer (`r29`).
+    pub const YH: Reg = Reg(29);
+    /// Low byte of the Z pointer (`r30`).
+    pub const ZL: Reg = Reg(30);
+    /// High byte of the Z pointer (`r31`).
+    pub const ZH: Reg = Reg(31);
+}
+
+impl Reg {
+    /// Creates a register from its number.
+    ///
+    /// Returns `None` if `n > 31`.
+    pub const fn new(n: u8) -> Option<Reg> {
+        if n <= 31 {
+            Some(Reg(n))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a register from its number without bounds checking the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 31`.
+    pub const fn num(n: u8) -> Reg {
+        match Reg::new(n) {
+            Some(r) => r,
+            None => panic!("register number out of range"),
+        }
+    }
+
+    /// The register number, `0..=31`.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this register can appear in an immediate-operand instruction
+    /// (`LDI`, `SUBI`, …), i.e. it is one of `r16`–`r31`.
+    pub const fn is_high(self) -> bool {
+        self.0 >= 16
+    }
+
+    /// Iterates over all 32 registers in order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One of the three 16-bit pointer register pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ptr {
+    /// `X` = `r27:r26`.
+    X,
+    /// `Y` = `r29:r28`.
+    Y,
+    /// `Z` = `r31:r30`.
+    Z,
+}
+
+impl Ptr {
+    /// The register holding the low byte of the pointer.
+    pub const fn lo(self) -> Reg {
+        match self {
+            Ptr::X => Reg::XL,
+            Ptr::Y => Reg::YL,
+            Ptr::Z => Reg::ZL,
+        }
+    }
+
+    /// The register holding the high byte of the pointer.
+    pub const fn hi(self) -> Reg {
+        match self {
+            Ptr::X => Reg::XH,
+            Ptr::Y => Reg::YH,
+            Ptr::Z => Reg::ZH,
+        }
+    }
+}
+
+impl fmt::Display for Ptr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Ptr::X => "X",
+            Ptr::Y => "Y",
+            Ptr::Z => "Z",
+        })
+    }
+}
+
+/// Addressing mode of an indirect load/store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PtrMode {
+    /// `LD Rd, X` — use the pointer unchanged.
+    Plain,
+    /// `LD Rd, X+` — use the pointer, then increment it.
+    PostInc,
+    /// `LD Rd, -X` — decrement the pointer, then use it.
+    PreDec,
+}
+
+/// Register pairs usable by `ADIW`/`SBIW` (`r25:r24`, `X`, `Y`, `Z`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IwPair {
+    /// `r25:r24`.
+    W,
+    /// `X` = `r27:r26`.
+    X,
+    /// `Y` = `r29:r28`.
+    Y,
+    /// `Z` = `r31:r30`.
+    Z,
+}
+
+impl IwPair {
+    /// Register holding the low byte of the pair.
+    pub const fn lo(self) -> Reg {
+        match self {
+            IwPair::W => Reg::R24,
+            IwPair::X => Reg::XL,
+            IwPair::Y => Reg::YL,
+            IwPair::Z => Reg::ZL,
+        }
+    }
+
+    /// Register holding the high byte of the pair.
+    pub const fn hi(self) -> Reg {
+        match self {
+            IwPair::W => Reg::R25,
+            IwPair::X => Reg::XH,
+            IwPair::Y => Reg::YH,
+            IwPair::Z => Reg::ZH,
+        }
+    }
+
+    const fn code(self) -> u16 {
+        match self {
+            IwPair::W => 0,
+            IwPair::X => 1,
+            IwPair::Y => 2,
+            IwPair::Z => 3,
+        }
+    }
+
+    const fn from_code(c: u16) -> IwPair {
+        match c & 3 {
+            0 => IwPair::W,
+            1 => IwPair::X,
+            2 => IwPair::Y,
+            _ => IwPair::Z,
+        }
+    }
+}
+
+impl fmt::Display for IwPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IwPair::W => "r25:r24",
+            IwPair::X => "X",
+            IwPair::Y => "Y",
+            IwPair::Z => "Z",
+        })
+    }
+}
+
+/// A decoded AVR instruction.
+///
+/// Field conventions follow the instruction-set manual: `d` is the
+/// destination register, `r` the source register, `k` an immediate or
+/// address, `a` an I/O port, `b` a bit number, `s` an SREG flag number and
+/// `q` a displacement.
+///
+/// Offsets of relative jumps/branches (`Rjmp`, `Rcall`, `Brbs`, `Brbc`) are
+/// in **words relative to the following instruction**, as in the manual.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // field meanings are given by the conventions above
+pub enum Instr {
+    // ── two-register ALU ────────────────────────────────────────────────
+    Add { d: Reg, r: Reg },
+    Adc { d: Reg, r: Reg },
+    Sub { d: Reg, r: Reg },
+    Sbc { d: Reg, r: Reg },
+    And { d: Reg, r: Reg },
+    Or { d: Reg, r: Reg },
+    Eor { d: Reg, r: Reg },
+    Mov { d: Reg, r: Reg },
+    Cp { d: Reg, r: Reg },
+    Cpc { d: Reg, r: Reg },
+    Cpse { d: Reg, r: Reg },
+    Mul { d: Reg, r: Reg },
+    /// `MULS Rd,Rr` — both registers in `r16..=r31`.
+    Muls { d: Reg, r: Reg },
+    /// `MULSU Rd,Rr` — both registers in `r16..=r23`.
+    Mulsu { d: Reg, r: Reg },
+    Fmul { d: Reg, r: Reg },
+    Fmuls { d: Reg, r: Reg },
+    Fmulsu { d: Reg, r: Reg },
+    /// `MOVW Rd+1:Rd, Rr+1:Rr` — `d` and `r` are the even low registers.
+    Movw { d: Reg, r: Reg },
+
+    // ── register-immediate ALU (d in r16..=r31) ─────────────────────────
+    Subi { d: Reg, k: u8 },
+    Sbci { d: Reg, k: u8 },
+    Andi { d: Reg, k: u8 },
+    Ori { d: Reg, k: u8 },
+    Cpi { d: Reg, k: u8 },
+    Ldi { d: Reg, k: u8 },
+
+    /// `ADIW p,k` — add immediate (`0..=63`) to word pair.
+    Adiw { p: IwPair, k: u8 },
+    /// `SBIW p,k` — subtract immediate (`0..=63`) from word pair.
+    Sbiw { p: IwPair, k: u8 },
+
+    // ── single-register ALU ─────────────────────────────────────────────
+    Com { d: Reg },
+    Neg { d: Reg },
+    Swap { d: Reg },
+    Inc { d: Reg },
+    Asr { d: Reg },
+    Lsr { d: Reg },
+    Ror { d: Reg },
+    Dec { d: Reg },
+
+    // ── control flow ────────────────────────────────────────────────────
+    /// Relative jump, offset in words (−2048..=2047).
+    Rjmp { k: i16 },
+    /// Relative call, offset in words (−2048..=2047).
+    Rcall { k: i16 },
+    /// Absolute jump to word address `k`.
+    Jmp { k: u32 },
+    /// Absolute call to word address `k`.
+    Call { k: u32 },
+    /// Indirect jump to the word address in `Z`.
+    Ijmp,
+    /// Indirect call to the word address in `Z`.
+    Icall,
+    Ret,
+    Reti,
+    /// Branch (offset −64..=63 words) if SREG flag `s` is set.
+    Brbs { s: u8, k: i8 },
+    /// Branch (offset −64..=63 words) if SREG flag `s` is clear.
+    Brbc { s: u8, k: i8 },
+    /// Skip next instruction if bit `b` of `Rr` is clear.
+    Sbrc { r: Reg, b: u8 },
+    /// Skip next instruction if bit `b` of `Rr` is set.
+    Sbrs { r: Reg, b: u8 },
+    /// Skip next instruction if bit `b` of I/O port `a` (`0..=31`) is clear.
+    Sbic { a: u8, b: u8 },
+    /// Skip next instruction if bit `b` of I/O port `a` (`0..=31`) is set.
+    Sbis { a: u8, b: u8 },
+
+    // ── data transfer ───────────────────────────────────────────────────
+    /// Indirect load `LD Rd, {X,Y,Z}[+/-]`.
+    Ld { d: Reg, ptr: Ptr, mode: PtrMode },
+    /// Indirect store `ST {X,Y,Z}[+/-], Rr`.
+    St { ptr: Ptr, mode: PtrMode, r: Reg },
+    /// Load with displacement `LDD Rd, Y/Z+q` (`q` in `0..=63`, Y or Z only).
+    Ldd { d: Reg, ptr: Ptr, q: u8 },
+    /// Store with displacement `STD Y/Z+q, Rr` (`q` in `0..=63`, Y or Z only).
+    Std { ptr: Ptr, q: u8, r: Reg },
+    /// Direct load from data address `k`.
+    Lds { d: Reg, k: u16 },
+    /// Direct store to data address `k`.
+    Sts { k: u16, r: Reg },
+    /// `LPM` — load `r0` from flash byte address in `Z`.
+    Lpm0,
+    /// `LPM Rd, Z[+]`.
+    Lpm { d: Reg, inc: bool },
+    /// `ELPM` — load `r0` from flash byte address `RAMPZ:Z`.
+    Elpm0,
+    /// `ELPM Rd, Z[+]`.
+    Elpm { d: Reg, inc: bool },
+    /// `IN Rd, A` — read I/O port `a` (`0..=63`).
+    In { d: Reg, a: u8 },
+    /// `OUT A, Rr` — write I/O port `a` (`0..=63`).
+    Out { a: u8, r: Reg },
+    Push { r: Reg },
+    Pop { d: Reg },
+
+    // ── bit and bit-test ────────────────────────────────────────────────
+    /// Set SREG flag `s` (`0..=7`). `SEC`/`SEZ`/…/`SEI` are aliases.
+    Bset { s: u8 },
+    /// Clear SREG flag `s` (`0..=7`). `CLC`/`CLZ`/…/`CLI` are aliases.
+    Bclr { s: u8 },
+    /// Set bit `b` of I/O port `a` (`0..=31`).
+    Sbi { a: u8, b: u8 },
+    /// Clear bit `b` of I/O port `a` (`0..=31`).
+    Cbi { a: u8, b: u8 },
+    /// Store bit `b` of `Rd` into SREG `T`.
+    Bst { d: Reg, b: u8 },
+    /// Load bit `b` of `Rd` from SREG `T`.
+    Bld { d: Reg, b: u8 },
+
+    // ── MCU control ─────────────────────────────────────────────────────
+    Nop,
+    Sleep,
+    Wdr,
+    Break,
+}
+
+impl Instr {
+    /// Size of the instruction in 16-bit flash words (1 or 2).
+    pub const fn words(self) -> u32 {
+        match self {
+            Instr::Jmp { .. } | Instr::Call { .. } | Instr::Lds { .. } | Instr::Sts { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Base execution time in CPU cycles, per the megaAVR data sheet
+    /// (16-bit-PC devices such as the ATmega103).
+    ///
+    /// Conditional extra cycles are *not* included:
+    /// taken branches add 1; a taken skip (`CPSE`/`SBRC`/`SBRS`/`SBIC`/
+    /// `SBIS`) adds the word count of the skipped instruction.
+    pub const fn base_cycles(self) -> u8 {
+        use Instr::*;
+        match self {
+            Adiw { .. } | Sbiw { .. } => 2,
+            Mul { .. } | Muls { .. } | Mulsu { .. } | Fmul { .. } | Fmuls { .. }
+            | Fmulsu { .. } => 2,
+            Rjmp { .. } | Ijmp => 2,
+            Rcall { .. } | Icall => 3,
+            Jmp { .. } => 3,
+            Call { .. } => 4,
+            Ret | Reti => 4,
+            Ld { .. } | St { .. } | Ldd { .. } | Std { .. } | Lds { .. } | Sts { .. } => 2,
+            Push { .. } | Pop { .. } => 2,
+            Lpm0 | Lpm { .. } | Elpm0 | Elpm { .. } => 3,
+            Sbi { .. } | Cbi { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether this instruction writes data memory through a computed or
+    /// direct address (the instruction class the Harbor rewriter must
+    /// sandbox). `PUSH` is excluded: it writes through SP, which is protected
+    /// by the stack bound, not the memory map.
+    pub const fn is_store(self) -> bool {
+        matches!(self, Instr::St { .. } | Instr::Std { .. } | Instr::Sts { .. })
+    }
+
+    /// Whether this instruction can transfer control to a computed address
+    /// (the class requiring a control-flow check under SFI).
+    pub const fn is_computed_transfer(self) -> bool {
+        matches!(self, Instr::Ijmp | Instr::Icall)
+    }
+}
+
+/// SREG flag bit numbers, for use with [`Instr::Bset`], [`Instr::Brbs`], etc.
+pub mod flags {
+    /// Carry.
+    pub const C: u8 = 0;
+    /// Zero.
+    pub const Z: u8 = 1;
+    /// Negative.
+    pub const N: u8 = 2;
+    /// Two's-complement overflow.
+    pub const V: u8 = 3;
+    /// Sign (`N ^ V`).
+    pub const S: u8 = 4;
+    /// Half-carry.
+    pub const H: u8 = 5;
+    /// Bit-transfer.
+    pub const T: u8 = 6;
+    /// Global interrupt enable.
+    pub const I: u8 = 7;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_constructors_and_bounds() {
+        assert_eq!(Reg::new(0), Some(Reg::R0));
+        assert_eq!(Reg::new(31), Some(Reg::R31));
+        assert_eq!(Reg::new(32), None);
+        assert_eq!(Reg::num(17).index(), 17);
+        assert!(Reg::R16.is_high());
+        assert!(!Reg::R15.is_high());
+        assert_eq!(Reg::all().count(), 32);
+    }
+
+    #[test]
+    fn pointer_pairs() {
+        assert_eq!(Ptr::X.lo(), Reg::R26);
+        assert_eq!(Ptr::X.hi(), Reg::R27);
+        assert_eq!(Ptr::Y.lo(), Reg::R28);
+        assert_eq!(Ptr::Z.hi(), Reg::R31);
+        assert_eq!(IwPair::W.lo(), Reg::R24);
+        assert_eq!(IwPair::Z.hi(), Reg::R31);
+        for c in 0..4u16 {
+            assert_eq!(IwPair::from_code(c).code(), c);
+        }
+    }
+
+    #[test]
+    fn word_sizes() {
+        assert_eq!(Instr::Nop.words(), 1);
+        assert_eq!(Instr::Jmp { k: 0x100 }.words(), 2);
+        assert_eq!(Instr::Call { k: 0x100 }.words(), 2);
+        assert_eq!(Instr::Lds { d: Reg::R0, k: 0x60 }.words(), 2);
+        assert_eq!(Instr::Sts { k: 0x60, r: Reg::R0 }.words(), 2);
+        assert_eq!(Instr::Rjmp { k: -1 }.words(), 1);
+    }
+
+    #[test]
+    fn datasheet_cycle_counts() {
+        assert_eq!(Instr::Add { d: Reg::R0, r: Reg::R1 }.base_cycles(), 1);
+        assert_eq!(Instr::Adiw { p: IwPair::W, k: 1 }.base_cycles(), 2);
+        assert_eq!(Instr::Rjmp { k: 0 }.base_cycles(), 2);
+        assert_eq!(Instr::Jmp { k: 0 }.base_cycles(), 3);
+        assert_eq!(Instr::Call { k: 0 }.base_cycles(), 4);
+        assert_eq!(Instr::Rcall { k: 0 }.base_cycles(), 3);
+        assert_eq!(Instr::Icall.base_cycles(), 3);
+        assert_eq!(Instr::Ret.base_cycles(), 4);
+        assert_eq!(
+            Instr::St { ptr: Ptr::X, mode: PtrMode::Plain, r: Reg::R0 }.base_cycles(),
+            2
+        );
+        assert_eq!(Instr::Push { r: Reg::R0 }.base_cycles(), 2);
+        assert_eq!(Instr::Lpm0.base_cycles(), 3);
+        assert_eq!(Instr::Sbi { a: 0, b: 0 }.base_cycles(), 2);
+    }
+
+    #[test]
+    fn store_classification() {
+        assert!(Instr::St { ptr: Ptr::X, mode: PtrMode::PostInc, r: Reg::R1 }.is_store());
+        assert!(Instr::Std { ptr: Ptr::Y, q: 3, r: Reg::R1 }.is_store());
+        assert!(Instr::Sts { k: 0x100, r: Reg::R1 }.is_store());
+        assert!(!Instr::Push { r: Reg::R1 }.is_store());
+        assert!(!Instr::Ld { d: Reg::R1, ptr: Ptr::X, mode: PtrMode::Plain }.is_store());
+        assert!(Instr::Ijmp.is_computed_transfer());
+        assert!(Instr::Icall.is_computed_transfer());
+        assert!(!Instr::Ret.is_computed_transfer());
+    }
+}

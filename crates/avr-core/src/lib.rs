@@ -1,0 +1,145 @@
+//! Cycle-accurate simulator for an ATmega103-class 8-bit AVR microcontroller.
+//!
+//! This crate is the hardware substrate for the Harbor / UMPU memory-protection
+//! reproduction (DAC 2007). It models:
+//!
+//! * the classic AVR instruction set with **real opcode encodings**
+//!   ([`Instr`], [`isa::decode`], [`isa::encode`]), so binary
+//!   rewriting tools operate on genuine machine code;
+//! * **datasheet cycle counts** for every instruction, so measured overheads
+//!   are directly comparable to the paper's ModelSim numbers;
+//! * an ATmega103-like memory system: 128 KiB flash, 64 I/O ports and 4000 B
+//!   of internal SRAM in a single data address space ([`mem`]);
+//! * a pluggable [`Env`] trait through which a host environment
+//!   observes and arbitrates stores, call/return micro-operations and
+//!   instruction fetches — precisely the attachment points used by the UMPU
+//!   hardware extensions (memory-map checker, safe-stack unit, domain
+//!   tracker, fetch-decoder extension).
+//!
+//! The CPU itself is protection-agnostic: all Harbor/UMPU semantics live in
+//! the `umpu` crate's [`Env`] implementation.
+//!
+//! # Example
+//!
+//! Assemble-by-hand a three-instruction program and run it:
+//!
+//! ```
+//! use avr_core::{exec::Cpu, isa::{Instr, Reg}, mem::PlainEnv};
+//!
+//! # fn main() -> Result<(), avr_core::Fault> {
+//! let mut env = PlainEnv::new();
+//! // ldi r16, 42 ; sts 0x0100, r16 ; break
+//! env.load_program(0, &[
+//!     Instr::Ldi { d: Reg::R16, k: 42 },
+//!     Instr::Sts { k: 0x0100, r: Reg::R16 },
+//!     Instr::Break,
+//! ]);
+//! let mut cpu = Cpu::new(env);
+//! cpu.run_to_break(1_000)?;
+//! assert_eq!(cpu.env.sram_byte(0x0100), 42);
+//! assert_eq!(cpu.cycles(), 1 + 2 + 1); // ldi: 1, sts: 2, break: 1
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod isa;
+pub mod mem;
+
+pub use exec::{Cpu, Env};
+pub use isa::{Instr, Reg};
+
+use std::fmt;
+
+/// Word (16-bit) program-counter address into flash.
+pub type WordAddr = u32;
+
+/// Reason the simulated processor stopped or trapped.
+///
+/// Protection-specific causes raised by an [`Env`] implementation
+/// are carried as an [`EnvFault`] so this crate stays independent of the
+/// protection model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// The fetched word (plus optional second word) is not a valid opcode.
+    IllegalOpcode {
+        /// Word address of the offending instruction.
+        pc: WordAddr,
+        /// The raw 16-bit word that failed to decode.
+        word: u16,
+    },
+    /// A data-space access fell outside the implemented address space.
+    BadDataAddress {
+        /// The offending byte address.
+        addr: u16,
+    },
+    /// The program counter left the implemented flash.
+    BadProgramAddress {
+        /// The offending word address.
+        pc: WordAddr,
+    },
+    /// The cycle budget given to a `run_*` helper was exhausted.
+    CycleLimit {
+        /// Cycle count at which execution was abandoned.
+        cycles: u64,
+    },
+    /// A fault raised by the execution environment (e.g. a UMPU protection
+    /// violation). See [`EnvFault`].
+    Env(EnvFault),
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::IllegalOpcode { pc, word } => {
+                write!(f, "illegal opcode {word:#06x} at word address {pc:#06x}")
+            }
+            Fault::BadDataAddress { addr } => {
+                write!(f, "data access outside implemented memory at {addr:#06x}")
+            }
+            Fault::BadProgramAddress { pc } => {
+                write!(f, "program counter left flash at word address {pc:#06x}")
+            }
+            Fault::CycleLimit { cycles } => {
+                write!(f, "cycle budget exhausted after {cycles} cycles")
+            }
+            Fault::Env(e) => write!(f, "environment fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+impl From<EnvFault> for Fault {
+    fn from(e: EnvFault) -> Self {
+        Fault::Env(e)
+    }
+}
+
+/// Compact description of a fault raised by the execution environment.
+///
+/// The numeric `code` namespace belongs to the environment; the `umpu` crate
+/// maps its protection faults onto codes and keeps richer diagnostics on the
+/// side. `addr` and `info` carry the two most useful 16-bit operands (for a
+/// store violation: the write address and the active domain id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EnvFault {
+    /// Environment-defined fault code.
+    pub code: u16,
+    /// Primary operand (typically the offending address).
+    pub addr: u16,
+    /// Secondary operand (typically the active domain or a bound).
+    pub info: u16,
+}
+
+impl fmt::Display for EnvFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "code {} (addr {:#06x}, info {:#06x})",
+            self.code, self.addr, self.info
+        )
+    }
+}

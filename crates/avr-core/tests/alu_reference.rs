@@ -1,0 +1,241 @@
+//! Differential ALU testing: the CPU's flag semantics (implemented from the
+//! datasheet's boolean carry formulas) are checked against an independent
+//! reference that derives every flag from wide arithmetic instead.
+
+use avr_core::exec::Cpu;
+use avr_core::isa::{flags, Instr, IwPair, Reg};
+use avr_core::mem::PlainEnv;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RefFlags {
+    c: bool,
+    z: bool,
+    n: bool,
+    v: bool,
+    s: bool,
+    h: bool,
+}
+
+fn ref_add(d: u8, r: u8, cin: bool) -> (u8, RefFlags) {
+    let c = cin as u16;
+    let wide = d as u16 + r as u16 + c;
+    let res = wide as u8;
+    let carry = wide > 0xff;
+    let h = (d & 0x0f) as u16 + (r & 0x0f) as u16 + c > 0x0f;
+    // Overflow: operands share a sign that differs from the result's.
+    let v = ((d ^ res) & (r ^ res) & 0x80) != 0;
+    let n = res & 0x80 != 0;
+    let z = res == 0;
+    (res, RefFlags { c: carry, z, n, v, s: n ^ v, h })
+}
+
+fn ref_sub(d: u8, r: u8, cin: bool, z_prev: bool, chain_z: bool) -> (u8, RefFlags) {
+    let c = cin as u16;
+    let res = d.wrapping_sub(r).wrapping_sub(c as u8);
+    let borrow = (r as u16 + c) > d as u16;
+    let h = ((r & 0x0f) as u16 + c) > (d & 0x0f) as u16;
+    // Overflow: operand signs differ, and the result's sign differs from d's.
+    let v = ((d ^ r) & (d ^ res) & 0x80) != 0;
+    let n = res & 0x80 != 0;
+    let z = if chain_z { (res == 0) && z_prev } else { res == 0 };
+    (res, RefFlags { c: borrow, z, n, v, s: n ^ v, h })
+}
+
+/// Runs one two-register ALU instruction with the given inputs and returns
+/// (destination register value, flags).
+fn run_alu(instr: Instr, d: u8, r: u8, carry_in: bool, z_in: bool) -> (u8, RefFlags) {
+    let mut env = PlainEnv::new();
+    env.load_program(0, &[instr, Instr::Break]);
+    let mut cpu = Cpu::new(env);
+    cpu.set_reg(Reg::R16, d);
+    cpu.set_reg(Reg::R17, r);
+    cpu.set_flag(flags::C, carry_in);
+    cpu.set_flag(flags::Z, z_in);
+    cpu.run_to_break(100).unwrap();
+    (
+        cpu.reg(Reg::R16),
+        RefFlags {
+            c: cpu.flag(flags::C),
+            z: cpu.flag(flags::Z),
+            n: cpu.flag(flags::N),
+            v: cpu.flag(flags::V),
+            s: cpu.flag(flags::S),
+            h: cpu.flag(flags::H),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn add_matches_reference(d in any::<u8>(), r in any::<u8>(), c in any::<bool>()) {
+        let (res, f) = run_alu(Instr::Add { d: Reg::R16, r: Reg::R17 }, d, r, c, false);
+        let (eres, ef) = ref_add(d, r, false);
+        prop_assert_eq!((res, f), (eres, ef));
+    }
+
+    #[test]
+    fn adc_matches_reference(d in any::<u8>(), r in any::<u8>(), c in any::<bool>()) {
+        let (res, f) = run_alu(Instr::Adc { d: Reg::R16, r: Reg::R17 }, d, r, c, false);
+        let (eres, ef) = ref_add(d, r, c);
+        prop_assert_eq!((res, f), (eres, ef));
+    }
+
+    #[test]
+    fn sub_matches_reference(d in any::<u8>(), r in any::<u8>(), c in any::<bool>()) {
+        let (res, f) = run_alu(Instr::Sub { d: Reg::R16, r: Reg::R17 }, d, r, c, true);
+        let (eres, ef) = ref_sub(d, r, false, true, false);
+        prop_assert_eq!((res, f), (eres, ef));
+    }
+
+    #[test]
+    fn sbc_matches_reference(
+        d in any::<u8>(), r in any::<u8>(), c in any::<bool>(), z in any::<bool>()
+    ) {
+        let (res, f) = run_alu(Instr::Sbc { d: Reg::R16, r: Reg::R17 }, d, r, c, z);
+        let (eres, ef) = ref_sub(d, r, c, z, true);
+        prop_assert_eq!((res, f), (eres, ef));
+    }
+
+    #[test]
+    fn cp_is_sub_without_writeback(d in any::<u8>(), r in any::<u8>()) {
+        let (res, f) = run_alu(Instr::Cp { d: Reg::R16, r: Reg::R17 }, d, r, false, true);
+        let (_, ef) = ref_sub(d, r, false, true, false);
+        prop_assert_eq!(res, d, "cp must not write the register");
+        prop_assert_eq!(f, ef);
+    }
+
+    #[test]
+    fn cpc_chains_zero(
+        d in any::<u8>(), r in any::<u8>(), c in any::<bool>(), z in any::<bool>()
+    ) {
+        let (res, f) = run_alu(Instr::Cpc { d: Reg::R16, r: Reg::R17 }, d, r, c, z);
+        let (_, ef) = ref_sub(d, r, c, z, true);
+        prop_assert_eq!(res, d);
+        prop_assert_eq!(f, ef);
+    }
+
+    #[test]
+    fn subi_matches_reference(d in any::<u8>(), k in any::<u8>()) {
+        let (res, f) = run_alu(Instr::Subi { d: Reg::R16, k }, d, 0, false, true);
+        let (eres, ef) = ref_sub(d, k, false, true, false);
+        prop_assert_eq!((res, f), (eres, ef));
+    }
+
+    #[test]
+    fn neg_is_sub_from_zero(d in any::<u8>()) {
+        let (res, f) = run_alu(Instr::Neg { d: Reg::R16 }, d, 0, false, false);
+        // NEG's datasheet flags: C = res != 0, V = res == 0x80, H = R3|Rd3.
+        let eres = 0u8.wrapping_sub(d);
+        prop_assert_eq!(res, eres);
+        prop_assert_eq!(f.c, eres != 0);
+        prop_assert_eq!(f.v, eres == 0x80);
+        prop_assert_eq!(f.z, eres == 0);
+        prop_assert_eq!(f.n, eres & 0x80 != 0);
+        prop_assert_eq!(f.h, ((eres | d) & 0x08) != 0);
+    }
+
+    #[test]
+    fn adiw_matches_wide_reference(v in any::<u16>(), k in 0u8..64) {
+        let mut env = PlainEnv::new();
+        env.load_program(0, &[Instr::Adiw { p: IwPair::W, k }, Instr::Break]);
+        let mut cpu = Cpu::new(env);
+        cpu.set_reg16(Reg::R24, v);
+        cpu.run_to_break(100).unwrap();
+        let wide = v as u32 + k as u32;
+        prop_assert_eq!(cpu.reg16(Reg::R24), wide as u16);
+        prop_assert_eq!(cpu.flag(flags::C), wide > 0xffff);
+        prop_assert_eq!(cpu.flag(flags::Z), wide as u16 == 0);
+        prop_assert_eq!(cpu.flag(flags::N), wide as u16 & 0x8000 != 0);
+        // V: positive-to-negative rollover only.
+        prop_assert_eq!(
+            cpu.flag(flags::V),
+            (v & 0x8000 == 0) && (wide as u16 & 0x8000 != 0)
+        );
+    }
+
+    #[test]
+    fn sbiw_matches_wide_reference(v in any::<u16>(), k in 0u8..64) {
+        let mut env = PlainEnv::new();
+        env.load_program(0, &[Instr::Sbiw { p: IwPair::W, k }, Instr::Break]);
+        let mut cpu = Cpu::new(env);
+        cpu.set_reg16(Reg::R24, v);
+        cpu.run_to_break(100).unwrap();
+        let res = v.wrapping_sub(k as u16);
+        prop_assert_eq!(cpu.reg16(Reg::R24), res);
+        prop_assert_eq!(cpu.flag(flags::C), (k as u16) > v);
+        prop_assert_eq!(cpu.flag(flags::Z), res == 0);
+        prop_assert_eq!(
+            cpu.flag(flags::V),
+            (v & 0x8000 != 0) && (res & 0x8000 == 0)
+        );
+    }
+
+    #[test]
+    fn mul_matches_wide_reference(d in any::<u8>(), r in any::<u8>()) {
+        let mut env = PlainEnv::new();
+        env.load_program(0, &[Instr::Mul { d: Reg::R16, r: Reg::R17 }, Instr::Break]);
+        let mut cpu = Cpu::new(env);
+        cpu.set_reg(Reg::R16, d);
+        cpu.set_reg(Reg::R17, r);
+        cpu.run_to_break(100).unwrap();
+        let wide = d as u16 * r as u16;
+        prop_assert_eq!(cpu.reg16(Reg::R0), wide);
+        prop_assert_eq!(cpu.flag(flags::C), wide & 0x8000 != 0);
+        prop_assert_eq!(cpu.flag(flags::Z), wide == 0);
+    }
+
+    #[test]
+    fn muls_matches_wide_reference(d in any::<u8>(), r in any::<u8>()) {
+        let mut env = PlainEnv::new();
+        env.load_program(0, &[Instr::Muls { d: Reg::R16, r: Reg::R17 }, Instr::Break]);
+        let mut cpu = Cpu::new(env);
+        cpu.set_reg(Reg::R16, d);
+        cpu.set_reg(Reg::R17, r);
+        cpu.run_to_break(100).unwrap();
+        let wide = (d as i8 as i16).wrapping_mul(r as i8 as i16) as u16;
+        prop_assert_eq!(cpu.reg16(Reg::R0), wide);
+        prop_assert_eq!(cpu.flag(flags::C), wide & 0x8000 != 0);
+        prop_assert_eq!(cpu.flag(flags::Z), wide == 0);
+    }
+
+    #[test]
+    fn logic_ops_clear_v_and_set_nz(d in any::<u8>(), r in any::<u8>()) {
+        for instr in [
+            Instr::And { d: Reg::R16, r: Reg::R17 },
+            Instr::Or { d: Reg::R16, r: Reg::R17 },
+            Instr::Eor { d: Reg::R16, r: Reg::R17 },
+        ] {
+            let (res, f) = run_alu(instr, d, r, true, false);
+            let expect = match instr {
+                Instr::And { .. } => d & r,
+                Instr::Or { .. } => d | r,
+                _ => d ^ r,
+            };
+            prop_assert_eq!(res, expect);
+            prop_assert!(!f.v, "logic ops clear V");
+            prop_assert_eq!(f.n, expect & 0x80 != 0);
+            prop_assert_eq!(f.z, expect == 0);
+            prop_assert_eq!(f.s, f.n);
+            prop_assert!(f.c, "carry untouched by logic ops");
+        }
+    }
+
+    #[test]
+    fn shifts_match_reference(d in any::<u8>(), c in any::<bool>()) {
+        // LSR
+        let (res, f) = run_alu(Instr::Lsr { d: Reg::R16 }, d, 0, c, false);
+        prop_assert_eq!(res, d >> 1);
+        prop_assert_eq!(f.c, d & 1 != 0);
+        prop_assert!(!f.n);
+        // ROR rotates the old carry in.
+        let (res, f) = run_alu(Instr::Ror { d: Reg::R16 }, d, 0, c, false);
+        prop_assert_eq!(res, (d >> 1) | ((c as u8) << 7));
+        prop_assert_eq!(f.c, d & 1 != 0);
+        // ASR preserves the sign bit.
+        let (res, _) = run_alu(Instr::Asr { d: Reg::R16 }, d, 0, c, false);
+        prop_assert_eq!(res, ((d as i8) >> 1) as u8);
+    }
+}

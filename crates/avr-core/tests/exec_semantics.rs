@@ -1,0 +1,641 @@
+//! Per-instruction semantics and cycle-count tests for the AVR CPU.
+
+use avr_core::exec::{Cpu, Step};
+use avr_core::isa::{flags, Instr, IwPair, Ptr, PtrMode, Reg};
+use avr_core::mem::{PlainEnv, RAMEND, SRAM_BASE};
+use avr_core::Fault;
+
+/// Runs `prog` (with an appended BREAK) from PC 0 and returns the CPU.
+fn run(prog: &[Instr]) -> Cpu<PlainEnv> {
+    run_with(prog, |_| {})
+}
+
+/// Runs `prog` after applying `setup` to the fresh CPU.
+fn run_with(prog: &[Instr], setup: impl FnOnce(&mut Cpu<PlainEnv>)) -> Cpu<PlainEnv> {
+    let mut env = PlainEnv::new();
+    let mut full = prog.to_vec();
+    full.push(Instr::Break);
+    env.load_program(0, &full);
+    let mut cpu = Cpu::new(env);
+    setup(&mut cpu);
+    match cpu.run_to_break(100_000) {
+        Ok(Step::Break) => cpu,
+        other => panic!("program did not BREAK cleanly: {other:?}"),
+    }
+}
+
+/// Cycles excluding the trailing BREAK.
+fn body_cycles(cpu: &Cpu<PlainEnv>) -> u64 {
+    cpu.cycles() - 1
+}
+
+#[test]
+fn add_sets_carry_and_zero() {
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 0xf0 },
+        Instr::Ldi { d: Reg::R17, k: 0x10 },
+        Instr::Add { d: Reg::R16, r: Reg::R17 },
+    ]);
+    assert_eq!(cpu.reg(Reg::R16), 0x00);
+    assert!(cpu.flag(flags::C));
+    assert!(cpu.flag(flags::Z));
+    assert!(!cpu.flag(flags::N));
+    assert!(!cpu.flag(flags::V));
+}
+
+#[test]
+fn add_signed_overflow() {
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 0x7f },
+        Instr::Ldi { d: Reg::R17, k: 0x01 },
+        Instr::Add { d: Reg::R16, r: Reg::R17 },
+    ]);
+    assert_eq!(cpu.reg(Reg::R16), 0x80);
+    assert!(cpu.flag(flags::V), "0x7f + 1 overflows signed");
+    assert!(cpu.flag(flags::N));
+    assert!(!cpu.flag(flags::S), "S = N ^ V");
+    assert!(!cpu.flag(flags::C));
+}
+
+#[test]
+fn add_half_carry() {
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 0x0f },
+        Instr::Ldi { d: Reg::R17, k: 0x01 },
+        Instr::Add { d: Reg::R16, r: Reg::R17 },
+    ]);
+    assert_eq!(cpu.reg(Reg::R16), 0x10);
+    assert!(cpu.flag(flags::H));
+}
+
+#[test]
+fn adc_chains_16_bit_addition() {
+    // 0x00ff + 0x0001 = 0x0100 done as two byte adds.
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 0xff }, // low(a)
+        Instr::Ldi { d: Reg::R17, k: 0x00 }, // high(a)
+        Instr::Ldi { d: Reg::R18, k: 0x01 }, // low(b)
+        Instr::Ldi { d: Reg::R19, k: 0x00 }, // high(b)
+        Instr::Add { d: Reg::R16, r: Reg::R18 },
+        Instr::Adc { d: Reg::R17, r: Reg::R19 },
+    ]);
+    assert_eq!(cpu.reg(Reg::R16), 0x00);
+    assert_eq!(cpu.reg(Reg::R17), 0x01);
+}
+
+#[test]
+fn sub_borrow_flags() {
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 0x00 },
+        Instr::Ldi { d: Reg::R17, k: 0x01 },
+        Instr::Sub { d: Reg::R16, r: Reg::R17 },
+    ]);
+    assert_eq!(cpu.reg(Reg::R16), 0xff);
+    assert!(cpu.flag(flags::C), "borrow sets carry");
+    assert!(cpu.flag(flags::N));
+    assert!(!cpu.flag(flags::Z));
+}
+
+#[test]
+fn sbc_preserves_zero_for_multibyte_compare() {
+    // 16-bit value 0x0100 minus 0x0100: low sub sets Z, high sbc keeps it.
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 0x00 },
+        Instr::Ldi { d: Reg::R17, k: 0x01 },
+        Instr::Ldi { d: Reg::R18, k: 0x00 },
+        Instr::Ldi { d: Reg::R19, k: 0x01 },
+        Instr::Sub { d: Reg::R16, r: Reg::R18 },
+        Instr::Sbc { d: Reg::R17, r: Reg::R19 },
+    ]);
+    assert!(cpu.flag(flags::Z), "16-bit result is zero");
+    // And a non-zero low byte must clear it even if the high result is 0.
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 0x01 },
+        Instr::Ldi { d: Reg::R17, k: 0x01 },
+        Instr::Ldi { d: Reg::R18, k: 0x00 },
+        Instr::Ldi { d: Reg::R19, k: 0x01 },
+        Instr::Sub { d: Reg::R16, r: Reg::R18 },
+        Instr::Sbc { d: Reg::R17, r: Reg::R19 },
+    ]);
+    assert!(!cpu.flag(flags::Z));
+}
+
+#[test]
+fn logic_ops() {
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 0b1100 },
+        Instr::Ldi { d: Reg::R17, k: 0b1010 },
+        Instr::And { d: Reg::R16, r: Reg::R17 },
+    ]);
+    assert_eq!(cpu.reg(Reg::R16), 0b1000);
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 0b1100 },
+        Instr::Ori { d: Reg::R16, k: 0b0011 },
+    ]);
+    assert_eq!(cpu.reg(Reg::R16), 0b1111);
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 0xaa },
+        Instr::Ldi { d: Reg::R17, k: 0xaa },
+        Instr::Eor { d: Reg::R16, r: Reg::R17 },
+    ]);
+    assert_eq!(cpu.reg(Reg::R16), 0);
+    assert!(cpu.flag(flags::Z));
+}
+
+#[test]
+fn com_neg_inc_dec() {
+    let cpu = run(&[Instr::Ldi { d: Reg::R16, k: 0x55 }, Instr::Com { d: Reg::R16 }]);
+    assert_eq!(cpu.reg(Reg::R16), 0xaa);
+    assert!(cpu.flag(flags::C), "COM always sets carry");
+
+    let cpu = run(&[Instr::Ldi { d: Reg::R16, k: 0x01 }, Instr::Neg { d: Reg::R16 }]);
+    assert_eq!(cpu.reg(Reg::R16), 0xff);
+    assert!(cpu.flag(flags::C));
+
+    let cpu = run(&[Instr::Ldi { d: Reg::R16, k: 0x7f }, Instr::Inc { d: Reg::R16 }]);
+    assert_eq!(cpu.reg(Reg::R16), 0x80);
+    assert!(cpu.flag(flags::V), "INC 0x7f overflows");
+
+    let cpu = run(&[Instr::Ldi { d: Reg::R16, k: 0x00 }, Instr::Dec { d: Reg::R16 }]);
+    assert_eq!(cpu.reg(Reg::R16), 0xff);
+    assert!(!cpu.flag(flags::C), "DEC never touches carry");
+}
+
+#[test]
+fn shifts_and_rotates() {
+    let cpu = run(&[Instr::Ldi { d: Reg::R16, k: 0x81 }, Instr::Lsr { d: Reg::R16 }]);
+    assert_eq!(cpu.reg(Reg::R16), 0x40);
+    assert!(cpu.flag(flags::C));
+
+    let cpu = run(&[Instr::Ldi { d: Reg::R16, k: 0x82 }, Instr::Asr { d: Reg::R16 }]);
+    assert_eq!(cpu.reg(Reg::R16), 0xc1, "ASR keeps the sign bit");
+
+    // ROR rotates carry in: set C via COM first.
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R17, k: 0 },
+        Instr::Com { d: Reg::R17 }, // sets C
+        Instr::Ldi { d: Reg::R16, k: 0x02 },
+        Instr::Ror { d: Reg::R16 },
+    ]);
+    assert_eq!(cpu.reg(Reg::R16), 0x81);
+
+    let cpu = run(&[Instr::Ldi { d: Reg::R16, k: 0xab }, Instr::Swap { d: Reg::R16 }]);
+    assert_eq!(cpu.reg(Reg::R16), 0xba);
+}
+
+#[test]
+fn adiw_sbiw() {
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R26, k: 0xff },
+        Instr::Ldi { d: Reg::R27, k: 0x00 },
+        Instr::Adiw { p: IwPair::X, k: 2 },
+    ]);
+    assert_eq!(cpu.reg16(Reg::XL), 0x0101);
+    assert_eq!(body_cycles(&cpu), 1 + 1 + 2);
+
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R24, k: 0x00 },
+        Instr::Ldi { d: Reg::R25, k: 0x01 },
+        Instr::Sbiw { p: IwPair::W, k: 1 },
+    ]);
+    assert_eq!(cpu.reg16(Reg::R24), 0x00ff);
+}
+
+#[test]
+fn mul_family() {
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 200 },
+        Instr::Ldi { d: Reg::R17, k: 100 },
+        Instr::Mul { d: Reg::R16, r: Reg::R17 },
+    ]);
+    assert_eq!(cpu.reg16(Reg::R0), 20_000);
+    assert!(!cpu.flag(flags::C));
+
+    // muls: -2 * 100 = -200 = 0xff38
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 0xfe },
+        Instr::Ldi { d: Reg::R17, k: 100 },
+        Instr::Muls { d: Reg::R16, r: Reg::R17 },
+    ]);
+    assert_eq!(cpu.reg16(Reg::R0), (-200i16) as u16);
+    assert!(cpu.flag(flags::C), "C is bit 15 of the product");
+}
+
+#[test]
+fn mov_and_movw() {
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R30, k: 0x34 },
+        Instr::Ldi { d: Reg::R31, k: 0x12 },
+        Instr::Movw { d: Reg::R24, r: Reg::R30 },
+        Instr::Mov { d: Reg::R0, r: Reg::R24 },
+    ]);
+    assert_eq!(cpu.reg16(Reg::R24), 0x1234);
+    assert_eq!(cpu.reg(Reg::R0), 0x34);
+}
+
+#[test]
+fn load_store_indirect_modes() {
+    let base = SRAM_BASE + 0x40;
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::XL, k: (base & 0xff) as u8 },
+        Instr::Ldi { d: Reg::XH, k: (base >> 8) as u8 },
+        Instr::Ldi { d: Reg::R16, k: 0x11 },
+        Instr::Ldi { d: Reg::R17, k: 0x22 },
+        Instr::St { ptr: Ptr::X, mode: PtrMode::PostInc, r: Reg::R16 },
+        Instr::St { ptr: Ptr::X, mode: PtrMode::Plain, r: Reg::R17 },
+        Instr::Ld { d: Reg::R20, ptr: Ptr::X, mode: PtrMode::Plain },
+        Instr::Ld { d: Reg::R21, ptr: Ptr::X, mode: PtrMode::PreDec },
+    ]);
+    assert_eq!(cpu.env.sram_byte(base), 0x11);
+    assert_eq!(cpu.env.sram_byte(base + 1), 0x22);
+    assert_eq!(cpu.reg(Reg::R20), 0x22);
+    assert_eq!(cpu.reg(Reg::R21), 0x11, "pre-decrement reads the first byte");
+    assert_eq!(cpu.reg16(Reg::XL), base);
+}
+
+#[test]
+fn load_store_displacement() {
+    let base = SRAM_BASE + 0x80;
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::YL, k: (base & 0xff) as u8 },
+        Instr::Ldi { d: Reg::YH, k: (base >> 8) as u8 },
+        Instr::Ldi { d: Reg::R16, k: 0x99 },
+        Instr::Std { ptr: Ptr::Y, q: 5, r: Reg::R16 },
+        Instr::Ldd { d: Reg::R17, ptr: Ptr::Y, q: 5 },
+    ]);
+    assert_eq!(cpu.env.sram_byte(base + 5), 0x99);
+    assert_eq!(cpu.reg(Reg::R17), 0x99);
+    assert_eq!(cpu.reg16(Reg::YL), base, "displacement does not update Y");
+}
+
+#[test]
+fn lds_sts_direct() {
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 0x5a },
+        Instr::Sts { k: 0x0200, r: Reg::R16 },
+        Instr::Lds { d: Reg::R17, k: 0x0200 },
+    ]);
+    assert_eq!(cpu.reg(Reg::R17), 0x5a);
+    assert_eq!(body_cycles(&cpu), 1 + 2 + 2);
+}
+
+#[test]
+fn st_to_low_addresses_hits_registers_and_io() {
+    // Storing to data address 5 writes r5 (the register file is mapped at
+    // 0x00..0x1f).
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 0x7e },
+        Instr::Sts { k: 0x0005, r: Reg::R16 },
+    ]);
+    assert_eq!(cpu.reg(Reg::R5), 0x7e);
+
+    // Storing to 0x20 + port hits the I/O file.
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 0x31 },
+        Instr::Sts { k: 0x0020 + 0x12, r: Reg::R16 },
+        Instr::In { d: Reg::R17, a: 0x12 },
+    ]);
+    assert_eq!(cpu.reg(Reg::R17), 0x31);
+}
+
+#[test]
+fn push_pop_and_sp() {
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 0xaa },
+        Instr::Push { r: Reg::R16 },
+        Instr::Pop { d: Reg::R17 },
+    ]);
+    assert_eq!(cpu.reg(Reg::R17), 0xaa);
+    assert_eq!(cpu.sp, RAMEND);
+    assert_eq!(body_cycles(&cpu), 1 + 2 + 2);
+}
+
+#[test]
+fn sp_accessible_via_io() {
+    let cpu = run(&[
+        Instr::In { d: Reg::R16, a: 0x3d },
+        Instr::In { d: Reg::R17, a: 0x3e },
+    ]);
+    assert_eq!(cpu.reg(Reg::R16), (RAMEND & 0xff) as u8);
+    assert_eq!(cpu.reg(Reg::R17), (RAMEND >> 8) as u8);
+}
+
+#[test]
+fn lpm_reads_flash() {
+    let mut env = PlainEnv::new();
+    env.load_program(
+        0,
+        &[
+            Instr::Ldi { d: Reg::ZL, k: 0x10 }, // byte address 0x0010 = word 8
+            Instr::Ldi { d: Reg::ZH, k: 0x00 },
+            Instr::Lpm { d: Reg::R16, inc: true },
+            Instr::Lpm { d: Reg::R17, inc: false },
+            Instr::Break,
+        ],
+    );
+    env.flash.set_word(8, 0xbbaa);
+    let mut cpu = Cpu::new(env);
+    cpu.run_to_break(1000).unwrap();
+    assert_eq!(cpu.reg(Reg::R16), 0xaa);
+    assert_eq!(cpu.reg(Reg::R17), 0xbb);
+    assert_eq!(cpu.reg16(Reg::ZL), 0x11);
+}
+
+#[test]
+fn rjmp_and_branch_cycles() {
+    // rjmp over a nop: 2 cycles, nop skipped.
+    let cpu = run(&[
+        Instr::Rjmp { k: 1 },
+        Instr::Ldi { d: Reg::R16, k: 1 }, // skipped
+        Instr::Ldi { d: Reg::R17, k: 2 },
+    ]);
+    assert_eq!(cpu.reg(Reg::R16), 0);
+    assert_eq!(cpu.reg(Reg::R17), 2);
+    assert_eq!(body_cycles(&cpu), 2 + 1);
+}
+
+#[test]
+fn branch_taken_costs_two_not_taken_one() {
+    // Z set -> breq taken.
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 0 },
+        Instr::Cpi { d: Reg::R16, k: 0 },
+        Instr::Brbs { s: flags::Z, k: 1 }, // taken
+        Instr::Ldi { d: Reg::R17, k: 0xee }, // skipped
+    ]);
+    assert_eq!(cpu.reg(Reg::R17), 0);
+    assert_eq!(body_cycles(&cpu), 1 + 1 + 2);
+
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 1 },
+        Instr::Cpi { d: Reg::R16, k: 0 },
+        Instr::Brbs { s: flags::Z, k: 1 }, // not taken
+        Instr::Ldi { d: Reg::R17, k: 0xee },
+    ]);
+    assert_eq!(cpu.reg(Reg::R17), 0xee);
+    assert_eq!(body_cycles(&cpu), 1 + 1 + 1 + 1);
+}
+
+#[test]
+fn skip_instructions_account_for_skipped_size() {
+    // sbrs over a 2-word sts: skip costs 2 extra cycles.
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 0xff },
+        Instr::Sbrs { r: Reg::R16, b: 3 },
+        Instr::Sts { k: 0x0100, r: Reg::R16 }, // skipped, 2 words
+        Instr::Ldi { d: Reg::R17, k: 7 },
+    ]);
+    assert_eq!(cpu.env.sram_byte(0x0100), 0);
+    assert_eq!(cpu.reg(Reg::R17), 7);
+    assert_eq!(body_cycles(&cpu), 1 + (1 + 2) + 1);
+
+    // cpse with equal registers skips a 1-word instr: +1.
+    let cpu = run(&[
+        Instr::Cpse { d: Reg::R0, r: Reg::R1 },
+        Instr::Ldi { d: Reg::R16, k: 0xff }, // skipped
+        Instr::Nop,
+    ]);
+    assert_eq!(cpu.reg(Reg::R16), 0);
+    assert_eq!(body_cycles(&cpu), (1 + 1) + 1);
+}
+
+#[test]
+fn call_ret_roundtrip_and_cycles() {
+    // call 5 ; break至 ... layout:
+    // 0: call 4   (2 words)
+    // 2: break
+    // 3: nop (padding)
+    // 4: ldi r16, 9 ; ret
+    let mut env = PlainEnv::new();
+    env.load_program(
+        0,
+        &[
+            Instr::Call { k: 4 },
+            Instr::Break,
+            Instr::Nop,
+            Instr::Ldi { d: Reg::R16, k: 9 },
+            Instr::Ret,
+        ],
+    );
+    let mut cpu = Cpu::new(env);
+    cpu.run_to_break(1000).unwrap();
+    assert_eq!(cpu.reg(Reg::R16), 9);
+    assert_eq!(cpu.sp, RAMEND, "SP balanced after call/ret");
+    assert_eq!(cpu.cycles(), 4 + 1 + 4 + 1); // call + ldi + ret + break
+}
+
+#[test]
+fn rcall_and_icall() {
+    let mut env = PlainEnv::new();
+    // 0: rcall +2  -> target 3
+    // 1: break
+    // 2: nop
+    // 3: ldi r16,5 ; ret
+    env.load_program(
+        0,
+        &[
+            Instr::Rcall { k: 2 },
+            Instr::Break,
+            Instr::Nop,
+            Instr::Ldi { d: Reg::R16, k: 5 },
+            Instr::Ret,
+        ],
+    );
+    let mut cpu = Cpu::new(env);
+    cpu.run_to_break(1000).unwrap();
+    assert_eq!(cpu.reg(Reg::R16), 5);
+
+    let mut env = PlainEnv::new();
+    // icall via Z = 5
+    env.load_program(
+        0,
+        &[
+            Instr::Ldi { d: Reg::ZL, k: 5 },
+            Instr::Ldi { d: Reg::ZH, k: 0 },
+            Instr::Icall,
+            Instr::Break,
+            Instr::Nop,
+            Instr::Ldi { d: Reg::R16, k: 6 },
+            Instr::Ret,
+        ],
+    );
+    let mut cpu = Cpu::new(env);
+    cpu.run_to_break(1000).unwrap();
+    assert_eq!(cpu.reg(Reg::R16), 6);
+}
+
+#[test]
+fn nested_calls_return_in_order() {
+    // main calls f, f calls g; registers record the order.
+    let mut env = PlainEnv::new();
+    env.load_program(
+        0,
+        &[
+            Instr::Call { k: 5 },              // 0..=1
+            Instr::Ldi { d: Reg::R18, k: 3 },  // 2: after f returns
+            Instr::Break,                      // 3
+            Instr::Nop,                        // 4
+            // f at 5:
+            Instr::Ldi { d: Reg::R16, k: 1 },  // 5
+            Instr::Call { k: 10 },             // 6..=7
+            Instr::Ldi { d: Reg::R19, k: 4 },  // 8: after g returns
+            Instr::Ret,                        // 9
+            // g at 10:
+            Instr::Ldi { d: Reg::R17, k: 2 },  // 10
+            Instr::Ret,                        // 11
+        ],
+    );
+    let mut cpu = Cpu::new(env);
+    cpu.run_to_break(1000).unwrap();
+    assert_eq!(
+        (cpu.reg(Reg::R16), cpu.reg(Reg::R17), cpu.reg(Reg::R19), cpu.reg(Reg::R18)),
+        (1, 2, 4, 3)
+    );
+    assert_eq!(cpu.sp, RAMEND);
+}
+
+#[test]
+fn ijmp_jumps_through_z() {
+    let mut env = PlainEnv::new();
+    env.load_program(
+        0,
+        &[
+            Instr::Ldi { d: Reg::ZL, k: 4 },
+            Instr::Ldi { d: Reg::ZH, k: 0 },
+            Instr::Ijmp,
+            Instr::Ldi { d: Reg::R16, k: 0xbb }, // skipped
+            Instr::Ldi { d: Reg::R17, k: 0xcc }, // word 4
+            Instr::Break,
+        ],
+    );
+    let mut cpu = Cpu::new(env);
+    cpu.run_to_break(1000).unwrap();
+    assert_eq!(cpu.reg(Reg::R16), 0);
+    assert_eq!(cpu.reg(Reg::R17), 0xcc);
+}
+
+#[test]
+fn sbi_cbi_sbic_sbis() {
+    let cpu = run(&[
+        Instr::Sbi { a: 0x10, b: 2 },
+        Instr::Sbic { a: 0x10, b: 2 },        // bit set -> no skip
+        Instr::Ldi { d: Reg::R16, k: 1 },
+        Instr::Cbi { a: 0x10, b: 2 },
+        Instr::Sbic { a: 0x10, b: 2 },        // bit clear -> skip
+        Instr::Ldi { d: Reg::R17, k: 1 },     // skipped
+        Instr::Sbis { a: 0x10, b: 2 },        // clear -> no skip
+        Instr::Ldi { d: Reg::R18, k: 1 },
+    ]);
+    assert_eq!((cpu.reg(Reg::R16), cpu.reg(Reg::R17), cpu.reg(Reg::R18)), (1, 0, 1));
+}
+
+#[test]
+fn bst_bld_transfer_bits() {
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 0b0000_1000 },
+        Instr::Bst { d: Reg::R16, b: 3 },
+        Instr::Ldi { d: Reg::R17, k: 0 },
+        Instr::Bld { d: Reg::R17, b: 7 },
+    ]);
+    assert_eq!(cpu.reg(Reg::R17), 0x80);
+    assert!(cpu.flag(flags::T));
+}
+
+#[test]
+fn bset_bclr_sei_cli() {
+    let cpu = run(&[Instr::Bset { s: flags::I }]);
+    assert!(cpu.flag(flags::I));
+    let cpu = run(&[Instr::Bset { s: flags::I }, Instr::Bclr { s: flags::I }]);
+    assert!(!cpu.flag(flags::I));
+}
+
+#[test]
+fn sreg_readable_via_io() {
+    let cpu = run(&[
+        Instr::Bset { s: flags::C },
+        Instr::Bset { s: flags::T },
+        Instr::In { d: Reg::R16, a: 0x3f },
+    ]);
+    assert_eq!(cpu.reg(Reg::R16), (1 << flags::C) | (1 << flags::T));
+}
+
+#[test]
+fn out_to_debug_port_is_captured() {
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: b'h' },
+        Instr::Out { a: avr_core::mem::PORT_DEBUG, r: Reg::R16 },
+        Instr::Ldi { d: Reg::R16, k: b'i' },
+        Instr::Out { a: avr_core::mem::PORT_DEBUG, r: Reg::R16 },
+    ]);
+    assert_eq!(cpu.env.debug_out, b"hi");
+}
+
+#[test]
+fn loop_timing_matches_hand_count() {
+    // Classic delay loop: ldi r16,10 ; L: dec r16 ; brne L
+    // cycles = 1 + 10*(1+2) - 1 (last brne not taken costs 1, not 2)
+    let cpu = run(&[
+        Instr::Ldi { d: Reg::R16, k: 10 },
+        Instr::Dec { d: Reg::R16 },
+        Instr::Brbc { s: flags::Z, k: -2 },
+    ]);
+    assert_eq!(cpu.reg(Reg::R16), 0);
+    assert_eq!(body_cycles(&cpu), 1 + 10 * 3 - 1);
+}
+
+#[test]
+fn sleep_halts() {
+    let mut env = PlainEnv::new();
+    env.load_program(0, &[Instr::Sleep, Instr::Ldi { d: Reg::R16, k: 1 }]);
+    let mut cpu = Cpu::new(env);
+    assert_eq!(cpu.run_to_break(100), Ok(Step::Sleep));
+    assert_eq!(cpu.reg(Reg::R16), 0);
+}
+
+#[test]
+fn illegal_opcode_faults() {
+    let mut env = PlainEnv::new();
+    env.flash.set_word(0, 0x0001); // reserved
+    let mut cpu = Cpu::new(env);
+    assert_eq!(
+        cpu.step(),
+        Err(Fault::IllegalOpcode { pc: 0, word: 0x0001 })
+    );
+}
+
+#[test]
+fn store_outside_sram_faults() {
+    let mut env = PlainEnv::new();
+    env.load_program(0, &[Instr::Ldi { d: Reg::R16, k: 1 }, Instr::Sts { k: 0x2000, r: Reg::R16 }]);
+    let mut cpu = Cpu::new(env);
+    assert_eq!(
+        cpu.run_to_break(100),
+        Err(Fault::BadDataAddress { addr: 0x2000 })
+    );
+}
+
+#[test]
+fn cycle_limit_enforced() {
+    let mut env = PlainEnv::new();
+    env.load_program(0, &[Instr::Rjmp { k: -1 }]);
+    let mut cpu = Cpu::new(env);
+    assert!(matches!(cpu.run_to_break(100), Err(Fault::CycleLimit { .. })));
+}
+
+#[test]
+fn run_to_pc_times_a_span() {
+    let mut env = PlainEnv::new();
+    env.load_program(
+        0,
+        &[
+            Instr::Ldi { d: Reg::R16, k: 3 },
+            Instr::Dec { d: Reg::R16 },
+            Instr::Brbc { s: flags::Z, k: -2 },
+            Instr::Break,
+        ],
+    );
+    let mut cpu = Cpu::new(env);
+    cpu.run_to_pc(3, 1000).unwrap();
+    assert_eq!(cpu.pc, 3);
+    assert_eq!(cpu.cycles(), 1 + 3 * 3 - 1);
+}

@@ -1,0 +1,123 @@
+//! Robustness: executing *arbitrary* flash contents must never panic the
+//! simulator — every outcome is a clean `Step` or a typed `Fault`. This is
+//! the substrate guarantee the protection work sits on.
+
+use avr_core::exec::{Cpu, Step};
+use avr_core::isa::{flags, Instr, Reg};
+use avr_core::mem::{PlainEnv, Timer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Random flash, random entry state: step a few hundred instructions.
+    #[test]
+    fn random_flash_never_panics(
+        words in proptest::collection::vec(any::<u16>(), 1..256),
+        sp in any::<u16>(),
+        sreg in any::<u8>(),
+        regs in proptest::collection::vec(any::<u8>(), 32),
+    ) {
+        let mut env = PlainEnv::new();
+        env.flash.load_words(0, &words);
+        let mut cpu = Cpu::new(env);
+        cpu.sp = sp;
+        cpu.sreg = sreg & !(1 << flags::I); // no interrupt source anyway
+        cpu.regs.copy_from_slice(&regs);
+        for _ in 0..300 {
+            match cpu.step() {
+                Ok(Step::Continue) => {}
+                Ok(_) => break,
+                Err(_) => break, // typed fault: fine
+            }
+        }
+    }
+
+}
+
+#[test]
+fn elpm_reads_high_flash_through_rampz() {
+    let mut env = PlainEnv::new();
+    // Place a byte beyond the 64 KiB byte horizon: word 0x9000 → byte 0x12000.
+    env.flash.set_byte(0x1_2003, 0xcd);
+    env.load_program(
+        0,
+        &[
+            Instr::Ldi { d: Reg::R30, k: 0x03 },
+            Instr::Ldi { d: Reg::R31, k: 0x20 }, // Z = 0x2003
+            Instr::Ldi { d: Reg::R16, k: 1 },
+            Instr::Sts { k: 0x005b, r: Reg::R16 }, // RAMPZ (port 0x3b) via data space
+            Instr::Elpm { d: Reg::R17, inc: true },
+            Instr::Break,
+        ],
+    );
+    let mut cpu = Cpu::new(env);
+    cpu.run_to_break(100).unwrap();
+    assert_eq!(cpu.reg(Reg::R17), 0xcd);
+    assert_eq!(cpu.reg16(Reg::R30), 0x2004, "ELPM Z+ incremented Z");
+    assert_eq!(cpu.rampz, 1);
+}
+
+#[test]
+fn stack_pointer_writable_through_io_and_data_space() {
+    let mut env = PlainEnv::new();
+    env.load_program(
+        0,
+        &[
+            Instr::Ldi { d: Reg::R16, k: 0x34 },
+            Instr::Out { a: 0x3d, r: Reg::R16 }, // SPL
+            Instr::Ldi { d: Reg::R16, k: 0x0a },
+            Instr::Out { a: 0x3e, r: Reg::R16 }, // SPH
+            Instr::In { d: Reg::R20, a: 0x3d },
+            Instr::Sts { k: 0x005e, r: Reg::R16 }, // SPH via data space (0x20+0x3e)
+            Instr::Break,
+        ],
+    );
+    let mut cpu = Cpu::new(env);
+    cpu.run_to_break(100).unwrap();
+    assert_eq!(cpu.sp & 0xff, 0x34);
+    assert_eq!(cpu.reg(Reg::R20), 0x34);
+    assert_eq!(cpu.sp >> 8, 0x0a);
+}
+
+#[test]
+fn sleep_without_a_wake_source_is_terminal() {
+    // No interrupt source, or interrupts masked: SLEEP halts for good.
+    let mut env = PlainEnv::new();
+    env.load_program(0, &[Instr::Sleep, Instr::Break]);
+    let mut cpu = Cpu::new(env.clone());
+    cpu.set_flag(flags::I, true);
+    assert_eq!(cpu.run_to_break(1000).unwrap(), Step::Sleep);
+
+    env.timer = Some(Timer::new(10, 4));
+    let mut cpu = Cpu::new(env);
+    // Timer armed but I clear: still terminal.
+    assert_eq!(cpu.run_to_break(1000).unwrap(), Step::Sleep);
+}
+
+#[test]
+fn sleep_wakes_on_the_timer_and_accounts_idle_cycles() {
+    // main: sei-equivalent via set_flag; sleep; after the ISR runs,
+    // execution resumes past the SLEEP.
+    let mut env = PlainEnv::new();
+    env.load_program(
+        0,
+        &[
+            Instr::Sleep,                      // 0: idles until the timer
+            Instr::Ldi { d: Reg::R20, k: 7 },  // 1: runs after wake
+            Instr::Break,                      // 2
+        ],
+    );
+    env.load_program(8, &[Instr::Inc { d: Reg::R21 }, Instr::Reti]);
+    env.timer = Some(Timer::new(1000, 8));
+    let mut cpu = Cpu::new(env);
+    cpu.set_flag(flags::I, true);
+    cpu.run_to_break(10_000).unwrap();
+    assert_eq!(cpu.reg(Reg::R21), 1, "the ISR ran once");
+    assert_eq!(cpu.reg(Reg::R20), 7, "execution resumed after SLEEP");
+    assert!(cpu.idle_cycles() > 950, "nearly the whole wait was idle");
+    assert!(cpu.cycles() >= 1000, "wall-clock includes the sleep");
+    // Duty cycle: active cycles are a tiny fraction.
+    let active = cpu.cycles() - cpu.idle_cycles();
+    assert!(active < 30, "active {active}");
+}

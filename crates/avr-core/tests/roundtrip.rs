@@ -1,0 +1,161 @@
+//! Property-based encode/decode round-trip over the whole instruction set.
+
+use avr_core::isa::{self, Instr, IwPair, Ptr, PtrMode, Reg};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::num)
+}
+
+fn high_reg() -> impl Strategy<Value = Reg> {
+    (16u8..32).prop_map(Reg::num)
+}
+
+fn mid_reg() -> impl Strategy<Value = Reg> {
+    (16u8..24).prop_map(Reg::num)
+}
+
+fn even_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(|n| Reg::num(n * 2))
+}
+
+fn any_ptr() -> impl Strategy<Value = Ptr> {
+    prop_oneof![Just(Ptr::X), Just(Ptr::Y), Just(Ptr::Z)]
+}
+
+fn yz_ptr() -> impl Strategy<Value = Ptr> {
+    prop_oneof![Just(Ptr::Y), Just(Ptr::Z)]
+}
+
+fn any_mode() -> impl Strategy<Value = PtrMode> {
+    prop_oneof![Just(PtrMode::Plain), Just(PtrMode::PostInc), Just(PtrMode::PreDec)]
+}
+
+fn any_iw() -> impl Strategy<Value = IwPair> {
+    prop_oneof![Just(IwPair::W), Just(IwPair::X), Just(IwPair::Y), Just(IwPair::Z)]
+}
+
+/// Every canonical instruction (aliased encodings like `LDD q=0` are
+/// generated only in canonical form, so decode(encode(i)) == i exactly).
+fn any_instr() -> impl Strategy<Value = Instr> {
+    fn two_reg() -> impl Strategy<Value = (Reg, Reg)> {
+        (any_reg(), any_reg())
+    }
+    fn imm() -> impl Strategy<Value = (Reg, u8)> {
+        (high_reg(), any::<u8>())
+    }
+    prop_oneof![
+        two_reg().prop_map(|(d, r)| Instr::Add { d, r }),
+        two_reg().prop_map(|(d, r)| Instr::Adc { d, r }),
+        two_reg().prop_map(|(d, r)| Instr::Sub { d, r }),
+        two_reg().prop_map(|(d, r)| Instr::Sbc { d, r }),
+        two_reg().prop_map(|(d, r)| Instr::And { d, r }),
+        two_reg().prop_map(|(d, r)| Instr::Or { d, r }),
+        two_reg().prop_map(|(d, r)| Instr::Eor { d, r }),
+        two_reg().prop_map(|(d, r)| Instr::Mov { d, r }),
+        two_reg().prop_map(|(d, r)| Instr::Cp { d, r }),
+        two_reg().prop_map(|(d, r)| Instr::Cpc { d, r }),
+        two_reg().prop_map(|(d, r)| Instr::Cpse { d, r }),
+        two_reg().prop_map(|(d, r)| Instr::Mul { d, r }),
+        (high_reg(), high_reg()).prop_map(|(d, r)| Instr::Muls { d, r }),
+        (mid_reg(), mid_reg()).prop_map(|(d, r)| Instr::Mulsu { d, r }),
+        (mid_reg(), mid_reg()).prop_map(|(d, r)| Instr::Fmul { d, r }),
+        (mid_reg(), mid_reg()).prop_map(|(d, r)| Instr::Fmuls { d, r }),
+        (mid_reg(), mid_reg()).prop_map(|(d, r)| Instr::Fmulsu { d, r }),
+        (even_reg(), even_reg()).prop_map(|(d, r)| Instr::Movw { d, r }),
+        imm().prop_map(|(d, k)| Instr::Subi { d, k }),
+        imm().prop_map(|(d, k)| Instr::Sbci { d, k }),
+        imm().prop_map(|(d, k)| Instr::Andi { d, k }),
+        imm().prop_map(|(d, k)| Instr::Ori { d, k }),
+        imm().prop_map(|(d, k)| Instr::Cpi { d, k }),
+        imm().prop_map(|(d, k)| Instr::Ldi { d, k }),
+        (any_iw(), 0u8..64).prop_map(|(p, k)| Instr::Adiw { p, k }),
+        (any_iw(), 0u8..64).prop_map(|(p, k)| Instr::Sbiw { p, k }),
+        any_reg().prop_map(|d| Instr::Com { d }),
+        any_reg().prop_map(|d| Instr::Neg { d }),
+        any_reg().prop_map(|d| Instr::Swap { d }),
+        any_reg().prop_map(|d| Instr::Inc { d }),
+        any_reg().prop_map(|d| Instr::Asr { d }),
+        any_reg().prop_map(|d| Instr::Lsr { d }),
+        any_reg().prop_map(|d| Instr::Ror { d }),
+        any_reg().prop_map(|d| Instr::Dec { d }),
+        (-2048i16..2048).prop_map(|k| Instr::Rjmp { k }),
+        (-2048i16..2048).prop_map(|k| Instr::Rcall { k }),
+        (0u32..0x40_0000).prop_map(|k| Instr::Jmp { k }),
+        (0u32..0x40_0000).prop_map(|k| Instr::Call { k }),
+        Just(Instr::Ijmp),
+        Just(Instr::Icall),
+        Just(Instr::Ret),
+        Just(Instr::Reti),
+        (0u8..8, -64i8..64).prop_map(|(s, k)| Instr::Brbs { s, k }),
+        (0u8..8, -64i8..64).prop_map(|(s, k)| Instr::Brbc { s, k }),
+        (any_reg(), 0u8..8).prop_map(|(r, b)| Instr::Sbrc { r, b }),
+        (any_reg(), 0u8..8).prop_map(|(r, b)| Instr::Sbrs { r, b }),
+        (0u8..32, 0u8..8).prop_map(|(a, b)| Instr::Sbic { a, b }),
+        (0u8..32, 0u8..8).prop_map(|(a, b)| Instr::Sbis { a, b }),
+        (any_reg(), any_ptr(), any_mode()).prop_map(|(d, ptr, mode)| Instr::Ld { d, ptr, mode }),
+        (any_reg(), any_ptr(), any_mode()).prop_map(|(r, ptr, mode)| Instr::St { ptr, mode, r }),
+        (any_reg(), yz_ptr(), 1u8..64).prop_map(|(d, ptr, q)| Instr::Ldd { d, ptr, q }),
+        (any_reg(), yz_ptr(), 1u8..64).prop_map(|(r, ptr, q)| Instr::Std { ptr, q, r }),
+        (any_reg(), any::<u16>()).prop_map(|(d, k)| Instr::Lds { d, k }),
+        (any_reg(), any::<u16>()).prop_map(|(r, k)| Instr::Sts { k, r }),
+        Just(Instr::Lpm0),
+        (any_reg(), any::<bool>()).prop_map(|(d, inc)| Instr::Lpm { d, inc }),
+        Just(Instr::Elpm0),
+        (any_reg(), any::<bool>()).prop_map(|(d, inc)| Instr::Elpm { d, inc }),
+        (any_reg(), 0u8..64).prop_map(|(d, a)| Instr::In { d, a }),
+        (any_reg(), 0u8..64).prop_map(|(r, a)| Instr::Out { a, r }),
+        any_reg().prop_map(|r| Instr::Push { r }),
+        any_reg().prop_map(|d| Instr::Pop { d }),
+        (0u8..8).prop_map(|s| Instr::Bset { s }),
+        (0u8..8).prop_map(|s| Instr::Bclr { s }),
+        (0u8..32, 0u8..8).prop_map(|(a, b)| Instr::Sbi { a, b }),
+        (0u8..32, 0u8..8).prop_map(|(a, b)| Instr::Cbi { a, b }),
+        (any_reg(), 0u8..8).prop_map(|(d, b)| Instr::Bst { d, b }),
+        (any_reg(), 0u8..8).prop_map(|(d, b)| Instr::Bld { d, b }),
+        Just(Instr::Nop),
+        Just(Instr::Sleep),
+        Just(Instr::Wdr),
+        Just(Instr::Break),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    /// decode(encode(i)) == i for every canonical instruction.
+    #[test]
+    fn encode_decode_roundtrip(i in any_instr()) {
+        let e = isa::encode(i).expect("generated instruction must encode");
+        let back = isa::decode(e.word0(), e.word1()).expect("must decode");
+        prop_assert_eq!(back, i);
+    }
+
+    /// The encoded word count matches `Instr::words`, and `is_two_word`
+    /// agrees with it.
+    #[test]
+    fn word_count_consistency(i in any_instr()) {
+        let e = isa::encode(i).unwrap();
+        prop_assert_eq!(e.len(), i.words());
+        prop_assert_eq!(isa::is_two_word(e.word0()), i.words() == 2);
+    }
+
+    /// Display never panics and is non-empty (C-DEBUG-NONEMPTY analogue).
+    #[test]
+    fn display_is_total(i in any_instr()) {
+        prop_assert!(!i.to_string().is_empty());
+    }
+
+    /// Decoding an arbitrary word either fails or yields an instruction that
+    /// re-encodes to the same word (the decoder never invents state).
+    #[test]
+    fn decode_is_left_inverse_of_encode(w0 in any::<u16>(), w1 in any::<u16>()) {
+        if let Ok(i) = isa::decode(w0, Some(w1)) {
+            let e = isa::encode(i).expect("decoded instruction must re-encode");
+            prop_assert_eq!(e.word0(), w0);
+            if let Some(second) = e.word1() {
+                prop_assert_eq!(second, w1);
+            }
+        }
+    }
+}

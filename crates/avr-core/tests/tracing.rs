@@ -1,0 +1,116 @@
+//! Tests for the execution-trace facility and the timer interrupt source.
+
+use avr_core::exec::{Cpu, Step};
+use avr_core::isa::{flags, Instr, Reg};
+use avr_core::mem::{PlainEnv, Timer, RAMEND};
+
+#[test]
+fn trace_records_every_retired_instruction_with_cycles() {
+    let mut env = PlainEnv::new();
+    env.load_program(
+        0,
+        &[
+            Instr::Ldi { d: Reg::R16, k: 3 },
+            Instr::Sts { k: 0x0100, r: Reg::R16 },
+            Instr::Rjmp { k: 0 },
+            Instr::Break,
+        ],
+    );
+    let mut cpu = Cpu::new(env);
+    let mut trace = Vec::new();
+    let step = cpu.run_traced(100, &mut trace).unwrap();
+    assert_eq!(step, Step::Break);
+    let pcs: Vec<u32> = trace.iter().map(|t| t.pc).collect();
+    assert_eq!(pcs, vec![0, 1, 3, 4]);
+    assert_eq!(trace[0].instr, Instr::Ldi { d: Reg::R16, k: 3 });
+    // Per-instruction cycle deltas: ldi 1, sts 2, rjmp 2, break 1.
+    let cycles: Vec<u64> = trace.iter().map(|t| t.cycles_after).collect();
+    assert_eq!(cycles, vec![1, 3, 5, 6]);
+}
+
+#[test]
+fn trace_step_limit_stops_cleanly() {
+    let mut env = PlainEnv::new();
+    env.load_program(0, &[Instr::Rjmp { k: -1 }]);
+    let mut cpu = Cpu::new(env);
+    let mut trace = Vec::new();
+    let step = cpu.run_traced(10, &mut trace).unwrap();
+    assert_eq!(step, Step::Continue, "limit reached, no terminal instruction");
+    assert_eq!(trace.len(), 10);
+}
+
+#[test]
+fn timer_fires_only_with_interrupts_enabled() {
+    // ISR at word 8 increments r20 and returns; main spins.
+    let mut env = PlainEnv::new();
+    env.load_program(
+        0,
+        &[
+            Instr::Ldi { d: Reg::R20, k: 0 }, // 0
+            Instr::Nop,                       // 1 (spin target)
+            Instr::Cpi { d: Reg::R20, k: 3 }, // 2
+            Instr::Brbc { s: flags::Z, k: -3 }, // 3 → back to 1
+            Instr::Break,                     // 4
+        ],
+    );
+    env.load_program(8, &[Instr::Ldi { d: Reg::R20, k: 0 }]); // placeholder
+    // Real ISR: inc r20 ; reti
+    env.load_program(8, &[Instr::Inc { d: Reg::R20 }, Instr::Reti]);
+    env.timer = Some(Timer::new(50, 8));
+
+    // Without I set: the loop must spin forever (cycle limit).
+    let mut cpu = Cpu::new(env.clone());
+    assert!(cpu.run_to_break(2_000).is_err(), "no interrupts, no progress");
+
+    // With I set: three timer fires break the loop.
+    let mut cpu = Cpu::new(env);
+    cpu.set_flag(flags::I, true);
+    cpu.run_to_break(100_000).unwrap();
+    assert_eq!(cpu.reg(Reg::R20), 3);
+    assert_eq!(cpu.sp, RAMEND, "interrupt stack usage balanced");
+    assert!(cpu.flag(flags::I), "reti re-enabled interrupts");
+}
+
+#[test]
+fn interrupt_preserves_interrupted_context() {
+    // Main increments r16 in a tight loop; ISR touches only r21 (saved by
+    // pushing). After N interrupts the main loop result must be exact.
+    let mut env = PlainEnv::new();
+    env.load_program(
+        0,
+        &[
+            Instr::Ldi { d: Reg::R16, k: 0 },   // 0
+            Instr::Inc { d: Reg::R16 },         // 1
+            Instr::Cpi { d: Reg::R16, k: 200 }, // 2
+            Instr::Brbc { s: flags::Z, k: -3 }, // 3
+            Instr::Break,                       // 4
+        ],
+    );
+    env.load_program(
+        8,
+        &[
+            Instr::Push { r: Reg::R21 },
+            Instr::Ldi { d: Reg::R21, k: 0xff },
+            Instr::Pop { d: Reg::R21 },
+            Instr::Reti,
+        ],
+    );
+    env.timer = Some(Timer::new(37, 8));
+    let mut cpu = Cpu::new(env);
+    cpu.set_flag(flags::I, true);
+    cpu.run_to_break(1_000_000).unwrap();
+    assert_eq!(cpu.reg(Reg::R16), 200, "main loop unperturbed");
+    assert_eq!(cpu.reg(Reg::R21), 0, "ISR restored its scratch");
+}
+
+#[test]
+fn timer_poll_coalesces_missed_periods() {
+    let mut t = Timer::new(100, 4);
+    assert_eq!(t.poll(50), None);
+    assert_eq!(t.poll(100), Some(4));
+    // A long stall past several periods yields one fire, then re-arms
+    // relative to now.
+    assert_eq!(t.poll(750), Some(4));
+    assert_eq!(t.poll(800), None);
+    assert_eq!(t.poll(850), Some(4));
+}

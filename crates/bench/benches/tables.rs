@@ -1,0 +1,61 @@
+//! Criterion benches: one group per paper table/figure, measuring the time
+//! to regenerate each artefact on the host (the simulated cycle counts
+//! themselves are deterministic; these benches track the harness and
+//! simulator throughput so regressions in the reproduction pipeline are
+//! visible).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harbor_bench::{figures, table3, table4, table5, table6};
+use mini_sos::Protection;
+
+fn bench_table3(c: &mut Criterion) {
+    c.bench_function("table3/microbenchmarks", |b| {
+        b.iter(|| std::hint::black_box(table3::measure()))
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4");
+    for p in [Protection::None, Protection::Umpu, Protection::Sfi] {
+        g.bench_function(format!("alloc_routines/{p:?}"), |b| {
+            b.iter(|| std::hint::black_box(table4::measure_build(p)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_table5(c: &mut Criterion) {
+    c.bench_function("table5/footprints", |b| {
+        b.iter(|| std::hint::black_box(table5::measure()))
+    });
+}
+
+fn bench_table6(c: &mut Criterion) {
+    c.bench_function("table6/area_model", |b| {
+        b.iter(|| std::hint::black_box(table6::measure()))
+    });
+}
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("fig/memmap_sweep", |b| {
+        b.iter(|| std::hint::black_box(figures::memmap_sweep()))
+    });
+    let mut g = c.benchmark_group("macro/surge_workload");
+    g.sample_size(10);
+    for p in [Protection::None, Protection::Umpu, Protection::Sfi] {
+        g.bench_function(format!("{p:?}"), |b| {
+            b.iter(|| std::hint::black_box(figures::surge_workload_cycles(p, 16)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table3,
+    bench_table4,
+    bench_table5,
+    bench_table6,
+    bench_figures
+);
+criterion_main!(benches);

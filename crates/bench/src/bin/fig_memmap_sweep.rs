@@ -1,0 +1,27 @@
+//! Regenerates the memory-map sizing claims of Section 6.2 as a sweep over
+//! protected span, domain mode and block size ("Fig A" in DESIGN.md).
+
+use harbor_bench::figures;
+use harbor_bench::report::{print_table, Row};
+
+fn main() {
+    let rows: Vec<Row> = figures::memmap_sweep()
+        .into_iter()
+        .map(|p| {
+            let mode = match p.mode {
+                harbor::DomainMode::Multi => "multi",
+                harbor::DomainMode::Two => "two",
+            };
+            let paper = p.paper.map(|v| format!("{v}")).unwrap_or_else(|| "-".into());
+            Row::new(
+                p.scenario,
+                &[&mode, &p.block, &p.span, &p.bytes, &paper],
+            )
+        })
+        .collect();
+    print_table(
+        "Memory-map size vs configuration (Section 6.2 prose)",
+        &["Scenario", "Mode", "Block (B)", "Span (B)", "Map (B)", "Paper"],
+        &rows,
+    );
+}

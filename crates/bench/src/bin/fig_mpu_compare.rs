@@ -1,0 +1,121 @@
+//! Quantifies the paper's related-work argument (Section 5): a classic
+//! contiguous-region MPU cannot express the fragmented per-domain layouts
+//! that dynamic allocation produces, while Harbor's memory map covers any
+//! layout at a fixed RAM cost.
+//!
+//! Method: run random malloc/free traces (the allocation pattern of a
+//! multi-module SOS node) through the golden-model memory map, then ask how
+//! many base/bounds regions an MPU would need and how much RAM static
+//! contiguous partitioning would waste.
+
+use harbor::{DomainId, MemMapConfig, MemoryMap};
+use harbor_bench::report::{print_table, Row};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use umpu::mpu::analyze_mpu_fit;
+
+const BOTTOM: u16 = 0x0200;
+const TOP: u16 = 0x0a00; // 2 KiB heap, 256 blocks
+
+/// Simulates `steps` allocator operations across `domains` modules and
+/// returns the resulting map.
+fn random_trace(seed: u64, domains: u8, steps: usize, churn: f64) -> MemoryMap {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = MemMapConfig::multi_domain(BOTTOM, TOP).unwrap();
+    let mut map = MemoryMap::new(cfg);
+    let mut bitmap = [false; 256];
+    let mut live: Vec<(u16, u16, u8)> = Vec::new(); // (start block, blocks, owner)
+
+    for _ in 0..steps {
+        if !live.is_empty() && rng.gen_bool(churn) {
+            // Free a random live segment.
+            let i = rng.gen_range(0..live.len());
+            let (start, blocks, _) = live.swap_remove(i);
+            for b in start..start + blocks {
+                bitmap[b as usize] = false;
+            }
+            map.free_segment(DomainId::TRUSTED, BOTTOM + start * 8).unwrap();
+        } else {
+            // First-fit allocate 1..6 blocks for a random domain.
+            let want = rng.gen_range(1..6u16);
+            let owner = rng.gen_range(0..domains);
+            let mut run = 0;
+            let mut found = None;
+            for (i, used) in bitmap.iter().enumerate() {
+                if *used {
+                    run = 0;
+                } else {
+                    run += 1;
+                    if run == want {
+                        found = Some(i as u16 + 1 - want);
+                        break;
+                    }
+                }
+            }
+            if let Some(start) = found {
+                for b in start..start + want {
+                    bitmap[b as usize] = true;
+                }
+                map.set_segment(DomainId::num(owner), BOTTOM + start * 8, want * 8).unwrap();
+                live.push((start, want, owner));
+            }
+        }
+    }
+    map
+}
+
+fn main() {
+    let memmap_cost = MemMapConfig::multi_domain(BOTTOM, TOP).unwrap().map_size_bytes();
+    println!(
+        "Harbor memory map covers ANY layout of this 2 KiB heap for a fixed {memmap_cost} B of RAM."
+    );
+    println!("A classic MPU (ARM 940T: 8 regions; TC1775: 4 ranges) must cover it with");
+    println!("contiguous base/bounds regions. Across random allocation traces:");
+
+    let mut rows = Vec::new();
+    for (label, domains, steps, churn) in [
+        ("2 modules, light churn", 2u8, 40usize, 0.3),
+        ("4 modules, light churn", 4, 60, 0.3),
+        ("4 modules, heavy churn", 4, 120, 0.45),
+        ("7 modules, heavy churn", 7, 160, 0.45),
+    ] {
+        let mut needed = Vec::new();
+        let mut waste = Vec::new();
+        let mut fits8 = 0;
+        let trials = 50;
+        for seed in 0..trials {
+            let map = random_trace(seed, domains, steps, churn);
+            let fit = analyze_mpu_fit(&map);
+            needed.push(fit.regions_needed);
+            waste.push(fit.waste_bytes());
+            if fit.fits::<8>() {
+                fits8 += 1;
+            }
+        }
+        needed.sort_unstable();
+        waste.sort_unstable();
+        let med = needed[trials as usize / 2];
+        let max = *needed.last().unwrap();
+        let med_waste = waste[trials as usize / 2];
+        rows.push(Row::new(
+            label,
+            &[
+                &med,
+                &max,
+                &format!("{}/{trials}", fits8),
+                &format!("{med_waste} B"),
+            ],
+        ));
+    }
+    print_table(
+        "MPU regions required to express Harbor layouts (50 random traces each)",
+        &["Workload", "Median regions", "Max", "Fits 8-region MPU", "Median static waste"],
+        &rows,
+    );
+    println!(
+        "\nPlus the structural gap the region count cannot capture: the MPU has a\n\
+         single user privilege level, so every module could write every other\n\
+         module's regions — it protects the kernel from applications, \"but not\n\
+         the applications from one another\" (paper, Section 5)."
+    );
+}

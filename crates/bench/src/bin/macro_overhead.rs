@@ -1,0 +1,53 @@
+//! End-to-end macro benchmark (extension beyond the paper's
+//! micro-benchmarks): the Surge data-collection workload under the three
+//! protection builds, plus the war-story outcome per build.
+
+use harbor_bench::figures::{self, SurgeOutcome};
+use harbor_bench::report::{print_table, Row};
+use mini_sos::Protection;
+
+fn main() {
+    let ticks = 64;
+    let rows: Vec<Row> = figures::macro_overhead(ticks)
+        .into_iter()
+        .map(|p| {
+            Row::new(
+                format!("{:?}", p.protection),
+                &[&p.cycles, &format!("{:.3}x", p.overhead)],
+            )
+        })
+        .collect();
+    print_table(
+        &format!("Surge workload ({ticks} samples): end-to-end protection overhead"),
+        &["Build", "Cycles", "Overhead"],
+        &rows,
+    );
+
+    let rows: Vec<Row> = figures::pipeline_overhead(32)
+        .into_iter()
+        .map(|p| {
+            Row::new(
+                format!("{:?}", p.protection),
+                &[&p.cycles, &format!("{:.3}x", p.overhead)],
+            )
+        })
+        .collect();
+    print_table(
+        "Buffer-handoff pipeline (32 rounds): malloc + change_own + free per round",
+        &["Build", "Cycles", "Overhead"],
+        &rows,
+    );
+
+    println!("\nWar story (Surge loaded without Tree Routing, one sample):");
+    for p in [Protection::None, Protection::Umpu, Protection::Sfi] {
+        match figures::surge_war_story(p) {
+            SurgeOutcome::SilentCorruption { addr } => {
+                println!("  {p:?}: SILENT memory corruption at {addr:#06x}");
+            }
+            SurgeOutcome::Caught { fault, code } => match fault {
+                Some(f) => println!("  {p:?}: caught — {f}"),
+                None => println!("  {p:?}: caught — fault code {code}"),
+            },
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Table 3: overhead (CPU cycles) of the memory-protection
+//! routines, hardware (UMPU) vs software (binary rewrite).
+
+use harbor_bench::report::{print_table, vs_paper, Row};
+use harbor_bench::table3;
+
+fn main() {
+    let rows: Vec<Row> = table3::measure()
+        .into_iter()
+        .map(|r| {
+            Row::new(
+                r.name,
+                &[&vs_paper(r.hw, r.paper_hw), &vs_paper(r.sw, r.paper_sw)],
+            )
+        })
+        .collect();
+    print_table(
+        "Table 3: Overhead (CPU cycles) of Memory Protection Routines",
+        &["Function Name", "AVR Extension", "AVR Binary Rewrite"],
+        &rows,
+    );
+    println!(
+        "\nHardware overheads are measured against an identical unprotected\n\
+         machine; software overheads are the rewritten sequence minus the\n\
+         architectural cost it replaces (see EXPERIMENTS.md)."
+    );
+}

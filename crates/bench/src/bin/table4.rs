@@ -1,0 +1,26 @@
+//! Regenerates Table 4: overhead (CPU cycles) of the memory-allocation
+//! routines with and without protection.
+
+use harbor_bench::report::{print_table, vs_paper, Row};
+use harbor_bench::table4;
+
+fn main() {
+    let rows: Vec<Row> = table4::measure()
+        .into_iter()
+        .map(|r| {
+            Row::new(
+                r.name,
+                &[
+                    &vs_paper(r.normal, r.paper_normal),
+                    &vs_paper(r.protected, r.paper_protected),
+                    &r.sfi,
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        "Table 4: Overhead (CPU cycles) of memory allocation routines",
+        &["Function Name", "Normal", "Protected (UMPU)", "SFI (extension)"],
+        &rows,
+    );
+}

@@ -1,0 +1,42 @@
+//! Regenerates Table 6: gate-count overhead of the hardware extensions,
+//! plus the fixed-block-size ablation from the paper's conclusion.
+
+use harbor_bench::report::{print_table, Row};
+use harbor_bench::table6;
+use umpu::area::AreaModel;
+
+fn main() {
+    let rows: Vec<Row> = table6::measure()
+        .into_iter()
+        .map(|r| {
+            let orig = r
+                .original
+                .map(|o| o.to_string())
+                .unwrap_or_else(|| "N/A".to_string());
+            Row::new(
+                r.component,
+                &[&r.extended, &orig, &r.paper_extended],
+            )
+        })
+        .collect();
+    print_table(
+        "Table 6: Gate count overhead of hardware extensions",
+        &["HW Component", "Ext. Gate Count (model)", "Orig. Gate Count", "Paper Ext."],
+        &rows,
+    );
+
+    let m = AreaModel::default();
+    println!("\nCore area increase: {:.1} % (paper: ~32 %)", m.core_increase() * 100.0);
+
+    let (flexible, fixed) = table6::fixed_block_ablation();
+    println!(
+        "\nAblation — synthesize for a fixed block size (drops the barrel\n\
+         shifters): extension gates {flexible} → {fixed} (saves {}).",
+        flexible - fixed
+    );
+
+    println!("\nMMC structural breakdown:");
+    for (label, gates) in m.mmc().breakdown {
+        println!("  {gates:>5}  {label}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Benchmark harness regenerating every table and figure of the Harbor/UMPU
+//! DAC 2007 evaluation (Section 6 of the paper).
+//!
+//! Each module reproduces one artefact and returns structured rows; the
+//! `table3`…`macro_overhead` binaries print them side by side with the
+//! paper's reported numbers. Absolute cycle counts come from the
+//! cycle-accurate simulator, so the comparison against the paper's ModelSim
+//! measurements is direct; small deltas reflect re-implemented (not
+//! disassembled) check routines, as documented in `EXPERIMENTS.md`.
+
+pub mod report;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+
+pub mod figures;

@@ -1,0 +1,59 @@
+//! Table formatting shared by the harness binaries.
+
+/// One measured-vs-paper row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (function / component name).
+    pub name: String,
+    /// Column values, in table order.
+    pub values: Vec<String>,
+}
+
+impl Row {
+    /// Builds a row from anything displayable.
+    pub fn new(name: impl Into<String>, values: &[&dyn std::fmt::Display]) -> Row {
+        Row { name: name.into(), values: values.iter().map(|v| v.to_string()).collect() }
+    }
+}
+
+/// Prints an aligned ASCII table with a title and column headers.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Row]) {
+    println!("\n{title}");
+    println!("{}", "=".repeat(title.len()));
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let name_w = rows
+        .iter()
+        .map(|r| r.name.len())
+        .chain(std::iter::once(headers.first().map_or(0, |h| h.len())))
+        .max()
+        .unwrap_or(10);
+    for r in rows {
+        for (i, v) in r.values.iter().enumerate() {
+            if i + 1 < widths.len() {
+                widths[i + 1] = widths[i + 1].max(v.len());
+            }
+        }
+    }
+    print!("{:name_w$}", headers.first().copied().unwrap_or(""));
+    for (h, w) in headers.iter().skip(1).zip(widths.iter().skip(1)) {
+        print!("  {h:>w$}");
+    }
+    println!();
+    print!("{}", "-".repeat(name_w));
+    for w in widths.iter().skip(1) {
+        print!("  {}", "-".repeat(*w));
+    }
+    println!();
+    for r in rows {
+        print!("{:name_w$}", r.name);
+        for (v, w) in r.values.iter().zip(widths.iter().skip(1)) {
+            print!("  {v:>w$}");
+        }
+        println!();
+    }
+}
+
+/// Formats a measured/paper pair as `measured (paper N)`.
+pub fn vs_paper(measured: impl std::fmt::Display, paper: impl std::fmt::Display) -> String {
+    format!("{measured} (paper {paper})")
+}

@@ -1,0 +1,37 @@
+//! Table 6: gate-count overhead of the hardware extensions, from the
+//! parametric area model (`umpu::area`), including the fixed-block-size
+//! ablation the paper proposes in its conclusion.
+
+pub use umpu::area::{AreaModel, Table6Row};
+
+/// The default (paper-calibrated) model's Table 6.
+pub fn measure() -> Vec<Table6Row> {
+    AreaModel::default().table6()
+}
+
+/// The fixed-block-size ablation: gates saved by dropping the barrel
+/// shifters, per the paper's "we can eliminate this overhead" remark.
+pub fn fixed_block_ablation() -> (u32, u32) {
+    let flexible = AreaModel::default();
+    let fixed = AreaModel { fixed_block_size: true, ..AreaModel::default() };
+    (flexible.extension_total(), fixed.extension_total())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_reproduces_paper_totals() {
+        for row in measure() {
+            assert_eq!(row.extended, row.paper_extended, "{}", row.component);
+        }
+    }
+
+    #[test]
+    fn ablation_saves_gates() {
+        let (flexible, fixed) = fixed_block_ablation();
+        assert!(fixed < flexible);
+        assert_eq!(flexible - fixed, 352, "the two barrel shifters");
+    }
+}

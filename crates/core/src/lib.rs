@@ -1,0 +1,69 @@
+//! Harbor: coarse-grained memory protection for tiny embedded processors.
+//!
+//! This crate is the *golden model* of the protection system described in
+//! "A System For Coarse Grained Memory Protection In Tiny Embedded
+//! Processors" (DAC 2007): a host-level, dependency-free implementation of
+//! every Harbor primitive, usable directly as a library and as the reference
+//! against which the simulated implementations (the `umpu` hardware model
+//! and the `harbor-sfi` software run-time) are differentially tested.
+//!
+//! # The protection model
+//!
+//! A single data address space is divided into up to eight [protection
+//! domains](DomainId): seven user domains plus one **trusted** domain (the
+//! kernel). The fault model is *cross-domain corruption*: code in one domain
+//! must not be able to write memory owned by another. Four mechanisms
+//! enforce it:
+//!
+//! * a [`MemoryMap`] records, per fixed-size block, which domain owns the
+//!   block and whether it starts a logical segment;
+//! * [stack bounds](ProtectionModel) protect the shared run-time stack: on
+//!   every cross-domain call the stack pointer is latched, and the callee may
+//!   only write below the latch;
+//! * a [`SafeStack`] keeps return addresses (and cross-domain frames) in
+//!   trusted memory, preserving control-flow integrity even when a module
+//!   corrupts its own stack frames;
+//! * a [`DomainTracker`] arbitrates cross-domain calls through per-domain
+//!   [jump tables](JumpTableLayout) and tracks the active domain.
+//!
+//! [`ProtectionModel`] composes all of the above into the complete
+//! write-permission rule of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use harbor::{DomainId, MemMapConfig, MemoryMap, ProtectionFault};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = MemMapConfig::multi_domain(0x0100, 0x0f00)?; // protect 0x0100..0x0f00
+//! let mut map = MemoryMap::new(cfg);
+//!
+//! let app = DomainId::new(2)?;
+//! map.set_segment(app, 0x0100, 64)?;             // give domain 2 a 64-byte segment
+//! assert_eq!(map.owner_of(0x0120)?, app);
+//! assert!(map.check_write(app, 0x0120).is_ok());
+//! assert!(matches!(
+//!     map.check_write(DomainId::new(3)?, 0x0120),
+//!     Err(ProtectionFault::MemMapViolation { .. })
+//! ));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod domain;
+mod fault;
+mod jumptable;
+mod memmap;
+mod model;
+mod safestack;
+mod tracker;
+
+pub use domain::DomainId;
+pub use fault::{fault_code, ProtectionFault};
+pub use jumptable::JumpTableLayout;
+pub use memmap::{BlockSize, DomainMode, MapLookup, MemMapConfig, MemoryMap, Record};
+pub use model::{MemoryLayout, ProtectionModel, RegionClass, WriteVerdict};
+pub use safestack::{SafeStack, SafeStackEntry, CROSS_DOMAIN_FRAME_BYTES, RET_ADDR_BYTES};
+pub use tracker::{CallResolution, DomainTracker, RetResolution};

@@ -1,0 +1,319 @@
+//! The cross-domain state machine: domain tracking across calls and returns
+//! (Section 3.2 of the paper).
+
+use crate::domain::DomainId;
+use crate::fault::ProtectionFault;
+use crate::jumptable::JumpTableLayout;
+use crate::safestack::{SafeStack, SafeStackEntry};
+
+/// How the tracker resolved a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallResolution {
+    /// An ordinary call within the current domain; the return address went
+    /// to the safe stack at zero extra cost (bus steal).
+    Local,
+    /// A cross-domain call through the jump table: a 5-byte frame was
+    /// pushed (5 stall cycles) and the active domain switched.
+    CrossDomain {
+        /// The domain now active.
+        callee: DomainId,
+        /// Jump-table entry index used.
+        entry: u16,
+    },
+}
+
+impl CallResolution {
+    /// Stall cycles the hardware version charges (Table 3: 0 local, 5
+    /// cross-domain).
+    pub const fn hw_stall_cycles(&self) -> u8 {
+        match self {
+            CallResolution::Local => 0,
+            CallResolution::CrossDomain { .. } => 5,
+        }
+    }
+}
+
+/// How the tracker resolved a return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetResolution {
+    /// Where execution resumes (word address).
+    pub target: u16,
+    /// Whether this popped a cross-domain frame (restoring domain + bound).
+    pub cross_domain: bool,
+}
+
+impl RetResolution {
+    /// Stall cycles the hardware version charges (Table 3: 0 local, 5
+    /// cross-domain).
+    pub const fn hw_stall_cycles(&self) -> u8 {
+        if self.cross_domain {
+            5
+        } else {
+            0
+        }
+    }
+}
+
+/// Golden model of the UMPU domain tracker + safe-stack unit pair.
+///
+/// Tracks the active domain and stack bound, arbitrates every call/return,
+/// and owns the [`SafeStack`]. The maximum cross-domain nesting depth models
+/// the small hardware LIFO inside the tracker state machine (a modelling
+/// choice documented in `DESIGN.md`; the paper's frames are 5 bytes and
+/// carry no frame-link, so the hardware needs *some* way to recognise a
+/// cross-domain return — we give it a bounded depth memory).
+///
+/// # Example
+///
+/// ```
+/// use harbor::{DomainId, DomainTracker, JumpTableLayout, SafeStack};
+///
+/// # fn main() -> Result<(), harbor::ProtectionFault> {
+/// let jt = JumpTableLayout::new(0x0800, 8);
+/// let mut t = DomainTracker::new(jt, SafeStack::new(0x0d00, 256), 0x0fff);
+///
+/// // A call into domain 2's jump table switches domains and latches the
+/// // stack bound from SP.
+/// t.on_call(jt.entry_addr(DomainId::new(2)?, 0), 0x0042, 0x0f80)?;
+/// assert_eq!(t.current_domain(), DomainId::new(2)?);
+/// assert_eq!(t.stack_bound(), 0x0f80);
+///
+/// // The matching return restores the caller's context.
+/// let ret = t.on_ret()?;
+/// assert_eq!(ret.target, 0x0042);
+/// assert!(t.current_domain().is_trusted());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainTracker {
+    jt: JumpTableLayout,
+    safe_stack: SafeStack,
+    current: DomainId,
+    stack_bound: u16,
+    max_xdom_depth: u16,
+    xdom_depth: u16,
+}
+
+impl DomainTracker {
+    /// Default cross-domain nesting capacity of the hardware state machine.
+    pub const DEFAULT_MAX_DEPTH: u16 = 16;
+
+    /// Creates a tracker starting in the trusted domain with the given
+    /// initial stack bound (normally `RAMEND`).
+    pub fn new(jt: JumpTableLayout, safe_stack: SafeStack, initial_bound: u16) -> DomainTracker {
+        DomainTracker {
+            jt,
+            safe_stack,
+            current: DomainId::TRUSTED,
+            stack_bound: initial_bound,
+            max_xdom_depth: Self::DEFAULT_MAX_DEPTH,
+            xdom_depth: 0,
+        }
+    }
+
+    /// Overrides the cross-domain nesting capacity.
+    pub fn with_max_depth(mut self, depth: u16) -> DomainTracker {
+        self.max_xdom_depth = depth;
+        self
+    }
+
+    /// The active domain (the paper's status-register field).
+    pub const fn current_domain(&self) -> DomainId {
+        self.current
+    }
+
+    /// The active stack bound.
+    pub const fn stack_bound(&self) -> u16 {
+        self.stack_bound
+    }
+
+    /// The jump-table geometry.
+    pub const fn jump_table(&self) -> &JumpTableLayout {
+        &self.jt
+    }
+
+    /// The safe stack.
+    pub const fn safe_stack(&self) -> &SafeStack {
+        &self.safe_stack
+    }
+
+    /// Current cross-domain nesting depth.
+    pub const fn cross_domain_depth(&self) -> u16 {
+        self.xdom_depth
+    }
+
+    /// Forces the active domain (kernel boot / test setup only).
+    pub fn set_current_domain(&mut self, d: DomainId) {
+        self.current = d;
+    }
+
+    /// Arbitrates a call to word address `target` with return address
+    /// `ret_addr` while the stack pointer is `sp`.
+    ///
+    /// A target below the jump-table base is a local call: the return
+    /// address is pushed to the safe stack. A target inside the tables is a
+    /// cross-domain call: the caller's `(domain, stack bound, return
+    /// address)` frame is pushed, the callee becomes active, and the stack
+    /// bound is latched from `sp`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionFault::JumpTableOverflow`] past the last table,
+    /// [`ProtectionFault::SafeStackOverflow`] if the safe stack is full,
+    /// [`ProtectionFault::TrackerDepthExceeded`] past the nesting capacity.
+    pub fn on_call(
+        &mut self,
+        target: u16,
+        ret_addr: u16,
+        sp: u16,
+    ) -> Result<CallResolution, ProtectionFault> {
+        match self.jt.classify(target)? {
+            None => {
+                self.safe_stack.push(SafeStackEntry::RetAddr(ret_addr))?;
+                Ok(CallResolution::Local)
+            }
+            Some((callee, entry)) => {
+                if self.xdom_depth + 1 > self.max_xdom_depth {
+                    return Err(ProtectionFault::TrackerDepthExceeded {
+                        depth: self.xdom_depth + 1,
+                    });
+                }
+                self.safe_stack.push(SafeStackEntry::CrossDomain {
+                    caller: self.current,
+                    stack_bound: self.stack_bound,
+                    ret_addr,
+                })?;
+                self.xdom_depth += 1;
+                self.current = callee;
+                self.stack_bound = sp;
+                Ok(CallResolution::CrossDomain { callee, entry })
+            }
+        }
+    }
+
+    /// Arbitrates a `RET`: pops the top safe-stack entry. A cross-domain
+    /// frame restores the caller's domain and stack bound.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionFault::SafeStackUnderflow`] on an empty safe stack.
+    pub fn on_ret(&mut self) -> Result<RetResolution, ProtectionFault> {
+        match self.safe_stack.pop()? {
+            SafeStackEntry::RetAddr(target) => Ok(RetResolution { target, cross_domain: false }),
+            SafeStackEntry::CrossDomain { caller, stack_bound, ret_addr } => {
+                self.current = caller;
+                self.stack_bound = stack_bound;
+                self.xdom_depth -= 1;
+                Ok(RetResolution { target: ret_addr, cross_domain: true })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> DomainTracker {
+        let jt = JumpTableLayout::new(0x0800, 8);
+        let ss = SafeStack::new(0x0200, 256);
+        DomainTracker::new(jt, ss, 0x0fff)
+    }
+
+    #[test]
+    fn local_call_pushes_ret_addr_only() {
+        let mut t = tracker();
+        let r = t.on_call(0x0100, 0x0042, 0x0f80).unwrap();
+        assert_eq!(r, CallResolution::Local);
+        assert_eq!(r.hw_stall_cycles(), 0, "Table 3: save ret addr = 0 cycles");
+        assert_eq!(t.current_domain(), DomainId::TRUSTED);
+        assert_eq!(t.stack_bound(), 0x0fff, "bound unchanged on local call");
+        let ret = t.on_ret().unwrap();
+        assert_eq!(ret.target, 0x0042);
+        assert!(!ret.cross_domain);
+    }
+
+    #[test]
+    fn cross_domain_call_switches_and_latches_bound() {
+        let mut t = tracker();
+        // Call into domain 2's jump table (entry 5).
+        let target = 0x0800 + 2 * 128 + 5;
+        let r = t.on_call(target, 0x0042, 0x0f80).unwrap();
+        assert_eq!(r, CallResolution::CrossDomain { callee: DomainId::num(2), entry: 5 });
+        assert_eq!(r.hw_stall_cycles(), 5, "Table 3: cross-domain call = 5 cycles");
+        assert_eq!(t.current_domain(), DomainId::num(2));
+        assert_eq!(t.stack_bound(), 0x0f80, "bound latched from SP");
+        assert_eq!(t.cross_domain_depth(), 1);
+
+        let ret = t.on_ret().unwrap();
+        assert!(ret.cross_domain);
+        assert_eq!(ret.hw_stall_cycles(), 5);
+        assert_eq!(ret.target, 0x0042);
+        assert_eq!(t.current_domain(), DomainId::TRUSTED);
+        assert_eq!(t.stack_bound(), 0x0fff, "bound restored");
+        assert_eq!(t.cross_domain_depth(), 0);
+    }
+
+    #[test]
+    fn chained_cross_domain_calls_restore_in_order() {
+        // Paper: "cross domain calls can be chained: domain A calls domain B
+        // which in turn calls domain C."
+        let mut t = tracker();
+        t.on_call(0x0800, 0x0010, 0x0fe0).unwrap(); // trusted -> dom0
+        t.on_call(0x0880, 0x0020, 0x0fc0).unwrap(); // dom0 -> dom1
+        t.on_call(0x0900, 0x0030, 0x0fa0).unwrap(); // dom1 -> dom2
+        assert_eq!(t.current_domain(), DomainId::num(2));
+        assert_eq!(t.stack_bound(), 0x0fa0);
+
+        let r = t.on_ret().unwrap();
+        assert_eq!((r.target, t.current_domain(), t.stack_bound()), (0x0030, DomainId::num(1), 0x0fc0));
+        let r = t.on_ret().unwrap();
+        assert_eq!((r.target, t.current_domain(), t.stack_bound()), (0x0020, DomainId::num(0), 0x0fe0));
+        let r = t.on_ret().unwrap();
+        assert_eq!((r.target, t.current_domain(), t.stack_bound()), (0x0010, DomainId::TRUSTED, 0x0fff));
+    }
+
+    #[test]
+    fn mixed_local_and_cross_calls_interleave() {
+        let mut t = tracker();
+        t.on_call(0x0800, 0x0010, 0x0fe0).unwrap(); // -> dom0
+        t.on_call(0x0123, 0x0020, 0x0fd0).unwrap(); // local in dom0
+        assert_eq!(t.current_domain(), DomainId::num(0));
+        let r = t.on_ret().unwrap();
+        assert!(!r.cross_domain);
+        assert_eq!(t.current_domain(), DomainId::num(0), "local ret keeps domain");
+        let r = t.on_ret().unwrap();
+        assert!(r.cross_domain);
+        assert_eq!(t.current_domain(), DomainId::TRUSTED);
+    }
+
+    #[test]
+    fn jump_table_overflow_faults() {
+        let mut t = tracker();
+        let past_end = 0x0800 + 8 * 128;
+        assert!(matches!(
+            t.on_call(past_end, 0, 0),
+            Err(ProtectionFault::JumpTableOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn ret_on_empty_safe_stack_underflows() {
+        let mut t = tracker();
+        assert_eq!(t.on_ret(), Err(ProtectionFault::SafeStackUnderflow));
+    }
+
+    #[test]
+    fn depth_limit() {
+        let jt = JumpTableLayout::new(0x0800, 8);
+        let ss = SafeStack::new(0x0200, 1024);
+        let mut t = DomainTracker::new(jt, ss, 0x0fff).with_max_depth(2);
+        t.on_call(0x0800, 0, 0x0fe0).unwrap();
+        t.on_call(0x0880, 0, 0x0fd0).unwrap();
+        assert!(matches!(
+            t.on_call(0x0900, 0, 0x0fc0),
+            Err(ProtectionFault::TrackerDepthExceeded { depth: 3 })
+        ));
+    }
+}

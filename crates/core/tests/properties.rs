@@ -1,0 +1,245 @@
+//! Property-based tests of the golden-model invariants: the memory map
+//! under random operation sequences, the safe stack, and the cross-domain
+//! tracker.
+
+use harbor::{
+    DomainId, JumpTableLayout, MemMapConfig, MemoryMap, SafeStack, SafeStackEntry,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const BOTTOM: u16 = 0x0200;
+const TOP: u16 = 0x0600; // 128 blocks
+
+#[derive(Debug, Clone, Copy)]
+enum MapOp {
+    Set { block: u16, blocks: u16, owner: u8 },
+    Free { block: u16, requester: u8 },
+    ChangeOwn { block: u16, requester: u8, new_owner: u8 },
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (0u16..120, 1u16..8, 0u8..8).prop_map(|(block, blocks, owner)| MapOp::Set {
+            block,
+            blocks,
+            owner
+        }),
+        (0u16..128, 0u8..8).prop_map(|(block, requester)| MapOp::Free { block, requester }),
+        (0u16..128, 0u8..8, 0u8..8).prop_map(|(block, requester, new_owner)| {
+            MapOp::ChangeOwn { block, requester, new_owner }
+        }),
+    ]
+}
+
+/// A naive model: a BTreeMap of block → (owner, start).
+#[derive(Default)]
+struct NaiveMap {
+    records: BTreeMap<u16, (u8, bool)>,
+}
+
+impl NaiveMap {
+    fn owner(&self, block: u16) -> u8 {
+        self.records.get(&block).map_or(7, |r| r.0)
+    }
+
+    fn start(&self, block: u16) -> bool {
+        self.records.get(&block).is_none_or(|r| r.1)
+    }
+
+    fn segment(&self, block: u16) -> Option<Vec<u16>> {
+        if !self.start(block) {
+            return None;
+        }
+        let owner = self.owner(block);
+        let mut blocks = vec![block];
+        let mut b = block + 1;
+        while b < 128 && !self.start(b) && self.owner(b) == owner {
+            blocks.push(b);
+            b += 1;
+        }
+        Some(blocks)
+    }
+
+    fn apply(&mut self, op: MapOp) {
+        match op {
+            MapOp::Set { block, blocks, owner } => {
+                if block + blocks > 128 {
+                    return; // golden rejects this too
+                }
+                for (i, b) in (block..block + blocks).enumerate() {
+                    self.records.insert(b, (owner, i == 0));
+                }
+            }
+            MapOp::Free { block, requester } => {
+                let Some(seg) = self.segment(block) else { return };
+                let owner = self.owner(block);
+                if requester != 7 && requester != owner {
+                    return;
+                }
+                for b in seg {
+                    self.records.remove(&b);
+                }
+            }
+            MapOp::ChangeOwn { block, requester, new_owner } => {
+                let Some(seg) = self.segment(block) else { return };
+                let owner = self.owner(block);
+                if requester != 7 && requester != owner {
+                    return;
+                }
+                for (i, b) in seg.into_iter().enumerate() {
+                    self.records.insert(b, (new_owner, i == 0));
+                }
+            }
+        }
+    }
+}
+
+fn addr_of(block: u16) -> u16 {
+    BOTTOM + block * 8
+}
+
+proptest! {
+    /// The packed-nibble MemoryMap agrees with a naive per-block model
+    /// across arbitrary operation sequences.
+    #[test]
+    fn memory_map_matches_naive_model(ops in proptest::collection::vec(map_op(), 0..40)) {
+        let cfg = MemMapConfig::multi_domain(BOTTOM, TOP).unwrap();
+        let mut map = MemoryMap::new(cfg);
+        let mut naive = NaiveMap::default();
+        for op in ops {
+            match op {
+                MapOp::Set { block, blocks, owner } => {
+                    let _ = map.set_segment(
+                        DomainId::num(owner),
+                        addr_of(block),
+                        blocks * 8,
+                    );
+                }
+                MapOp::Free { block, requester } => {
+                    let _ = map.free_segment(DomainId::num(requester), addr_of(block));
+                }
+                MapOp::ChangeOwn { block, requester, new_owner } => {
+                    let _ = map.change_own(
+                        DomainId::num(requester),
+                        addr_of(block),
+                        DomainId::num(new_owner),
+                    );
+                }
+            }
+            naive.apply(op);
+        }
+        for block in 0..128u16 {
+            let addr = addr_of(block);
+            prop_assert_eq!(
+                map.owner_of(addr).unwrap().index(),
+                naive.owner(block),
+                "owner of block {}", block
+            );
+            prop_assert_eq!(
+                map.is_segment_start(addr).unwrap(),
+                naive.start(block),
+                "start flag of block {}", block
+            );
+        }
+    }
+
+    /// check_write is exactly "trusted, or owner" — for every domain and
+    /// block, after arbitrary operations.
+    #[test]
+    fn check_write_is_owner_or_trusted(ops in proptest::collection::vec(map_op(), 0..24)) {
+        let cfg = MemMapConfig::multi_domain(BOTTOM, TOP).unwrap();
+        let mut map = MemoryMap::new(cfg);
+        for op in ops {
+            match op {
+                MapOp::Set { block, blocks, owner } => {
+                    let _ = map.set_segment(DomainId::num(owner), addr_of(block), blocks * 8);
+                }
+                MapOp::Free { block, requester } => {
+                    let _ = map.free_segment(DomainId::num(requester), addr_of(block));
+                }
+                MapOp::ChangeOwn { block, requester, new_owner } => {
+                    let _ = map.change_own(
+                        DomainId::num(requester),
+                        addr_of(block),
+                        DomainId::num(new_owner),
+                    );
+                }
+            }
+        }
+        for block in (0..128u16).step_by(7) {
+            let addr = addr_of(block) + 3; // mid-block address
+            let owner = map.owner_of(addr).unwrap();
+            for dom in DomainId::all() {
+                let allowed = map.check_write(dom, addr).is_ok();
+                prop_assert_eq!(allowed, dom.is_trusted() || dom == owner);
+            }
+        }
+    }
+
+    /// Safe-stack push/pop is LIFO and byte-exact.
+    #[test]
+    fn safe_stack_is_lifo(entries in proptest::collection::vec(
+        prop_oneof![
+            any::<u16>().prop_map(SafeStackEntry::RetAddr),
+            (0u8..8, any::<u16>(), any::<u16>()).prop_map(|(d, b, r)| {
+                SafeStackEntry::CrossDomain {
+                    caller: DomainId::num(d),
+                    stack_bound: b,
+                    ret_addr: r,
+                }
+            }),
+        ],
+        0..40
+    )) {
+        let mut s = SafeStack::new(0x0d00, 4096);
+        for &e in &entries {
+            s.push(e).unwrap();
+        }
+        let expected_bytes: usize = entries.iter().map(|e| e.byte_len() as usize).sum();
+        prop_assert_eq!(s.used_bytes() as usize, expected_bytes);
+        prop_assert_eq!(s.to_bytes().len(), expected_bytes);
+        for &e in entries.iter().rev() {
+            prop_assert_eq!(s.pop().unwrap(), e);
+        }
+        prop_assert!(s.is_empty());
+    }
+
+    /// The tracker's domain/bound state is restored exactly by returns, for
+    /// arbitrary interleavings of local and cross-domain calls.
+    #[test]
+    fn tracker_unwinds_exactly(
+        calls in proptest::collection::vec((any::<bool>(), 0u8..8, any::<u16>()), 1..12)
+    ) {
+        let jt = JumpTableLayout::new(0x0800, 8);
+        let ss = SafeStack::new(0x0d00, 4096);
+        let mut t = harbor::DomainTracker::new(jt, ss, 0x0fff);
+        let mut expected: Vec<(DomainId, u16)> = Vec::new();
+        for (i, &(cross, dom, sp)) in calls.iter().enumerate() {
+            let ret_addr = 0x100 + i as u16;
+            if cross {
+                expected.push((t.current_domain(), t.stack_bound()));
+                t.on_call(jt.entry_addr(DomainId::num(dom), 0), ret_addr, sp).unwrap();
+                prop_assert_eq!(t.current_domain(), DomainId::num(dom));
+                prop_assert_eq!(t.stack_bound(), sp);
+            } else {
+                t.on_call(0x0100, ret_addr, sp).unwrap(); // below the tables
+            }
+        }
+        for i in (0..calls.len()).rev() {
+            let (cross, ..) = calls[i];
+            let before = (t.current_domain(), t.stack_bound());
+            let r = t.on_ret().unwrap();
+            prop_assert_eq!(r.target, 0x100 + i as u16, "returns unwind in order");
+            prop_assert_eq!(r.cross_domain, cross);
+            if cross {
+                let (dom, bound) = expected.pop().unwrap();
+                prop_assert_eq!(t.current_domain(), dom);
+                prop_assert_eq!(t.stack_bound(), bound);
+            } else {
+                prop_assert_eq!((t.current_domain(), t.stack_bound()), before);
+            }
+        }
+        prop_assert!(t.safe_stack().is_empty());
+    }
+}

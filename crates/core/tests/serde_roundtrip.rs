@@ -1,0 +1,63 @@
+//! Serde round-trip tests (only built with `--features serde`).
+#![cfg(feature = "serde")]
+
+use harbor::{
+    BlockSize, DomainId, JumpTableLayout, MemMapConfig, MemoryMap, ProtectionFault, Record,
+    SafeStackEntry,
+};
+
+#[test]
+fn memory_map_round_trips_through_json() {
+    let cfg = MemMapConfig::multi_domain(0x0200, 0x0400).unwrap();
+    let mut map = MemoryMap::new(cfg);
+    map.set_segment(DomainId::num(2), 0x0200, 40).unwrap();
+    map.set_segment(DomainId::num(5), 0x0300, 16).unwrap();
+
+    let json = serde_json::to_string(&map).unwrap();
+    let back: MemoryMap = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, map);
+    assert_eq!(back.owner_of(0x0210).unwrap(), DomainId::num(2));
+}
+
+#[test]
+fn invalid_payloads_are_rejected() {
+    // Domain id out of range.
+    assert!(serde_json::from_str::<DomainId>("9").is_err());
+    assert!(serde_json::from_str::<DomainId>("7").is_ok());
+    // Non-power-of-two block size.
+    assert!(serde_json::from_str::<BlockSize>("12").is_err());
+    assert!(serde_json::from_str::<BlockSize>("16").is_ok());
+    // Misaligned config.
+    let bad = r#"{"mode":"Multi","block_size":8,"prot_bottom":513,"prot_top":1024}"#;
+    assert!(serde_json::from_str::<MemMapConfig>(bad).is_err());
+    // Truncated memory-map table.
+    let cfg = MemMapConfig::multi_domain(0x0200, 0x0400).unwrap();
+    let bad_map = serde_json::json!({ "cfg": cfg, "bytes": [255, 255] });
+    assert!(serde_json::from_value::<MemoryMap>(bad_map).is_err());
+}
+
+#[test]
+fn plain_data_types_round_trip() {
+    let rec = Record { owner: DomainId::num(3), start: true };
+    let back: Record = serde_json::from_str(&serde_json::to_string(&rec).unwrap()).unwrap();
+    assert_eq!(back, rec);
+
+    let jt = JumpTableLayout::new(0x0800, 8);
+    let back: JumpTableLayout =
+        serde_json::from_str(&serde_json::to_string(&jt).unwrap()).unwrap();
+    assert_eq!(back, jt);
+
+    let e = SafeStackEntry::CrossDomain {
+        caller: DomainId::num(1),
+        stack_bound: 0x0f00,
+        ret_addr: 0x42,
+    };
+    let back: SafeStackEntry =
+        serde_json::from_str(&serde_json::to_string(&e).unwrap()).unwrap();
+    assert_eq!(back, e);
+
+    let f = ProtectionFault::MemMapViolation { addr: 0x300, domain: 1, owner: 2 };
+    let back: ProtectionFault =
+        serde_json::from_str(&serde_json::to_string(&f).unwrap()).unwrap();
+    assert_eq!(back, f);
+}

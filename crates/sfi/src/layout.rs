@@ -1,0 +1,88 @@
+//! The SFI kernel's memory layout: where the protection state variables and
+//! tables live. Mirrors [`umpu::UmpuConfig`]'s reference layout so the same
+//! workloads run under either implementation.
+
+/// Addresses of the SFI run-time's state variables and tables.
+///
+/// All protection state lives in the kernel-globals region (below the
+/// protected range), which rewritten modules can never write: the store
+/// checks themselves forbid it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SfiLayout {
+    /// Active-domain variable (1 byte) — the software analogue of the
+    /// UMPU status register.
+    pub cur_dom: u16,
+    /// Stack-bound variable (2 bytes, little endian).
+    pub stack_bound: u16,
+    /// Safe-stack pointer variable (2 bytes, little endian).
+    pub safe_stack_ptr: u16,
+    /// Safe-stack base (underflow limit).
+    pub safe_stack_base: u16,
+    /// Safe-stack limit (exclusive; overflow faults here).
+    pub safe_stack_limit: u16,
+    /// Base address of the memory-map table in RAM.
+    pub mem_map_base: u16,
+    /// Inclusive lower bound of memory-map-protected space.
+    pub prot_bottom: u16,
+    /// Exclusive upper bound of memory-map-protected space.
+    pub prot_top: u16,
+    /// Jump-table base (word address).
+    pub jt_base: u16,
+    /// Number of domains with jump tables.
+    pub jt_domains: u8,
+    /// Per-domain code-bounds table: 8 entries × 4 bytes
+    /// (start_lo, start_hi, end_lo, end_hi; word addresses, end exclusive).
+    pub code_bounds: u16,
+    /// log2 of the protection block size (3 = the paper's 8-byte blocks).
+    pub block_log2: u8,
+}
+
+impl SfiLayout {
+    /// The reference layout (matches `umpu::UmpuConfig::default_layout`):
+    ///
+    /// ```text
+    /// 0x0062           cur_dom
+    /// 0x0063..0x0064   stack_bound
+    /// 0x0065..0x0066   safe_stack_ptr
+    /// 0x0070..0x0170   memory-map table
+    /// 0x0170..0x0190   per-domain code-bounds table
+    /// 0x0200..0x0d00   heap        ┐ protected
+    /// 0x0d00..0x0e00   safe stack  ┘
+    /// 0x0e00..=0x0fff  run-time stack
+    /// jump tables at word 0x0800, 8 domains
+    /// ```
+    pub const fn default_layout() -> SfiLayout {
+        SfiLayout {
+            cur_dom: 0x0062,
+            stack_bound: 0x0063,
+            safe_stack_ptr: 0x0065,
+            safe_stack_base: 0x0d00,
+            safe_stack_limit: 0x0e00,
+            mem_map_base: 0x0070,
+            prot_bottom: 0x0200,
+            prot_top: 0x0e00,
+            jt_base: 0x0800,
+            jt_domains: 8,
+            code_bounds: 0x0170,
+            block_log2: 3,
+        }
+    }
+
+    /// The reference layout with a different protection block size.
+    pub const fn with_block_log2(block_log2: u8) -> SfiLayout {
+        let mut l = SfiLayout::default_layout();
+        l.block_log2 = block_log2;
+        l
+    }
+
+    /// First word address past the last jump table.
+    pub const fn jt_end(&self) -> u16 {
+        self.jt_base + self.jt_domains as u16 * 128
+    }
+}
+
+impl Default for SfiLayout {
+    fn default() -> Self {
+        SfiLayout::default_layout()
+    }
+}

@@ -1,0 +1,474 @@
+//! The binary rewriter: sandboxes a compiled AVR module by replacing every
+//! potentially unsafe operation with a call into the trusted run-time
+//! (Section 4 of the paper).
+//!
+//! Transformations applied:
+//!
+//! * `ST`/`STD`/`STS` → glue + call to the per-addressing-mode store check
+//!   (value in `r0`, displacement in `r24`, direct address materialised in
+//!   `X`);
+//! * `CALL`/`RCALL` into a jump table → `call harbor_xdom_call` followed by
+//!   the target as an inline flash word;
+//! * `RET`/`RETI` → `jmp harbor_restore_ret`;
+//! * `ICALL`/`IJMP` → the computed-target check;
+//! * every function entry (declared entry points plus all local call
+//!   targets) gains a `call harbor_save_ret` prologue;
+//! * conditional branches are rebuilt as an inverted branch over a `jmp`
+//!   (the rewritten code is longer, so ±64-word offsets cannot be assumed
+//!   to survive);
+//! * skip instructions (`CPSE`/`SBRC`/`SBRS`/`SBIC`/`SBIS`) are rebuilt so
+//!   they skip the *rewritten* next instruction, whatever its length.
+//!
+//! Correctness of the system never depends on this rewriter: the
+//! [verifier](crate::verifier) independently checks its output.
+
+use crate::runtime::SfiRuntime;
+use avr_asm::{disasm, Asm, AsmError, DisasmItem, Label, Object};
+use avr_core::isa::{Instr, Ptr, Reg};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Rewriting failed; the module cannot be sandboxed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// A word in the module is not a decodable instruction (modules must be
+    /// pure code).
+    Undecodable {
+        /// Word address of the offending word.
+        addr: u32,
+        /// The raw word.
+        word: u16,
+    },
+    /// A direct call targets neither the module itself nor a jump table.
+    CallOutsideModule {
+        /// Word address of the call.
+        addr: u32,
+        /// The target.
+        target: u32,
+    },
+    /// A direct jump or branch leaves the module.
+    JumpOutsideModule {
+        /// Word address of the jump.
+        addr: u32,
+        /// The target.
+        target: u32,
+    },
+    /// A control-flow target lands inside another instruction.
+    MisalignedTarget {
+        /// Word address of the transfer.
+        addr: u32,
+        /// The target.
+        target: u32,
+    },
+    /// The module manipulates the stack pointer directly (`out SPL/SPH`),
+    /// which the run-time cannot police.
+    StackPointerWrite {
+        /// Word address of the `out`.
+        addr: u32,
+    },
+    /// A skip instruction is the last instruction (nothing to skip).
+    DanglingSkip {
+        /// Word address of the skip.
+        addr: u32,
+    },
+    /// Relayout failed (e.g. the rewritten module grew past a relative
+    /// reach) — wraps the assembler error.
+    Asm(String),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use RewriteError::*;
+        match self {
+            Undecodable { addr, word } => {
+                write!(f, "word {word:#06x} at {addr:#06x} is not an instruction")
+            }
+            CallOutsideModule { addr, target } => write!(
+                f,
+                "call at {addr:#06x} targets {target:#06x}, outside the module and jump tables"
+            ),
+            JumpOutsideModule { addr, target } => {
+                write!(f, "jump at {addr:#06x} leaves the module (target {target:#06x})")
+            }
+            MisalignedTarget { addr, target } => write!(
+                f,
+                "transfer at {addr:#06x} targets {target:#06x}, inside another instruction"
+            ),
+            StackPointerWrite { addr } => {
+                write!(f, "direct stack-pointer write at {addr:#06x}")
+            }
+            DanglingSkip { addr } => write!(f, "skip at {addr:#06x} has nothing to skip"),
+            Asm(e) => write!(f, "relayout failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+impl From<AsmError> for RewriteError {
+    fn from(e: AsmError) -> Self {
+        RewriteError::Asm(e.to_string())
+    }
+}
+
+/// A sandboxed module ready to load.
+#[derive(Debug, Clone)]
+pub struct RewrittenModule {
+    /// The rewritten machine code.
+    pub object: Object,
+    /// Maps original instruction addresses to their rewritten addresses
+    /// (in particular for the declared entry points).
+    pub entry_map: BTreeMap<u32, u32>,
+}
+
+impl RewrittenModule {
+    /// Rewritten address of an original instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src_addr` was not an instruction boundary in the source.
+    pub fn translated(&self, src_addr: u32) -> u32 {
+        self.entry_map[&src_addr]
+    }
+}
+
+fn is_skip(i: Instr) -> bool {
+    matches!(
+        i,
+        Instr::Cpse { .. }
+            | Instr::Sbrc { .. }
+            | Instr::Sbrs { .. }
+            | Instr::Sbic { .. }
+            | Instr::Sbis { .. }
+    )
+}
+
+/// Rewrites (sandboxes) a module.
+///
+/// * `words` — the module's machine code, located at word address
+///   `src_origin`;
+/// * `entry_points` — word addresses (absolute, in the source image) of the
+///   module's exported functions;
+/// * `dst_origin` — where the rewritten module will be placed;
+/// * `runtime` — the trusted run-time to link the checks against.
+///
+/// # Errors
+///
+/// See [`RewriteError`]. The rewriter is conservative: anything it cannot
+/// prove rewritable is rejected.
+pub fn rewrite(
+    words: &[u16],
+    src_origin: u32,
+    entry_points: &[u32],
+    dst_origin: u32,
+    runtime: &SfiRuntime,
+) -> Result<RewrittenModule, RewriteError> {
+    let items = disasm(src_origin, words);
+    let src_end = src_origin + words.len() as u32;
+
+    // Reject raw words and build the instruction-boundary set.
+    let mut boundaries = BTreeSet::new();
+    for item in &items {
+        match *item {
+            DisasmItem::Raw { addr, word } => {
+                return Err(RewriteError::Undecodable { addr, word })
+            }
+            DisasmItem::Instr { addr, .. } => {
+                boundaries.insert(addr);
+            }
+        }
+    }
+
+    // Collect function entries: declared entry points plus local call
+    // targets (they all need the save-ret prologue).
+    let mut entries: BTreeSet<u32> = entry_points.iter().copied().collect();
+    for item in &items {
+        if let DisasmItem::Instr { addr, instr } = *item {
+            let target = match instr {
+                Instr::Call { k } => Some(k),
+                Instr::Rcall { k } => Some((addr + 1).wrapping_add(k as i32 as u32) & 0xffff),
+                _ => None,
+            };
+            if let Some(t) = target {
+                if (src_origin..src_end).contains(&t) {
+                    entries.insert(t);
+                }
+            }
+        }
+    }
+    for &e in &entries {
+        if !boundaries.contains(&e) {
+            return Err(RewriteError::MisalignedTarget { addr: e, target: e });
+        }
+    }
+
+    let mut rw = Rewriter {
+        a: Asm::new(),
+        labels: BTreeMap::new(),
+        runtime,
+        src_origin,
+        src_end,
+        boundaries: &boundaries,
+        entries: &entries,
+        stubs: StubConsts::default(),
+        scratch: 0,
+    };
+    rw.init_stub_consts();
+
+    let mut idx = 0;
+    while idx < items.len() {
+        idx = rw.translate(&items, idx)?;
+    }
+    // Bind the module-end label (skip landings off the last instruction).
+    let end_label = rw.label_at(src_end);
+    rw.a.bind(end_label);
+
+    let object = rw.a.assemble(dst_origin)?;
+    let mut entry_map = BTreeMap::new();
+    for &addr in &boundaries {
+        if let Some(dst) = object.symbol(&loc_name(addr)) {
+            entry_map.insert(addr, dst);
+        }
+    }
+    Ok(RewrittenModule { object, entry_map })
+}
+
+fn loc_name(addr: u32) -> String {
+    format!("L_{addr:05x}")
+}
+
+#[derive(Default)]
+struct StubConsts {
+    save_ret: Option<Label>,
+    restore_ret: Option<Label>,
+    xdom_call: Option<Label>,
+    icall_check: Option<Label>,
+    ijmp_check: Option<Label>,
+}
+
+struct Rewriter<'r> {
+    a: Asm,
+    labels: BTreeMap<u32, Label>,
+    runtime: &'r SfiRuntime,
+    src_origin: u32,
+    src_end: u32,
+    boundaries: &'r BTreeSet<u32>,
+    entries: &'r BTreeSet<u32>,
+    stubs: StubConsts,
+    scratch: u32,
+}
+
+impl Rewriter<'_> {
+    fn init_stub_consts(&mut self) {
+        self.stubs.save_ret =
+            Some(self.a.constant("harbor_save_ret", self.runtime.stub("harbor_save_ret")));
+        self.stubs.restore_ret = Some(
+            self.a.constant("harbor_restore_ret", self.runtime.stub("harbor_restore_ret")),
+        );
+        self.stubs.xdom_call =
+            Some(self.a.constant("harbor_xdom_call", self.runtime.stub("harbor_xdom_call")));
+        self.stubs.icall_check = Some(
+            self.a.constant("harbor_icall_check", self.runtime.stub("harbor_icall_check")),
+        );
+        self.stubs.ijmp_check = Some(
+            self.a.constant("harbor_ijmp_check", self.runtime.stub("harbor_ijmp_check")),
+        );
+    }
+
+    fn label_at(&mut self, addr: u32) -> Label {
+        if let Some(&l) = self.labels.get(&addr) {
+            return l;
+        }
+        let l = self.a.label(&loc_name(addr));
+        self.labels.insert(addr, l);
+        l
+    }
+
+    fn fresh(&mut self, base: &str) -> Label {
+        self.scratch += 1;
+        let name = format!("{base}_{}", self.scratch);
+        self.a.label(&name)
+    }
+
+    fn stub_const(&mut self, addr: u32) -> Label {
+        self.scratch += 1;
+        self.a.constant(&format!("stub_{}", self.scratch), addr)
+    }
+
+    fn in_module(&self, t: u32) -> bool {
+        (self.src_origin..self.src_end).contains(&t)
+    }
+
+    fn in_jump_tables(&self, t: u32) -> bool {
+        let l = self.runtime.layout();
+        (l.jt_base as u32..l.jt_end() as u32).contains(&t)
+    }
+
+    /// Translates the item at `idx`, returning the next index.
+    fn translate(&mut self, items: &[DisasmItem], idx: usize) -> Result<usize, RewriteError> {
+        let DisasmItem::Instr { addr, instr } = items[idx] else {
+            unreachable!("raw words rejected up front");
+        };
+        // Bind this instruction's location label; plant the prologue at
+        // function entries.
+        let l = self.label_at(addr);
+        self.a.bind(l);
+        if self.entries.contains(&addr) {
+            let save = self.stubs.save_ret.expect("stub consts initialised");
+            self.a.call(save);
+        }
+
+        if is_skip(instr) {
+            // skip + next → skip over an rjmp-to-next, then jmp to the
+            // original landing point:
+            //     <skip>            (unchanged, now skips the rjmp)
+            //     rjmp do_next      (taken when the original would NOT skip)
+            //     jmp L_<landing>   (reached when the original WOULD skip)
+            //   do_next:
+            //     <rewritten next>
+            //
+            // The landing target is the *original* address right past the
+            // next instruction (its label is bound wherever that
+            // instruction's translation begins — crucially, when the next
+            // instruction is itself a skip, the landing is the skip alone,
+            // not its whole rewritten construct).
+            if idx + 1 >= items.len() {
+                return Err(RewriteError::DanglingSkip { addr });
+            }
+            let next_addr = items[idx + 1].addr();
+            let landing = next_addr + items[idx + 1].words();
+            if landing != self.src_end && !self.boundaries.contains(&landing) {
+                return Err(RewriteError::MisalignedTarget { addr, target: landing });
+            }
+            let do_next = self.fresh("do_next");
+            let landing_label = self.label_at(landing);
+            self.a.emit(instr);
+            self.a.rjmp(do_next);
+            self.a.jmp(landing_label);
+            self.a.bind(do_next);
+            return self.translate(items, idx + 1);
+        }
+
+        match instr {
+            // ── stores ──────────────────────────────────────────────────
+            Instr::St { ptr, mode, r } => {
+                let stub = self.stub_const(self.runtime.store_stub(ptr, mode));
+                self.a.push(Reg::R0);
+                self.a.mov(Reg::R0, r);
+                self.a.call(stub);
+                self.a.pop(Reg::R0);
+            }
+            Instr::Std { ptr, q, r } => {
+                let stub = self.stub_const(self.runtime.displaced_store_stub(ptr));
+                self.a.push(Reg::R0);
+                self.a.mov(Reg::R0, r);
+                self.a.push(Reg::R24);
+                self.a.ldi(Reg::R24, q);
+                self.a.call(stub);
+                self.a.pop(Reg::R24);
+                self.a.pop(Reg::R0);
+            }
+            Instr::Sts { k, r } => {
+                let stub = self
+                    .stub_const(self.runtime.store_stub(Ptr::X, avr_core::isa::PtrMode::Plain));
+                self.a.push(Reg::R0);
+                self.a.mov(Reg::R0, r);
+                self.a.push(Reg::R26);
+                self.a.push(Reg::R27);
+                self.a.ldi(Reg::R26, (k & 0xff) as u8);
+                self.a.ldi(Reg::R27, (k >> 8) as u8);
+                self.a.call(stub);
+                self.a.pop(Reg::R27);
+                self.a.pop(Reg::R26);
+                self.a.pop(Reg::R0);
+            }
+
+            // ── calls & returns ─────────────────────────────────────────
+            Instr::Call { k } => self.rewrite_call(addr, k)?,
+            Instr::Rcall { k } => {
+                let target = (addr + 1).wrapping_add(k as i32 as u32) & 0xffff;
+                self.rewrite_call(addr, target)?;
+            }
+            Instr::Ret | Instr::Reti => {
+                let restore = self.stubs.restore_ret.expect("stub consts initialised");
+                self.a.jmp(restore);
+            }
+            Instr::Icall => {
+                let check = self.stubs.icall_check.expect("stub consts initialised");
+                self.a.call(check);
+            }
+            Instr::Ijmp => {
+                let check = self.stubs.ijmp_check.expect("stub consts initialised");
+                self.a.jmp(check);
+            }
+
+            // ── jumps & branches ────────────────────────────────────────
+            Instr::Jmp { k } => {
+                if !self.in_module(k) {
+                    return Err(RewriteError::JumpOutsideModule { addr, target: k });
+                }
+                self.check_aligned(addr, k)?;
+                let l = self.label_at(k);
+                self.a.jmp(l);
+            }
+            Instr::Rjmp { k } => {
+                let target = (addr + 1).wrapping_add(k as i32 as u32) & 0xffff;
+                if !self.in_module(target) {
+                    return Err(RewriteError::JumpOutsideModule { addr, target });
+                }
+                self.check_aligned(addr, target)?;
+                let l = self.label_at(target);
+                self.a.jmp(l);
+            }
+            Instr::Brbs { s, k } | Instr::Brbc { s, k } => {
+                let target = (addr + 1).wrapping_add(k as i32 as u32) & 0xffff;
+                if !self.in_module(target) {
+                    return Err(RewriteError::JumpOutsideModule { addr, target });
+                }
+                self.check_aligned(addr, target)?;
+                let over = self.fresh("br_over");
+                let dest = self.label_at(target);
+                // Inverted branch over an absolute jump.
+                if matches!(instr, Instr::Brbs { .. }) {
+                    self.a.brbc(s, over);
+                } else {
+                    self.a.brbs(s, over);
+                }
+                self.a.jmp(dest);
+                self.a.bind(over);
+            }
+
+            // ── stack-pointer writes are not sandboxable ────────────────
+            Instr::Out { a: port, .. } if port == 0x3d || port == 0x3e => {
+                return Err(RewriteError::StackPointerWrite { addr });
+            }
+
+            // ── everything else is safe as-is ───────────────────────────
+            other => self.a.emit(other),
+        }
+        Ok(idx + 1)
+    }
+
+    fn check_aligned(&self, addr: u32, target: u32) -> Result<(), RewriteError> {
+        if self.boundaries.contains(&target) {
+            Ok(())
+        } else {
+            Err(RewriteError::MisalignedTarget { addr, target })
+        }
+    }
+
+    fn rewrite_call(&mut self, addr: u32, target: u32) -> Result<(), RewriteError> {
+        if self.in_module(target) {
+            self.check_aligned(addr, target)?;
+            let l = self.label_at(target);
+            self.a.call(l);
+        } else if self.in_jump_tables(target) {
+            let xdom = self.stubs.xdom_call.expect("stub consts initialised");
+            self.a.call(xdom);
+            self.a.words(&[target as u16]);
+        } else {
+            return Err(RewriteError::CallOutsideModule { addr, target });
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,444 @@
+//! The on-node verifier: independently validates a (supposedly) sandboxed
+//! module before the loader accepts it.
+//!
+//! Harbor's safety argument rests here: "correctness depends only upon the
+//! correctness of the verifier and the Harbor runtime, and not on the
+//! rewriter". The verifier is a two-pass linear scan with constant
+//! per-instruction state — the "simple verifier" the paper describes.
+//!
+//! Accepted modules satisfy:
+//!
+//! * every word decodes (the only data words are the inline jump-table
+//!   operands following `call harbor_xdom_call`, and those must point into
+//!   the jump tables);
+//! * no raw stores (`ST`/`STD`/`STS`), no bare `RET`/`RETI`, no raw
+//!   `ICALL`/`IJMP`, no stack-pointer writes;
+//! * every direct call targets the module itself (on an instruction
+//!   boundary) or an allow-listed run-time stub;
+//! * every jump/branch stays inside the module on instruction boundaries
+//!   (or exits through `harbor_restore_ret`/`harbor_ijmp_check`);
+//! * skip instructions land on instruction boundaries (in particular they
+//!   cannot skip into an inline operand).
+
+use crate::runtime::SfiRuntime;
+use avr_core::isa::{self, Instr};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// What the verifier enforces; derive it from the installed run-time with
+/// [`VerifierConfig::for_runtime`].
+#[derive(Debug, Clone)]
+pub struct VerifierConfig {
+    /// First word address of the jump tables.
+    pub jt_base: u32,
+    /// First word address past the jump tables.
+    pub jt_end: u32,
+    /// Stubs a module may `call` (store checks, `harbor_save_ret`,
+    /// `harbor_icall_check`).
+    pub allowed_call_stubs: BTreeSet<u32>,
+    /// Stubs a module may `jmp` to (`harbor_restore_ret`,
+    /// `harbor_ijmp_check`).
+    pub allowed_jump_stubs: BTreeSet<u32>,
+    /// The cross-domain call stub (whose calls carry an inline operand).
+    pub xdom_call_stub: u32,
+}
+
+impl VerifierConfig {
+    /// Builds the configuration matching a generated run-time.
+    pub fn for_runtime(rt: &SfiRuntime) -> VerifierConfig {
+        let l = rt.layout();
+        let mut allowed_call_stubs: BTreeSet<u32> = rt.stub_addresses().into_iter().collect();
+        // The return gate, restore stub and trusted-dispatch entry are
+        // never valid *call* targets for modules.
+        allowed_call_stubs.remove(&rt.stub("harbor_xdom_ret"));
+        allowed_call_stubs.remove(&rt.stub("harbor_restore_ret"));
+        allowed_call_stubs.remove(&rt.stub("harbor_xdom_call_z"));
+        allowed_call_stubs.remove(&rt.stub("harbor_ijmp_check"));
+        let allowed_jump_stubs =
+            [rt.stub("harbor_restore_ret"), rt.stub("harbor_ijmp_check")]
+                .into_iter()
+                .collect();
+        VerifierConfig {
+            jt_base: l.jt_base as u32,
+            jt_end: l.jt_end() as u32,
+            allowed_call_stubs,
+            allowed_jump_stubs,
+            xdom_call_stub: rt.stub("harbor_xdom_call"),
+        }
+    }
+}
+
+/// A verification failure (the module is rejected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A word does not decode and is not a sanctioned inline operand.
+    Undecodable {
+        /// Word address.
+        addr: u32,
+        /// The raw word.
+        word: u16,
+    },
+    /// A raw store instruction survived (not rewritten).
+    RawStore {
+        /// Word address.
+        addr: u32,
+    },
+    /// A raw `ICALL`/`IJMP` survived.
+    ComputedTransfer {
+        /// Word address.
+        addr: u32,
+    },
+    /// A bare `RET`/`RETI` survived.
+    BareReturn {
+        /// Word address.
+        addr: u32,
+    },
+    /// A direct write to the stack pointer.
+    StackPointerWrite {
+        /// Word address.
+        addr: u32,
+    },
+    /// A call target outside the module and the stub allow-list.
+    IllegalCallTarget {
+        /// Word address of the call.
+        addr: u32,
+        /// The target.
+        target: u32,
+    },
+    /// A jump target outside the module and the jump allow-list.
+    IllegalJumpTarget {
+        /// Word address of the jump.
+        addr: u32,
+        /// The target.
+        target: u32,
+    },
+    /// A control transfer (or skip landing) does not hit an instruction
+    /// boundary.
+    MisalignedTarget {
+        /// Word address of the transfer.
+        addr: u32,
+        /// The target.
+        target: u32,
+    },
+    /// The inline operand of a cross-domain call points outside the jump
+    /// tables.
+    BadInlineOperand {
+        /// Word address of the operand.
+        addr: u32,
+        /// Its value.
+        value: u16,
+    },
+    /// A cross-domain call at the end of the module has no operand word.
+    MissingInlineOperand {
+        /// Word address of the call.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use VerifyError::*;
+        match *self {
+            Undecodable { addr, word } => {
+                write!(f, "undecodable word {word:#06x} at {addr:#06x}")
+            }
+            RawStore { addr } => write!(f, "raw store at {addr:#06x}"),
+            ComputedTransfer { addr } => write!(f, "raw computed transfer at {addr:#06x}"),
+            BareReturn { addr } => write!(f, "bare return at {addr:#06x}"),
+            StackPointerWrite { addr } => write!(f, "stack-pointer write at {addr:#06x}"),
+            IllegalCallTarget { addr, target } => {
+                write!(f, "illegal call target {target:#06x} at {addr:#06x}")
+            }
+            IllegalJumpTarget { addr, target } => {
+                write!(f, "illegal jump target {target:#06x} at {addr:#06x}")
+            }
+            MisalignedTarget { addr, target } => {
+                write!(f, "misaligned transfer target {target:#06x} at {addr:#06x}")
+            }
+            BadInlineOperand { addr, value } => {
+                write!(f, "inline operand {value:#06x} at {addr:#06x} is outside the jump tables")
+            }
+            MissingInlineOperand { addr } => {
+                write!(f, "cross-domain call at {addr:#06x} lacks its inline operand")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies a module image located at word address `origin`.
+///
+/// This is the host-friendly implementation: it materialises the decoded
+/// instruction list (O(n) extra memory) for fast boundary checks. The
+/// on-node variant is [`verify_constant_memory`]; the two accept exactly
+/// the same binaries (see the `verifier_design_space` tests).
+///
+/// # Errors
+///
+/// The first [`VerifyError`] encountered; a rejected module must not be
+/// loaded.
+pub fn verify(words: &[u16], origin: u32, cfg: &VerifierConfig) -> Result<(), VerifyError> {
+    let end = origin + words.len() as u32;
+    let in_module = |t: u32| (origin..end).contains(&t);
+
+    // Pass 1: decode, separating inline operands, and record boundaries.
+    let mut instrs: Vec<(u32, Instr)> = Vec::new();
+    let mut boundaries: BTreeSet<u32> = BTreeSet::new();
+    let mut idx = 0usize;
+    while idx < words.len() {
+        let addr = origin + idx as u32;
+        let w0 = words[idx];
+        let w1 = words.get(idx + 1).copied();
+        let instr = match isa::decode(w0, w1) {
+            Ok(i) => i,
+            Err(_) => return Err(VerifyError::Undecodable { addr, word: w0 }),
+        };
+        boundaries.insert(addr);
+        instrs.push((addr, instr));
+        idx += instr.words() as usize;
+        // A cross-domain call carries one inline data word.
+        if let Instr::Call { k } = instr {
+            if k == cfg.xdom_call_stub {
+                let Some(&operand) = words.get(idx) else {
+                    return Err(VerifyError::MissingInlineOperand { addr });
+                };
+                let oaddr = origin + idx as u32;
+                if !(cfg.jt_base..cfg.jt_end).contains(&(operand as u32)) {
+                    return Err(VerifyError::BadInlineOperand { addr: oaddr, value: operand });
+                }
+                idx += 1; // the operand is data, not an instruction
+            }
+        }
+    }
+
+    // Pass 2: per-instruction rules.
+    for (pos, &(addr, instr)) in instrs.iter().enumerate() {
+        match instr {
+            Instr::St { .. } | Instr::Std { .. } | Instr::Sts { .. } => {
+                return Err(VerifyError::RawStore { addr })
+            }
+            Instr::Icall | Instr::Ijmp => {
+                return Err(VerifyError::ComputedTransfer { addr })
+            }
+            Instr::Ret | Instr::Reti => return Err(VerifyError::BareReturn { addr }),
+            Instr::Out { a, .. } if a == 0x3d || a == 0x3e => {
+                return Err(VerifyError::StackPointerWrite { addr })
+            }
+            Instr::Call { .. } | Instr::Rcall { .. } => {
+                let target = match instr {
+                    Instr::Call { k } => k,
+                    Instr::Rcall { k } => (addr + 1).wrapping_add(k as i32 as u32) & 0xffff,
+                    _ => unreachable!(),
+                };
+                if target == cfg.xdom_call_stub {
+                    // Operand validated in pass 1.
+                } else if in_module(target) {
+                    if !boundaries.contains(&target) {
+                        return Err(VerifyError::MisalignedTarget { addr, target });
+                    }
+                } else if !cfg.allowed_call_stubs.contains(&target) {
+                    return Err(VerifyError::IllegalCallTarget { addr, target });
+                }
+            }
+            Instr::Jmp { k } => {
+                if in_module(k) {
+                    if !boundaries.contains(&k) {
+                        return Err(VerifyError::MisalignedTarget { addr, target: k });
+                    }
+                } else if !cfg.allowed_jump_stubs.contains(&k) {
+                    return Err(VerifyError::IllegalJumpTarget { addr, target: k });
+                }
+            }
+            Instr::Rjmp { k } => {
+                let target = (addr + 1).wrapping_add(k as i32 as u32) & 0xffff;
+                if !in_module(target) {
+                    return Err(VerifyError::IllegalJumpTarget { addr, target });
+                }
+                if !boundaries.contains(&target) {
+                    return Err(VerifyError::MisalignedTarget { addr, target });
+                }
+            }
+            Instr::Brbs { k, .. } | Instr::Brbc { k, .. } => {
+                let target = (addr + 1).wrapping_add(k as i32 as u32) & 0xffff;
+                if !in_module(target) {
+                    return Err(VerifyError::IllegalJumpTarget { addr, target });
+                }
+                if !boundaries.contains(&target) {
+                    return Err(VerifyError::MisalignedTarget { addr, target });
+                }
+            }
+            Instr::Cpse { .. }
+            | Instr::Sbrc { .. }
+            | Instr::Sbrs { .. }
+            | Instr::Sbic { .. }
+            | Instr::Sbis { .. } => {
+                // The skip lands past the *next* instruction; it must hit a
+                // boundary (in particular, not an inline operand).
+                let Some(&(next_addr, next)) = instrs.get(pos + 1) else {
+                    return Err(VerifyError::MisalignedTarget { addr, target: addr + 1 });
+                };
+                let landing = next_addr + next.words();
+                if landing < end && !boundaries.contains(&landing) {
+                    return Err(VerifyError::MisalignedTarget { addr, target: landing });
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+// ─────────────────────────────────────────────────────────────────────────
+// The constant-memory variant — the paper's open design-space question.
+// ─────────────────────────────────────────────────────────────────────────
+
+/// Walks the image from its start, returning `true` iff `target` is an
+/// instruction boundary (respecting two-word instructions and the inline
+/// operand that follows every cross-domain call). O(n) time, O(1) memory.
+fn is_boundary_by_walk(words: &[u16], origin: u32, target: u32, cfg: &VerifierConfig) -> bool {
+    let mut idx = 0usize;
+    while idx < words.len() {
+        let addr = origin + idx as u32;
+        if addr == target {
+            return true;
+        }
+        if addr > target {
+            return false;
+        }
+        let w0 = words[idx];
+        let w1 = words.get(idx + 1).copied();
+        let Ok(instr) = isa::decode(w0, w1) else { return false };
+        idx += instr.words() as usize;
+        if let Instr::Call { k } = instr {
+            if k == cfg.xdom_call_stub {
+                idx += 1; // the inline operand is data
+            }
+        }
+    }
+    origin + words.len() as u32 == target
+}
+
+/// Verifies a module with **constant extra memory** — the variant a 4 KiB
+/// mote can actually run on-node, where the host implementation's decoded
+/// instruction list would not fit.
+///
+/// The paper: "we have designed a simple verifier that requires constant
+/// state information for a binary. Exploring the design space of verifiers
+/// and evaluating their impact on performance is a challenge that remains
+/// to be addressed." This function is one point in that space: it trades
+/// memory for time by re-walking the image to answer each
+/// is-this-a-boundary query, giving O(1) memory at O(n·t) time (t =
+/// control transfers). [`verify`] is the opposite point: O(n) memory,
+/// O(n + t) time. Both accept exactly the same binaries.
+///
+/// # Errors
+///
+/// The same [`VerifyError`]s as [`verify`], though when a module has
+/// several problems the two variants may report different (equally valid)
+/// first findings.
+pub fn verify_constant_memory(
+    words: &[u16],
+    origin: u32,
+    cfg: &VerifierConfig,
+) -> Result<(), VerifyError> {
+    let end = origin + words.len() as u32;
+    let in_module = |t: u32| (origin..end).contains(&t);
+    let boundary = |t: u32| is_boundary_by_walk(words, origin, t, cfg);
+
+    let mut idx = 0usize;
+    while idx < words.len() {
+        let addr = origin + idx as u32;
+        let w0 = words[idx];
+        let w1 = words.get(idx + 1).copied();
+        let instr = match isa::decode(w0, w1) {
+            Ok(i) => i,
+            Err(_) => return Err(VerifyError::Undecodable { addr, word: w0 }),
+        };
+        idx += instr.words() as usize;
+
+        match instr {
+            Instr::St { .. } | Instr::Std { .. } | Instr::Sts { .. } => {
+                return Err(VerifyError::RawStore { addr })
+            }
+            Instr::Icall | Instr::Ijmp => {
+                return Err(VerifyError::ComputedTransfer { addr })
+            }
+            Instr::Ret | Instr::Reti => return Err(VerifyError::BareReturn { addr }),
+            Instr::Out { a, .. } if a == 0x3d || a == 0x3e => {
+                return Err(VerifyError::StackPointerWrite { addr })
+            }
+            Instr::Call { .. } | Instr::Rcall { .. } => {
+                let target = match instr {
+                    Instr::Call { k } => k,
+                    Instr::Rcall { k } => (addr + 1).wrapping_add(k as i32 as u32) & 0xffff,
+                    _ => unreachable!(),
+                };
+                if target == cfg.xdom_call_stub {
+                    let Some(&operand) = words.get(idx) else {
+                        return Err(VerifyError::MissingInlineOperand { addr });
+                    };
+                    let oaddr = origin + idx as u32;
+                    if !(cfg.jt_base..cfg.jt_end).contains(&(operand as u32)) {
+                        return Err(VerifyError::BadInlineOperand {
+                            addr: oaddr,
+                            value: operand,
+                        });
+                    }
+                    idx += 1;
+                } else if in_module(target) {
+                    if !boundary(target) {
+                        return Err(VerifyError::MisalignedTarget { addr, target });
+                    }
+                } else if !cfg.allowed_call_stubs.contains(&target) {
+                    return Err(VerifyError::IllegalCallTarget { addr, target });
+                }
+            }
+            Instr::Jmp { k } => {
+                if in_module(k) {
+                    if !boundary(k) {
+                        return Err(VerifyError::MisalignedTarget { addr, target: k });
+                    }
+                } else if !cfg.allowed_jump_stubs.contains(&k) {
+                    return Err(VerifyError::IllegalJumpTarget { addr, target: k });
+                }
+            }
+            Instr::Rjmp { .. } | Instr::Brbs { .. } | Instr::Brbc { .. } => {
+                let target = match instr {
+                    Instr::Rjmp { k } => (addr + 1).wrapping_add(k as i32 as u32) & 0xffff,
+                    Instr::Brbs { k, .. } | Instr::Brbc { k, .. } => {
+                        (addr + 1).wrapping_add(k as i32 as u32) & 0xffff
+                    }
+                    _ => unreachable!(),
+                };
+                if !in_module(target) {
+                    return Err(VerifyError::IllegalJumpTarget { addr, target });
+                }
+                if !boundary(target) {
+                    return Err(VerifyError::MisalignedTarget { addr, target });
+                }
+            }
+            Instr::Cpse { .. }
+            | Instr::Sbrc { .. }
+            | Instr::Sbrs { .. }
+            | Instr::Sbic { .. }
+            | Instr::Sbis { .. } => {
+                // Landing = past the next instruction.
+                let next_addr = origin + idx as u32;
+                let Some(&nw0) = words.get(idx) else {
+                    return Err(VerifyError::MisalignedTarget { addr, target: next_addr });
+                };
+                let nw1 = words.get(idx + 1).copied();
+                let Ok(next) = isa::decode(nw0, nw1) else {
+                    return Err(VerifyError::Undecodable { addr: next_addr, word: nw0 });
+                };
+                let landing = next_addr + next.words();
+                if landing < end && !boundary(landing) {
+                    return Err(VerifyError::MisalignedTarget { addr, target: landing });
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! The verifier design space (the paper's stated open question): the
+//! O(n)-memory host verifier and the O(1)-memory on-node verifier must
+//! accept/reject exactly the same binaries.
+
+use avr_asm::Asm;
+use avr_core::isa::{Ptr, PtrMode, Reg};
+use harbor_sfi::{
+    rewrite, verify, verify_constant_memory, SfiLayout, SfiRuntime, VerifierConfig,
+};
+use proptest::prelude::*;
+
+const ORIGIN: u32 = 0x1000;
+
+fn runtime() -> SfiRuntime {
+    SfiRuntime::build(SfiLayout::default_layout(), 0x0040)
+}
+
+/// A small generator of module shapes covering all the verifier's rules.
+fn sample_module(variant: u8) -> Asm {
+    let mut a = Asm::new();
+    match variant % 6 {
+        0 => {
+            a.ldi(Reg::R16, 1);
+            a.sts(0x0300, Reg::R16);
+            a.ret();
+        }
+        1 => {
+            let l = a.label("l");
+            a.bind(l);
+            a.st(Ptr::X, PtrMode::PostInc, Reg::R0);
+            a.dec(Reg::R16);
+            a.brne(l);
+            a.ret();
+        }
+        2 => {
+            a.sbrc(Reg::R16, 3);
+            a.std(Ptr::Z, 9, Reg::R17);
+            a.ret();
+        }
+        3 => {
+            let f = a.label("f");
+            a.rcall(f);
+            a.ret();
+            a.bind(f);
+            a.cpse(Reg::R0, Reg::R1);
+            a.rjmp(f);
+            a.ret();
+        }
+        4 => {
+            // Cross-domain call into domain 3's jump table.
+            let jt = SfiLayout::default_layout().jt_base as u32 + 3 * 128;
+            a.call_abs(jt);
+            a.ret();
+        }
+        _ => {
+            a.ldi(Reg::R30, 0);
+            a.ldi(Reg::R31, 0x10);
+            a.icall();
+            a.ret();
+        }
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Equivalence over valid modules, and over the same modules with one
+    /// word randomly mutated (the tampering the verifier exists to catch).
+    #[test]
+    fn both_verifiers_agree(variant in 0u8..6, mutate_at in any::<u16>(), mutate_to in any::<u16>()) {
+        let rt = runtime();
+        let cfg = VerifierConfig::for_runtime(&rt);
+        let original = sample_module(variant).assemble(ORIGIN).unwrap();
+        let rewritten = rewrite(original.words(), ORIGIN, &[ORIGIN], ORIGIN, &rt).unwrap();
+
+        // Clean rewriter output: both must accept.
+        let clean = rewritten.object.words().to_vec();
+        prop_assert!(verify(&clean, ORIGIN, &cfg).is_ok());
+        prop_assert!(verify_constant_memory(&clean, ORIGIN, &cfg).is_ok());
+
+        // Mutated binary: both must agree on accept/reject.
+        let mut mutated = clean.clone();
+        let at = (mutate_at as usize) % mutated.len();
+        mutated[at] = mutate_to;
+        let fast = verify(&mutated, ORIGIN, &cfg).is_ok();
+        let small = verify_constant_memory(&mutated, ORIGIN, &cfg).is_ok();
+        prop_assert_eq!(
+            fast, small,
+            "verdicts diverge on mutation at {} -> {:#06x}", at, mutate_to
+        );
+    }
+}
+
+#[test]
+fn constant_memory_variant_rejects_the_attack_battery() {
+    let rt = runtime();
+    let cfg = VerifierConfig::for_runtime(&rt);
+
+    // Raw store.
+    let mut a = Asm::new();
+    a.ldi(Reg::R16, 1);
+    a.sts(0x0300, Reg::R16);
+    let obj = a.assemble(ORIGIN).unwrap();
+    assert!(verify_constant_memory(obj.words(), ORIGIN, &cfg).is_err());
+
+    // Bare return.
+    let mut a = Asm::new();
+    a.ret();
+    let obj = a.assemble(ORIGIN).unwrap();
+    assert!(verify_constant_memory(obj.words(), ORIGIN, &cfg).is_err());
+
+    // Escaping call.
+    let mut a = Asm::new();
+    a.call_abs(0);
+    let obj = a.assemble(ORIGIN).unwrap();
+    assert!(verify_constant_memory(obj.words(), ORIGIN, &cfg).is_err());
+
+    // Misaligned branch (into the middle of a 2-word call): hand-build.
+    let mut a = Asm::new();
+    let mid = a.constant("mid", ORIGIN + 3); // the call·s operand word
+    a.jmp(mid);
+    a.call_abs(rt.stub("harbor_save_ret"));
+    let obj = a.assemble(ORIGIN).unwrap();
+    assert!(matches!(
+        verify_constant_memory(obj.words(), ORIGIN, &cfg),
+        Err(harbor_sfi::VerifyError::MisalignedTarget { .. })
+    ));
+}

@@ -1,0 +1,198 @@
+//! The system memory map: where the kernel, run-time, jump tables, module
+//! slots and kernel data structures live. One concrete instance of the
+//! paper's flexible layout, shared by all three protection builds.
+
+use harbor_sfi::SfiLayout;
+
+/// Flash and RAM layout constants for the mini-SOS system.
+///
+/// ```text
+/// flash (word addresses)                 RAM (byte addresses)
+/// 0x0000  reset vector                   0x0060  kernel scratch
+/// 0x0040  kernel boot + scheduler        0x0062  cur_dom (SFI)
+/// 0x0200  SFI run-time (SFI build only)  0x0063  stack_bound (SFI)
+/// 0x0400  kernel API (jump-table         0x0065  safe_stack_ptr (SFI)
+///         reachable: malloc/free/…)      0x0070  memory-map table (192 B)
+/// 0x0800  jump tables (8 × 128 rjmp)     0x0170  code-bounds table (SFI)
+/// 0x0c00  module slots, 256 words per    0x0190  heap alloc bitmap (31 B)
+///         user domain (dom 0..=6)        0x01bc  message queue
+///                                        0x01de  dispatch table (None build)
+///                                        0x0200  heap (protected)
+///                                        0x0d00  safe stack (protected)
+///                                        0x0e00  run-time stack
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SosLayout {
+    /// The protection-state layout (shared with the SFI run-time and
+    /// matching `umpu::UmpuConfig::default_layout`).
+    pub prot: SfiLayout,
+    /// Kernel boot/scheduler code origin (word address).
+    pub kernel_origin: u32,
+    /// SFI run-time origin (word address; SFI build only).
+    pub runtime_origin: u32,
+    /// Kernel API functions origin — must be within `rjmp` reach of the
+    /// trusted domain's jump-table page.
+    pub api_origin: u32,
+    /// First module slot (word address).
+    pub module_slots: u32,
+    /// Module slot size in words.
+    pub slot_words: u32,
+    /// Heap alloc bitmap address (one bit per heap block).
+    pub alloc_bitmap: u16,
+    /// Number of allocatable heap blocks (8-byte blocks from the heap base;
+    /// capped at 248 so block indices fit in a byte).
+    pub alloc_blocks: u16,
+    /// Message-queue head index address.
+    pub q_head: u16,
+    /// Message-queue tail index address.
+    pub q_tail: u16,
+    /// Message-queue buffer address (16 × 2-byte entries).
+    pub q_buf: u16,
+    /// Dispatch table for the unprotected build (8 × 2-byte module entry
+    /// word addresses). Reserved; the current kernel dispatches through the
+    /// jump tables in every build.
+    pub dispatch_table: u16,
+    /// Destination domain of timer-interrupt messages (1 byte).
+    pub timer_dom: u16,
+}
+
+impl SosLayout {
+    /// The reference layout.
+    pub const fn default_layout() -> SosLayout {
+        SosLayout {
+            prot: SfiLayout::default_layout(),
+            kernel_origin: 0x0040,
+            runtime_origin: 0x0200,
+            api_origin: 0x0400,
+            module_slots: 0x0c00,
+            slot_words: 0x0100,
+            alloc_bitmap: 0x0190,
+            alloc_blocks: 1984 >> 3, // 248 blocks of 8 bytes
+            q_head: 0x01bc,
+            q_tail: 0x01bd,
+            q_buf: 0x01be,
+            dispatch_table: 0x01de,
+            timer_dom: 0x01fd,
+        }
+    }
+
+    /// Word address of the timer-interrupt vector (a `jmp` right after the
+    /// two-word reset vector).
+    pub const fn timer_vector(&self) -> u32 {
+        2
+    }
+
+    /// Heap base (equals the protected range's bottom).
+    pub const fn heap_base(&self) -> u16 {
+        self.prot.prot_bottom
+    }
+
+    /// Word address of a domain's module slot.
+    pub const fn slot_for(&self, dom: u8) -> u32 {
+        self.module_slots + dom as u32 * self.slot_words
+    }
+
+    /// Word address of a domain's jump-table page.
+    pub const fn jt_page(&self, dom: u8) -> u16 {
+        self.prot.jt_base + dom as u16 * 128
+    }
+
+    /// Word address of jump-table `entry` of `dom`.
+    pub const fn jt_entry(&self, dom: u8, entry: u16) -> u16 {
+        self.jt_page(dom) + entry
+    }
+
+    /// Word address of the in-jump-table error stub (SOS's "failed dynamic
+    /// link" target): the last two entries of the trusted domain's page.
+    pub const fn jt_error_stub(&self) -> u16 {
+        self.prot.jt_base + 8 * 128 - 2
+    }
+
+    /// Message-queue capacity (entries).
+    pub const fn queue_capacity(&self) -> u8 {
+        16
+    }
+
+    /// The reference layout with a different protection block size (the
+    /// allocatable byte span stays fixed; the block count scales).
+    ///
+    /// # Panics
+    ///
+    /// Panics for block sizes outside 8..=32 bytes: finer blocks overflow
+    /// the kernel's 8-bit block indices, coarser ones break the 32-byte
+    /// alignment of the per-module state segments.
+    pub const fn with_block_log2(block_log2: u8) -> SosLayout {
+        assert!(block_log2 >= 3 && block_log2 <= 5, "supported block sizes: 8..=32");
+        let mut l = SosLayout::default_layout();
+        l.prot.block_log2 = block_log2;
+        l.alloc_blocks = 1984 >> block_log2;
+        l
+    }
+
+    /// log2 of the protection block size.
+    pub const fn block_log2(&self) -> u8 {
+        self.prot.block_log2
+    }
+
+    /// The protection block size in bytes.
+    pub const fn block_bytes(&self) -> u16 {
+        1 << self.prot.block_log2
+    }
+
+    /// Static per-module state segment (32 bytes), granted by the loader in
+    /// the heap area above the dynamically allocatable blocks — SOS's
+    /// load-time module state, simplified.
+    pub const fn state_addr(&self, dom: u8) -> u16 {
+        self.heap_base() + (self.alloc_blocks << self.prot.block_log2) + dom as u16 * 32
+    }
+
+    /// Size of a static state segment in bytes.
+    pub const fn state_len(&self) -> u16 {
+        32
+    }
+}
+
+impl Default for SosLayout {
+    fn default() -> Self {
+        SosLayout::default_layout()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let l = SosLayout::default_layout();
+        // Flash ordering.
+        assert!(l.kernel_origin < l.runtime_origin);
+        assert!(l.runtime_origin < l.api_origin);
+        assert!(l.api_origin < l.prot.jt_base as u32);
+        assert!((l.prot.jt_end() as u32) <= l.module_slots);
+        // RAM ordering: bitmap/queue/dispatch fit below the heap.
+        assert!(l.prot.code_bounds + 32 <= l.alloc_bitmap);
+        assert!(l.alloc_bitmap + 31 <= l.q_head);
+        assert!(l.q_buf + 32 <= l.dispatch_table);
+        assert!(l.dispatch_table + 16 <= l.heap_base());
+        // Alloc region fits inside the heap.
+        assert!(l.heap_base() + (l.alloc_blocks << l.block_log2()) <= l.prot.safe_stack_base);
+    }
+
+    #[test]
+    fn jump_table_entries_reach_their_targets() {
+        let l = SosLayout::default_layout();
+        // Every module slot must be within rjmp reach of its page.
+        for dom in 0..7u8 {
+            let entry = l.jt_entry(dom, 127) as i64;
+            let slot_end = (l.slot_for(dom) + l.slot_words) as i64;
+            assert!(slot_end - (entry + 1) <= 2047, "dom {dom} slot out of rjmp reach");
+        }
+        // Kernel API functions (trusted page) must be reachable backwards.
+        let trusted_entry = l.jt_entry(7, 0) as i64;
+        assert!(trusted_entry + 1 - (l.api_origin as i64) <= 2048);
+        // Error stub sits inside the jump-table region.
+        assert!((l.jt_error_stub() as u32) < l.prot.jt_end() as u32);
+        assert!(l.jt_error_stub() >= l.jt_page(7));
+    }
+}

@@ -1,0 +1,532 @@
+//! [`SosSystem`]: a complete bootable machine — kernel, run-time, jump
+//! tables and modules — under any of the three protection builds.
+
+use crate::kernel::{JtEntry, KernelApi, KernelImage, MSG_INIT};
+use crate::layout::SosLayout;
+use crate::loader::{build_jump_tables, load_module, LoadError, LoadedModule, ModuleSource};
+use avr_asm::Asm;
+use avr_core::exec::{Cpu, Step};
+use avr_core::mem::{Flash, PlainEnv};
+use avr_core::{Fault, WordAddr};
+use harbor::DomainId;
+use harbor_sfi::SfiRuntime;
+use umpu::UmpuEnv;
+
+/// Which protection implementation the system is built with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protection {
+    /// Stock AVR: no protection (the evaluation baseline).
+    None,
+    /// UMPU hardware extensions.
+    Umpu,
+    /// Software fault isolation (binary rewriting).
+    Sfi,
+}
+
+#[derive(Debug, Clone)]
+enum Mach {
+    Plain(Cpu<PlainEnv>),
+    Umpu(Cpu<UmpuEnv>),
+}
+
+/// A complete mini-SOS machine.
+///
+/// The whole machine state is a plain value: `Clone` gives deterministic
+/// snapshot/restore (used by benches to replay identical runs).
+#[derive(Debug, Clone)]
+pub struct SosSystem {
+    /// The protection build.
+    pub protection: Protection,
+    /// The layout.
+    pub layout: SosLayout,
+    /// The kernel image (for symbol lookups).
+    pub kernel: KernelImage,
+    /// The SFI run-time (SFI builds).
+    pub runtime: Option<SfiRuntime>,
+    /// The loaded modules.
+    pub modules: Vec<LoadedModule>,
+    mach: Mach,
+    booted: bool,
+}
+
+impl SosSystem {
+    /// Builds the system: kernel + (SFI) run-time + modules + jump tables,
+    /// all burned into flash. Call [`SosSystem::boot`] next.
+    ///
+    /// The `app` closure emits the driver program that runs after boot
+    /// (typically: run the scheduler, do work, `break`).
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError`] if a module cannot be sandboxed or does not fit.
+    pub fn build(
+        protection: Protection,
+        sources: &[ModuleSource],
+        app: impl FnOnce(&mut Asm, &KernelApi),
+    ) -> Result<SosSystem, LoadError> {
+        SosSystem::build_with_layout(protection, SosLayout::default_layout(), sources, app)
+    }
+
+    /// [`SosSystem::build`] with a custom layout (e.g. a different
+    /// protection block size from [`SosLayout::with_block_log2`]).
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError`] if a module cannot be sandboxed or does not fit.
+    pub fn build_with_layout(
+        protection: Protection,
+        layout: SosLayout,
+        sources: &[ModuleSource],
+        app: impl FnOnce(&mut Asm, &KernelApi),
+    ) -> Result<SosSystem, LoadError> {
+
+        let runtime = match protection {
+            Protection::Sfi => Some(SfiRuntime::build(layout.prot, layout.runtime_origin)),
+            _ => None,
+        };
+        let stubs = runtime.as_ref().map(|rt| {
+            (rt.stub("harbor_xdom_call"), rt.stub("harbor_xdom_call_z"))
+        });
+
+        let kernel = KernelImage::build(protection, layout, stubs, app);
+
+        let modules: Vec<LoadedModule> = sources
+            .iter()
+            .map(|s| load_module(s, &layout, protection, runtime.as_ref()))
+            .collect::<Result<_, _>>()?;
+
+        let kernel_api = [
+            (JtEntry::Malloc, kernel.symbol("ker_malloc")),
+            (JtEntry::Free, kernel.symbol("ker_free")),
+            (JtEntry::ChangeOwn, kernel.symbol("ker_change_own")),
+            (JtEntry::Post, kernel.symbol("ker_post")),
+        ];
+        let (jt_base, jt_words) = build_jump_tables(&layout, &kernel_api, &modules);
+
+        let mut flash = Flash::new();
+        kernel.load_into(&mut flash);
+        if let Some(rt) = &runtime {
+            rt.object().load_into(&mut flash);
+        }
+        flash.load_words(jt_base, &jt_words);
+        for m in &modules {
+            m.object.load_into(&mut flash);
+        }
+
+        let mach = match protection {
+            Protection::Umpu => {
+                let mut env = UmpuEnv::new();
+                env.flash = flash;
+                Mach::Umpu(Cpu::new(env))
+            }
+            _ => {
+                let mut env = PlainEnv::new();
+                env.flash = flash;
+                Mach::Plain(Cpu::new(env))
+            }
+        };
+
+        Ok(SosSystem {
+            protection,
+            layout,
+            kernel,
+            runtime,
+            modules,
+            mach,
+            booted: false,
+        })
+    }
+
+    /// Boots the system: runs the kernel's reset/init code to its boot
+    /// break, then performs the loader's registration work (code regions,
+    /// static state grants) and posts each module its init message. The
+    /// init messages are *delivered* when the app first runs the scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`] during the kernel's boot code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn boot(&mut self) -> Result<(), Fault> {
+        assert!(!self.booted, "boot may only run once");
+        match self.run_to_break(1_000_000)? {
+            Step::Break => {}
+            other => panic!("boot ended unexpectedly: {other:?}"),
+        }
+        self.booted = true;
+
+        // Loader registration.
+        let mods: Vec<(DomainId, u32, u32)> = self
+            .modules
+            .iter()
+            .map(|m| (m.domain, m.object.origin(), m.object.end()))
+            .collect();
+        for (dom, start, end) in &mods {
+            match (&mut self.mach, self.protection) {
+                (Mach::Umpu(cpu), _) => {
+                    cpu.env.set_code_region(*dom, *start as u16, *end as u16);
+                }
+                (Mach::Plain(cpu), Protection::Sfi) => {
+                    let rt = self.runtime.as_ref().expect("SFI runtime");
+                    rt.set_code_bounds(&mut cpu.env.data, *dom, *start as u16, *end as u16);
+                }
+                _ => {}
+            }
+            // Static state segment grant.
+            let state = self.layout.state_addr(dom.index());
+            let len = self.layout.state_len();
+            match &mut self.mach {
+                Mach::Umpu(cpu) => {
+                    cpu.env.host_set_segment(*dom, state, len).expect("state grant");
+                }
+                Mach::Plain(cpu) => {
+                    if self.protection == Protection::Sfi {
+                        let rt = self.runtime.as_ref().expect("SFI runtime");
+                        rt.host_set_segment(&mut cpu.env.data, *dom, state, len)
+                            .expect("state grant");
+                    }
+                }
+            }
+        }
+
+        // Init messages, oldest module first.
+        for (dom, ..) in &mods {
+            self.post(*dom, MSG_INIT);
+        }
+        Ok(())
+    }
+
+    /// The kernel's exception handler, host-modelled: after a protection
+    /// fault aborts a module mid-handler, restore a clean trusted context
+    /// (active domain, stack bound, safe stack, SP) so the kernel can
+    /// continue scheduling — the paper's "a stable kernel can always ensure
+    /// a clean re-start of user modules when corruption is detected".
+    /// Memory, the memory map and the message queue are untouched.
+    pub fn recover_from_fault(&mut self) {
+        match &mut self.mach {
+            Mach::Umpu(cpu) => {
+                cpu.env.recover_to_trusted();
+                cpu.sp = avr_core::mem::RAMEND;
+            }
+            Mach::Plain(cpu) => {
+                if let Some(rt) = self.runtime.as_ref() {
+                    let l = rt.layout();
+                    rt.set_current_domain(&mut cpu.env.data, DomainId::TRUSTED);
+                    let ramend = avr_core::mem::RAMEND;
+                    cpu.env.data.write(l.stack_bound, (ramend & 0xff) as u8).unwrap();
+                    cpu.env.data.write(l.stack_bound + 1, (ramend >> 8) as u8).unwrap();
+                    cpu.env
+                        .data
+                        .write(l.safe_stack_ptr, (l.safe_stack_base & 0xff) as u8)
+                        .unwrap();
+                    cpu.env
+                        .data
+                        .write(l.safe_stack_ptr + 1, (l.safe_stack_base >> 8) as u8)
+                        .unwrap();
+                }
+                cpu.sp = avr_core::mem::RAMEND;
+            }
+        }
+    }
+
+    /// Dynamically loads a module into a **booted** system — SOS's
+    /// signature capability, and the operation whose ordering triggers the
+    /// paper's Surge bug. Performs everything the build-time loader does:
+    /// assemble (rewrite + verify under SFI), burn the flash slot, link the
+    /// jump-table entries, register the code region, grant the state
+    /// segment, and post the init message.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError`] if the module cannot be sandboxed or does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`SosSystem::boot`] or if the domain is
+    /// already occupied.
+    pub fn load_module(&mut self, src: &ModuleSource) -> Result<(), LoadError> {
+        assert!(self.booted, "load_module requires a booted system");
+        assert!(
+            !self.modules.iter().any(|m| m.domain == src.domain),
+            "domain {} already occupied",
+            src.domain
+        );
+        let loaded = load_module(src, &self.layout, self.protection, self.runtime.as_ref())?;
+
+        // Burn the module and its jump-table entries.
+        self.write_flash_object(&loaded.object);
+        for (i, &target) in loaded.entry_addrs.iter().enumerate() {
+            let at = self.layout.jt_entry(loaded.domain.index(), i as u16) as u32;
+            self.write_jt_entry(at, target);
+        }
+
+        // Code region + state grant (as boot-time registration does).
+        let (start, end) = (loaded.object.origin(), loaded.object.end());
+        let state = self.layout.state_addr(loaded.domain.index());
+        let len = self.layout.state_len();
+        match &mut self.mach {
+            Mach::Umpu(cpu) => {
+                cpu.env.set_code_region(loaded.domain, start as u16, end as u16);
+                cpu.env.host_set_segment(loaded.domain, state, len).expect("state grant");
+            }
+            Mach::Plain(cpu) => {
+                if let Some(rt) = self.runtime.as_ref() {
+                    rt.set_code_bounds(&mut cpu.env.data, loaded.domain, start as u16, end as u16);
+                    rt.host_set_segment(&mut cpu.env.data, loaded.domain, state, len)
+                        .expect("state grant");
+                }
+            }
+        }
+
+        let dom = loaded.domain;
+        self.modules.push(loaded);
+        self.post(dom, MSG_INIT);
+        Ok(())
+    }
+
+    /// Unloads a module: points its jump-table entries back at the error
+    /// stub (subsequent cross-domain calls to it fail with `0xff`, the
+    /// paper's failed-linking behaviour), revokes its code region, and —
+    /// in the protected builds — reclaims every block of memory the module
+    /// owned (the memory map knows exactly what that is; the unprotected
+    /// build has no such record and leaks, which is rather the point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no module occupies `dom`.
+    pub fn unload_module(&mut self, dom: DomainId) {
+        let idx = self
+            .modules
+            .iter()
+            .position(|m| m.domain == dom)
+            .expect("domain is occupied");
+        let loaded = self.modules.remove(idx);
+
+        // Jump-table entries → error stub.
+        let stub = self.layout.jt_error_stub() as u32;
+        for i in 0..loaded.entry_addrs.len() {
+            let at = self.layout.jt_entry(dom.index(), i as u16) as u32;
+            self.write_jt_entry(at, stub);
+        }
+
+        // Revoke the code region and reclaim owned memory.
+        match &mut self.mach {
+            Mach::Umpu(cpu) => {
+                cpu.env.tracker.code_regions[dom.index() as usize] = None;
+                let mut map = cpu.env.memory_map_view();
+                let reclaimed = map.free_all_owned(dom);
+                let base = cpu.env.mmc.mem_map_base;
+                for (i, &b) in map.as_bytes().iter().enumerate() {
+                    cpu.env.data.write(base + i as u16, b).expect("map in RAM");
+                }
+                Self::reclaim_bitmap(&self.layout, &mut cpu.env.data, &reclaimed);
+            }
+            Mach::Plain(cpu) => {
+                if let Some(rt) = self.runtime.as_ref() {
+                    rt.set_code_bounds(&mut cpu.env.data, dom, 0, 0);
+                    let mut map = rt.memory_map_view(&cpu.env.data);
+                    let reclaimed = map.free_all_owned(dom);
+                    let base = rt.layout().mem_map_base;
+                    for (i, &b) in map.as_bytes().iter().enumerate() {
+                        cpu.env.data.write(base + i as u16, b).expect("map in RAM");
+                    }
+                    Self::reclaim_bitmap(&self.layout, &mut cpu.env.data, &reclaimed);
+                }
+                // Unprotected build: no ownership records exist, so the
+                // module's heap memory cannot be identified — it leaks.
+            }
+        }
+    }
+
+    /// Clears allocator-bitmap bits for reclaimed segments that lie in the
+    /// dynamically allocatable region.
+    fn reclaim_bitmap(
+        layout: &SosLayout,
+        data: &mut avr_core::mem::DataMem,
+        reclaimed: &[(u16, u16)],
+    ) {
+        let log2 = layout.block_log2();
+        let alloc_end = layout.heap_base() + (layout.alloc_blocks << log2);
+        for &(addr, blocks) in reclaimed {
+            if addr < layout.heap_base() || addr >= alloc_end {
+                continue; // static grants (state segments) have no bitmap bits
+            }
+            let first = (addr - layout.heap_base()) >> log2;
+            for b in first..first + blocks {
+                let byte_at = layout.alloc_bitmap + b / 8;
+                let v = data.read(byte_at).expect("bitmap in RAM");
+                data.write(byte_at, v & !(1 << (b % 8))).expect("bitmap in RAM");
+            }
+        }
+    }
+
+    fn write_flash_object(&mut self, obj: &avr_asm::Object) {
+        match &mut self.mach {
+            Mach::Plain(c) => obj.load_into(&mut c.env.flash),
+            Mach::Umpu(c) => obj.load_into(&mut c.env.flash),
+        }
+    }
+
+    fn write_jt_entry(&mut self, at: u32, target: u32) {
+        let k = target as i64 - (at as i64 + 1);
+        assert!((-2048..=2047).contains(&k), "jump-table rjmp out of reach");
+        let word = avr_core::isa::encode(avr_core::isa::Instr::Rjmp { k: k as i16 })
+            .expect("valid rjmp")
+            .word0();
+        match &mut self.mach {
+            Mach::Plain(c) => c.env.flash.set_word(at, word),
+            Mach::Umpu(c) => c.env.flash.set_word(at, word),
+        }
+    }
+
+    /// Host-side message post (what a radio/timer interrupt would do).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full.
+    pub fn post(&mut self, dom: DomainId, msg: u8) {
+        let l = self.layout;
+        let tail = self.sram(l.q_tail);
+        let head = self.sram(l.q_head);
+        let next = (tail + 1) & 0x0f;
+        assert_ne!(next, head, "message queue full");
+        self.write_sram(l.q_buf + tail as u16 * 2, dom.index());
+        self.write_sram(l.q_buf + tail as u16 * 2 + 1, msg);
+        self.write_sram(l.q_tail, next);
+    }
+
+    /// Runs until `BREAK`/`SLEEP`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`], including protection faults as [`Fault::Env`].
+    pub fn run_to_break(&mut self, max_cycles: u64) -> Result<Step, Fault> {
+        match &mut self.mach {
+            Mach::Plain(c) => c.run_to_break(max_cycles),
+            Mach::Umpu(c) => c.run_to_break(max_cycles),
+        }
+    }
+
+    /// Runs until the PC reaches `pc` (for cycle-accurate span timing).
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`].
+    pub fn run_to_pc(&mut self, pc: WordAddr, max_cycles: u64) -> Result<Step, Fault> {
+        match &mut self.mach {
+            Mach::Plain(c) => c.run_to_pc(pc, max_cycles),
+            Mach::Umpu(c) => c.run_to_pc(pc, max_cycles),
+        }
+    }
+
+    /// Total cycles executed.
+    pub fn cycles(&self) -> u64 {
+        match &self.mach {
+            Mach::Plain(c) => c.cycles(),
+            Mach::Umpu(c) => c.cycles(),
+        }
+    }
+
+    /// Cycles spent asleep waiting for interrupts (see
+    /// [`Cpu::idle_cycles`](avr_core::exec::Cpu::idle_cycles)).
+    pub fn idle_cycles(&self) -> u64 {
+        match &self.mach {
+            Mach::Plain(c) => c.idle_cycles(),
+            Mach::Umpu(c) => c.idle_cycles(),
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> WordAddr {
+        match &self.mach {
+            Mach::Plain(c) => c.pc,
+            Mach::Umpu(c) => c.pc,
+        }
+    }
+
+    /// Forces the program counter (harness privilege — e.g. re-entering the
+    /// driver loop to model a recurring timer).
+    pub fn steer(&mut self, pc: WordAddr) {
+        match &mut self.mach {
+            Mach::Plain(c) => c.pc = pc,
+            Mach::Umpu(c) => c.pc = pc,
+        }
+    }
+
+    /// Arms the periodic timer interrupt: every `period` cycles, the ISR
+    /// posts [`MSG_TIMER`](crate::kernel::MSG_TIMER) to `dom`. Call after
+    /// [`SosSystem::boot`]; the app must `sei` for interrupts to fire.
+    pub fn enable_timer(&mut self, period: u64, dom: DomainId) {
+        let timer = avr_core::mem::Timer::new(period, self.layout.timer_vector());
+        match &mut self.mach {
+            Mach::Plain(c) => c.env.timer = Some(timer),
+            Mach::Umpu(c) => c.env.timer = Some(timer),
+        }
+        self.write_sram(self.layout.timer_dom, dom.index());
+    }
+
+    /// Reads a data-memory byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside SRAM.
+    pub fn sram(&self, addr: u16) -> u8 {
+        match &self.mach {
+            Mach::Plain(c) => c.env.data.read(addr).expect("in SRAM"),
+            Mach::Umpu(c) => c.env.data.read(addr).expect("in SRAM"),
+        }
+    }
+
+    /// Reads a little-endian word from data memory.
+    pub fn sram16(&self, addr: u16) -> u16 {
+        self.sram(addr) as u16 | ((self.sram(addr + 1) as u16) << 8)
+    }
+
+    /// Writes a data-memory byte (host/loader privilege).
+    ///
+    /// # Panics
+    ///
+    /// Panics outside SRAM.
+    pub fn write_sram(&mut self, addr: u16, v: u8) {
+        match &mut self.mach {
+            Mach::Plain(c) => c.env.data.write(addr, v).expect("in SRAM"),
+            Mach::Umpu(c) => c.env.data.write(addr, v).expect("in SRAM"),
+        }
+    }
+
+    /// Kernel symbol lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown symbols.
+    pub fn symbol(&self, name: &str) -> u32 {
+        self.kernel.symbol(name)
+    }
+
+    /// Bytes written to the simulator debug port so far.
+    pub fn debug_out(&self) -> &[u8] {
+        match &self.mach {
+            Mach::Plain(c) => &c.env.debug_out,
+            Mach::Umpu(c) => &c.env.debug_out,
+        }
+    }
+
+    /// The UMPU environment, for hardware-state inspection (UMPU builds).
+    pub fn umpu_env(&self) -> Option<&UmpuEnv> {
+        match &self.mach {
+            Mach::Umpu(c) => Some(&c.env),
+            Mach::Plain(_) => None,
+        }
+    }
+
+    /// The rich fault record of the most recent protection fault, where the
+    /// build keeps one (UMPU).
+    pub fn last_protection_fault(&self) -> Option<harbor::ProtectionFault> {
+        match &self.mach {
+            Mach::Umpu(c) => c.env.last_fault,
+            Mach::Plain(_) => None,
+        }
+    }
+}

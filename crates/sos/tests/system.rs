@@ -1,0 +1,288 @@
+//! Full-system tests: boot mini-SOS under all three protection builds, run
+//! module workloads through the scheduler, and reproduce the paper's
+//! Surge / Tree-Routing memory-corruption war story.
+
+use avr_core::Fault;
+use harbor::{fault_code, DomainId};
+use mini_sos::kernel::MSG_TIMER;
+use mini_sos::modules;
+use mini_sos::{JtEntry, Protection, SosSystem};
+
+const ALL: [Protection; 3] = [Protection::None, Protection::Umpu, Protection::Sfi];
+const PROTECTED: [Protection; 2] = [Protection::Umpu, Protection::Sfi];
+
+/// Scratch where driver apps deposit results (kernel spare RAM).
+const OUT: u16 = 0x01ee;
+
+fn run_scheduler_app(a: &mut avr_asm::Asm, api: &mini_sos::KernelApi) {
+    api.run_scheduler(a);
+    a.brk();
+}
+
+#[test]
+fn boot_and_blink_under_all_builds() {
+    for p in ALL {
+        let mut sys = SosSystem::build(p, &[modules::blink(0)], run_scheduler_app)
+            .unwrap_or_else(|e| panic!("{p:?}: {e}"));
+        sys.boot().unwrap_or_else(|e| panic!("{p:?} boot: {e}"));
+        // Three timer ticks on top of the init message.
+        for _ in 0..3 {
+            sys.post(DomainId::num(0), MSG_TIMER);
+        }
+        sys.run_to_break(2_000_000).unwrap_or_else(|e| panic!("{p:?} run: {e}"));
+        let state = sys.layout.state_addr(0);
+        assert_eq!(sys.sram(state), 3, "{p:?}: blink counted its ticks");
+    }
+}
+
+#[test]
+fn kernel_malloc_updates_the_memory_map() {
+    for p in PROTECTED {
+        let mut sys = SosSystem::build(p, &[], |a, api| {
+            use avr_core::isa::Reg;
+            // a = malloc(10, dom1)
+            a.ldi(Reg::R24, 10);
+            a.ldi(Reg::R22, 1);
+            api.call_kernel(a, JtEntry::Malloc);
+            a.sts(OUT, Reg::R24);
+            a.sts(OUT + 1, Reg::R25);
+            // b = malloc(20, dom2)
+            a.ldi(Reg::R24, 20);
+            a.ldi(Reg::R22, 2);
+            api.call_kernel(a, JtEntry::Malloc);
+            a.sts(OUT + 2, Reg::R24);
+            a.sts(OUT + 3, Reg::R25);
+            // free(a)  (trusted may free anything)
+            a.lds(Reg::R24, OUT);
+            a.lds(Reg::R25, OUT + 1);
+            api.call_kernel(a, JtEntry::Free);
+            a.sts(OUT + 4, Reg::R24); // status
+            a.brk();
+        })
+        .unwrap();
+        sys.boot().unwrap();
+        sys.run_to_break(2_000_000).unwrap_or_else(|e| panic!("{p:?}: {e}"));
+
+        let a_ptr = sys.sram16(OUT);
+        let b_ptr = sys.sram16(OUT + 2);
+        assert_ne!(a_ptr, 0, "{p:?}: first malloc succeeded");
+        assert_ne!(b_ptr, 0, "{p:?}: second malloc succeeded");
+        assert_eq!(sys.sram(OUT + 4), 0, "{p:?}: free succeeded");
+        assert!(b_ptr > a_ptr, "{p:?}: first-fit placement");
+
+        // The RAM-resident memory map must agree with the golden model run
+        // through the same operations.
+        let view = match p {
+            Protection::Umpu => sys.umpu_env().unwrap().memory_map_view(),
+            Protection::Sfi => {
+                let rt = sys.runtime.as_ref().unwrap();
+                // Read through the public accessor into a golden view.
+                let cfg = rt.memmap_config();
+                let base = sys.layout.prot.mem_map_base;
+                let bytes: Vec<u8> =
+                    (0..cfg.map_size_bytes()).map(|i| sys.sram(base + i)).collect();
+                harbor::MemoryMap::from_raw(cfg, bytes)
+            }
+            Protection::None => unreachable!(),
+        };
+        // a was freed: its header block is free again.
+        assert_eq!(view.owner_of(a_ptr - 2).unwrap(), DomainId::TRUSTED, "{p:?}");
+        // b belongs to dom2, with a start flag on its header block.
+        assert_eq!(view.owner_of(b_ptr - 2).unwrap(), DomainId::num(2), "{p:?}");
+        assert!(view.is_segment_start(b_ptr - 2).unwrap(), "{p:?}");
+        // 20 B + 2 header = 3 blocks.
+        assert_eq!(view.segment_blocks(b_ptr - 2).unwrap(), 3, "{p:?}");
+    }
+}
+
+#[test]
+fn surge_with_tree_routing_collects_samples_everywhere() {
+    for p in ALL {
+        let mods = [modules::tree_routing(3), modules::surge(1, 3)];
+        let mut sys = SosSystem::build(p, &mods, run_scheduler_app).unwrap();
+        sys.boot().unwrap();
+        sys.post(DomainId::num(1), MSG_TIMER);
+        sys.post(DomainId::num(1), MSG_TIMER);
+        sys.run_to_break(4_000_000).unwrap_or_else(|e| panic!("{p:?}: {e}"));
+
+        let state = sys.layout.state_addr(1);
+        let buf = sys.sram16(state);
+        assert_ne!(buf, 0, "{p:?}: surge allocated its buffer");
+        assert_eq!(sys.sram(state + 2), 2, "{p:?}: two samples taken");
+        // Samples land at buffer[parent offset = 2].
+        assert_eq!(sys.sram(buf + 2), 2, "{p:?}: latest sample stored");
+    }
+}
+
+#[test]
+fn surge_without_tree_corrupts_silently_on_stock_avr() {
+    // The paper's war story, unprotected: the failed cross-domain call
+    // returns 0xff, and Surge writes the sample 255 bytes past its buffer.
+    let mut sys =
+        SosSystem::build(Protection::None, &[modules::surge(1, 3)], run_scheduler_app).unwrap();
+    sys.boot().unwrap();
+    sys.post(DomainId::num(1), MSG_TIMER);
+    sys.run_to_break(4_000_000).unwrap();
+
+    let state = sys.layout.state_addr(1);
+    let buf = sys.sram16(state);
+    let wild = buf + 0xff;
+    assert_eq!(sys.sram(wild), 1, "the sample landed 255 bytes out of bounds");
+}
+
+#[test]
+fn surge_without_tree_is_caught_by_protection() {
+    // The same fault under UMPU and SFI: detected and blocked.
+    for p in PROTECTED {
+        let mut sys =
+            SosSystem::build(p, &[modules::surge(1, 3)], run_scheduler_app).unwrap();
+        sys.boot().unwrap();
+        sys.post(DomainId::num(1), MSG_TIMER);
+        let err = sys.run_to_break(4_000_000).unwrap_err();
+        match err {
+            Fault::Env(e) => assert_eq!(e.code, fault_code::MEM_MAP, "{p:?}"),
+            other => panic!("{p:?}: expected protection fault, got {other:?}"),
+        }
+        // And the wild byte was never written.
+        let state = sys.layout.state_addr(1);
+        let buf = sys.sram16(state);
+        assert_eq!(sys.sram(buf + 0xff), 0, "{p:?}: store blocked");
+    }
+}
+
+#[test]
+fn surge_fixed_survives_missing_tree_everywhere() {
+    for p in ALL {
+        let mut sys =
+            SosSystem::build(p, &[modules::surge_fixed(1, 3)], run_scheduler_app).unwrap();
+        sys.boot().unwrap();
+        sys.post(DomainId::num(1), MSG_TIMER);
+        sys.run_to_break(4_000_000).unwrap_or_else(|e| panic!("{p:?}: {e}"));
+        let state = sys.layout.state_addr(1);
+        assert_eq!(sys.sram(state + 2), 0, "{p:?}: sample dropped, no corruption");
+    }
+}
+
+#[test]
+fn free_by_non_owner_is_refused_under_protection() {
+    // dom2 mallocs on init; dom4 (the thief) tries to free dom2's buffer on
+    // its timer message and records the kernel's answer.
+    fn owner_module(dom: u8) -> mini_sos::ModuleSource {
+        mini_sos::ModuleSource {
+            name: "owner",
+            domain: DomainId::num(dom),
+            entries: vec!["own_handler"],
+            build: Box::new(move |a, ctx| {
+                use avr_core::isa::Reg;
+                let done = a.label("own_done");
+                a.here("own_handler");
+                a.cpi(Reg::R24, mini_sos::MSG_INIT);
+                a.brne(done);
+                a.ldi(Reg::R24, 8);
+                a.ldi(Reg::R22, ctx.domain.index());
+                ctx.call_kernel(a, JtEntry::Malloc);
+                a.sts(ctx.state_addr, Reg::R24);
+                a.sts(ctx.state_addr + 1, Reg::R25);
+                a.bind(done);
+                a.ret();
+            }),
+        }
+    }
+    fn thief_module(dom: u8, victim_state: u16) -> mini_sos::ModuleSource {
+        mini_sos::ModuleSource {
+            name: "thief",
+            domain: DomainId::num(dom),
+            entries: vec!["thief_handler"],
+            build: Box::new(move |a, ctx| {
+                use avr_core::isa::Reg;
+                let done = a.label("thief_done");
+                a.here("thief_handler");
+                a.cpi(Reg::R24, MSG_TIMER);
+                a.brne(done);
+                a.lds(Reg::R24, victim_state); // reads are unrestricted
+                a.lds(Reg::R25, victim_state + 1);
+                ctx.call_kernel(a, JtEntry::Free);
+                a.sts(ctx.state_addr, Reg::R24); // record the status
+                a.bind(done);
+                a.ret();
+            }),
+        }
+    }
+
+    for p in PROTECTED {
+        let layout = mini_sos::SosLayout::default_layout();
+        let mods = [owner_module(2), thief_module(4, layout.state_addr(2))];
+        let mut sys = SosSystem::build(p, &mods, run_scheduler_app).unwrap();
+        sys.boot().unwrap();
+        sys.post(DomainId::num(4), MSG_TIMER);
+        sys.run_to_break(4_000_000).unwrap_or_else(|e| panic!("{p:?}: {e}"));
+
+        let thief_state = sys.layout.state_addr(4);
+        assert_eq!(sys.sram(thief_state), 0xff, "{p:?}: kernel refused the rogue free");
+        // The victim's buffer is still owned by dom2.
+        let victim_buf = sys.sram16(sys.layout.state_addr(2));
+        let owner = match p {
+            Protection::Umpu => {
+                sys.umpu_env().unwrap().memory_map_view().owner_of(victim_buf - 2).unwrap()
+            }
+            Protection::Sfi => {
+                let rt = sys.runtime.as_ref().unwrap();
+                let cfg = rt.memmap_config();
+                let base = sys.layout.prot.mem_map_base;
+                let bytes: Vec<u8> =
+                    (0..cfg.map_size_bytes()).map(|i| sys.sram(base + i)).collect();
+                harbor::MemoryMap::from_raw(cfg, bytes).owner_of(victim_buf - 2).unwrap()
+            }
+            Protection::None => unreachable!(),
+        };
+        assert_eq!(owner, DomainId::num(2), "{p:?}: segment ownership intact");
+    }
+}
+
+#[test]
+fn protection_overhead_ordering_on_the_blink_workload() {
+    // The macro shape: UMPU costs a little more than no protection; SFI
+    // costs much more than UMPU.
+    let mut cycles = Vec::new();
+    for p in ALL {
+        let mut sys = SosSystem::build(p, &[modules::blink(0)], run_scheduler_app).unwrap();
+        sys.boot().unwrap();
+        let booted = sys.cycles();
+        for _ in 0..8 {
+            sys.post(DomainId::num(0), MSG_TIMER);
+        }
+        sys.run_to_break(4_000_000).unwrap();
+        cycles.push((p, sys.cycles() - booted));
+    }
+    let (none, umpu, sfi) = (cycles[0].1, cycles[1].1, cycles[2].1);
+    assert!(umpu > none, "UMPU adds overhead: {none} vs {umpu}");
+    assert!(sfi > umpu, "SFI costs more than UMPU: {umpu} vs {sfi}");
+    let umpu_ovh = umpu as f64 / none as f64;
+    let sfi_ovh = sfi as f64 / none as f64;
+    assert!(umpu_ovh < 1.35, "UMPU overhead is small ({umpu_ovh:.2}x)");
+    assert!(sfi_ovh > 1.25, "SFI overhead is substantial ({sfi_ovh:.2}x)");
+}
+
+#[test]
+fn snapshots_replay_deterministically() {
+    // The machine is a value: cloning it forks the entire state, and the
+    // simulator is deterministic, so both forks evolve identically.
+    let mut sys = SosSystem::build(Protection::Umpu, &[modules::blink(0)], run_scheduler_app)
+        .unwrap();
+    sys.boot().unwrap();
+    for _ in 0..2 {
+        sys.post(DomainId::num(0), MSG_TIMER);
+    }
+    let snapshot = sys.clone();
+
+    sys.run_to_break(2_000_000).unwrap();
+    let mut replay = snapshot;
+    replay.run_to_break(2_000_000).unwrap();
+
+    assert_eq!(sys.cycles(), replay.cycles());
+    assert_eq!(sys.pc(), replay.pc());
+    assert_eq!(
+        sys.sram(sys.layout.state_addr(0)),
+        replay.sram(replay.layout.state_addr(0))
+    );
+}

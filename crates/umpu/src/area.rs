@@ -1,0 +1,316 @@
+//! Parametric gate-count area model for the UMPU hardware extensions —
+//! regenerates Table 6 of the paper.
+//!
+//! The paper synthesized a VHDL ATmega103 on a Xilinx XC2VP30 with ISE 8.2i;
+//! we cannot re-run that synthesis, so this module models each functional
+//! unit *structurally* (flip-flops, adder/comparator/mux bit-slices, FSM
+//! states) with per-primitive NAND2-equivalent gate costs, plus one
+//! explicitly-labelled calibration term per unit ("control & routing,
+//! calibrated") fitted so the default configuration reproduces the paper's
+//! totals. What the model then *predicts* — rather than reproduces — are the
+//! ablations the paper only describes in prose: synthesizing for a fixed
+//! block size eliminates the MMC's barrel shifters, and a two-domain build
+//! shrinks the record-extraction path.
+
+/// NAND2-equivalent gate costs of the structural primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateCosts {
+    /// One D flip-flop.
+    pub dff: u32,
+    /// One 2:1 mux bit.
+    pub mux2_bit: u32,
+    /// One adder/subtractor bit slice.
+    pub add_bit: u32,
+    /// One comparator bit slice.
+    pub cmp_bit: u32,
+    /// One FSM state's worth of next-state/output logic.
+    pub fsm_state: u32,
+}
+
+impl Default for GateCosts {
+    fn default() -> Self {
+        // Typical standard-cell figures: DFF ≈ 9, full adder ≈ 12,
+        // XOR-based compare ≈ 5, mux2 ≈ 4 NAND2 equivalents.
+        GateCosts { dff: 9, mux2_bit: 4, add_bit: 12, cmp_bit: 5, fsm_state: 45 }
+    }
+}
+
+/// Gate count of one hardware component with its structural breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitArea {
+    /// Component name (matches Table 6 rows).
+    pub name: &'static str,
+    /// Itemised contributions, `(label, gates)`.
+    pub breakdown: Vec<(&'static str, u32)>,
+}
+
+impl UnitArea {
+    /// Total gates.
+    pub fn gates(&self) -> u32 {
+        self.breakdown.iter().map(|(_, g)| g).sum()
+    }
+}
+
+/// One row of the regenerated Table 6.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table6Row {
+    /// Component name.
+    pub component: &'static str,
+    /// Gate count with the UMPU extensions (model).
+    pub extended: u32,
+    /// Gate count of the original core (`None` for new units).
+    pub original: Option<u32>,
+    /// The paper's reported extended gate count, for comparison.
+    pub paper_extended: u32,
+}
+
+/// Paper-reported baseline: the unmodified AVR core (Table 6).
+pub const PAPER_CORE_ORIG: u32 = 16_419;
+/// Paper-reported baseline: the unmodified fetch decoder (Table 6).
+pub const PAPER_FETCH_DECODER_ORIG: u32 = 6_685;
+/// Paper-reported extended core total (Table 6).
+pub const PAPER_CORE_EXT: u32 = 22_498;
+/// Paper-reported extended fetch decoder (Table 6).
+pub const PAPER_FETCH_DECODER_EXT: u32 = 6_783;
+/// Paper-reported MMC gate count (Table 6).
+pub const PAPER_MMC: u32 = 2_284;
+/// Paper-reported safe-stack unit gate count (Table 6).
+pub const PAPER_SAFE_STACK: u32 = 1_749;
+/// Paper-reported domain tracker gate count (Table 6).
+pub const PAPER_DOMAIN_TRACKER: u32 = 541;
+
+/// The area model: primitive costs plus the configuration knobs the paper's
+/// conclusion discusses.
+///
+/// # Example
+///
+/// ```
+/// use umpu::area::{AreaModel, PAPER_MMC};
+///
+/// let model = AreaModel::default();
+/// assert_eq!(model.mmc().gates(), PAPER_MMC);
+/// let fixed = AreaModel { fixed_block_size: true, ..AreaModel::default() };
+/// assert!(fixed.mmc().gates() < model.mmc().gates(), "barrel shifters gone");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AreaModel {
+    /// Primitive gate costs.
+    pub costs: GateCosts,
+    /// Synthesize for a fixed block size (eliminates the barrel shifters —
+    /// the paper's proposed area reduction).
+    pub fixed_block_size: bool,
+    /// Two-domain build (narrower record path).
+    pub two_domain: bool,
+}
+
+impl AreaModel {
+    /// The memory-map checker. Dominated by the barrel shifters that
+    /// "support arbitrary bit-shifts in a single clock cycle"; with
+    /// [`fixed_block_size`](AreaModel::fixed_block_size) they collapse to
+    /// wiring.
+    pub fn mmc(&self) -> UnitArea {
+        let c = self.costs;
+        let mut b = vec![
+            // mem_map_base, prot_bot, prot_top (16 b each), config (8 b),
+            // stolen-address latch (16 b) + table-data latch (8 b).
+            ("configuration & pipeline registers (88 dff)", 88 * c.dff),
+            ("address-offset subtractor (16 b)", 16 * c.add_bit),
+            ("bounds comparators (2 × 16 b)", 32 * c.cmp_bit),
+            ("table-address adder (16 b)", 16 * c.add_bit),
+            ("owner compare & mode select", 8 * c.cmp_bit + 8 * c.mux2_bit),
+            ("address-bus steal mux (16 b)", 16 * c.mux2_bit),
+            ("check FSM (4 states)", 4 * c.fsm_state),
+            ("control & routing (calibrated)", 280),
+        ];
+        if self.fixed_block_size {
+            b.push(("block shifter: fixed wiring", 0));
+            b.push(("record extractor: fixed wiring", 0));
+        } else {
+            // 16-bit barrel shifter, 4 stages (block-size shifts 2..=256).
+            b.push(("block barrel shifter (16 b × 4 stages)", 64 * c.mux2_bit));
+            // Record extraction shifter over the fetched table byte.
+            let stages = if self.two_domain { 2 } else { 3 };
+            b.push(("record-extract shifter (8 b)", 8 * stages * c.mux2_bit));
+        }
+        UnitArea { name: "MMC", breakdown: b }
+    }
+
+    /// The safe-stack unit: pointer/limit registers, the ±1 sequencer and
+    /// the bus-steal path.
+    pub fn safe_stack_unit(&self) -> UnitArea {
+        let c = self.costs;
+        UnitArea {
+            name: "Safe Stack",
+            breakdown: vec![
+                ("ptr/base/limit registers + byte counter (51 dff)", 51 * c.dff),
+                ("pointer incrementer/decrementer (16 b)", 16 * c.add_bit),
+                ("overflow/underflow comparators (2 × 16 b)", 32 * c.cmp_bit),
+                ("address-bus steal mux (16 b)", 16 * c.mux2_bit),
+                ("data-lane routing (5-byte frame sequencing)", 48 * c.mux2_bit),
+                ("push/pop FSM (5 states)", 5 * c.fsm_state),
+                ("control & routing (calibrated)", 457),
+            ],
+        }
+    }
+
+    /// The domain tracker: current-domain/stack-bound registers, the
+    /// jump-table compare (base fixed at synthesis, so a constant compare)
+    /// and the cross-domain frame tag memory.
+    pub fn domain_tracker(&self) -> UnitArea {
+        let c = self.costs;
+        UnitArea {
+            name: "Domain Tracker",
+            breakdown: vec![
+                // cur_dom (3) + stack_bound (16) + domain count (3) +
+                // frame-tag LIFO (16) + depth counter (4).
+                ("state registers (42 dff)", 42 * c.dff),
+                ("jump-table compare (constant base, 8 b effective)", 8 * c.cmp_bit),
+                ("call/return FSM (2 states)", 2 * c.fsm_state),
+                ("control & routing (calibrated)", 33),
+            ],
+        }
+    }
+
+    /// The fetch-decoder extension *delta*: the per-fetch region check,
+    /// sharing the tracker's comparators (hence the small footprint).
+    pub fn fetch_decoder_delta(&self) -> UnitArea {
+        let c = self.costs;
+        UnitArea {
+            name: "Fetch Decoder (delta)",
+            breakdown: vec![
+                ("region-select muxing (16 b)", 16 * c.mux2_bit),
+                ("enable & fault glue (calibrated)", 34),
+            ],
+        }
+    }
+
+    /// Stall distribution and bus arbitration logic spread through the core
+    /// (the paper's extended-core total exceeds the sum of its named units
+    /// by ~1.4 k gates too — this is that difference, modelled as bus
+    /// muxing plus a calibrated residue).
+    pub fn core_glue(&self) -> UnitArea {
+        let c = self.costs;
+        UnitArea {
+            name: "core stall & bus arbitration",
+            breakdown: vec![
+                ("data/address bus muxes (48 b)", 48 * c.mux2_bit),
+                ("stall gating registers (16 dff)", 16 * c.dff),
+                ("clock-enable & IO-decode extension (calibrated)", 1071),
+            ],
+        }
+    }
+
+    /// Total gates added to the core by the extensions.
+    pub fn extension_total(&self) -> u32 {
+        self.mmc().gates()
+            + self.safe_stack_unit().gates()
+            + self.domain_tracker().gates()
+            + self.fetch_decoder_delta().gates()
+            + self.core_glue().gates()
+    }
+
+    /// The extended-core total (paper baseline + modelled extensions).
+    pub fn core_extended(&self) -> u32 {
+        PAPER_CORE_ORIG + self.extension_total()
+    }
+
+    /// Fractional area increase of the core (the paper reports ~32 %).
+    pub fn core_increase(&self) -> f64 {
+        self.extension_total() as f64 / PAPER_CORE_ORIG as f64
+    }
+
+    /// Regenerates Table 6.
+    pub fn table6(&self) -> Vec<Table6Row> {
+        vec![
+            Table6Row {
+                component: "AVR Core",
+                extended: self.core_extended(),
+                original: Some(PAPER_CORE_ORIG),
+                paper_extended: PAPER_CORE_EXT,
+            },
+            Table6Row {
+                component: "Fetch Decoder",
+                extended: PAPER_FETCH_DECODER_ORIG + self.fetch_decoder_delta().gates(),
+                original: Some(PAPER_FETCH_DECODER_ORIG),
+                paper_extended: PAPER_FETCH_DECODER_EXT,
+            },
+            Table6Row {
+                component: "MMC",
+                extended: self.mmc().gates(),
+                original: None,
+                paper_extended: PAPER_MMC,
+            },
+            Table6Row {
+                component: "Safe Stack",
+                extended: self.safe_stack_unit().gates(),
+                original: None,
+                paper_extended: PAPER_SAFE_STACK,
+            },
+            Table6Row {
+                component: "Domain Tracker",
+                extended: self.domain_tracker().gates(),
+                original: None,
+                paper_extended: PAPER_DOMAIN_TRACKER,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_reproduces_table6() {
+        let m = AreaModel::default();
+        assert_eq!(m.mmc().gates(), PAPER_MMC);
+        assert_eq!(m.safe_stack_unit().gates(), PAPER_SAFE_STACK);
+        assert_eq!(m.domain_tracker().gates(), PAPER_DOMAIN_TRACKER);
+        assert_eq!(
+            PAPER_FETCH_DECODER_ORIG + m.fetch_decoder_delta().gates(),
+            PAPER_FETCH_DECODER_EXT
+        );
+        assert_eq!(m.core_extended(), PAPER_CORE_EXT);
+    }
+
+    #[test]
+    fn area_ordering_matches_paper() {
+        let m = AreaModel::default();
+        assert!(m.mmc().gates() > m.safe_stack_unit().gates());
+        assert!(m.safe_stack_unit().gates() > m.domain_tracker().gates());
+        assert!(m.domain_tracker().gates() > m.fetch_decoder_delta().gates());
+    }
+
+    #[test]
+    fn core_increase_is_about_a_third() {
+        let m = AreaModel::default();
+        let inc = m.core_increase();
+        assert!((0.25..0.45).contains(&inc), "core increase {inc:.2} out of band");
+    }
+
+    #[test]
+    fn fixed_block_size_eliminates_the_barrel_shifters() {
+        let flexible = AreaModel::default();
+        let fixed = AreaModel { fixed_block_size: true, ..AreaModel::default() };
+        let saved = flexible.mmc().gates() - fixed.mmc().gates();
+        // 64 + 24 mux bits at 4 gates each.
+        assert_eq!(saved, (64 + 24) * 4);
+        assert!(fixed.extension_total() < flexible.extension_total());
+    }
+
+    #[test]
+    fn two_domain_narrows_the_extract_path() {
+        let multi = AreaModel::default();
+        let two = AreaModel { two_domain: true, ..AreaModel::default() };
+        assert!(two.mmc().gates() < multi.mmc().gates());
+    }
+
+    #[test]
+    fn breakdowns_sum_to_totals() {
+        let m = AreaModel::default();
+        for unit in [m.mmc(), m.safe_stack_unit(), m.domain_tracker(), m.core_glue()] {
+            let sum: u32 = unit.breakdown.iter().map(|(_, g)| g).sum();
+            assert_eq!(sum, unit.gates(), "{}", unit.name);
+        }
+    }
+}

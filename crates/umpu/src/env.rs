@@ -1,0 +1,549 @@
+//! [`UmpuEnv`]: the protected machine — flash, RAM and the UMPU functional
+//! units attached to the CPU's bus hooks.
+
+use crate::regs::*;
+use crate::units::{DomainTrackerUnit, Mmc, SafeStackUnit};
+use avr_core::exec::{CallEvent, CallOutcome, Env, RetOutcome};
+use avr_core::mem::{DataMem, Flash, PORT_DEBUG, RAMEND};
+use avr_core::{EnvFault, Fault, WordAddr};
+use harbor::{DomainId, DomainMode, MemMapConfig, MemoryMap, ProtectionFault};
+
+/// A complete UMPU machine configuration, applied in one shot by
+/// [`UmpuEnv::configure`] (hosts) or assembled by kernel boot code writing
+/// the configuration ports one byte at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UmpuConfig {
+    /// RAM address of the memory-map table.
+    pub mem_map_base: u16,
+    /// Inclusive lower bound of memory-map-protected space.
+    pub prot_bottom: u16,
+    /// Exclusive upper bound of memory-map-protected space.
+    pub prot_top: u16,
+    /// log2 of the protection block size.
+    pub block_log2: u8,
+    /// Two-domain (2-bit-record) mode.
+    pub two_domain: bool,
+    /// Safe-stack base (initial `safe_stack_ptr`).
+    pub safe_stack_base: u16,
+    /// Safe-stack limit (exclusive).
+    pub safe_stack_limit: u16,
+    /// Jump-table base (word address).
+    pub jt_base: u16,
+    /// Number of domains with jump tables.
+    pub jt_domains: u8,
+}
+
+impl UmpuConfig {
+    /// The reproduction's reference memory layout (see `DESIGN.md`):
+    ///
+    /// ```text
+    /// 0x0060..0x0070   kernel scratch
+    /// 0x0070..0x0170   memory-map table (≤256 B)
+    /// 0x0170..0x0200   kernel globals
+    /// 0x0200..0x0d00   heap            ┐ protected range
+    /// 0x0d00..0x0e00   safe stack      ┘ (memory-mapped)
+    /// 0x0e00..=0x0fff  run-time stack (stack-bound guarded)
+    /// jump tables at word 0x0800, 8 domains
+    /// ```
+    pub const fn default_layout() -> UmpuConfig {
+        UmpuConfig {
+            mem_map_base: 0x0070,
+            prot_bottom: 0x0200,
+            prot_top: 0x0e00,
+            block_log2: 3,
+            two_domain: false,
+            safe_stack_base: 0x0d00,
+            safe_stack_limit: 0x0e00,
+            jt_base: 0x0800,
+            jt_domains: 8,
+        }
+    }
+
+    /// The memory-map geometry this configuration implies.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid geometry (misaligned bounds) — a configuration
+    /// bug, not a runtime fault.
+    pub fn memmap_config(&self) -> MemMapConfig {
+        let mode = if self.two_domain { DomainMode::Two } else { DomainMode::Multi };
+        MemMapConfig::new(
+            mode,
+            harbor::BlockSize::new(1 << self.block_log2).expect("valid block size"),
+            self.prot_bottom,
+            self.prot_top,
+        )
+        .expect("valid protected range")
+    }
+}
+
+/// The protected ATmega103: a [`PlainEnv`](avr_core::mem::PlainEnv)-shaped
+/// machine with the MMC, safe-stack unit, domain tracker and fetch-decoder
+/// extension on the bus.
+///
+/// With the enable bit clear (the reset state) every hook passes straight
+/// through and the machine is cycle-identical to a stock AVR — the paper's
+/// ISA-compatibility property.
+#[derive(Debug, Clone)]
+pub struct UmpuEnv {
+    /// Program flash.
+    pub flash: Flash,
+    /// SRAM + I/O.
+    pub data: DataMem,
+    /// Bytes written to the debug port.
+    pub debug_out: Vec<u8>,
+    /// The memory-map checker.
+    pub mmc: Mmc,
+    /// The safe-stack unit.
+    pub safe_stack: SafeStackUnit,
+    /// The domain tracker + fetch-decoder extension.
+    pub tracker: DomainTrackerUnit,
+    /// Rich record of the most recent protection fault.
+    pub last_fault: Option<ProtectionFault>,
+    /// Optional periodic timer interrupt source.
+    pub timer: Option<avr_core::mem::Timer>,
+    enabled: bool,
+    // Staging registers for the code-region configuration ports.
+    code_select: u8,
+    code_start: u16,
+    code_end: u16,
+}
+
+impl Default for UmpuEnv {
+    fn default() -> Self {
+        UmpuEnv::new()
+    }
+}
+
+impl UmpuEnv {
+    /// Creates a machine with UMPU disabled (stock-AVR behaviour).
+    pub fn new() -> UmpuEnv {
+        UmpuEnv {
+            flash: Flash::new(),
+            data: DataMem::new(),
+            debug_out: Vec::new(),
+            mmc: Mmc::default(),
+            safe_stack: SafeStackUnit::default(),
+            tracker: DomainTrackerUnit::default(),
+            last_fault: None,
+            timer: None,
+            enabled: false,
+            code_select: 0,
+            code_start: 0,
+            code_end: 0,
+        }
+    }
+
+    /// Whether the UMPU checks are enabled.
+    pub const fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Host-side one-shot configuration + enable (the kernel-boot
+    /// equivalent of writing all the ports).
+    pub fn configure(&mut self, cfg: &UmpuConfig) {
+        self.mmc = Mmc {
+            mem_map_base: cfg.mem_map_base,
+            prot_bottom: cfg.prot_bottom,
+            prot_top: cfg.prot_top,
+            block_log2: cfg.block_log2,
+            two_domain: cfg.two_domain,
+        };
+        self.safe_stack = SafeStackUnit {
+            ptr: cfg.safe_stack_base,
+            base: cfg.safe_stack_base,
+            limit: cfg.safe_stack_limit,
+        };
+        self.tracker.jt_base = cfg.jt_base;
+        self.tracker.jt_domains = cfg.jt_domains;
+        self.tracker.stack_bound = RAMEND;
+        // A fresh map: every block free.
+        let map = MemoryMap::new(cfg.memmap_config());
+        for (i, &b) in map.as_bytes().iter().enumerate() {
+            self.data.write(cfg.mem_map_base + i as u16, b).expect("map table fits in RAM");
+        }
+        self.enabled = true;
+    }
+
+    /// Forces the active domain (kernel boot / test setup).
+    pub fn set_current_domain(&mut self, d: DomainId) {
+        self.tracker.current = d;
+    }
+
+    /// Resets the control-flow protection state to a clean trusted context
+    /// — the hardware side of the kernel's exception handler ("a stable
+    /// kernel can always ensure a clean re-start of user modules when
+    /// corruption is detected"). Memory and the memory map are untouched.
+    pub fn recover_to_trusted(&mut self) {
+        self.tracker.current = DomainId::TRUSTED;
+        self.tracker.stack_bound = RAMEND;
+        self.tracker.clear_frames();
+        self.safe_stack.ptr = self.safe_stack.base;
+        self.last_fault = None;
+    }
+
+    /// Registers a domain's code region for the fetch-decoder check.
+    pub fn set_code_region(&mut self, d: DomainId, start_word: u16, end_word: u16) {
+        self.tracker.code_regions[d.index() as usize] = Some((start_word, end_word));
+    }
+
+    /// A golden-model view of the memory-map table currently in RAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the MMC registers describe a geometry whose table does not
+    /// fit in RAM (configuration bug).
+    pub fn memory_map_view(&self) -> MemoryMap {
+        let cfg = self.current_memmap_config();
+        let n = cfg.map_size_bytes();
+        let bytes: Vec<u8> = (0..n)
+            .map(|i| self.data.read(self.mmc.mem_map_base + i).expect("table in RAM"))
+            .collect();
+        MemoryMap::from_raw(cfg, bytes)
+    }
+
+    fn current_memmap_config(&self) -> MemMapConfig {
+        let mode = if self.mmc.two_domain { DomainMode::Two } else { DomainMode::Multi };
+        MemMapConfig::new(
+            mode,
+            harbor::BlockSize::new(1 << self.mmc.block_log2).expect("valid block size"),
+            self.mmc.prot_bottom,
+            self.mmc.prot_top,
+        )
+        .expect("valid MMC geometry")
+    }
+
+    /// Host-side segment allocation: updates the RAM-resident memory map
+    /// through the golden model (what the kernel's `malloc` does in
+    /// software).
+    ///
+    /// # Errors
+    ///
+    /// See [`MemoryMap::set_segment`].
+    pub fn host_set_segment(
+        &mut self,
+        owner: DomainId,
+        addr: u16,
+        len: u16,
+    ) -> Result<(), ProtectionFault> {
+        let mut map = self.memory_map_view();
+        map.set_segment(owner, addr, len)?;
+        self.write_map_back(&map);
+        Ok(())
+    }
+
+    /// Host-side segment free (see [`MemoryMap::free_segment`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`MemoryMap::free_segment`].
+    pub fn host_free_segment(
+        &mut self,
+        requester: DomainId,
+        addr: u16,
+    ) -> Result<u16, ProtectionFault> {
+        let mut map = self.memory_map_view();
+        let n = map.free_segment(requester, addr)?;
+        self.write_map_back(&map);
+        Ok(n)
+    }
+
+    fn write_map_back(&mut self, map: &MemoryMap) {
+        for (i, &b) in map.as_bytes().iter().enumerate() {
+            self.data
+                .write(self.mmc.mem_map_base + i as u16, b)
+                .expect("map table fits in RAM");
+        }
+    }
+
+    fn raise(&mut self, f: ProtectionFault) -> Fault {
+        self.last_fault = Some(f);
+        let (addr, info) = fault_operands(&f);
+        Fault::Env(EnvFault { code: f.code(), addr, info })
+    }
+
+    fn plain_call(&mut self, ev: CallEvent) -> Result<CallOutcome, Fault> {
+        let ret = ev.ret_addr as u16;
+        self.data.write(ev.sp, ret as u8)?;
+        self.data.write(ev.sp.wrapping_sub(1), (ret >> 8) as u8)?;
+        Ok(CallOutcome { target: ev.target, extra_cycles: 0 })
+    }
+
+    fn plain_ret(&mut self, sp: u16) -> Result<RetOutcome, Fault> {
+        let hi = self.data.read(sp.wrapping_add(1))?;
+        let lo = self.data.read(sp.wrapping_add(2))?;
+        Ok(RetOutcome { target: ((hi as u32) << 8) | lo as u32, extra_cycles: 0 })
+    }
+
+    fn umpu_io_write(&mut self, port: u8, v: u8) -> Result<u8, Fault> {
+        if self.enabled && !self.tracker.current.is_trusted() {
+            let f = ProtectionFault::ConfigAccessViolation {
+                port,
+                domain: self.tracker.current.index(),
+            };
+            return Err(self.raise(f));
+        }
+        let set_lo = |r: &mut u16, v: u8| *r = (*r & 0xff00) | v as u16;
+        let set_hi = |r: &mut u16, v: u8| *r = (*r & 0x00ff) | ((v as u16) << 8);
+        match port {
+            PORT_MEM_MAP_BASE_LO => set_lo(&mut self.mmc.mem_map_base, v),
+            PORT_MEM_MAP_BASE_HI => set_hi(&mut self.mmc.mem_map_base, v),
+            PORT_MEM_PROT_BOT_LO => set_lo(&mut self.mmc.prot_bottom, v),
+            PORT_MEM_PROT_BOT_HI => set_hi(&mut self.mmc.prot_bottom, v),
+            PORT_MEM_PROT_TOP_LO => set_lo(&mut self.mmc.prot_top, v),
+            PORT_MEM_PROT_TOP_HI => set_hi(&mut self.mmc.prot_top, v),
+            PORT_MEM_MAP_CONFIG => {
+                self.mmc.block_log2 = v & 0x0f;
+                self.mmc.two_domain = v & CONFIG_TWO_DOMAIN != 0;
+                self.enabled = v & CONFIG_ENABLE != 0;
+            }
+            PORT_SAFE_STACK_PTR_LO => set_lo(&mut self.safe_stack.ptr, v),
+            PORT_SAFE_STACK_PTR_HI => {
+                set_hi(&mut self.safe_stack.ptr, v);
+                // Writing the high byte latches the base: the kernel sets
+                // the pointer exactly once, at boot.
+                self.safe_stack.base = self.safe_stack.ptr;
+            }
+            PORT_SAFE_STACK_LIMIT_LO => set_lo(&mut self.safe_stack.limit, v),
+            PORT_SAFE_STACK_LIMIT_HI => set_hi(&mut self.safe_stack.limit, v),
+            PORT_JT_BASE_LO => set_lo(&mut self.tracker.jt_base, v),
+            PORT_JT_BASE_HI => set_hi(&mut self.tracker.jt_base, v),
+            PORT_JT_DOMAINS => self.tracker.jt_domains = v.min(8),
+            PORT_DOM_ID => {
+                self.tracker.current = DomainId::new(v & 0x7).expect("3-bit domain id")
+            }
+            PORT_CODE_SELECT => self.code_select = v & 0x7,
+            PORT_CODE_START_LO => set_lo(&mut self.code_start, v),
+            PORT_CODE_START_HI => set_hi(&mut self.code_start, v),
+            PORT_CODE_END_LO => set_lo(&mut self.code_end, v),
+            PORT_CODE_END_HI => {
+                set_hi(&mut self.code_end, v);
+                self.tracker.code_regions[self.code_select as usize] =
+                    Some((self.code_start, self.code_end));
+            }
+            PORT_FAULT_CODE => {} // read-only
+            _ => unreachable!("is_umpu_port guarantees the range"),
+        }
+        Ok(0)
+    }
+
+    fn umpu_io_read(&self, port: u8) -> u8 {
+        match port {
+            PORT_MEM_MAP_BASE_LO => self.mmc.mem_map_base as u8,
+            PORT_MEM_MAP_BASE_HI => (self.mmc.mem_map_base >> 8) as u8,
+            PORT_MEM_PROT_BOT_LO => self.mmc.prot_bottom as u8,
+            PORT_MEM_PROT_BOT_HI => (self.mmc.prot_bottom >> 8) as u8,
+            PORT_MEM_PROT_TOP_LO => self.mmc.prot_top as u8,
+            PORT_MEM_PROT_TOP_HI => (self.mmc.prot_top >> 8) as u8,
+            PORT_MEM_MAP_CONFIG => {
+                let mut v = self.mmc.block_log2 & 0x0f;
+                if self.mmc.two_domain {
+                    v |= CONFIG_TWO_DOMAIN;
+                }
+                if self.enabled {
+                    v |= CONFIG_ENABLE;
+                }
+                v
+            }
+            PORT_SAFE_STACK_PTR_LO => self.safe_stack.ptr as u8,
+            PORT_SAFE_STACK_PTR_HI => (self.safe_stack.ptr >> 8) as u8,
+            PORT_SAFE_STACK_LIMIT_LO => self.safe_stack.limit as u8,
+            PORT_SAFE_STACK_LIMIT_HI => (self.safe_stack.limit >> 8) as u8,
+            PORT_JT_BASE_LO => self.tracker.jt_base as u8,
+            PORT_JT_BASE_HI => (self.tracker.jt_base >> 8) as u8,
+            PORT_JT_DOMAINS => self.tracker.jt_domains,
+            PORT_DOM_ID => self.tracker.current.index(),
+            PORT_FAULT_CODE => self.last_fault.map_or(0, |f| f.code() as u8),
+            _ => 0,
+        }
+    }
+}
+
+fn fault_operands(f: &ProtectionFault) -> (u16, u16) {
+    use ProtectionFault::*;
+    match *f {
+        MemMapViolation { addr, owner, .. } => (addr, owner as u16),
+        StackBoundViolation { addr, bound } => (addr, bound),
+        KernelSpaceViolation { addr, domain } => (addr, domain as u16),
+        JumpTableOverflow { target } => (target, 0),
+        CfiViolation { pc, domain } => (pc, domain as u16),
+        SafeStackOverflow { ptr } => (ptr, 0),
+        SafeStackUnderflow => (0, 0),
+        TrackerDepthExceeded { depth } => (depth, 0),
+        ConfigAccessViolation { port, domain } => (port as u16, domain as u16),
+        InvalidDomain { id } => (id as u16, 0),
+        BadSegment { addr, len } => (addr, len),
+        NotOwner { addr, owner, .. } => (addr, owner as u16),
+        OutOfProtectedRange { addr } => (addr, 0),
+    }
+}
+
+impl Env for UmpuEnv {
+    fn fetch(&mut self, pc: WordAddr) -> Result<u16, Fault> {
+        if self.enabled && !self.tracker.fetch_allowed(pc as u16) {
+            let f = ProtectionFault::CfiViolation {
+                pc: pc as u16,
+                domain: self.tracker.current.index(),
+            };
+            return Err(self.raise(f));
+        }
+        Ok(self.flash.word(pc))
+    }
+
+    fn flash_byte(&mut self, byte_addr: u32) -> u8 {
+        self.flash.byte(byte_addr)
+    }
+
+    fn sram_read(&mut self, addr: u16) -> Result<u8, Fault> {
+        self.data.read(addr)
+    }
+
+    fn sram_write(&mut self, addr: u16, v: u8) -> Result<u8, Fault> {
+        if !self.enabled {
+            self.data.write(addr, v)?;
+            return Ok(0);
+        }
+        match self.mmc.check_store(
+            &self.data,
+            addr,
+            self.tracker.current,
+            self.tracker.stack_bound,
+        ) {
+            Ok(stall) => {
+                self.data.write(addr, v)?;
+                Ok(stall)
+            }
+            Err(f) => Err(self.raise(f)),
+        }
+    }
+
+    fn io_read(&mut self, port: u8) -> u8 {
+        if is_umpu_port(port) {
+            self.umpu_io_read(port)
+        } else {
+            self.data.io(port)
+        }
+    }
+
+    fn io_write(&mut self, port: u8, v: u8) -> Result<u8, Fault> {
+        if is_umpu_port(port) {
+            return self.umpu_io_write(port, v);
+        }
+        if port == PORT_DEBUG {
+            self.debug_out.push(v);
+        }
+        if port == avr_core::mem::PORT_PANIC {
+            return Err(Fault::Env(EnvFault { code: v as u16, addr: 0, info: 0 }));
+        }
+        self.data.set_io(port, v);
+        Ok(0)
+    }
+
+    fn on_call(&mut self, ev: CallEvent) -> Result<CallOutcome, Fault> {
+        if !self.enabled {
+            return self.plain_call(ev);
+        }
+        if ev.kind == avr_core::exec::CallKind::Interrupt {
+            // Interrupt entry is a hardware-initiated domain switch to the
+            // trusted handler: the interrupted domain's context is framed
+            // exactly like a cross-domain call and restored by RETI.
+            let caller = self.tracker.current;
+            let bound = self.tracker.stack_bound;
+            let frame = [
+                ev.ret_addr as u8,
+                (ev.ret_addr >> 8) as u8,
+                bound as u8,
+                (bound >> 8) as u8,
+                caller.index(),
+            ];
+            for b in frame {
+                if let Err(f) = self.safe_stack.push_byte(&mut self.data, b) {
+                    return Err(self.raise(f));
+                }
+            }
+            if let Err(f) = self.tracker.push_frame_marker(self.safe_stack.ptr) {
+                return Err(self.raise(f));
+            }
+            self.tracker.current = DomainId::TRUSTED;
+            self.tracker.stack_bound = ev.sp;
+            return Ok(CallOutcome { target: ev.target, extra_cycles: 5 });
+        }
+        let target = ev.target as u16;
+        match self.tracker.classify_call(target) {
+            Err(f) => Err(self.raise(f)),
+            Ok(None) => {
+                // Local call: the safe-stack unit steals the address bus and
+                // redirects the return-address push — zero extra cycles.
+                let ret = ev.ret_addr as u16;
+                if let Err(f) = self.safe_stack.push_word(&mut self.data, ret) {
+                    return Err(self.raise(f));
+                }
+                Ok(CallOutcome { target: ev.target, extra_cycles: 0 })
+            }
+            Ok(Some(callee)) => {
+                // Cross-domain call: the state machine pushes the 5-byte
+                // frame (ret addr, stack bound, caller id), one byte per
+                // cycle — the paper's 5-cycle overhead.
+                let caller = self.tracker.current;
+                let bound = self.tracker.stack_bound;
+                let frame = [
+                    ev.ret_addr as u8,
+                    (ev.ret_addr >> 8) as u8,
+                    bound as u8,
+                    (bound >> 8) as u8,
+                    caller.index(),
+                ];
+                for b in frame {
+                    if let Err(f) = self.safe_stack.push_byte(&mut self.data, b) {
+                        return Err(self.raise(f));
+                    }
+                }
+                if let Err(f) = self.tracker.push_frame_marker(self.safe_stack.ptr) {
+                    return Err(self.raise(f));
+                }
+                self.tracker.current = callee;
+                self.tracker.stack_bound = ev.sp;
+                Ok(CallOutcome { target: ev.target, extra_cycles: 5 })
+            }
+        }
+    }
+
+    fn on_ret(&mut self, _sp: u16) -> Result<RetOutcome, Fault> {
+        if !self.enabled {
+            return self.plain_ret(_sp);
+        }
+        if self.tracker.take_frame_marker(self.safe_stack.ptr) {
+            // Cross-domain return: restore caller id, bound, return address
+            // from the frame — five cycles to read the five bytes back.
+            let dom = match self.safe_stack.pop_byte(&self.data) {
+                Ok(v) => v,
+                Err(f) => return Err(self.raise(f)),
+            };
+            let bound = match self.safe_stack.pop_word(&self.data) {
+                Ok(v) => v,
+                Err(f) => return Err(self.raise(f)),
+            };
+            let ret = match self.safe_stack.pop_word(&self.data) {
+                Ok(v) => v,
+                Err(f) => return Err(self.raise(f)),
+            };
+            self.tracker.current = DomainId::new(dom & 7).expect("3-bit id");
+            self.tracker.stack_bound = bound;
+            Ok(RetOutcome { target: ret as u32, extra_cycles: 5 })
+        } else {
+            let ret = match self.safe_stack.pop_word(&self.data) {
+                Ok(v) => v,
+                Err(f) => return Err(self.raise(f)),
+            };
+            Ok(RetOutcome { target: ret as u32, extra_cycles: 0 })
+        }
+    }
+
+    fn poll_irq(&mut self, cycles: u64) -> Option<avr_core::WordAddr> {
+        self.timer.as_mut().and_then(|t| t.poll(cycles))
+    }
+
+    fn next_irq_at(&self) -> Option<u64> {
+        self.timer.as_ref().map(avr_core::mem::Timer::next_fire)
+    }
+}

@@ -1,0 +1,63 @@
+//! UMPU — the Micro Memory Protection Unit: hardware extensions to the AVR
+//! core that enforce Harbor memory protection at near-zero cycle cost
+//! (Section 5 of the DAC 2007 paper).
+//!
+//! The unit inventory matches the paper's Table 6:
+//!
+//! * **MMC** (memory-map checker) — intercepts every data-memory store,
+//!   stalls the CPU one cycle to steal the address bus, translates the write
+//!   address to its memory-map record (which lives in kernel RAM) and
+//!   compares the recorded owner with the active domain;
+//! * **Safe-stack unit** — steals the address bus while `call`/`ret` push or
+//!   pop return addresses, redirecting them to the safe stack at zero extra
+//!   cycles;
+//! * **Domain tracker** — recognises calls into the co-located jump tables,
+//!   pushes the 5-byte cross-domain frame (5 stall cycles, one byte per
+//!   cycle), switches the active domain and latches the stack bound;
+//! * **Fetch-decoder extension** — a parallel bounds check that faults when
+//!   the PC leaves the active domain's code region other than through the
+//!   jump table.
+//!
+//! [`UmpuEnv`] wires these units onto the [`avr_core`] CPU through its
+//! [`Env`](avr_core::exec::Env) hooks. The extensions are **ISA-compatible**:
+//! the instruction stream is stock AVR, and with the enable bit clear the
+//! machine behaves exactly like a plain ATmega103.
+//!
+//! The [`area`] module provides the parametric gate-count model used to
+//! regenerate Table 6.
+//!
+//! # Example
+//!
+//! ```
+//! use avr_core::{exec::Cpu, isa::{Instr, Reg}};
+//! use umpu::{UmpuEnv, UmpuConfig};
+//! use harbor::DomainId;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut env = UmpuEnv::new();
+//! let cfg = UmpuConfig::default_layout();
+//! env.configure(&cfg);
+//! // Give domain 2 a heap segment, then have it write somewhere else.
+//! env.host_set_segment(DomainId::new(2)?, cfg.prot_bottom, 32)?;
+//! env.set_current_domain(DomainId::new(2)?);
+//! env.flash.load_program(0, &[
+//!     Instr::Ldi { d: Reg::R16, k: 0xaa },
+//!     Instr::Sts { k: cfg.prot_bottom + 0x80, r: Reg::R16 }, // not ours!
+//! ]);
+//! let mut cpu = Cpu::new(env);
+//! let fault = cpu.run_to_break(100).unwrap_err();
+//! assert!(matches!(fault, avr_core::Fault::Env(_)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod area;
+mod env;
+pub mod mpu;
+pub mod regs;
+mod units;
+
+pub use env::{UmpuConfig, UmpuEnv};
+pub use units::{DomainTrackerUnit, Mmc, SafeStackUnit};

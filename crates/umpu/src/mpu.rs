@@ -1,0 +1,223 @@
+//! A classic embedded MPU (ARM 940T / Infineon TC1775 style), the related
+//! work the paper argues against (Section 5's comparison): a small fixed
+//! number of **contiguous** base/bounds regions with per-region write
+//! permission, and only two privilege levels.
+//!
+//! This model exists to *quantify* the paper's claim that "static
+//! partitioning of address space into contiguous regions is infeasible for
+//! low-end microcontrollers": given an allocation trace, how many MPU
+//! regions would expressing Harbor's protection require, and how much RAM
+//! would static contiguous partitioning waste?
+
+use harbor::{DomainId, MemoryMap};
+
+/// One MPU region: a contiguous range writable by user code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpuRegion {
+    /// Inclusive start.
+    pub base: u16,
+    /// Exclusive end.
+    pub end: u16,
+}
+
+/// A classic MPU: up to `N` user-writable regions; everything else is
+/// supervisor-only. (Real parts: ARM 940T has 8 regions; TC1775 has 4 data
+/// ranges.)
+///
+/// # Example
+///
+/// ```
+/// use umpu::mpu::ClassicMpu;
+///
+/// let mut mpu: ClassicMpu<8> = ClassicMpu::new();
+/// mpu.set_region(0, 0x0200, 0x0240);
+/// assert!(mpu.check_store(false, 0x0210));
+/// assert!(!mpu.check_store(false, 0x0300));
+/// assert!(mpu.check_store(true, 0x0300), "supervisor writes anywhere");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassicMpu<const N: usize> {
+    regions: [Option<MpuRegion>; N],
+}
+
+impl<const N: usize> Default for ClassicMpu<N> {
+    fn default() -> Self {
+        ClassicMpu::new()
+    }
+}
+
+impl<const N: usize> ClassicMpu<N> {
+    /// An MPU with no user-writable regions.
+    pub fn new() -> Self {
+        ClassicMpu { regions: [None; N] }
+    }
+
+    /// Number of region slots.
+    pub const fn capacity(&self) -> usize {
+        N
+    }
+
+    /// Programs region `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= N` or the region is empty/inverted.
+    pub fn set_region(&mut self, slot: usize, base: u16, end: u16) {
+        assert!(base < end, "region must be non-empty");
+        self.regions[slot] = Some(MpuRegion { base, end });
+    }
+
+    /// Clears region `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= N`.
+    pub fn clear_region(&mut self, slot: usize) {
+        self.regions[slot] = None;
+    }
+
+    /// The MPU's store rule: supervisor writes anywhere; user writes only
+    /// inside a programmed region. Note the *model's* limitation the paper
+    /// highlights: there is one user level, so one module's regions are
+    /// writable by every module.
+    pub fn check_store(&self, supervisor: bool, addr: u16) -> bool {
+        supervisor
+            || self
+                .regions
+                .iter()
+                .flatten()
+                .any(|r| addr >= r.base && addr < r.end)
+    }
+
+    /// Programmed regions.
+    pub fn regions(&self) -> impl Iterator<Item = MpuRegion> + '_ {
+        self.regions.iter().flatten().copied()
+    }
+}
+
+/// Analysis of how a Harbor memory map would have to be expressed on a
+/// contiguous-region MPU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MpuFit {
+    /// Maximal owner-contiguous runs of user-owned blocks — each needs one
+    /// MPU region *even ignoring* that the MPU cannot distinguish the
+    /// owners from one another.
+    pub regions_needed: usize,
+    /// Runs per user domain, for the per-domain breakdown.
+    pub runs_per_domain: Vec<(DomainId, usize)>,
+    /// Bytes currently owned by user domains (live protected data).
+    pub live_bytes: u32,
+    /// Bytes a static contiguous partitioning must reserve to host the same
+    /// layout: for each domain, the span from its first to its last block
+    /// (fragmentation makes the hull much larger than the live data).
+    pub static_reservation_bytes: u32,
+}
+
+impl MpuFit {
+    /// Whether an `N`-region MPU can express this layout at all.
+    pub fn fits<const N: usize>(&self) -> bool {
+        self.regions_needed <= N
+    }
+
+    /// Wasted bytes under static contiguous partitioning.
+    pub fn waste_bytes(&self) -> u32 {
+        self.static_reservation_bytes.saturating_sub(self.live_bytes)
+    }
+}
+
+/// Computes how the current memory map would fit a contiguous-region MPU.
+pub fn analyze_mpu_fit(map: &MemoryMap) -> MpuFit {
+    let cfg = map.config();
+    let block_bytes = cfg.block_size().bytes() as u32;
+    let mut regions_needed = 0usize;
+    let mut runs: std::collections::BTreeMap<u8, usize> = Default::default();
+    let mut live_blocks: std::collections::BTreeMap<u8, u32> = Default::default();
+    let mut extents: std::collections::BTreeMap<u8, (u16, u16)> = Default::default();
+
+    let mut prev_owner: Option<u8> = None;
+    for block in 0..cfg.num_blocks() {
+        let owner = map.record(block).owner;
+        let cur = (!owner.is_trusted()).then_some(owner.index());
+        if let Some(o) = cur {
+            if prev_owner != Some(o) {
+                regions_needed += 1;
+                *runs.entry(o).or_default() += 1;
+            }
+            *live_blocks.entry(o).or_default() += 1;
+            let e = extents.entry(o).or_insert((block, block));
+            e.0 = e.0.min(block);
+            e.1 = e.1.max(block);
+        }
+        prev_owner = cur;
+    }
+
+    let live_bytes: u32 = live_blocks.values().sum::<u32>() * block_bytes;
+    let static_reservation_bytes: u32 = extents
+        .values()
+        .map(|&(lo, hi)| (hi - lo + 1) as u32 * block_bytes)
+        .sum();
+    MpuFit {
+        regions_needed,
+        runs_per_domain: runs
+            .into_iter()
+            .map(|(d, n)| (DomainId::num(d), n))
+            .collect(),
+        live_bytes,
+        static_reservation_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harbor::MemMapConfig;
+
+    #[test]
+    fn mpu_store_rule() {
+        let mut mpu: ClassicMpu<8> = ClassicMpu::new();
+        mpu.set_region(0, 0x0200, 0x0240);
+        assert!(mpu.check_store(true, 0x0000), "supervisor writes anywhere");
+        assert!(mpu.check_store(false, 0x0200));
+        assert!(mpu.check_store(false, 0x023f));
+        assert!(!mpu.check_store(false, 0x0240), "end exclusive");
+        assert!(!mpu.check_store(false, 0x0100));
+        mpu.clear_region(0);
+        assert!(!mpu.check_store(false, 0x0200));
+    }
+
+    #[test]
+    fn contiguous_layout_fits_fragmented_does_not() {
+        let cfg = MemMapConfig::multi_domain(0x0200, 0x0600).unwrap();
+
+        // Contiguous: each of 4 domains owns one range → 4 regions.
+        let mut map = MemoryMap::new(cfg);
+        for d in 0..4u8 {
+            map.set_segment(DomainId::num(d), 0x0200 + d as u16 * 64, 64).unwrap();
+        }
+        let fit = analyze_mpu_fit(&map);
+        assert_eq!(fit.regions_needed, 4);
+        assert!(fit.fits::<8>());
+        assert_eq!(fit.waste_bytes(), 0);
+
+        // Fragmented: 2 domains interleaved every block → a run per block.
+        let mut map = MemoryMap::new(cfg);
+        for i in 0..16u16 {
+            let d = DomainId::num((i % 2) as u8);
+            map.set_segment(d, 0x0200 + i * 8, 8).unwrap();
+        }
+        let fit = analyze_mpu_fit(&map);
+        assert_eq!(fit.regions_needed, 16, "one region per interleaved block");
+        assert!(!fit.fits::<8>(), "the 8-region MPU cannot express this");
+        // Static partitioning must reserve each domain's full hull.
+        assert!(fit.static_reservation_bytes > fit.live_bytes);
+    }
+
+    #[test]
+    fn trusted_blocks_need_no_regions() {
+        let cfg = MemMapConfig::multi_domain(0x0200, 0x0600).unwrap();
+        let map = MemoryMap::new(cfg);
+        let fit = analyze_mpu_fit(&map);
+        assert_eq!(fit.regions_needed, 0);
+        assert_eq!(fit.live_bytes, 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! UMPU configuration registers, mapped onto reserved I/O ports.
+//!
+//! The ATmega103 leaves several low I/O addresses unimplemented; UMPU claims
+//! `0x00..=0x11` for its configuration interface (Table 2 of the paper plus
+//! the registers the prose describes: `safe_stack_ptr`, the jump-table base
+//! and the per-domain code regions used by the fetch-decoder check).
+//!
+//! All ports are **trusted-domain write-only**: a store from a user domain
+//! raises [`ConfigAccessViolation`](harbor::ProtectionFault). Reads are
+//! unrestricted (the kernel library "reads the identity of the current
+//! active domain from the status register", and modules may too).
+
+/// `mem_map_base` low byte — base address of the memory-map table in RAM.
+pub const PORT_MEM_MAP_BASE_LO: u8 = 0x00;
+/// `mem_map_base` high byte.
+pub const PORT_MEM_MAP_BASE_HI: u8 = 0x01;
+/// `mem_prot_bot` low byte — inclusive lower bound of protected memory.
+pub const PORT_MEM_PROT_BOT_LO: u8 = 0x02;
+/// `mem_prot_bot` high byte.
+pub const PORT_MEM_PROT_BOT_HI: u8 = 0x03;
+/// `mem_prot_top` low byte — exclusive upper bound of protected memory.
+pub const PORT_MEM_PROT_TOP_LO: u8 = 0x04;
+/// `mem_prot_top` high byte.
+pub const PORT_MEM_PROT_TOP_HI: u8 = 0x05;
+/// `mem_map_config`: bits 3:0 = log2(block size), bit 4 = two-domain mode,
+/// bit 7 = global UMPU enable.
+pub const PORT_MEM_MAP_CONFIG: u8 = 0x06;
+/// `safe_stack_ptr` low byte (next free byte; the safe stack grows up).
+pub const PORT_SAFE_STACK_PTR_LO: u8 = 0x07;
+/// `safe_stack_ptr` high byte.
+pub const PORT_SAFE_STACK_PTR_HI: u8 = 0x08;
+/// Safe-stack limit low byte (exclusive; overflow faults at this address).
+pub const PORT_SAFE_STACK_LIMIT_LO: u8 = 0x09;
+/// Safe-stack limit high byte.
+pub const PORT_SAFE_STACK_LIMIT_HI: u8 = 0x0a;
+/// Jump-table base (word address) low byte.
+pub const PORT_JT_BASE_LO: u8 = 0x0b;
+/// Jump-table base high byte.
+pub const PORT_JT_BASE_HI: u8 = 0x0c;
+/// Number of domains with jump tables (1..=8).
+pub const PORT_JT_DOMAINS: u8 = 0x0d;
+/// Active-domain status register: read anywhere; written only by the
+/// trusted domain (kernel boot).
+pub const PORT_DOM_ID: u8 = 0x0e;
+/// Selects which domain's code region the next four writes describe.
+pub const PORT_CODE_SELECT: u8 = 0x0f;
+/// Selected domain's code-region start (word address), low byte.
+pub const PORT_CODE_START_LO: u8 = 0x10;
+/// Code-region start, high byte.
+pub const PORT_CODE_START_HI: u8 = 0x11;
+/// Code-region end (exclusive word address), low byte.
+pub const PORT_CODE_END_LO: u8 = 0x12;
+/// Code-region end, high byte — writing this commits the entry.
+pub const PORT_CODE_END_HI: u8 = 0x13;
+/// Fault-info register: last fault code (read-only mirror for kernel code).
+pub const PORT_FAULT_CODE: u8 = 0x14;
+
+/// `mem_map_config` bit: two-domain (2-bit-record) mode.
+pub const CONFIG_TWO_DOMAIN: u8 = 1 << 4;
+/// `mem_map_config` bit: master enable for all UMPU checks.
+pub const CONFIG_ENABLE: u8 = 1 << 7;
+
+/// First port past the UMPU register file (used by the permission check).
+pub const UMPU_PORT_END: u8 = 0x15;
+
+/// Whether `port` belongs to the UMPU configuration register file.
+pub const fn is_umpu_port(port: u8) -> bool {
+    port < UMPU_PORT_END
+}

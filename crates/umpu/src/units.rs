@@ -1,0 +1,447 @@
+//! The UMPU functional units: registers plus combinational logic, operating
+//! on the simulated data memory exactly where the hardware would sit on the
+//! bus.
+
+use avr_core::mem::DataMem;
+use harbor::{DomainId, JumpTableLayout, ProtectionFault};
+
+/// The memory-map checker (MMC): intercepts stores, translates the write
+/// address to its record in the RAM-resident memory map and compares owners
+/// (Figure 3/4 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mmc {
+    /// `mem_map_base`: RAM address of the memory-map table.
+    pub mem_map_base: u16,
+    /// `mem_prot_bot`: inclusive lower bound of protected memory.
+    pub prot_bottom: u16,
+    /// `mem_prot_top`: exclusive upper bound of protected memory.
+    pub prot_top: u16,
+    /// log2 of the block size (from `mem_map_config`).
+    pub block_log2: u8,
+    /// Two-domain (2-bit-record) mode (from `mem_map_config`).
+    pub two_domain: bool,
+}
+
+impl Default for Mmc {
+    fn default() -> Self {
+        Mmc {
+            mem_map_base: 0,
+            prot_bottom: 0,
+            prot_top: 0,
+            block_log2: 3,
+            two_domain: false,
+        }
+    }
+}
+
+impl Mmc {
+    /// Reads the owner recorded for `addr` out of the memory-map table in
+    /// `ram` — the translation of Figure 4b in hardware form.
+    ///
+    /// Returns the owner domain id (`0..=7`).
+    pub fn owner_of(&self, ram: &DataMem, addr: u16) -> u8 {
+        let offset = addr - self.prot_bottom;
+        let block = offset >> self.block_log2;
+        let (byte_index, shift, mask, owner_shift) = if self.two_domain {
+            (block >> 2, ((block & 3) * 2) as u8, 0x03u8, 1u8)
+        } else {
+            (block >> 1, ((block & 1) * 4) as u8, 0x0fu8, 1u8)
+        };
+        let table_byte = ram
+            .read(self.mem_map_base.wrapping_add(byte_index))
+            .unwrap_or(0xff);
+        let record = (table_byte >> shift) & mask;
+        let owner = record >> owner_shift;
+        if self.two_domain {
+            // 2-bit records: owner bit 1 = trusted/free, 0 = user domain 0.
+            if owner & 1 != 0 {
+                DomainId::TRUSTED.index()
+            } else {
+                0
+            }
+        } else {
+            owner & 0x7
+        }
+    }
+
+    /// The full store-permission check for `addr` by `domain` with the
+    /// given stack bound. Returns the stall cycles the MMC charges (1 when
+    /// it steals the bus to read the map, 0 otherwise).
+    ///
+    /// # Errors
+    ///
+    /// The corresponding [`ProtectionFault`] on denial.
+    pub fn check_store(
+        &self,
+        ram: &DataMem,
+        addr: u16,
+        domain: DomainId,
+        stack_bound: u16,
+    ) -> Result<u8, ProtectionFault> {
+        let in_map = addr >= self.prot_bottom && addr < self.prot_top;
+        let stall = u8::from(in_map);
+        if domain.is_trusted() {
+            return Ok(stall);
+        }
+        if in_map {
+            let owner = self.owner_of(ram, addr);
+            if owner == domain.index() {
+                Ok(stall)
+            } else {
+                Err(ProtectionFault::MemMapViolation {
+                    addr,
+                    domain: domain.index(),
+                    owner,
+                })
+            }
+        } else if addr >= self.prot_top {
+            // Run-time stack region: guarded by the stack bound.
+            if addr <= stack_bound {
+                Ok(0)
+            } else {
+                Err(ProtectionFault::StackBoundViolation { addr, bound: stack_bound })
+            }
+        } else {
+            // Below the protected region: kernel globals, trusted only.
+            Err(ProtectionFault::KernelSpaceViolation { addr, domain: domain.index() })
+        }
+    }
+}
+
+/// The safe-stack unit: owns `safe_stack_ptr` and performs the byte-wise
+/// pushes/pops, stealing the address bus from the CPU so return-address
+/// redirection is free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SafeStackUnit {
+    /// `safe_stack_ptr`: next free byte (grows upward).
+    pub ptr: u16,
+    /// Base of the safe stack (underflow limit).
+    pub base: u16,
+    /// Exclusive upper limit (overflow faults here).
+    pub limit: u16,
+}
+
+impl SafeStackUnit {
+    /// Pushes one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionFault::SafeStackOverflow`] at the limit.
+    pub fn push_byte(&mut self, ram: &mut DataMem, v: u8) -> Result<(), ProtectionFault> {
+        if self.ptr >= self.limit {
+            return Err(ProtectionFault::SafeStackOverflow { ptr: self.ptr });
+        }
+        ram.write(self.ptr, v)
+            .map_err(|_| ProtectionFault::SafeStackOverflow { ptr: self.ptr })?;
+        self.ptr += 1;
+        Ok(())
+    }
+
+    /// Pops one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionFault::SafeStackUnderflow`] at the base.
+    pub fn pop_byte(&mut self, ram: &DataMem) -> Result<u8, ProtectionFault> {
+        if self.ptr <= self.base {
+            return Err(ProtectionFault::SafeStackUnderflow);
+        }
+        self.ptr -= 1;
+        ram.read(self.ptr).map_err(|_| ProtectionFault::SafeStackUnderflow)
+    }
+
+    /// Pushes a 16-bit value, low byte first (matching
+    /// [`harbor::SafeStackEntry::to_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`SafeStackUnit::push_byte`].
+    pub fn push_word(&mut self, ram: &mut DataMem, v: u16) -> Result<(), ProtectionFault> {
+        self.push_byte(ram, v as u8)?;
+        self.push_byte(ram, (v >> 8) as u8)
+    }
+
+    /// Pops a 16-bit value pushed by [`SafeStackUnit::push_word`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SafeStackUnit::pop_byte`].
+    pub fn pop_word(&mut self, ram: &DataMem) -> Result<u16, ProtectionFault> {
+        let hi = self.pop_byte(ram)?;
+        let lo = self.pop_byte(ram)?;
+        Ok(((hi as u16) << 8) | lo as u16)
+    }
+
+    /// Bytes currently on the safe stack.
+    pub const fn used_bytes(&self) -> u16 {
+        self.ptr - self.base
+    }
+}
+
+/// The domain tracker: the cross-domain call state machine plus the
+/// fetch-decoder extension's per-domain code regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainTrackerUnit {
+    /// Active domain (mirrored at [`PORT_DOM_ID`](crate::regs::PORT_DOM_ID)).
+    pub current: DomainId,
+    /// Active `stack_bound`.
+    pub stack_bound: u16,
+    /// Jump-table base (word address).
+    pub jt_base: u16,
+    /// Number of domains with jump tables.
+    pub jt_domains: u8,
+    /// Per-domain code regions (start, end) in word addresses, used by the
+    /// fetch check. `None` = no code loaded for that domain.
+    pub code_regions: [Option<(u16, u16)>; 8],
+    /// Safe-stack positions (ptr value) right after each cross-domain frame
+    /// push — the state machine's small hardware LIFO.
+    frames: Vec<u16>,
+    /// Capacity of that LIFO.
+    pub max_depth: usize,
+}
+
+impl Default for DomainTrackerUnit {
+    fn default() -> Self {
+        DomainTrackerUnit {
+            current: DomainId::TRUSTED,
+            stack_bound: avr_core::mem::RAMEND,
+            jt_base: 0,
+            jt_domains: 8,
+            code_regions: [None; 8],
+            frames: Vec::new(),
+            max_depth: 16,
+        }
+    }
+}
+
+impl DomainTrackerUnit {
+    /// The jump-table geometry implied by the registers.
+    pub fn layout(&self) -> JumpTableLayout {
+        JumpTableLayout::new(self.jt_base, self.jt_domains)
+    }
+
+    /// Classifies a call target: `None` = local, `Some(callee)` =
+    /// cross-domain.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionFault::JumpTableOverflow`] past the last table.
+    pub fn classify_call(&self, target: u16) -> Result<Option<DomainId>, ProtectionFault> {
+        Ok(self.layout().classify(target)?.map(|(d, _)| d))
+    }
+
+    /// Current cross-domain nesting depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Records a cross-domain frame pushed ending at safe-stack position
+    /// `ssp_after`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtectionFault::TrackerDepthExceeded`] past the LIFO capacity.
+    pub fn push_frame_marker(&mut self, ssp_after: u16) -> Result<(), ProtectionFault> {
+        if self.frames.len() >= self.max_depth {
+            return Err(ProtectionFault::TrackerDepthExceeded {
+                depth: self.frames.len() as u16 + 1,
+            });
+        }
+        self.frames.push(ssp_after);
+        Ok(())
+    }
+
+    /// Clears the cross-domain frame LIFO (kernel fault recovery).
+    pub fn clear_frames(&mut self) {
+        self.frames.clear();
+    }
+
+    /// Whether a `RET` at safe-stack position `ssp` is a cross-domain
+    /// return (the top frame ends exactly there). Pops the marker when so.
+    pub fn take_frame_marker(&mut self, ssp: u16) -> bool {
+        if self.frames.last() == Some(&ssp) {
+            self.frames.pop();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The fetch-decoder check: may the active domain execute `pc`?
+    /// Trusted code runs anywhere; everyone may execute the jump tables;
+    /// otherwise the PC must be inside the domain's registered code region.
+    pub fn fetch_allowed(&self, pc: u16) -> bool {
+        if self.current.is_trusted() {
+            return true;
+        }
+        let jt_end = self.jt_base + self.jt_domains as u16 * 128;
+        if pc >= self.jt_base && pc < jt_end {
+            return true;
+        }
+        match self.code_regions[self.current.index() as usize] {
+            Some((start, end)) => pc >= start && pc < end,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ram_with_map(base: u16, bytes: &[u8]) -> DataMem {
+        let mut ram = DataMem::new();
+        for (i, &b) in bytes.iter().enumerate() {
+            ram.write(base + i as u16, b).unwrap();
+        }
+        ram
+    }
+
+    #[test]
+    fn mmc_reads_owner_from_ram_table() {
+        // Map at 0x0100, protecting 0x0200.. with 8-byte blocks.
+        // Block 0 record: dom 2 start (0101), block 1: dom 2 later (0100)
+        // -> byte 0 = 0x45 (block1 in high nibble, block0 in low).
+        let mmc = Mmc { mem_map_base: 0x0100, prot_bottom: 0x0200, prot_top: 0x0300, ..Mmc::default() };
+        let ram = ram_with_map(0x0100, &[0x45]);
+        assert_eq!(mmc.owner_of(&ram, 0x0200), 2);
+        assert_eq!(mmc.owner_of(&ram, 0x0207), 2);
+        assert_eq!(mmc.owner_of(&ram, 0x0208), 2);
+    }
+
+    #[test]
+    fn mmc_check_store_rules() {
+        let mmc = Mmc { mem_map_base: 0x0100, prot_bottom: 0x0200, prot_top: 0x0300, ..Mmc::default() };
+        let ram = ram_with_map(0x0100, &[0x45]); // blocks 0,1 -> dom2
+        let d2 = DomainId::num(2);
+        let d3 = DomainId::num(3);
+        let bound = 0x0f80;
+
+        assert_eq!(mmc.check_store(&ram, 0x0204, d2, bound), Ok(1), "own block: 1 stall");
+        assert!(matches!(
+            mmc.check_store(&ram, 0x0204, d3, bound),
+            Err(ProtectionFault::MemMapViolation { owner: 2, .. })
+        ));
+        assert_eq!(mmc.check_store(&ram, 0x0204, DomainId::TRUSTED, bound), Ok(1));
+        // Stack region.
+        assert_eq!(mmc.check_store(&ram, 0x0f80, d2, bound), Ok(0));
+        assert!(matches!(
+            mmc.check_store(&ram, 0x0f81, d2, bound),
+            Err(ProtectionFault::StackBoundViolation { .. })
+        ));
+        // Kernel globals.
+        assert!(matches!(
+            mmc.check_store(&ram, 0x0180, d2, bound),
+            Err(ProtectionFault::KernelSpaceViolation { .. })
+        ));
+        assert_eq!(mmc.check_store(&ram, 0x0180, DomainId::TRUSTED, bound), Ok(0));
+    }
+
+    #[test]
+    fn mmc_two_domain_mode() {
+        let mmc = Mmc {
+            mem_map_base: 0x0100,
+            prot_bottom: 0x0200,
+            prot_top: 0x0300,
+            two_domain: true,
+            ..Mmc::default()
+        };
+        // 4 records per byte; block 0 = user start (01), block 1 = user later
+        // (00), blocks 2,3 free (11 11): byte = 0b11_11_00_01 = 0xf1.
+        let ram = ram_with_map(0x0100, &[0xf1]);
+        assert_eq!(mmc.owner_of(&ram, 0x0200), 0);
+        assert_eq!(mmc.owner_of(&ram, 0x0208), 0);
+        assert_eq!(mmc.owner_of(&ram, 0x0210), DomainId::TRUSTED.index());
+        let d0 = DomainId::num(0);
+        assert!(mmc.check_store(&ram, 0x0200, d0, 0xfff).is_ok());
+        assert!(mmc.check_store(&ram, 0x0210, d0, 0xfff).is_err());
+    }
+
+    #[test]
+    fn mmc_agrees_with_golden_model() {
+        // Differential: build a harbor::MemoryMap, copy its bytes into RAM,
+        // and require identical owners for every address.
+        use harbor::{MemMapConfig, MemoryMap};
+        let cfg = MemMapConfig::multi_domain(0x0200, 0x0400).unwrap();
+        let mut map = MemoryMap::new(cfg);
+        map.set_segment(DomainId::num(1), 0x0200, 40).unwrap();
+        map.set_segment(DomainId::num(5), 0x0300, 64).unwrap();
+        map.set_segment(DomainId::num(1), 0x03c0, 8).unwrap();
+
+        let mut ram = DataMem::new();
+        for (i, &b) in map.as_bytes().iter().enumerate() {
+            ram.write(0x0100 + i as u16, b).unwrap();
+        }
+        let mmc = Mmc { mem_map_base: 0x0100, prot_bottom: 0x0200, prot_top: 0x0400, ..Mmc::default() };
+        for addr in (0x0200..0x0400).step_by(4) {
+            assert_eq!(
+                mmc.owner_of(&ram, addr),
+                map.owner_of(addr).unwrap().index(),
+                "owner mismatch at {addr:#06x}"
+            );
+        }
+    }
+
+    #[test]
+    fn safe_stack_unit_push_pop() {
+        let mut ram = DataMem::new();
+        let mut ss = SafeStackUnit { ptr: 0x0300, base: 0x0300, limit: 0x0304 };
+        ss.push_word(&mut ram, 0x1234).unwrap();
+        assert_eq!(ss.ptr, 0x0302);
+        assert_eq!(ram.read(0x0300), Ok(0x34));
+        assert_eq!(ram.read(0x0301), Ok(0x12));
+        ss.push_word(&mut ram, 0xbeef).unwrap();
+        assert!(matches!(
+            ss.push_byte(&mut ram, 0),
+            Err(ProtectionFault::SafeStackOverflow { ptr: 0x0304 })
+        ));
+        assert_eq!(ss.pop_word(&ram), Ok(0xbeef));
+        assert_eq!(ss.pop_word(&ram), Ok(0x1234));
+        assert_eq!(ss.pop_byte(&ram), Err(ProtectionFault::SafeStackUnderflow));
+    }
+
+    #[test]
+    fn tracker_frame_markers() {
+        let mut t = DomainTrackerUnit::default();
+        t.push_frame_marker(0x0305).unwrap();
+        t.push_frame_marker(0x030c).unwrap();
+        assert_eq!(t.depth(), 2);
+        assert!(!t.take_frame_marker(0x0305), "only the top frame matches");
+        assert!(t.take_frame_marker(0x030c));
+        assert!(t.take_frame_marker(0x0305));
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn tracker_depth_limit() {
+        let mut t = DomainTrackerUnit { max_depth: 1, ..DomainTrackerUnit::default() };
+        t.push_frame_marker(5).unwrap();
+        assert!(matches!(
+            t.push_frame_marker(10),
+            Err(ProtectionFault::TrackerDepthExceeded { depth: 2 })
+        ));
+    }
+
+    #[test]
+    fn fetch_check() {
+        let mut t = DomainTrackerUnit {
+            jt_base: 0x0800,
+            jt_domains: 8,
+            ..DomainTrackerUnit::default()
+        };
+        t.code_regions[2] = Some((0x1000, 0x1100));
+        // Trusted runs anywhere.
+        assert!(t.fetch_allowed(0x0000));
+        t.current = DomainId::num(2);
+        assert!(t.fetch_allowed(0x1000));
+        assert!(t.fetch_allowed(0x10ff));
+        assert!(!t.fetch_allowed(0x1100), "end is exclusive");
+        assert!(!t.fetch_allowed(0x0000), "kernel code is off limits");
+        assert!(t.fetch_allowed(0x0800), "jump tables are executable by all");
+        assert!(t.fetch_allowed(0x0bff));
+        assert!(!t.fetch_allowed(0x0c00), "past the tables");
+        // A domain with no registered region can run nothing but the tables.
+        t.current = DomainId::num(3);
+        assert!(!t.fetch_allowed(0x1000));
+    }
+}

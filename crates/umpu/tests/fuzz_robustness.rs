@@ -1,0 +1,37 @@
+//! Robustness of the protected machine: arbitrary flash and arbitrary
+//! hardware-register configurations must fault cleanly, never panic.
+
+use avr_core::exec::{Cpu, Env as _, Step};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn random_flash_never_panics_under_umpu(
+        words in proptest::collection::vec(any::<u16>(), 1..128),
+        bot in any::<u16>(),
+        top in any::<u16>(),
+        map_base in any::<u16>(),
+        ssp in any::<u16>(),
+    ) {
+        let mut env = umpu::UmpuEnv::new();
+        env.flash.load_words(0, &words);
+        env.mmc.prot_bottom = bot;
+        env.mmc.prot_top = top;
+        env.mmc.mem_map_base = map_base;
+        env.safe_stack.ptr = ssp;
+        env.safe_stack.base = ssp;
+        env.safe_stack.limit = ssp.wrapping_add(64);
+        env.tracker.jt_base = 0x0800;
+        // Enable through the config port (trusted at reset).
+        let _ = env.io_write(umpu::regs::PORT_MEM_MAP_CONFIG, 3 | umpu::regs::CONFIG_ENABLE);
+        let mut cpu = Cpu::new(env);
+        for _ in 0..300 {
+            match cpu.step() {
+                Ok(Step::Continue) => {}
+                _ => break,
+            }
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! End-to-end tests of the UMPU-protected machine: real AVR programs,
+//! jump-table cross-domain calls, safe-stack redirection, stack bounds, CFI
+//! and the Table 3 hardware cycle overheads.
+
+use avr_asm::Asm;
+use avr_core::exec::Cpu;
+use avr_core::isa::{Instr, Ptr, PtrMode, Reg};
+use avr_core::mem::{PlainEnv, RAMEND};
+use avr_core::Fault;
+use harbor::{fault_code, DomainId, ProtectionFault};
+use umpu::{UmpuConfig, UmpuEnv};
+
+const CFG: UmpuConfig = UmpuConfig::default_layout();
+
+fn protected_env() -> UmpuEnv {
+    let mut env = UmpuEnv::new();
+    env.configure(&CFG);
+    env
+}
+
+/// Builds a machine where the kernel (trusted, at word 0) calls domain 2's
+/// jump-table entry 0, which redirects to a module function.
+///
+/// Returns (env, kernel-after-call pc) for cycle accounting.
+fn machine_with_module(module_body: impl FnOnce(&mut Asm)) -> UmpuEnv {
+    let mut env = protected_env();
+
+    // Module code for domain 2 at word 0x1000.
+    let mut m = Asm::new();
+    module_body(&mut m);
+    let module = m.assemble(0x1000).unwrap();
+    module.load_into(&mut env.flash);
+    env.set_code_region(DomainId::num(2), 0x1000, module.end() as u16);
+
+    // Jump-table entry 0 of domain 2: rjmp to the module entry.
+    let jt_entry = CFG.jt_base + 2 * 128;
+    let mut jt = Asm::new();
+    let target = jt.constant("module_entry", 0x1000);
+    jt.rjmp(target);
+    jt.assemble(jt_entry as u32).unwrap().load_into(&mut env.flash);
+
+    // Kernel: call the jump-table entry, then BREAK.
+    let mut k = Asm::new();
+    let entry = k.constant("jt_entry", jt_entry as u32);
+    k.call(entry);
+    k.brk();
+    k.assemble(0).unwrap().load_into(&mut env.flash);
+
+    env
+}
+
+#[test]
+fn trusted_store_in_protected_region_costs_one_extra_cycle() {
+    // Protected store: sts (2 cycles) + 1 MMC stall.
+    let mut env = protected_env();
+    env.flash.load_program(
+        0,
+        &[
+            Instr::Ldi { d: Reg::R16, k: 0x5a },
+            Instr::Sts { k: CFG.prot_bottom, r: Reg::R16 },
+            Instr::Break,
+        ],
+    );
+    let mut cpu = Cpu::new(env);
+    cpu.run_to_break(100).unwrap();
+    assert_eq!(cpu.cycles(), 1 + (2 + 1) + 1, "Table 3: memmap checker = 1 cycle");
+    assert_eq!(cpu.env.data.read(CFG.prot_bottom), Ok(0x5a));
+
+    // Unprotected store (kernel globals): no stall.
+    let mut env = protected_env();
+    env.flash.load_program(
+        0,
+        &[
+            Instr::Ldi { d: Reg::R16, k: 0x5a },
+            Instr::Sts { k: 0x0180, r: Reg::R16 },
+            Instr::Break,
+        ],
+    );
+    let mut cpu = Cpu::new(env);
+    cpu.run_to_break(100).unwrap();
+    assert_eq!(cpu.cycles(), 1 + 2 + 1);
+}
+
+#[test]
+fn user_domain_store_to_foreign_block_faults() {
+    let mut env = protected_env();
+    env.host_set_segment(DomainId::num(2), CFG.prot_bottom, 32).unwrap();
+    env.set_current_domain(DomainId::num(3));
+    env.set_code_region(DomainId::num(3), 0, 0x100);
+    env.flash.load_program(
+        0,
+        &[
+            Instr::Ldi { d: Reg::R16, k: 1 },
+            Instr::Sts { k: CFG.prot_bottom + 4, r: Reg::R16 },
+            Instr::Break,
+        ],
+    );
+    let mut cpu = Cpu::new(env);
+    let err = cpu.run_to_break(100).unwrap_err();
+    match err {
+        Fault::Env(e) => assert_eq!(e.code, fault_code::MEM_MAP),
+        other => panic!("expected env fault, got {other:?}"),
+    }
+    assert!(matches!(
+        cpu.env.last_fault,
+        Some(ProtectionFault::MemMapViolation { domain: 3, owner: 2, .. })
+    ));
+    // The store was blocked: memory unchanged.
+    assert_eq!(cpu.env.data.read(CFG.prot_bottom + 4), Ok(0));
+}
+
+#[test]
+fn user_domain_store_to_own_block_succeeds() {
+    let mut env = protected_env();
+    env.host_set_segment(DomainId::num(2), CFG.prot_bottom, 32).unwrap();
+    env.set_current_domain(DomainId::num(2));
+    env.set_code_region(DomainId::num(2), 0, 0x100);
+    env.flash.load_program(
+        0,
+        &[
+            Instr::Ldi { d: Reg::R16, k: 0x77 },
+            Instr::Sts { k: CFG.prot_bottom + 8, r: Reg::R16 },
+            Instr::Break,
+        ],
+    );
+    let mut cpu = Cpu::new(env);
+    cpu.run_to_break(100).unwrap();
+    assert_eq!(cpu.env.data.read(CFG.prot_bottom + 8), Ok(0x77));
+}
+
+#[test]
+fn cross_domain_call_switches_domain_and_costs_five_cycles() {
+    // Module: just ret.
+    let env = machine_with_module(|m| {
+        m.ret();
+    });
+    let mut cpu = Cpu::new(env);
+
+    // Baseline without protection: same instruction stream on a plain env
+    // (domain tracking adds 5+5 cycles for the call/ret pair).
+    let mut plain = PlainEnv::new();
+    plain.flash.load_words(0, &{
+        let mut v = Vec::new();
+        for w in 0..0x1100u32 {
+            v.push(cpu.env.flash.word(w));
+        }
+        v
+    });
+    let mut base = Cpu::new(plain);
+
+    cpu.run_to_break(1000).unwrap();
+    base.run_to_break(1000).unwrap();
+    assert_eq!(
+        cpu.cycles(),
+        base.cycles() + 5 + 5,
+        "Table 3: cross-domain call 5 + cross-domain ret 5"
+    );
+    assert_eq!(cpu.env.tracker.current.index(), DomainId::TRUSTED.index());
+    assert_eq!(cpu.env.tracker.stack_bound, RAMEND, "bound restored after return");
+    assert_eq!(cpu.env.safe_stack.used_bytes(), 0, "frame fully popped");
+}
+
+#[test]
+fn local_call_redirects_return_address_to_safe_stack_for_free() {
+    // Kernel: call local function, which rets. No cross-domain involvement.
+    let mut env = protected_env();
+    let mut k = Asm::new();
+    let f = k.label("f");
+    k.call(f);
+    k.brk();
+    k.bind(f);
+    k.ret();
+    k.assemble(0).unwrap().load_into(&mut env.flash);
+    let mut cpu = Cpu::new(env);
+    cpu.run_to_break(100).unwrap();
+    // call(4) + ret(4) + break(1): zero overhead (Table 3: save/restore = 0).
+    assert_eq!(cpu.cycles(), 4 + 4 + 1);
+    // The return address bytes were redirected: the run-time stack slots
+    // stayed zero.
+    assert_eq!(cpu.env.data.read(RAMEND), Ok(0));
+    assert_eq!(cpu.env.data.read(RAMEND - 1), Ok(0));
+    assert_eq!(cpu.env.safe_stack.used_bytes(), 0, "popped after ret");
+}
+
+#[test]
+fn return_address_survives_runtime_stack_corruption() {
+    // The module scribbles over the run-time stack slots where a plain AVR
+    // would keep the return address; with the safe stack, the return still
+    // lands correctly. The scribble itself is legal: it is below the bound.
+    let env = machine_with_module(|m| {
+        m.ldi(Reg::R16, 0xff);
+        // SP at module entry: RAMEND - 2 (architectural SP moved by call).
+        // Wild stores into the callee's own stack area:
+        m.ldi(Reg::XL, ((RAMEND - 2) & 0xff) as u8);
+        m.ldi(Reg::XH, ((RAMEND - 2) >> 8) as u8);
+        m.st(Ptr::X, PtrMode::PostInc, Reg::R16);
+        m.st(Ptr::X, PtrMode::Plain, Reg::R16);
+        m.ret();
+    });
+    let mut cpu = Cpu::new(env);
+    cpu.run_to_break(1000).unwrap();
+    assert_eq!(cpu.pc, 3, "returned to the kernel BREAK despite stack scribble");
+}
+
+#[test]
+fn callee_cannot_write_callers_stack_frames() {
+    // Kernel pushes a byte (so its frame occupies RAMEND), then calls the
+    // module; the module tries to overwrite the caller's frame above the
+    // latched bound.
+    let mut env = protected_env();
+
+    let mut m = Asm::new();
+    m.ldi(Reg::R16, 0xee);
+    m.ldi(Reg::XL, (RAMEND & 0xff) as u8);
+    m.ldi(Reg::XH, (RAMEND >> 8) as u8);
+    m.st(Ptr::X, PtrMode::Plain, Reg::R16); // caller's frame!
+    m.ret();
+    let module = m.assemble(0x1000).unwrap();
+    module.load_into(&mut env.flash);
+    env.set_code_region(DomainId::num(2), 0x1000, module.end() as u16);
+
+    let jt_entry = CFG.jt_base + 2 * 128;
+    let mut jt = Asm::new();
+    let t = jt.constant("m", 0x1000);
+    jt.rjmp(t);
+    jt.assemble(jt_entry as u32).unwrap().load_into(&mut env.flash);
+
+    let mut k = Asm::new();
+    let entry = k.constant("jt", jt_entry as u32);
+    k.ldi(Reg::R20, 0xaa);
+    k.push(Reg::R20); // caller state at RAMEND
+    k.call(entry);
+    k.brk();
+    k.assemble(0).unwrap().load_into(&mut env.flash);
+
+    let mut cpu = Cpu::new(env);
+    let err = cpu.run_to_break(1000).unwrap_err();
+    match err {
+        Fault::Env(e) => assert_eq!(e.code, fault_code::STACK_BOUND),
+        other => panic!("expected stack-bound fault, got {other:?}"),
+    }
+    assert_eq!(cpu.env.data.read(RAMEND), Ok(0xaa), "caller frame intact");
+}
+
+#[test]
+fn chained_cross_domain_calls_a_b_restore_in_order() {
+    // Kernel -> dom2 (entry 0) -> dom3 (entry 0), with returns unwinding.
+    let mut env = protected_env();
+
+    // dom3 module at 0x0c80: write marker to its segment, ret.
+    env.host_set_segment(DomainId::num(3), CFG.prot_bottom + 64, 8).unwrap();
+    let mut m3 = Asm::new();
+    m3.ldi(Reg::R16, 3);
+    m3.sts(CFG.prot_bottom + 64, Reg::R16);
+    m3.ret();
+    let mod3 = m3.assemble(0x0c80).unwrap();
+    mod3.load_into(&mut env.flash);
+    env.set_code_region(DomainId::num(3), 0x0c80, mod3.end() as u16);
+
+    // dom2 module at 0x1000: call dom3's jump table, then ret.
+    let jt3 = CFG.jt_base + 3 * 128;
+    let mut m2 = Asm::new();
+    let e3 = m2.constant("jt3", jt3 as u32);
+    m2.call(e3);
+    m2.ret();
+    let mod2 = m2.assemble(0x1000).unwrap();
+    mod2.load_into(&mut env.flash);
+    env.set_code_region(DomainId::num(2), 0x1000, mod2.end() as u16);
+
+    // Jump tables.
+    for (dom, target) in [(2u16, 0x1000u32), (3, 0x0c80)] {
+        let mut jt = Asm::new();
+        let t = jt.constant("t", target);
+        jt.rjmp(t);
+        jt.assemble((CFG.jt_base + dom * 128) as u32)
+            .unwrap()
+            .load_into(&mut env.flash);
+    }
+
+    // Kernel.
+    let mut k = Asm::new();
+    let e2 = k.constant("jt2", (CFG.jt_base + 2 * 128) as u32);
+    k.call(e2);
+    k.brk();
+    k.assemble(0).unwrap().load_into(&mut env.flash);
+
+    let mut cpu = Cpu::new(env);
+    cpu.run_to_break(10_000).unwrap();
+    assert_eq!(cpu.env.data.read(CFG.prot_bottom + 64), Ok(3), "dom3 ran");
+    assert!(cpu.env.tracker.current.is_trusted(), "unwound to the kernel");
+    assert_eq!(cpu.env.tracker.stack_bound, RAMEND);
+    assert_eq!(cpu.env.safe_stack.used_bytes(), 0);
+}
+
+#[test]
+fn cfi_fetch_check_blocks_jump_into_kernel() {
+    // Module tries to rjmp straight into kernel code (word 0).
+    let env = machine_with_module(|m| {
+        let k = m.constant("kernel", 0);
+        m.jmp(k);
+    });
+    let mut cpu = Cpu::new(env);
+    let err = cpu.run_to_break(1000).unwrap_err();
+    match err {
+        Fault::Env(e) => assert_eq!(e.code, fault_code::CFI),
+        other => panic!("expected CFI fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn cfi_allows_module_local_jumps() {
+    let env = machine_with_module(|m| {
+        let skip = m.label("skip");
+        m.rjmp(skip);
+        m.nop();
+        m.bind(skip);
+        m.ret();
+    });
+    let mut cpu = Cpu::new(env);
+    cpu.run_to_break(1000).unwrap();
+}
+
+#[test]
+fn config_ports_are_trusted_only() {
+    let env = machine_with_module(|m| {
+        m.ldi(Reg::R16, 0);
+        m.out(umpu::regs::PORT_MEM_PROT_BOT_LO, Reg::R16); // tamper!
+        m.ret();
+    });
+    let mut cpu = Cpu::new(env);
+    let err = cpu.run_to_break(1000).unwrap_err();
+    match err {
+        Fault::Env(e) => assert_eq!(e.code, fault_code::CONFIG_ACCESS),
+        other => panic!("expected config-access fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn any_domain_may_read_the_status_register() {
+    let env = machine_with_module(|m| {
+        m.in_(Reg::R16, umpu::regs::PORT_DOM_ID);
+        m.sts(CFG.prot_bottom + 0x40, Reg::R16); // needs a segment... trusted? no!
+        m.ret();
+    });
+    // Give domain 2 the segment it writes to.
+    let mut env = env;
+    env.host_set_segment(DomainId::num(2), CFG.prot_bottom + 0x40, 8).unwrap();
+    let mut cpu = Cpu::new(env);
+    cpu.run_to_break(1000).unwrap();
+    assert_eq!(cpu.env.data.read(CFG.prot_bottom + 0x40), Ok(2), "module saw its own id");
+}
+
+#[test]
+fn kernel_can_boot_umpu_through_ports() {
+    // Kernel configures UMPU entirely with OUT instructions, then stores
+    // into the protected region and sees the 1-cycle stall.
+    let mut env = UmpuEnv::new();
+    let mut k = Asm::new();
+    use umpu::regs::*;
+    let out_imm = |k: &mut Asm, port: u8, v: u8| {
+        k.ldi(Reg::R16, v);
+        k.out(port, Reg::R16);
+    };
+    out_imm(&mut k, PORT_MEM_MAP_BASE_LO, 0x70);
+    out_imm(&mut k, PORT_MEM_MAP_BASE_HI, 0x00);
+    out_imm(&mut k, PORT_MEM_PROT_BOT_LO, 0x00);
+    out_imm(&mut k, PORT_MEM_PROT_BOT_HI, 0x02);
+    out_imm(&mut k, PORT_MEM_PROT_TOP_LO, 0x00);
+    out_imm(&mut k, PORT_MEM_PROT_TOP_HI, 0x0e);
+    out_imm(&mut k, PORT_SAFE_STACK_PTR_LO, 0x00);
+    out_imm(&mut k, PORT_SAFE_STACK_PTR_HI, 0x0d);
+    out_imm(&mut k, PORT_SAFE_STACK_LIMIT_LO, 0x00);
+    out_imm(&mut k, PORT_SAFE_STACK_LIMIT_HI, 0x0e);
+    out_imm(&mut k, PORT_JT_BASE_LO, 0x00);
+    out_imm(&mut k, PORT_JT_BASE_HI, 0x08);
+    out_imm(&mut k, PORT_JT_DOMAINS, 8);
+    out_imm(&mut k, PORT_MEM_MAP_CONFIG, 3 | CONFIG_ENABLE); // 8-byte blocks, on
+    k.brk();
+    k.assemble(0).unwrap().load_into(&mut env.flash);
+
+    let mut cpu = Cpu::new(env);
+    cpu.run_to_break(1000).unwrap();
+    assert!(cpu.env.enabled());
+    assert_eq!(cpu.env.mmc.prot_bottom, 0x0200);
+    assert_eq!(cpu.env.mmc.prot_top, 0x0e00);
+    assert_eq!(cpu.env.safe_stack.ptr, 0x0d00);
+    assert_eq!(cpu.env.safe_stack.base, 0x0d00);
+    assert_eq!(cpu.env.tracker.jt_base, 0x0800);
+}
+
+#[test]
+fn disabled_umpu_is_cycle_identical_to_plain_avr() {
+    let prog = [
+        Instr::Ldi { d: Reg::R16, k: 7 },
+        Instr::Sts { k: 0x0300, r: Reg::R16 },
+        Instr::Push { r: Reg::R16 },
+        Instr::Pop { d: Reg::R17 },
+        Instr::Rcall { k: 1 }, // skip over break... careful layout below
+        Instr::Break,
+        Instr::Ret,
+    ];
+    let mut plain_env = PlainEnv::new();
+    plain_env.load_program(0, &prog);
+    let mut plain = Cpu::new(plain_env);
+    plain.run_to_break(1000).unwrap();
+
+    let mut umpu_env = UmpuEnv::new(); // never configured: disabled
+    umpu_env.flash.load_program(0, &prog);
+    let mut prot = Cpu::new(umpu_env);
+    prot.run_to_break(1000).unwrap();
+
+    assert_eq!(plain.cycles(), prot.cycles());
+    assert_eq!(plain.regs, prot.regs);
+    assert_eq!(plain.sp, prot.sp);
+}
+
+#[test]
+fn call_past_the_last_jump_table_faults() {
+    let mut env = protected_env();
+    let past_end = (CFG.jt_base + 8 * 128) as u32;
+    let mut k = Asm::new();
+    let t = k.constant("past", past_end);
+    k.call(t);
+    k.brk();
+    k.assemble(0).unwrap().load_into(&mut env.flash);
+    let mut cpu = Cpu::new(env);
+    let err = cpu.run_to_break(1000).unwrap_err();
+    match err {
+        Fault::Env(e) => assert_eq!(e.code, fault_code::JUMP_TABLE),
+        other => panic!("expected jump-table fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn deep_recursion_overflows_the_safe_stack() {
+    // Kernel recurses forever: each call pushes 2 bytes to the safe stack
+    // (256 bytes capacity = 128 frames) before faulting.
+    let mut env = protected_env();
+    let mut k = Asm::new();
+    let f = k.here("f");
+    k.call(f);
+    k.brk();
+    k.assemble(0).unwrap().load_into(&mut env.flash);
+    let mut cpu = Cpu::new(env);
+    let err = cpu.run_to_break(100_000).unwrap_err();
+    match err {
+        Fault::Env(e) => assert_eq!(e.code, fault_code::SAFE_STACK_OVERFLOW),
+        other => panic!("expected safe-stack overflow, got {other:?}"),
+    }
+    assert_eq!(cpu.env.safe_stack.used_bytes(), 256);
+}
+
+#[test]
+fn host_memory_map_helpers_match_golden_model() {
+    let mut env = protected_env();
+    let d1 = DomainId::num(1);
+    let d4 = DomainId::num(4);
+    env.host_set_segment(d1, CFG.prot_bottom, 24).unwrap();
+    env.host_set_segment(d4, CFG.prot_bottom + 0x100, 64).unwrap();
+    env.host_free_segment(d1, CFG.prot_bottom).unwrap();
+
+    let view = env.memory_map_view();
+    assert_eq!(view.owner_of(CFG.prot_bottom).unwrap(), DomainId::TRUSTED);
+    assert_eq!(view.owner_of(CFG.prot_bottom + 0x100).unwrap(), d4);
+
+    // And the MMC agrees byte-for-byte with the golden model.
+    let mut golden = harbor::MemoryMap::new(CFG.memmap_config());
+    golden.set_segment(d1, CFG.prot_bottom, 24).unwrap();
+    golden.set_segment(d4, CFG.prot_bottom + 0x100, 64).unwrap();
+    golden.free_segment(d1, CFG.prot_bottom).unwrap();
+    assert_eq!(view.as_bytes(), golden.as_bytes());
+}

@@ -1,0 +1,107 @@
+//! The MMC hardware implements exactly the golden model's store-permission
+//! rule: for random memory-map states, active domains, stack bounds and
+//! addresses, [`Mmc::check_store`] and [`ProtectionModel::check_store`]
+//! must agree on allow/deny and on the fault class.
+
+use avr_core::mem::{DataMem, RAMEND};
+use harbor::{
+    DomainId, DomainTracker, JumpTableLayout, MemMapConfig, MemoryLayout, MemoryMap,
+    ProtectionModel, SafeStack,
+};
+use proptest::prelude::*;
+use umpu::Mmc;
+
+const BOTTOM: u16 = 0x0200;
+const TOP: u16 = 0x0e00;
+const MAP_BASE: u16 = 0x0070;
+
+#[derive(Debug, Clone, Copy)]
+struct Seg {
+    block: u16,
+    blocks: u16,
+    owner: u8,
+}
+
+fn seg_strategy() -> impl Strategy<Value = Seg> {
+    (0u16..380, 1u16..5, 0u8..8).prop_map(|(block, blocks, owner)| Seg {
+        block,
+        blocks,
+        owner,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn hardware_check_equals_golden_rule(
+        segs in proptest::collection::vec(seg_strategy(), 0..12),
+        dom in 0u8..8,
+        bound in 0x0e00u16..=RAMEND,
+        addrs in proptest::collection::vec(0x0060u16..=RAMEND, 16),
+    ) {
+        // Build a random map, mirror it into simulated RAM.
+        let cfg = MemMapConfig::multi_domain(BOTTOM, TOP).unwrap();
+        let mut map = MemoryMap::new(cfg);
+        for s in &segs {
+            let addr = BOTTOM + s.block * 8;
+            let _ = map.set_segment(DomainId::num(s.owner), addr, s.blocks * 8);
+        }
+        let mut ram = DataMem::new();
+        for (i, &b) in map.as_bytes().iter().enumerate() {
+            ram.write(MAP_BASE + i as u16, b).unwrap();
+        }
+
+        // Golden model with matching state.
+        let jt = JumpTableLayout::new(0x0800, 8);
+        let mut tracker = DomainTracker::new(jt, SafeStack::new(0x0d00, 256), bound);
+        tracker.set_current_domain(DomainId::num(dom));
+        let layout = MemoryLayout {
+            sram_base: 0x0060,
+            prot_bottom: BOTTOM,
+            prot_top: TOP,
+            stack_top: RAMEND,
+        };
+        let model = ProtectionModel::new(map, tracker, layout);
+
+        // Hardware MMC with matching registers.
+        let mmc = Mmc {
+            mem_map_base: MAP_BASE,
+            prot_bottom: BOTTOM,
+            prot_top: TOP,
+            block_log2: 3,
+            two_domain: false,
+        };
+
+        for &addr in &addrs {
+            let golden = model.check_store(addr);
+            let hw = mmc.check_store(&ram, addr, DomainId::num(dom), bound);
+            match (&golden, &hw) {
+                (Ok(v), Ok(stall)) => {
+                    prop_assert_eq!(v.mmc_stall_cycles, *stall, "stall at {:#06x}", addr);
+                }
+                (Err(g), Err(h)) => {
+                    prop_assert_eq!(
+                        std::mem::discriminant(g),
+                        std::mem::discriminant(h),
+                        "fault class at {:#06x}: golden {:?} vs hw {:?}",
+                        addr, g, h
+                    );
+                }
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "verdict mismatch at {addr:#06x}: {other:?}"
+                    )));
+                }
+            }
+        }
+        // Spot-check a fault payload for exactness, not just class.
+        let probe = 0x0200u16;
+        if let (Err(g), Err(h)) = (
+            model.check_store(probe),
+            mmc.check_store(&ram, probe, DomainId::num(dom), bound),
+        ) {
+            prop_assert_eq!(g, h);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! The assembler toolchain end to end: write AVR source as *text*,
+//! assemble it, disassemble the result, export it as Intel HEX (the format
+//! real AVR flashing tools speak), re-import it, and run it cycle-accurately.
+//!
+//! ```sh
+//! cargo run --example assembler_playground
+//! ```
+
+use avr_asm::{ihex, listing, text};
+use avr_core::exec::Cpu;
+use avr_core::isa::Reg;
+use avr_core::mem::PlainEnv;
+
+const SRC: &str = r"
+    ; 8-bit multiply by repeated addition: r18 = r16 * r17
+    .equ RESULT = 0x0100
+    start:
+        ldi  r16, 7
+        ldi  r17, 6
+        clr  r18
+    loop:
+        tst  r17
+        breq done
+        add  r18, r16
+        dec  r17
+        rjmp loop
+    done:
+        sts  RESULT, r18
+        break
+";
+
+fn main() {
+    // Text → object.
+    let obj = text::assemble_str(SRC, 0x0000).expect("assembles");
+    println!("assembled {} words; `loop` at {:#06x}\n", obj.words().len(),
+        obj.symbol("loop").unwrap());
+
+    // Object → disassembly listing.
+    println!("disassembly:\n{}", listing(obj.origin(), obj.words()));
+
+    // Object → Intel HEX → flash (the path a real flasher takes).
+    let hex = obj.to_ihex();
+    println!("Intel HEX image:\n{hex}");
+    let mut env = PlainEnv::new();
+    ihex::load_into_flash(&hex, &mut env.flash).expect("valid hex");
+
+    // Run it.
+    let mut cpu = Cpu::new(env);
+    cpu.run_to_break(10_000).expect("runs");
+    println!(
+        "7 × 6 = {} in {} cycles ({} instructions)",
+        cpu.env.sram_byte(0x0100),
+        cpu.cycles(),
+        cpu.instructions()
+    );
+    assert_eq!(cpu.env.sram_byte(0x0100), 42);
+    assert_eq!(cpu.reg(Reg::R18), 42);
+}

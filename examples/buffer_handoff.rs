@@ -1,0 +1,117 @@
+//! SOS-style buffer handoff: `change_own` moves a buffer between protection
+//! domains along with the data flow.
+//!
+//! ```sh
+//! cargo run --example buffer_handoff
+//! ```
+//!
+//! A producer module mallocs a sample buffer, fills it, transfers ownership
+//! to the consumer and posts it a message; the consumer processes the
+//! sample in place and frees the buffer. Crucially, *after* the transfer
+//! the producer is locked out of its old buffer — protection follows the
+//! data, the property the paper's `change_own` (Table 4) pays for.
+
+use avr_core::isa::{Ptr, PtrMode, Reg};
+use harbor::DomainId;
+use mini_sos::kernel::MSG_TIMER;
+use mini_sos::{JtEntry, ModuleSource, Protection, SosSystem};
+
+fn main() {
+    for (poison, label) in [
+        (false, "correct handoff"),
+        (true, "buggy producer writes after the handoff"),
+    ] {
+        println!("\n═══ {label} ═══");
+        for p in [Protection::None, Protection::Umpu, Protection::Sfi] {
+            let layout = mini_sos::SosLayout::default_layout();
+            let mods = [producer(poison), consumer(layout.state_addr(1))];
+            let mut sys = SosSystem::build(p, &mods, |a, api| {
+                api.run_scheduler(a);
+                a.brk();
+            })
+            .expect("builds");
+            sys.boot().expect("boot");
+            sys.post(DomainId::num(1), MSG_TIMER);
+            match sys.run_to_break(10_000_000) {
+                Ok(_) => {
+                    let sample = sys.sram(sys.layout.state_addr(4));
+                    println!("  {p:?}: consumer processed sample {sample:#04x}");
+                }
+                Err(_) => {
+                    let f = sys
+                        .last_protection_fault()
+                        .map(|f| f.to_string())
+                        .unwrap_or_else(|| "protection fault".into());
+                    println!("  {p:?}: CAUGHT — {f}");
+                }
+            }
+        }
+    }
+    println!("\n0x5a doubled = 0xb4 is the clean result; 0x7a downstream means the");
+    println!("stale producer write silently corrupted the consumer's input.");
+}
+
+fn producer(poison: bool) -> ModuleSource {
+    ModuleSource {
+        name: "producer",
+        domain: DomainId::num(1),
+        entries: vec!["prod_handler"],
+        build: Box::new(move |a, ctx| {
+            let state = ctx.state_addr;
+            let done = a.label("prod_done");
+            a.here("prod_handler");
+            a.cpi(Reg::R24, MSG_TIMER);
+            a.brne(done);
+            a.ldi(Reg::R24, 8);
+            a.ldi(Reg::R22, 1);
+            ctx.call_kernel(a, JtEntry::Malloc);
+            a.sts(state, Reg::R24);
+            a.sts(state + 1, Reg::R25);
+            a.mov(Reg::R26, Reg::R24);
+            a.mov(Reg::R27, Reg::R25);
+            a.ldi(Reg::R16, 0x5a);
+            a.st(Ptr::X, PtrMode::Plain, Reg::R16);
+            a.lds(Reg::R24, state);
+            a.lds(Reg::R25, state + 1);
+            a.ldi(Reg::R22, 4);
+            ctx.call_kernel(a, JtEntry::ChangeOwn);
+            if poison {
+                a.lds(Reg::R26, state);
+                a.lds(Reg::R27, state + 1);
+                a.ldi(Reg::R16, 0xbd);
+                a.st(Ptr::X, PtrMode::Plain, Reg::R16);
+            }
+            a.ldi(Reg::R24, 4);
+            a.ldi(Reg::R22, MSG_TIMER);
+            ctx.call_kernel(a, JtEntry::Post);
+            a.bind(done);
+            a.ret();
+        }),
+    }
+}
+
+fn consumer(producer_state: u16) -> ModuleSource {
+    ModuleSource {
+        name: "consumer",
+        domain: DomainId::num(4),
+        entries: vec!["cons_handler"],
+        build: Box::new(move |a, ctx| {
+            let state = ctx.state_addr;
+            let done = a.label("cons_done");
+            a.here("cons_handler");
+            a.cpi(Reg::R24, MSG_TIMER);
+            a.brne(done);
+            a.lds(Reg::R26, producer_state);
+            a.lds(Reg::R27, producer_state + 1);
+            a.ld(Reg::R16, Ptr::X, PtrMode::Plain);
+            a.lsl(Reg::R16);
+            a.st(Ptr::X, PtrMode::Plain, Reg::R16);
+            a.sts(state, Reg::R16);
+            a.lds(Reg::R24, producer_state);
+            a.lds(Reg::R25, producer_state + 1);
+            ctx.call_kernel(a, JtEntry::Free);
+            a.bind(done);
+            a.ret();
+        }),
+    }
+}

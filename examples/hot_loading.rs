@@ -1,0 +1,58 @@
+//! The full deployment story, live: Surge ships without Tree Routing, the
+//! protection catches the wild write, the stable kernel recovers, the
+//! missing module is hot-loaded over the air, and sampling resumes — plus
+//! an unload that reclaims every byte the module owned.
+//!
+//! ```sh
+//! cargo run --example hot_loading
+//! ```
+
+use harbor::DomainId;
+use mini_sos::kernel::MSG_TIMER;
+use mini_sos::{modules, Protection, SosSystem};
+
+fn drain(sys: &mut SosSystem) -> Result<(), avr_core::Fault> {
+    sys.steer(sys.symbol("ker_boot_done") + 1);
+    sys.run_to_break(10_000_000).map(|_| ())
+}
+
+fn main() {
+    let mut sys = SosSystem::build(Protection::Umpu, &[modules::surge(1, 3)], |a, api| {
+        api.run_scheduler(a);
+        a.brk();
+    })
+    .expect("builds");
+    sys.boot().expect("boot");
+    sys.run_to_break(10_000_000).expect("init");
+    println!("deployed: Surge in dom1; Tree Routing NOT loaded (the rare load order).");
+
+    sys.post(DomainId::num(1), MSG_TIMER);
+    match drain(&mut sys) {
+        Err(_) => {
+            let f = sys.last_protection_fault().expect("rich fault record");
+            println!("tick 1 → {f}");
+        }
+        Ok(_) => unreachable!("the bug must fire"),
+    }
+
+    sys.recover_from_fault();
+    println!("kernel exception handler: clean trusted context restored.");
+
+    sys.load_module(&modules::tree_routing(3)).expect("hot-load");
+    println!("hot-loaded Tree Routing into dom3 (jump table relinked).");
+
+    sys.post(DomainId::num(1), MSG_TIMER);
+    drain(&mut sys).expect("sampling works now");
+    let buf = sys.sram16(sys.layout.state_addr(1));
+    println!("tick 2 → sample {} stored at buffer[2] — the network is healthy.", sys.sram(buf + 2));
+
+    // And the reverse: unloading reclaims everything the module owned.
+    sys.unload_module(DomainId::num(3));
+    println!("unloaded Tree Routing; its jump-table entries now return 0xff,");
+    sys.post(DomainId::num(1), MSG_TIMER);
+    match drain(&mut sys) {
+        Err(_) => println!("and the very next tick is caught again: {}",
+            sys.last_protection_fault().unwrap()),
+        Ok(_) => unreachable!(),
+    }
+}

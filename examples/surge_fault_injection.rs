@@ -1,0 +1,71 @@
+//! The paper's war story, end to end (Section 1.2):
+//!
+//! > "In the Surge data collection module, under certain conditions, the
+//! > invalid result of a failed function call to the Tree routing module
+//! > was being used to determine an offset into a buffer."
+//!
+//! ```sh
+//! cargo run --example surge_fault_injection
+//! ```
+//!
+//! Loads Surge *without* Tree Routing (the rare load order that triggers
+//! the bug) and runs one sampling tick under all three builds. On a stock
+//! AVR the sample lands 255 bytes out of bounds, silently; under UMPU and
+//! SFI the store is blocked and reported.
+
+use avr_core::Fault;
+use harbor::DomainId;
+use mini_sos::kernel::MSG_TIMER;
+use mini_sos::{modules, Protection, SosSystem};
+
+fn run_one(p: Protection) {
+    println!("\n─── {p:?} ───");
+    let mut sys = SosSystem::build(p, &[modules::surge(1, 3)], |a, api| {
+        api.run_scheduler(a);
+        a.brk();
+    })
+    .expect("system builds");
+    sys.boot().expect("boot");
+    sys.post(DomainId::num(1), MSG_TIMER); // one sampling tick
+    match sys.run_to_break(10_000_000) {
+        Ok(_) => {
+            let state = sys.layout.state_addr(1);
+            let buf = sys.sram16(state);
+            let wild = buf + 0xff;
+            println!("  run completed — no error reported.");
+            println!(
+                "  but buffer is {buf:#06x}..{:#06x} and byte {wild:#06x} = {} —",
+                buf + 16,
+                sys.sram(wild)
+            );
+            println!("  SILENT corruption 255 bytes past the buffer.");
+        }
+        Err(Fault::Env(e)) => {
+            match sys.last_protection_fault() {
+                Some(f) => println!("  protection fault: {f}"),
+                None => println!(
+                    "  protection fault code {} at {:#06x} (reported via the panic port)",
+                    e.code, e.addr
+                ),
+            }
+            let state = sys.layout.state_addr(1);
+            let buf = sys.sram16(state);
+            println!(
+                "  the wild byte at {:#06x} is still {} — corruption prevented.",
+                buf + 0xff,
+                sys.sram(buf + 0xff)
+            );
+        }
+        Err(other) => println!("  unexpected failure: {other}"),
+    }
+}
+
+fn main() {
+    println!("Surge loaded before Tree Routing: the cross-domain call fails,");
+    println!("returns the 0xff error code, and Surge uses it as a buffer offset.");
+    for p in [Protection::None, Protection::Umpu, Protection::Sfi] {
+        run_one(p);
+    }
+    println!("\nWith Tree Routing loaded (or the bounds check added — see");
+    println!("modules::surge_fixed), every build runs the workload cleanly.");
+}

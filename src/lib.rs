@@ -1,0 +1,1 @@
+//! Workspace root: see the member crates. This package only hosts integration tests and examples.

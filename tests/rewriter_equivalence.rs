@@ -1,0 +1,169 @@
+//! Rewriter semantic-equivalence property: for random *benign* modules
+//! (programs that only touch their own memory), the sandboxed binary must
+//! compute exactly the same result as the original — same registers, same
+//! flags, same memory — despite every store going through a check routine,
+//! every branch being relaid, and every skip being rebuilt.
+
+use avr_asm::Asm;
+use avr_core::exec::Cpu;
+use avr_core::isa::{Ptr, PtrMode, Reg};
+use avr_core::mem::PlainEnv;
+use harbor::DomainId;
+use harbor_sfi::{rewrite, verify, SfiLayout, SfiRuntime, VerifierConfig};
+use proptest::prelude::*;
+
+const ORIGIN: u32 = 0x1000;
+const SEG: u16 = 0x0300;
+const SEG_LEN: u16 = 32;
+
+/// One step of a generated program. Only benign operations: arithmetic on
+/// r16..r25, stores into the module's own segment, skips and short forward
+/// branches.
+#[derive(Debug, Clone, Copy)]
+enum GenOp {
+    Ldi { r: u8, k: u8 },
+    Mov { d: u8, s: u8 },
+    Add { d: u8, s: u8 },
+    Sub { d: u8, s: u8 },
+    And { d: u8, s: u8 },
+    Or { d: u8, s: u8 },
+    Eor { d: u8, s: u8 },
+    Inc { r: u8 },
+    Dec { r: u8 },
+    Lsr { r: u8 },
+    Swap { r: u8 },
+    StXInc { r: u8 },
+    Sts { off: u8, r: u8 },
+    Lds { r: u8, off: u8 },
+    /// Skip the following op if bit `b` of `r` is clear/set.
+    Skip { r: u8, b: u8, if_set: bool },
+    /// Branch forward `dist` ops if Z is set/clear.
+    Branch { on_zero: bool, dist: u8 },
+    Cp { d: u8, s: u8 },
+}
+
+fn reg(n: u8) -> Reg {
+    Reg::num(16 + (n % 10))
+}
+
+fn op_strategy() -> impl Strategy<Value = GenOp> {
+    let r = 0u8..10;
+    prop_oneof![
+        (r.clone(), any::<u8>()).prop_map(|(r, k)| GenOp::Ldi { r, k }),
+        (r.clone(), r.clone()).prop_map(|(d, s)| GenOp::Mov { d, s }),
+        (r.clone(), r.clone()).prop_map(|(d, s)| GenOp::Add { d, s }),
+        (r.clone(), r.clone()).prop_map(|(d, s)| GenOp::Sub { d, s }),
+        (r.clone(), r.clone()).prop_map(|(d, s)| GenOp::And { d, s }),
+        (r.clone(), r.clone()).prop_map(|(d, s)| GenOp::Or { d, s }),
+        (r.clone(), r.clone()).prop_map(|(d, s)| GenOp::Eor { d, s }),
+        r.clone().prop_map(|r| GenOp::Inc { r }),
+        r.clone().prop_map(|r| GenOp::Dec { r }),
+        r.clone().prop_map(|r| GenOp::Lsr { r }),
+        r.clone().prop_map(|r| GenOp::Swap { r }),
+        r.clone().prop_map(|r| GenOp::StXInc { r }),
+        (0u8..SEG_LEN as u8, r.clone()).prop_map(|(off, r)| GenOp::Sts { off, r }),
+        (r.clone(), 0u8..SEG_LEN as u8).prop_map(|(r, off)| GenOp::Lds { r, off }),
+        (r.clone(), 0u8..8, any::<bool>()).prop_map(|(r, b, if_set)| GenOp::Skip {
+            r,
+            b,
+            if_set
+        }),
+        (any::<bool>(), 1u8..6).prop_map(|(on_zero, dist)| GenOp::Branch { on_zero, dist }),
+        (r.clone(), r).prop_map(|(d, s)| GenOp::Cp { d, s }),
+    ]
+}
+
+/// Emits the program. Branch targets are labels planted at op boundaries;
+/// a `Skip` always has a following op (we append a final `nop`).
+fn emit(ops: &[GenOp]) -> Asm {
+    let mut a = Asm::new();
+    let labels: Vec<_> = (0..=ops.len()).map(|i| a.label(&format!("op{i}"))).collect();
+    for (i, op) in ops.iter().enumerate() {
+        a.bind(labels[i]);
+        match *op {
+            GenOp::Ldi { r, k } => a.ldi(reg(r), k),
+            GenOp::Mov { d, s } => a.mov(reg(d), reg(s)),
+            GenOp::Add { d, s } => a.add(reg(d), reg(s)),
+            GenOp::Sub { d, s } => a.sub(reg(d), reg(s)),
+            GenOp::And { d, s } => a.and(reg(d), reg(s)),
+            GenOp::Or { d, s } => a.or(reg(d), reg(s)),
+            GenOp::Eor { d, s } => a.eor(reg(d), reg(s)),
+            GenOp::Inc { r } => a.inc(reg(r)),
+            GenOp::Dec { r } => a.dec(reg(r)),
+            GenOp::Lsr { r } => a.lsr(reg(r)),
+            GenOp::Swap { r } => a.swap(reg(r)),
+            GenOp::StXInc { r } => a.st(Ptr::X, PtrMode::PostInc, reg(r)),
+            GenOp::Sts { off, r } => a.sts(SEG + off as u16, reg(r)),
+            GenOp::Lds { r, off } => a.lds(reg(r), SEG + off as u16),
+            GenOp::Skip { r, b, if_set } => {
+                if if_set {
+                    a.sbrs(reg(r), b);
+                } else {
+                    a.sbrc(reg(r), b);
+                }
+                // The skipped instruction is the next generated op (or the
+                // trailing nop) — nothing to emit here.
+            }
+            GenOp::Branch { on_zero, dist } => {
+                let target = labels[(i + dist as usize).min(ops.len())];
+                if on_zero {
+                    a.breq(target);
+                } else {
+                    a.brne(target);
+                }
+            }
+            GenOp::Cp { d, s } => a.cp(reg(d), reg(s)),
+        }
+    }
+    a.bind(labels[ops.len()]);
+    a.nop(); // skip fodder
+    a.brk();
+    a
+}
+
+/// Runs `words` at `ORIGIN` on a machine, with X preset into the segment;
+/// returns (r16..r25, SREG, X, segment bytes).
+fn run(words: &[u16], sfi: Option<&SfiRuntime>) -> (Vec<u8>, u8, u16, Vec<u8>) {
+    let mut env = PlainEnv::new();
+    if let Some(rt) = sfi {
+        rt.install(&mut env.flash, &mut env.data);
+        rt.host_set_segment(&mut env.data, DomainId::num(2), SEG, SEG_LEN).unwrap();
+        rt.set_current_domain(&mut env.data, DomainId::num(2));
+    }
+    env.flash.load_words(ORIGIN, words);
+    let mut cpu = Cpu::new(env);
+    // X starts at the segment; stores via X+ stay inside it (op count < 32).
+    cpu.set_reg16(Reg::XL, SEG);
+    cpu.pc = ORIGIN;
+    cpu.run_to_break(1_000_000).expect("benign program completes");
+    let regs: Vec<u8> = (16..26).map(|i| cpu.regs[i]).collect();
+    let seg: Vec<u8> = (0..SEG_LEN).map(|i| cpu.env.sram_byte(SEG + i)).collect();
+    (regs, cpu.sreg, cpu.reg16(Reg::XL), seg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn sandboxing_preserves_program_semantics(
+        ops in proptest::collection::vec(op_strategy(), 1..24)
+    ) {
+        // Cap the number of X-post-increment stores so X stays in-segment.
+        let st_count = ops.iter().filter(|o| matches!(o, GenOp::StXInc { .. })).count();
+        prop_assume!(st_count < SEG_LEN as usize);
+
+        let original = emit(&ops).assemble(ORIGIN).unwrap();
+        let rt = SfiRuntime::build(SfiLayout::default_layout(), 0x0040);
+        let rewritten = rewrite(original.words(), ORIGIN, &[], ORIGIN, &rt)
+            .expect("benign module rewrites");
+        verify(rewritten.object.words(), ORIGIN, &VerifierConfig::for_runtime(&rt))
+            .expect("rewriter output verifies");
+
+        let plain = run(original.words(), None);
+        let sandboxed = run(rewritten.object.words(), Some(&rt));
+        prop_assert_eq!(&plain.0, &sandboxed.0, "registers r16..r25");
+        prop_assert_eq!(plain.1, sandboxed.1, "SREG");
+        prop_assert_eq!(plain.2, sandboxed.2, "X pointer");
+        prop_assert_eq!(&plain.3, &sandboxed.3, "segment contents");
+    }
+}
