@@ -43,10 +43,9 @@ impl fmt::Display for AsmError {
             AsmError::Encode(e) => write!(f, "{e}"),
             AsmError::Unbound { name } => write!(f, "label `{name}` was never bound"),
             AsmError::DuplicateBind { name } => write!(f, "label `{name}` bound twice"),
-            AsmError::RelativeOutOfRange { mnemonic, at, target } => write!(
-                f,
-                "{mnemonic} at {at:#06x} cannot reach {target:#06x}"
-            ),
+            AsmError::RelativeOutOfRange { mnemonic, at, target } => {
+                write!(f, "{mnemonic} at {at:#06x} cannot reach {target:#06x}")
+            }
         }
     }
 }

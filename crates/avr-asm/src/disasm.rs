@@ -104,10 +104,7 @@ mod tests {
             items[0],
             DisasmItem::Instr { addr: 0x100, instr: Instr::Ldi { d: Reg::R16, k: 1 } }
         );
-        assert_eq!(
-            items[1],
-            DisasmItem::Instr { addr: 0x101, instr: Instr::Call { k: 0x123 } }
-        );
+        assert_eq!(items[1], DisasmItem::Instr { addr: 0x101, instr: Instr::Call { k: 0x123 } });
         assert_eq!(items[2], DisasmItem::Instr { addr: 0x103, instr: Instr::Ret });
     }
 

@@ -108,11 +108,8 @@ impl Object {
     /// Exports the object as Intel HEX (byte addresses; AVR little-endian
     /// word order).
     pub fn to_ihex(&self) -> String {
-        let bytes: Vec<u8> = self
-            .words()
-            .iter()
-            .flat_map(|w| [*w as u8, (*w >> 8) as u8])
-            .collect();
+        let bytes: Vec<u8> =
+            self.words().iter().flat_map(|w| [*w as u8, (*w >> 8) as u8]).collect();
         encode(&[(self.origin() * 2, &bytes)])
     }
 }
@@ -156,11 +153,8 @@ mod tests {
         let chunks = decode(&hex).unwrap();
         assert_eq!(chunks.len(), 1);
         assert_eq!(chunks[0].0, 0x0040 * 2);
-        let words: Vec<u16> = chunks[0]
-            .1
-            .chunks(2)
-            .map(|p| p[0] as u16 | ((p[1] as u16) << 8))
-            .collect();
+        let words: Vec<u16> =
+            chunks[0].1.chunks(2).map(|p| p[0] as u16 | ((p[1] as u16) << 8)).collect();
         assert_eq!(words, obj.words());
     }
 

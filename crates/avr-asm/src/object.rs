@@ -16,6 +16,13 @@ impl Object {
         Object { origin, words, symbols }
     }
 
+    /// Builds an object from raw parts — for pre-assembled images that
+    /// arrive over a transport (e.g. radio module dissemination) rather
+    /// than from the assembler.
+    pub fn from_parts(origin: u32, words: Vec<u16>, symbols: BTreeMap<String, u32>) -> Object {
+        Object { origin, words, symbols }
+    }
+
     /// Word address the unit was assembled at.
     pub fn origin(&self) -> u32 {
         self.origin

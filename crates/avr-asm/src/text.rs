@@ -58,9 +58,7 @@ pub fn assemble_str(src: &str, origin: u32) -> Result<Object, TextAsmError> {
         let line = i + 1;
         p.parse_line(raw).map_err(|message| TextAsmError { line, message })?;
     }
-    p.asm
-        .assemble(origin)
-        .map_err(|e: AsmError| TextAsmError { line: 0, message: e.to_string() })
+    p.asm.assemble(origin).map_err(|e: AsmError| TextAsmError { line: 0, message: e.to_string() })
 }
 
 struct Parser {
@@ -105,11 +103,7 @@ impl Parser {
             Some(pos) => (&line[..pos], line[pos..].trim()),
             None => (line, ""),
         };
-        let ops: Vec<String> = if rest.is_empty() {
-            Vec::new()
-        } else {
-            split_operands(rest)
-        };
+        let ops: Vec<String> = if rest.is_empty() { Vec::new() } else { split_operands(rest) };
         self.dispatch(&mnemonic.to_ascii_lowercase(), &ops)
     }
 
@@ -244,11 +238,7 @@ impl Parser {
                             self.asm.call_abs(addr);
                             return Ok(());
                         }
-                        _ => {
-                            return Err(format!(
-                                "`{m}` takes a label, not a numeric address"
-                            ))
-                        }
+                        _ => return Err(format!("`{m}` takes a label, not a numeric address")),
                     }
                 }
                 let l = self.sym(&ops[0]);
@@ -574,14 +564,8 @@ mod tests {
         ";
         let obj = assemble_str(src, 0).unwrap();
         use avr_core::isa::{decode, Instr};
-        assert_eq!(
-            decode(obj.words()[0], None).unwrap(),
-            Instr::Ldi { d: Reg::R30, k: 0x34 }
-        );
-        assert_eq!(
-            decode(obj.words()[1], None).unwrap(),
-            Instr::Ldi { d: Reg::R31, k: 0x02 }
-        );
+        assert_eq!(decode(obj.words()[0], None).unwrap(), Instr::Ldi { d: Reg::R30, k: 0x34 });
+        assert_eq!(decode(obj.words()[1], None).unwrap(), Instr::Ldi { d: Reg::R31, k: 0x02 });
         assert_eq!(
             decode(obj.words()[2], Some(obj.words()[3])).unwrap(),
             Instr::Lds { d: Reg::R16, k: 0x0234 }
@@ -605,14 +589,8 @@ mod tests {
     fn numeric_call_and_jmp_targets() {
         use avr_core::isa::{decode, Instr};
         let obj = assemble_str("call 0x800\njmp 64\n", 0).unwrap();
-        assert_eq!(
-            decode(obj.words()[0], Some(obj.words()[1])).unwrap(),
-            Instr::Call { k: 0x800 }
-        );
-        assert_eq!(
-            decode(obj.words()[2], Some(obj.words()[3])).unwrap(),
-            Instr::Jmp { k: 64 }
-        );
+        assert_eq!(decode(obj.words()[0], Some(obj.words()[1])).unwrap(), Instr::Call { k: 0x800 });
+        assert_eq!(decode(obj.words()[2], Some(obj.words()[3])).unwrap(), Instr::Jmp { k: 64 });
         assert!(assemble_str("rjmp 0x10\n", 0).is_err(), "relative forms need labels");
     }
 

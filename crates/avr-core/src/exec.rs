@@ -418,11 +418,8 @@ impl<E: Env> Cpu<E> {
         }
         let pc0 = self.pc;
         let w0 = self.env.fetch(pc0)?;
-        let w1 = if isa::is_two_word(w0) {
-            Some(self.env.fetch(pc0.wrapping_add(1))?)
-        } else {
-            None
-        };
+        let w1 =
+            if isa::is_two_word(w0) { Some(self.env.fetch(pc0.wrapping_add(1))?) } else { None };
         let instr = isa::decode(w0, w1).map_err(|_| Fault::IllegalOpcode { pc: pc0, word: w0 })?;
         let words = instr.words();
         self.pc = pc0.wrapping_add(words);
@@ -592,9 +589,7 @@ impl<E: Env> Cpu<E> {
             Fmul { d, r } | Fmuls { d, r } | Fmulsu { d, r } => {
                 let prod: u16 = match instr {
                     Fmul { .. } => self.reg(d) as u16 * self.reg(r) as u16,
-                    Fmuls { .. } => {
-                        (self.reg(d) as i8 as i16 * self.reg(r) as i8 as i16) as u16
-                    }
+                    Fmuls { .. } => (self.reg(d) as i8 as i16 * self.reg(r) as i8 as i16) as u16,
                     _ => (self.reg(d) as i8 as i16).wrapping_mul(self.reg(r) as i16) as u16,
                 };
                 let res = prod << 1;
@@ -802,7 +797,12 @@ impl<E: Env> Cpu<E> {
         self.set_reg(Reg::R1, (res >> 8) as u8);
     }
 
-    fn do_call(&mut self, kind: CallKind, from_pc: WordAddr, target: WordAddr) -> Result<u8, Fault> {
+    fn do_call(
+        &mut self,
+        kind: CallKind,
+        from_pc: WordAddr,
+        target: WordAddr,
+    ) -> Result<u8, Fault> {
         let ev = CallEvent {
             kind,
             from_pc,
@@ -841,8 +841,7 @@ impl<E: Env> Cpu<E> {
         let pc = self.pc;
         let w0 = self.env.fetch(pc)?;
         let w1 = if isa::is_two_word(w0) { Some(self.env.fetch(pc + 1)?) } else { None };
-        let instr =
-            isa::decode(w0, w1).map_err(|_| Fault::IllegalOpcode { pc, word: w0 })?;
+        let instr = isa::decode(w0, w1).map_err(|_| Fault::IllegalOpcode { pc, word: w0 })?;
         let step = self.step()?;
         Ok((step, TraceEntry { pc, instr, cycles_after: self.cycles }))
     }

@@ -281,10 +281,7 @@ mod tests {
             Ok(Instr::Rjmp { k: -1 }),
             "rjmp .-2 decodes to offset -1"
         );
-        assert_eq!(
-            decode(0x940c, Some(0x1234)),
-            Ok(Instr::Jmp { k: 0x1234 })
-        );
+        assert_eq!(decode(0x940c, Some(0x1234)), Ok(Instr::Jmp { k: 0x1234 }));
         assert_eq!(
             decode(0x2700, None),
             Ok(Instr::Eor { d: Reg::R16, r: Reg::R16 }),

@@ -123,9 +123,6 @@ mod tests {
             "st -Y, r3"
         );
         assert_eq!(Instr::Jmp { k: 0x100 }.to_string(), "jmp 0x200");
-        assert_eq!(
-            Instr::Movw { d: Reg::R24, r: Reg::R30 }.to_string(),
-            "movw r25:r24, r31:r30"
-        );
+        assert_eq!(Instr::Movw { d: Reg::R24, r: Reg::R30 }.to_string(), "movw r25:r24, r31:r30");
     }
 }

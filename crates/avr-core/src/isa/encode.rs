@@ -190,17 +190,13 @@ pub fn encode(i: Instr) -> Result<Encoded, EncodeError> {
             if d.index() % 2 != 0 || r.index() % 2 != 0 {
                 return Err(err("movw", "registers must be even (low half of a pair)"));
             }
-            Encoded::one(
-                0x0100 | (((d.index() / 2) as u16) << 4) | ((r.index() / 2) as u16),
-            )
+            Encoded::one(0x0100 | (((d.index() / 2) as u16) << 4) | ((r.index() / 2) as u16))
         }
         Muls { d, r } => {
             if !d.is_high() || !r.is_high() {
                 return Err(err("muls", "registers must be r16..r31"));
             }
-            Encoded::one(
-                0x0200 | (((d.index() - 16) as u16) << 4) | ((r.index() - 16) as u16),
-            )
+            Encoded::one(0x0200 | (((d.index() - 16) as u16) << 4) | ((r.index() - 16) as u16))
         }
         Mulsu { d, r } | Fmul { d, r } | Fmuls { d, r } | Fmulsu { d, r } => {
             let (m, hi, lo) = match i {
@@ -215,11 +211,7 @@ pub fn encode(i: Instr) -> Result<Encoded, EncodeError> {
                 return Err(err(m, "registers must be r16..r23"));
             }
             Encoded::one(
-                0x0300
-                    | (hi << 7)
-                    | (((dr - 16) as u16) << 4)
-                    | (lo << 3)
-                    | ((rr - 16) as u16),
+                0x0300 | (hi << 7) | (((dr - 16) as u16) << 4) | (lo << 3) | ((rr - 16) as u16),
             )
         }
 

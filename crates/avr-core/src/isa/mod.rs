@@ -263,60 +263,162 @@ impl fmt::Display for IwPair {
 #[allow(missing_docs)] // field meanings are given by the conventions above
 pub enum Instr {
     // ── two-register ALU ────────────────────────────────────────────────
-    Add { d: Reg, r: Reg },
-    Adc { d: Reg, r: Reg },
-    Sub { d: Reg, r: Reg },
-    Sbc { d: Reg, r: Reg },
-    And { d: Reg, r: Reg },
-    Or { d: Reg, r: Reg },
-    Eor { d: Reg, r: Reg },
-    Mov { d: Reg, r: Reg },
-    Cp { d: Reg, r: Reg },
-    Cpc { d: Reg, r: Reg },
-    Cpse { d: Reg, r: Reg },
-    Mul { d: Reg, r: Reg },
+    Add {
+        d: Reg,
+        r: Reg,
+    },
+    Adc {
+        d: Reg,
+        r: Reg,
+    },
+    Sub {
+        d: Reg,
+        r: Reg,
+    },
+    Sbc {
+        d: Reg,
+        r: Reg,
+    },
+    And {
+        d: Reg,
+        r: Reg,
+    },
+    Or {
+        d: Reg,
+        r: Reg,
+    },
+    Eor {
+        d: Reg,
+        r: Reg,
+    },
+    Mov {
+        d: Reg,
+        r: Reg,
+    },
+    Cp {
+        d: Reg,
+        r: Reg,
+    },
+    Cpc {
+        d: Reg,
+        r: Reg,
+    },
+    Cpse {
+        d: Reg,
+        r: Reg,
+    },
+    Mul {
+        d: Reg,
+        r: Reg,
+    },
     /// `MULS Rd,Rr` — both registers in `r16..=r31`.
-    Muls { d: Reg, r: Reg },
+    Muls {
+        d: Reg,
+        r: Reg,
+    },
     /// `MULSU Rd,Rr` — both registers in `r16..=r23`.
-    Mulsu { d: Reg, r: Reg },
-    Fmul { d: Reg, r: Reg },
-    Fmuls { d: Reg, r: Reg },
-    Fmulsu { d: Reg, r: Reg },
+    Mulsu {
+        d: Reg,
+        r: Reg,
+    },
+    Fmul {
+        d: Reg,
+        r: Reg,
+    },
+    Fmuls {
+        d: Reg,
+        r: Reg,
+    },
+    Fmulsu {
+        d: Reg,
+        r: Reg,
+    },
     /// `MOVW Rd+1:Rd, Rr+1:Rr` — `d` and `r` are the even low registers.
-    Movw { d: Reg, r: Reg },
+    Movw {
+        d: Reg,
+        r: Reg,
+    },
 
     // ── register-immediate ALU (d in r16..=r31) ─────────────────────────
-    Subi { d: Reg, k: u8 },
-    Sbci { d: Reg, k: u8 },
-    Andi { d: Reg, k: u8 },
-    Ori { d: Reg, k: u8 },
-    Cpi { d: Reg, k: u8 },
-    Ldi { d: Reg, k: u8 },
+    Subi {
+        d: Reg,
+        k: u8,
+    },
+    Sbci {
+        d: Reg,
+        k: u8,
+    },
+    Andi {
+        d: Reg,
+        k: u8,
+    },
+    Ori {
+        d: Reg,
+        k: u8,
+    },
+    Cpi {
+        d: Reg,
+        k: u8,
+    },
+    Ldi {
+        d: Reg,
+        k: u8,
+    },
 
     /// `ADIW p,k` — add immediate (`0..=63`) to word pair.
-    Adiw { p: IwPair, k: u8 },
+    Adiw {
+        p: IwPair,
+        k: u8,
+    },
     /// `SBIW p,k` — subtract immediate (`0..=63`) from word pair.
-    Sbiw { p: IwPair, k: u8 },
+    Sbiw {
+        p: IwPair,
+        k: u8,
+    },
 
     // ── single-register ALU ─────────────────────────────────────────────
-    Com { d: Reg },
-    Neg { d: Reg },
-    Swap { d: Reg },
-    Inc { d: Reg },
-    Asr { d: Reg },
-    Lsr { d: Reg },
-    Ror { d: Reg },
-    Dec { d: Reg },
+    Com {
+        d: Reg,
+    },
+    Neg {
+        d: Reg,
+    },
+    Swap {
+        d: Reg,
+    },
+    Inc {
+        d: Reg,
+    },
+    Asr {
+        d: Reg,
+    },
+    Lsr {
+        d: Reg,
+    },
+    Ror {
+        d: Reg,
+    },
+    Dec {
+        d: Reg,
+    },
 
     // ── control flow ────────────────────────────────────────────────────
     /// Relative jump, offset in words (−2048..=2047).
-    Rjmp { k: i16 },
+    Rjmp {
+        k: i16,
+    },
     /// Relative call, offset in words (−2048..=2047).
-    Rcall { k: i16 },
+    Rcall {
+        k: i16,
+    },
     /// Absolute jump to word address `k`.
-    Jmp { k: u32 },
+    Jmp {
+        k: u32,
+    },
     /// Absolute call to word address `k`.
-    Call { k: u32 },
+    Call {
+        k: u32,
+    },
     /// Indirect jump to the word address in `Z`.
     Ijmp,
     /// Indirect call to the word address in `Z`.
@@ -324,59 +426,131 @@ pub enum Instr {
     Ret,
     Reti,
     /// Branch (offset −64..=63 words) if SREG flag `s` is set.
-    Brbs { s: u8, k: i8 },
+    Brbs {
+        s: u8,
+        k: i8,
+    },
     /// Branch (offset −64..=63 words) if SREG flag `s` is clear.
-    Brbc { s: u8, k: i8 },
+    Brbc {
+        s: u8,
+        k: i8,
+    },
     /// Skip next instruction if bit `b` of `Rr` is clear.
-    Sbrc { r: Reg, b: u8 },
+    Sbrc {
+        r: Reg,
+        b: u8,
+    },
     /// Skip next instruction if bit `b` of `Rr` is set.
-    Sbrs { r: Reg, b: u8 },
+    Sbrs {
+        r: Reg,
+        b: u8,
+    },
     /// Skip next instruction if bit `b` of I/O port `a` (`0..=31`) is clear.
-    Sbic { a: u8, b: u8 },
+    Sbic {
+        a: u8,
+        b: u8,
+    },
     /// Skip next instruction if bit `b` of I/O port `a` (`0..=31`) is set.
-    Sbis { a: u8, b: u8 },
+    Sbis {
+        a: u8,
+        b: u8,
+    },
 
     // ── data transfer ───────────────────────────────────────────────────
     /// Indirect load `LD Rd, {X,Y,Z}[+/-]`.
-    Ld { d: Reg, ptr: Ptr, mode: PtrMode },
+    Ld {
+        d: Reg,
+        ptr: Ptr,
+        mode: PtrMode,
+    },
     /// Indirect store `ST {X,Y,Z}[+/-], Rr`.
-    St { ptr: Ptr, mode: PtrMode, r: Reg },
+    St {
+        ptr: Ptr,
+        mode: PtrMode,
+        r: Reg,
+    },
     /// Load with displacement `LDD Rd, Y/Z+q` (`q` in `0..=63`, Y or Z only).
-    Ldd { d: Reg, ptr: Ptr, q: u8 },
+    Ldd {
+        d: Reg,
+        ptr: Ptr,
+        q: u8,
+    },
     /// Store with displacement `STD Y/Z+q, Rr` (`q` in `0..=63`, Y or Z only).
-    Std { ptr: Ptr, q: u8, r: Reg },
+    Std {
+        ptr: Ptr,
+        q: u8,
+        r: Reg,
+    },
     /// Direct load from data address `k`.
-    Lds { d: Reg, k: u16 },
+    Lds {
+        d: Reg,
+        k: u16,
+    },
     /// Direct store to data address `k`.
-    Sts { k: u16, r: Reg },
+    Sts {
+        k: u16,
+        r: Reg,
+    },
     /// `LPM` — load `r0` from flash byte address in `Z`.
     Lpm0,
     /// `LPM Rd, Z[+]`.
-    Lpm { d: Reg, inc: bool },
+    Lpm {
+        d: Reg,
+        inc: bool,
+    },
     /// `ELPM` — load `r0` from flash byte address `RAMPZ:Z`.
     Elpm0,
     /// `ELPM Rd, Z[+]`.
-    Elpm { d: Reg, inc: bool },
+    Elpm {
+        d: Reg,
+        inc: bool,
+    },
     /// `IN Rd, A` — read I/O port `a` (`0..=63`).
-    In { d: Reg, a: u8 },
+    In {
+        d: Reg,
+        a: u8,
+    },
     /// `OUT A, Rr` — write I/O port `a` (`0..=63`).
-    Out { a: u8, r: Reg },
-    Push { r: Reg },
-    Pop { d: Reg },
+    Out {
+        a: u8,
+        r: Reg,
+    },
+    Push {
+        r: Reg,
+    },
+    Pop {
+        d: Reg,
+    },
 
     // ── bit and bit-test ────────────────────────────────────────────────
     /// Set SREG flag `s` (`0..=7`). `SEC`/`SEZ`/…/`SEI` are aliases.
-    Bset { s: u8 },
+    Bset {
+        s: u8,
+    },
     /// Clear SREG flag `s` (`0..=7`). `CLC`/`CLZ`/…/`CLI` are aliases.
-    Bclr { s: u8 },
+    Bclr {
+        s: u8,
+    },
     /// Set bit `b` of I/O port `a` (`0..=31`).
-    Sbi { a: u8, b: u8 },
+    Sbi {
+        a: u8,
+        b: u8,
+    },
     /// Clear bit `b` of I/O port `a` (`0..=31`).
-    Cbi { a: u8, b: u8 },
+    Cbi {
+        a: u8,
+        b: u8,
+    },
     /// Store bit `b` of `Rd` into SREG `T`.
-    Bst { d: Reg, b: u8 },
+    Bst {
+        d: Reg,
+        b: u8,
+    },
     /// Load bit `b` of `Rd` from SREG `T`.
-    Bld { d: Reg, b: u8 },
+    Bld {
+        d: Reg,
+        b: u8,
+    },
 
     // ── MCU control ─────────────────────────────────────────────────────
     Nop,
@@ -404,7 +578,11 @@ impl Instr {
         use Instr::*;
         match self {
             Adiw { .. } | Sbiw { .. } => 2,
-            Mul { .. } | Muls { .. } | Mulsu { .. } | Fmul { .. } | Fmuls { .. }
+            Mul { .. }
+            | Muls { .. }
+            | Mulsu { .. }
+            | Fmul { .. }
+            | Fmuls { .. }
             | Fmulsu { .. } => 2,
             Rjmp { .. } | Ijmp => 2,
             Rcall { .. } | Icall => 3,
@@ -502,10 +680,7 @@ mod tests {
         assert_eq!(Instr::Rcall { k: 0 }.base_cycles(), 3);
         assert_eq!(Instr::Icall.base_cycles(), 3);
         assert_eq!(Instr::Ret.base_cycles(), 4);
-        assert_eq!(
-            Instr::St { ptr: Ptr::X, mode: PtrMode::Plain, r: Reg::R0 }.base_cycles(),
-            2
-        );
+        assert_eq!(Instr::St { ptr: Ptr::X, mode: PtrMode::Plain, r: Reg::R0 }.base_cycles(), 2);
         assert_eq!(Instr::Push { r: Reg::R0 }.base_cycles(), 2);
         assert_eq!(Instr::Lpm0.base_cycles(), 3);
         assert_eq!(Instr::Sbi { a: 0, b: 0 }.base_cycles(), 2);

@@ -136,10 +136,6 @@ pub struct EnvFault {
 
 impl fmt::Display for EnvFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "code {} (addr {:#06x}, info {:#06x})",
-            self.code, self.addr, self.info
-        )
+        write!(f, "code {} (addr {:#06x}, info {:#06x})", self.code, self.addr, self.info)
     }
 }

@@ -312,10 +312,7 @@ impl Env for PlainEnv {
     fn on_ret(&mut self, sp: u16) -> Result<RetOutcome, Fault> {
         let hi = self.data.read(sp.wrapping_add(1))?;
         let lo = self.data.read(sp.wrapping_add(2))?;
-        Ok(RetOutcome {
-            target: ((hi as u32) << 8) | lo as u32,
-            extra_cycles: 0,
-        })
+        Ok(RetOutcome { target: ((hi as u32) << 8) | lo as u32, extra_cycles: 0 })
     }
 
     fn poll_irq(&mut self, cycles: u64) -> Option<crate::WordAddr> {
@@ -350,20 +347,14 @@ mod tests {
         assert!(m.write(RAMEND, 2).is_ok());
         assert_eq!(m.read(SRAM_BASE), Ok(1));
         assert_eq!(m.read(RAMEND), Ok(2));
-        assert_eq!(
-            m.write(RAMEND + 1, 0),
-            Err(Fault::BadDataAddress { addr: RAMEND + 1 })
-        );
+        assert_eq!(m.write(RAMEND + 1, 0), Err(Fault::BadDataAddress { addr: RAMEND + 1 }));
         assert!(m.read(0x5f).is_err(), "I/O space is not SRAM");
     }
 
     #[test]
     fn load_program_packs_words() {
         let mut f = Flash::new();
-        let end = f.load_program(
-            4,
-            &[Instr::Ldi { d: Reg::R16, k: 1 }, Instr::Jmp { k: 0x40 }],
-        );
+        let end = f.load_program(4, &[Instr::Ldi { d: Reg::R16, k: 1 }, Instr::Jmp { k: 0x40 }]);
         assert_eq!(end, 4 + 1 + 2);
         assert_eq!(f.word(4), 0xe001);
         assert_eq!(f.word(5), 0x940c);

@@ -128,10 +128,7 @@ fn logic_ops() {
         Instr::And { d: Reg::R16, r: Reg::R17 },
     ]);
     assert_eq!(cpu.reg(Reg::R16), 0b1000);
-    let cpu = run(&[
-        Instr::Ldi { d: Reg::R16, k: 0b1100 },
-        Instr::Ori { d: Reg::R16, k: 0b0011 },
-    ]);
+    let cpu = run(&[Instr::Ldi { d: Reg::R16, k: 0b1100 }, Instr::Ori { d: Reg::R16, k: 0b0011 }]);
     assert_eq!(cpu.reg(Reg::R16), 0b1111);
     let cpu = run(&[
         Instr::Ldi { d: Reg::R16, k: 0xaa },
@@ -283,10 +280,7 @@ fn lds_sts_direct() {
 fn st_to_low_addresses_hits_registers_and_io() {
     // Storing to data address 5 writes r5 (the register file is mapped at
     // 0x00..0x1f).
-    let cpu = run(&[
-        Instr::Ldi { d: Reg::R16, k: 0x7e },
-        Instr::Sts { k: 0x0005, r: Reg::R16 },
-    ]);
+    let cpu = run(&[Instr::Ldi { d: Reg::R16, k: 0x7e }, Instr::Sts { k: 0x0005, r: Reg::R16 }]);
     assert_eq!(cpu.reg(Reg::R5), 0x7e);
 
     // Storing to 0x20 + port hits the I/O file.
@@ -312,10 +306,7 @@ fn push_pop_and_sp() {
 
 #[test]
 fn sp_accessible_via_io() {
-    let cpu = run(&[
-        Instr::In { d: Reg::R16, a: 0x3d },
-        Instr::In { d: Reg::R17, a: 0x3e },
-    ]);
+    let cpu = run(&[Instr::In { d: Reg::R16, a: 0x3d }, Instr::In { d: Reg::R17, a: 0x3e }]);
     assert_eq!(cpu.reg(Reg::R16), (RAMEND & 0xff) as u8);
     assert_eq!(cpu.reg(Reg::R17), (RAMEND >> 8) as u8);
 }
@@ -360,7 +351,7 @@ fn branch_taken_costs_two_not_taken_one() {
     let cpu = run(&[
         Instr::Ldi { d: Reg::R16, k: 0 },
         Instr::Cpi { d: Reg::R16, k: 0 },
-        Instr::Brbs { s: flags::Z, k: 1 }, // taken
+        Instr::Brbs { s: flags::Z, k: 1 },   // taken
         Instr::Ldi { d: Reg::R17, k: 0xee }, // skipped
     ]);
     assert_eq!(cpu.reg(Reg::R17), 0);
@@ -471,18 +462,18 @@ fn nested_calls_return_in_order() {
     env.load_program(
         0,
         &[
-            Instr::Call { k: 5 },              // 0..=1
-            Instr::Ldi { d: Reg::R18, k: 3 },  // 2: after f returns
-            Instr::Break,                      // 3
-            Instr::Nop,                        // 4
+            Instr::Call { k: 5 },             // 0..=1
+            Instr::Ldi { d: Reg::R18, k: 3 }, // 2: after f returns
+            Instr::Break,                     // 3
+            Instr::Nop,                       // 4
             // f at 5:
-            Instr::Ldi { d: Reg::R16, k: 1 },  // 5
-            Instr::Call { k: 10 },             // 6..=7
-            Instr::Ldi { d: Reg::R19, k: 4 },  // 8: after g returns
-            Instr::Ret,                        // 9
+            Instr::Ldi { d: Reg::R16, k: 1 }, // 5
+            Instr::Call { k: 10 },            // 6..=7
+            Instr::Ldi { d: Reg::R19, k: 4 }, // 8: after g returns
+            Instr::Ret,                       // 9
             // g at 10:
-            Instr::Ldi { d: Reg::R17, k: 2 },  // 10
-            Instr::Ret,                        // 11
+            Instr::Ldi { d: Reg::R17, k: 2 }, // 10
+            Instr::Ret,                       // 11
         ],
     );
     let mut cpu = Cpu::new(env);
@@ -518,12 +509,12 @@ fn ijmp_jumps_through_z() {
 fn sbi_cbi_sbic_sbis() {
     let cpu = run(&[
         Instr::Sbi { a: 0x10, b: 2 },
-        Instr::Sbic { a: 0x10, b: 2 },        // bit set -> no skip
+        Instr::Sbic { a: 0x10, b: 2 }, // bit set -> no skip
         Instr::Ldi { d: Reg::R16, k: 1 },
         Instr::Cbi { a: 0x10, b: 2 },
-        Instr::Sbic { a: 0x10, b: 2 },        // bit clear -> skip
-        Instr::Ldi { d: Reg::R17, k: 1 },     // skipped
-        Instr::Sbis { a: 0x10, b: 2 },        // clear -> no skip
+        Instr::Sbic { a: 0x10, b: 2 },    // bit clear -> skip
+        Instr::Ldi { d: Reg::R17, k: 1 }, // skipped
+        Instr::Sbis { a: 0x10, b: 2 },    // clear -> no skip
         Instr::Ldi { d: Reg::R18, k: 1 },
     ]);
     assert_eq!((cpu.reg(Reg::R16), cpu.reg(Reg::R17), cpu.reg(Reg::R18)), (1, 0, 1));
@@ -597,10 +588,7 @@ fn illegal_opcode_faults() {
     let mut env = PlainEnv::new();
     env.flash.set_word(0, 0x0001); // reserved
     let mut cpu = Cpu::new(env);
-    assert_eq!(
-        cpu.step(),
-        Err(Fault::IllegalOpcode { pc: 0, word: 0x0001 })
-    );
+    assert_eq!(cpu.step(), Err(Fault::IllegalOpcode { pc: 0, word: 0x0001 }));
 }
 
 #[test]
@@ -608,10 +596,7 @@ fn store_outside_sram_faults() {
     let mut env = PlainEnv::new();
     env.load_program(0, &[Instr::Ldi { d: Reg::R16, k: 1 }, Instr::Sts { k: 0x2000, r: Reg::R16 }]);
     let mut cpu = Cpu::new(env);
-    assert_eq!(
-        cpu.run_to_break(100),
-        Err(Fault::BadDataAddress { addr: 0x2000 })
-    );
+    assert_eq!(cpu.run_to_break(100), Err(Fault::BadDataAddress { addr: 0x2000 }));
 }
 
 #[test]

@@ -103,9 +103,9 @@ fn sleep_wakes_on_the_timer_and_accounts_idle_cycles() {
     env.load_program(
         0,
         &[
-            Instr::Sleep,                      // 0: idles until the timer
-            Instr::Ldi { d: Reg::R20, k: 7 },  // 1: runs after wake
-            Instr::Break,                      // 2
+            Instr::Sleep,                     // 0: idles until the timer
+            Instr::Ldi { d: Reg::R20, k: 7 }, // 1: runs after wake
+            Instr::Break,                     // 2
         ],
     );
     env.load_program(8, &[Instr::Inc { d: Reg::R21 }, Instr::Reti]);

@@ -46,15 +46,15 @@ fn timer_fires_only_with_interrupts_enabled() {
     env.load_program(
         0,
         &[
-            Instr::Ldi { d: Reg::R20, k: 0 }, // 0
-            Instr::Nop,                       // 1 (spin target)
-            Instr::Cpi { d: Reg::R20, k: 3 }, // 2
+            Instr::Ldi { d: Reg::R20, k: 0 },   // 0
+            Instr::Nop,                         // 1 (spin target)
+            Instr::Cpi { d: Reg::R20, k: 3 },   // 2
             Instr::Brbc { s: flags::Z, k: -3 }, // 3 → back to 1
-            Instr::Break,                     // 4
+            Instr::Break,                       // 4
         ],
     );
     env.load_program(8, &[Instr::Ldi { d: Reg::R20, k: 0 }]); // placeholder
-    // Real ISR: inc r20 ; reti
+                                                              // Real ISR: inc r20 ; reti
     env.load_program(8, &[Instr::Inc { d: Reg::R20 }, Instr::Reti]);
     env.timer = Some(Timer::new(50, 8));
 

@@ -25,15 +25,11 @@ fn bench_table4(c: &mut Criterion) {
 }
 
 fn bench_table5(c: &mut Criterion) {
-    c.bench_function("table5/footprints", |b| {
-        b.iter(|| std::hint::black_box(table5::measure()))
-    });
+    c.bench_function("table5/footprints", |b| b.iter(|| std::hint::black_box(table5::measure())));
 }
 
 fn bench_table6(c: &mut Criterion) {
-    c.bench_function("table6/area_model", |b| {
-        b.iter(|| std::hint::black_box(table6::measure()))
-    });
+    c.bench_function("table6/area_model", |b| b.iter(|| std::hint::black_box(table6::measure())));
 }
 
 fn bench_figures(c: &mut Criterion) {
@@ -50,12 +46,5 @@ fn bench_figures(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_table3,
-    bench_table4,
-    bench_table5,
-    bench_table6,
-    bench_figures
-);
+criterion_group!(benches, bench_table3, bench_table4, bench_table5, bench_table6, bench_figures);
 criterion_main!(benches);

@@ -1,148 +1,161 @@
 //! Regenerates every table and figure in one run (the source of
 //! `EXPERIMENTS.md`'s measured numbers).
+//!
+//! The seven artefacts are independent, so each renders into its own
+//! buffer on a `std::thread::scope` worker; the buffers are then printed
+//! in the fixed table order, making the output deterministic regardless of
+//! which worker finishes first.
 
-fn main() {
-    // Table 3.
-    {
-        use harbor_bench::report::{print_table, vs_paper, Row};
-        let rows: Vec<Row> = harbor_bench::table3::measure()
-            .into_iter()
-            .map(|r| {
-                Row::new(r.name, &[&vs_paper(r.hw, r.paper_hw), &vs_paper(r.sw, r.paper_sw)])
-            })
-            .collect();
-        print_table(
-            "Table 3: Overhead (CPU cycles) of Memory Protection Routines",
-            &["Function Name", "AVR Extension", "AVR Binary Rewrite"],
-            &rows,
-        );
-    }
-    // Table 4.
-    {
-        use harbor_bench::report::{print_table, vs_paper, Row};
-        let rows: Vec<Row> = harbor_bench::table4::measure()
-            .into_iter()
-            .map(|r| {
-                Row::new(
-                    r.name,
-                    &[
-                        &vs_paper(r.normal, r.paper_normal),
-                        &vs_paper(r.protected, r.paper_protected),
-                        &r.sfi,
-                    ],
-                )
-            })
-            .collect();
-        print_table(
-            "Table 4: Overhead (CPU cycles) of memory allocation routines",
-            &["Function Name", "Normal", "Protected (UMPU)", "SFI (extension)"],
-            &rows,
-        );
-    }
-    // Table 5.
-    {
-        use harbor_bench::report::{print_table, vs_paper, Row};
-        let rows: Vec<Row> = harbor_bench::table5::measure()
-            .into_iter()
-            .map(|r| {
-                Row::new(r.name, &[&vs_paper(r.flash, r.paper_flash), &vs_paper(r.ram, r.paper_ram)])
-            })
-            .collect();
-        print_table(
-            "Table 5: FLASH and RAM overhead of software library (bytes)",
-            &["SW Component", "FLASH (B)", "RAM (B)"],
-            &rows,
-        );
-    }
-    // Table 6.
-    {
-        use harbor_bench::report::{print_table, Row};
-        let rows: Vec<Row> = harbor_bench::table6::measure()
-            .into_iter()
-            .map(|r| {
-                let orig = r.original.map(|o| o.to_string()).unwrap_or_else(|| "N/A".into());
-                Row::new(r.component, &[&r.extended, &orig, &r.paper_extended])
-            })
-            .collect();
-        print_table(
-            "Table 6: Gate count overhead of hardware extensions",
-            &["HW Component", "Model Ext.", "Orig.", "Paper Ext."],
-            &rows,
-        );
-        let m = umpu::area::AreaModel::default();
-        println!("Core area increase: {:.1} %", m.core_increase() * 100.0);
-        let (flexible, fixed) = harbor_bench::table6::fixed_block_ablation();
-        println!("Fixed-block-size ablation: {flexible} → {fixed} extension gates");
-    }
-    // Fig A.
-    {
-        use harbor_bench::report::{print_table, Row};
-        let rows: Vec<Row> = harbor_bench::figures::memmap_sweep()
-            .into_iter()
-            .map(|p| {
-                let mode = match p.mode {
-                    harbor::DomainMode::Multi => "multi",
-                    harbor::DomainMode::Two => "two",
-                };
-                let paper = p.paper.map(|v| v.to_string()).unwrap_or_else(|| "-".into());
-                Row::new(p.scenario, &[&mode, &p.block, &p.span, &p.bytes, &paper])
-            })
-            .collect();
-        print_table(
-            "Fig A: memory-map size vs configuration (Section 6.2 prose)",
-            &["Scenario", "Mode", "Block", "Span", "Map (B)", "Paper"],
-            &rows,
-        );
-    }
-    // Macro + war story.
-    {
-        use harbor_bench::figures::{self, SurgeOutcome};
-        use harbor_bench::report::{print_table, Row};
-        let rows: Vec<Row> = figures::macro_overhead(64)
-            .into_iter()
-            .map(|p| {
-                Row::new(format!("{:?}", p.protection), &[&p.cycles, &format!("{:.3}x", p.overhead)])
-            })
-            .collect();
-        print_table(
-            "Macro: Surge workload (64 samples), end-to-end overhead",
-            &["Build", "Cycles", "Overhead"],
-            &rows,
-        );
-        println!("\nFig B — war story (Surge without Tree Routing):");
-        for p in [
-            mini_sos::Protection::None,
-            mini_sos::Protection::Umpu,
-            mini_sos::Protection::Sfi,
-        ] {
-            match figures::surge_war_story(p) {
-                SurgeOutcome::SilentCorruption { addr } => {
-                    println!("  {p:?}: silent corruption at {addr:#06x}")
-                }
-                SurgeOutcome::Caught { fault: Some(f), .. } => println!("  {p:?}: caught — {f}"),
-                SurgeOutcome::Caught { code, .. } => {
-                    println!("  {p:?}: caught — fault code {code}")
-                }
+use harbor_bench::report::{render_table, vs_paper, Row};
+use std::fmt::Write;
+
+fn table3_section() -> String {
+    let rows: Vec<Row> = harbor_bench::table3::measure()
+        .into_iter()
+        .map(|r| Row::new(r.name, &[&vs_paper(r.hw, r.paper_hw), &vs_paper(r.sw, r.paper_sw)]))
+        .collect();
+    render_table(
+        "Table 3: Overhead (CPU cycles) of Memory Protection Routines",
+        &["Function Name", "AVR Extension", "AVR Binary Rewrite"],
+        &rows,
+    )
+}
+
+fn table4_section() -> String {
+    let rows: Vec<Row> = harbor_bench::table4::measure()
+        .into_iter()
+        .map(|r| {
+            Row::new(
+                r.name,
+                &[
+                    &vs_paper(r.normal, r.paper_normal),
+                    &vs_paper(r.protected, r.paper_protected),
+                    &r.sfi,
+                ],
+            )
+        })
+        .collect();
+    render_table(
+        "Table 4: Overhead (CPU cycles) of memory allocation routines",
+        &["Function Name", "Normal", "Protected (UMPU)", "SFI (extension)"],
+        &rows,
+    )
+}
+
+fn table5_section() -> String {
+    let rows: Vec<Row> = harbor_bench::table5::measure()
+        .into_iter()
+        .map(|r| {
+            Row::new(r.name, &[&vs_paper(r.flash, r.paper_flash), &vs_paper(r.ram, r.paper_ram)])
+        })
+        .collect();
+    render_table(
+        "Table 5: FLASH and RAM overhead of software library (bytes)",
+        &["SW Component", "FLASH (B)", "RAM (B)"],
+        &rows,
+    )
+}
+
+fn table6_section() -> String {
+    let rows: Vec<Row> = harbor_bench::table6::measure()
+        .into_iter()
+        .map(|r| {
+            let orig = r.original.map(|o| o.to_string()).unwrap_or_else(|| "N/A".into());
+            Row::new(r.component, &[&r.extended, &orig, &r.paper_extended])
+        })
+        .collect();
+    let mut out = render_table(
+        "Table 6: Gate count overhead of hardware extensions",
+        &["HW Component", "Model Ext.", "Orig.", "Paper Ext."],
+        &rows,
+    );
+    let m = umpu::area::AreaModel::default();
+    writeln!(out, "Core area increase: {:.1} %", m.core_increase() * 100.0).unwrap();
+    let (flexible, fixed) = harbor_bench::table6::fixed_block_ablation();
+    writeln!(out, "Fixed-block-size ablation: {flexible} → {fixed} extension gates").unwrap();
+    out
+}
+
+fn fig_a_section() -> String {
+    let rows: Vec<Row> = harbor_bench::figures::memmap_sweep()
+        .into_iter()
+        .map(|p| {
+            let mode = match p.mode {
+                harbor::DomainMode::Multi => "multi",
+                harbor::DomainMode::Two => "two",
+            };
+            let paper = p.paper.map(|v| v.to_string()).unwrap_or_else(|| "-".into());
+            Row::new(p.scenario, &[&mode, &p.block, &p.span, &p.bytes, &paper])
+        })
+        .collect();
+    render_table(
+        "Fig A: memory-map size vs configuration (Section 6.2 prose)",
+        &["Scenario", "Mode", "Block", "Span", "Map (B)", "Paper"],
+        &rows,
+    )
+}
+
+fn macro_section() -> String {
+    use harbor_bench::figures::{self, SurgeOutcome};
+    let rows: Vec<Row> = figures::macro_overhead(64)
+        .into_iter()
+        .map(|p| {
+            Row::new(format!("{:?}", p.protection), &[&p.cycles, &format!("{:.3}x", p.overhead)])
+        })
+        .collect();
+    let mut out = render_table(
+        "Macro: Surge workload (64 samples), end-to-end overhead",
+        &["Build", "Cycles", "Overhead"],
+        &rows,
+    );
+    writeln!(out, "\nFig B — war story (Surge without Tree Routing):").unwrap();
+    for p in [mini_sos::Protection::None, mini_sos::Protection::Umpu, mini_sos::Protection::Sfi] {
+        match figures::surge_war_story(p) {
+            SurgeOutcome::SilentCorruption { addr } => {
+                writeln!(out, "  {p:?}: silent corruption at {addr:#06x}").unwrap()
+            }
+            SurgeOutcome::Caught { fault: Some(f), .. } => {
+                writeln!(out, "  {p:?}: caught — {f}").unwrap()
+            }
+            SurgeOutcome::Caught { code, .. } => {
+                writeln!(out, "  {p:?}: caught — fault code {code}").unwrap()
             }
         }
     }
-    // Pipeline macro workload.
-    {
-        use harbor_bench::report::{print_table, Row};
-        let rows: Vec<Row> = harbor_bench::figures::pipeline_overhead(32)
-            .into_iter()
-            .map(|p| {
-                Row::new(
-                    format!("{:?}", p.protection),
-                    &[&p.cycles, &format!("{:.3}x", p.overhead)],
-                )
-            })
-            .collect();
-        print_table(
-            "Macro: buffer-handoff pipeline (32 rounds)",
-            &["Build", "Cycles", "Overhead"],
-            &rows,
-        );
+    out
+}
+
+fn pipeline_section() -> String {
+    let rows: Vec<Row> = harbor_bench::figures::pipeline_overhead(32)
+        .into_iter()
+        .map(|p| {
+            Row::new(format!("{:?}", p.protection), &[&p.cycles, &format!("{:.3}x", p.overhead)])
+        })
+        .collect();
+    render_table(
+        "Macro: buffer-handoff pipeline (32 rounds)",
+        &["Build", "Cycles", "Overhead"],
+        &rows,
+    )
+}
+
+fn main() {
+    let sections: [fn() -> String; 7] = [
+        table3_section,
+        table4_section,
+        table5_section,
+        table6_section,
+        fig_a_section,
+        macro_section,
+        pipeline_section,
+    ];
+    let mut outputs: Vec<String> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = sections.iter().map(|f| scope.spawn(f)).collect();
+        outputs = handles.into_iter().map(|h| h.join().expect("bench section panicked")).collect();
+    });
+    for section in &outputs {
+        print!("{section}");
     }
     println!(
         "

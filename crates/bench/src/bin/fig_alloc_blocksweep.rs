@@ -22,10 +22,7 @@ fn main() {
         .map_size_bytes();
         let (m, f, c) = measure_build_with_block(Protection::Umpu, log2);
         let (mn, fn_, cn) = measure_build_with_block(Protection::None, log2);
-        rows.push(Row::new(
-            format!("{block} B blocks"),
-            &[&map_bytes, &mn, &m, &fn_, &f, &cn, &c],
-        ));
+        rows.push(Row::new(format!("{block} B blocks"), &[&map_bytes, &mn, &m, &fn_, &f, &cn, &c]));
     }
     print_table(
         "Allocator cost vs protection block size (32-byte allocation, cycles)",

@@ -13,10 +13,7 @@ fn main() {
                 harbor::DomainMode::Two => "two",
             };
             let paper = p.paper.map(|v| format!("{v}")).unwrap_or_else(|| "-".into());
-            Row::new(
-                p.scenario,
-                &[&mode, &p.block, &p.span, &p.bytes, &paper],
-            )
+            Row::new(p.scenario, &[&mode, &p.block, &p.span, &p.bytes, &paper])
         })
         .collect();
     print_table(

@@ -99,12 +99,7 @@ fn main() {
         let med_waste = waste[trials as usize / 2];
         rows.push(Row::new(
             label,
-            &[
-                &med,
-                &max,
-                &format!("{}/{trials}", fits8),
-                &format!("{med_waste} B"),
-            ],
+            &[&med, &max, &format!("{}/{trials}", fits8), &format!("{med_waste} B")],
         ));
     }
     print_table(

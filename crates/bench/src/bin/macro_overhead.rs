@@ -11,10 +11,7 @@ fn main() {
     let rows: Vec<Row> = figures::macro_overhead(ticks)
         .into_iter()
         .map(|p| {
-            Row::new(
-                format!("{:?}", p.protection),
-                &[&p.cycles, &format!("{:.3}x", p.overhead)],
-            )
+            Row::new(format!("{:?}", p.protection), &[&p.cycles, &format!("{:.3}x", p.overhead)])
         })
         .collect();
     print_table(
@@ -26,10 +23,7 @@ fn main() {
     let rows: Vec<Row> = figures::pipeline_overhead(32)
         .into_iter()
         .map(|p| {
-            Row::new(
-                format!("{:?}", p.protection),
-                &[&p.cycles, &format!("{:.3}x", p.overhead)],
-            )
+            Row::new(format!("{:?}", p.protection), &[&p.cycles, &format!("{:.3}x", p.overhead)])
         })
         .collect();
     print_table(

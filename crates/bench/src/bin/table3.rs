@@ -7,12 +7,7 @@ use harbor_bench::table3;
 fn main() {
     let rows: Vec<Row> = table3::measure()
         .into_iter()
-        .map(|r| {
-            Row::new(
-                r.name,
-                &[&vs_paper(r.hw, r.paper_hw), &vs_paper(r.sw, r.paper_sw)],
-            )
-        })
+        .map(|r| Row::new(r.name, &[&vs_paper(r.hw, r.paper_hw), &vs_paper(r.sw, r.paper_sw)]))
         .collect();
     print_table(
         "Table 3: Overhead (CPU cycles) of Memory Protection Routines",

@@ -7,13 +7,7 @@ fn main() {
     let rows: Vec<Row> = table5::measure()
         .into_iter()
         .map(|r| {
-            Row::new(
-                r.name,
-                &[
-                    &vs_paper(r.flash, r.paper_flash),
-                    &vs_paper(r.ram, r.paper_ram),
-                ],
-            )
+            Row::new(r.name, &[&vs_paper(r.flash, r.paper_flash), &vs_paper(r.ram, r.paper_ram)])
         })
         .collect();
     print_table(

@@ -9,14 +9,8 @@ fn main() {
     let rows: Vec<Row> = table6::measure()
         .into_iter()
         .map(|r| {
-            let orig = r
-                .original
-                .map(|o| o.to_string())
-                .unwrap_or_else(|| "N/A".to_string());
-            Row::new(
-                r.component,
-                &[&r.extended, &orig, &r.paper_extended],
-            )
+            let orig = r.original.map(|o| o.to_string()).unwrap_or_else(|| "N/A".to_string());
+            Row::new(r.component, &[&r.extended, &orig, &r.paper_extended])
         })
         .collect();
     print_table(

@@ -158,10 +158,9 @@ pub fn surge_war_story(p: Protection) -> SurgeOutcome {
             let buf = sys.sram16(sys.layout.state_addr(1));
             SurgeOutcome::SilentCorruption { addr: buf + 0xff }
         }
-        Err(avr_core::Fault::Env(e)) => SurgeOutcome::Caught {
-            fault: sys.last_protection_fault(),
-            code: e.code,
-        },
+        Err(avr_core::Fault::Env(e)) => {
+            SurgeOutcome::Caught { fault: sys.last_protection_fault(), code: e.code }
+        }
         Err(other) => panic!("unexpected outcome: {other}"),
     }
 }
@@ -191,11 +190,7 @@ pub fn pipeline_workload_cycles(p: Protection, rounds: u32) -> u64 {
         sys.run_to_break(50_000_000).expect("pipeline runs");
     }
     let cons_state = sys.layout.state_addr(4);
-    assert_eq!(
-        sys.sram(cons_state + 1) as u32,
-        rounds,
-        "{p:?}: every sample consumed"
-    );
+    assert_eq!(sys.sram(cons_state + 1) as u32, rounds, "{p:?}: every sample consumed");
     assert_eq!(sys.sram(cons_state + 2), 0, "{p:?}: every free succeeded");
     sys.cycles() - booted
 }
@@ -240,10 +235,7 @@ mod tests {
 
     #[test]
     fn war_story_outcomes() {
-        assert!(matches!(
-            surge_war_story(Protection::None),
-            SurgeOutcome::SilentCorruption { .. }
-        ));
+        assert!(matches!(surge_war_story(Protection::None), SurgeOutcome::SilentCorruption { .. }));
         for p in [Protection::Umpu, Protection::Sfi] {
             match surge_war_story(p) {
                 SurgeOutcome::Caught { code, .. } => {

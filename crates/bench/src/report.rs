@@ -16,10 +16,14 @@ impl Row {
     }
 }
 
-/// Prints an aligned ASCII table with a title and column headers.
-pub fn print_table(title: &str, headers: &[&str], rows: &[Row]) {
-    println!("\n{title}");
-    println!("{}", "=".repeat(title.len()));
+/// Renders an aligned ASCII table with a title and column headers — the
+/// buffered form, so benchmarks running on worker threads can emit their
+/// sections in a deterministic order regardless of completion order.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Row]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "\n{title}").unwrap();
+    writeln!(out, "{}", "=".repeat(title.len())).unwrap();
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     let name_w = rows
         .iter()
@@ -34,23 +38,29 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Row]) {
             }
         }
     }
-    print!("{:name_w$}", headers.first().copied().unwrap_or(""));
+    write!(out, "{:name_w$}", headers.first().copied().unwrap_or("")).unwrap();
     for (h, w) in headers.iter().skip(1).zip(widths.iter().skip(1)) {
-        print!("  {h:>w$}");
+        write!(out, "  {h:>w$}").unwrap();
     }
-    println!();
-    print!("{}", "-".repeat(name_w));
+    out.push('\n');
+    write!(out, "{}", "-".repeat(name_w)).unwrap();
     for w in widths.iter().skip(1) {
-        print!("  {}", "-".repeat(*w));
+        write!(out, "  {}", "-".repeat(*w)).unwrap();
     }
-    println!();
+    out.push('\n');
     for r in rows {
-        print!("{:name_w$}", r.name);
+        write!(out, "{:name_w$}", r.name).unwrap();
         for (v, w) in r.values.iter().zip(widths.iter().skip(1)) {
-            print!("  {v:>w$}");
+            write!(out, "  {v:>w$}").unwrap();
         }
-        println!();
+        out.push('\n');
     }
+    out
+}
+
+/// Prints an aligned ASCII table with a title and column headers.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Row]) {
+    print!("{}", render_table(title, headers, rows));
 }
 
 /// Formats a measured/paper pair as `measured (paper N)`.

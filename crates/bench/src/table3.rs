@@ -289,9 +289,7 @@ impl SwBench {
     fn fresh_machine(&self) -> Cpu<PlainEnv> {
         let mut env = PlainEnv::new();
         self.rt.install(&mut env.flash, &mut env.data);
-        self.rt
-            .host_set_segment(&mut env.data, DomainId::num(2), SEG, 32)
-            .expect("segment");
+        self.rt.host_set_segment(&mut env.data, DomainId::num(2), SEG, 32).expect("segment");
         self.rt.set_current_domain(&mut env.data, DomainId::num(2));
         Cpu::new(env)
     }

@@ -40,8 +40,8 @@ pub fn measure() -> Vec<Footprint> {
     let heap_bytes = (l.alloc_blocks * 8) as u32;
     let metadata = 31 /* alloc bitmap */ + 34 /* message queue */;
 
-    let map_cfg = MemMapConfig::multi_domain(l.prot.prot_bottom, l.prot.prot_top)
-        .expect("layout aligned");
+    let map_cfg =
+        MemMapConfig::multi_domain(l.prot.prot_bottom, l.prot.prot_top).expect("layout aligned");
 
     vec![
         Footprint {

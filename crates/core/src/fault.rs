@@ -106,14 +106,12 @@ impl fmt::Display for ProtectionFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         use ProtectionFault::*;
         match *self {
-            MemMapViolation { addr, domain, owner } => write!(
-                f,
-                "memory-map violation: dom{domain} wrote {addr:#06x} owned by dom{owner}"
-            ),
-            StackBoundViolation { addr, bound } => write!(
-                f,
-                "stack-bound violation: write to {addr:#06x} above bound {bound:#06x}"
-            ),
+            MemMapViolation { addr, domain, owner } => {
+                write!(f, "memory-map violation: dom{domain} wrote {addr:#06x} owned by dom{owner}")
+            }
+            StackBoundViolation { addr, bound } => {
+                write!(f, "stack-bound violation: write to {addr:#06x} above bound {bound:#06x}")
+            }
             KernelSpaceViolation { addr, domain } => write!(
                 f,
                 "kernel-space violation: dom{domain} wrote {addr:#06x} below the protected region"
@@ -132,18 +130,16 @@ impl fmt::Display for ProtectionFault {
             TrackerDepthExceeded { depth } => {
                 write!(f, "cross-domain nesting depth {depth} exceeds tracker capacity")
             }
-            ConfigAccessViolation { port, domain } => write!(
-                f,
-                "dom{domain} wrote protection config port {port:#04x} (trusted only)"
-            ),
+            ConfigAccessViolation { port, domain } => {
+                write!(f, "dom{domain} wrote protection config port {port:#04x} (trusted only)")
+            }
             InvalidDomain { id } => write!(f, "invalid domain id {id}"),
             BadSegment { addr, len } => {
                 write!(f, "bad segment: addr {addr:#06x} len {len}")
             }
-            NotOwner { addr, domain, owner } => write!(
-                f,
-                "dom{domain} is not the owner of {addr:#06x} (owner dom{owner})"
-            ),
+            NotOwner { addr, domain, owner } => {
+                write!(f, "dom{domain} is not the owner of {addr:#06x} (owner dom{owner})")
+            }
             OutOfProtectedRange { addr } => {
                 write!(f, "address {addr:#06x} is outside the protected range")
             }

@@ -149,14 +149,8 @@ mod tests {
     fn classify_targets() {
         let jt = JumpTableLayout::new(0x0800, 8);
         assert_eq!(jt.classify(0x0100).unwrap(), None, "below base: local call");
-        assert_eq!(
-            jt.classify(0x0800).unwrap(),
-            Some((DomainId::num(0), 0))
-        );
-        assert_eq!(
-            jt.classify(0x0885).unwrap(),
-            Some((DomainId::num(1), 5))
-        );
+        assert_eq!(jt.classify(0x0800).unwrap(), Some((DomainId::num(0), 0)));
+        assert_eq!(jt.classify(0x0885).unwrap(), Some((DomainId::num(1), 5)));
         assert_eq!(
             jt.classify(0x0bff).unwrap(),
             Some((DomainId::TRUSTED, 127)),

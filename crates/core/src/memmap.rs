@@ -121,10 +121,7 @@ impl Record {
 
     /// Decodes from the 4-bit form of Table 1.
     pub const fn from_nibble(n: u8) -> Record {
-        Record {
-            owner: DomainId::num((n >> 1) & 0x7),
-            start: n & 1 != 0,
-        }
+        Record { owner: DomainId::num((n >> 1) & 0x7), start: n & 1 != 0 }
     }
 
     /// Encodes to the 2-bit two-domain form (owner bit: 1 = trusted/free,
@@ -187,7 +184,10 @@ impl MemMapConfig {
         prot_top: u16,
     ) -> Result<MemMapConfig, ProtectionFault> {
         let bs = block_size.bytes();
-        if prot_bottom >= prot_top || !prot_bottom.is_multiple_of(bs) || !prot_top.is_multiple_of(bs) {
+        if prot_bottom >= prot_top
+            || !prot_bottom.is_multiple_of(bs)
+            || !prot_top.is_multiple_of(bs)
+        {
             return Err(ProtectionFault::BadSegment {
                 addr: prot_bottom,
                 len: prot_top.wrapping_sub(prot_bottom),
@@ -264,11 +264,7 @@ impl MemMapConfig {
         let block = offset >> self.block_size.log2();
         let per = self.mode.records_per_byte() as u16;
         let bits = self.mode.bits_per_record();
-        Ok(MapLookup {
-            block,
-            byte_index: block / per,
-            shift: (block % per) as u8 * bits,
-        })
+        Ok(MapLookup { block, byte_index: block / per, shift: (block % per) as u8 * bits })
     }
 
     /// First data address of block number `block`.
@@ -385,11 +381,7 @@ impl MemoryMap {
     ///
     /// Panics if `bytes` is not exactly [`MemMapConfig::map_size_bytes`] long.
     pub fn from_raw(cfg: MemMapConfig, bytes: Vec<u8>) -> MemoryMap {
-        assert_eq!(
-            bytes.len(),
-            cfg.map_size_bytes() as usize,
-            "raw table size mismatch"
-        );
+        assert_eq!(bytes.len(), cfg.map_size_bytes() as usize, "raw table size mismatch");
         MemoryMap { cfg, bytes }
     }
 
@@ -517,11 +509,7 @@ impl MemoryMap {
     /// [`ProtectionFault::NotOwner`] if `requester` does not own the
     /// segment; [`ProtectionFault::BadSegment`] if `addr` is not a segment
     /// start.
-    pub fn free_segment(
-        &mut self,
-        requester: DomainId,
-        addr: u16,
-    ) -> Result<u16, ProtectionFault> {
+    pub fn free_segment(&mut self, requester: DomainId, addr: u16) -> Result<u16, ProtectionFault> {
         let blocks = self.owned_segment(requester, addr)?;
         let n = blocks.len() as u16;
         for b in blocks {
@@ -582,9 +570,7 @@ impl MemoryMap {
             let rec = self.record(b);
             if rec.owner == owner && rec.start {
                 let addr = self.cfg.block_addr(b);
-                let n = self
-                    .free_segment(DomainId::TRUSTED, addr)
-                    .expect("start block frees");
+                let n = self.free_segment(DomainId::TRUSTED, addr).expect("start block frees");
                 reclaimed.push((addr, n));
                 b += n;
             } else {
@@ -594,21 +580,13 @@ impl MemoryMap {
         reclaimed
     }
 
-    fn owned_segment(
-        &self,
-        requester: DomainId,
-        addr: u16,
-    ) -> Result<Vec<u16>, ProtectionFault> {
+    fn owned_segment(&self, requester: DomainId, addr: u16) -> Result<Vec<u16>, ProtectionFault> {
         let blocks = self.collect_segment(addr)?;
         let owner = self.record(blocks[0]).owner;
         if requester.is_trusted() || owner == requester {
             Ok(blocks)
         } else {
-            Err(ProtectionFault::NotOwner {
-                addr,
-                domain: requester.index(),
-                owner: owner.index(),
-            })
+            Err(ProtectionFault::NotOwner { addr, domain: requester.index(), owner: owner.index() })
         }
     }
 
@@ -675,10 +653,7 @@ mod tests {
         // 1111 = free / start of trusted.
         assert_eq!(Record::FREE.to_nibble(), 0b1111);
         // 1110 = later portion of trusted.
-        assert_eq!(
-            Record { owner: DomainId::TRUSTED, start: false }.to_nibble(),
-            0b1110
-        );
+        assert_eq!(Record { owner: DomainId::TRUSTED, start: false }.to_nibble(), 0b1110);
         // xxx1 = start of domain segment.
         let d3 = DomainId::num(3);
         assert_eq!(Record { owner: d3, start: true }.to_nibble(), 0b0111);
@@ -771,7 +746,10 @@ mod tests {
         assert!(m.check_write(d1, 0x0107).is_ok());
         assert!(m.check_write(DomainId::TRUSTED, 0x0107).is_ok(), "trusted writes anywhere");
         let err = m.check_write(d2, 0x0107).unwrap_err();
-        assert!(matches!(err, ProtectionFault::MemMapViolation { addr: 0x0107, domain: 2, owner: 1 }));
+        assert!(matches!(
+            err,
+            ProtectionFault::MemMapViolation { addr: 0x0107, domain: 2, owner: 1 }
+        ));
         // Free blocks belong to trusted: user writes are violations.
         assert!(m.check_write(d2, 0x0180).is_err());
     }
@@ -782,10 +760,7 @@ mod tests {
         let d1 = DomainId::num(1);
         let d2 = DomainId::num(2);
         m.set_segment(d1, 0x0120, 24).unwrap();
-        assert!(matches!(
-            m.free_segment(d2, 0x0120),
-            Err(ProtectionFault::NotOwner { .. })
-        ));
+        assert!(matches!(m.free_segment(d2, 0x0120), Err(ProtectionFault::NotOwner { .. })));
         assert!(m.free_segment(d1, 0x0128).is_err(), "not a segment start");
         assert_eq!(m.free_segment(d1, 0x0120).unwrap(), 3);
         assert_eq!(m.owner_of(0x0120).unwrap(), DomainId::TRUSTED);
@@ -805,10 +780,7 @@ mod tests {
         let d1 = DomainId::num(1);
         let d5 = DomainId::num(5);
         m.set_segment(d1, 0x0140, 16).unwrap();
-        assert!(matches!(
-            m.change_own(d5, 0x0140, d5),
-            Err(ProtectionFault::NotOwner { .. })
-        ));
+        assert!(matches!(m.change_own(d5, 0x0140, d5), Err(ProtectionFault::NotOwner { .. })));
         assert_eq!(m.change_own(d1, 0x0140, d5).unwrap(), 2);
         assert_eq!(m.owner_of(0x0140).unwrap(), d5);
         assert_eq!(m.owner_of(0x0148).unwrap(), d5);

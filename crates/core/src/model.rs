@@ -172,9 +172,7 @@ impl ProtectionModel {
                     })
                 }
             }
-            RegionClass::OutOfRange => {
-                Err(ProtectionFault::OutOfProtectedRange { addr })
-            }
+            RegionClass::OutOfRange => Err(ProtectionFault::OutOfProtectedRange { addr }),
         }
     }
 }
@@ -237,15 +235,9 @@ mod tests {
         let v = m.check_store(0x0320).unwrap();
         assert_eq!(v.mmc_stall_cycles, 1);
         // Someone else's (free) heap: memory-map violation.
-        assert!(matches!(
-            m.check_store(0x0400),
-            Err(ProtectionFault::MemMapViolation { .. })
-        ));
+        assert!(matches!(m.check_store(0x0400), Err(ProtectionFault::MemMapViolation { .. })));
         // Kernel globals: denied.
-        assert!(matches!(
-            m.check_store(0x0100),
-            Err(ProtectionFault::KernelSpaceViolation { .. })
-        ));
+        assert!(matches!(m.check_store(0x0100), Err(ProtectionFault::KernelSpaceViolation { .. })));
         // Run-time stack below the bound: allowed (bound = 0x0fff initially).
         assert!(m.check_store(0x0f00).is_ok());
         // I/O: outside the MMC's purview.
@@ -277,9 +269,6 @@ mod tests {
         m.tracker_mut().set_current_domain(DomainId::num(0));
         // The safe stack lives in the protected range and its blocks are
         // free (trusted-owned), so user stores fault.
-        assert!(matches!(
-            m.check_store(0x0d00),
-            Err(ProtectionFault::MemMapViolation { .. })
-        ));
+        assert!(matches!(m.check_store(0x0d00), Err(ProtectionFault::MemMapViolation { .. })));
     }
 }

@@ -179,12 +179,8 @@ mod tests {
     fn entry_sizes_match_paper() {
         assert_eq!(SafeStackEntry::RetAddr(0).byte_len(), 2);
         assert_eq!(
-            SafeStackEntry::CrossDomain {
-                caller: DomainId::num(1),
-                stack_bound: 0,
-                ret_addr: 0
-            }
-            .byte_len(),
+            SafeStackEntry::CrossDomain { caller: DomainId::num(1), stack_bound: 0, ret_addr: 0 }
+                .byte_len(),
             5,
             "the 5 bytes pushed in 5 cycles (Table 3)"
         );

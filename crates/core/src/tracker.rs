@@ -267,11 +267,20 @@ mod tests {
         assert_eq!(t.stack_bound(), 0x0fa0);
 
         let r = t.on_ret().unwrap();
-        assert_eq!((r.target, t.current_domain(), t.stack_bound()), (0x0030, DomainId::num(1), 0x0fc0));
+        assert_eq!(
+            (r.target, t.current_domain(), t.stack_bound()),
+            (0x0030, DomainId::num(1), 0x0fc0)
+        );
         let r = t.on_ret().unwrap();
-        assert_eq!((r.target, t.current_domain(), t.stack_bound()), (0x0020, DomainId::num(0), 0x0fe0));
+        assert_eq!(
+            (r.target, t.current_domain(), t.stack_bound()),
+            (0x0020, DomainId::num(0), 0x0fe0)
+        );
         let r = t.on_ret().unwrap();
-        assert_eq!((r.target, t.current_domain(), t.stack_bound()), (0x0010, DomainId::TRUSTED, 0x0fff));
+        assert_eq!(
+            (r.target, t.current_domain(), t.stack_bound()),
+            (0x0010, DomainId::TRUSTED, 0x0fff)
+        );
     }
 
     #[test]

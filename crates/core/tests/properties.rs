@@ -2,9 +2,7 @@
 //! under random operation sequences, the safe stack, and the cross-domain
 //! tracker.
 
-use harbor::{
-    DomainId, JumpTableLayout, MemMapConfig, MemoryMap, SafeStack, SafeStackEntry,
-};
+use harbor::{DomainId, JumpTableLayout, MemMapConfig, MemoryMap, SafeStack, SafeStackEntry};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 

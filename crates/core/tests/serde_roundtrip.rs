@@ -43,8 +43,7 @@ fn plain_data_types_round_trip() {
     assert_eq!(back, rec);
 
     let jt = JumpTableLayout::new(0x0800, 8);
-    let back: JumpTableLayout =
-        serde_json::from_str(&serde_json::to_string(&jt).unwrap()).unwrap();
+    let back: JumpTableLayout = serde_json::from_str(&serde_json::to_string(&jt).unwrap()).unwrap();
     assert_eq!(back, jt);
 
     let e = SafeStackEntry::CrossDomain {
@@ -52,12 +51,10 @@ fn plain_data_types_round_trip() {
         stack_bound: 0x0f00,
         ret_addr: 0x42,
     };
-    let back: SafeStackEntry =
-        serde_json::from_str(&serde_json::to_string(&e).unwrap()).unwrap();
+    let back: SafeStackEntry = serde_json::from_str(&serde_json::to_string(&e).unwrap()).unwrap();
     assert_eq!(back, e);
 
     let f = ProtectionFault::MemMapViolation { addr: 0x300, domain: 1, owner: 2 };
-    let back: ProtectionFault =
-        serde_json::from_str(&serde_json::to_string(&f).unwrap()).unwrap();
+    let back: ProtectionFault = serde_json::from_str(&serde_json::to_string(&f).unwrap()).unwrap();
     assert_eq!(back, f);
 }

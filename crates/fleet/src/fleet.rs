@@ -1,0 +1,381 @@
+//! Round-based parallel stepping of a whole fleet of nodes.
+//!
+//! Each round has three phases:
+//!
+//! 1. **deliver** (serial): packets due this round move from the radio to
+//!    node inboxes and the seeder; the seeder answers retransmission
+//!    requests and re-advertises. All radio RNG draws happen here, in a
+//!    fixed order.
+//! 2. **step** (parallel): every node consumes its inbox and runs its CPU.
+//!    Nodes touch only their own state, so the phase is embarrassingly
+//!    parallel — worker threads grab batches of nodes from a shared cursor
+//!    (dynamic work stealing), and a `threads = 1` run visits the same
+//!    nodes in the same per-node order.
+//! 3. **collect** (serial): node outboxes drain onto the radio in node-id
+//!    order.
+//!
+//! Because every RNG is owned (radio, per-node) and consumed in a
+//! schedule-independent order, serial and parallel runs of one seed produce
+//! byte-identical telemetry.
+
+use crate::image::ModuleImage;
+use crate::net::{NetConfig, Packet, Radio, BROADCAST, SEEDER};
+use crate::node::Node;
+use crate::telemetry::FleetTelemetry;
+use harbor::DomainId;
+use mini_sos::loader::{LoadError, ModuleSource};
+use mini_sos::{Protection, SosLayout, SosSystem};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Nodes a worker claims per grab of the shared cursor.
+const BATCH: usize = 4;
+
+/// Rounds between seeder re-adverts.
+const ADVERT_PERIOD: u64 = 16;
+
+/// Most chunks the seeder rebroadcasts per round.
+const MAX_REBROADCAST: usize = 64;
+
+/// Fleet parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Node count.
+    pub nodes: usize,
+    /// Protection build every node boots with.
+    pub protection: Protection,
+    /// Master seed; every generator in the run derives from it.
+    pub seed: u64,
+    /// Radio channel parameters.
+    pub net: NetConfig,
+    /// Cycle budget per node per round.
+    pub cycle_budget: u64,
+    /// Worker threads for the step phase; `0` = one per available core.
+    pub threads: usize,
+    /// Dissemination chunk payload size in bytes.
+    pub chunk_bytes: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            nodes: 64,
+            protection: Protection::Umpu,
+            seed: 0x4852_4252, // "HRBR"
+            net: NetConfig::default(),
+            cycle_budget: 250_000,
+            threads: 0,
+            chunk_bytes: 32,
+        }
+    }
+}
+
+/// The base station: holds the chunk store for one disseminated image and
+/// answers retransmission requests.
+#[derive(Debug)]
+struct Seeder {
+    image_id: u16,
+    chunks: Vec<Vec<u8>>,
+    inbox: Vec<Packet>,
+    pending: BTreeSet<u16>,
+    announced: bool,
+}
+
+impl Seeder {
+    fn step(&mut self, round: u64, radio: &mut Radio) {
+        for packet in std::mem::take(&mut self.inbox) {
+            if let Packet::Request { module, missing } = packet {
+                if module == self.image_id {
+                    self.pending
+                        .extend(missing.into_iter().filter(|&s| (s as usize) < self.chunks.len()));
+                }
+            }
+        }
+        let total = self.chunks.len() as u16;
+        if !self.announced {
+            // Initial push: advert plus the full image, once.
+            radio.send(round, BROADCAST, Packet::Advert { module: self.image_id, total });
+            for (seq, payload) in self.chunks.iter().enumerate() {
+                let chunk = Packet::Chunk {
+                    module: self.image_id,
+                    seq: seq as u16,
+                    total,
+                    payload: payload.clone(),
+                };
+                radio.send(round, BROADCAST, chunk);
+            }
+            self.announced = true;
+            return;
+        }
+        if round.is_multiple_of(ADVERT_PERIOD) {
+            radio.send(round, BROADCAST, Packet::Advert { module: self.image_id, total });
+        }
+        // NACK-driven repair: rebroadcast what anyone asked for, lowest
+        // sequence first, bounded per round.
+        for _ in 0..MAX_REBROADCAST {
+            let Some(seq) = self.pending.pop_first() else { break };
+            let chunk = Packet::Chunk {
+                module: self.image_id,
+                seq,
+                total,
+                payload: self.chunks[seq as usize].clone(),
+            };
+            radio.send(round, BROADCAST, chunk);
+        }
+    }
+}
+
+/// A population of simulated sensor nodes on a shared lossy radio.
+#[derive(Debug)]
+pub struct Fleet {
+    cfg: FleetConfig,
+    threads: usize,
+    layout: SosLayout,
+    nodes: Vec<Mutex<Node>>,
+    radio: Radio,
+    seeder: Option<Seeder>,
+    next_image_id: u16,
+    round: u64,
+}
+
+impl Fleet {
+    /// Builds and boots `cfg.nodes` identical nodes, each running `sources`
+    /// under `cfg.protection`. One prototype system is built and booted,
+    /// then cloned per node — machine state is a plain value, so every node
+    /// starts bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError`] if a module cannot be sandboxed or does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.nodes` is zero or the prototype fails to boot.
+    pub fn new(cfg: &FleetConfig, sources: &[ModuleSource]) -> Result<Fleet, LoadError> {
+        assert!(cfg.nodes > 0, "a fleet needs at least one node");
+        let mut proto = SosSystem::build(cfg.protection, sources, |a, api| {
+            api.run_scheduler(a);
+            a.brk();
+        })?;
+        proto.boot().expect("prototype boots");
+        let layout = proto.layout;
+        let nodes = (0..cfg.nodes)
+            .map(|i| Mutex::new(Node::new(i as u32, cfg.seed, proto.clone())))
+            .collect();
+        let threads = match cfg.threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            t => t,
+        };
+        Ok(Fleet {
+            cfg: *cfg,
+            threads,
+            layout,
+            nodes,
+            radio: Radio::new(cfg.seed, cfg.nodes as u32, cfg.net),
+            seeder: None,
+            next_image_id: 1,
+            round: 0,
+        })
+    }
+
+    /// The layout shared by every node (for assembling images at the base
+    /// station).
+    pub fn layout(&self) -> SosLayout {
+        self.layout
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the fleet is empty (never true — `new` requires a node).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Rounds stepped so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Worker threads the step phase uses (resolved from the config).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Starts disseminating `image` from the base station: the seeder
+    /// adverts + pushes the full chunked image next round, then serves
+    /// NACK-driven retransmissions until the fleet converges. Returns the
+    /// image id nodes will report.
+    pub fn disseminate(&mut self, image: &ModuleImage) -> u16 {
+        let id = self.next_image_id;
+        self.next_image_id += 1;
+        self.seeder = Some(Seeder {
+            image_id: id,
+            chunks: image.chunks(self.cfg.chunk_bytes),
+            inbox: Vec::new(),
+            pending: BTreeSet::new(),
+            announced: false,
+        });
+        id
+    }
+
+    /// Whether every node has installed the image under dissemination
+    /// (vacuously true with no seeder).
+    pub fn converged(&self) -> bool {
+        let Some(seeder) = &self.seeder else { return true };
+        self.nodes.iter().all(|n| n.lock().expect("node lock").has_installed(seeder.image_id))
+    }
+
+    /// Host-side message injection on one node (a local sensor event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn post(&mut self, node: usize, dom: DomainId, msg: u8) {
+        self.nodes[node].get_mut().expect("node lock").post(dom, msg);
+    }
+
+    /// Host-side message injection on every node.
+    pub fn post_all(&mut self, dom: DomainId, msg: u8) {
+        for n in &mut self.nodes {
+            n.get_mut().expect("node lock").post(dom, msg);
+        }
+    }
+
+    /// Runs `f` against one node (host-side inspection or injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn with_node<R>(&mut self, node: usize, f: impl FnOnce(&mut Node) -> R) -> R {
+        f(self.nodes[node].get_mut().expect("node lock"))
+    }
+
+    /// One simulation round: deliver → step (parallel) → collect.
+    pub fn step_round(&mut self) {
+        let round = self.round;
+
+        // Phase 1 (serial): deliveries and the seeder's transmissions.
+        for (dest, packet) in self.radio.take_due(round) {
+            if dest == SEEDER {
+                if let Some(seeder) = &mut self.seeder {
+                    seeder.inbox.push(packet);
+                }
+            } else if let Some(node) = self.nodes.get_mut(dest as usize) {
+                node.get_mut().expect("node lock").inbox.push(packet);
+            }
+        }
+        if let Some(seeder) = &mut self.seeder {
+            seeder.step(round, &mut self.radio);
+        }
+
+        // Phase 2 (parallel): step every node.
+        self.step_nodes(round);
+
+        // Phase 3 (serial): collect outboxes in node-id order so the
+        // radio's RNG sees a schedule-independent draw order.
+        for node in &mut self.nodes {
+            let node = node.get_mut().expect("node lock");
+            for (to, packet) in std::mem::take(&mut node.outbox) {
+                self.radio.send(round, to, packet);
+            }
+        }
+
+        self.round += 1;
+    }
+
+    fn step_nodes(&mut self, round: u64) {
+        let budget = self.cfg.cycle_budget;
+        let workers = self.threads.min(self.nodes.len());
+        if workers <= 1 {
+            for node in &mut self.nodes {
+                node.get_mut().expect("node lock").step(round, budget);
+            }
+            return;
+        }
+        let cursor = AtomicUsize::new(0);
+        let nodes = &self.nodes;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let start = cursor.fetch_add(BATCH, Ordering::Relaxed);
+                    if start >= nodes.len() {
+                        break;
+                    }
+                    let end = (start + BATCH).min(nodes.len());
+                    for node in &nodes[start..end] {
+                        node.lock().expect("node lock").step(round, budget);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Steps `rounds` rounds.
+    pub fn run_rounds(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step_round();
+        }
+    }
+
+    /// Steps until the fleet converges, up to `max_rounds`. Returns the
+    /// round count at convergence.
+    ///
+    /// # Errors
+    ///
+    /// The fleet state (rounds stepped, nodes still missing the image) if
+    /// the deadline passes without convergence.
+    pub fn run_until_converged(&mut self, max_rounds: u64) -> Result<u64, String> {
+        let deadline = self.round + max_rounds;
+        while !self.converged() {
+            if self.round >= deadline {
+                let missing = self
+                    .seeder
+                    .as_ref()
+                    .map(|s| {
+                        self.nodes
+                            .iter()
+                            .filter(|n| !n.lock().expect("node lock").has_installed(s.image_id))
+                            .count()
+                    })
+                    .unwrap_or(0);
+                return Err(format!(
+                    "dissemination did not converge within {max_rounds} rounds \
+                     ({missing}/{} nodes missing the image)",
+                    self.nodes.len()
+                ));
+            }
+            self.step_round();
+        }
+        Ok(self.round)
+    }
+
+    /// Snapshot of every counter in the run.
+    pub fn telemetry(&mut self) -> FleetTelemetry {
+        let per_node: Vec<_> = self
+            .nodes
+            .iter_mut()
+            .map(|n| n.get_mut().expect("node lock").telemetry.clone())
+            .collect();
+        let convergence_round = if self.seeder.is_some() && self.converged() {
+            per_node.iter().filter_map(|n| n.installed_round).max()
+        } else {
+            None
+        };
+        FleetTelemetry {
+            seed: self.cfg.seed,
+            protection: format!("{:?}", self.cfg.protection),
+            nodes: self.nodes.len(),
+            rounds: self.round,
+            threads: self.threads,
+            convergence_round,
+            packets_sent: self.radio.sent,
+            packets_delivered: self.radio.delivered,
+            packets_dropped: self.radio.dropped,
+            per_node,
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! One sensor node: a [`SosSystem`] wrapped with a radio inbox/outbox, the
+//! dissemination state machine and per-node telemetry.
+//!
+//! A node only ever touches its own state during the fleet's parallel phase
+//! — incoming packets are staged into `inbox` by the serial deliver phase,
+//! and outgoing packets accumulate in `outbox` until the serial collect
+//! phase drains them onto the radio. That discipline is what lets hundreds
+//! of nodes step on worker threads while staying bit-identical to a serial
+//! run.
+
+use crate::image::ModuleImage;
+use crate::net::{NodeId, Packet, SEEDER};
+use crate::telemetry::NodeTelemetry;
+use avr_core::Fault;
+use harbor::DomainId;
+use mini_sos::SosSystem;
+use rand::{Rng, SeedableRng, StdRng};
+
+/// Most chunk indices listed in a single retransmission request.
+const MAX_REQUEST: usize = 16;
+
+/// Retransmission backoff cap, in rounds.
+const MAX_BACKOFF: u64 = 32;
+
+/// In-progress reassembly of one disseminated image.
+#[derive(Debug, Clone)]
+struct Dissem {
+    module: u16,
+    chunks: Vec<Option<Vec<u8>>>,
+    have: usize,
+    backoff: u64,
+    next_request: u64,
+}
+
+impl Dissem {
+    fn new(module: u16, total: u16, round: u64) -> Dissem {
+        Dissem {
+            module,
+            chunks: vec![None; total as usize],
+            have: 0,
+            backoff: 1,
+            next_request: round + 2,
+        }
+    }
+
+    fn missing(&self) -> Vec<u16> {
+        self.chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_none())
+            .map(|(i, _)| i as u16)
+            .take(MAX_REQUEST)
+            .collect()
+    }
+}
+
+/// One simulated sensor node.
+#[derive(Debug)]
+pub struct Node {
+    /// Node id (also its radio address).
+    pub id: u32,
+    /// The node's simulated processor + kernel + modules.
+    pub sys: SosSystem,
+    /// This node's counters.
+    pub telemetry: NodeTelemetry,
+    /// Packets delivered this round (staged by the fleet's serial phase).
+    pub inbox: Vec<Packet>,
+    /// Packets to transmit (drained by the fleet's serial phase).
+    pub outbox: Vec<(NodeId, Packet)>,
+    dissem: Option<Dissem>,
+    installed: Vec<u16>,
+    rng: StdRng,
+}
+
+impl Node {
+    /// Wraps a booted system as node `id`. The node's private generator
+    /// (request jitter) derives from `(fleet_seed, id)` only.
+    pub fn new(id: u32, fleet_seed: u64, sys: SosSystem) -> Node {
+        Node {
+            id,
+            sys,
+            telemetry: NodeTelemetry { id, ..NodeTelemetry::default() },
+            inbox: Vec::new(),
+            outbox: Vec::new(),
+            dissem: None,
+            installed: Vec::new(),
+            rng: StdRng::seed_from_u64(
+                fleet_seed ^ (id as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ),
+        }
+    }
+
+    /// Whether the node has installed disseminated image `module`.
+    pub fn has_installed(&self, module: u16) -> bool {
+        self.installed.contains(&module)
+    }
+
+    /// Host-side message injection (a local sensor event): posts `msg` to
+    /// `dom`'s handler, counting queue overflow instead of panicking.
+    pub fn post(&mut self, dom: DomainId, msg: u8) {
+        if self.sys.try_post(dom, msg) {
+            self.telemetry.messages += 1;
+        } else {
+            self.telemetry.queue_drops += 1;
+        }
+    }
+
+    /// Queues a packet for transmission and counts it.
+    fn transmit(&mut self, to: NodeId, packet: Packet) {
+        self.telemetry.tx += 1;
+        self.outbox.push((to, packet));
+    }
+
+    /// One simulation round: consume the inbox, advance dissemination
+    /// (NACK missing chunks with exponential backoff), and run the node's
+    /// CPU for up to `cycle_budget` cycles if work is queued. Faults are
+    /// recovered kernel-side, mirroring the paper's clean-restart story.
+    pub fn step(&mut self, round: u64, cycle_budget: u64) {
+        for packet in std::mem::take(&mut self.inbox) {
+            self.telemetry.rx += 1;
+            self.receive(round, packet);
+        }
+
+        // NACK phase: if reassembly has stalled, ask the seeder for what is
+        // still missing, backing off exponentially (with per-node jitter so
+        // a whole fleet does not synchronize its requests).
+        if let Some(d) = &mut self.dissem {
+            if round >= d.next_request {
+                let missing = d.missing();
+                if !missing.is_empty() {
+                    let module = d.module;
+                    d.backoff = (d.backoff * 2).min(MAX_BACKOFF);
+                    let jitter = self.rng.gen_range(0..d.backoff / 2 + 1);
+                    d.next_request = round + d.backoff + jitter;
+                    self.telemetry.requests += 1;
+                    self.transmit(SEEDER, Packet::Request { module, missing });
+                }
+            }
+        }
+
+        if self.sys.queue_len() > 0 {
+            match self.sys.run_slice(cycle_budget) {
+                Ok(_) => {}
+                Err(fault) => {
+                    self.telemetry.faults += 1;
+                    if matches!(fault, Fault::Env(_)) {
+                        self.telemetry.contained += 1;
+                    }
+                    self.sys.recover_from_fault();
+                    self.telemetry.recoveries += 1;
+                }
+            }
+        }
+
+        self.telemetry.cycles = self.sys.cycles();
+        self.telemetry.idle_cycles = self.sys.idle_cycles();
+        self.telemetry.instructions = self.sys.instructions();
+    }
+
+    fn receive(&mut self, round: u64, packet: Packet) {
+        match packet {
+            Packet::Advert { module, total } => {
+                if !self.has_installed(module) && self.dissem.is_none() && total > 0 {
+                    self.dissem = Some(Dissem::new(module, total, round));
+                }
+            }
+            Packet::Chunk { module, seq, total, payload } => {
+                if self.has_installed(module) {
+                    return;
+                }
+                if self.dissem.is_none() && total > 0 {
+                    self.dissem = Some(Dissem::new(module, total, round));
+                }
+                let Some(d) = &mut self.dissem else { return };
+                if d.module != module || seq as usize >= d.chunks.len() {
+                    return;
+                }
+                if d.chunks[seq as usize].is_none() {
+                    d.chunks[seq as usize] = Some(payload);
+                    d.have += 1;
+                    self.telemetry.chunks += 1;
+                    // Progress: restart the backoff clock.
+                    d.backoff = 1;
+                    d.next_request = round + 2;
+                    if d.have == d.chunks.len() {
+                        self.finish_dissemination(round);
+                    }
+                }
+            }
+            // Only the seeder answers retransmission requests.
+            Packet::Request { .. } => {}
+            Packet::Msg { dom, msg } => self.post(DomainId::num(dom), msg),
+        }
+    }
+
+    /// All chunks present: reassemble, verify the checksum and install via
+    /// the loader's normal path. A corrupted image restarts reassembly.
+    fn finish_dissemination(&mut self, round: u64) {
+        let d = self.dissem.as_mut().expect("dissemination in progress");
+        let bytes: Vec<u8> =
+            d.chunks.iter().flat_map(|c| c.as_deref().expect("complete")).copied().collect();
+        match ModuleImage::from_bytes(&bytes) {
+            Ok(image) => {
+                let module = d.module;
+                self.dissem = None;
+                let dom = DomainId::num(image.domain);
+                if self.sys.modules.iter().all(|m| m.domain != dom) {
+                    self.sys.install_module(image.to_loaded());
+                }
+                self.installed.push(module);
+                self.telemetry.installed_round = Some(round);
+            }
+            Err(_) => {
+                // The radio only drops packets, so this is defensive — but
+                // a node must never burn a corrupted image into flash.
+                for c in &mut d.chunks {
+                    *c = None;
+                }
+                d.have = 0;
+                d.backoff = 1;
+                d.next_request = round + 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Per-node and fleet-aggregate counters, exported as JSON.
+//!
+//! The JSON is rendered by hand into a deterministic byte string (fixed key
+//! order, no maps, no floats from iteration order) so a serial and a
+//! parallel run of the same seed can be compared byte-for-byte.
+
+/// Counters for one node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeTelemetry {
+    /// Node id.
+    pub id: u32,
+    /// Total simulated cycles executed by the node's CPU.
+    pub cycles: u64,
+    /// Cycles the CPU spent asleep.
+    pub idle_cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Packets received from the radio.
+    pub rx: u64,
+    /// Packets handed to the radio.
+    pub tx: u64,
+    /// Application messages accepted into the kernel queue.
+    pub messages: u64,
+    /// Application messages dropped because the queue was full.
+    pub queue_drops: u64,
+    /// Faults raised while running handlers.
+    pub faults: u64,
+    /// Faults that were protection violations (contained by Harbor).
+    pub contained: u64,
+    /// Times the kernel's exception path restored a clean trusted context.
+    pub recoveries: u64,
+    /// Dissemination chunks received (first copies, duplicates excluded).
+    pub chunks: u64,
+    /// Retransmission requests sent.
+    pub requests: u64,
+    /// Round at which the disseminated module was installed, if it was.
+    pub installed_round: Option<u64>,
+}
+
+impl NodeTelemetry {
+    /// Renders this node's counters as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":{},\"cycles\":{},\"idle_cycles\":{},\"instructions\":{},\
+             \"rx\":{},\"tx\":{},\"messages\":{},\"queue_drops\":{},\
+             \"faults\":{},\"contained\":{},\"recoveries\":{},\
+             \"chunks\":{},\"requests\":{},\"installed_round\":{}}}",
+            self.id,
+            self.cycles,
+            self.idle_cycles,
+            self.instructions,
+            self.rx,
+            self.tx,
+            self.messages,
+            self.queue_drops,
+            self.faults,
+            self.contained,
+            self.recoveries,
+            self.chunks,
+            self.requests,
+            match self.installed_round {
+                Some(r) => r.to_string(),
+                None => "null".to_string(),
+            },
+        )
+    }
+}
+
+/// Aggregate counters for a whole fleet run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetTelemetry {
+    /// Fleet seed.
+    pub seed: u64,
+    /// Protection build, as a string (`"None"`, `"Umpu"`, `"Sfi"`).
+    pub protection: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Rounds stepped.
+    pub rounds: u64,
+    /// Worker threads used for the run (1 = serial).
+    pub threads: usize,
+    /// Round by which every node had installed the disseminated module.
+    pub convergence_round: Option<u64>,
+    /// Packets offered to the radio (after broadcast fan-out).
+    pub packets_sent: u64,
+    /// Packets delivered.
+    pub packets_delivered: u64,
+    /// Packets the lossy channel dropped.
+    pub packets_dropped: u64,
+    /// Per-node counters, in node-id order.
+    pub per_node: Vec<NodeTelemetry>,
+}
+
+impl FleetTelemetry {
+    /// Sum of a per-node counter across the fleet.
+    pub fn total<F: Fn(&NodeTelemetry) -> u64>(&self, f: F) -> u64 {
+        self.per_node.iter().map(f).sum()
+    }
+
+    /// Renders the whole fleet's counters as one deterministic JSON object.
+    /// `threads` is deliberately excluded from the digest-relevant body via
+    /// the `comparable_json` helper; this full form includes it.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.per_node.len() * 160);
+        s.push_str(&format!(
+            "{{\"seed\":{},\"protection\":\"{}\",\"nodes\":{},\"rounds\":{},\
+             \"threads\":{},\"convergence_round\":{},\
+             \"packets_sent\":{},\"packets_delivered\":{},\"packets_dropped\":{},\
+             \"total_cycles\":{},\"total_instructions\":{},\
+             \"total_faults\":{},\"total_contained\":{},\"total_recoveries\":{},\
+             \"per_node\":[",
+            self.seed,
+            self.protection,
+            self.nodes,
+            self.rounds,
+            self.threads,
+            match self.convergence_round {
+                Some(r) => r.to_string(),
+                None => "null".to_string(),
+            },
+            self.packets_sent,
+            self.packets_delivered,
+            self.packets_dropped,
+            self.total(|n| n.cycles),
+            self.total(|n| n.instructions),
+            self.total(|n| n.faults),
+            self.total(|n| n.contained),
+            self.total(|n| n.recoveries),
+        ));
+        for (i, n) in self.per_node.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&n.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// The JSON with the `threads` field normalized out — two runs of the
+    /// same seed must produce identical `comparable_json` regardless of how
+    /// many workers stepped the nodes.
+    pub fn comparable_json(&self) -> String {
+        let mut clone = self.clone();
+        clone.threads = 0;
+        clone.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_stable_and_null_renders() {
+        let mut t = FleetTelemetry {
+            seed: 5,
+            protection: "Umpu".to_string(),
+            nodes: 1,
+            ..FleetTelemetry::default()
+        };
+        t.per_node.push(NodeTelemetry { id: 0, ..NodeTelemetry::default() });
+        let j = t.to_json();
+        assert!(j.contains("\"convergence_round\":null"));
+        assert!(j.contains("\"installed_round\":null"));
+        assert_eq!(j, t.clone().to_json());
+        let mut parallel = t.clone();
+        parallel.threads = 8;
+        assert_eq!(t.comparable_json(), parallel.comparable_json());
+        assert_ne!(t.to_json(), parallel.to_json());
+    }
+}

@@ -1,0 +1,195 @@
+//! Value-generation strategies: the [`Strategy`] trait and its built-in
+//! implementations (integer ranges, tuples, [`Just`], [`any`], mapping,
+//! unions).
+
+use crate::test_runner::TestRng;
+use rand::{Fill, Rng};
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike the real proptest there is no value tree and no shrinking: a
+/// strategy simply draws a concrete value from the test RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type (used by `prop_oneof!` to mix arms).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn pick(&self, rng: &mut TestRng) -> T {
+        (**self).pick(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn pick(&self, rng: &mut TestRng) -> S::Value {
+        (**self).pick(rng)
+    }
+}
+
+/// The `prop_map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn pick(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.pick(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn pick(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws a uniformly random value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Fill> Arbitrary for T {
+    fn arbitrary(rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Uniformly random values of `T` (small primitive types).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn pick(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                if hi == <$t>::MAX {
+                    if lo == <$t>::MIN {
+                        return rng.gen();
+                    }
+                    // Shift down one so the half-open draw covers `hi`.
+                    return rng.gen_range(lo - 1..hi) + 1;
+                }
+                rng.gen_range(lo..hi + 1)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.pick(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// A uniform choice between type-erased arms (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics on an empty arm list.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn pick(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].pick(rng)
+    }
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

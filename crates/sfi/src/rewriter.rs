@@ -170,9 +170,7 @@ pub fn rewrite(
     let mut boundaries = BTreeSet::new();
     for item in &items {
         match *item {
-            DisasmItem::Raw { addr, word } => {
-                return Err(RewriteError::Undecodable { addr, word })
-            }
+            DisasmItem::Raw { addr, word } => return Err(RewriteError::Undecodable { addr, word }),
             DisasmItem::Instr { addr, .. } => {
                 boundaries.insert(addr);
             }
@@ -262,17 +260,14 @@ impl Rewriter<'_> {
     fn init_stub_consts(&mut self) {
         self.stubs.save_ret =
             Some(self.a.constant("harbor_save_ret", self.runtime.stub("harbor_save_ret")));
-        self.stubs.restore_ret = Some(
-            self.a.constant("harbor_restore_ret", self.runtime.stub("harbor_restore_ret")),
-        );
+        self.stubs.restore_ret =
+            Some(self.a.constant("harbor_restore_ret", self.runtime.stub("harbor_restore_ret")));
         self.stubs.xdom_call =
             Some(self.a.constant("harbor_xdom_call", self.runtime.stub("harbor_xdom_call")));
-        self.stubs.icall_check = Some(
-            self.a.constant("harbor_icall_check", self.runtime.stub("harbor_icall_check")),
-        );
-        self.stubs.ijmp_check = Some(
-            self.a.constant("harbor_ijmp_check", self.runtime.stub("harbor_ijmp_check")),
-        );
+        self.stubs.icall_check =
+            Some(self.a.constant("harbor_icall_check", self.runtime.stub("harbor_icall_check")));
+        self.stubs.ijmp_check =
+            Some(self.a.constant("harbor_ijmp_check", self.runtime.stub("harbor_ijmp_check")));
     }
 
     fn label_at(&mut self, addr: u32) -> Label {
@@ -369,8 +364,8 @@ impl Rewriter<'_> {
                 self.a.pop(Reg::R0);
             }
             Instr::Sts { k, r } => {
-                let stub = self
-                    .stub_const(self.runtime.store_stub(Ptr::X, avr_core::isa::PtrMode::Plain));
+                let stub =
+                    self.stub_const(self.runtime.store_stub(Ptr::X, avr_core::isa::PtrMode::Plain));
                 self.a.push(Reg::R0);
                 self.a.mov(Reg::R0, r);
                 self.a.push(Reg::R26);

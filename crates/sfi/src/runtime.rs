@@ -68,10 +68,7 @@ impl SfiRuntime {
         let mut b = Builder::new(&mut a, layout);
         b.emit_all();
         let object = a.assemble(origin).expect("runtime assembles");
-        let stubs = STUB_NAMES
-            .iter()
-            .map(|&n| (n, object.require(n)))
-            .collect();
+        let stubs = STUB_NAMES.iter().map(|&n| (n, object.require(n))).collect();
         SfiRuntime { layout, object, stubs }
     }
 
@@ -526,7 +523,7 @@ impl<'a> Builder<'a> {
         self.a.cpi(R27, l.jt_domains);
         self.a.brsh(xc_bad);
         self.a.push(R27); // park the callee id on the run-time stack
-        // Push the 5-byte frame [ret, old bound, old dom] to the safe stack.
+                          // Push the 5-byte frame [ret, old bound, old dom] to the safe stack.
         let ssp_lo = self.a.constant("xc_ssp_lo", l.safe_stack_ptr as u32);
         let ssp_hi = self.a.constant("xc_ssp_hi", l.safe_stack_ptr as u32 + 1);
         let bound_lo = self.a.constant("xc_bound_lo", l.stack_bound as u32);

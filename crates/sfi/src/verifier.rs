@@ -55,9 +55,7 @@ impl VerifierConfig {
         allowed_call_stubs.remove(&rt.stub("harbor_xdom_call_z"));
         allowed_call_stubs.remove(&rt.stub("harbor_ijmp_check"));
         let allowed_jump_stubs =
-            [rt.stub("harbor_restore_ret"), rt.stub("harbor_ijmp_check")]
-                .into_iter()
-                .collect();
+            [rt.stub("harbor_restore_ret"), rt.stub("harbor_ijmp_check")].into_iter().collect();
         VerifierConfig {
             jt_base: l.jt_base as u32,
             jt_end: l.jt_end() as u32,
@@ -218,9 +216,7 @@ pub fn verify(words: &[u16], origin: u32, cfg: &VerifierConfig) -> Result<(), Ve
             Instr::St { .. } | Instr::Std { .. } | Instr::Sts { .. } => {
                 return Err(VerifyError::RawStore { addr })
             }
-            Instr::Icall | Instr::Ijmp => {
-                return Err(VerifyError::ComputedTransfer { addr })
-            }
+            Instr::Icall | Instr::Ijmp => return Err(VerifyError::ComputedTransfer { addr }),
             Instr::Ret | Instr::Reti => return Err(VerifyError::BareReturn { addr }),
             Instr::Out { a, .. } if a == 0x3d || a == 0x3e => {
                 return Err(VerifyError::StackPointerWrite { addr })
@@ -361,9 +357,7 @@ pub fn verify_constant_memory(
             Instr::St { .. } | Instr::Std { .. } | Instr::Sts { .. } => {
                 return Err(VerifyError::RawStore { addr })
             }
-            Instr::Icall | Instr::Ijmp => {
-                return Err(VerifyError::ComputedTransfer { addr })
-            }
+            Instr::Icall | Instr::Ijmp => return Err(VerifyError::ComputedTransfer { addr }),
             Instr::Ret | Instr::Reti => return Err(VerifyError::BareReturn { addr }),
             Instr::Out { a, .. } if a == 0x3d || a == 0x3e => {
                 return Err(VerifyError::StackPointerWrite { addr })
@@ -380,10 +374,7 @@ pub fn verify_constant_memory(
                     };
                     let oaddr = origin + idx as u32;
                     if !(cfg.jt_base..cfg.jt_end).contains(&(operand as u32)) {
-                        return Err(VerifyError::BadInlineOperand {
-                            addr: oaddr,
-                            value: operand,
-                        });
+                        return Err(VerifyError::BadInlineOperand { addr: oaddr, value: operand });
                     }
                     idx += 1;
                 } else if in_module(target) {

@@ -37,20 +37,10 @@ fn machine(body: impl FnOnce(&mut Asm)) -> (Machine, RewrittenModule) {
     let original = m.assemble(MOD_ORIGIN).unwrap();
 
     // Sandbox it.
-    let rewritten = rewrite(
-        original.words(),
-        MOD_ORIGIN,
-        &[MOD_ORIGIN],
-        MOD_ORIGIN,
-        &rt,
-    )
-    .expect("module rewrites");
-    verify(
-        rewritten.object.words(),
-        MOD_ORIGIN,
-        &VerifierConfig::for_runtime(&rt),
-    )
-    .expect("rewriter output verifies");
+    let rewritten = rewrite(original.words(), MOD_ORIGIN, &[MOD_ORIGIN], MOD_ORIGIN, &rt)
+        .expect("module rewrites");
+    verify(rewritten.object.words(), MOD_ORIGIN, &VerifierConfig::for_runtime(&rt))
+        .expect("rewriter output verifies");
     rewritten.object.load_into(&mut env.flash);
 
     // Loader bookkeeping: code bounds + jump-table entry 0 for the domain.
@@ -270,8 +260,8 @@ fn pre_decrement_store_checks_the_decremented_address() {
     });
     m.cpu.run_to_break(1_000_000).unwrap();
     assert_eq!(m.cpu.env.sram_byte(SEG), 0x11);
-    let x_after = m.cpu.env.sram_byte(SEG + 2) as u16
-        | ((m.cpu.env.sram_byte(SEG + 3) as u16) << 8);
+    let x_after =
+        m.cpu.env.sram_byte(SEG + 2) as u16 | ((m.cpu.env.sram_byte(SEG + 3) as u16) << 8);
     assert_eq!(x_after, SEG, "X ends decremented");
 }
 
@@ -530,7 +520,12 @@ fn dynamic_cross_domain_icall_works() {
     let a_rw = rewrite(a_obj.words(), MOD_ORIGIN, &[MOD_ORIGIN], MOD_ORIGIN, &rt).unwrap();
     verify(a_rw.object.words(), MOD_ORIGIN, &VerifierConfig::for_runtime(&rt)).unwrap();
     a_rw.object.load_into(&mut env.flash);
-    rt.set_code_bounds(&mut env.data, DomainId::num(DOM), MOD_ORIGIN as u16, a_rw.object.end() as u16);
+    rt.set_code_bounds(
+        &mut env.data,
+        DomainId::num(DOM),
+        MOD_ORIGIN as u16,
+        a_rw.object.end() as u16,
+    );
     rt.host_set_segment(&mut env.data, DomainId::num(DOM), SEG, 32).unwrap();
 
     // Kernel driver: cross-domain call into module A's jump-table entry.

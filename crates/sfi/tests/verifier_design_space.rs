@@ -4,9 +4,7 @@
 
 use avr_asm::Asm;
 use avr_core::isa::{Ptr, PtrMode, Reg};
-use harbor_sfi::{
-    rewrite, verify, verify_constant_memory, SfiLayout, SfiRuntime, VerifierConfig,
-};
+use harbor_sfi::{rewrite, verify, verify_constant_memory, SfiLayout, SfiRuntime, VerifierConfig};
 use proptest::prelude::*;
 
 const ORIGIN: u32 = 0x1000;

@@ -143,12 +143,8 @@ impl KernelImage {
         let mut a = Asm::new();
         let ker_run = a.label("ker_run");
         emit_reset(&mut a, protection, &layout);
-        let api_handle = KernelApi {
-            protection,
-            layout,
-            ker_run,
-            xdom_call: xdom_call_stubs.map(|(xc, _)| xc),
-        };
+        let api_handle =
+            KernelApi { protection, layout, ker_run, xdom_call: xdom_call_stubs.map(|(xc, _)| xc) };
         app(&mut a, &api_handle);
         // Safety net: if the app falls through, halt.
         a.brk();
@@ -596,7 +592,7 @@ fn build_api(protection: Protection, l: &SosLayout) -> Object {
         a.bind(blk_from_ptr);
         a.movw(R26, R24);
         a.sbiw(IwPair::X, 2); // header address
-        // Bounds: header must lie in [heap_base, heap_base + blocks*8).
+                              // Bounds: header must lie in [heap_base, heap_base + blocks*8).
         let lo = l.heap_base();
         let hi = l.heap_base() + (l.alloc_blocks << l.block_log2());
         a.cpi(R26, (lo & 0xff) as u8);
@@ -608,7 +604,7 @@ fn build_api(protection: Protection, l: &SosLayout) -> Object {
         a.cpc(R27, R23);
         a.brsh(err);
         a.movw(R30, R26); // Z = header
-        // block = (header - heap_base) >> log2(block size)
+                          // block = (header - heap_base) >> log2(block size)
         a.subi(R26, (neg_heap.wrapping_neg() & 0xff) as u8); // subtract heap base
         a.sbci(R27, (neg_heap.wrapping_neg() >> 8) as u8);
         for _ in 0..l.block_log2() {
@@ -621,7 +617,7 @@ fn build_api(protection: Protection, l: &SosLayout) -> Object {
         a.tst(R25);
         a.breq(err);
         a.ld(R18, Ptr::Z, PtrMode::Plain); // length
-        // Sanity: the header length is non-zero.
+                                           // Sanity: the header length is non-zero.
         a.tst(R18);
         a.breq(err);
         a.clc();

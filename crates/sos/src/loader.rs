@@ -137,16 +137,11 @@ pub fn load_module(
     let (object, entry_addrs) = match protection {
         Protection::Sfi => {
             let rt = runtime.expect("SFI build has a runtime");
-            let entry_points: Vec<u32> =
-                src.entries.iter().map(|e| original.require(e)).collect();
+            let entry_points: Vec<u32> = src.entries.iter().map(|e| original.require(e)).collect();
             let rewritten = rewrite(original.words(), origin, &entry_points, origin, rt)
                 .map_err(LoadError::Rewrite)?;
-            verify(
-                rewritten.object.words(),
-                origin,
-                &VerifierConfig::for_runtime(rt),
-            )
-            .map_err(LoadError::Verify)?;
+            verify(rewritten.object.words(), origin, &VerifierConfig::for_runtime(rt))
+                .map_err(LoadError::Verify)?;
             let addrs = entry_points.iter().map(|&e| rewritten.translated(e)).collect();
             (rewritten.object, addrs)
         }
@@ -158,11 +153,7 @@ pub fn load_module(
 
     let words = object.words().len() as u32;
     if words > layout.slot_words {
-        return Err(LoadError::SlotOverflow {
-            name: src.name,
-            words,
-            capacity: layout.slot_words,
-        });
+        return Err(LoadError::SlotOverflow { name: src.name, words, capacity: layout.slot_words });
     }
     Ok(LoadedModule { name: src.name, domain: src.domain, object, entry_addrs })
 }
@@ -197,8 +188,7 @@ pub fn build_jump_tables(
 
     // The error stub itself occupies the last two words.
     let stub_idx = (stub_at - base) as usize;
-    words[stub_idx] =
-        isa::encode(Instr::Ldi { d: isa::Reg::R24, k: 0xff }).expect("ldi").word0();
+    words[stub_idx] = isa::encode(Instr::Ldi { d: isa::Reg::R24, k: 0xff }).expect("ldi").word0();
     words[stub_idx + 1] = isa::encode(Instr::Ret).expect("ret").word0();
 
     // Kernel API entries.
@@ -267,18 +257,12 @@ mod tests {
         let at = (l.jt_entry(0, 0) as u32 - base) as usize;
         let instr = isa::decode(words[at], None).unwrap();
         let Instr::Rjmp { k } = instr else { panic!("not an rjmp") };
-        assert_eq!(
-            (l.jt_entry(0, 0) as i64 + 1 + k as i64) as u32,
-            l.slot_for(0)
-        );
+        assert_eq!((l.jt_entry(0, 0) as i64 + 1 + k as i64) as u32, l.slot_for(0));
         // An unused entry redirects to the error stub.
         let unused = (l.jt_entry(4, 50) as u32 - base) as usize;
         let Instr::Rjmp { k } = isa::decode(words[unused], None).unwrap() else {
             panic!("not an rjmp")
         };
-        assert_eq!(
-            (l.jt_entry(4, 50) as i64 + 1 + k as i64) as u16,
-            l.jt_error_stub()
-        );
+        assert_eq!((l.jt_entry(4, 50) as i64 + 1 + k as i64) as u16, l.jt_error_stub());
     }
 }

@@ -79,14 +79,12 @@ impl SosSystem {
         sources: &[ModuleSource],
         app: impl FnOnce(&mut Asm, &KernelApi),
     ) -> Result<SosSystem, LoadError> {
-
         let runtime = match protection {
             Protection::Sfi => Some(SfiRuntime::build(layout.prot, layout.runtime_origin)),
             _ => None,
         };
-        let stubs = runtime.as_ref().map(|rt| {
-            (rt.stub("harbor_xdom_call"), rt.stub("harbor_xdom_call_z"))
-        });
+        let stubs =
+            runtime.as_ref().map(|rt| (rt.stub("harbor_xdom_call"), rt.stub("harbor_xdom_call_z")));
 
         let kernel = KernelImage::build(protection, layout, stubs, app);
 
@@ -126,15 +124,7 @@ impl SosSystem {
             }
         };
 
-        Ok(SosSystem {
-            protection,
-            layout,
-            kernel,
-            runtime,
-            modules,
-            mach,
-            booted: false,
-        })
+        Ok(SosSystem { protection, layout, kernel, runtime, modules, mach, booted: false })
     }
 
     /// Boots the system: runs the kernel's reset/init code to its boot
@@ -158,11 +148,8 @@ impl SosSystem {
         self.booted = true;
 
         // Loader registration.
-        let mods: Vec<(DomainId, u32, u32)> = self
-            .modules
-            .iter()
-            .map(|m| (m.domain, m.object.origin(), m.object.end()))
-            .collect();
+        let mods: Vec<(DomainId, u32, u32)> =
+            self.modules.iter().map(|m| (m.domain, m.object.origin(), m.object.end())).collect();
         for (dom, start, end) in &mods {
             match (&mut self.mach, self.protection) {
                 (Mach::Umpu(cpu), _) => {
@@ -217,10 +204,7 @@ impl SosSystem {
                     let ramend = avr_core::mem::RAMEND;
                     cpu.env.data.write(l.stack_bound, (ramend & 0xff) as u8).unwrap();
                     cpu.env.data.write(l.stack_bound + 1, (ramend >> 8) as u8).unwrap();
-                    cpu.env
-                        .data
-                        .write(l.safe_stack_ptr, (l.safe_stack_base & 0xff) as u8)
-                        .unwrap();
+                    cpu.env.data.write(l.safe_stack_ptr, (l.safe_stack_base & 0xff) as u8).unwrap();
                     cpu.env
                         .data
                         .write(l.safe_stack_ptr + 1, (l.safe_stack_base >> 8) as u8)
@@ -247,13 +231,35 @@ impl SosSystem {
     /// Panics if called before [`SosSystem::boot`] or if the domain is
     /// already occupied.
     pub fn load_module(&mut self, src: &ModuleSource) -> Result<(), LoadError> {
-        assert!(self.booted, "load_module requires a booted system");
-        assert!(
-            !self.modules.iter().any(|m| m.domain == src.domain),
-            "domain {} already occupied",
-            src.domain
-        );
         let loaded = load_module(src, &self.layout, self.protection, self.runtime.as_ref())?;
+        self.install_module(loaded);
+        Ok(())
+    }
+
+    /// Installs a **pre-assembled** module into a booted system — the tail
+    /// half of [`SosSystem::load_module`], split out so a module image that
+    /// arrived over a transport (e.g. radio dissemination in `harbor-fleet`)
+    /// takes exactly the same path as a locally assembled one: burn the
+    /// flash slot, link the jump-table entries, register the code region,
+    /// grant the state segment, and post the init message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`SosSystem::boot`], if the domain is already
+    /// occupied, or if the object was assembled for a different slot.
+    pub fn install_module(&mut self, loaded: LoadedModule) {
+        assert!(self.booted, "install_module requires a booted system");
+        assert!(
+            !self.modules.iter().any(|m| m.domain == loaded.domain),
+            "domain {} already occupied",
+            loaded.domain
+        );
+        assert_eq!(
+            loaded.object.origin(),
+            self.layout.slot_for(loaded.domain.index()),
+            "module `{}` was assembled for a different slot",
+            loaded.name
+        );
 
         // Burn the module and its jump-table entries.
         self.write_flash_object(&loaded.object);
@@ -283,7 +289,6 @@ impl SosSystem {
         let dom = loaded.domain;
         self.modules.push(loaded);
         self.post(dom, MSG_INIT);
-        Ok(())
     }
 
     /// Unloads a module: points its jump-table entries back at the error
@@ -297,11 +302,7 @@ impl SosSystem {
     ///
     /// Panics if no module occupies `dom`.
     pub fn unload_module(&mut self, dom: DomainId) {
-        let idx = self
-            .modules
-            .iter()
-            .position(|m| m.domain == dom)
-            .expect("domain is occupied");
+        let idx = self.modules.iter().position(|m| m.domain == dom).expect("domain is occupied");
         let loaded = self.modules.remove(idx);
 
         // Jump-table entries → error stub.
@@ -387,14 +388,52 @@ impl SosSystem {
     ///
     /// Panics if the queue is full.
     pub fn post(&mut self, dom: DomainId, msg: u8) {
+        assert!(self.try_post(dom, msg), "message queue full");
+    }
+
+    /// Host-side message post that reports back-pressure instead of
+    /// panicking: returns `false` (dropping the message) when the kernel
+    /// queue is full — what a real radio stack does under overload.
+    pub fn try_post(&mut self, dom: DomainId, msg: u8) -> bool {
         let l = self.layout;
         let tail = self.sram(l.q_tail);
         let head = self.sram(l.q_head);
         let next = (tail + 1) & 0x0f;
-        assert_ne!(next, head, "message queue full");
+        if next == head {
+            return false;
+        }
         self.write_sram(l.q_buf + tail as u16 * 2, dom.index());
         self.write_sram(l.q_buf + tail as u16 * 2 + 1, msg);
         self.write_sram(l.q_tail, next);
+        true
+    }
+
+    /// Number of messages waiting in the kernel queue.
+    pub fn queue_len(&self) -> u8 {
+        let l = self.layout;
+        let head = self.sram(l.q_head);
+        let tail = self.sram(l.q_tail);
+        tail.wrapping_sub(head) & 0x0f
+    }
+
+    /// Word address where the application/driver code resumes after the
+    /// boot break — steering here re-enters the app's scheduler loop (the
+    /// recurring-timer idiom of the examples, exposed for fleet stepping).
+    pub fn scheduler_entry(&self) -> WordAddr {
+        self.symbol("ker_boot_done") + 1
+    }
+
+    /// Re-enters the app code and runs one bounded scheduling slice: the
+    /// round-based stepping hook used by `harbor-fleet`. Equivalent to
+    /// [`SosSystem::steer`]\(entry\) + [`SosSystem::run_to_break`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`], including protection faults as [`Fault::Env`].
+    pub fn run_slice(&mut self, max_cycles: u64) -> Result<Step, Fault> {
+        let entry = self.scheduler_entry();
+        self.steer(entry);
+        self.run_to_break(max_cycles)
     }
 
     /// Runs until `BREAK`/`SLEEP`.
@@ -510,6 +549,42 @@ impl SosSystem {
         match &self.mach {
             Mach::Plain(c) => &c.env.debug_out,
             Mach::Umpu(c) => &c.env.debug_out,
+        }
+    }
+
+    /// Total instructions retired.
+    pub fn instructions(&self) -> u64 {
+        match &self.mach {
+            Mach::Plain(c) => c.instructions(),
+            Mach::Umpu(c) => c.instructions(),
+        }
+    }
+
+    /// Copies `len` flash words starting at word address `start` (state
+    /// comparison hook: module slots, jump-table pages).
+    pub fn flash_words(&self, start: u32, len: u32) -> Vec<u16> {
+        let flash = match &self.mach {
+            Mach::Plain(c) => &c.env.flash,
+            Mach::Umpu(c) => &c.env.flash,
+        };
+        (start..start + len).map(|a| flash.word(a)).collect()
+    }
+
+    /// The 128-word jump-table page of `dom`.
+    pub fn jt_page_words(&self, dom: u8) -> Vec<u16> {
+        self.flash_words(self.layout.jt_page(dom) as u32, 128)
+    }
+
+    /// The in-RAM memory-map table of the protected builds (`None` build:
+    /// no map exists).
+    pub fn memory_map_bytes(&self) -> Option<Vec<u8>> {
+        match (&self.mach, self.protection) {
+            (Mach::Umpu(cpu), _) => Some(cpu.env.memory_map_view().as_bytes().to_vec()),
+            (Mach::Plain(cpu), Protection::Sfi) => {
+                let rt = self.runtime.as_ref().expect("SFI runtime");
+                Some(rt.memory_map_view(&cpu.env.data).as_bytes().to_vec())
+            }
+            _ => None,
         }
     }
 

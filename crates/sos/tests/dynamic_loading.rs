@@ -115,12 +115,9 @@ fn unload_reclaims_every_owned_block() {
             )
             .unwrap();
             let base = sys.layout.prot.mem_map_base;
-            let bytes: Vec<u8> =
-                (0..cfg.map_size_bytes()).map(|i| sys.sram(base + i)).collect();
+            let bytes: Vec<u8> = (0..cfg.map_size_bytes()).map(|i| sys.sram(base + i)).collect();
             let map = harbor::MemoryMap::from_raw(cfg, bytes);
-            (0..cfg.num_blocks())
-                .filter(|&b| map.record(b).owner == DomainId::num(1))
-                .count()
+            (0..cfg.num_blocks()).filter(|&b| map.record(b).owner == DomainId::num(1)).count()
         };
         assert!(owned_blocks(&sys) >= 4, "{p:?}: buffers + state accumulated");
 
@@ -148,9 +145,7 @@ fn unprotected_unload_leaks_by_construction() {
     drain(&mut sys).unwrap();
 
     let used_bits = |sys: &SosSystem| -> u32 {
-        (0..31u16)
-            .map(|i| sys.sram(sys.layout.alloc_bitmap + i).count_ones())
-            .sum()
+        (0..31u16).map(|i| sys.sram(sys.layout.alloc_bitmap + i).count_ones()).sum()
     };
     let before = used_bits(&sys);
     assert!(before > 0);

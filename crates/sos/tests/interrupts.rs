@@ -99,8 +99,7 @@ fn interrupt_preempting_a_user_domain_restores_it_exactly() {
 fn umpu_interrupt_frames_balance() {
     // After the workload, the UMPU safe stack must be empty and the
     // tracker back in the trusted domain — every interrupt frame popped.
-    let mut sys =
-        SosSystem::build(Protection::Umpu, &[modules::blink(0)], pump_until(8)).unwrap();
+    let mut sys = SosSystem::build(Protection::Umpu, &[modules::blink(0)], pump_until(8)).unwrap();
     sys.boot().unwrap();
     sys.enable_timer(300, DomainId::num(0));
     sys.run_to_break(5_000_000).unwrap();

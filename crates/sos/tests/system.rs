@@ -134,8 +134,7 @@ fn surge_without_tree_corrupts_silently_on_stock_avr() {
 fn surge_without_tree_is_caught_by_protection() {
     // The same fault under UMPU and SFI: detected and blocked.
     for p in PROTECTED {
-        let mut sys =
-            SosSystem::build(p, &[modules::surge(1, 3)], run_scheduler_app).unwrap();
+        let mut sys = SosSystem::build(p, &[modules::surge(1, 3)], run_scheduler_app).unwrap();
         sys.boot().unwrap();
         sys.post(DomainId::num(1), MSG_TIMER);
         let err = sys.run_to_break(4_000_000).unwrap_err();
@@ -267,8 +266,8 @@ fn protection_overhead_ordering_on_the_blink_workload() {
 fn snapshots_replay_deterministically() {
     // The machine is a value: cloning it forks the entire state, and the
     // simulator is deterministic, so both forks evolve identically.
-    let mut sys = SosSystem::build(Protection::Umpu, &[modules::blink(0)], run_scheduler_app)
-        .unwrap();
+    let mut sys =
+        SosSystem::build(Protection::Umpu, &[modules::blink(0)], run_scheduler_app).unwrap();
     sys.boot().unwrap();
     for _ in 0..2 {
         sys.post(DomainId::num(0), MSG_TIMER);
@@ -281,8 +280,5 @@ fn snapshots_replay_deterministically() {
 
     assert_eq!(sys.cycles(), replay.cycles());
     assert_eq!(sys.pc(), replay.pc());
-    assert_eq!(
-        sys.sram(sys.layout.state_addr(0)),
-        replay.sram(replay.layout.state_addr(0))
-    );
+    assert_eq!(sys.sram(sys.layout.state_addr(0)), replay.sram(replay.layout.state_addr(0)));
 }

@@ -250,9 +250,7 @@ impl UmpuEnv {
 
     fn write_map_back(&mut self, map: &MemoryMap) {
         for (i, &b) in map.as_bytes().iter().enumerate() {
-            self.data
-                .write(self.mmc.mem_map_base + i as u16, b)
-                .expect("map table fits in RAM");
+            self.data.write(self.mmc.mem_map_base + i as u16, b).expect("map table fits in RAM");
         }
     }
 
@@ -309,9 +307,7 @@ impl UmpuEnv {
             PORT_JT_BASE_LO => set_lo(&mut self.tracker.jt_base, v),
             PORT_JT_BASE_HI => set_hi(&mut self.tracker.jt_base, v),
             PORT_JT_DOMAINS => self.tracker.jt_domains = v.min(8),
-            PORT_DOM_ID => {
-                self.tracker.current = DomainId::new(v & 0x7).expect("3-bit domain id")
-            }
+            PORT_DOM_ID => self.tracker.current = DomainId::new(v & 0x7).expect("3-bit domain id"),
             PORT_CODE_SELECT => self.code_select = v & 0x7,
             PORT_CODE_START_LO => set_lo(&mut self.code_start, v),
             PORT_CODE_START_HI => set_hi(&mut self.code_start, v),
@@ -403,12 +399,8 @@ impl Env for UmpuEnv {
             self.data.write(addr, v)?;
             return Ok(0);
         }
-        match self.mmc.check_store(
-            &self.data,
-            addr,
-            self.tracker.current,
-            self.tracker.stack_bound,
-        ) {
+        match self.mmc.check_store(&self.data, addr, self.tracker.current, self.tracker.stack_bound)
+        {
             Ok(stall) => {
                 self.data.write(addr, v)?;
                 Ok(stall)

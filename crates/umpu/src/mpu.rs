@@ -81,12 +81,7 @@ impl<const N: usize> ClassicMpu<N> {
     /// highlights: there is one user level, so one module's regions are
     /// writable by every module.
     pub fn check_store(&self, supervisor: bool, addr: u16) -> bool {
-        supervisor
-            || self
-                .regions
-                .iter()
-                .flatten()
-                .any(|r| addr >= r.base && addr < r.end)
+        supervisor || self.regions.iter().flatten().any(|r| addr >= r.base && addr < r.end)
     }
 
     /// Programmed regions.
@@ -152,16 +147,11 @@ pub fn analyze_mpu_fit(map: &MemoryMap) -> MpuFit {
     }
 
     let live_bytes: u32 = live_blocks.values().sum::<u32>() * block_bytes;
-    let static_reservation_bytes: u32 = extents
-        .values()
-        .map(|&(lo, hi)| (hi - lo + 1) as u32 * block_bytes)
-        .sum();
+    let static_reservation_bytes: u32 =
+        extents.values().map(|&(lo, hi)| (hi - lo + 1) as u32 * block_bytes).sum();
     MpuFit {
         regions_needed,
-        runs_per_domain: runs
-            .into_iter()
-            .map(|(d, n)| (DomainId::num(d), n))
-            .collect(),
+        runs_per_domain: runs.into_iter().map(|(d, n)| (DomainId::num(d), n)).collect(),
         live_bytes,
         static_reservation_bytes,
     }

@@ -24,13 +24,7 @@ pub struct Mmc {
 
 impl Default for Mmc {
     fn default() -> Self {
-        Mmc {
-            mem_map_base: 0,
-            prot_bottom: 0,
-            prot_top: 0,
-            block_log2: 3,
-            two_domain: false,
-        }
+        Mmc { mem_map_base: 0, prot_bottom: 0, prot_top: 0, block_log2: 3, two_domain: false }
     }
 }
 
@@ -47,9 +41,7 @@ impl Mmc {
         } else {
             (block >> 1, ((block & 1) * 4) as u8, 0x0fu8, 1u8)
         };
-        let table_byte = ram
-            .read(self.mem_map_base.wrapping_add(byte_index))
-            .unwrap_or(0xff);
+        let table_byte = ram.read(self.mem_map_base.wrapping_add(byte_index)).unwrap_or(0xff);
         let record = (table_byte >> shift) & mask;
         let owner = record >> owner_shift;
         if self.two_domain {
@@ -88,11 +80,7 @@ impl Mmc {
             if owner == domain.index() {
                 Ok(stall)
             } else {
-                Err(ProtectionFault::MemMapViolation {
-                    addr,
-                    domain: domain.index(),
-                    owner,
-                })
+                Err(ProtectionFault::MemMapViolation { addr, domain: domain.index(), owner })
             }
         } else if addr >= self.prot_top {
             // Run-time stack region: guarded by the stack bound.
@@ -131,8 +119,7 @@ impl SafeStackUnit {
         if self.ptr >= self.limit {
             return Err(ProtectionFault::SafeStackOverflow { ptr: self.ptr });
         }
-        ram.write(self.ptr, v)
-            .map_err(|_| ProtectionFault::SafeStackOverflow { ptr: self.ptr })?;
+        ram.write(self.ptr, v).map_err(|_| ProtectionFault::SafeStackOverflow { ptr: self.ptr })?;
         self.ptr += 1;
         Ok(())
     }
@@ -302,7 +289,8 @@ mod tests {
         // Map at 0x0100, protecting 0x0200.. with 8-byte blocks.
         // Block 0 record: dom 2 start (0101), block 1: dom 2 later (0100)
         // -> byte 0 = 0x45 (block1 in high nibble, block0 in low).
-        let mmc = Mmc { mem_map_base: 0x0100, prot_bottom: 0x0200, prot_top: 0x0300, ..Mmc::default() };
+        let mmc =
+            Mmc { mem_map_base: 0x0100, prot_bottom: 0x0200, prot_top: 0x0300, ..Mmc::default() };
         let ram = ram_with_map(0x0100, &[0x45]);
         assert_eq!(mmc.owner_of(&ram, 0x0200), 2);
         assert_eq!(mmc.owner_of(&ram, 0x0207), 2);
@@ -311,7 +299,8 @@ mod tests {
 
     #[test]
     fn mmc_check_store_rules() {
-        let mmc = Mmc { mem_map_base: 0x0100, prot_bottom: 0x0200, prot_top: 0x0300, ..Mmc::default() };
+        let mmc =
+            Mmc { mem_map_base: 0x0100, prot_bottom: 0x0200, prot_top: 0x0300, ..Mmc::default() };
         let ram = ram_with_map(0x0100, &[0x45]); // blocks 0,1 -> dom2
         let d2 = DomainId::num(2);
         let d3 = DomainId::num(3);
@@ -372,7 +361,8 @@ mod tests {
         for (i, &b) in map.as_bytes().iter().enumerate() {
             ram.write(0x0100 + i as u16, b).unwrap();
         }
-        let mmc = Mmc { mem_map_base: 0x0100, prot_bottom: 0x0200, prot_top: 0x0400, ..Mmc::default() };
+        let mmc =
+            Mmc { mem_map_base: 0x0100, prot_bottom: 0x0200, prot_top: 0x0400, ..Mmc::default() };
         for addr in (0x0200..0x0400).step_by(4) {
             assert_eq!(
                 mmc.owner_of(&ram, addr),
@@ -424,11 +414,8 @@ mod tests {
 
     #[test]
     fn fetch_check() {
-        let mut t = DomainTrackerUnit {
-            jt_base: 0x0800,
-            jt_domains: 8,
-            ..DomainTrackerUnit::default()
-        };
+        let mut t =
+            DomainTrackerUnit { jt_base: 0x0800, jt_domains: 8, ..DomainTrackerUnit::default() };
         t.code_regions[2] = Some((0x1000, 0x1100));
         // Trusted runs anywhere.
         assert!(t.fetch_allowed(0x0000));

@@ -9,11 +9,7 @@ use harbor::{fault_code, DomainId};
 use umpu::{UmpuConfig, UmpuEnv};
 
 fn store_prog(addr: u16) -> [Instr; 3] {
-    [
-        Instr::Ldi { d: Reg::R16, k: 0x77 },
-        Instr::Sts { k: addr, r: Reg::R16 },
-        Instr::Break,
-    ]
+    [Instr::Ldi { d: Reg::R16, k: 0x77 }, Instr::Sts { k: addr, r: Reg::R16 }, Instr::Break]
 }
 
 fn run_store(env: UmpuEnv, addr: u16) -> Result<(), u16> {

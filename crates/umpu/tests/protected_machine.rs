@@ -70,11 +70,7 @@ fn trusted_store_in_protected_region_costs_one_extra_cycle() {
     let mut env = protected_env();
     env.flash.load_program(
         0,
-        &[
-            Instr::Ldi { d: Reg::R16, k: 0x5a },
-            Instr::Sts { k: 0x0180, r: Reg::R16 },
-            Instr::Break,
-        ],
+        &[Instr::Ldi { d: Reg::R16, k: 0x5a }, Instr::Sts { k: 0x0180, r: Reg::R16 }, Instr::Break],
     );
     let mut cpu = Cpu::new(env);
     cpu.run_to_break(100).unwrap();
@@ -272,9 +268,7 @@ fn chained_cross_domain_calls_a_b_restore_in_order() {
         let mut jt = Asm::new();
         let t = jt.constant("t", target);
         jt.rjmp(t);
-        jt.assemble((CFG.jt_base + dom * 128) as u32)
-            .unwrap()
-            .load_into(&mut env.flash);
+        jt.assemble((CFG.jt_base + dom * 128) as u32).unwrap().load_into(&mut env.flash);
     }
 
     // Kernel.

@@ -23,11 +23,7 @@ struct Seg {
 }
 
 fn seg_strategy() -> impl Strategy<Value = Seg> {
-    (0u16..380, 1u16..5, 0u8..8).prop_map(|(block, blocks, owner)| Seg {
-        block,
-        blocks,
-        owner,
-    })
+    (0u16..380, 1u16..5, 0u8..8).prop_map(|(block, blocks, owner)| Seg { block, blocks, owner })
 }
 
 proptest! {

@@ -32,8 +32,11 @@ const SRC: &str = r"
 fn main() {
     // Text → object.
     let obj = text::assemble_str(SRC, 0x0000).expect("assembles");
-    println!("assembled {} words; `loop` at {:#06x}\n", obj.words().len(),
-        obj.symbol("loop").unwrap());
+    println!(
+        "assembled {} words; `loop` at {:#06x}\n",
+        obj.words().len(),
+        obj.symbol("loop").unwrap()
+    );
 
     // Object → disassembly listing.
     println!("disassembly:\n{}", listing(obj.origin(), obj.words()));

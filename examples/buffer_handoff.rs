@@ -17,10 +17,9 @@ use mini_sos::kernel::MSG_TIMER;
 use mini_sos::{JtEntry, ModuleSource, Protection, SosSystem};
 
 fn main() {
-    for (poison, label) in [
-        (false, "correct handoff"),
-        (true, "buggy producer writes after the handoff"),
-    ] {
+    for (poison, label) in
+        [(false, "correct handoff"), (true, "buggy producer writes after the handoff")]
+    {
         println!("\n═══ {label} ═══");
         for p in [Protection::None, Protection::Umpu, Protection::Sfi] {
             let layout = mini_sos::SosLayout::default_layout();

@@ -51,8 +51,10 @@ fn main() {
     println!("unloaded Tree Routing; its jump-table entries now return 0xff,");
     sys.post(DomainId::num(1), MSG_TIMER);
     match drain(&mut sys) {
-        Err(_) => println!("and the very next tick is caught again: {}",
-            sys.last_protection_fault().unwrap()),
+        Err(_) => println!(
+            "and the very next tick is caught again: {}",
+            sys.last_protection_fault().unwrap()
+        ),
         Ok(_) => unreachable!(),
     }
 }

@@ -46,8 +46,11 @@ fn main() {
     let rewritten = rewrite(original.words(), ORIGIN, &[ORIGIN], ORIGIN, &rt).unwrap();
     print_listing("Rewritten (sandboxed) module:", rewritten.object.words(), ORIGIN);
     verify(rewritten.object.words(), ORIGIN, &VerifierConfig::for_runtime(&rt)).unwrap();
-    println!("\nverifier: ACCEPTED ({} → {} words)", original.words().len(),
-        rewritten.object.words().len());
+    println!(
+        "\nverifier: ACCEPTED ({} → {} words)",
+        original.words().len(),
+        rewritten.object.words().len()
+    );
 
     // Time the store under SFI.
     let mut env = PlainEnv::new();

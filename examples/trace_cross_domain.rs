@@ -42,7 +42,10 @@ fn main() {
     let mut cpu = Cpu::new(env);
     let mut trace = Vec::new();
     let mut last_cycles = 0u64;
-    println!("{:<8} {:>6} {:>7}  {:<18} {:>9}  safe stack", "pc", "cycles", "Δcycles", "instruction", "domain");
+    println!(
+        "{:<8} {:>6} {:>7}  {:<18} {:>9}  safe stack",
+        "pc", "cycles", "Δcycles", "instruction", "domain"
+    );
     loop {
         let (step, entry) = cpu.step_traced().expect("runs");
         trace.push(entry);

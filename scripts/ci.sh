@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints (warnings are errors), tests.
+# Everything resolves inside the workspace (no network), so this runs the
+# same everywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test -q"
+cargo test --workspace -q
+
+echo "== ci: all green"

@@ -1,1 +1,10 @@
-//! Workspace root: see the member crates. This package only hosts integration tests and examples.
+//! Workspace root: re-exports the member crates for integration tests and
+//! examples; see each crate for the substance.
+
+pub use avr_asm;
+pub use avr_core;
+pub use harbor;
+pub use harbor_fleet;
+pub use harbor_sfi;
+pub use mini_sos;
+pub use umpu;

@@ -72,9 +72,7 @@ impl ReferenceAllocator {
             self.bitmap[b] = true;
         }
         let addr = self.layout.heap_base() + start as u16 * 8;
-        self.map
-            .set_segment(DomainId::num(owner), addr, blocks * 8)
-            .expect("reference segment");
+        self.map.set_segment(DomainId::num(owner), addr, blocks * 8).expect("reference segment");
         self.live.insert(addr + 2, blocks);
         addr + 2
     }
@@ -87,9 +85,7 @@ impl ReferenceAllocator {
         for b in start..start + blocks as usize {
             self.bitmap[b] = false;
         }
-        self.map
-            .free_segment(DomainId::TRUSTED, ptr - 2)
-            .expect("reference free");
+        self.map.free_segment(DomainId::TRUSTED, ptr - 2).expect("reference free");
     }
 
     fn change_own(&mut self, ptr: u16, new_owner: u8) {

@@ -21,25 +21,72 @@ const SEG_LEN: u16 = 32;
 /// branches.
 #[derive(Debug, Clone, Copy)]
 enum GenOp {
-    Ldi { r: u8, k: u8 },
-    Mov { d: u8, s: u8 },
-    Add { d: u8, s: u8 },
-    Sub { d: u8, s: u8 },
-    And { d: u8, s: u8 },
-    Or { d: u8, s: u8 },
-    Eor { d: u8, s: u8 },
-    Inc { r: u8 },
-    Dec { r: u8 },
-    Lsr { r: u8 },
-    Swap { r: u8 },
-    StXInc { r: u8 },
-    Sts { off: u8, r: u8 },
-    Lds { r: u8, off: u8 },
+    Ldi {
+        r: u8,
+        k: u8,
+    },
+    Mov {
+        d: u8,
+        s: u8,
+    },
+    Add {
+        d: u8,
+        s: u8,
+    },
+    Sub {
+        d: u8,
+        s: u8,
+    },
+    And {
+        d: u8,
+        s: u8,
+    },
+    Or {
+        d: u8,
+        s: u8,
+    },
+    Eor {
+        d: u8,
+        s: u8,
+    },
+    Inc {
+        r: u8,
+    },
+    Dec {
+        r: u8,
+    },
+    Lsr {
+        r: u8,
+    },
+    Swap {
+        r: u8,
+    },
+    StXInc {
+        r: u8,
+    },
+    Sts {
+        off: u8,
+        r: u8,
+    },
+    Lds {
+        r: u8,
+        off: u8,
+    },
     /// Skip the following op if bit `b` of `r` is clear/set.
-    Skip { r: u8, b: u8, if_set: bool },
+    Skip {
+        r: u8,
+        b: u8,
+        if_set: bool,
+    },
     /// Branch forward `dist` ops if Z is set/clear.
-    Branch { on_zero: bool, dist: u8 },
-    Cp { d: u8, s: u8 },
+    Branch {
+        on_zero: bool,
+        dist: u8,
+    },
+    Cp {
+        d: u8,
+        s: u8,
+    },
 }
 
 fn reg(n: u8) -> Reg {
@@ -63,11 +110,7 @@ fn op_strategy() -> impl Strategy<Value = GenOp> {
         r.clone().prop_map(|r| GenOp::StXInc { r }),
         (0u8..SEG_LEN as u8, r.clone()).prop_map(|(off, r)| GenOp::Sts { off, r }),
         (r.clone(), 0u8..SEG_LEN as u8).prop_map(|(r, off)| GenOp::Lds { r, off }),
-        (r.clone(), 0u8..8, any::<bool>()).prop_map(|(r, b, if_set)| GenOp::Skip {
-            r,
-            b,
-            if_set
-        }),
+        (r.clone(), 0u8..8, any::<bool>()).prop_map(|(r, b, if_set)| GenOp::Skip { r, b, if_set }),
         (any::<bool>(), 1u8..6).prop_map(|(on_zero, dist)| GenOp::Branch { on_zero, dist }),
         (r.clone(), r).prop_map(|(d, s)| GenOp::Cp { d, s }),
     ]
