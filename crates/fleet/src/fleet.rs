@@ -55,6 +55,10 @@ pub struct FleetConfig {
     pub threads: usize,
     /// Dissemination chunk payload size in bytes.
     pub chunk_bytes: usize,
+    /// Optional admission policy every node applies to disseminated
+    /// modules (SFI builds only): an image whose certified stack bound
+    /// exceeds the allotment is quarantined instead of installed.
+    pub load_policy: Option<mini_sos::LoadPolicy>,
 }
 
 impl Default for FleetConfig {
@@ -67,6 +71,7 @@ impl Default for FleetConfig {
             cycle_budget: 250_000,
             threads: 0,
             chunk_bytes: 32,
+            load_policy: None,
         }
     }
 }
@@ -159,6 +164,7 @@ impl Fleet {
             a.brk();
         })?;
         proto.boot().expect("prototype boots");
+        proto.set_load_policy(cfg.load_policy);
         let layout = proto.layout;
         let nodes = (0..cfg.nodes)
             .map(|i| Mutex::new(Node::new(i as u32, cfg.seed, proto.clone())))

@@ -69,6 +69,7 @@ pub struct Node {
     pub outbox: Vec<(NodeId, Packet)>,
     dissem: Option<Dissem>,
     installed: Vec<u16>,
+    quarantined: Vec<u16>,
     rng: StdRng,
 }
 
@@ -84,6 +85,7 @@ impl Node {
             outbox: Vec::new(),
             dissem: None,
             installed: Vec::new(),
+            quarantined: Vec::new(),
             rng: StdRng::seed_from_u64(
                 fleet_seed ^ (id as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
             ),
@@ -93,6 +95,18 @@ impl Node {
     /// Whether the node has installed disseminated image `module`.
     pub fn has_installed(&self, module: u16) -> bool {
         self.installed.contains(&module)
+    }
+
+    /// Whether the node rejected disseminated image `module` under its
+    /// load policy (the image completed reassembly but was never burned).
+    pub fn has_quarantined(&self, module: u16) -> bool {
+        self.quarantined.contains(&module)
+    }
+
+    /// An image the node is done with — installed *or* quarantined — is
+    /// never re-downloaded.
+    fn has_resolved(&self, module: u16) -> bool {
+        self.has_installed(module) || self.has_quarantined(module)
     }
 
     /// Host-side message injection (a local sensor event): posts `msg` to
@@ -160,12 +174,12 @@ impl Node {
     fn receive(&mut self, round: u64, packet: Packet) {
         match packet {
             Packet::Advert { module, total } => {
-                if !self.has_installed(module) && self.dissem.is_none() && total > 0 {
+                if !self.has_resolved(module) && self.dissem.is_none() && total > 0 {
                     self.dissem = Some(Dissem::new(module, total, round));
                 }
             }
             Packet::Chunk { module, seq, total, payload } => {
-                if self.has_installed(module) {
+                if self.has_resolved(module) {
                     return;
                 }
                 if self.dissem.is_none() && total > 0 {
@@ -204,8 +218,17 @@ impl Node {
                 let module = d.module;
                 self.dissem = None;
                 let dom = DomainId::num(image.domain);
+                let loaded = image.to_loaded();
+                // Admission gate: the node's load policy sees the image
+                // *before* flash — a module whose certified stack bound
+                // exceeds the allotment is quarantined, not installed.
+                if self.sys.admit_module(&loaded).is_err() {
+                    self.quarantined.push(module);
+                    self.telemetry.quarantined += 1;
+                    return;
+                }
                 if self.sys.modules.iter().all(|m| m.domain != dom) {
-                    self.sys.install_module(image.to_loaded());
+                    self.sys.install_module(loaded);
                 }
                 self.installed.push(module);
                 self.telemetry.installed_round = Some(round);

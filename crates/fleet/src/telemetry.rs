@@ -33,6 +33,8 @@ pub struct NodeTelemetry {
     pub chunks: u64,
     /// Retransmission requests sent.
     pub requests: u64,
+    /// Disseminated images rejected by the load policy's admission gate.
+    pub quarantined: u64,
     /// Round at which the disseminated module was installed, if it was.
     pub installed_round: Option<u64>,
 }
@@ -44,7 +46,7 @@ impl NodeTelemetry {
             "{{\"id\":{},\"cycles\":{},\"idle_cycles\":{},\"instructions\":{},\
              \"rx\":{},\"tx\":{},\"messages\":{},\"queue_drops\":{},\
              \"faults\":{},\"contained\":{},\"recoveries\":{},\
-             \"chunks\":{},\"requests\":{},\"installed_round\":{}}}",
+             \"chunks\":{},\"requests\":{},\"quarantined\":{},\"installed_round\":{}}}",
             self.id,
             self.cycles,
             self.idle_cycles,
@@ -58,6 +60,7 @@ impl NodeTelemetry {
             self.recoveries,
             self.chunks,
             self.requests,
+            self.quarantined,
             match self.installed_round {
                 Some(r) => r.to_string(),
                 None => "null".to_string(),
@@ -163,6 +166,7 @@ mod tests {
         let j = t.to_json();
         assert!(j.contains("\"convergence_round\":null"));
         assert!(j.contains("\"installed_round\":null"));
+        assert!(j.contains("\"quarantined\":0"));
         assert_eq!(j, t.clone().to_json());
         let mut parallel = t.clone();
         parallel.threads = 8;

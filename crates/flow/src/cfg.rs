@@ -1,0 +1,454 @@
+//! Control-flow-graph reconstruction from a decoded module image.
+//!
+//! The graph is built exactly the way the linear verifier walks the image:
+//! words decode in order, two-word instructions occupy two slots, and the
+//! data word following every `call harbor_xdom_call` is an *inline operand*,
+//! not an instruction. On top of that stream the builder recovers basic
+//! blocks (leaders are the origin, declared entries, every in-module
+//! jump/branch/call target and every skip landing) and wires successor
+//! edges for fall-through, taken branches, skips and direct jumps. Direct
+//! calls are *not* block terminators — the run-time stubs and rewritten
+//! local functions all return to the instruction after the call site — but
+//! each in-module call is also recorded as a call-graph edge, and each
+//! cross-domain call records the jump-table slot from its inline operand.
+
+use avr_core::isa::{self, Instr};
+use harbor_sfi::{VerifierConfig, VerifyError};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt::Write as _;
+
+/// One decoded instruction slot.
+#[derive(Debug, Clone, Copy)]
+pub struct Slot {
+    /// Word address of the instruction.
+    pub addr: u32,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// For `call harbor_xdom_call`: the inline operand (its word address
+    /// and value, a jump-table word address).
+    pub xdom_operand: Option<(u32, u16)>,
+}
+
+/// A basic block: a maximal straight-line run of instructions.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Word address of the first instruction.
+    pub start: u32,
+    /// Half-open index range into [`Cfg::slots`].
+    pub slots: (usize, usize),
+    /// Successor blocks, by start address.
+    pub succs: Vec<u32>,
+    /// `Some(addr)` when a path through this block leaves the module image
+    /// past its end (straight-line fall-through, a branch not taken at the
+    /// last instruction, or a skip landing exactly on the end); `addr` is
+    /// the offending instruction.
+    pub falls_off: Option<u32>,
+    /// The block ends in a sanctioned exit (`jmp` out of the module — in a
+    /// verified module necessarily to `harbor_restore_ret` or
+    /// `harbor_ijmp_check` — or a `break`/bare return).
+    pub exits: bool,
+}
+
+/// An intra-module direct-call edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallEdge {
+    /// Word address of the `call`/`rcall`.
+    pub from: u32,
+    /// The callee entry address (in-module).
+    pub to: u32,
+}
+
+/// A cross-domain call site (`call harbor_xdom_call` + inline operand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XdomSite {
+    /// Word address of the call.
+    pub addr: u32,
+    /// The jump-table slot the inline operand names.
+    pub jt_target: u16,
+}
+
+/// The reconstructed control-flow graph of one module image.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// First word address of the module.
+    pub origin: u32,
+    /// One past the last word address.
+    pub end: u32,
+    /// Decoded instructions in address order (inline operands folded into
+    /// their call's slot).
+    pub slots: Vec<Slot>,
+    /// Basic blocks in address order.
+    pub blocks: Vec<Block>,
+    /// Intra-module call-graph edges.
+    pub calls: Vec<CallEdge>,
+    /// Cross-domain call sites.
+    pub xdom_sites: Vec<XdomSite>,
+    /// The declared entry points (filtered to in-module addresses).
+    pub entries: Vec<u32>,
+    /// Per-block reachability from the origin and the declared entries
+    /// (following successor and call edges).
+    pub reachable: Vec<bool>,
+    slot_index: BTreeMap<u32, usize>,
+    block_index: BTreeMap<u32, usize>,
+}
+
+/// Relative-target arithmetic shared with the linear verifier.
+pub(crate) fn rel_target(addr: u32, k: i16) -> u32 {
+    (addr + 1).wrapping_add(k as i32 as u32) & 0xffff
+}
+
+const fn is_skip(i: Instr) -> bool {
+    matches!(
+        i,
+        Instr::Cpse { .. }
+            | Instr::Sbrc { .. }
+            | Instr::Sbrs { .. }
+            | Instr::Sbic { .. }
+            | Instr::Sbis { .. }
+    )
+}
+
+/// Instructions that end a basic block unconditionally.
+const fn is_terminator(i: Instr) -> bool {
+    matches!(
+        i,
+        Instr::Jmp { .. }
+            | Instr::Rjmp { .. }
+            | Instr::Brbs { .. }
+            | Instr::Brbc { .. }
+            | Instr::Ret
+            | Instr::Reti
+            | Instr::Ijmp
+            | Instr::Break
+    ) || is_skip(i)
+}
+
+impl Cfg {
+    /// Reconstructs the CFG of the image at word address `origin`.
+    /// `entries` are the module's declared (jump-table-visible) entry
+    /// points; they seed reachability alongside the origin.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::Undecodable`], [`VerifyError::MissingInlineOperand`]
+    /// or [`VerifyError::BadInlineOperand`] when the image does not even
+    /// decode — the same pass-1 failures the linear verifier reports.
+    pub fn build(
+        words: &[u16],
+        origin: u32,
+        entries: &[u32],
+        cfg: &VerifierConfig,
+    ) -> Result<Cfg, VerifyError> {
+        let end = origin + words.len() as u32;
+        let in_module = |t: u32| (origin..end).contains(&t);
+
+        // ── decode into slots ───────────────────────────────────────────
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut idx = 0usize;
+        while idx < words.len() {
+            let addr = origin + idx as u32;
+            let w0 = words[idx];
+            let w1 = words.get(idx + 1).copied();
+            let instr = match isa::decode(w0, w1) {
+                Ok(i) => i,
+                Err(_) => return Err(VerifyError::Undecodable { addr, word: w0 }),
+            };
+            idx += instr.words() as usize;
+            let mut xdom_operand = None;
+            if let Instr::Call { k } = instr {
+                if k == cfg.xdom_call_stub {
+                    let Some(&operand) = words.get(idx) else {
+                        return Err(VerifyError::MissingInlineOperand { addr });
+                    };
+                    let oaddr = origin + idx as u32;
+                    if !(cfg.jt_base..cfg.jt_end).contains(&(operand as u32)) {
+                        return Err(VerifyError::BadInlineOperand { addr: oaddr, value: operand });
+                    }
+                    xdom_operand = Some((oaddr, operand));
+                    idx += 1;
+                }
+            }
+            slots.push(Slot { addr, instr, xdom_operand });
+        }
+        let slot_index: BTreeMap<u32, usize> =
+            slots.iter().enumerate().map(|(i, s)| (s.addr, i)).collect();
+        let next_addr = |i: usize| slots.get(i + 1).map_or(end, |s| s.addr);
+
+        // ── leaders ─────────────────────────────────────────────────────
+        let mut leaders: BTreeSet<u32> = BTreeSet::new();
+        if !slots.is_empty() {
+            leaders.insert(origin);
+        }
+        for e in entries {
+            if in_module(*e) {
+                leaders.insert(*e);
+            }
+        }
+        let mut calls: Vec<CallEdge> = Vec::new();
+        let mut xdom_sites: Vec<XdomSite> = Vec::new();
+        for (i, s) in slots.iter().enumerate() {
+            let mut lead = |t: u32| {
+                if in_module(t) {
+                    leaders.insert(t);
+                }
+            };
+            match s.instr {
+                Instr::Jmp { k } => lead(k),
+                Instr::Rjmp { k } => lead(rel_target(s.addr, k)),
+                Instr::Brbs { k, .. } | Instr::Brbc { k, .. } => lead(rel_target(s.addr, k as i16)),
+                Instr::Call { k } if s.xdom_operand.is_some() => {
+                    let (_, operand) = s.xdom_operand.unwrap();
+                    xdom_sites.push(XdomSite { addr: s.addr, jt_target: operand });
+                    let _ = k;
+                }
+                Instr::Call { k } if in_module(k) => {
+                    calls.push(CallEdge { from: s.addr, to: k });
+                    lead(k);
+                }
+                Instr::Rcall { k } => {
+                    let t = rel_target(s.addr, k);
+                    if in_module(t) {
+                        calls.push(CallEdge { from: s.addr, to: t });
+                        lead(t);
+                    }
+                }
+                _ => {}
+            }
+            if is_skip(s.instr) {
+                // The skip lands past the next *instruction* (not past its
+                // inline operand, if it has one — exactly the linear
+                // verifier's landing arithmetic).
+                if let Some(n) = slots.get(i + 1) {
+                    let landing = n.addr + n.instr.words();
+                    if in_module(landing) {
+                        leaders.insert(landing);
+                    }
+                }
+            }
+            if is_terminator(s.instr) {
+                let next = next_addr(i);
+                if in_module(next) {
+                    leaders.insert(next);
+                }
+            }
+        }
+
+        // ── blocks ──────────────────────────────────────────────────────
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut block_index: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut lo = 0usize;
+        while lo < slots.len() {
+            let start = slots[lo].addr;
+            let mut hi = lo;
+            loop {
+                let s = slots[hi];
+                if is_terminator(s.instr) {
+                    break;
+                }
+                let next = next_addr(hi);
+                if next >= end || leaders.contains(&next) {
+                    break;
+                }
+                hi += 1;
+            }
+            block_index.insert(start, blocks.len());
+            blocks.push(Block {
+                start,
+                slots: (lo, hi + 1),
+                succs: Vec::new(),
+                falls_off: None,
+                exits: false,
+            });
+            lo = hi + 1;
+        }
+
+        // ── successor edges ─────────────────────────────────────────────
+        for b in blocks.iter_mut() {
+            let (_, hi) = b.slots;
+            let last = slots[hi - 1];
+            let fall = next_addr(hi - 1);
+            let succ = |t: u32, succs: &mut Vec<u32>| {
+                // Only block starts become edges; a mid-instruction or
+                // mid-operand target is the linear verifier's
+                // `MisalignedTarget` (and the lint pass reports it too).
+                if block_index.contains_key(&t) {
+                    succs.push(t);
+                }
+            };
+            match last.instr {
+                Instr::Jmp { k } => {
+                    if in_module(k) {
+                        succ(k, &mut b.succs);
+                    } else {
+                        b.exits = true;
+                    }
+                }
+                Instr::Rjmp { k } => {
+                    let t = rel_target(last.addr, k);
+                    if in_module(t) {
+                        succ(t, &mut b.succs);
+                    } else {
+                        b.exits = true;
+                    }
+                }
+                Instr::Brbs { k, .. } | Instr::Brbc { k, .. } => {
+                    let t = rel_target(last.addr, k as i16);
+                    if in_module(t) {
+                        succ(t, &mut b.succs);
+                    }
+                    if fall >= end {
+                        b.falls_off = Some(last.addr);
+                    } else {
+                        succ(fall, &mut b.succs);
+                    }
+                }
+                i if is_skip(i) => {
+                    if hi >= slots.len() {
+                        // No next instruction to skip: execution runs off
+                        // the image whichever way the test goes.
+                        b.falls_off = Some(last.addr);
+                    } else {
+                        succ(fall, &mut b.succs);
+                        let n = slots[hi];
+                        let landing = n.addr + n.instr.words();
+                        if landing >= end {
+                            b.falls_off = Some(last.addr);
+                        } else {
+                            succ(landing, &mut b.succs);
+                        }
+                    }
+                }
+                Instr::Ret | Instr::Reti | Instr::Ijmp | Instr::Break => b.exits = true,
+                _ => {
+                    // Block ended at a leader boundary or at the image end.
+                    if fall >= end {
+                        b.falls_off = Some(last.addr);
+                    } else {
+                        succ(fall, &mut b.succs);
+                    }
+                }
+            }
+        }
+
+        // ── reachability (successor + call edges) ───────────────────────
+        let mut reachable = vec![false; blocks.len()];
+        let mut work: VecDeque<usize> = VecDeque::new();
+        let seed = |t: u32, work: &mut VecDeque<usize>, reachable: &mut Vec<bool>| {
+            if let Some(&bi) = block_index.get(&t) {
+                if !reachable[bi] {
+                    reachable[bi] = true;
+                    work.push_back(bi);
+                }
+            }
+        };
+        if !slots.is_empty() {
+            seed(origin, &mut work, &mut reachable);
+        }
+        for e in entries {
+            seed(*e, &mut work, &mut reachable);
+        }
+        let call_targets: BTreeMap<u32, Vec<u32>> = {
+            let mut m: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+            for c in &calls {
+                m.entry(c.from).or_default().push(c.to);
+            }
+            m
+        };
+        while let Some(bi) = work.pop_front() {
+            let (lo, hi) = blocks[bi].slots;
+            let succs = blocks[bi].succs.clone();
+            for t in succs {
+                seed(t, &mut work, &mut reachable);
+            }
+            for s in &slots[lo..hi] {
+                if let Some(tgts) = call_targets.get(&s.addr) {
+                    for &t in tgts {
+                        seed(t, &mut work, &mut reachable);
+                    }
+                }
+            }
+        }
+
+        Ok(Cfg {
+            origin,
+            end,
+            slots,
+            blocks,
+            calls,
+            xdom_sites,
+            entries: entries.iter().copied().filter(|&e| in_module(e)).collect(),
+            reachable,
+            slot_index,
+            block_index,
+        })
+    }
+
+    /// The slot at word address `addr`, if one starts there.
+    pub fn slot_at(&self, addr: u32) -> Option<&Slot> {
+        self.slot_index.get(&addr).map(|&i| &self.slots[i])
+    }
+
+    /// The block starting at `addr`, if one does.
+    pub fn block_at(&self, addr: u32) -> Option<&Block> {
+        self.block_index.get(&addr).map(|&i| &self.blocks[i])
+    }
+
+    /// Index of the block starting at `addr`.
+    pub(crate) fn block_idx(&self, addr: u32) -> Option<usize> {
+        self.block_index.get(&addr).copied()
+    }
+
+    /// Index of the block *containing* `addr` (not necessarily starting
+    /// there).
+    pub(crate) fn block_containing(&self, addr: u32) -> Option<usize> {
+        let (_, &bi) = self.block_index.range(..=addr).next_back()?;
+        let (lo, hi) = self.blocks[bi].slots;
+        let last = self.slots[hi - 1];
+        (self.slots[lo].addr <= addr && addr < last.addr + last.instr.words()).then_some(bi)
+    }
+
+    /// Renders the CFG as a Graphviz `digraph` (one node per basic block,
+    /// labelled with its address range; dashed edges are call edges).
+    pub fn dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{name}\" {{");
+        let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+        for (i, b) in self.blocks.iter().enumerate() {
+            let (_, hi) = b.slots;
+            let last = self.slots[hi - 1];
+            let style = if self.reachable[i] { "solid" } else { "dashed" };
+            let mut label = format!("{:#06x}..{:#06x}", b.start, last.addr + last.instr.words());
+            if b.falls_off.is_some() {
+                label.push_str("\\n(falls off end)");
+            }
+            let _ = writeln!(out, "  b{:x} [label=\"{label}\", style={style}];", b.start);
+            for t in &b.succs {
+                let _ = writeln!(out, "  b{:x} -> b{:x};", b.start, t);
+            }
+            if b.exits {
+                let _ = writeln!(out, "  b{:x} -> exit;", b.start);
+            }
+        }
+        for c in &self.calls {
+            if let Some(bi) = self.block_containing(c.from) {
+                let _ = writeln!(
+                    out,
+                    "  b{:x} -> b{:x} [style=dashed, label=\"call\"];",
+                    self.blocks[bi].start, c.to
+                );
+            }
+        }
+        for x in &self.xdom_sites {
+            if let Some(bi) = self.block_containing(x.addr) {
+                let _ = writeln!(
+                    out,
+                    "  b{:x} -> jt_{:x} [style=dotted, label=\"xdom\"];",
+                    self.blocks[bi].start, x.jt_target
+                );
+            }
+        }
+        let _ = writeln!(out, "  exit [shape=ellipse];");
+        out.push_str("}\n");
+        out
+    }
+}

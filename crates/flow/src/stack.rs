@@ -1,0 +1,310 @@
+//! Worst-case stack-depth analysis and the per-module [`StackCertificate`].
+//!
+//! A worklist abstract interpretation joins (by maximum) a byte-granular
+//! stack-depth value over every basic block of every function, composes
+//! function summaries bottom-up over the intra-module call graph, and
+//! charges each cross-domain call the safe-stack frame cost the run-time
+//! actually pushes. All charges are deliberate over-approximations, so the
+//! soundness property *observed depth ≤ certified bound* holds on every
+//! execution (the `stack_soundness` test drives generated modules under the
+//! simulator with a high-water-mark probe to check exactly that).
+//!
+//! The analysis **saturates** (all bounds become `u16::MAX`, with
+//! [`StackCertificate::saturated`] set) when no finite bound exists or the
+//! analysis cannot establish one: call-graph recursion, a loop that
+//! re-enters a `harbor_save_ret` prologue without a call (each iteration
+//! grows the safe stack), a computed call/jump (`harbor_icall_check` /
+//! `harbor_ijmp_check` — the target set is dynamic), or a push/pop
+//! imbalance that keeps widening.
+
+use crate::cfg::{rel_target, Cfg};
+use crate::verify::CfgVerifier;
+use avr_core::isa::Instr;
+use harbor_sfi::StubRole;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Bytes a `call`/`rcall` pushes for its return address.
+const RET_BYTES: i32 = 2;
+/// Run-stack transient charged to a store-check stub call: 2 return bytes
+/// plus at most 7 stub-internal bytes (4 saves + `rcall check_core` + its
+/// `push r24`), rounded up.
+const STORE_STUB_COST: i32 = 10;
+/// Run-stack transient charged to `call harbor_xdom_call`: return bytes,
+/// the parked callee id, plus slack.
+const XDOM_RUN_COST: i32 = 4;
+/// Safe-stack frame `harbor_xdom_call` pushes: return address (2), saved
+/// stack bound (2), saved domain (1).
+const XDOM_SAFE_FRAME: i32 = 5;
+/// Safe-stack frame `harbor_save_ret` pushes per function activation.
+const SAVE_FRAME: i32 = 2;
+/// Base run-stack charge for the kernel driver's own `call` into the
+/// cross-domain stub plus that stub's transient.
+const RUN_BASE: i32 = 4;
+/// Widening threshold: a joined depth past this can only come from an
+/// unbalanced loop, so the analysis gives up on a finite bound.
+const WIDEN_LIMIT: i32 = 0x1000;
+
+/// A certified worst-case stack bound for one module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackCertificate {
+    /// Worst-case run-time-stack bytes consumed while the module executes
+    /// (measured from the kernel's pre-call stack pointer, driver call
+    /// included).
+    pub run_stack_bytes: u16,
+    /// Worst-case safe-stack bytes attributable to this module: its
+    /// inbound cross-domain frame, one save-ret frame per live local
+    /// function, and the outbound frame of its deepest cross-domain call.
+    pub safe_stack_bytes: u16,
+    /// Maximum intra-module call nesting (1 = no local calls).
+    pub call_depth: u16,
+    /// The analysis saturated — no finite bound exists (recursion,
+    /// prologue re-entry, computed transfer, or unbounded imbalance); the
+    /// byte bounds are `u16::MAX`.
+    pub saturated: bool,
+}
+
+impl StackCertificate {
+    const SATURATED: StackCertificate = StackCertificate {
+        run_stack_bytes: u16::MAX,
+        safe_stack_bytes: u16::MAX,
+        call_depth: u16::MAX,
+        saturated: true,
+    };
+}
+
+/// Full result of the stack analysis: the certificate plus the imbalance
+/// findings the lint pass reports.
+#[derive(Debug, Clone)]
+pub struct StackAnalysis {
+    /// The certificate.
+    pub certificate: StackCertificate,
+    /// Start addresses of blocks whose entry depth differs between two
+    /// incoming paths, or where a path pops below its function's entry
+    /// depth.
+    pub unbalanced: Vec<u32>,
+}
+
+/// Per-function summary, relative to the caller's depth at the call site.
+#[derive(Debug, Clone, Copy)]
+struct FnSummary {
+    /// Peak run-stack bytes (the pushed return address counts).
+    max_run: i32,
+    /// Peak safe-stack bytes (own save-ret frame + deepest callee).
+    max_safe: i32,
+    /// 1 + deepest callee nesting.
+    depth: u16,
+}
+
+/// Certifies `cfg`; convenience wrapper over [`analyze_stack`].
+pub fn certify(cfg: &Cfg, v: &CfgVerifier) -> StackCertificate {
+    analyze_stack(cfg, v).certificate
+}
+
+/// Runs the full stack analysis.
+pub fn analyze_stack(cfg: &Cfg, v: &CfgVerifier) -> StackAnalysis {
+    Analyzer::new(cfg, v).run()
+}
+
+struct Analyzer<'a> {
+    cfg: &'a Cfg,
+    v: &'a CfgVerifier,
+    /// Memoized function summaries; `None` while on the DFS stack (a
+    /// lookup hitting `None` is recursion).
+    summaries: BTreeMap<u32, Option<FnSummary>>,
+    unbalanced: BTreeSet<u32>,
+    saturated: bool,
+}
+
+impl<'a> Analyzer<'a> {
+    fn new(cfg: &'a Cfg, v: &'a CfgVerifier) -> Analyzer<'a> {
+        Analyzer {
+            cfg,
+            v,
+            summaries: BTreeMap::new(),
+            unbalanced: BTreeSet::new(),
+            saturated: false,
+        }
+    }
+
+    fn has_prologue(&self, addr: u32) -> bool {
+        self.cfg.slot_at(addr).is_some_and(|s| {
+            matches!(s.instr, Instr::Call { k }
+                if self.v.role_of(k) == Some(StubRole::SaveRet))
+        })
+    }
+
+    fn run(mut self) -> StackAnalysis {
+        let cfg = self.cfg;
+
+        // Computed transfers and prologue re-entry defeat the static call
+        // graph: saturate up front.
+        for (bi, block) in cfg.blocks.iter().enumerate() {
+            if !cfg.reachable[bi] {
+                continue;
+            }
+            let (lo, hi) = block.slots;
+            for s in &cfg.slots[lo..hi] {
+                let role = match s.instr {
+                    Instr::Call { k } => self.v.role_of(k),
+                    Instr::Rcall { k } => self.v.role_of(rel_target(s.addr, k)),
+                    Instr::Jmp { k } => self.v.role_of(k),
+                    _ => None,
+                };
+                if matches!(role, Some(StubRole::IcallCheck | StubRole::IjmpCheck)) {
+                    self.saturated = true;
+                }
+            }
+            for &t in &block.succs {
+                // A jump/branch/fall-through edge into a save-ret prologue
+                // re-enters it without a call: every iteration leaks a
+                // safe-stack frame, so no finite bound exists.
+                if self.has_prologue(t) {
+                    self.saturated = true;
+                    self.unbalanced.insert(t);
+                }
+            }
+        }
+
+        let mut roots: Vec<u32> = Vec::new();
+        if !cfg.slots.is_empty() {
+            roots.push(cfg.origin);
+        }
+        for &e in &cfg.entries {
+            if !roots.contains(&e) {
+                roots.push(e);
+            }
+        }
+
+        let mut max_run = 0i32;
+        let mut max_safe = 0i32;
+        let mut depth = 0u16;
+        if !self.saturated {
+            for &root in &roots {
+                let entry_depth = if self.has_prologue(root) { RET_BYTES } else { 0 };
+                match self.summarize(root, entry_depth) {
+                    Some(s) => {
+                        max_run = max_run.max(s.max_run);
+                        max_safe = max_safe.max(s.max_safe);
+                        depth = depth.max(s.depth);
+                    }
+                    None => self.saturated = true,
+                }
+            }
+        }
+
+        let certificate = if self.saturated {
+            StackCertificate::SATURATED
+        } else {
+            StackCertificate {
+                run_stack_bytes: (RUN_BASE + max_run).min(u16::MAX as i32) as u16,
+                safe_stack_bytes: (XDOM_SAFE_FRAME + max_safe).min(u16::MAX as i32) as u16,
+                call_depth: depth,
+                saturated: false,
+            }
+        };
+        StackAnalysis { certificate, unbalanced: self.unbalanced.iter().copied().collect() }
+    }
+
+    /// Summary of the function entered at `entry`, with `entry_depth`
+    /// run-stack bytes already live at its first instruction (2 for a
+    /// called function — the return address — or 0 for a raw root).
+    /// `None` means recursion was found.
+    fn summarize(&mut self, entry: u32, entry_depth: i32) -> Option<FnSummary> {
+        if let Some(memo) = self.summaries.get(&entry) {
+            // `Some(None)` marks an entry currently on the DFS stack.
+            return *memo;
+        }
+        self.summaries.insert(entry, None);
+
+        let cfg = self.cfg;
+        let entry_bi = cfg.block_idx(entry)?;
+        let own_frame = if self.has_prologue(entry) { SAVE_FRAME } else { 0 };
+
+        // Intra-function worklist: depth at block entry, join = max.
+        let mut at_entry: BTreeMap<usize, i32> = BTreeMap::new();
+        let mut work: VecDeque<usize> = VecDeque::new();
+        at_entry.insert(entry_bi, entry_depth);
+        work.push_back(entry_bi);
+        let mut peak_run = entry_depth;
+        let mut peak_safe = 0i32; // callee/xdom contributions beyond own frame
+        let mut depth = 1u16;
+
+        while let Some(bi) = work.pop_front() {
+            let mut d = at_entry[&bi];
+            let (lo, hi) = cfg.blocks[bi].slots;
+            for s in &cfg.slots[lo..hi] {
+                match s.instr {
+                    Instr::Push { .. } => {
+                        d += 1;
+                        peak_run = peak_run.max(d);
+                    }
+                    Instr::Pop { .. } => {
+                        if d == 0 {
+                            // Popping below the function's own frame.
+                            self.unbalanced.insert(cfg.blocks[bi].start);
+                        } else {
+                            d -= 1;
+                        }
+                    }
+                    Instr::Call { .. } | Instr::Rcall { .. } => {
+                        let target = match s.instr {
+                            Instr::Call { k } => k,
+                            Instr::Rcall { k } => rel_target(s.addr, k),
+                            _ => unreachable!(),
+                        };
+                        if s.xdom_operand.is_some() {
+                            peak_run = peak_run.max(d + XDOM_RUN_COST);
+                            peak_safe = peak_safe.max(XDOM_SAFE_FRAME);
+                        } else if (cfg.origin..cfg.end).contains(&target) {
+                            let callee = self.summarize(target, RET_BYTES)?;
+                            peak_run = peak_run.max(d + callee.max_run);
+                            peak_safe = peak_safe.max(callee.max_safe);
+                            depth = depth.max(1 + callee.depth);
+                        } else {
+                            match self.v.role_of(target) {
+                                Some(StubRole::SaveRet) => {
+                                    peak_run = peak_run.max(d + RET_BYTES);
+                                    // save_ret moves this call's return
+                                    // address *and* the caller's off the
+                                    // run stack.
+                                    d = (d + RET_BYTES - 4).max(0);
+                                }
+                                Some(r) if r.is_store_check() => {
+                                    peak_run = peak_run.max(d + STORE_STUB_COST);
+                                }
+                                _ => peak_run = peak_run.max(d + RET_BYTES),
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                if d > WIDEN_LIMIT {
+                    return None;
+                }
+            }
+            for &t in &cfg.blocks[bi].succs {
+                let Some(ti) = cfg.block_idx(t) else { continue };
+                match at_entry.get(&ti) {
+                    Some(&prev) if prev >= d => {
+                        if prev != d {
+                            self.unbalanced.insert(t);
+                        }
+                    }
+                    Some(_) => {
+                        self.unbalanced.insert(t);
+                        at_entry.insert(ti, d);
+                        work.push_back(ti);
+                    }
+                    None => {
+                        at_entry.insert(ti, d);
+                        work.push_back(ti);
+                    }
+                }
+            }
+        }
+
+        let summary = FnSummary { max_run: peak_run, max_safe: own_frame + peak_safe, depth };
+        self.summaries.insert(entry, Some(summary));
+        Some(summary)
+    }
+}

@@ -1,0 +1,279 @@
+//! Differential testing of the deep verifier against the linear scan.
+//!
+//! The contract: [`CfgVerifier`] accepts every module the rewriter emits,
+//! rejects everything the linear verifier rejects (with the identical
+//! error), and additionally rejects corruption classes that are linearly
+//! well-formed — each of those gets a named regression test below proving
+//! the linear verifier *accepts* the binary the deep verifier refuses.
+
+use avr_asm::Asm;
+use avr_core::isa::{Ptr, PtrMode, Reg};
+use harbor_flow::CfgVerifier;
+use harbor_sfi::{rewrite, verify, SfiLayout, SfiRuntime, VerifierConfig, VerifyError};
+use proptest::prelude::*;
+
+const ORIGIN: u32 = 0x1000;
+
+fn runtime() -> SfiRuntime {
+    SfiRuntime::build(SfiLayout::default_layout(), 0x0040)
+}
+
+/// The same module-shape battery the linear design-space test uses.
+fn sample_module(variant: u8) -> Asm {
+    let mut a = Asm::new();
+    match variant % 6 {
+        0 => {
+            a.ldi(Reg::R16, 1);
+            a.sts(0x0300, Reg::R16);
+            a.ret();
+        }
+        1 => {
+            let l = a.label("l");
+            a.bind(l);
+            a.st(Ptr::X, PtrMode::PostInc, Reg::R0);
+            a.dec(Reg::R16);
+            a.brne(l);
+            a.ret();
+        }
+        2 => {
+            a.sbrc(Reg::R16, 3);
+            a.std(Ptr::Z, 9, Reg::R17);
+            a.ret();
+        }
+        3 => {
+            let f = a.label("f");
+            a.rcall(f);
+            a.ret();
+            a.bind(f);
+            a.cpse(Reg::R0, Reg::R1);
+            a.rjmp(f);
+            a.ret();
+        }
+        4 => {
+            let jt = SfiLayout::default_layout().jt_base as u32 + 3 * 128;
+            a.call_abs(jt);
+            a.ret();
+        }
+        _ => {
+            a.ldi(Reg::R30, 0);
+            a.ldi(Reg::R31, 0x10);
+            a.icall();
+            a.ret();
+        }
+    }
+    a
+}
+
+#[test]
+fn cfg_verifier_accepts_every_rewritten_test_module() {
+    let rt = runtime();
+    let v = CfgVerifier::for_runtime(&rt);
+    for variant in 0..6u8 {
+        let original = sample_module(variant).assemble(ORIGIN).unwrap();
+        let rewritten = rewrite(original.words(), ORIGIN, &[ORIGIN], ORIGIN, &rt).unwrap();
+        let entry = rewritten.translated(ORIGIN);
+        v.verify(rewritten.object.words(), ORIGIN, &[entry]).unwrap_or_else(|e| {
+            panic!("variant {variant}: deep verifier rejected rewriter output: {e}")
+        });
+        let analysis = v
+            .analyze(rewritten.object.words(), ORIGIN, &[entry])
+            .unwrap_or_else(|e| panic!("variant {variant}: analyze failed: {e}"));
+        // Variants with neither a computed transfer (5) nor a loop whose
+        // head is a save-ret prologue (1 loops at the entry itself, 3
+        // rjmps back to a called function) must certify finite bounds.
+        if !matches!(variant % 6, 1 | 3 | 5) {
+            assert!(!analysis.certificate.saturated, "variant {variant}: unexpected saturation");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Strict strengthening: on any single-word mutation of legitimate
+    /// rewriter output, a linear rejection implies a deep rejection with
+    /// the *identical* error.
+    #[test]
+    fn cfg_rejects_everything_linear_rejects(
+        variant in 0u8..6,
+        mutate_at in any::<u16>(),
+        mutate_to in any::<u16>(),
+    ) {
+        let rt = runtime();
+        let cfg = VerifierConfig::for_runtime(&rt);
+        let v = CfgVerifier::for_runtime(&rt);
+        let original = sample_module(variant).assemble(ORIGIN).unwrap();
+        let rewritten = rewrite(original.words(), ORIGIN, &[ORIGIN], ORIGIN, &rt).unwrap();
+        let entry = rewritten.translated(ORIGIN);
+
+        let mut mutated = rewritten.object.words().to_vec();
+        let at = (mutate_at as usize) % mutated.len();
+        mutated[at] = mutate_to;
+
+        let linear = verify(&mutated, ORIGIN, &cfg);
+        let deep = v.verify(&mutated, ORIGIN, &[entry]);
+        if let Err(le) = linear {
+            prop_assert_eq!(deep, Err(le), "deep verdict must subsume the linear one");
+        }
+        // When the linear scan accepts, the deep verifier may still reject
+        // (that is the whole point); no constraint in that direction.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The three corruption classes only the CFG verifier catches. Each test
+// first proves the linear verifier ACCEPTS the binary, then pins the deep
+// verifier's rejection to the exact error class.
+// ---------------------------------------------------------------------------
+
+/// Class 1: a branch lands directly on a store-check `call`, bypassing the
+/// `mov r0, rX` staging the rewriter placed before it. Linearly perfect —
+/// the landing is an instruction boundary and the call target is an
+/// allowed stub — but the value the stub checks is whatever happened to be
+/// in r0.
+#[test]
+fn store_check_bypass_is_caught_only_by_cfg() {
+    let rt = runtime();
+    let cfg = VerifierConfig::for_runtime(&rt);
+    let v = CfgVerifier::for_runtime(&rt);
+
+    let mut a = Asm::new();
+    let l = a.label("l");
+    let rr = a.constant("rr", rt.stub("harbor_restore_ret"));
+    a.jmp(l); // hop over the staging, straight onto the check
+    a.push(Reg::R0);
+    a.mov(Reg::R0, Reg::R16);
+    a.bind(l);
+    a.call_abs(rt.stub("harbor_st_x"));
+    a.pop(Reg::R0);
+    a.jmp(rr);
+    let obj = a.assemble(ORIGIN).unwrap();
+
+    verify(obj.words(), ORIGIN, &cfg).expect("linear verifier accepts the bypass");
+    assert!(matches!(
+        v.verify(obj.words(), ORIGIN, &[]),
+        Err(VerifyError::StoreCheckBypass { .. })
+    ));
+}
+
+/// Class 1b: the displaced-store variant — r0 is staged on every path but
+/// the branch skips the `ldi r24, q` displacement staging of a `std` stub.
+#[test]
+fn displaced_store_check_bypass_is_caught_only_by_cfg() {
+    let rt = runtime();
+    let cfg = VerifierConfig::for_runtime(&rt);
+    let v = CfgVerifier::for_runtime(&rt);
+
+    let mut a = Asm::new();
+    let l = a.label("l");
+    let rr = a.constant("rr", rt.stub("harbor_restore_ret"));
+    a.mov(Reg::R0, Reg::R17);
+    a.jmp(l); // skips only the r24 staging
+    a.ldi(Reg::R24, 9);
+    a.bind(l);
+    a.call_abs(rt.stub("harbor_std_z"));
+    a.jmp(rr);
+    let obj = a.assemble(ORIGIN).unwrap();
+
+    verify(obj.words(), ORIGIN, &cfg).expect("linear verifier accepts the bypass");
+    assert!(matches!(
+        v.verify(obj.words(), ORIGIN, &[]),
+        Err(VerifyError::StoreCheckBypass { .. })
+    ));
+}
+
+/// Class 2: an intra-module call targets a function whose first
+/// instruction is not `call harbor_save_ret` — its return address would
+/// live on the unprotected run-time stack for its whole activation. The
+/// linear verifier only checks that the target is an in-module boundary.
+#[test]
+fn missing_save_ret_prologue_is_caught_only_by_cfg() {
+    let rt = runtime();
+    let cfg = VerifierConfig::for_runtime(&rt);
+    let v = CfgVerifier::for_runtime(&rt);
+
+    let mut a = Asm::new();
+    let f = a.label("f");
+    let rr = a.constant("rr", rt.stub("harbor_restore_ret"));
+    a.call(f);
+    a.jmp(rr);
+    a.bind(f);
+    a.ldi(Reg::R16, 0); // no prologue
+    a.jmp(rr);
+    let obj = a.assemble(ORIGIN).unwrap();
+
+    verify(obj.words(), ORIGIN, &cfg).expect("linear verifier accepts the bare function");
+    assert!(matches!(
+        v.verify(obj.words(), ORIGIN, &[]),
+        Err(VerifyError::MissingSaveRetPrologue { .. })
+    ));
+}
+
+/// Class 3a: a reachable straight-line path runs off the module end into
+/// whatever flash happens to follow. The linear scan has no notion of
+/// "reaches the end without a terminator".
+#[test]
+fn straight_line_fall_off_end_is_caught_only_by_cfg() {
+    let rt = runtime();
+    let cfg = VerifierConfig::for_runtime(&rt);
+    let v = CfgVerifier::for_runtime(&rt);
+
+    let mut a = Asm::new();
+    a.ldi(Reg::R16, 1);
+    let obj = a.assemble(ORIGIN).unwrap();
+
+    verify(obj.words(), ORIGIN, &cfg).expect("linear verifier accepts the open end");
+    assert!(matches!(v.verify(obj.words(), ORIGIN, &[]), Err(VerifyError::FallsOffEnd { .. })));
+}
+
+/// Class 3b: a skip whose landing is exactly the module end. The linear
+/// rule only rejects landings *strictly inside* the module that miss an
+/// instruction boundary; landing == end sails through it.
+#[test]
+fn skip_landing_on_module_end_is_caught_only_by_cfg() {
+    let rt = runtime();
+    let cfg = VerifierConfig::for_runtime(&rt);
+    let v = CfgVerifier::for_runtime(&rt);
+
+    let mut a = Asm::new();
+    let rr = a.constant("rr", rt.stub("harbor_restore_ret"));
+    a.sbrc(Reg::R16, 0);
+    a.jmp(rr); // 2 words: the skip lands one past the last word
+    let obj = a.assemble(ORIGIN).unwrap();
+
+    verify(obj.words(), ORIGIN, &cfg).expect("linear verifier accepts the end landing");
+    assert!(matches!(v.verify(obj.words(), ORIGIN, &[]), Err(VerifyError::FallsOffEnd { .. })));
+}
+
+/// The linear attack battery, through the deep verifier: identical errors.
+#[test]
+fn deep_verifier_reproduces_linear_rejections_verbatim() {
+    let rt = runtime();
+    let cfg = VerifierConfig::for_runtime(&rt);
+    let v = CfgVerifier::for_runtime(&rt);
+
+    let mut batteries: Vec<Asm> = Vec::new();
+    let mut a = Asm::new();
+    a.ldi(Reg::R16, 1);
+    a.sts(0x0300, Reg::R16); // raw store
+    batteries.push(a);
+    let mut a = Asm::new();
+    a.ret(); // bare return
+    batteries.push(a);
+    let mut a = Asm::new();
+    a.call_abs(0); // escaping call
+    batteries.push(a);
+    let mut a = Asm::new();
+    a.ijmp(); // computed transfer
+    batteries.push(a);
+    let mut a = Asm::new();
+    a.out(0x3d, Reg::R16); // stack-pointer write
+    batteries.push(a);
+
+    for (i, asm) in batteries.into_iter().enumerate() {
+        let obj = asm.assemble(ORIGIN).unwrap();
+        let le = verify(obj.words(), ORIGIN, &cfg).unwrap_err();
+        let de = v.verify(obj.words(), ORIGIN, &[]).unwrap_err();
+        assert_eq!(le, de, "battery {i}: errors must match");
+    }
+}

@@ -1,0 +1,182 @@
+//! Soundness of the stack certificate: for seeded, generated modules, the
+//! observed high-water mark of *both* stacks under the simulator never
+//! exceeds the certified bound.
+//!
+//! Each generated module is rewritten, certified by [`CfgVerifier`], then
+//! driven through a cross-domain call while the harness single-steps the
+//! CPU, sampling the run-time stack pointer and the safe-stack pointer
+//! after every instruction. Reproduce a run with `HARBOR_SEED=n cargo test
+//! --test stack_soundness` (the default seed is fixed, so plain `cargo
+//! test` is deterministic).
+
+use avr_asm::Asm;
+use avr_core::exec::{Cpu, Step};
+use avr_core::isa::{Ptr, PtrMode, Reg};
+use avr_core::mem::{PlainEnv, RAMEND};
+use harbor::DomainId;
+use harbor_flow::CfgVerifier;
+use harbor_sfi::{rewrite, SfiLayout, SfiRuntime};
+use rand::{Rng, SeedableRng, StdRng};
+
+const RT_ORIGIN: u32 = 0x0040;
+const MOD_ORIGIN: u32 = 0x1000;
+const DOM: u8 = 2;
+const SEG: u16 = 0x0300;
+
+fn seed() -> u64 {
+    match std::env::var("HARBOR_SEED") {
+        Ok(v) => v.parse().expect("HARBOR_SEED must be a u64"),
+        Err(_) => 0x5eed,
+    }
+}
+
+/// One generated module: an entry that runs a random mix of stores,
+/// balanced push/pop nests, counted loops, skips, and local calls into a
+/// chain of helper functions (nesting ≤ 3). Every shape terminates and
+/// none loops back into a prologue, so the certificate stays finite.
+fn generate(rng: &mut StdRng) -> Asm {
+    // A body segment emitter shared by the entry and the helpers.
+    fn segment(a: &mut Asm, rng: &mut StdRng, id: usize) {
+        for step in 0..rng.gen_range(1usize..4) {
+            match rng.gen_range(0u8..5) {
+                0 => {
+                    a.ldi(Reg::R16, 0x11);
+                    a.sts(SEG + rng.gen_range(0u16..16), Reg::R16);
+                }
+                1 => {
+                    a.ldi(Reg::R26, (SEG & 0xff) as u8);
+                    a.ldi(Reg::R27, (SEG >> 8) as u8);
+                    a.st(Ptr::X, PtrMode::PostInc, Reg::R17);
+                }
+                2 => {
+                    // Balanced push/pop nest, depth 1–3.
+                    let depth = rng.gen_range(1u8..4);
+                    for d in 0..depth {
+                        a.push(Reg::num(16 + d));
+                    }
+                    for d in (0..depth).rev() {
+                        a.pop(Reg::num(16 + d));
+                    }
+                }
+                3 => {
+                    // Counted loop; the head is never the entry, so it can
+                    // never re-enter the save-ret prologue.
+                    let l = a.label(&format!("loop_{id}_{step}"));
+                    a.ldi(Reg::R18, rng.gen_range(1u8..5));
+                    a.bind(l);
+                    a.inc(Reg::R19);
+                    a.dec(Reg::R18);
+                    a.brne(l);
+                }
+                _ => {
+                    a.sbrc(Reg::R20, rng.gen_range(0u8..8));
+                    a.inc(Reg::R21);
+                }
+            }
+        }
+    }
+
+    let mut a = Asm::new();
+    let helpers = rng.gen_range(0usize..3);
+    let labels: Vec<_> = (0..helpers).map(|i| a.label(["h0", "h1", "h2"][i])).collect();
+
+    segment(&mut a, rng, 0);
+    if helpers > 0 && rng.gen_bool(0.8) {
+        a.rcall(labels[0]);
+    }
+    a.ret();
+
+    for (i, &l) in labels.iter().enumerate() {
+        a.bind(l);
+        segment(&mut a, rng, i + 1);
+        if i + 1 < helpers && rng.gen_bool(0.7) {
+            a.rcall(labels[i + 1]);
+        }
+        a.ret();
+    }
+    a
+}
+
+/// Installs runtime + module + jump table + driver, then single-steps to
+/// BREAK sampling both stacks. Returns (observed_run, observed_safe,
+/// rewritten_words, translated_entry).
+fn observe(rt: &SfiRuntime, asm: Asm) -> (u16, u16, Vec<u16>, u32) {
+    let layout = *rt.layout();
+    let mut env = PlainEnv::new();
+    rt.install(&mut env.flash, &mut env.data);
+
+    let original = asm.assemble(MOD_ORIGIN).expect("generated module assembles");
+    let rewritten = rewrite(original.words(), MOD_ORIGIN, &[MOD_ORIGIN], MOD_ORIGIN, rt)
+        .expect("generated module rewrites");
+    rewritten.object.load_into(&mut env.flash);
+    let entry = rewritten.translated(MOD_ORIGIN);
+    rt.set_code_bounds(
+        &mut env.data,
+        DomainId::num(DOM),
+        MOD_ORIGIN as u16,
+        rewritten.object.end() as u16,
+    );
+    let jt_entry = layout.jt_base + DOM as u16 * 128;
+    let mut jt = Asm::new();
+    let t = jt.constant("entry", entry);
+    jt.rjmp(t);
+    jt.assemble(jt_entry as u32).unwrap().load_into(&mut env.flash);
+
+    let mut k = Asm::new();
+    let xdom = k.constant("xdom", rt.stub("harbor_xdom_call"));
+    k.call(xdom);
+    k.words(&[jt_entry]);
+    k.brk();
+    k.assemble(0).unwrap().load_into(&mut env.flash);
+    rt.host_set_segment(&mut env.data, DomainId::num(DOM), SEG, 32).unwrap();
+
+    let mut cpu = Cpu::new(env);
+    let mut min_sp = RAMEND;
+    let mut max_ssp = layout.safe_stack_base;
+    for _ in 0..2_000_000u32 {
+        match cpu.step() {
+            Ok(Step::Continue) => {}
+            Ok(Step::Break) => {
+                let run = RAMEND - min_sp;
+                let safe = max_ssp - layout.safe_stack_base;
+                return (run, safe, rewritten.object.words().to_vec(), entry);
+            }
+            Ok(Step::Sleep) => panic!("generated module slept"),
+            Err(f) => panic!("generated module faulted: {f:?}"),
+        }
+        min_sp = min_sp.min(cpu.sp);
+        let ssp = cpu.env.sram_byte(layout.safe_stack_ptr) as u16
+            | ((cpu.env.sram_byte(layout.safe_stack_ptr + 1) as u16) << 8);
+        max_ssp = max_ssp.max(ssp);
+    }
+    panic!("generated module did not terminate");
+}
+
+#[test]
+fn observed_stack_depth_never_exceeds_certificate() {
+    let rt = SfiRuntime::build(SfiLayout::default_layout(), RT_ORIGIN);
+    let verifier = CfgVerifier::for_runtime(&rt);
+    let mut rng = StdRng::seed_from_u64(seed());
+
+    for case in 0..24 {
+        let asm = generate(&mut rng);
+        let (run, safe, words, entry) = observe(&rt, asm);
+        let analysis = verifier
+            .analyze(&words, MOD_ORIGIN, &[entry])
+            .unwrap_or_else(|e| panic!("case {case}: deep verify failed: {e}"));
+        let cert = analysis.certificate;
+        assert!(!cert.saturated, "case {case}: generator must not produce saturating shapes");
+        assert!(
+            run <= cert.run_stack_bytes,
+            "case {case}: observed run stack {run}B exceeds certified {}B",
+            cert.run_stack_bytes
+        );
+        assert!(
+            safe <= cert.safe_stack_bytes,
+            "case {case}: observed safe stack {safe}B exceeds certified {}B",
+            cert.safe_stack_bytes
+        );
+        assert!(run > 0, "case {case}: the driver call alone moves SP");
+        assert!(safe >= 5, "case {case}: the inbound xdom frame is on the safe stack");
+    }
+}

@@ -18,6 +18,11 @@
 //!   rewritten binary with constant state, so Harbor's safety depends only
 //!   on the verifier and run-time, never on the rewriter.
 //!
+//! A third, flow-sensitive verifier (`harbor_flow::CfgVerifier`, in
+//! `crates/flow`) layers CFG reconstruction and abstract interpretation on
+//! top of this crate; it shares the [`VerifyError`] surface and derives its
+//! allow-lists from the same [`StubRole`] table as the linear verifiers.
+//!
 //! Violations detected at run time are reported by writing the
 //! [`harbor::fault_code`] to the simulator panic port
 //! ([`avr_core::mem::PORT_PANIC`]), the software analogue of the UMPU
@@ -32,5 +37,5 @@ pub mod verifier;
 
 pub use layout::SfiLayout;
 pub use rewriter::{rewrite, RewriteError, RewrittenModule};
-pub use runtime::SfiRuntime;
+pub use runtime::{store_stub_name, SfiRuntime, StubRole, STUB_TABLE};
 pub use verifier::{verify, verify_constant_memory, VerifierConfig, VerifyError};

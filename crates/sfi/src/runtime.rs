@@ -68,7 +68,7 @@ impl SfiRuntime {
         let mut b = Builder::new(&mut a, layout);
         b.emit_all();
         let object = a.assemble(origin).expect("runtime assembles");
-        let stubs = STUB_NAMES.iter().map(|&n| (n, object.require(n))).collect();
+        let stubs = STUB_TABLE.iter().map(|&(n, _)| (n, object.require(n))).collect();
         SfiRuntime { layout, object, stubs }
     }
 
@@ -112,6 +112,18 @@ impl SfiRuntime {
     /// All stub entry addresses (for the verifier's allow-list).
     pub fn stub_addresses(&self) -> Vec<u32> {
         self.stubs.values().copied().collect()
+    }
+
+    /// Every stub's entry address with its module-visibility role — the
+    /// single classification table both the linear and the CFG verifier
+    /// derive their allow-lists from.
+    pub fn stub_roles(&self) -> Vec<(u32, StubRole)> {
+        STUB_TABLE.iter().map(|&(n, role)| (self.stub(n), role)).collect()
+    }
+
+    /// Role of the stub whose entry is at word address `addr`, if any.
+    pub fn stub_role_at(&self, addr: u32) -> Option<StubRole> {
+        STUB_TABLE.iter().find(|&&(n, _)| self.stub(n) == addr).map(|&(_, role)| role)
     }
 
     /// Loads the run-time into flash and initialises the protection state
@@ -197,25 +209,81 @@ impl SfiRuntime {
     }
 }
 
-const STUB_NAMES: &[&str] = &[
-    "harbor_st_x",
-    "harbor_st_x_inc",
-    "harbor_st_x_dec",
-    "harbor_st_y",
-    "harbor_st_y_inc",
-    "harbor_st_y_dec",
-    "harbor_st_z",
-    "harbor_st_z_inc",
-    "harbor_st_z_dec",
-    "harbor_std_y",
-    "harbor_std_z",
-    "harbor_save_ret",
-    "harbor_restore_ret",
-    "harbor_xdom_call",
-    "harbor_xdom_call_z",
-    "harbor_xdom_ret",
-    "harbor_icall_check",
-    "harbor_ijmp_check",
+/// How sandboxed module code may reference a run-time stub. This is the
+/// single source of truth for the verifiers' allow-lists: a stub is a legal
+/// `call` target iff [`StubRole::module_may_call`], a legal `jmp` target iff
+/// [`StubRole::module_may_jump`], and never module-visible otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StubRole {
+    /// A plain store-check stub (`harbor_st_*`): called with the value
+    /// staged in `r0`.
+    StoreCheck,
+    /// A displaced store-check stub (`harbor_std_y`/`_z`): called with the
+    /// value in `r0` and the displacement in `r24`.
+    DisplacedStoreCheck,
+    /// `harbor_save_ret`: called as the first instruction of every
+    /// rewritten function.
+    SaveRet,
+    /// `harbor_restore_ret`: jumped to in place of `ret`.
+    RestoreRet,
+    /// `harbor_xdom_call`: called with an inline jump-table operand word.
+    XdomCall,
+    /// `harbor_xdom_call_z`: trusted kernel dispatch — never reachable
+    /// from module code.
+    XdomCallZ,
+    /// `harbor_xdom_ret`: the return gate — never reachable from module
+    /// code.
+    XdomRet,
+    /// `harbor_icall_check`: called in place of `icall`.
+    IcallCheck,
+    /// `harbor_ijmp_check`: jumped to in place of `ijmp`.
+    IjmpCheck,
+}
+
+impl StubRole {
+    /// May module code `call`/`rcall` a stub of this role?
+    pub const fn module_may_call(self) -> bool {
+        matches!(
+            self,
+            StubRole::StoreCheck
+                | StubRole::DisplacedStoreCheck
+                | StubRole::SaveRet
+                | StubRole::XdomCall
+                | StubRole::IcallCheck
+        )
+    }
+
+    /// May module code `jmp` to a stub of this role?
+    pub const fn module_may_jump(self) -> bool {
+        matches!(self, StubRole::RestoreRet | StubRole::IjmpCheck)
+    }
+
+    /// Is this a store-check stub of either flavour?
+    pub const fn is_store_check(self) -> bool {
+        matches!(self, StubRole::StoreCheck | StubRole::DisplacedStoreCheck)
+    }
+}
+
+/// Every run-time stub, with its module-visibility classification.
+pub const STUB_TABLE: &[(&str, StubRole)] = &[
+    ("harbor_st_x", StubRole::StoreCheck),
+    ("harbor_st_x_inc", StubRole::StoreCheck),
+    ("harbor_st_x_dec", StubRole::StoreCheck),
+    ("harbor_st_y", StubRole::StoreCheck),
+    ("harbor_st_y_inc", StubRole::StoreCheck),
+    ("harbor_st_y_dec", StubRole::StoreCheck),
+    ("harbor_st_z", StubRole::StoreCheck),
+    ("harbor_st_z_inc", StubRole::StoreCheck),
+    ("harbor_st_z_dec", StubRole::StoreCheck),
+    ("harbor_std_y", StubRole::DisplacedStoreCheck),
+    ("harbor_std_z", StubRole::DisplacedStoreCheck),
+    ("harbor_save_ret", StubRole::SaveRet),
+    ("harbor_restore_ret", StubRole::RestoreRet),
+    ("harbor_xdom_call", StubRole::XdomCall),
+    ("harbor_xdom_call_z", StubRole::XdomCallZ),
+    ("harbor_xdom_ret", StubRole::XdomRet),
+    ("harbor_icall_check", StubRole::IcallCheck),
+    ("harbor_ijmp_check", StubRole::IjmpCheck),
 ];
 
 /// Stateful emitter for the runtime stubs.
@@ -681,7 +749,7 @@ mod tests {
     #[test]
     fn runtime_assembles_with_all_stubs() {
         let rt = SfiRuntime::build(SfiLayout::default_layout(), 0x0040);
-        for name in STUB_NAMES {
+        for (name, _) in STUB_TABLE {
             assert!(rt.stub(name) >= 0x0040, "stub {name}");
         }
         assert!(
@@ -705,6 +773,20 @@ mod tests {
         assert_eq!(data.read(l.mem_map_base), Ok(0xff), "map starts all-free");
         // Flash contains the runtime.
         assert_ne!(flash.word(rt.stub("harbor_st_x")), 0xffff);
+    }
+
+    #[test]
+    fn stub_roles_partition_the_stub_set() {
+        let rt = SfiRuntime::build(SfiLayout::default_layout(), 0x0040);
+        let roles = rt.stub_roles();
+        assert_eq!(roles.len(), STUB_TABLE.len());
+        for (addr, role) in roles {
+            // No stub is both a call target and a jump target, and the
+            // role is recoverable from the address alone.
+            assert!(!(role.module_may_call() && role.module_may_jump()), "{role:?}");
+            assert_eq!(rt.stub_role_at(addr), Some(role));
+        }
+        assert_eq!(rt.stub_role_at(0), None);
     }
 
     #[test]

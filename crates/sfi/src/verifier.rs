@@ -44,18 +44,22 @@ pub struct VerifierConfig {
 }
 
 impl VerifierConfig {
-    /// Builds the configuration matching a generated run-time.
+    /// Builds the configuration matching a generated run-time. The
+    /// allow-lists derive from the runtime's single stub classification
+    /// table ([`crate::runtime::STUB_TABLE`]), so every verifier enforces
+    /// the same module-visibility policy.
     pub fn for_runtime(rt: &SfiRuntime) -> VerifierConfig {
         let l = rt.layout();
-        let mut allowed_call_stubs: BTreeSet<u32> = rt.stub_addresses().into_iter().collect();
-        // The return gate, restore stub and trusted-dispatch entry are
-        // never valid *call* targets for modules.
-        allowed_call_stubs.remove(&rt.stub("harbor_xdom_ret"));
-        allowed_call_stubs.remove(&rt.stub("harbor_restore_ret"));
-        allowed_call_stubs.remove(&rt.stub("harbor_xdom_call_z"));
-        allowed_call_stubs.remove(&rt.stub("harbor_ijmp_check"));
-        let allowed_jump_stubs =
-            [rt.stub("harbor_restore_ret"), rt.stub("harbor_ijmp_check")].into_iter().collect();
+        let mut allowed_call_stubs = BTreeSet::new();
+        let mut allowed_jump_stubs = BTreeSet::new();
+        for (addr, role) in rt.stub_roles() {
+            if role.module_may_call() {
+                allowed_call_stubs.insert(addr);
+            }
+            if role.module_may_jump() {
+                allowed_jump_stubs.insert(addr);
+            }
+        }
         VerifierConfig {
             jt_base: l.jt_base as u32,
             jt_end: l.jt_end() as u32,
@@ -131,6 +135,31 @@ pub enum VerifyError {
         /// Word address of the call.
         addr: u32,
     },
+    /// A path reaches a store-check stub call without staging the checked
+    /// value first — some branch lands directly on the `call`, bypassing
+    /// the `push r0; mov r0, …` setup the rewriter plants. Only the
+    /// flow-sensitive verifier detects this.
+    StoreCheckBypass {
+        /// Word address of the store-check call.
+        addr: u32,
+    },
+    /// An intra-module call targets a function whose first instruction is
+    /// not `call harbor_save_ret` — its return address would stay on the
+    /// unprotected run-time stack. Only the flow-sensitive verifier
+    /// detects this.
+    MissingSaveRetPrologue {
+        /// Word address of the offending call (or of the entry itself).
+        addr: u32,
+        /// The callee entry address.
+        target: u32,
+    },
+    /// A reachable path runs off the end of the module image (straight-line
+    /// fall-through or a skip landing exactly on the end). Only the
+    /// flow-sensitive verifier detects this.
+    FallsOffEnd {
+        /// Word address of the last instruction on the offending path.
+        addr: u32,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -158,6 +187,18 @@ impl fmt::Display for VerifyError {
             }
             MissingInlineOperand { addr } => {
                 write!(f, "cross-domain call at {addr:#06x} lacks its inline operand")
+            }
+            StoreCheckBypass { addr } => {
+                write!(f, "path reaches store-check call at {addr:#06x} without staging r0")
+            }
+            MissingSaveRetPrologue { addr, target } => {
+                write!(
+                    f,
+                    "call at {addr:#06x} targets {target:#06x} which lacks the save-ret prologue"
+                )
+            }
+            FallsOffEnd { addr } => {
+                write!(f, "reachable path falls off the module end after {addr:#06x}")
             }
         }
     }

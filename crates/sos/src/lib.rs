@@ -55,5 +55,5 @@ pub mod system;
 
 pub use kernel::{JtEntry, KernelApi, KernelImage, MSG_INIT, MSG_TIMER};
 pub use layout::SosLayout;
-pub use loader::ModuleSource;
+pub use loader::{LoadError, LoadPolicy, ModuleSource};
 pub use system::{Protection, SosSystem};

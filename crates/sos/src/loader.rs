@@ -8,6 +8,7 @@ use crate::system::Protection;
 use avr_asm::{Asm, Object};
 use avr_core::isa::{self, Instr};
 use harbor::DomainId;
+use harbor_flow::CfgVerifier;
 use harbor_sfi::{rewrite, verify, SfiRuntime, VerifierConfig};
 use std::fmt;
 
@@ -81,6 +82,33 @@ pub struct LoadedModule {
     pub entry_addrs: Vec<u32>,
 }
 
+/// Admission policy the loader applies to SFI modules *before* they are
+/// burned into flash.
+///
+/// The certified stack bound comes from `harbor-flow`'s abstract
+/// interpretation, so a module that would eventually overflow the shared
+/// safe-stack region is rejected at load time with a typed error instead
+/// of faulting at an arbitrary call depth at run time. Only the SFI build
+/// is gated (the other builds have no safe stack to protect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadPolicy {
+    /// Most certified safe-stack bytes a single module may demand
+    /// (inbound cross-domain frame included). A saturated certificate —
+    /// recursion, prologue re-entry, computed transfers — always exceeds
+    /// this.
+    pub safe_stack_allotment: u16,
+    /// Also run the flow-sensitive deep verifier (`CfgVerifier`), not just
+    /// the linear scan, before accepting the module.
+    pub deep_verify: bool,
+}
+
+impl LoadPolicy {
+    /// A policy with the given allotment and deep verification on.
+    pub const fn with_allotment(safe_stack_allotment: u16) -> LoadPolicy {
+        LoadPolicy { safe_stack_allotment, deep_verify: true }
+    }
+}
+
 /// Loading failed.
 #[derive(Debug)]
 pub enum LoadError {
@@ -97,6 +125,17 @@ pub enum LoadError {
     Rewrite(harbor_sfi::RewriteError),
     /// The SFI verifier rejected the (rewritten) module.
     Verify(harbor_sfi::VerifyError),
+    /// The module's certified worst-case stack demand exceeds the load
+    /// policy's safe-stack allotment (`certified == u16::MAX` means the
+    /// analysis found no finite bound at all).
+    StackBound {
+        /// Module name.
+        name: &'static str,
+        /// Certified safe-stack bytes.
+        certified: u16,
+        /// The policy's allotment.
+        allotment: u16,
+    },
 }
 
 impl fmt::Display for LoadError {
@@ -107,11 +146,52 @@ impl fmt::Display for LoadError {
             }
             LoadError::Rewrite(e) => write!(f, "rewriter rejected module: {e}"),
             LoadError::Verify(e) => write!(f, "verifier rejected module: {e}"),
+            LoadError::StackBound { name, certified, allotment } => {
+                write!(
+                    f,
+                    "module `{name}`: certified safe-stack demand {certified}B \
+                     exceeds the {allotment}B allotment"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for LoadError {}
+
+/// Applies `policy` to an already-verified SFI module image: optionally
+/// the deep verifier, always the certified-stack-bound gate. This is the
+/// single admission point — the local loader and `harbor-fleet`'s
+/// dissemination install path both call it, so a module rejected here
+/// never reaches flash by either route.
+///
+/// # Errors
+///
+/// [`LoadError::Verify`] from the deep verifier, or
+/// [`LoadError::StackBound`] when the certificate exceeds the allotment
+/// (or is saturated).
+pub fn check_policy(
+    policy: &LoadPolicy,
+    name: &'static str,
+    words: &[u16],
+    origin: u32,
+    entries: &[u32],
+    rt: &SfiRuntime,
+) -> Result<(), LoadError> {
+    let verifier = CfgVerifier::for_runtime(rt);
+    if policy.deep_verify {
+        verifier.verify(words, origin, entries).map_err(LoadError::Verify)?;
+    }
+    let cert = verifier.certify(words, origin, entries).map_err(LoadError::Verify)?;
+    if cert.saturated || cert.safe_stack_bytes > policy.safe_stack_allotment {
+        return Err(LoadError::StackBound {
+            name,
+            certified: cert.safe_stack_bytes,
+            allotment: policy.safe_stack_allotment,
+        });
+    }
+    Ok(())
+}
 
 /// Assembles (and, under SFI, sandboxes) a module into its slot.
 ///
@@ -123,6 +203,23 @@ pub fn load_module(
     layout: &SosLayout,
     protection: Protection,
     runtime: Option<&SfiRuntime>,
+) -> Result<LoadedModule, LoadError> {
+    load_module_with_policy(src, layout, protection, runtime, None)
+}
+
+/// [`load_module`] with an optional admission policy. The policy only
+/// applies to the SFI build (the gate reasons about the safe stack, which
+/// the other builds do not have).
+///
+/// # Errors
+///
+/// See [`LoadError`].
+pub fn load_module_with_policy(
+    src: &ModuleSource,
+    layout: &SosLayout,
+    protection: Protection,
+    runtime: Option<&SfiRuntime>,
+    policy: Option<&LoadPolicy>,
 ) -> Result<LoadedModule, LoadError> {
     let origin = layout.slot_for(src.domain.index());
     let ctx = ModuleCtx {
@@ -142,7 +239,10 @@ pub fn load_module(
                 .map_err(LoadError::Rewrite)?;
             verify(rewritten.object.words(), origin, &VerifierConfig::for_runtime(rt))
                 .map_err(LoadError::Verify)?;
-            let addrs = entry_points.iter().map(|&e| rewritten.translated(e)).collect();
+            let addrs: Vec<u32> = entry_points.iter().map(|&e| rewritten.translated(e)).collect();
+            if let Some(p) = policy {
+                check_policy(p, src.name, rewritten.object.words(), origin, &addrs, rt)?;
+            }
             (rewritten.object, addrs)
         }
         _ => {

@@ -3,7 +3,10 @@
 
 use crate::kernel::{JtEntry, KernelApi, KernelImage, MSG_INIT};
 use crate::layout::SosLayout;
-use crate::loader::{build_jump_tables, load_module, LoadError, LoadedModule, ModuleSource};
+use crate::loader::{
+    build_jump_tables, check_policy, load_module, load_module_with_policy, LoadError, LoadPolicy,
+    LoadedModule, ModuleSource,
+};
 use avr_asm::Asm;
 use avr_core::exec::{Cpu, Step};
 use avr_core::mem::{Flash, PlainEnv};
@@ -47,6 +50,7 @@ pub struct SosSystem {
     pub modules: Vec<LoadedModule>,
     mach: Mach,
     booted: bool,
+    load_policy: Option<LoadPolicy>,
 }
 
 impl SosSystem {
@@ -124,7 +128,16 @@ impl SosSystem {
             }
         };
 
-        Ok(SosSystem { protection, layout, kernel, runtime, modules, mach, booted: false })
+        Ok(SosSystem {
+            protection,
+            layout,
+            kernel,
+            runtime,
+            modules,
+            mach,
+            booted: false,
+            load_policy: None,
+        })
     }
 
     /// Boots the system: runs the kernel's reset/init code to its boot
@@ -231,9 +244,48 @@ impl SosSystem {
     /// Panics if called before [`SosSystem::boot`] or if the domain is
     /// already occupied.
     pub fn load_module(&mut self, src: &ModuleSource) -> Result<(), LoadError> {
-        let loaded = load_module(src, &self.layout, self.protection, self.runtime.as_ref())?;
+        let loaded = load_module_with_policy(
+            src,
+            &self.layout,
+            self.protection,
+            self.runtime.as_ref(),
+            self.load_policy.as_ref(),
+        )?;
         self.install_module(loaded);
         Ok(())
+    }
+
+    /// Sets (or clears) the admission policy applied by
+    /// [`SosSystem::load_module`] and [`SosSystem::admit_module`]. Only the
+    /// SFI build gates; the policy is inert under `None`/`Umpu`.
+    pub fn set_load_policy(&mut self, policy: Option<LoadPolicy>) {
+        self.load_policy = policy;
+    }
+
+    /// The current admission policy.
+    pub fn load_policy(&self) -> Option<LoadPolicy> {
+        self.load_policy
+    }
+
+    /// Checks a **pre-assembled** module (e.g. one that arrived over a
+    /// transport) against the admission policy without installing it. With
+    /// no policy set, or outside the SFI build, every module is admitted.
+    ///
+    /// # Errors
+    ///
+    /// See [`check_policy`].
+    pub fn admit_module(&self, loaded: &LoadedModule) -> Result<(), LoadError> {
+        match (&self.load_policy, self.protection, self.runtime.as_ref()) {
+            (Some(policy), Protection::Sfi, Some(rt)) => check_policy(
+                policy,
+                loaded.name,
+                loaded.object.words(),
+                loaded.object.origin(),
+                &loaded.entry_addrs,
+                rt,
+            ),
+            _ => Ok(()),
+        }
     }
 
     /// Installs a **pre-assembled** module into a booted system — the tail

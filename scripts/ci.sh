@@ -14,4 +14,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q"
 cargo test --workspace -q
 
+echo "== harbor-flow lint-modules -D"
+cargo run -q -p harbor-flow --bin lint-modules -- -D
+
 echo "== ci: all green"

@@ -90,6 +90,70 @@ fn disseminated_module_is_bit_identical_to_direct_load() {
 }
 
 #[test]
+fn load_policy_quarantines_over_budget_module_on_every_node() {
+    // A 6-byte allotment admits nothing (the inbound cross-domain frame
+    // alone is 5 bytes and every entry adds a 2-byte save-ret frame): the
+    // disseminated image must complete reassembly on every node and then
+    // be quarantined by the admission gate — never burned into flash.
+    let cfg = FleetConfig {
+        nodes: NODES,
+        protection: Protection::Sfi,
+        seed: seed(),
+        threads: 4,
+        load_policy: Some(mini_sos::LoadPolicy::with_allotment(6)),
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::new(&cfg, &[modules::surge(1, TREE_DOM)]).expect("fleet builds");
+    let layout = fleet.layout();
+    let image = ModuleImage::assemble(&modules::tree_routing(TREE_DOM), &layout, Protection::Sfi)
+        .expect("image assembles");
+    let id = fleet.disseminate(&image);
+    fleet.run_rounds(200);
+
+    assert!(!fleet.converged(), "a quarantined image never converges");
+    let slot = layout.slot_for(TREE_DOM);
+    for v in 0..NODES {
+        fleet.with_node(v, |node| {
+            assert!(node.has_quarantined(id), "node {v} quarantined the image");
+            assert!(!node.has_installed(id), "node {v} must not install it");
+            assert_eq!(node.telemetry.quarantined, 1, "node {v} counted one quarantine");
+            assert!(
+                node.sys.modules.iter().all(|m| m.domain != DomainId::num(TREE_DOM)),
+                "node {v}: nothing occupies the target domain"
+            );
+            // The flash slot was never written (still erased).
+            assert!(
+                node.sys.flash_words(slot, image.words.len() as u32).iter().all(|&w| w == 0xffff),
+                "node {v}: flash slot untouched"
+            );
+        });
+    }
+
+    // The same image under a generous policy converges normally — the gate
+    // itself does not disturb dissemination.
+    let cfg = FleetConfig {
+        nodes: NODES,
+        protection: Protection::Sfi,
+        seed: seed(),
+        threads: 4,
+        load_policy: Some(mini_sos::LoadPolicy::with_allotment(128)),
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::new(&cfg, &[modules::surge(1, TREE_DOM)]).expect("fleet builds");
+    let image =
+        ModuleImage::assemble(&modules::tree_routing(TREE_DOM), &fleet.layout(), Protection::Sfi)
+            .expect("image assembles");
+    let id = fleet.disseminate(&image);
+    fleet.run_until_converged(400).expect("gated fleet still converges");
+    for v in 0..NODES {
+        fleet.with_node(v, |node| {
+            assert!(node.has_installed(id), "node {v} installed under the roomy policy");
+            assert_eq!(node.telemetry.quarantined, 0, "node {v}: no quarantines");
+        });
+    }
+}
+
+#[test]
 fn fleet_runs_are_reproducible_from_the_seed_across_schedules() {
     let run = |threads: usize| {
         let cfg = FleetConfig {
