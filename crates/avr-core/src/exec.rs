@@ -146,6 +146,13 @@ pub trait Env {
     fn next_irq_at(&self) -> Option<u64> {
         None
     }
+
+    /// Observes the CPU's cycle counter at the start of each step — the
+    /// trace-instrumentation hook: an environment that stamps protection
+    /// events (see the `harbor-scope` crate) latches this value so events
+    /// raised from bus hooks carry the cycle of the instruction that caused
+    /// them. Purely observational; the default keeps nothing.
+    fn set_now(&mut self, _cycles: u64) {}
 }
 
 /// One retired instruction, as recorded by [`Cpu::step_traced`].
@@ -398,6 +405,7 @@ impl<E: Env> Cpu<E> {
     /// state is left as of the start of the faulting instruction's commit —
     /// suitable for inspection by an exception handler in the harness.
     pub fn step(&mut self) -> Result<Step, Fault> {
+        self.env.set_now(self.cycles);
         // Interrupt dispatch: between instructions, with I set.
         if self.flag(flags::I) {
             if let Some(vector) = self.env.poll_irq(self.cycles) {

@@ -1,0 +1,105 @@
+//! Tracing overhead bench: host wall-time of a fleet run with no sinks, a
+//! bounded ring sink per node, and an unbounded stream sink per node, at
+//! 64/256/512 nodes. The simulated machines must be byte-identical across
+//! the three modes — tracing is observational — so the bench asserts equal
+//! cycle and instruction totals before reporting wall-clock cost. Results
+//! land in `BENCH_scope.json`.
+//!
+//! ```sh
+//! cargo run --release -p harbor-bench --bin scope_overhead -- --seed 7
+//! ```
+
+use harbor::DomainId;
+use harbor_fleet::{Fleet, FleetConfig, NetConfig};
+use harbor_scope::SinkSpec;
+use mini_sos::kernel::MSG_TIMER;
+use mini_sos::{modules, Protection};
+use std::time::Instant;
+
+const ROUNDS: u64 = 40;
+
+struct Run {
+    wall_ms: f64,
+    cycles: u64,
+    instructions: u64,
+    recorded: u64,
+    dropped: u64,
+}
+
+/// One timed run under the given sink mode.
+fn run_once(nodes: usize, scope: Option<SinkSpec>, seed: u64) -> Run {
+    let cfg = FleetConfig {
+        nodes,
+        protection: Protection::Umpu,
+        seed,
+        net: NetConfig { loss: 0.1, ..NetConfig::default() },
+        threads: 1, // serial: wall-time differences come from the sinks only
+        scope,
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::new(&cfg, &[modules::blink(0)]).expect("fleet builds");
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        fleet.post_all(DomainId::num(0), MSG_TIMER);
+        fleet.step_round();
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let t = fleet.telemetry();
+    Run {
+        wall_ms,
+        cycles: t.total(|n| n.cycles),
+        instructions: t.total(|n| n.instructions),
+        recorded: t.scope.as_ref().map_or(0, |s| s.recorded),
+        dropped: t.scope.as_ref().map_or(0, |s| s.dropped),
+    }
+}
+
+fn seed_from_args() -> u64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--seed" {
+            let v = args.next().expect("--seed needs a value");
+            return v.parse().expect("--seed must be a u64");
+        }
+    }
+    0x5c09e
+}
+
+fn main() {
+    let seed = seed_from_args();
+    println!("scope_overhead: seed={seed}, {ROUNDS} rounds per run, serial stepping\n");
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>10}  {:>12}  identical",
+        "nodes", "none ms", "ring ms", "stream ms", "events"
+    );
+
+    let mut runs = Vec::new();
+    for nodes in [64usize, 256, 512] {
+        let none = run_once(nodes, None, seed);
+        let ring = run_once(nodes, Some(SinkSpec::Ring(256)), seed);
+        let stream = run_once(nodes, Some(SinkSpec::Stream), seed);
+        let identical = none.cycles == ring.cycles
+            && none.cycles == stream.cycles
+            && none.instructions == ring.instructions
+            && none.instructions == stream.instructions;
+        assert!(identical, "{nodes}-node run: sinks must not perturb the machines");
+        assert_eq!(ring.recorded, stream.recorded, "both sinks see every event");
+        assert!(ring.dropped > 0, "256-slot rings overflow on this workload");
+        assert_eq!(stream.dropped, 0, "stream sinks never drop");
+        println!(
+            "{nodes:>6}  {:>10.1}  {:>10.1}  {:>10.1}  {:>12}  {identical}",
+            none.wall_ms, ring.wall_ms, stream.wall_ms, stream.recorded
+        );
+        runs.push(format!(
+            "{{\"nodes\":{nodes},\"rounds\":{ROUNDS},\
+             \"none_ms\":{:.3},\"ring_ms\":{:.3},\"stream_ms\":{:.3},\
+             \"events\":{},\"ring_dropped\":{},\"machine_identical\":{identical}}}",
+            none.wall_ms, ring.wall_ms, stream.wall_ms, stream.recorded, ring.dropped
+        ));
+    }
+
+    let json =
+        format!("{{\"bench\":\"scope_overhead\",\"seed\":{seed},\"runs\":[{}]}}", runs.join(","));
+    std::fs::write("BENCH_scope.json", &json).expect("write BENCH_scope.json");
+    println!("\nwrote BENCH_scope.json");
+}

@@ -116,6 +116,31 @@ impl JumpTableLayout {
         let entry = off % self.entries_per_domain;
         Ok(Some((DomainId::num(dom as u8), entry)))
     }
+
+    /// [`JumpTableLayout::classify`] with trace emission: a target landing
+    /// in a table records a [`harbor_scope::Event::JumpTableDispatch`]
+    /// (local calls and overflows emit nothing — the tracker reports those).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`JumpTableLayout::classify`].
+    pub fn classify_traced(
+        &self,
+        target: u16,
+        cycles: u64,
+        sink: &mut dyn harbor_scope::TraceSink,
+    ) -> Result<Option<(DomainId, u16)>, ProtectionFault> {
+        let r = self.classify(target);
+        if let Ok(Some((dom, entry))) = &r {
+            sink.record(&harbor_scope::Event::JumpTableDispatch {
+                cycles,
+                domain: dom.index(),
+                entry: *entry,
+                target,
+            });
+        }
+        r
+    }
 }
 
 #[cfg(test)]
@@ -167,5 +192,19 @@ mod tests {
         let jt = JumpTableLayout::with_entries(0x0400, 4, 32);
         assert_eq!(jt.total_bytes(), 4 * 32 * 2);
         assert_eq!(jt.classify(0x0400 + 33).unwrap(), Some((DomainId::num(1), 1)));
+    }
+
+    #[test]
+    fn traced_classify_emits_only_on_dispatch() {
+        use harbor_scope::{Event, ScopeSink};
+        let jt = JumpTableLayout::new(0x0800, 8);
+        let mut sink = ScopeSink::stream();
+        assert_eq!(jt.classify_traced(0x0100, 1, &mut sink), jt.classify(0x0100));
+        assert_eq!(jt.classify_traced(0x0885, 2, &mut sink), jt.classify(0x0885));
+        assert_eq!(jt.classify_traced(0x0c00, 3, &mut sink), jt.classify(0x0c00));
+        assert_eq!(
+            sink.events(),
+            vec![Event::JumpTableDispatch { cycles: 2, domain: 1, entry: 5, target: 0x0885 }]
+        );
     }
 }

@@ -475,6 +475,32 @@ impl MemoryMap {
         }
     }
 
+    /// [`MemoryMap::check_write`] with trace emission: the decision is
+    /// recorded as a [`harbor_scope::Event::MemMapCheck`] stamped with
+    /// `cycles` (stall 1, the hardware checker's extra bus cycle). The
+    /// arbitration itself is byte-for-byte the untraced method.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`MemoryMap::check_write`].
+    pub fn check_write_traced(
+        &self,
+        domain: DomainId,
+        addr: u16,
+        cycles: u64,
+        sink: &mut dyn harbor_scope::TraceSink,
+    ) -> Result<(), ProtectionFault> {
+        let r = self.check_write(domain, addr);
+        sink.record(&harbor_scope::Event::MemMapCheck {
+            cycles,
+            domain: domain.index(),
+            addr,
+            granted: r.is_ok(),
+            stall: 1,
+        });
+        r
+    }
+
     /// Marks `len` bytes starting at block-aligned `addr` as a segment owned
     /// by `owner` (the first block gets the start flag). `len` is rounded up
     /// to whole blocks.
@@ -819,5 +845,31 @@ mod tests {
         m.set_segment(DomainId::num(2), 0x0100, 32).unwrap();
         let clone = MemoryMap::from_raw(*m.config(), m.as_bytes().to_vec());
         assert_eq!(clone, m);
+    }
+
+    #[test]
+    fn traced_check_matches_untraced_and_emits() {
+        use harbor_scope::{Event, ScopeSink};
+        let mut m = MemoryMap::new(cfg());
+        let d2 = DomainId::num(2);
+        m.set_segment(d2, 0x0110, 8).unwrap();
+        let mut sink = ScopeSink::stream();
+        let ok = m.check_write_traced(d2, 0x0112, 10, &mut sink);
+        assert_eq!(ok, m.check_write(d2, 0x0112));
+        let denied = m.check_write_traced(DomainId::num(3), 0x0112, 11, &mut sink);
+        assert_eq!(denied, m.check_write(DomainId::num(3), 0x0112));
+        assert_eq!(
+            sink.events(),
+            vec![
+                Event::MemMapCheck { cycles: 10, domain: 2, addr: 0x0112, granted: true, stall: 1 },
+                Event::MemMapCheck {
+                    cycles: 11,
+                    domain: 3,
+                    addr: 0x0112,
+                    granted: false,
+                    stall: 1
+                },
+            ]
+        );
     }
 }

@@ -160,6 +160,54 @@ impl SafeStack {
         Ok(e)
     }
 
+    /// [`SafeStack::push`] with trace emission: a successful push records a
+    /// [`harbor_scope::Event::SafeStackPush`] (with the post-push pointer),
+    /// an overflow records [`harbor_scope::Event::SafeStackOverflow`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`SafeStack::push`].
+    pub fn push_traced(
+        &mut self,
+        e: SafeStackEntry,
+        cycles: u64,
+        sink: &mut dyn harbor_scope::TraceSink,
+    ) -> Result<(), ProtectionFault> {
+        let frame = matches!(e, SafeStackEntry::CrossDomain { .. });
+        let r = self.push(e);
+        match r {
+            Ok(()) => {
+                sink.record(&harbor_scope::Event::SafeStackPush { cycles, frame, ptr: self.ptr() })
+            }
+            Err(_) => {
+                sink.record(&harbor_scope::Event::SafeStackOverflow { cycles, ptr: self.ptr() })
+            }
+        }
+        r
+    }
+
+    /// [`SafeStack::pop`] with trace emission: a successful pop records a
+    /// [`harbor_scope::Event::SafeStackPop`] with the post-pop pointer.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`SafeStack::pop`].
+    pub fn pop_traced(
+        &mut self,
+        cycles: u64,
+        sink: &mut dyn harbor_scope::TraceSink,
+    ) -> Result<SafeStackEntry, ProtectionFault> {
+        let r = self.pop();
+        if let Ok(e) = &r {
+            sink.record(&harbor_scope::Event::SafeStackPop {
+                cycles,
+                frame: matches!(e, SafeStackEntry::CrossDomain { .. }),
+                ptr: self.ptr(),
+            });
+        }
+        r
+    }
+
     /// Serialises the whole stack to bytes, bottom to top — the exact RAM
     /// image at [`SafeStack::base`].
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -232,6 +280,37 @@ mod tests {
             s.to_bytes(),
             vec![0xaa, 0xbb, 0x22, 0x11, 0xee, 0x0f, 3],
             "ret-addr little endian, then frame: ret, bound, caller"
+        );
+    }
+
+    #[test]
+    fn traced_push_pop_emit_and_match_untraced() {
+        use harbor_scope::{Event, ScopeSink};
+        let mut s = SafeStack::new(0x0300, 7);
+        let mut sink = ScopeSink::stream();
+        s.push_traced(SafeStackEntry::RetAddr(0x10), 1, &mut sink).unwrap();
+        s.push_traced(
+            SafeStackEntry::CrossDomain {
+                caller: DomainId::num(1),
+                stack_bound: 0xf00,
+                ret_addr: 0x20,
+            },
+            2,
+            &mut sink,
+        )
+        .unwrap();
+        // Full: a further push overflows and reports the failed pointer.
+        assert!(s.push_traced(SafeStackEntry::RetAddr(0x30), 3, &mut sink).is_err());
+        let popped = s.pop_traced(4, &mut sink).unwrap();
+        assert!(matches!(popped, SafeStackEntry::CrossDomain { .. }));
+        assert_eq!(
+            sink.events(),
+            vec![
+                Event::SafeStackPush { cycles: 1, frame: false, ptr: 0x0302 },
+                Event::SafeStackPush { cycles: 2, frame: true, ptr: 0x0307 },
+                Event::SafeStackOverflow { cycles: 3, ptr: 0x0307 },
+                Event::SafeStackPop { cycles: 4, frame: true, ptr: 0x0302 },
+            ]
         );
     }
 }

@@ -192,6 +192,57 @@ impl DomainTracker {
         }
     }
 
+    /// [`DomainTracker::on_call`] with trace emission. A local call records
+    /// a plain [`harbor_scope::Event::SafeStackPush`]; a cross-domain call
+    /// records the [`harbor_scope::Event::JumpTableDispatch`], the frame
+    /// push and the [`harbor_scope::Event::CrossDomainCall`] edge with the
+    /// Table-3 stall. The arbitration itself is byte-for-byte the untraced
+    /// method.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`DomainTracker::on_call`].
+    pub fn on_call_traced(
+        &mut self,
+        target: u16,
+        ret_addr: u16,
+        sp: u16,
+        cycles: u64,
+        sink: &mut dyn harbor_scope::TraceSink,
+    ) -> Result<CallResolution, ProtectionFault> {
+        let caller = self.current.index();
+        let r = self.on_call(target, ret_addr, sp);
+        match &r {
+            Ok(CallResolution::Local) => sink.record(&harbor_scope::Event::SafeStackPush {
+                cycles,
+                frame: false,
+                ptr: self.safe_stack.ptr(),
+            }),
+            Ok(CallResolution::CrossDomain { callee, entry }) => {
+                sink.record(&harbor_scope::Event::JumpTableDispatch {
+                    cycles,
+                    domain: callee.index(),
+                    entry: *entry,
+                    target,
+                });
+                sink.record(&harbor_scope::Event::SafeStackPush {
+                    cycles,
+                    frame: true,
+                    ptr: self.safe_stack.ptr(),
+                });
+                sink.record(&harbor_scope::Event::CrossDomainCall {
+                    cycles,
+                    caller,
+                    callee: callee.index(),
+                    target,
+                    stall: 5,
+                });
+            }
+            Err(_) => {}
+        }
+        r
+    }
+
     /// Arbitrates a `RET`: pops the top safe-stack entry. A cross-domain
     /// frame restores the caller's domain and stack bound.
     ///
@@ -208,6 +259,40 @@ impl DomainTracker {
                 Ok(RetResolution { target: ret_addr, cross_domain: true })
             }
         }
+    }
+
+    /// [`DomainTracker::on_ret`] with trace emission: the pop is recorded
+    /// as a [`harbor_scope::Event::SafeStackPop`], and unwinding a
+    /// cross-domain frame additionally records the
+    /// [`harbor_scope::Event::CrossDomainRet`] edge with the Table-3 stall.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`DomainTracker::on_ret`].
+    pub fn on_ret_traced(
+        &mut self,
+        cycles: u64,
+        sink: &mut dyn harbor_scope::TraceSink,
+    ) -> Result<RetResolution, ProtectionFault> {
+        let from = self.current.index();
+        let r = self.on_ret();
+        if let Ok(res) = &r {
+            sink.record(&harbor_scope::Event::SafeStackPop {
+                cycles,
+                frame: res.cross_domain,
+                ptr: self.safe_stack.ptr(),
+            });
+            if res.cross_domain {
+                sink.record(&harbor_scope::Event::CrossDomainRet {
+                    cycles,
+                    from,
+                    to: self.current.index(),
+                    target: res.target,
+                    stall: 5,
+                });
+            }
+        }
+        r
     }
 }
 
@@ -324,5 +409,52 @@ mod tests {
             t.on_call(0x0900, 0, 0x0fc0),
             Err(ProtectionFault::TrackerDepthExceeded { depth: 3 })
         ));
+    }
+
+    #[test]
+    fn traced_call_ret_emit_edges_and_match_untraced() {
+        use harbor_scope::{Event, EventKind, ScopeSink};
+        let mut traced = tracker();
+        let mut plain = tracker();
+        let mut sink = ScopeSink::stream();
+
+        // Local call: push only.
+        let r1 = traced.on_call_traced(0x0100, 0x0042, 0x0f80, 5, &mut sink).unwrap();
+        assert_eq!(r1, plain.on_call(0x0100, 0x0042, 0x0f80).unwrap());
+        // Cross-domain call into domain 2's table, entry 3.
+        let r2 = traced.on_call_traced(0x0903, 0x0050, 0x0f70, 9, &mut sink).unwrap();
+        assert_eq!(r2, plain.on_call(0x0903, 0x0050, 0x0f70).unwrap());
+        // Unwind both.
+        assert_eq!(traced.on_ret_traced(14, &mut sink).unwrap(), plain.on_ret().unwrap());
+        assert_eq!(traced.on_ret_traced(15, &mut sink).unwrap(), plain.on_ret().unwrap());
+        assert_eq!(traced, plain, "tracing must not change tracker state");
+
+        let evs = sink.events();
+        assert_eq!(
+            evs.iter().map(|e| e.kind()).collect::<Vec<_>>(),
+            vec![
+                EventKind::SafeStackPush,
+                EventKind::JumpTableDispatch,
+                EventKind::SafeStackPush,
+                EventKind::CrossDomainCall,
+                EventKind::SafeStackPop,
+                EventKind::CrossDomainRet,
+                EventKind::SafeStackPop,
+            ]
+        );
+        assert!(evs.contains(&Event::CrossDomainCall {
+            cycles: 9,
+            caller: 7,
+            callee: 2,
+            target: 0x0903,
+            stall: 5
+        }));
+        assert!(evs.contains(&Event::CrossDomainRet {
+            cycles: 14,
+            from: 2,
+            to: 7,
+            target: 0x0050,
+            stall: 5
+        }));
     }
 }

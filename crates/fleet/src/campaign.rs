@@ -208,7 +208,7 @@ pub fn run_campaign(protection: Protection, cfg: &CampaignConfig) -> CampaignRep
         protection: format!("{protection:?}"),
         nodes: fleet.len(),
         injected: victims.len(),
-        faults_raised: telemetry.total(|n| n.faults),
+        faults_raised: telemetry.total(crate::NodeTelemetry::faults),
         contained,
         corrupted,
         recovered,

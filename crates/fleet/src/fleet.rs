@@ -59,6 +59,12 @@ pub struct FleetConfig {
     /// modules (SFI builds only): an image whose certified stack bound
     /// exceeds the allotment is quarantined instead of installed.
     pub load_policy: Option<mini_sos::LoadPolicy>,
+    /// Optional per-node trace sink. When set, every node carries a sink of
+    /// this shape (typically a small `Ring` — bounded memory per node) and
+    /// [`Fleet::telemetry`] includes the fleet-wide
+    /// [`crate::ScopeAggregate`]. Tracing is observational: attaching sinks
+    /// leaves the simulated machines byte-identical.
+    pub scope: Option<harbor_scope::SinkSpec>,
 }
 
 impl Default for FleetConfig {
@@ -72,6 +78,7 @@ impl Default for FleetConfig {
             threads: 0,
             chunk_bytes: 32,
             load_policy: None,
+            scope: None,
         }
     }
 }
@@ -167,7 +174,13 @@ impl Fleet {
         proto.set_load_policy(cfg.load_policy);
         let layout = proto.layout;
         let nodes = (0..cfg.nodes)
-            .map(|i| Mutex::new(Node::new(i as u32, cfg.seed, proto.clone())))
+            .map(|i| {
+                let mut sys = proto.clone();
+                if let Some(spec) = cfg.scope {
+                    sys.attach_scope(spec.build());
+                }
+                Mutex::new(Node::new(i as u32, cfg.seed, sys))
+            })
             .collect();
         let threads = match cfg.threads {
             0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
@@ -359,8 +372,28 @@ impl Fleet {
         Ok(self.round)
     }
 
-    /// Snapshot of every counter in the run.
+    /// Snapshot of every counter in the run. When the config attached
+    /// trace sinks, the per-node sinks are reduced into a fleet-wide
+    /// [`crate::ScopeAggregate`] (per-kind sums plus sum/max/p99 of events
+    /// recorded per node).
     pub fn telemetry(&mut self) -> FleetTelemetry {
+        let scope = self.cfg.scope.map(|_| {
+            let mut agg = crate::ScopeAggregate::default();
+            let mut per_node_recorded = harbor_scope::CycleHistogram::new();
+            for n in &mut self.nodes {
+                let node = n.get_mut().expect("node lock");
+                let Some(sink) = node.sys.scope() else { continue };
+                agg.recorded += sink.recorded();
+                agg.dropped += sink.dropped();
+                agg.max_recorded = agg.max_recorded.max(sink.recorded());
+                per_node_recorded.observe(sink.recorded());
+                for (total, n) in agg.kinds.iter_mut().zip(sink.kind_counts().as_array()) {
+                    *total += n;
+                }
+            }
+            agg.p99_recorded = per_node_recorded.quantile(9900);
+            agg
+        });
         let per_node: Vec<_> = self
             .nodes
             .iter_mut()
@@ -381,6 +414,7 @@ impl Fleet {
             packets_sent: self.radio.sent,
             packets_delivered: self.radio.delivered,
             packets_dropped: self.radio.dropped,
+            scope,
             per_node,
         }
     }

@@ -63,4 +63,4 @@ pub use fleet::{Fleet, FleetConfig};
 pub use image::{ImageError, ModuleImage};
 pub use net::{NetConfig, Packet, Radio, BROADCAST, SEEDER};
 pub use node::Node;
-pub use telemetry::{FleetTelemetry, NodeTelemetry};
+pub use telemetry::{FleetTelemetry, NodeTelemetry, ScopeAggregate};

@@ -156,12 +156,12 @@ impl Node {
             match self.sys.run_slice(cycle_budget) {
                 Ok(_) => {}
                 Err(fault) => {
-                    self.telemetry.faults += 1;
+                    self.telemetry.metrics.inc("fleet.faults", 1);
                     if matches!(fault, Fault::Env(_)) {
-                        self.telemetry.contained += 1;
+                        self.telemetry.metrics.inc("fleet.contained", 1);
                     }
                     self.sys.recover_from_fault();
-                    self.telemetry.recoveries += 1;
+                    self.telemetry.metrics.inc("fleet.recoveries", 1);
                 }
             }
         }
@@ -224,7 +224,7 @@ impl Node {
                 // exceeds the allotment is quarantined, not installed.
                 if self.sys.admit_module(&loaded).is_err() {
                     self.quarantined.push(module);
-                    self.telemetry.quarantined += 1;
+                    self.telemetry.metrics.inc("fleet.quarantined", 1);
                     return;
                 }
                 if self.sys.modules.iter().all(|m| m.domain != dom) {

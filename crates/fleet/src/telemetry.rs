@@ -3,6 +3,13 @@
 //! The JSON is rendered by hand into a deterministic byte string (fixed key
 //! order, no maps, no floats from iteration order) so a serial and a
 //! parallel run of the same seed can be compared byte-for-byte.
+//!
+//! Protection-relevant counters (faults, containment, recoveries,
+//! quarantines) live in a per-node [`MetricsRegistry`] rather than as
+//! hand-rolled struct fields — the same registry harbor-scope traces feed —
+//! and are exposed through accessors so the rendered JSON is unchanged.
+
+use harbor_scope::{EventKind, MetricsRegistry};
 
 /// Counters for one node.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -23,23 +30,40 @@ pub struct NodeTelemetry {
     pub messages: u64,
     /// Application messages dropped because the queue was full.
     pub queue_drops: u64,
-    /// Faults raised while running handlers.
-    pub faults: u64,
-    /// Faults that were protection violations (contained by Harbor).
-    pub contained: u64,
-    /// Times the kernel's exception path restored a clean trusted context.
-    pub recoveries: u64,
     /// Dissemination chunks received (first copies, duplicates excluded).
     pub chunks: u64,
     /// Retransmission requests sent.
     pub requests: u64,
-    /// Disseminated images rejected by the load policy's admission gate.
-    pub quarantined: u64,
     /// Round at which the disseminated module was installed, if it was.
     pub installed_round: Option<u64>,
+    /// Named counters + histograms for everything protection-related.
+    pub metrics: MetricsRegistry,
 }
 
 impl NodeTelemetry {
+    /// Faults raised while running handlers (`fleet.faults`).
+    pub fn faults(&self) -> u64 {
+        self.metrics.counter("fleet.faults")
+    }
+
+    /// Faults that were protection violations, contained by Harbor
+    /// (`fleet.contained`).
+    pub fn contained(&self) -> u64 {
+        self.metrics.counter("fleet.contained")
+    }
+
+    /// Times the kernel's exception path restored a clean trusted context
+    /// (`fleet.recoveries`).
+    pub fn recoveries(&self) -> u64 {
+        self.metrics.counter("fleet.recoveries")
+    }
+
+    /// Disseminated images rejected by the load policy's admission gate
+    /// (`fleet.quarantined`).
+    pub fn quarantined(&self) -> u64 {
+        self.metrics.counter("fleet.quarantined")
+    }
+
     /// Renders this node's counters as one JSON object.
     pub fn to_json(&self) -> String {
         format!(
@@ -55,17 +79,62 @@ impl NodeTelemetry {
             self.tx,
             self.messages,
             self.queue_drops,
-            self.faults,
-            self.contained,
-            self.recoveries,
+            self.faults(),
+            self.contained(),
+            self.recoveries(),
             self.chunks,
             self.requests,
-            self.quarantined,
+            self.quarantined(),
             match self.installed_round {
                 Some(r) => r.to_string(),
                 None => "null".to_string(),
             },
         )
+    }
+}
+
+/// Fleet-level reduction of the per-node trace sinks, present only when the
+/// run attached sinks ([`crate::FleetConfig::scope`]): per-kind event sums
+/// plus the sum/max/p99 of events recorded per node. Everything is an
+/// integer and ordering is fixed (kind discriminant order), so the JSON
+/// stays byte-identical between serial and parallel runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScopeAggregate {
+    /// Events recorded across all nodes (including dropped bodies).
+    pub recorded: u64,
+    /// Event bodies shed by ring sinks under pressure, fleet-wide.
+    pub dropped: u64,
+    /// Largest per-node recorded count.
+    pub max_recorded: u64,
+    /// p99 of the per-node recorded counts (bucket-granular).
+    pub p99_recorded: u64,
+    /// Fleet-wide event count per kind, indexed by [`EventKind::index`].
+    pub kinds: [u64; EventKind::COUNT],
+}
+
+impl ScopeAggregate {
+    /// Renders the aggregate as one JSON object; kinds with zero events are
+    /// omitted (order is still fixed by the kind discriminant).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"recorded\":{},\"dropped\":{},\"max_recorded\":{},\"p99_recorded\":{},\
+             \"kinds\":{{",
+            self.recorded, self.dropped, self.max_recorded, self.p99_recorded,
+        );
+        let mut first = true;
+        for kind in EventKind::ALL {
+            let n = self.kinds[kind.index()];
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!("\"{}\":{n}", kind.name()));
+        }
+        s.push_str("}}");
+        s
     }
 }
 
@@ -90,6 +159,8 @@ pub struct FleetTelemetry {
     pub packets_delivered: u64,
     /// Packets the lossy channel dropped.
     pub packets_dropped: u64,
+    /// Trace-sink reduction; `Some` only when the run attached sinks.
+    pub scope: Option<ScopeAggregate>,
     /// Per-node counters, in node-id order.
     pub per_node: Vec<NodeTelemetry>,
 }
@@ -100,9 +171,20 @@ impl FleetTelemetry {
         self.per_node.iter().map(f).sum()
     }
 
+    /// All per-node metrics registries folded into one.
+    pub fn merged_metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        for n in &self.per_node {
+            m.merge(&n.metrics);
+        }
+        m
+    }
+
     /// Renders the whole fleet's counters as one deterministic JSON object.
     /// `threads` is deliberately excluded from the digest-relevant body via
-    /// the `comparable_json` helper; this full form includes it.
+    /// the `comparable_json` helper; this full form includes it. The
+    /// `scope` key appears only when the run attached trace sinks, so runs
+    /// without them render exactly as before.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256 + self.per_node.len() * 160);
         s.push_str(&format!(
@@ -110,8 +192,7 @@ impl FleetTelemetry {
              \"threads\":{},\"convergence_round\":{},\
              \"packets_sent\":{},\"packets_delivered\":{},\"packets_dropped\":{},\
              \"total_cycles\":{},\"total_instructions\":{},\
-             \"total_faults\":{},\"total_contained\":{},\"total_recoveries\":{},\
-             \"per_node\":[",
+             \"total_faults\":{},\"total_contained\":{},\"total_recoveries\":{},",
             self.seed,
             self.protection,
             self.nodes,
@@ -126,10 +207,14 @@ impl FleetTelemetry {
             self.packets_dropped,
             self.total(|n| n.cycles),
             self.total(|n| n.instructions),
-            self.total(|n| n.faults),
-            self.total(|n| n.contained),
-            self.total(|n| n.recoveries),
+            self.total(NodeTelemetry::faults),
+            self.total(NodeTelemetry::contained),
+            self.total(NodeTelemetry::recoveries),
         ));
+        if let Some(scope) = &self.scope {
+            s.push_str(&format!("\"scope\":{},", scope.to_json()));
+        }
+        s.push_str("\"per_node\":[");
         for (i, n) in self.per_node.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -167,10 +252,42 @@ mod tests {
         assert!(j.contains("\"convergence_round\":null"));
         assert!(j.contains("\"installed_round\":null"));
         assert!(j.contains("\"quarantined\":0"));
+        assert!(!j.contains("\"scope\""), "no sink attached, no scope key");
         assert_eq!(j, t.clone().to_json());
         let mut parallel = t.clone();
         parallel.threads = 8;
         assert_eq!(t.comparable_json(), parallel.comparable_json());
         assert_ne!(t.to_json(), parallel.to_json());
+    }
+
+    #[test]
+    fn node_counters_route_through_metrics() {
+        let mut n = NodeTelemetry { id: 3, ..NodeTelemetry::default() };
+        n.metrics.inc("fleet.faults", 2);
+        n.metrics.inc("fleet.contained", 1);
+        n.metrics.inc("fleet.recoveries", 2);
+        n.metrics.inc("fleet.quarantined", 4);
+        assert_eq!((n.faults(), n.contained(), n.recoveries(), n.quarantined()), (2, 1, 2, 4));
+        let j = n.to_json();
+        assert!(j.contains("\"faults\":2,\"contained\":1,\"recoveries\":2"));
+        assert!(j.contains("\"quarantined\":4"));
+    }
+
+    #[test]
+    fn scope_aggregate_renders_nonzero_kinds_in_order() {
+        let mut a = ScopeAggregate { recorded: 10, dropped: 2, ..ScopeAggregate::default() };
+        a.max_recorded = 7;
+        a.p99_recorded = 7;
+        a.kinds[EventKind::Fault.index()] = 3;
+        a.kinds[EventKind::MemMapCheck.index()] = 7;
+        assert_eq!(
+            a.to_json(),
+            "{\"recorded\":10,\"dropped\":2,\"max_recorded\":7,\"p99_recorded\":7,\
+             \"kinds\":{\"memmap_check\":7,\"fault\":3}}"
+        );
+        let mut t = FleetTelemetry { scope: Some(a), ..FleetTelemetry::default() };
+        assert!(t.to_json().contains("\"scope\":{\"recorded\":10,"));
+        t.scope = None;
+        assert!(!t.to_json().contains("\"scope\""));
     }
 }

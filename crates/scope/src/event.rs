@@ -1,0 +1,354 @@
+//! The typed protection-event taxonomy.
+//!
+//! Every enforcement layer of the reproduction reports what it decided
+//! through one [`Event`] vocabulary: the memory-map checker, the safe-stack
+//! unit, the domain tracker and jump tables, the SOS kernel lifecycle, and
+//! fault/recovery handling. Events are plain values — raw `u8` domain
+//! indices, byte/word addresses and `u64` cycle stamps — so this crate has
+//! no dependency on the model crates and every layer can depend on it.
+
+/// One observed protection or lifecycle event, stamped with the simulated
+/// cycle counter at the instruction that produced it.
+///
+/// Domain indices are raw 3-bit values (`0..=6` user domains, `7` trusted),
+/// matching `harbor::DomainId::index()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// The memory-map checker arbitrated a store into the protected range.
+    /// `stall` is the extra bus cycles the check cost (1 in UMPU hardware).
+    MemMapCheck {
+        /// Cycle stamp.
+        cycles: u64,
+        /// Domain that issued the store.
+        domain: u8,
+        /// Byte address stored to.
+        addr: u16,
+        /// Whether the store was allowed.
+        granted: bool,
+        /// Stall cycles charged by the checker.
+        stall: u8,
+    },
+    /// The run-time-stack bound register arbitrated a store above the
+    /// protected range.
+    StackCheck {
+        /// Cycle stamp.
+        cycles: u64,
+        /// Domain that issued the store.
+        domain: u8,
+        /// Byte address stored to.
+        addr: u16,
+        /// The latched stack bound the address was checked against.
+        bound: u16,
+        /// Whether the store was allowed.
+        granted: bool,
+    },
+    /// The classic-MPU comparison model arbitrated a store (the related-work
+    /// baseline of `umpu::mpu`).
+    MpuCheck {
+        /// Cycle stamp.
+        cycles: u64,
+        /// Whether the access was supervisor-privileged.
+        supervisor: bool,
+        /// Byte address stored to.
+        addr: u16,
+        /// Whether the store was allowed.
+        granted: bool,
+    },
+    /// A return address (`frame == false`) or a 5-byte cross-domain frame
+    /// (`frame == true`) was pushed onto the safe stack.
+    SafeStackPush {
+        /// Cycle stamp.
+        cycles: u64,
+        /// Whether a cross-domain frame (vs a plain return address).
+        frame: bool,
+        /// Safe-stack pointer after the push.
+        ptr: u16,
+    },
+    /// A return address or cross-domain frame was popped off the safe stack.
+    SafeStackPop {
+        /// Cycle stamp.
+        cycles: u64,
+        /// Whether a cross-domain frame (vs a plain return address).
+        frame: bool,
+        /// Safe-stack pointer after the pop.
+        ptr: u16,
+    },
+    /// The safe stack overflowed (a push hit the limit).
+    SafeStackOverflow {
+        /// Cycle stamp.
+        cycles: u64,
+        /// Safe-stack pointer at the failed push.
+        ptr: u16,
+    },
+    /// A call target resolved to a jump-table entry (golden-model
+    /// classification site).
+    JumpTableDispatch {
+        /// Cycle stamp.
+        cycles: u64,
+        /// Domain whose jump-table page was hit.
+        domain: u8,
+        /// Entry index within the page.
+        entry: u16,
+        /// The call target (word address).
+        target: u16,
+    },
+    /// A cross-domain call edge: the domain tracker switched domains and
+    /// framed the caller context.
+    CrossDomainCall {
+        /// Cycle stamp.
+        cycles: u64,
+        /// Calling domain.
+        caller: u8,
+        /// Called domain.
+        callee: u8,
+        /// Call target (word address, inside the callee's jump table).
+        target: u16,
+        /// Stall cycles charged for the frame push (5 in UMPU hardware).
+        stall: u8,
+    },
+    /// A cross-domain return edge: a frame was unwound and the caller
+    /// context restored.
+    CrossDomainRet {
+        /// Cycle stamp.
+        cycles: u64,
+        /// Domain being returned from.
+        from: u8,
+        /// Domain restored from the frame.
+        to: u8,
+        /// Return target (word address).
+        target: u16,
+        /// Stall cycles charged for the frame pop (5 in UMPU hardware).
+        stall: u8,
+    },
+    /// Hardware interrupt entry: the interrupted domain's context was framed
+    /// like a cross-domain call into the trusted handler.
+    InterruptEntry {
+        /// Cycle stamp.
+        cycles: u64,
+        /// The interrupted domain.
+        from: u8,
+        /// Vector word address.
+        vector: u16,
+        /// Stall cycles charged for the frame push.
+        stall: u8,
+    },
+    /// A protection fault was raised. `code`/`addr`/`info` mirror
+    /// `avr_core::EnvFault` (and `harbor::ProtectionFault::code()`), so the
+    /// record is uniform across the UMPU and SFI builds.
+    Fault {
+        /// Cycle stamp.
+        cycles: u64,
+        /// Protection fault code.
+        code: u16,
+        /// Faulting address (code-specific operand).
+        addr: u16,
+        /// Second code-specific operand.
+        info: u16,
+    },
+    /// The kernel's exception path restored a clean trusted context.
+    Recovery {
+        /// Cycle stamp.
+        cycles: u64,
+    },
+    /// A message was offered to the kernel queue (host post or radio
+    /// delivery).
+    MessagePost {
+        /// Cycle stamp.
+        cycles: u64,
+        /// Destination domain.
+        domain: u8,
+        /// Message id.
+        msg: u8,
+        /// `false` when the queue was full and the message dropped.
+        accepted: bool,
+    },
+    /// A scheduling slice started (the kernel scheduler was re-entered with
+    /// `queued` messages waiting).
+    SchedulerSlice {
+        /// Cycle stamp.
+        cycles: u64,
+        /// Messages waiting when the slice began.
+        queued: u8,
+    },
+    /// A module was installed into a domain (burned, linked, granted).
+    ModuleInstall {
+        /// Cycle stamp.
+        cycles: u64,
+        /// Domain the module occupies.
+        domain: u8,
+    },
+    /// A module was unloaded from a domain (unlinked, revoked, reclaimed).
+    ModuleUnload {
+        /// Cycle stamp.
+        cycles: u64,
+        /// Domain the module occupied.
+        domain: u8,
+    },
+}
+
+/// Discriminant of an [`Event`], used for per-kind counters and stable
+/// serialization names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum EventKind {
+    /// [`Event::MemMapCheck`].
+    MemMapCheck,
+    /// [`Event::StackCheck`].
+    StackCheck,
+    /// [`Event::MpuCheck`].
+    MpuCheck,
+    /// [`Event::SafeStackPush`].
+    SafeStackPush,
+    /// [`Event::SafeStackPop`].
+    SafeStackPop,
+    /// [`Event::SafeStackOverflow`].
+    SafeStackOverflow,
+    /// [`Event::JumpTableDispatch`].
+    JumpTableDispatch,
+    /// [`Event::CrossDomainCall`].
+    CrossDomainCall,
+    /// [`Event::CrossDomainRet`].
+    CrossDomainRet,
+    /// [`Event::InterruptEntry`].
+    InterruptEntry,
+    /// [`Event::Fault`].
+    Fault,
+    /// [`Event::Recovery`].
+    Recovery,
+    /// [`Event::MessagePost`].
+    MessagePost,
+    /// [`Event::SchedulerSlice`].
+    SchedulerSlice,
+    /// [`Event::ModuleInstall`].
+    ModuleInstall,
+    /// [`Event::ModuleUnload`].
+    ModuleUnload,
+}
+
+impl EventKind {
+    /// Number of kinds (array-sizing constant for per-kind counters).
+    pub const COUNT: usize = 16;
+
+    /// Every kind, in discriminant order.
+    pub const ALL: [EventKind; EventKind::COUNT] = [
+        EventKind::MemMapCheck,
+        EventKind::StackCheck,
+        EventKind::MpuCheck,
+        EventKind::SafeStackPush,
+        EventKind::SafeStackPop,
+        EventKind::SafeStackOverflow,
+        EventKind::JumpTableDispatch,
+        EventKind::CrossDomainCall,
+        EventKind::CrossDomainRet,
+        EventKind::InterruptEntry,
+        EventKind::Fault,
+        EventKind::Recovery,
+        EventKind::MessagePost,
+        EventKind::SchedulerSlice,
+        EventKind::ModuleInstall,
+        EventKind::ModuleUnload,
+    ];
+
+    /// Stable snake_case name (serialization key, metrics counter suffix).
+    pub const fn name(self) -> &'static str {
+        match self {
+            EventKind::MemMapCheck => "memmap_check",
+            EventKind::StackCheck => "stack_check",
+            EventKind::MpuCheck => "mpu_check",
+            EventKind::SafeStackPush => "safe_stack_push",
+            EventKind::SafeStackPop => "safe_stack_pop",
+            EventKind::SafeStackOverflow => "safe_stack_overflow",
+            EventKind::JumpTableDispatch => "jump_table_dispatch",
+            EventKind::CrossDomainCall => "cross_domain_call",
+            EventKind::CrossDomainRet => "cross_domain_ret",
+            EventKind::InterruptEntry => "interrupt_entry",
+            EventKind::Fault => "fault",
+            EventKind::Recovery => "recovery",
+            EventKind::MessagePost => "message_post",
+            EventKind::SchedulerSlice => "scheduler_slice",
+            EventKind::ModuleInstall => "module_install",
+            EventKind::ModuleUnload => "module_unload",
+        }
+    }
+
+    /// Index into a `[_; EventKind::COUNT]` per-kind array.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl Event {
+    /// This event's kind.
+    pub const fn kind(&self) -> EventKind {
+        match self {
+            Event::MemMapCheck { .. } => EventKind::MemMapCheck,
+            Event::StackCheck { .. } => EventKind::StackCheck,
+            Event::MpuCheck { .. } => EventKind::MpuCheck,
+            Event::SafeStackPush { .. } => EventKind::SafeStackPush,
+            Event::SafeStackPop { .. } => EventKind::SafeStackPop,
+            Event::SafeStackOverflow { .. } => EventKind::SafeStackOverflow,
+            Event::JumpTableDispatch { .. } => EventKind::JumpTableDispatch,
+            Event::CrossDomainCall { .. } => EventKind::CrossDomainCall,
+            Event::CrossDomainRet { .. } => EventKind::CrossDomainRet,
+            Event::InterruptEntry { .. } => EventKind::InterruptEntry,
+            Event::Fault { .. } => EventKind::Fault,
+            Event::Recovery { .. } => EventKind::Recovery,
+            Event::MessagePost { .. } => EventKind::MessagePost,
+            Event::SchedulerSlice { .. } => EventKind::SchedulerSlice,
+            Event::ModuleInstall { .. } => EventKind::ModuleInstall,
+            Event::ModuleUnload { .. } => EventKind::ModuleUnload,
+        }
+    }
+
+    /// The cycle stamp.
+    pub const fn cycles(&self) -> u64 {
+        match *self {
+            Event::MemMapCheck { cycles, .. }
+            | Event::StackCheck { cycles, .. }
+            | Event::MpuCheck { cycles, .. }
+            | Event::SafeStackPush { cycles, .. }
+            | Event::SafeStackPop { cycles, .. }
+            | Event::SafeStackOverflow { cycles, .. }
+            | Event::JumpTableDispatch { cycles, .. }
+            | Event::CrossDomainCall { cycles, .. }
+            | Event::CrossDomainRet { cycles, .. }
+            | Event::InterruptEntry { cycles, .. }
+            | Event::Fault { cycles, .. }
+            | Event::Recovery { cycles, .. }
+            | Event::MessagePost { cycles, .. }
+            | Event::SchedulerSlice { cycles, .. }
+            | Event::ModuleInstall { cycles, .. }
+            | Event::ModuleUnload { cycles, .. } => cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_index_matches_all_order() {
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_snake_case() {
+        let names: Vec<_> = EventKind::ALL.iter().map(|k| k.name()).collect();
+        for (i, n) in names.iter().enumerate() {
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '_'), "{n}");
+            assert!(!names[..i].contains(n), "duplicate name {n}");
+        }
+    }
+
+    #[test]
+    fn kind_and_cycles_round_trip() {
+        let ev =
+            Event::CrossDomainCall { cycles: 42, caller: 7, callee: 0, target: 0x800, stall: 5 };
+        assert_eq!(ev.kind(), EventKind::CrossDomainCall);
+        assert_eq!(ev.cycles(), 42);
+        assert_eq!(ev.kind().name(), "cross_domain_call");
+    }
+}

@@ -1,0 +1,261 @@
+//! Chrome trace-event / Perfetto JSON exporter.
+//!
+//! [`chrome_trace`] renders an event stream into the Trace Event Format
+//! (the JSON accepted by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)):
+//! cross-domain call/return edges and interrupt entries become duration
+//! (`B`/`E`) slices on one track per domain, and every other event becomes
+//! a thread-scoped instant. Timestamps are the simulated cycle stamps
+//! (1 cycle = 1 µs in the viewer).
+
+use crate::event::Event;
+
+fn push_event(
+    out: &mut String,
+    name: &str,
+    ph: char,
+    ts: u64,
+    tid: u8,
+    cat: &str,
+    args: Option<String>,
+) {
+    if out.ends_with('}') {
+        out.push(',');
+    }
+    out.push_str(&format!(
+        "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"cat\":\"{cat}\""
+    ));
+    if let Some(a) = args {
+        out.push_str(&format!(",\"args\":{{{a}}}"));
+    }
+    out.push('}');
+}
+
+fn instant(out: &mut String, name: &str, ts: u64, tid: u8, cat: &str, args: String) {
+    if out.ends_with('}') {
+        out.push(',');
+    }
+    out.push_str(&format!(
+        "{{\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"cat\":\"{cat}\",\
+         \"s\":\"t\",\"args\":{{{args}}}}}"
+    ));
+}
+
+/// Renders `events` as a Chrome trace-event JSON document.
+///
+/// One track (`tid`) per domain, `tid 7` being the trusted domain. Open
+/// spans are closed at the stream's last cycle stamp (a fault can end a run
+/// with frames still live), and a [`Event::Recovery`] closes every open
+/// span — mirroring what the kernel's exception path does to the real
+/// frames.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::with_capacity(256 + events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+
+    // Track naming metadata.
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"harbor\"}}",
+    );
+    for dom in 0..8u8 {
+        let label = if dom == 7 { "trusted".to_string() } else { format!("dom{dom}") };
+        out.push_str(&format!(
+            ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{dom},\
+             \"args\":{{\"name\":\"{label}\"}}}}"
+        ));
+    }
+
+    // Stack of open span tids, for orderly closing.
+    let mut open: Vec<u8> = Vec::new();
+    let mut last_ts = 0u64;
+
+    for ev in events {
+        let ts = ev.cycles();
+        last_ts = last_ts.max(ts);
+        match *ev {
+            Event::CrossDomainCall { cycles, caller, callee, target, .. } => {
+                push_event(
+                    &mut out,
+                    &format!("d{caller}\\u2192d{callee}"),
+                    'B',
+                    cycles,
+                    callee,
+                    "crossing",
+                    Some(format!("\"target\":{target}")),
+                );
+                open.push(callee);
+            }
+            Event::InterruptEntry { cycles, from, vector, .. } => {
+                push_event(
+                    &mut out,
+                    "irq",
+                    'B',
+                    cycles,
+                    7,
+                    "crossing",
+                    Some(format!("\"from\":{from},\"vector\":{vector}")),
+                );
+                open.push(7);
+            }
+            Event::CrossDomainRet { cycles, from, .. } => {
+                if let Some(pos) = open.iter().rposition(|&t| t == from) {
+                    open.remove(pos);
+                    push_event(&mut out, "", 'E', cycles, from, "crossing", None);
+                }
+            }
+            Event::Recovery { cycles } => {
+                while let Some(tid) = open.pop() {
+                    push_event(&mut out, "", 'E', cycles, tid, "crossing", None);
+                }
+                instant(&mut out, "recovery", cycles, 7, "fault", String::new());
+            }
+            Event::MemMapCheck { cycles, domain, addr, granted, .. } => {
+                instant(
+                    &mut out,
+                    if granted { "memmap_ok" } else { "memmap_denied" },
+                    cycles,
+                    domain,
+                    "check",
+                    format!("\"addr\":{addr}"),
+                );
+            }
+            Event::StackCheck { cycles, domain, addr, granted, .. } => {
+                instant(
+                    &mut out,
+                    if granted { "stack_ok" } else { "stack_denied" },
+                    cycles,
+                    domain,
+                    "check",
+                    format!("\"addr\":{addr}"),
+                );
+            }
+            Event::MpuCheck { cycles, addr, granted, .. } => {
+                instant(
+                    &mut out,
+                    if granted { "mpu_ok" } else { "mpu_denied" },
+                    cycles,
+                    7,
+                    "check",
+                    format!("\"addr\":{addr}"),
+                );
+            }
+            Event::SafeStackPush { cycles, frame, ptr } => {
+                instant(
+                    &mut out,
+                    if frame { "ss_push_frame" } else { "ss_push" },
+                    cycles,
+                    7,
+                    "safestack",
+                    format!("\"ptr\":{ptr}"),
+                );
+            }
+            Event::SafeStackPop { cycles, frame, ptr } => {
+                instant(
+                    &mut out,
+                    if frame { "ss_pop_frame" } else { "ss_pop" },
+                    cycles,
+                    7,
+                    "safestack",
+                    format!("\"ptr\":{ptr}"),
+                );
+            }
+            Event::SafeStackOverflow { cycles, ptr } => {
+                instant(&mut out, "ss_overflow", cycles, 7, "fault", format!("\"ptr\":{ptr}"));
+            }
+            Event::JumpTableDispatch { cycles, domain, entry, target } => {
+                instant(
+                    &mut out,
+                    "jt_dispatch",
+                    cycles,
+                    domain,
+                    "crossing",
+                    format!("\"entry\":{entry},\"target\":{target}"),
+                );
+            }
+            Event::Fault { cycles, code, addr, info } => {
+                instant(
+                    &mut out,
+                    "fault",
+                    cycles,
+                    7,
+                    "fault",
+                    format!("\"code\":{code},\"addr\":{addr},\"info\":{info}"),
+                );
+            }
+            Event::MessagePost { cycles, domain, msg, accepted } => {
+                instant(
+                    &mut out,
+                    if accepted { "post" } else { "post_dropped" },
+                    cycles,
+                    domain,
+                    "sos",
+                    format!("\"msg\":{msg}"),
+                );
+            }
+            Event::SchedulerSlice { cycles, queued } => {
+                instant(&mut out, "slice", cycles, 7, "sos", format!("\"queued\":{queued}"));
+            }
+            Event::ModuleInstall { cycles, domain } => {
+                instant(&mut out, "install", cycles, domain, "sos", String::new());
+            }
+            Event::ModuleUnload { cycles, domain } => {
+                instant(&mut out, "unload", cycles, domain, "sos", String::new());
+            }
+        }
+    }
+
+    // Close anything still open so the document is well-formed viewer-side.
+    while let Some(tid) = open.pop() {
+        push_event(&mut out, "", 'E', last_ts, tid, "crossing", None);
+    }
+
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_balance_and_instants_render() {
+        let events = [
+            Event::CrossDomainCall { cycles: 10, caller: 7, callee: 2, target: 0x900, stall: 5 },
+            Event::MemMapCheck { cycles: 12, domain: 2, addr: 0x300, granted: true, stall: 1 },
+            Event::CrossDomainRet { cycles: 20, from: 2, to: 7, target: 0x123, stall: 5 },
+        ];
+        let j = chrome_trace(&events);
+        assert_eq!(j.matches("\"ph\":\"B\"").count(), 1);
+        assert_eq!(j.matches("\"ph\":\"E\"").count(), 1);
+        assert!(j.contains("\"ph\":\"i\""));
+        assert!(j.contains("\"name\":\"trusted\""));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn unclosed_spans_get_closed_at_end() {
+        let events =
+            [Event::CrossDomainCall { cycles: 5, caller: 7, callee: 1, target: 0x880, stall: 5 }];
+        let j = chrome_trace(&events);
+        assert_eq!(j.matches("\"ph\":\"B\"").count(), 1);
+        assert_eq!(j.matches("\"ph\":\"E\"").count(), 1);
+    }
+
+    #[test]
+    fn recovery_closes_all_open_spans() {
+        let events = [
+            Event::CrossDomainCall { cycles: 1, caller: 7, callee: 1, target: 0x880, stall: 5 },
+            Event::CrossDomainCall { cycles: 2, caller: 1, callee: 2, target: 0x900, stall: 5 },
+            Event::Fault { cycles: 3, code: 1, addr: 0x40, info: 2 },
+            Event::Recovery { cycles: 4 },
+        ];
+        let j = chrome_trace(&events);
+        assert_eq!(j.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(j.matches("\"ph\":\"E\"").count(), 2);
+    }
+
+    #[test]
+    fn empty_stream_is_valid() {
+        let j = chrome_trace(&[]);
+        assert!(j.contains("traceEvents"));
+        assert!(j.ends_with("]}"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # harbor-scope
+//!
+//! Unified observability for the Harbor reproduction: a zero-cost-when-
+//! disabled tracing/metrics subsystem shared by every enforcement layer
+//! (`harbor` golden models, the UMPU hardware units, the SFI run-time,
+//! mini-SOS and the fleet simulator).
+//!
+//! The paper's whole evaluation rests on attributing cycles and protection
+//! events to domains and crossings; this crate is the single vocabulary for
+//! that attribution:
+//!
+//! * [`Event`] — the typed protection/lifecycle event taxonomy, stamped
+//!   with simulated cycle counts;
+//! * [`TraceSink`] / [`ScopeSink`] — where instrumented layers deliver
+//!   events ([`RingSink`] bounded, [`StreamSink`] unbounded);
+//! * [`MetricsRegistry`] — named counters + [`CycleHistogram`]s with a
+//!   stable JSON snapshot;
+//! * [`DomainProfiler`] — attributes every cycle to (domain,
+//!   [`Mechanism`]), reconciling exactly with `Cpu::cycles()`;
+//! * [`export::chrome_trace`] — Perfetto-loadable trace output.
+//!
+//! The crate is dependency-free: events carry raw domain indices and
+//! addresses, so the model crates can all depend on it without cycles. With
+//! no sink attached, instrumentation sites skip event construction
+//! entirely and the simulated machine is cycle-identical to an
+//! uninstrumented run (asserted by regression tests in `mini-sos`).
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod profile;
+pub mod sink;
+
+pub use event::{Event, EventKind};
+pub use metrics::{CycleHistogram, MetricsRegistry};
+pub use profile::{DomainProfiler, Mechanism, ProfileReport, ProfileRow, RegionMap};
+pub use sink::{KindCounts, RingSink, ScopeSink, SinkSpec, StreamSink, TraceSink};

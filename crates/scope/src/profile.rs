@@ -1,0 +1,306 @@
+//! Per-domain cycle profiler: attributes every simulated cycle to a
+//! (domain, mechanism) pair, producing the paper's Table-5-style overhead
+//! breakdown from a real run.
+//!
+//! Attribution is driven by retired instructions: the driver feeds each
+//! instruction's pre-execution PC and the cycle counter after it retired.
+//! Stall cycles reported by protection events (UMPU's 1-cycle store check,
+//! 5-cycle cross-domain frames) are peeled off the instruction's delta and
+//! booked to their mechanism; the remainder goes to the (domain, mechanism)
+//! of the PC's flash region. Under SFI the checks are real instructions in
+//! the run-time's flash region, so the same region classification covers
+//! both builds with one profiler — and totals always reconcile exactly with
+//! `Cpu::cycles()` because every delta is booked somewhere.
+
+use std::collections::BTreeMap;
+
+/// What a cycle was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Mechanism {
+    /// Useful application/module work.
+    App,
+    /// Run-time protection checks (memory-map/stack-bound checks, safe-stack
+    /// redirection).
+    Check,
+    /// Cross-domain control transfer (jump tables, frame push/pop).
+    Crossing,
+    /// Kernel/trusted code (scheduler, API, boot).
+    Kernel,
+}
+
+impl Mechanism {
+    /// Stable lower-case name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Mechanism::App => "app",
+            Mechanism::Check => "check",
+            Mechanism::Crossing => "crossing",
+            Mechanism::Kernel => "kernel",
+        }
+    }
+}
+
+/// Classification of flash (word-address) regions into (domain, mechanism).
+///
+/// Regions must not overlap; addresses outside every region classify as the
+/// default (normally the trusted domain's kernel mechanism).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionMap {
+    // Sorted by start; (start, end_exclusive, domain, mechanism).
+    regions: Vec<(u32, u32, u8, Mechanism)>,
+    default: (u8, Mechanism),
+}
+
+impl RegionMap {
+    /// An empty map classifying everything as `(default_domain, default_mech)`.
+    pub fn new(default_domain: u8, default_mech: Mechanism) -> RegionMap {
+        RegionMap { regions: Vec::new(), default: (default_domain, default_mech) }
+    }
+
+    /// Adds the region `start..end` (word addresses).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty region or one overlapping an existing region.
+    pub fn add(&mut self, start: u32, end: u32, domain: u8, mech: Mechanism) {
+        assert!(start < end, "empty region {start:#x}..{end:#x}");
+        let at = self.regions.partition_point(|&(s, ..)| s < start);
+        if let Some(&(s, e, ..)) = self.regions.get(at) {
+            assert!(end <= s, "region {start:#x}..{end:#x} overlaps {s:#x}..{e:#x}");
+        }
+        if at > 0 {
+            let (s, e, ..) = self.regions[at - 1];
+            assert!(e <= start, "region {start:#x}..{end:#x} overlaps {s:#x}..{e:#x}");
+        }
+        self.regions.insert(at, (start, end, domain, mech));
+    }
+
+    /// Classifies word address `pc`.
+    pub fn classify(&self, pc: u32) -> (u8, Mechanism) {
+        let at = self.regions.partition_point(|&(s, ..)| s <= pc);
+        if at > 0 {
+            let (_, e, d, m) = self.regions[at - 1];
+            if pc < e {
+                return (d, m);
+            }
+        }
+        self.default
+    }
+}
+
+/// One row of a [`ProfileReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// Domain index (7 = trusted).
+    pub domain: u8,
+    /// Mechanism the cycles were spent on.
+    pub mechanism: Mechanism,
+    /// Cycles attributed.
+    pub cycles: u64,
+}
+
+/// The profiler's output: per-(domain, mechanism) cycle totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileReport {
+    /// Rows in (domain, mechanism) order; zero rows are omitted.
+    pub rows: Vec<ProfileRow>,
+    /// Sum of all rows == cycles elapsed while profiling.
+    pub total: u64,
+}
+
+impl ProfileReport {
+    /// Cycles attributed to `(domain, mechanism)`.
+    pub fn cycles(&self, domain: u8, mechanism: Mechanism) -> u64 {
+        self.rows
+            .iter()
+            .find(|r| r.domain == domain && r.mechanism == mechanism)
+            .map_or(0, |r| r.cycles)
+    }
+
+    /// Cycles attributed to `mechanism` across all domains.
+    pub fn mechanism_total(&self, mechanism: Mechanism) -> u64 {
+        self.rows.iter().filter(|r| r.mechanism == mechanism).map(|r| r.cycles).sum()
+    }
+
+    /// Cycles attributed to `domain` across all mechanisms.
+    pub fn domain_total(&self, domain: u8) -> u64 {
+        self.rows.iter().filter(|r| r.domain == domain).map(|r| r.cycles).sum()
+    }
+
+    /// Stable JSON: `{"total":N,"rows":[{"domain":d,"mechanism":"m","cycles":c},...]}`.
+    pub fn to_json(&self) -> String {
+        let mut s = format!("{{\"total\":{},\"rows\":[", self.total);
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"domain\":{},\"mechanism\":\"{}\",\"cycles\":{}}}",
+                r.domain,
+                r.mechanism.name(),
+                r.cycles
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// A human-readable Table-5-style breakdown.
+    pub fn render_table(&self) -> String {
+        let mut s = String::from("domain  mechanism  cycles      share\n");
+        for r in &self.rows {
+            let share = (r.cycles * 10_000).checked_div(self.total).unwrap_or(0);
+            let dom = if r.domain == 7 { "trust".to_string() } else { format!("dom{}", r.domain) };
+            s.push_str(&format!(
+                "{dom:<7} {:<10} {:<11} {}.{:02}%\n",
+                r.mechanism.name(),
+                r.cycles,
+                share / 100,
+                share % 100
+            ));
+        }
+        s.push_str(&format!("total   -          {}\n", self.total));
+        s
+    }
+}
+
+/// The per-domain cycle profiler. Feed it retired instructions (and the
+/// stall attributions extracted from trace events) via
+/// [`DomainProfiler::record_instruction`]; read the result with
+/// [`DomainProfiler::report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainProfiler {
+    map: RegionMap,
+    rows: BTreeMap<(u8, Mechanism), u64>,
+    anchor: u64,
+    attributed: u64,
+}
+
+impl DomainProfiler {
+    /// A profiler over `map`, anchored at cycle counter `start_cycles`
+    /// (attribution covers cycles elapsed after this point).
+    pub fn new(map: RegionMap, start_cycles: u64) -> DomainProfiler {
+        DomainProfiler { map, rows: BTreeMap::new(), anchor: start_cycles, attributed: 0 }
+    }
+
+    /// Re-anchors the profiler at `cycles` without attributing the gap
+    /// (e.g. after host-side work between profiled slices).
+    pub fn resync(&mut self, cycles: u64) {
+        self.anchor = cycles;
+    }
+
+    /// Attributes one retired instruction: `pc` is its pre-execution word
+    /// address, `cycles_after` the cycle counter once it retired, and
+    /// `stalls` any (domain, mechanism, cycles) stall portions reported by
+    /// protection events during the instruction. Stalls are booked first;
+    /// the remaining delta goes to the PC's region.
+    pub fn record_instruction(
+        &mut self,
+        pc: u32,
+        cycles_after: u64,
+        stalls: &[(u8, Mechanism, u64)],
+    ) {
+        let mut delta = cycles_after.saturating_sub(self.anchor);
+        self.anchor = cycles_after;
+        self.attributed += delta;
+        for &(dom, mech, n) in stalls {
+            let n = n.min(delta);
+            delta -= n;
+            if n > 0 {
+                *self.rows.entry((dom, mech)).or_insert(0) += n;
+            }
+        }
+        if delta > 0 {
+            let (dom, mech) = self.map.classify(pc);
+            *self.rows.entry((dom, mech)).or_insert(0) += delta;
+        }
+    }
+
+    /// Total cycles attributed so far.
+    pub const fn attributed(&self) -> u64 {
+        self.attributed
+    }
+
+    /// The report so far.
+    pub fn report(&self) -> ProfileReport {
+        let rows = self
+            .rows
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(&(domain, mechanism), &cycles)| ProfileRow { domain, mechanism, cycles })
+            .collect();
+        ProfileReport { rows, total: self.attributed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> RegionMap {
+        let mut m = RegionMap::new(7, Mechanism::Kernel);
+        m.add(0x0c00, 0x0d00, 0, Mechanism::App);
+        m.add(0x0800, 0x0880, 0, Mechanism::Crossing);
+        m.add(0x0200, 0x0400, 7, Mechanism::Check);
+        m
+    }
+
+    #[test]
+    fn classify_hits_regions_and_default() {
+        let m = map();
+        assert_eq!(m.classify(0x0c10), (0, Mechanism::App));
+        assert_eq!(m.classify(0x0cff), (0, Mechanism::App));
+        assert_eq!(m.classify(0x0d00), (7, Mechanism::Kernel));
+        assert_eq!(m.classify(0x0810), (0, Mechanism::Crossing));
+        assert_eq!(m.classify(0x0250), (7, Mechanism::Check));
+        assert_eq!(m.classify(0x0040), (7, Mechanism::Kernel));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_regions_panic() {
+        let mut m = map();
+        m.add(0x0cf0, 0x0e00, 1, Mechanism::App);
+    }
+
+    #[test]
+    fn deltas_and_stalls_are_booked_and_reconcile() {
+        let mut p = DomainProfiler::new(map(), 100);
+        // Kernel instruction: 2 cycles.
+        p.record_instruction(0x0040, 102, &[]);
+        // App store with a 1-cycle check stall: 3 cycles total.
+        p.record_instruction(0x0c10, 105, &[(0, Mechanism::Check, 1)]);
+        // Cross-domain call with a 5-cycle frame stall: 8 cycles total.
+        p.record_instruction(0x0810, 113, &[(0, Mechanism::Crossing, 5)]);
+        let r = p.report();
+        assert_eq!(r.total, 13);
+        assert_eq!(r.cycles(7, Mechanism::Kernel), 2);
+        assert_eq!(r.cycles(0, Mechanism::App), 2);
+        assert_eq!(r.cycles(0, Mechanism::Check), 1);
+        assert_eq!(r.cycles(0, Mechanism::Crossing), 5 + 3);
+        assert_eq!(r.rows.iter().map(|x| x.cycles).sum::<u64>(), r.total);
+        assert_eq!(r.mechanism_total(Mechanism::Crossing), 8);
+        assert_eq!(r.domain_total(0), 11);
+    }
+
+    #[test]
+    fn resync_skips_host_gaps() {
+        let mut p = DomainProfiler::new(map(), 0);
+        p.record_instruction(0x0040, 2, &[]);
+        p.resync(50);
+        p.record_instruction(0x0040, 53, &[]);
+        assert_eq!(p.attributed(), 5);
+    }
+
+    #[test]
+    fn report_json_and_table_render() {
+        let mut p = DomainProfiler::new(map(), 0);
+        p.record_instruction(0x0c10, 4, &[]);
+        let r = p.report();
+        assert_eq!(
+            r.to_json(),
+            "{\"total\":4,\"rows\":[{\"domain\":0,\"mechanism\":\"app\",\"cycles\":4}]}"
+        );
+        assert!(r.render_table().contains("dom0"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Trace sinks: where instrumented layers deliver their [`Event`]s.
+//!
+//! Two shapes are provided: a bounded [`RingSink`] (drops the oldest event
+//! bodies under pressure but keeps exact per-kind counts — what a fleet
+//! node carries), and an unbounded [`StreamSink`] (retains everything —
+//! what `harbor-trace` and the profiler use). [`ScopeSink`] wraps both in a
+//! concrete `Clone`-able enum so machine environments that are themselves
+//! plain values (`UmpuEnv`, `SosSystem`) can own a sink.
+
+use crate::event::{Event, EventKind};
+
+/// Receiver of trace events. Instrumentation sites take
+/// `Option<&mut dyn TraceSink>` (or test for an attached concrete sink)
+/// so the disabled path does not even construct the event.
+pub trait TraceSink {
+    /// Records one event. Implementations must not reorder events.
+    fn record(&mut self, ev: &Event);
+}
+
+/// Exact per-kind event counts, maintained by every sink even when event
+/// bodies are dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindCounts([u64; EventKind::COUNT]);
+
+impl Default for KindCounts {
+    fn default() -> Self {
+        KindCounts([0; EventKind::COUNT])
+    }
+}
+
+impl KindCounts {
+    fn bump(&mut self, kind: EventKind) {
+        self.0[kind.index()] += 1;
+    }
+
+    /// Count of events of `kind` recorded so far.
+    pub const fn get(&self, kind: EventKind) -> u64 {
+        self.0[kind.index()]
+    }
+
+    /// The raw per-kind array, indexed by [`EventKind::index`].
+    pub const fn as_array(&self) -> &[u64; EventKind::COUNT] {
+        &self.0
+    }
+}
+
+/// Bounded ring-buffer sink: retains the most recent `capacity` events,
+/// dropping the oldest bodies when full. Per-kind counts stay exact
+/// regardless of drops, so metrics built on a ring sink never undercount.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingSink {
+    capacity: usize,
+    buf: std::collections::VecDeque<Event>,
+    recorded: u64,
+    dropped: u64,
+    counts: KindCounts,
+}
+
+impl RingSink {
+    /// A ring sink retaining at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> RingSink {
+        let capacity = capacity.max(1);
+        RingSink {
+            capacity,
+            buf: std::collections::VecDeque::with_capacity(capacity),
+            recorded: 0,
+            dropped: 0,
+            counts: KindCounts::default(),
+        }
+    }
+
+    /// The retention capacity.
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: &Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(*ev);
+        self.recorded += 1;
+        self.counts.bump(ev.kind());
+    }
+}
+
+/// Unbounded streaming sink: retains every event in order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamSink {
+    events: Vec<Event>,
+    counts: KindCounts,
+}
+
+impl StreamSink {
+    /// An empty streaming sink.
+    pub fn new() -> StreamSink {
+        StreamSink::default()
+    }
+}
+
+impl TraceSink for StreamSink {
+    fn record(&mut self, ev: &Event) {
+        self.events.push(*ev);
+        self.counts.bump(ev.kind());
+    }
+}
+
+/// A concrete, `Clone`-able sink — the form machine environments own.
+///
+/// `Box<dyn TraceSink>` cannot be cloned, but the simulator's environments
+/// (`UmpuEnv`, `SosSystem`, fleet nodes) are plain values that get cloned
+/// for snapshot/replay and per-node fan-out, so the owned sink is this enum
+/// instead; the [`TraceSink`] trait remains the instrumentation interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScopeSink {
+    /// Bounded retention (fleet nodes).
+    Ring(RingSink),
+    /// Unbounded retention (tracing/profiling runs).
+    Stream(StreamSink),
+}
+
+impl ScopeSink {
+    /// A ring sink of `capacity` events.
+    pub fn ring(capacity: usize) -> ScopeSink {
+        ScopeSink::Ring(RingSink::new(capacity))
+    }
+
+    /// An unbounded streaming sink.
+    pub fn stream() -> ScopeSink {
+        ScopeSink::Stream(StreamSink::new())
+    }
+
+    /// The retained events, oldest first. A ring sink returns only what it
+    /// still holds; pair with [`ScopeSink::dropped`] to know what was shed.
+    pub fn events(&self) -> Vec<Event> {
+        match self {
+            ScopeSink::Ring(r) => r.buf.iter().copied().collect(),
+            ScopeSink::Stream(s) => s.events.clone(),
+        }
+    }
+
+    /// The last `n` retained events, oldest first (cheap cursor for
+    /// per-instruction draining; `n` never exceeds what one instruction can
+    /// emit, so a ring sink with a sane capacity always still holds them).
+    pub fn tail(&self, n: usize) -> Vec<Event> {
+        match self {
+            ScopeSink::Ring(r) => {
+                let skip = r.buf.len().saturating_sub(n);
+                r.buf.iter().skip(skip).copied().collect()
+            }
+            ScopeSink::Stream(s) => {
+                let skip = s.events.len().saturating_sub(n);
+                s.events[skip..].to_vec()
+            }
+        }
+    }
+
+    /// Total events recorded (including any dropped bodies).
+    pub const fn recorded(&self) -> u64 {
+        match self {
+            ScopeSink::Ring(r) => r.recorded,
+            ScopeSink::Stream(s) => s.events.len() as u64,
+        }
+    }
+
+    /// Event bodies dropped under pressure (ring sinks only).
+    pub const fn dropped(&self) -> u64 {
+        match self {
+            ScopeSink::Ring(r) => r.dropped,
+            ScopeSink::Stream(_) => 0,
+        }
+    }
+
+    /// Exact per-kind counts (never affected by drops).
+    pub const fn kind_counts(&self) -> &KindCounts {
+        match self {
+            ScopeSink::Ring(r) => &r.counts,
+            ScopeSink::Stream(s) => &s.counts,
+        }
+    }
+}
+
+impl TraceSink for ScopeSink {
+    fn record(&mut self, ev: &Event) {
+        match self {
+            ScopeSink::Ring(r) => r.record(ev),
+            ScopeSink::Stream(s) => s.record(ev),
+        }
+    }
+}
+
+/// Declarative sink choice — `Copy`, so configuration structs that are
+/// `Copy` (e.g. `harbor_fleet::FleetConfig`) can carry one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkSpec {
+    /// A bounded ring sink of the given capacity.
+    Ring(usize),
+    /// An unbounded streaming sink.
+    Stream,
+}
+
+impl SinkSpec {
+    /// Builds the sink this spec describes.
+    pub fn build(self) -> ScopeSink {
+        match self {
+            SinkSpec::Ring(cap) => ScopeSink::ring(cap),
+            SinkSpec::Stream => ScopeSink::stream(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycles: u64) -> Event {
+        Event::Recovery { cycles }
+    }
+
+    #[test]
+    fn ring_drops_oldest_but_counts_exactly() {
+        let mut s = ScopeSink::ring(3);
+        for c in 0..10 {
+            s.record(&ev(c));
+        }
+        assert_eq!(s.recorded(), 10);
+        assert_eq!(s.dropped(), 7);
+        let kept: Vec<u64> = s.events().iter().map(Event::cycles).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+        assert_eq!(s.kind_counts().get(EventKind::Recovery), 10);
+        assert_eq!(s.kind_counts().get(EventKind::Fault), 0);
+    }
+
+    #[test]
+    fn stream_retains_everything_in_order() {
+        let mut s = ScopeSink::stream();
+        for c in 0..5 {
+            s.record(&ev(c));
+        }
+        assert_eq!(s.recorded(), 5);
+        assert_eq!(s.dropped(), 0);
+        assert_eq!(s.events().len(), 5);
+        assert_eq!(s.tail(2).iter().map(Event::cycles).collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn tail_larger_than_retained_is_everything() {
+        let mut s = ScopeSink::ring(2);
+        s.record(&ev(1));
+        assert_eq!(s.tail(10).len(), 1);
+    }
+
+    #[test]
+    fn sink_spec_builds_the_right_shape() {
+        assert!(matches!(SinkSpec::Ring(8).build(), ScopeSink::Ring(_)));
+        assert!(matches!(SinkSpec::Stream.build(), ScopeSink::Stream(_)));
+    }
+
+    #[test]
+    fn sinks_clone_with_contents() {
+        let mut s = ScopeSink::stream();
+        s.record(&ev(9));
+        let c = s.clone();
+        assert_eq!(c, s);
+    }
+}

@@ -126,6 +126,40 @@ impl SfiRuntime {
         STUB_TABLE.iter().find(|&&(n, _)| self.stub(n) == addr).map(|&(_, role)| role)
     }
 
+    /// Profiler classification of the run-time's flash: non-overlapping
+    /// `(start, end, mechanism)` word-address regions covering the whole
+    /// assembled object. The cross-domain gates (`harbor_xdom_*`) classify
+    /// as [`harbor_scope::Mechanism::Crossing`]; every other stub — store
+    /// checks, safe-stack return redirection, icall/ijmp checks and the
+    /// shared check core — as [`harbor_scope::Mechanism::Check`]. Under SFI
+    /// the checks are real instructions executed from this region, so this
+    /// is what lets one profiler produce the paper's Table-5 breakdown for
+    /// both builds.
+    pub fn scope_regions(&self) -> Vec<(u32, u32, harbor_scope::Mechanism)> {
+        use harbor_scope::Mechanism;
+        let mut entries = self.stub_roles();
+        entries.sort_unstable_by_key(|&(addr, _)| addr);
+        let end = self.object.end();
+        let mut out = Vec::with_capacity(entries.len() + 1);
+        // Internal code ahead of the first named stub (the shared check
+        // core) is check machinery too.
+        let first = entries.first().map_or(end, |&(addr, _)| addr);
+        if self.object.origin() < first {
+            out.push((self.object.origin(), first, Mechanism::Check));
+        }
+        for (i, &(addr, role)) in entries.iter().enumerate() {
+            let stop = entries.get(i + 1).map_or(end, |&(next, _)| next);
+            let mech = match role {
+                StubRole::XdomCall | StubRole::XdomCallZ | StubRole::XdomRet => Mechanism::Crossing,
+                _ => Mechanism::Check,
+            };
+            if addr < stop {
+                out.push((addr, stop, mech));
+            }
+        }
+        out
+    }
+
     /// Loads the run-time into flash and initialises the protection state
     /// in RAM: trusted domain active, stack bound at `RAMEND`, safe stack
     /// empty, memory map all-free, code-bounds table cleared.
@@ -787,6 +821,28 @@ mod tests {
             assert_eq!(rt.stub_role_at(addr), Some(role));
         }
         assert_eq!(rt.stub_role_at(0), None);
+    }
+
+    #[test]
+    fn scope_regions_cover_the_object_without_gaps() {
+        let rt = SfiRuntime::build(SfiLayout::default_layout(), 0x0040);
+        let regions = rt.scope_regions();
+        // Contiguous cover from origin to end, in order, no overlaps.
+        let mut cursor = rt.object().origin();
+        for &(start, end, _) in &regions {
+            assert_eq!(start, cursor, "gap before {start:#x}");
+            assert!(start < end);
+            cursor = end;
+        }
+        assert_eq!(cursor, rt.object().end());
+        // The cross-domain gates classify as Crossing, store checks as Check.
+        let mech_at = |addr: u32| {
+            regions.iter().find(|&&(s, e, _)| addr >= s && addr < e).map(|&(_, _, m)| m).unwrap()
+        };
+        assert_eq!(mech_at(rt.stub("harbor_xdom_call")), harbor_scope::Mechanism::Crossing);
+        assert_eq!(mech_at(rt.stub("harbor_xdom_ret")), harbor_scope::Mechanism::Crossing);
+        assert_eq!(mech_at(rt.stub("harbor_st_x")), harbor_scope::Mechanism::Check);
+        assert_eq!(mech_at(rt.stub("harbor_save_ret")), harbor_scope::Mechanism::Check);
     }
 
     #[test]

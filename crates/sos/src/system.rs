@@ -12,8 +12,24 @@ use avr_core::exec::{Cpu, Step};
 use avr_core::mem::{Flash, PlainEnv};
 use avr_core::{Fault, WordAddr};
 use harbor::DomainId;
+use harbor_scope::{DomainProfiler, Event, Mechanism, RegionMap, ScopeSink, TraceSink};
 use harbor_sfi::SfiRuntime;
 use umpu::UmpuEnv;
+
+/// One protection fault the system observed, in the uniform
+/// code/operand vocabulary shared by the UMPU hardware and the SFI
+/// run-time's panic port (see `avr_core::EnvFault`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Cycle counter when the fault surfaced.
+    pub cycles: u64,
+    /// Protection fault code.
+    pub code: u16,
+    /// Faulting address (code-specific operand).
+    pub addr: u16,
+    /// Second code-specific operand.
+    pub info: u16,
+}
 
 /// Which protection implementation the system is built with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -26,6 +42,10 @@ pub enum Protection {
     Sfi,
 }
 
+// One per system and stepped once per simulated instruction — boxing the
+// large variant would trade a few hundred inline bytes for a pointer chase
+// in the hot loop.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 enum Mach {
     Plain(Cpu<PlainEnv>),
@@ -51,6 +71,11 @@ pub struct SosSystem {
     mach: Mach,
     booted: bool,
     load_policy: Option<LoadPolicy>,
+    // Trace sink for the Plain builds (the UMPU build keeps its sink inside
+    // the env so the hardware units can report directly).
+    scope: Option<ScopeSink>,
+    // Every protection fault observed, in order.
+    faults: Vec<FaultRecord>,
 }
 
 impl SosSystem {
@@ -137,7 +162,71 @@ impl SosSystem {
             mach,
             booted: false,
             load_policy: None,
+            scope: None,
+            faults: Vec::new(),
         })
+    }
+
+    /// Attaches a trace sink: from here on, every protection decision,
+    /// cross-domain edge, fault and kernel lifecycle event is recorded.
+    /// Purely observational — attaching a sink never changes simulated
+    /// cycle counts (regression-tested in `tests/scope_integration.rs`).
+    pub fn attach_scope(&mut self, sink: ScopeSink) {
+        match &mut self.mach {
+            Mach::Umpu(c) => c.env.scope = Some(sink),
+            Mach::Plain(_) => self.scope = Some(sink),
+        }
+    }
+
+    /// The attached trace sink, if any.
+    pub fn scope(&self) -> Option<&ScopeSink> {
+        match &self.mach {
+            Mach::Umpu(c) => c.env.scope.as_ref(),
+            Mach::Plain(_) => self.scope.as_ref(),
+        }
+    }
+
+    /// Detaches and returns the trace sink.
+    pub fn take_scope(&mut self) -> Option<ScopeSink> {
+        match &mut self.mach {
+            Mach::Umpu(c) => c.env.scope.take(),
+            Mach::Plain(_) => self.scope.take(),
+        }
+    }
+
+    /// Every protection fault observed so far, oldest first. Uniform across
+    /// builds: UMPU faults come from the hardware units' rich records, SFI
+    /// faults from the run-time's panic port.
+    pub fn fault_history(&self) -> &[FaultRecord] {
+        &self.faults
+    }
+
+    fn emit(&mut self, ev: Event) {
+        let sink = match &mut self.mach {
+            Mach::Umpu(c) => c.env.scope.as_mut(),
+            Mach::Plain(_) => self.scope.as_mut(),
+        };
+        if let Some(sink) = sink {
+            sink.record(&ev);
+        }
+    }
+
+    fn note_result(&mut self, r: &Result<Step, Fault>) {
+        if let Err(Fault::Env(e)) = r {
+            let record =
+                FaultRecord { cycles: self.cycles(), code: e.code, addr: e.addr, info: e.info };
+            self.faults.push(record);
+            // The UMPU env already reported the fault event when its units
+            // raised it; the Plain builds surface faults only here.
+            if matches!(self.mach, Mach::Plain(_)) {
+                self.emit(Event::Fault {
+                    cycles: record.cycles,
+                    code: record.code,
+                    addr: record.addr,
+                    info: record.info,
+                });
+            }
+        }
     }
 
     /// Boots the system: runs the kernel's reset/init code to its boot
@@ -225,6 +314,12 @@ impl SosSystem {
                 }
                 cpu.sp = avr_core::mem::RAMEND;
             }
+        }
+        // The UMPU env reports its own recovery; the Plain builds report
+        // here so every build's trace shows the same lifecycle.
+        if matches!(self.mach, Mach::Plain(_)) {
+            let cycles = self.cycles();
+            self.emit(Event::Recovery { cycles });
         }
     }
 
@@ -340,6 +435,8 @@ impl SosSystem {
 
         let dom = loaded.domain;
         self.modules.push(loaded);
+        let cycles = self.cycles();
+        self.emit(Event::ModuleInstall { cycles, domain: dom.index() });
         self.post(dom, MSG_INIT);
     }
 
@@ -391,6 +488,8 @@ impl SosSystem {
                 // module's heap memory cannot be identified — it leaks.
             }
         }
+        let cycles = self.cycles();
+        self.emit(Event::ModuleUnload { cycles, domain: dom.index() });
     }
 
     /// Clears allocator-bitmap bits for reclaimed segments that lie in the
@@ -451,12 +550,15 @@ impl SosSystem {
         let tail = self.sram(l.q_tail);
         let head = self.sram(l.q_head);
         let next = (tail + 1) & 0x0f;
+        let cycles = self.cycles();
         if next == head {
+            self.emit(Event::MessagePost { cycles, domain: dom.index(), msg, accepted: false });
             return false;
         }
         self.write_sram(l.q_buf + tail as u16 * 2, dom.index());
         self.write_sram(l.q_buf + tail as u16 * 2 + 1, msg);
         self.write_sram(l.q_tail, next);
+        self.emit(Event::MessagePost { cycles, domain: dom.index(), msg, accepted: true });
         true
     }
 
@@ -485,6 +587,9 @@ impl SosSystem {
     pub fn run_slice(&mut self, max_cycles: u64) -> Result<Step, Fault> {
         let entry = self.scheduler_entry();
         self.steer(entry);
+        let cycles = self.cycles();
+        let queued = self.queue_len();
+        self.emit(Event::SchedulerSlice { cycles, queued });
         self.run_to_break(max_cycles)
     }
 
@@ -494,10 +599,12 @@ impl SosSystem {
     ///
     /// Any [`Fault`], including protection faults as [`Fault::Env`].
     pub fn run_to_break(&mut self, max_cycles: u64) -> Result<Step, Fault> {
-        match &mut self.mach {
+        let r = match &mut self.mach {
             Mach::Plain(c) => c.run_to_break(max_cycles),
             Mach::Umpu(c) => c.run_to_break(max_cycles),
-        }
+        };
+        self.note_result(&r);
+        r
     }
 
     /// Runs until the PC reaches `pc` (for cycle-accurate span timing).
@@ -506,10 +613,12 @@ impl SosSystem {
     ///
     /// Any [`Fault`].
     pub fn run_to_pc(&mut self, pc: WordAddr, max_cycles: u64) -> Result<Step, Fault> {
-        match &mut self.mach {
+        let r = match &mut self.mach {
             Mach::Plain(c) => c.run_to_pc(pc, max_cycles),
             Mach::Umpu(c) => c.run_to_pc(pc, max_cycles),
-        }
+        };
+        self.note_result(&r);
+        r
     }
 
     /// Total cycles executed.
@@ -655,5 +764,132 @@ impl SosSystem {
             Mach::Umpu(c) => c.env.last_fault,
             Mach::Plain(_) => None,
         }
+    }
+
+    /// The flash-region classification the per-domain cycle profiler uses:
+    /// jump-table pages count as each domain's crossing machinery, module
+    /// slots as its application code, the SFI run-time's stubs as trusted
+    /// check/crossing code, and everything else (kernel, API, driver) as
+    /// trusted kernel work.
+    pub fn scope_region_map(&self) -> RegionMap {
+        let mut m = RegionMap::new(DomainId::TRUSTED.index(), Mechanism::Kernel);
+        for dom in 0..8u8 {
+            let base = self.layout.jt_page(dom) as u32;
+            m.add(base, base + 128, dom, Mechanism::Crossing);
+        }
+        for dom in 0..7u8 {
+            let slot = self.layout.slot_for(dom);
+            m.add(slot, slot + self.layout.slot_words, dom, Mechanism::App);
+        }
+        if let Some(rt) = &self.runtime {
+            for (start, end, mech) in rt.scope_regions() {
+                m.add(start, end, DomainId::TRUSTED.index(), mech);
+            }
+        }
+        m
+    }
+
+    /// Runs like [`SosSystem::run_to_break`] but steps one instruction at a
+    /// time, attributing every elapsed cycle to a (domain, mechanism) pair:
+    /// UMPU stall cycles reported by the attached sink are booked to their
+    /// mechanism, the remainder to the retired PC's flash region. Totals
+    /// reconcile exactly with [`SosSystem::cycles`] — every delta is booked.
+    ///
+    /// Works with or without a sink (without one, UMPU stalls are folded
+    /// into the instruction's region — attach one for the exact Table-5
+    /// split). With a [`RingSink`](harbor_scope::RingSink), size it to hold
+    /// at least one instruction's events (a handful).
+    ///
+    /// # Errors
+    ///
+    /// Any [`Fault`], including [`Fault::CycleLimit`] past `max_cycles`.
+    /// The faulting instruction's elapsed cycles are still attributed.
+    pub fn run_profiled(
+        &mut self,
+        profiler: &mut DomainProfiler,
+        max_cycles: u64,
+    ) -> Result<Step, Fault> {
+        let limit = self.cycles().saturating_add(max_cycles);
+        profiler.resync(self.cycles());
+        loop {
+            let before = self.scope().map_or(0, ScopeSink::recorded);
+            let pc = self.pc();
+            let stepped = match &mut self.mach {
+                Mach::Plain(c) => c.step_traced(),
+                Mach::Umpu(c) => c.step_traced(),
+            };
+            match stepped {
+                Ok((step, entry)) => {
+                    let stalls = self.stalls_since(before);
+                    profiler.record_instruction(entry.pc, entry.cycles_after, &stalls);
+                    match step {
+                        Step::Continue => {}
+                        s => return Ok(s),
+                    }
+                    if self.cycles() > limit {
+                        return Err(Fault::CycleLimit { cycles: self.cycles() });
+                    }
+                }
+                Err(f) => {
+                    // The instruction did not retire; whatever the attempt
+                    // cost still belongs to its region.
+                    let stalls = self.stalls_since(before);
+                    profiler.record_instruction(pc, self.cycles(), &stalls);
+                    let r = Err(f);
+                    self.note_result(&r);
+                    return r;
+                }
+            }
+        }
+    }
+
+    /// [`SosSystem::run_slice`] under the profiler: re-enters the app's
+    /// scheduler loop and attributes the whole slice.
+    ///
+    /// # Errors
+    ///
+    /// As [`SosSystem::run_profiled`].
+    pub fn run_slice_profiled(
+        &mut self,
+        profiler: &mut DomainProfiler,
+        max_cycles: u64,
+    ) -> Result<Step, Fault> {
+        let entry = self.scheduler_entry();
+        self.steer(entry);
+        let cycles = self.cycles();
+        let queued = self.queue_len();
+        self.emit(Event::SchedulerSlice { cycles, queued });
+        self.run_profiled(profiler, max_cycles)
+    }
+
+    // Stall attributions from events the last instruction recorded:
+    // (domain, mechanism, stall cycles) for every stall-charging event.
+    fn stalls_since(&self, before: u64) -> Vec<(u8, Mechanism, u64)> {
+        let Some(sink) = self.scope() else {
+            return Vec::new();
+        };
+        let newly = (sink.recorded() - before) as usize;
+        if newly == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for ev in sink.tail(newly) {
+            match ev {
+                Event::MemMapCheck { granted: true, stall, domain, .. } if stall > 0 => {
+                    out.push((domain, Mechanism::Check, stall as u64));
+                }
+                Event::CrossDomainCall { callee, stall, .. } => {
+                    out.push((callee, Mechanism::Crossing, stall as u64));
+                }
+                Event::CrossDomainRet { from, stall, .. } => {
+                    out.push((from, Mechanism::Crossing, stall as u64));
+                }
+                Event::InterruptEntry { stall, .. } => {
+                    out.push((DomainId::TRUSTED.index(), Mechanism::Crossing, stall as u64));
+                }
+                _ => {}
+            }
+        }
+        out
     }
 }

@@ -7,6 +7,7 @@ use avr_core::exec::{CallEvent, CallOutcome, Env, RetOutcome};
 use avr_core::mem::{DataMem, Flash, PORT_DEBUG, RAMEND};
 use avr_core::{EnvFault, Fault, WordAddr};
 use harbor::{DomainId, DomainMode, MemMapConfig, MemoryMap, ProtectionFault};
+use harbor_scope::{Event, ScopeSink, TraceSink};
 
 /// A complete UMPU machine configuration, applied in one shot by
 /// [`UmpuEnv::configure`] (hosts) or assembled by kernel boot code writing
@@ -102,6 +103,13 @@ pub struct UmpuEnv {
     pub last_fault: Option<ProtectionFault>,
     /// Optional periodic timer interrupt source.
     pub timer: Option<avr_core::mem::Timer>,
+    /// Optional trace sink: when attached, every protection decision the
+    /// units make is reported as a [`harbor_scope::Event`]. Purely
+    /// observational — with `None` (the default) no event is even
+    /// constructed and the simulated machine is cycle-identical.
+    pub scope: Option<ScopeSink>,
+    // Cycle stamp latched from `Env::set_now` for event timestamps.
+    now: u64,
     enabled: bool,
     // Staging registers for the code-region configuration ports.
     code_select: u8,
@@ -127,6 +135,8 @@ impl UmpuEnv {
             tracker: DomainTrackerUnit::default(),
             last_fault: None,
             timer: None,
+            scope: None,
+            now: 0,
             enabled: false,
             code_select: 0,
             code_start: 0,
@@ -180,6 +190,17 @@ impl UmpuEnv {
         self.tracker.clear_frames();
         self.safe_stack.ptr = self.safe_stack.base;
         self.last_fault = None;
+        self.emit(|c| Event::Recovery { cycles: c });
+    }
+
+    /// Reports an event to the attached sink, if any. The closure receives
+    /// the latched cycle stamp; with no sink it is never called, so the
+    /// disabled path does no work beyond the `Option` test.
+    fn emit(&mut self, f: impl FnOnce(u64) -> Event) {
+        let now = self.now;
+        if let Some(sink) = self.scope.as_mut() {
+            sink.record(&f(now));
+        }
     }
 
     /// Registers a domain's code region for the fetch-decoder check.
@@ -255,9 +276,39 @@ impl UmpuEnv {
     }
 
     fn raise(&mut self, f: ProtectionFault) -> Fault {
-        self.last_fault = Some(f);
+        // Denied-check events first, then the uniform fault record: the
+        // trace shows *which* checker said no and the code/operands why.
+        let cur = self.tracker.current.index();
+        match f {
+            ProtectionFault::MemMapViolation { addr, domain, .. }
+            | ProtectionFault::KernelSpaceViolation { addr, domain } => {
+                self.emit(|c| Event::MemMapCheck {
+                    cycles: c,
+                    domain,
+                    addr,
+                    granted: false,
+                    stall: 0,
+                });
+            }
+            ProtectionFault::StackBoundViolation { addr, bound } => {
+                self.emit(move |c| Event::StackCheck {
+                    cycles: c,
+                    domain: cur,
+                    addr,
+                    bound,
+                    granted: false,
+                });
+            }
+            ProtectionFault::SafeStackOverflow { ptr } => {
+                self.emit(|c| Event::SafeStackOverflow { cycles: c, ptr });
+            }
+            _ => {}
+        }
         let (addr, info) = fault_operands(&f);
-        Fault::Env(EnvFault { code: f.code(), addr, info })
+        let code = f.code();
+        self.emit(|c| Event::Fault { cycles: c, code, addr, info });
+        self.last_fault = Some(f);
+        Fault::Env(EnvFault { code, addr, info })
     }
 
     fn plain_call(&mut self, ev: CallEvent) -> Result<CallOutcome, Fault> {
@@ -375,6 +426,10 @@ fn fault_operands(f: &ProtectionFault) -> (u16, u16) {
 }
 
 impl Env for UmpuEnv {
+    fn set_now(&mut self, cycles: u64) {
+        self.now = cycles;
+    }
+
     fn fetch(&mut self, pc: WordAddr) -> Result<u16, Fault> {
         if self.enabled && !self.tracker.fetch_allowed(pc as u16) {
             let f = ProtectionFault::CfiViolation {
@@ -399,10 +454,31 @@ impl Env for UmpuEnv {
             self.data.write(addr, v)?;
             return Ok(0);
         }
-        match self.mmc.check_store(&self.data, addr, self.tracker.current, self.tracker.stack_bound)
-        {
+        let domain = self.tracker.current;
+        let bound = self.tracker.stack_bound;
+        match self.mmc.check_store(&self.data, addr, domain, bound) {
             Ok(stall) => {
                 self.data.write(addr, v)?;
+                if stall > 0 {
+                    // In-map store: the checker took a bus cycle to read the
+                    // ownership record.
+                    self.emit(|c| Event::MemMapCheck {
+                        cycles: c,
+                        domain: domain.index(),
+                        addr,
+                        granted: true,
+                        stall,
+                    });
+                } else if addr >= self.mmc.prot_top && !domain.is_trusted() {
+                    // Run-time stack store arbitrated by the bound register.
+                    self.emit(|c| Event::StackCheck {
+                        cycles: c,
+                        domain: domain.index(),
+                        addr,
+                        bound,
+                        granted: true,
+                    });
+                }
                 Ok(stall)
             }
             Err(f) => Err(self.raise(f)),
@@ -458,6 +534,11 @@ impl Env for UmpuEnv {
             }
             self.tracker.current = DomainId::TRUSTED;
             self.tracker.stack_bound = ev.sp;
+            let ptr = self.safe_stack.ptr;
+            self.emit(|c| Event::SafeStackPush { cycles: c, frame: true, ptr });
+            let from = caller.index();
+            let vector = ev.target as u16;
+            self.emit(|c| Event::InterruptEntry { cycles: c, from, vector, stall: 5 });
             return Ok(CallOutcome { target: ev.target, extra_cycles: 5 });
         }
         let target = ev.target as u16;
@@ -470,6 +551,8 @@ impl Env for UmpuEnv {
                 if let Err(f) = self.safe_stack.push_word(&mut self.data, ret) {
                     return Err(self.raise(f));
                 }
+                let ptr = self.safe_stack.ptr;
+                self.emit(|c| Event::SafeStackPush { cycles: c, frame: false, ptr });
                 Ok(CallOutcome { target: ev.target, extra_cycles: 0 })
             }
             Ok(Some(callee)) => {
@@ -495,6 +578,25 @@ impl Env for UmpuEnv {
                 }
                 self.tracker.current = callee;
                 self.tracker.stack_bound = ev.sp;
+                let ptr = self.safe_stack.ptr;
+                let entry =
+                    (target - self.tracker.jt_base) % harbor::JumpTableLayout::ENTRIES_PER_PAGE;
+                self.emit(|c| Event::JumpTableDispatch {
+                    cycles: c,
+                    domain: callee.index(),
+                    entry,
+                    target,
+                });
+                self.emit(|c| Event::SafeStackPush { cycles: c, frame: true, ptr });
+                let from = caller.index();
+                let to = callee.index();
+                self.emit(|c| Event::CrossDomainCall {
+                    cycles: c,
+                    caller: from,
+                    callee: to,
+                    target,
+                    stall: 5,
+                });
                 Ok(CallOutcome { target: ev.target, extra_cycles: 5 })
             }
         }
@@ -507,6 +609,7 @@ impl Env for UmpuEnv {
         if self.tracker.take_frame_marker(self.safe_stack.ptr) {
             // Cross-domain return: restore caller id, bound, return address
             // from the frame — five cycles to read the five bytes back.
+            let from = self.tracker.current.index();
             let dom = match self.safe_stack.pop_byte(&self.data) {
                 Ok(v) => v,
                 Err(f) => return Err(self.raise(f)),
@@ -521,12 +624,18 @@ impl Env for UmpuEnv {
             };
             self.tracker.current = DomainId::new(dom & 7).expect("3-bit id");
             self.tracker.stack_bound = bound;
+            let ptr = self.safe_stack.ptr;
+            self.emit(|c| Event::SafeStackPop { cycles: c, frame: true, ptr });
+            let to = dom & 7;
+            self.emit(|c| Event::CrossDomainRet { cycles: c, from, to, target: ret, stall: 5 });
             Ok(RetOutcome { target: ret as u32, extra_cycles: 5 })
         } else {
             let ret = match self.safe_stack.pop_word(&self.data) {
                 Ok(v) => v,
                 Err(f) => return Err(self.raise(f)),
             };
+            let ptr = self.safe_stack.ptr;
+            self.emit(|c| Event::SafeStackPop { cycles: c, frame: false, ptr });
             Ok(RetOutcome { target: ret as u32, extra_cycles: 0 })
         }
     }

@@ -84,6 +84,22 @@ impl<const N: usize> ClassicMpu<N> {
         supervisor || self.regions.iter().flatten().any(|r| addr >= r.base && addr < r.end)
     }
 
+    /// [`ClassicMpu::check_store`] with trace emission: the decision is
+    /// recorded as a [`harbor_scope::Event::MpuCheck`] stamped with
+    /// `cycles`, so baseline-MPU runs can be compared against UMPU traces
+    /// event-for-event.
+    pub fn check_store_traced(
+        &self,
+        supervisor: bool,
+        addr: u16,
+        cycles: u64,
+        sink: &mut dyn harbor_scope::TraceSink,
+    ) -> bool {
+        let granted = self.check_store(supervisor, addr);
+        sink.record(&harbor_scope::Event::MpuCheck { cycles, supervisor, addr, granted });
+        granted
+    }
+
     /// Programmed regions.
     pub fn regions(&self) -> impl Iterator<Item = MpuRegion> + '_ {
         self.regions.iter().flatten().copied()

@@ -72,9 +72,9 @@ fn run_one(protection: Protection, seed: u64) {
         }
     }
     let t = fleet.telemetry();
-    let faults = t.total(|n| n.faults);
-    let contained = t.total(|n| n.contained);
-    let recoveries = t.total(|n| n.recoveries);
+    let faults = t.total(harbor_fleet::NodeTelemetry::faults);
+    let contained = t.total(harbor_fleet::NodeTelemetry::contained);
+    let recoveries = t.total(harbor_fleet::NodeTelemetry::recoveries);
     println!("  faults raised: {faults}  contained: {contained}  recoveries: {recoveries}");
     println!("  nodes with a wild byte 255 past the buffer: {corrupted}/{NODES}");
     println!("  nodes sampling correctly after convergence: {clean_samples}/{NODES}");

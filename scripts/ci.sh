@@ -17,4 +17,7 @@ cargo test --workspace -q
 echo "== harbor-flow lint-modules -D"
 cargo run -q -p harbor-flow --bin lint-modules -- -D
 
+echo "== harbor-trace --check"
+cargo run -q -p mini-sos --bin harbor-trace -- --check
+
 echo "== ci: all green"

@@ -5,6 +5,7 @@ pub use avr_asm;
 pub use avr_core;
 pub use harbor;
 pub use harbor_fleet;
+pub use harbor_scope;
 pub use harbor_sfi;
 pub use mini_sos;
 pub use umpu;

@@ -116,7 +116,7 @@ fn load_policy_quarantines_over_budget_module_on_every_node() {
         fleet.with_node(v, |node| {
             assert!(node.has_quarantined(id), "node {v} quarantined the image");
             assert!(!node.has_installed(id), "node {v} must not install it");
-            assert_eq!(node.telemetry.quarantined, 1, "node {v} counted one quarantine");
+            assert_eq!(node.telemetry.quarantined(), 1, "node {v} counted one quarantine");
             assert!(
                 node.sys.modules.iter().all(|m| m.domain != DomainId::num(TREE_DOM)),
                 "node {v}: nothing occupies the target domain"
@@ -148,7 +148,7 @@ fn load_policy_quarantines_over_budget_module_on_every_node() {
     for v in 0..NODES {
         fleet.with_node(v, |node| {
             assert!(node.has_installed(id), "node {v} installed under the roomy policy");
-            assert_eq!(node.telemetry.quarantined, 0, "node {v}: no quarantines");
+            assert_eq!(node.telemetry.quarantined(), 0, "node {v}: no quarantines");
         });
     }
 }
