@@ -1,0 +1,132 @@
+//! Flight-recorder overhead bench: host wall-time of a fleet run with no
+//! sinks versus the full blackbox (masked recorder ring + per-node
+//! snapshots + watchdog) at 64/256/512 nodes. The recorder's `KindMask`
+//! filters the per-store check events *before* they are constructed, so
+//! always-on recording must stay within a few percent of the bare run.
+//!
+//! Methodology: the workload is an active fleet (Blink, Tree Routing and
+//! the patched Surge all firing every round — the densest steady state a
+//! campaign produces), and the two modes run *interleaved*, taking the
+//! minimum over [`ITERS`] alternating pairs, so a load spike on the host
+//! penalises both modes rather than whichever happened to run under it.
+//! The simulated machines must be byte-identical across the two modes —
+//! the blackbox is observational — so the bench asserts equal cycle and
+//! instruction totals before reporting wall-clock cost. Results land in
+//! `BENCH_blackbox.json`.
+//!
+//! ```sh
+//! cargo run --release -p harbor-bench --bin blackbox_overhead -- --seed 7
+//! ```
+
+use harbor::DomainId;
+use harbor_fleet::{BlackboxConfig, Fleet, FleetConfig, NetConfig};
+use mini_sos::kernel::MSG_TIMER;
+use mini_sos::{modules, Protection};
+use std::time::Instant;
+
+const ROUNDS: u64 = 40;
+
+/// Alternating none/recorder pairs per node count; each mode reports its
+/// minimum, which converges on the quiet-host time.
+const ITERS: usize = 16;
+
+struct Run {
+    wall_ms: f64,
+    cycles: u64,
+    instructions: u64,
+    recorded: u64,
+}
+
+/// One timed run, with or without the blackbox.
+fn run_once(nodes: usize, blackbox: Option<BlackboxConfig>, seed: u64) -> Run {
+    let cfg = FleetConfig {
+        nodes,
+        protection: Protection::Umpu,
+        seed,
+        net: NetConfig { loss: 0.1, ..NetConfig::default() },
+        threads: 1, // serial: wall-time differences come from the blackbox only
+        blackbox,
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::new(
+        &cfg,
+        &[modules::blink(0), modules::tree_routing(1), modules::surge_fixed(3, 1)],
+    )
+    .expect("fleet builds");
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        fleet.post_all(DomainId::num(0), MSG_TIMER);
+        fleet.post_all(DomainId::num(1), MSG_TIMER);
+        fleet.post_all(DomainId::num(3), MSG_TIMER);
+        fleet.step_round();
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let t = fleet.telemetry();
+    Run {
+        wall_ms,
+        cycles: t.total(|n| n.cycles),
+        instructions: t.total(|n| n.instructions),
+        recorded: t.scope.as_ref().map_or(0, |s| s.recorded),
+    }
+}
+
+fn seed_from_args() -> u64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--seed" {
+            let v = args.next().expect("--seed needs a value");
+            return v.parse().expect("--seed must be a u64");
+        }
+    }
+    0x5c09e
+}
+
+fn main() {
+    let seed = seed_from_args();
+    println!(
+        "blackbox_overhead: seed={seed}, {ROUNDS} rounds per run, \
+         min over {ITERS} interleaved pairs, serial stepping\n"
+    );
+    println!(
+        "{:>6}  {:>10}  {:>12}  {:>10}  {:>10}  identical",
+        "nodes", "none ms", "recorder ms", "overhead", "events"
+    );
+
+    // Warm the allocator and caches before anything is timed.
+    run_once(64, None, seed);
+
+    let mut runs = Vec::new();
+    for nodes in [64usize, 256, 512] {
+        let mut none = run_once(nodes, None, seed);
+        let mut rec = run_once(nodes, Some(BlackboxConfig::default()), seed);
+        for _ in 1..ITERS {
+            let n = run_once(nodes, None, seed);
+            let r = run_once(nodes, Some(BlackboxConfig::default()), seed);
+            assert_eq!((n.cycles, n.instructions), (none.cycles, none.instructions));
+            assert_eq!((r.cycles, r.instructions), (rec.cycles, rec.instructions));
+            none.wall_ms = none.wall_ms.min(n.wall_ms);
+            rec.wall_ms = rec.wall_ms.min(r.wall_ms);
+        }
+        let identical = none.cycles == rec.cycles && none.instructions == rec.instructions;
+        assert!(identical, "{nodes}-node run: the blackbox must not perturb the machines");
+        assert!(rec.recorded > 0, "the recorder ring saw events");
+        let overhead_pct = (rec.wall_ms / none.wall_ms - 1.0) * 100.0;
+        println!(
+            "{nodes:>6}  {:>10.1}  {:>12.1}  {:>9.1}%  {:>10}  {identical}",
+            none.wall_ms, rec.wall_ms, overhead_pct, rec.recorded
+        );
+        runs.push(format!(
+            "{{\"nodes\":{nodes},\"rounds\":{ROUNDS},\
+             \"none_ms\":{:.3},\"recorder_ms\":{:.3},\"overhead_pct\":{:.2},\
+             \"events\":{},\"machine_identical\":{identical}}}",
+            none.wall_ms, rec.wall_ms, overhead_pct, rec.recorded
+        ));
+    }
+
+    let json = format!(
+        "{{\"bench\":\"blackbox_overhead\",\"seed\":{seed},\"iters\":{ITERS},\"runs\":[{}]}}",
+        runs.join(",")
+    );
+    std::fs::write("BENCH_blackbox.json", &json).expect("write BENCH_blackbox.json");
+    println!("\nwrote BENCH_blackbox.json");
+}

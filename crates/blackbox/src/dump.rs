@@ -1,0 +1,447 @@
+//! [`Postmortem`]: the typed crash dump a [`FlightRecorder`] freezes when
+//! a protection fault fires.
+//!
+//! A dump is everything a field debugger gets from a crashed node: the
+//! fault record, the architectural state at the instant of the fault, the
+//! last events the recorder's ring retained, the recent periodic
+//! snapshots, the safe-stack bytes (the control-flow spine the paper's
+//! hardware keeps incorruptible — which is exactly why it is still
+//! trustworthy *after* the crash), and the per-domain memory-map ownership
+//! census.
+//!
+//! The JSON codec is deterministic — fixed key order, integers only, no
+//! ambient state — so a serial and a parallel fleet run over the same seed
+//! freeze byte-identical dumps (regression-tested in `tests/fleet_blackbox.rs`).
+//!
+//! [`FlightRecorder`]: crate::recorder::FlightRecorder
+
+use crate::json::Json;
+use harbor_scope::{ArchSnapshot, Event};
+use mini_sos::FaultRecord;
+
+/// One frozen crash dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Postmortem {
+    /// The node that crashed.
+    pub node: u32,
+    /// Fleet round during which the fault fired (0 outside a fleet).
+    pub round: u64,
+    /// The node's Lamport time when the dump froze (0 without causal
+    /// tracing) — this is what orders dumps fleet-wide.
+    pub lamport: u64,
+    /// The protection build, as its stable name (`none`/`umpu`/`sfi`).
+    pub protection: String,
+    /// The fault that triggered the freeze.
+    pub fault: FaultRecord,
+    /// Architectural state at the instant of the fault (captured before
+    /// recovery wiped it).
+    pub at_fault: ArchSnapshot,
+    /// Recent periodic snapshots, oldest first.
+    pub snapshots: Vec<ArchSnapshot>,
+    /// The last events the recorder ring retained, oldest first.
+    pub events: Vec<Event>,
+    /// Occupied safe-stack bytes (`base..ptr`) at the fault.
+    pub safe_stack: Vec<u8>,
+    /// Per-domain memory-map block ownership (index 7 = trusted/free).
+    pub ownership: [u16; 8],
+}
+
+/// An [`Event`]'s payload as stable `(name, value)` pairs, in declaration
+/// order, with bools as 0/1. The inverse of [`event_from_fields`].
+pub fn event_fields(ev: &Event) -> Vec<(&'static str, u64)> {
+    match *ev {
+        Event::MemMapCheck { cycles, domain, addr, granted, stall } => vec![
+            ("cycles", cycles),
+            ("domain", domain as u64),
+            ("addr", addr as u64),
+            ("granted", granted as u64),
+            ("stall", stall as u64),
+        ],
+        Event::StackCheck { cycles, domain, addr, bound, granted } => vec![
+            ("cycles", cycles),
+            ("domain", domain as u64),
+            ("addr", addr as u64),
+            ("bound", bound as u64),
+            ("granted", granted as u64),
+        ],
+        Event::MpuCheck { cycles, supervisor, addr, granted } => vec![
+            ("cycles", cycles),
+            ("supervisor", supervisor as u64),
+            ("addr", addr as u64),
+            ("granted", granted as u64),
+        ],
+        Event::SafeStackPush { cycles, frame, ptr } => {
+            vec![("cycles", cycles), ("frame", frame as u64), ("ptr", ptr as u64)]
+        }
+        Event::SafeStackPop { cycles, frame, ptr } => {
+            vec![("cycles", cycles), ("frame", frame as u64), ("ptr", ptr as u64)]
+        }
+        Event::SafeStackOverflow { cycles, ptr } => {
+            vec![("cycles", cycles), ("ptr", ptr as u64)]
+        }
+        Event::JumpTableDispatch { cycles, domain, entry, target } => vec![
+            ("cycles", cycles),
+            ("domain", domain as u64),
+            ("entry", entry as u64),
+            ("target", target as u64),
+        ],
+        Event::CrossDomainCall { cycles, caller, callee, target, stall } => vec![
+            ("cycles", cycles),
+            ("caller", caller as u64),
+            ("callee", callee as u64),
+            ("target", target as u64),
+            ("stall", stall as u64),
+        ],
+        Event::CrossDomainRet { cycles, from, to, target, stall } => vec![
+            ("cycles", cycles),
+            ("from", from as u64),
+            ("to", to as u64),
+            ("target", target as u64),
+            ("stall", stall as u64),
+        ],
+        Event::InterruptEntry { cycles, from, vector, stall } => vec![
+            ("cycles", cycles),
+            ("from", from as u64),
+            ("vector", vector as u64),
+            ("stall", stall as u64),
+        ],
+        Event::Fault { cycles, code, addr, info } => vec![
+            ("cycles", cycles),
+            ("code", code as u64),
+            ("addr", addr as u64),
+            ("info", info as u64),
+        ],
+        Event::Recovery { cycles } => vec![("cycles", cycles)],
+        Event::MessagePost { cycles, domain, msg, accepted } => vec![
+            ("cycles", cycles),
+            ("domain", domain as u64),
+            ("msg", msg as u64),
+            ("accepted", accepted as u64),
+        ],
+        Event::SchedulerSlice { cycles, queued } => {
+            vec![("cycles", cycles), ("queued", queued as u64)]
+        }
+        Event::ModuleInstall { cycles, domain } => {
+            vec![("cycles", cycles), ("domain", domain as u64)]
+        }
+        Event::ModuleUnload { cycles, domain } => {
+            vec![("cycles", cycles), ("domain", domain as u64)]
+        }
+    }
+}
+
+/// Rebuilds an [`Event`] from its stable kind name and field map.
+///
+/// # Errors
+///
+/// An unknown kind name or a missing field.
+pub fn event_from_fields(
+    kind: &str,
+    mut get: impl FnMut(&str) -> Result<u64, String>,
+) -> Result<Event, String> {
+    let ev = match kind {
+        "memmap_check" => Event::MemMapCheck {
+            cycles: get("cycles")?,
+            domain: get("domain")? as u8,
+            addr: get("addr")? as u16,
+            granted: get("granted")? != 0,
+            stall: get("stall")? as u8,
+        },
+        "stack_check" => Event::StackCheck {
+            cycles: get("cycles")?,
+            domain: get("domain")? as u8,
+            addr: get("addr")? as u16,
+            bound: get("bound")? as u16,
+            granted: get("granted")? != 0,
+        },
+        "mpu_check" => Event::MpuCheck {
+            cycles: get("cycles")?,
+            supervisor: get("supervisor")? != 0,
+            addr: get("addr")? as u16,
+            granted: get("granted")? != 0,
+        },
+        "safe_stack_push" => Event::SafeStackPush {
+            cycles: get("cycles")?,
+            frame: get("frame")? != 0,
+            ptr: get("ptr")? as u16,
+        },
+        "safe_stack_pop" => Event::SafeStackPop {
+            cycles: get("cycles")?,
+            frame: get("frame")? != 0,
+            ptr: get("ptr")? as u16,
+        },
+        "safe_stack_overflow" => {
+            Event::SafeStackOverflow { cycles: get("cycles")?, ptr: get("ptr")? as u16 }
+        }
+        "jump_table_dispatch" => Event::JumpTableDispatch {
+            cycles: get("cycles")?,
+            domain: get("domain")? as u8,
+            entry: get("entry")? as u16,
+            target: get("target")? as u16,
+        },
+        "cross_domain_call" => Event::CrossDomainCall {
+            cycles: get("cycles")?,
+            caller: get("caller")? as u8,
+            callee: get("callee")? as u8,
+            target: get("target")? as u16,
+            stall: get("stall")? as u8,
+        },
+        "cross_domain_ret" => Event::CrossDomainRet {
+            cycles: get("cycles")?,
+            from: get("from")? as u8,
+            to: get("to")? as u8,
+            target: get("target")? as u16,
+            stall: get("stall")? as u8,
+        },
+        "interrupt_entry" => Event::InterruptEntry {
+            cycles: get("cycles")?,
+            from: get("from")? as u8,
+            vector: get("vector")? as u16,
+            stall: get("stall")? as u8,
+        },
+        "fault" => Event::Fault {
+            cycles: get("cycles")?,
+            code: get("code")? as u16,
+            addr: get("addr")? as u16,
+            info: get("info")? as u16,
+        },
+        "recovery" => Event::Recovery { cycles: get("cycles")? },
+        "message_post" => Event::MessagePost {
+            cycles: get("cycles")?,
+            domain: get("domain")? as u8,
+            msg: get("msg")? as u8,
+            accepted: get("accepted")? != 0,
+        },
+        "scheduler_slice" => {
+            Event::SchedulerSlice { cycles: get("cycles")?, queued: get("queued")? as u8 }
+        }
+        "module_install" => {
+            Event::ModuleInstall { cycles: get("cycles")?, domain: get("domain")? as u8 }
+        }
+        "module_unload" => {
+            Event::ModuleUnload { cycles: get("cycles")?, domain: get("domain")? as u8 }
+        }
+        other => return Err(format!("unknown event kind `{other}`")),
+    };
+    Ok(ev)
+}
+
+fn render_snapshot(out: &mut String, s: &ArchSnapshot) {
+    out.push('{');
+    for (i, (name, v)) in s.fields().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{name}\":{v}"));
+    }
+    out.push('}');
+}
+
+fn parse_snapshot(j: &Json) -> Result<ArchSnapshot, String> {
+    match j {
+        Json::Obj(members) => {
+            let mut pairs = Vec::with_capacity(members.len());
+            for (k, v) in members {
+                let n = v.as_u64().ok_or_else(|| format!("non-integer snapshot field `{k}`"))?;
+                pairs.push((k.as_str(), n));
+            }
+            Ok(ArchSnapshot::from_fields(pairs))
+        }
+        _ => Err("snapshot is not an object".to_string()),
+    }
+}
+
+impl Postmortem {
+    /// Renders the dump as deterministic JSON: fixed key order, integers
+    /// only, no whitespace. Byte-for-byte reproducible across runs and
+    /// across serial/parallel fleet stepping.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024 + self.events.len() * 96);
+        out.push_str(&format!(
+            "{{\"node\":{},\"round\":{},\"lamport\":{},\"protection\":\"{}\",",
+            self.node, self.round, self.lamport, self.protection
+        ));
+        out.push_str(&format!(
+            "\"fault\":{{\"cycles\":{},\"code\":{},\"addr\":{},\"info\":{}}},",
+            self.fault.cycles, self.fault.code, self.fault.addr, self.fault.info
+        ));
+        out.push_str("\"at_fault\":");
+        render_snapshot(&mut out, &self.at_fault);
+        out.push_str(",\"snapshots\":[");
+        for (i, s) in self.snapshots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            render_snapshot(&mut out, s);
+        }
+        out.push_str("],\"events\":[");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"kind\":\"{}\"", ev.kind().name()));
+            for (name, v) in event_fields(ev) {
+                out.push_str(&format!(",\"{name}\":{v}"));
+            }
+            out.push('}');
+        }
+        out.push_str("],\"safe_stack\":[");
+        for (i, b) in self.safe_stack.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&b.to_string());
+        }
+        out.push_str("],\"ownership\":[");
+        for (i, n) in self.ownership.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&n.to_string());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Loads a dump back from [`Postmortem::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// A message naming what failed: JSON syntax, a missing key, or an
+    /// unknown event kind.
+    pub fn from_json(text: &str) -> Result<Postmortem, String> {
+        let j = Json::parse(text)?;
+        let fault = j.get("fault").ok_or("missing `fault`")?;
+        let snapshots = j
+            .get("snapshots")
+            .and_then(Json::as_arr)
+            .ok_or("missing `snapshots`")?
+            .iter()
+            .map(parse_snapshot)
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut events = Vec::new();
+        for ej in j.get("events").and_then(Json::as_arr).ok_or("missing `events`")? {
+            let kind = ej.get("kind").and_then(Json::as_str).ok_or("event missing `kind`")?;
+            events.push(event_from_fields(kind, |name| ej.need_u64(name))?);
+        }
+        let safe_stack = j
+            .get("safe_stack")
+            .and_then(Json::as_arr)
+            .ok_or("missing `safe_stack`")?
+            .iter()
+            .map(|v| v.as_u64().map(|n| n as u8).ok_or_else(|| "bad safe_stack byte".to_string()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let own = j.get("ownership").and_then(Json::as_arr).ok_or("missing `ownership`")?;
+        if own.len() != 8 {
+            return Err("`ownership` must have 8 entries".to_string());
+        }
+        let mut ownership = [0u16; 8];
+        for (i, v) in own.iter().enumerate() {
+            ownership[i] = v.as_u64().ok_or("bad ownership count")? as u16;
+        }
+        Ok(Postmortem {
+            node: j.need_u64("node")? as u32,
+            round: j.need_u64("round")?,
+            lamport: j.need_u64("lamport")?,
+            protection: j
+                .get("protection")
+                .and_then(Json::as_str)
+                .ok_or("missing `protection`")?
+                .to_string(),
+            fault: FaultRecord {
+                cycles: fault.need_u64("cycles")?,
+                code: fault.need_u64("code")? as u16,
+                addr: fault.need_u64("addr")? as u16,
+                info: fault.need_u64("info")? as u16,
+            },
+            at_fault: parse_snapshot(j.get("at_fault").ok_or("missing `at_fault`")?)?,
+            snapshots,
+            events,
+            safe_stack,
+            ownership,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harbor_scope::EventKind;
+
+    fn sample() -> Postmortem {
+        Postmortem {
+            node: 3,
+            round: 17,
+            lamport: 42,
+            protection: "umpu".to_string(),
+            fault: FaultRecord { cycles: 9001, code: 2, addr: 0x305, info: 1 },
+            at_fault: ArchSnapshot {
+                cycles: 9001,
+                pc: 0x1a2,
+                sp: 0xffd,
+                domain: 1,
+                ..Default::default()
+            },
+            snapshots: vec![
+                ArchSnapshot { cycles: 4096, domain: 7, ..Default::default() },
+                ArchSnapshot { cycles: 8192, domain: 1, ..Default::default() },
+            ],
+            events: vec![
+                Event::CrossDomainCall {
+                    cycles: 8990,
+                    caller: 7,
+                    callee: 1,
+                    target: 0x880,
+                    stall: 5,
+                },
+                Event::Fault { cycles: 9001, code: 2, addr: 0x305, info: 1 },
+            ],
+            safe_stack: vec![0x12, 0x34, 0x56],
+            ownership: [10, 0, 0, 0, 0, 0, 0, 118],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let d = sample();
+        let text = d.to_json();
+        let back = Postmortem::from_json(&text).unwrap();
+        assert_eq!(back, d);
+        // Determinism: rendering the reloaded dump is byte-identical.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let all = vec![
+            Event::MemMapCheck { cycles: 1, domain: 2, addr: 3, granted: true, stall: 1 },
+            Event::StackCheck { cycles: 1, domain: 2, addr: 3, bound: 4, granted: false },
+            Event::MpuCheck { cycles: 1, supervisor: true, addr: 3, granted: true },
+            Event::SafeStackPush { cycles: 1, frame: true, ptr: 2 },
+            Event::SafeStackPop { cycles: 1, frame: false, ptr: 2 },
+            Event::SafeStackOverflow { cycles: 1, ptr: 2 },
+            Event::JumpTableDispatch { cycles: 1, domain: 2, entry: 3, target: 4 },
+            Event::CrossDomainCall { cycles: 1, caller: 2, callee: 3, target: 4, stall: 5 },
+            Event::CrossDomainRet { cycles: 1, from: 2, to: 3, target: 4, stall: 5 },
+            Event::InterruptEntry { cycles: 1, from: 2, vector: 3, stall: 4 },
+            Event::Fault { cycles: 1, code: 2, addr: 3, info: 4 },
+            Event::Recovery { cycles: 1 },
+            Event::MessagePost { cycles: 1, domain: 2, msg: 3, accepted: true },
+            Event::SchedulerSlice { cycles: 1, queued: 2 },
+            Event::ModuleInstall { cycles: 1, domain: 2 },
+            Event::ModuleUnload { cycles: 1, domain: 2 },
+        ];
+        assert_eq!(all.len(), EventKind::COUNT);
+        let mut d = sample();
+        d.events = all.clone();
+        let back = Postmortem::from_json(&d.to_json()).unwrap();
+        assert_eq!(back.events, all);
+    }
+
+    #[test]
+    fn missing_keys_are_named() {
+        let err = Postmortem::from_json("{}").unwrap_err();
+        assert!(err.contains("fault"), "{err}");
+        assert!(Postmortem::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # harbor-blackbox
+//!
+//! The debugging story the paper's protection model enables: when a rogue
+//! module corrupts memory on a deployed sensor node, the fault is *caught*
+//! — and a caught fault is worth nothing in the field unless the node can
+//! say what happened. This crate is that say:
+//!
+//! * [`FlightRecorder`] — an always-on recorder layered on the
+//!   [`ScopeSink`](harbor_scope::ScopeSink) infrastructure: a masked event
+//!   ring ([`RECORDER_MASK`] keeps the rare protection events, filters the
+//!   per-store check noise *before* construction) plus periodic
+//!   [`ArchSnapshot`](harbor_scope::ArchSnapshot) captures;
+//! * [`Postmortem`] — the typed crash dump the recorder freezes when a
+//!   fault fires: last-N events, architectural state at the fault, the
+//!   safe-stack contents, the per-domain memory-map ownership census, and
+//!   the [`FaultRecord`](mini_sos::FaultRecord) itself, with a
+//!   deterministic JSON round-trip (serial and parallel fleet runs produce
+//!   byte-identical dumps);
+//! * [`causal`] — Lamport-clock stamping for radio messages and the
+//!   happens-before DAG that stitches per-node dumps and logs into one
+//!   fleet-wide Perfetto trace with flow arrows;
+//! * [`Watchdog`] — rolling-window anomaly detection over per-node
+//!   telemetry (fault rate, retransmit rate, ring-drop rate) raising typed
+//!   [`Alert`]s;
+//! * [`timeline`] — reconstruction of the cross-domain call timeline that
+//!   led to the fault, rendered as the human-readable report
+//!   `harbor-postmortem` prints.
+
+#![warn(missing_docs)]
+
+pub mod causal;
+pub mod dump;
+pub mod json;
+pub mod recorder;
+pub mod timeline;
+pub mod watchdog;
+
+pub use causal::{
+    build_edges, check_monotone, chrome_trace, CausalKind, CausalLog, CausalRecord, LamportClock,
+    SEEDER_ID,
+};
+pub use dump::Postmortem;
+pub use json::Json;
+pub use recorder::{protection_name, FlightRecorder, RecorderConfig, RECORDER_MASK};
+pub use timeline::{reconstruct, Timeline, TimelineStep};
+pub use watchdog::{Alert, AlertKind, Watchdog, WatchdogConfig};

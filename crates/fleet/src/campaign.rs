@@ -9,10 +9,11 @@
 //! (state intact, fault trapped), how many were silently corrupted, and how
 //! many kept operating afterwards.
 
-use crate::fleet::{Fleet, FleetConfig};
+use crate::fleet::{BlackboxConfig, Fleet, FleetConfig};
 use crate::telemetry::FleetTelemetry;
 use avr_core::isa::Reg;
 use harbor::DomainId;
+use harbor_blackbox::Alert;
 use mini_sos::kernel::MSG_TIMER;
 use mini_sos::loader::ModuleSource;
 use mini_sos::{modules, Protection};
@@ -77,11 +78,25 @@ pub struct CampaignReport {
     /// Non-victim nodes whose Tree Routing state ended up corrupted
     /// (must stay zero: the radio carries messages, not memory).
     pub bystanders_corrupted: usize,
+    /// Postmortem dumps the per-node flight recorders froze (campaigns
+    /// always run with the blackbox enabled).
+    pub dumps_captured: usize,
+    /// Watchdog alerts raised during the run, in node-id order.
+    pub alerts: Vec<Alert>,
     /// Full fleet counters at the end of the run.
     pub telemetry: FleetTelemetry,
 }
 
 impl CampaignReport {
+    /// One-word health verdict from the online watchdogs: `"healthy"` when
+    /// no detector tripped, `"degraded"` otherwise.
+    pub fn health(&self) -> &'static str {
+        if self.alerts.is_empty() {
+            "healthy"
+        } else {
+            "degraded"
+        }
+    }
     /// Fraction of victims contained (1.0 when nothing was injected).
     pub fn containment_rate(&self) -> f64 {
         if self.injected == 0 {
@@ -97,6 +112,7 @@ impl CampaignReport {
             "{{\"protection\":\"{}\",\"nodes\":{},\"injected\":{},\
              \"faults_raised\":{},\"contained\":{},\"corrupted\":{},\
              \"recovered\":{},\"bystanders_corrupted\":{},\
+             \"dumps_captured\":{},\"alerts_raised\":{},\"health\":\"{}\",\
              \"telemetry\":{}}}",
             self.protection,
             self.nodes,
@@ -106,6 +122,9 @@ impl CampaignReport {
             self.corrupted,
             self.recovered,
             self.bystanders_corrupted,
+            self.dumps_captured,
+            self.alerts.len(),
+            self.health(),
             self.telemetry.to_json(),
         )
     }
@@ -141,6 +160,9 @@ fn rogue(target: u16) -> ModuleSource {
 pub fn run_campaign(protection: Protection, cfg: &CampaignConfig) -> CampaignReport {
     let mut fleet_cfg = cfg.fleet;
     fleet_cfg.protection = protection;
+    // Campaigns always fly with the blackbox: every fault a victim raises
+    // freezes a postmortem, and the watchdogs feed the health verdict.
+    fleet_cfg.blackbox.get_or_insert_with(BlackboxConfig::default);
     let mut fleet =
         Fleet::new(&fleet_cfg, &[modules::blink(BLINK_DOM), modules::tree_routing(TREE_DOM)])
             .expect("campaign fleet builds");
@@ -203,6 +225,8 @@ pub fn run_campaign(protection: Protection, cfg: &CampaignConfig) -> CampaignRep
         }
     }
 
+    let dumps_captured = fleet.dumps().len();
+    let alerts = fleet.alerts();
     let telemetry = fleet.telemetry();
     CampaignReport {
         protection: format!("{protection:?}"),
@@ -213,6 +237,8 @@ pub fn run_campaign(protection: Protection, cfg: &CampaignConfig) -> CampaignRep
         corrupted,
         recovered,
         bystanders_corrupted,
+        dumps_captured,
+        alerts,
         telemetry,
     }
 }
@@ -242,6 +268,9 @@ mod tests {
             assert!(r.faults_raised >= r.injected as u64, "{p:?}");
             assert_eq!(r.bystanders_corrupted, 0, "{p:?}");
             assert!((r.containment_rate() - 1.0).abs() < f64::EPSILON);
+            // Every victim's fault froze a postmortem dump.
+            assert!(r.dumps_captured >= r.injected, "{p:?}: {r:?}");
+            assert!(r.to_json().contains("\"dumps_captured\""), "{p:?}");
         }
     }
 
@@ -252,5 +281,9 @@ mod tests {
         assert_eq!(r.contained, 0);
         assert_eq!(r.faults_raised, 0, "no trap fires without protection");
         assert_eq!(r.bystanders_corrupted, 0);
+        // Silent corruption is the whole point: no fault, no dump, and the
+        // watchdogs see nothing wrong.
+        assert_eq!(r.dumps_captured, 0);
+        assert_eq!(r.health(), "healthy");
     }
 }

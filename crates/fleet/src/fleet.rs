@@ -19,10 +19,14 @@
 //! byte-identical telemetry.
 
 use crate::image::ModuleImage;
-use crate::net::{NetConfig, Packet, Radio, BROADCAST, SEEDER};
+use crate::net::{Envelope, NetConfig, Packet, Radio, BROADCAST, SEEDER};
 use crate::node::Node;
 use crate::telemetry::FleetTelemetry;
 use harbor::DomainId;
+use harbor_blackbox::{
+    Alert, CausalKind, CausalLog, CausalRecord, FlightRecorder, LamportClock, Postmortem,
+    RecorderConfig, Watchdog, WatchdogConfig, SEEDER_ID,
+};
 use mini_sos::loader::{LoadError, ModuleSource};
 use mini_sos::{Protection, SosLayout, SosSystem};
 use std::collections::BTreeSet;
@@ -65,6 +69,22 @@ pub struct FleetConfig {
     /// [`crate::ScopeAggregate`]. Tracing is observational: attaching sinks
     /// leaves the simulated machines byte-identical.
     pub scope: Option<harbor_scope::SinkSpec>,
+    /// Optional blackbox wiring. When set, every node carries a
+    /// [`FlightRecorder`] (whose masked ring becomes the node's trace sink
+    /// unless `scope` is set explicitly) and a [`Watchdog`] fed from the
+    /// node's own telemetry each round. Like `scope`, the blackbox is
+    /// observational: the simulated machines stay byte-identical.
+    pub blackbox: Option<BlackboxConfig>,
+}
+
+/// Blackbox sizing for every node in the fleet: flight-recorder depth and
+/// watchdog budgets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlackboxConfig {
+    /// Per-node flight-recorder sizing.
+    pub recorder: RecorderConfig,
+    /// Per-node anomaly-detector budgets.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for FleetConfig {
@@ -79,6 +99,7 @@ impl Default for FleetConfig {
             chunk_bytes: 32,
             load_policy: None,
             scope: None,
+            blackbox: None,
         }
     }
 }
@@ -89,15 +110,46 @@ impl Default for FleetConfig {
 struct Seeder {
     image_id: u16,
     chunks: Vec<Vec<u8>>,
-    inbox: Vec<Packet>,
+    inbox: Vec<Envelope>,
     pending: BTreeSet<u16>,
     announced: bool,
+    clock: LamportClock,
+    causal: CausalLog,
+    seq: u64,
 }
 
 impl Seeder {
+    /// Broadcasts `packet` under the seeder's causal identity
+    /// ([`SEEDER_ID`]): tick, stamp, log, send.
+    fn send(&mut self, round: u64, radio: &mut Radio, packet: Packet) {
+        let lamport = self.clock.tick();
+        let seq = self.seq;
+        self.seq += 1;
+        self.causal.push(CausalRecord {
+            lamport,
+            round,
+            kind: CausalKind::Send,
+            peer: BROADCAST,
+            from: SEEDER_ID,
+            seq,
+            label: packet.label(),
+        });
+        radio.send(round, BROADCAST, Envelope { from: SEEDER_ID, seq, lamport, packet });
+    }
+
     fn step(&mut self, round: u64, radio: &mut Radio) {
-        for packet in std::mem::take(&mut self.inbox) {
-            if let Packet::Request { module, missing } = packet {
+        for env in std::mem::take(&mut self.inbox) {
+            let lamport = self.clock.observe(env.lamport);
+            self.causal.push(CausalRecord {
+                lamport,
+                round,
+                kind: CausalKind::Recv,
+                peer: env.from,
+                from: env.from,
+                seq: env.seq,
+                label: env.packet.label(),
+            });
+            if let Packet::Request { module, missing } = env.packet {
                 if module == self.image_id {
                     self.pending
                         .extend(missing.into_iter().filter(|&s| (s as usize) < self.chunks.len()));
@@ -107,21 +159,21 @@ impl Seeder {
         let total = self.chunks.len() as u16;
         if !self.announced {
             // Initial push: advert plus the full image, once.
-            radio.send(round, BROADCAST, Packet::Advert { module: self.image_id, total });
-            for (seq, payload) in self.chunks.iter().enumerate() {
+            self.send(round, radio, Packet::Advert { module: self.image_id, total });
+            for seq in 0..self.chunks.len() {
                 let chunk = Packet::Chunk {
                     module: self.image_id,
                     seq: seq as u16,
                     total,
-                    payload: payload.clone(),
+                    payload: self.chunks[seq].clone(),
                 };
-                radio.send(round, BROADCAST, chunk);
+                self.send(round, radio, chunk);
             }
             self.announced = true;
             return;
         }
         if round.is_multiple_of(ADVERT_PERIOD) {
-            radio.send(round, BROADCAST, Packet::Advert { module: self.image_id, total });
+            self.send(round, radio, Packet::Advert { module: self.image_id, total });
         }
         // NACK-driven repair: rebroadcast what anyone asked for, lowest
         // sequence first, bounded per round.
@@ -133,7 +185,7 @@ impl Seeder {
                 total,
                 payload: self.chunks[seq as usize].clone(),
             };
-            radio.send(round, BROADCAST, chunk);
+            self.send(round, radio, chunk);
         }
     }
 }
@@ -179,7 +231,18 @@ impl Fleet {
                 if let Some(spec) = cfg.scope {
                     sys.attach_scope(spec.build());
                 }
-                Mutex::new(Node::new(i as u32, cfg.seed, sys))
+                let mut node = Node::new(i as u32, cfg.seed, sys);
+                if let Some(bb) = cfg.blackbox {
+                    let recorder = FlightRecorder::new(bb.recorder);
+                    // An explicit scope spec wins; otherwise the recorder
+                    // brings its own masked ring.
+                    if cfg.scope.is_none() {
+                        node.sys.attach_scope(recorder.sink());
+                    }
+                    node.recorder = Some(recorder);
+                    node.watchdog = Some(Watchdog::new(i as u32, bb.watchdog));
+                }
+                Mutex::new(node)
             })
             .collect();
         let threads = match cfg.threads {
@@ -231,12 +294,22 @@ impl Fleet {
     pub fn disseminate(&mut self, image: &ModuleImage) -> u16 {
         let id = self.next_image_id;
         self.next_image_id += 1;
+        // The seeder's causal identity (clock, log, sequence counter)
+        // outlives any one dissemination — a later image must not reuse
+        // `(SEEDER_ID, seq)` message identities or rewind the clock.
+        let (clock, causal, seq) = match self.seeder.take() {
+            Some(s) => (s.clock, s.causal, s.seq),
+            None => (LamportClock::new(), CausalLog::new(SEEDER_ID), 0),
+        };
         self.seeder = Some(Seeder {
             image_id: id,
             chunks: image.chunks(self.cfg.chunk_bytes),
             inbox: Vec::new(),
             pending: BTreeSet::new(),
             announced: false,
+            clock,
+            causal,
+            seq,
         });
         id
     }
@@ -278,13 +351,13 @@ impl Fleet {
         let round = self.round;
 
         // Phase 1 (serial): deliveries and the seeder's transmissions.
-        for (dest, packet) in self.radio.take_due(round) {
+        for (dest, env) in self.radio.take_due(round) {
             if dest == SEEDER {
                 if let Some(seeder) = &mut self.seeder {
-                    seeder.inbox.push(packet);
+                    seeder.inbox.push(env);
                 }
             } else if let Some(node) = self.nodes.get_mut(dest as usize) {
-                node.get_mut().expect("node lock").inbox.push(packet);
+                node.get_mut().expect("node lock").inbox.push(env);
             }
         }
         if let Some(seeder) = &mut self.seeder {
@@ -298,8 +371,8 @@ impl Fleet {
         // radio's RNG sees a schedule-independent draw order.
         for node in &mut self.nodes {
             let node = node.get_mut().expect("node lock");
-            for (to, packet) in std::mem::take(&mut node.outbox) {
-                self.radio.send(round, to, packet);
+            for (to, env) in std::mem::take(&mut node.outbox) {
+                self.radio.send(round, to, env);
             }
         }
 
@@ -377,7 +450,8 @@ impl Fleet {
     /// [`crate::ScopeAggregate`] (per-kind sums plus sum/max/p99 of events
     /// recorded per node).
     pub fn telemetry(&mut self) -> FleetTelemetry {
-        let scope = self.cfg.scope.map(|_| {
+        let traced = self.cfg.scope.is_some() || self.cfg.blackbox.is_some();
+        let scope = traced.then(|| {
             let mut agg = crate::ScopeAggregate::default();
             let mut per_node_recorded = harbor_scope::CycleHistogram::new();
             for n in &mut self.nodes {
@@ -417,5 +491,50 @@ impl Fleet {
             scope,
             per_node,
         }
+    }
+
+    /// Every postmortem dump the fleet's flight recorders froze, in
+    /// node-id order (each node's dumps oldest first). Empty unless the
+    /// config enabled the blackbox.
+    pub fn dumps(&mut self) -> Vec<Postmortem> {
+        self.nodes
+            .iter_mut()
+            .flat_map(|n| {
+                let node = n.get_mut().expect("node lock");
+                node.recorder.as_ref().map_or(Vec::new(), |r| r.dumps().to_vec())
+            })
+            .collect()
+    }
+
+    /// Every causal log in the run: the nodes in id order, then the
+    /// seeder's (if one disseminated). Feed to
+    /// [`harbor_blackbox::check_monotone`] or
+    /// [`harbor_blackbox::chrome_trace`].
+    pub fn causal_logs(&mut self) -> Vec<CausalLog> {
+        let mut logs: Vec<CausalLog> =
+            self.nodes.iter_mut().map(|n| n.get_mut().expect("node lock").causal.clone()).collect();
+        if let Some(seeder) = &self.seeder {
+            logs.push(seeder.causal.clone());
+        }
+        logs
+    }
+
+    /// The fleet's happens-before DAG rendered as one multi-track Perfetto
+    /// chrome-trace document with flow arrows on the message edges.
+    pub fn causal_trace(&mut self) -> String {
+        harbor_blackbox::chrome_trace(&self.causal_logs())
+    }
+
+    /// Every watchdog alert raised so far, in node-id order (each node's
+    /// alerts in round order). Empty unless the config enabled the
+    /// blackbox.
+    pub fn alerts(&mut self) -> Vec<Alert> {
+        self.nodes
+            .iter_mut()
+            .flat_map(|n| {
+                let node = n.get_mut().expect("node lock");
+                node.watchdog.as_ref().map_or(Vec::new(), |w| w.alerts().to_vec())
+            })
+            .collect()
     }
 }

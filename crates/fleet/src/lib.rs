@@ -59,8 +59,8 @@ pub mod node;
 pub mod telemetry;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
-pub use fleet::{Fleet, FleetConfig};
+pub use fleet::{BlackboxConfig, Fleet, FleetConfig};
 pub use image::{ImageError, ModuleImage};
-pub use net::{NetConfig, Packet, Radio, BROADCAST, SEEDER};
+pub use net::{Envelope, NetConfig, Packet, Radio, BROADCAST, SEEDER};
 pub use node::Node;
 pub use telemetry::{FleetTelemetry, NodeTelemetry, ScopeAggregate};

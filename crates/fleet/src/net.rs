@@ -74,14 +74,42 @@ pub enum Packet {
     },
 }
 
+impl Packet {
+    /// Short stable label (causal-trace vocabulary).
+    pub const fn label(&self) -> &'static str {
+        match self {
+            Packet::Advert { .. } => "advert",
+            Packet::Chunk { .. } => "chunk",
+            Packet::Request { .. } => "request",
+            Packet::Msg { .. } => "msg",
+        }
+    }
+}
+
+/// A stamped radio frame: the packet plus the causal identity every
+/// message on the air carries for fleet-wide happens-before tracing.
+/// `(from, seq)` identifies the message (a broadcast is one message
+/// received many times); `lamport` is the sender's clock at send time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Originating node ([`SEEDER`] for the base station).
+    pub from: NodeId,
+    /// Per-origin send sequence number.
+    pub seq: u64,
+    /// Lamport stamp taken at send time.
+    pub lamport: u64,
+    /// The payload.
+    pub packet: Packet,
+}
+
 /// The packet network.
 #[derive(Debug)]
 pub struct Radio {
     cfg: NetConfig,
     rng: StdRng,
     node_count: u32,
-    /// round → (destination, packet) deliveries due that round.
-    in_flight: BTreeMap<u64, Vec<(NodeId, Packet)>>,
+    /// round → (destination, envelope) deliveries due that round.
+    in_flight: BTreeMap<u64, Vec<(NodeId, Envelope)>>,
     /// Packets offered to the channel (one per destination after broadcast
     /// fan-out).
     pub sent: u64,
@@ -108,21 +136,22 @@ impl Radio {
         }
     }
 
-    /// Offers a packet to the channel at `now`. `BROADCAST` fans out to
-    /// every node with an independent loss draw per destination (radio
-    /// reception is per-receiver); loss and latency are sampled from the
-    /// radio's seeded generator.
-    pub fn send(&mut self, now: u64, to: NodeId, packet: Packet) {
+    /// Offers a stamped frame to the channel at `now`. `BROADCAST` fans
+    /// out to every node with an independent loss draw per destination
+    /// (radio reception is per-receiver) — the fan-out copies share the
+    /// envelope's causal identity, as one broadcast is one message; loss
+    /// and latency are sampled from the radio's seeded generator.
+    pub fn send(&mut self, now: u64, to: NodeId, env: Envelope) {
         if to == BROADCAST {
             for dest in 0..self.node_count {
-                self.send_one(now, dest, packet.clone());
+                self.send_one(now, dest, env.clone());
             }
         } else {
-            self.send_one(now, to, packet);
+            self.send_one(now, to, env);
         }
     }
 
-    fn send_one(&mut self, now: u64, to: NodeId, packet: Packet) {
+    fn send_one(&mut self, now: u64, to: NodeId, env: Envelope) {
         self.sent += 1;
         if self.cfg.loss > 0.0 && self.rng.gen_bool(self.cfg.loss) {
             self.dropped += 1;
@@ -133,11 +162,11 @@ impl Radio {
         } else {
             self.rng.gen_range(self.cfg.latency_min..self.cfg.latency_max + 1)
         };
-        self.in_flight.entry(now + delay as u64).or_default().push((to, packet));
+        self.in_flight.entry(now + delay as u64).or_default().push((to, env));
     }
 
     /// Removes and returns every delivery due at `round`, in send order.
-    pub fn take_due(&mut self, round: u64) -> Vec<(NodeId, Packet)> {
+    pub fn take_due(&mut self, round: u64) -> Vec<(NodeId, Envelope)> {
         let due = self.in_flight.remove(&round).unwrap_or_default();
         self.delivered += due.len() as u64;
         due
@@ -153,13 +182,17 @@ impl Radio {
 mod tests {
     use super::*;
 
+    fn env(from: NodeId, seq: u64, packet: Packet) -> Envelope {
+        Envelope { from, seq, lamport: seq + 1, packet }
+    }
+
     #[test]
     fn same_seed_same_channel() {
         let mk = || {
             let mut r = Radio::new(9, 4, NetConfig { loss: 0.3, latency_min: 1, latency_max: 3 });
             for round in 0..50u64 {
-                r.send(round, BROADCAST, Packet::Msg { dom: 0, msg: 1 });
-                r.send(round, 2, Packet::Msg { dom: 1, msg: 1 });
+                r.send(round, BROADCAST, env(0, round * 2, Packet::Msg { dom: 0, msg: 1 }));
+                r.send(round, 2, env(0, round * 2 + 1, Packet::Msg { dom: 1, msg: 1 }));
             }
             let mut log = Vec::new();
             for round in 0..60u64 {
@@ -174,7 +207,7 @@ mod tests {
     fn loss_drops_roughly_the_configured_fraction() {
         let mut r = Radio::new(1, 1, NetConfig { loss: 0.2, latency_min: 1, latency_max: 1 });
         for round in 0..10_000u64 {
-            r.send(round, 0, Packet::Msg { dom: 0, msg: 0 });
+            r.send(round, 0, env(1, round, Packet::Msg { dom: 0, msg: 0 }));
         }
         assert!((1_500..2_500).contains(&(r.dropped as u32)), "dropped {}", r.dropped);
     }
@@ -182,8 +215,23 @@ mod tests {
     #[test]
     fn nothing_arrives_in_the_send_round() {
         let mut r = Radio::new(3, 2, NetConfig::default());
-        r.send(5, 0, Packet::Msg { dom: 0, msg: 0 });
+        r.send(5, 0, env(1, 0, Packet::Msg { dom: 0, msg: 0 }));
         assert!(r.take_due(5).is_empty());
-        assert_eq!(r.take_due(6).len(), 1);
+        let due = r.take_due(6);
+        assert_eq!(due.len(), 1);
+        // The envelope's causal identity survives the channel.
+        assert_eq!(due[0].1.from, 1);
+        assert_eq!(due[0].1.lamport, 1);
+    }
+
+    #[test]
+    fn broadcast_copies_share_one_causal_identity() {
+        let mut r = Radio::new(4, 3, NetConfig::default());
+        r.send(0, BROADCAST, env(SEEDER, 9, Packet::Advert { module: 1, total: 4 }));
+        let due = r.take_due(1);
+        assert_eq!(due.len(), 3);
+        for (_, e) in &due {
+            assert_eq!((e.from, e.seq), (SEEDER, 9));
+        }
     }
 }

@@ -9,10 +9,14 @@
 //! run.
 
 use crate::image::ModuleImage;
-use crate::net::{NodeId, Packet, SEEDER};
+use crate::net::{Envelope, NodeId, Packet, SEEDER};
 use crate::telemetry::NodeTelemetry;
 use avr_core::Fault;
 use harbor::DomainId;
+use harbor_blackbox::{
+    CausalKind, CausalLog, CausalRecord, FlightRecorder, LamportClock, Watchdog,
+};
+use harbor_scope::ScopeSink;
 use mini_sos::SosSystem;
 use rand::{Rng, SeedableRng, StdRng};
 
@@ -63,10 +67,24 @@ pub struct Node {
     pub sys: SosSystem,
     /// This node's counters.
     pub telemetry: NodeTelemetry,
-    /// Packets delivered this round (staged by the fleet's serial phase).
-    pub inbox: Vec<Packet>,
-    /// Packets to transmit (drained by the fleet's serial phase).
-    pub outbox: Vec<(NodeId, Packet)>,
+    /// Frames delivered this round (staged by the fleet's serial phase).
+    pub inbox: Vec<Envelope>,
+    /// Frames to transmit (drained by the fleet's serial phase).
+    pub outbox: Vec<(NodeId, Envelope)>,
+    /// The node's Lamport clock: ticks on send, max-merges on receive, so
+    /// every stamp respects happens-before across the whole fleet.
+    pub clock: LamportClock,
+    /// Causal log of every send, receive and local milestone on this node.
+    pub causal: CausalLog,
+    /// Optional flight recorder (set by the fleet's blackbox config).
+    pub recorder: Option<FlightRecorder>,
+    /// Optional anomaly watchdog (set by the fleet's blackbox config).
+    pub watchdog: Option<Watchdog>,
+    seq: u64,
+    /// Plain mirror of the `fleet.faults` metric: the watchdog reads this
+    /// every round, and a string-keyed counter lookup is too slow for that
+    /// path.
+    faults: u64,
     dissem: Option<Dissem>,
     installed: Vec<u16>,
     quarantined: Vec<u16>,
@@ -83,6 +101,12 @@ impl Node {
             telemetry: NodeTelemetry { id, ..NodeTelemetry::default() },
             inbox: Vec::new(),
             outbox: Vec::new(),
+            clock: LamportClock::new(),
+            causal: CausalLog::new(id),
+            recorder: None,
+            watchdog: None,
+            seq: 0,
+            faults: 0,
             dissem: None,
             installed: Vec::new(),
             quarantined: Vec::new(),
@@ -119,10 +143,24 @@ impl Node {
         }
     }
 
-    /// Queues a packet for transmission and counts it.
-    fn transmit(&mut self, to: NodeId, packet: Packet) {
+    /// Queues a packet for transmission: ticks the Lamport clock, stamps
+    /// the envelope with this node's next `(from, seq)` message identity,
+    /// logs the send in the causal log, and counts it.
+    fn transmit(&mut self, round: u64, to: NodeId, packet: Packet) {
         self.telemetry.tx += 1;
-        self.outbox.push((to, packet));
+        let lamport = self.clock.tick();
+        let seq = self.seq;
+        self.seq += 1;
+        self.causal.push(CausalRecord {
+            lamport,
+            round,
+            kind: CausalKind::Send,
+            peer: to,
+            from: self.id,
+            seq,
+            label: packet.label(),
+        });
+        self.outbox.push((to, Envelope { from: self.id, seq, lamport, packet }));
     }
 
     /// One simulation round: consume the inbox, advance dissemination
@@ -130,9 +168,19 @@ impl Node {
     /// CPU for up to `cycle_budget` cycles if work is queued. Faults are
     /// recovered kernel-side, mirroring the paper's clean-restart story.
     pub fn step(&mut self, round: u64, cycle_budget: u64) {
-        for packet in std::mem::take(&mut self.inbox) {
+        for env in std::mem::take(&mut self.inbox) {
             self.telemetry.rx += 1;
-            self.receive(round, packet);
+            let lamport = self.clock.observe(env.lamport);
+            self.causal.push(CausalRecord {
+                lamport,
+                round,
+                kind: CausalKind::Recv,
+                peer: env.from,
+                from: env.from,
+                seq: env.seq,
+                label: env.packet.label(),
+            });
+            self.receive(round, env.packet);
         }
 
         // NACK phase: if reassembly has stalled, ask the seeder for what is
@@ -147,7 +195,7 @@ impl Node {
                     let jitter = self.rng.gen_range(0..d.backoff / 2 + 1);
                     d.next_request = round + d.backoff + jitter;
                     self.telemetry.requests += 1;
-                    self.transmit(SEEDER, Packet::Request { module, missing });
+                    self.transmit(round, SEEDER, Packet::Request { module, missing });
                 }
             }
         }
@@ -156,9 +204,26 @@ impl Node {
             match self.sys.run_slice(cycle_budget) {
                 Ok(_) => {}
                 Err(fault) => {
+                    self.faults += 1;
                     self.telemetry.metrics.inc("fleet.faults", 1);
                     if matches!(fault, Fault::Env(_)) {
                         self.telemetry.metrics.inc("fleet.contained", 1);
+                    }
+                    // Freeze the postmortem *before* recovery, while the
+                    // architectural state still shows the fault; the fault
+                    // is also a local milestone on the causal trace.
+                    let lamport = self.clock.tick();
+                    self.causal.push(CausalRecord {
+                        lamport,
+                        round,
+                        kind: CausalKind::Local,
+                        peer: self.id,
+                        from: self.id,
+                        seq: 0,
+                        label: "fault",
+                    });
+                    if let Some(rec) = &mut self.recorder {
+                        rec.freeze(&self.sys, self.id, round, lamport);
                     }
                     self.sys.recover_from_fault();
                     self.telemetry.metrics.inc("fleet.recoveries", 1);
@@ -166,9 +231,16 @@ impl Node {
             }
         }
 
+        if let Some(rec) = &mut self.recorder {
+            rec.poll(&self.sys);
+        }
         self.telemetry.cycles = self.sys.cycles();
         self.telemetry.idle_cycles = self.sys.idle_cycles();
         self.telemetry.instructions = self.sys.instructions();
+        self.telemetry.ring_dropped = self.sys.scope().map_or(0, ScopeSink::dropped);
+        if let Some(wd) = &mut self.watchdog {
+            wd.observe(round, self.faults, self.telemetry.requests, self.telemetry.ring_dropped);
+        }
     }
 
     fn receive(&mut self, round: u64, packet: Packet) {

@@ -34,6 +34,10 @@ pub struct NodeTelemetry {
     pub chunks: u64,
     /// Retransmission requests sent.
     pub requests: u64,
+    /// Event bodies this node's trace ring shed under pressure (0 with no
+    /// sink attached) — nonzero means postmortems on this node are losing
+    /// history.
+    pub ring_dropped: u64,
     /// Round at which the disseminated module was installed, if it was.
     pub installed_round: Option<u64>,
     /// Named counters + histograms for everything protection-related.
@@ -70,7 +74,8 @@ impl NodeTelemetry {
             "{{\"id\":{},\"cycles\":{},\"idle_cycles\":{},\"instructions\":{},\
              \"rx\":{},\"tx\":{},\"messages\":{},\"queue_drops\":{},\
              \"faults\":{},\"contained\":{},\"recoveries\":{},\
-             \"chunks\":{},\"requests\":{},\"quarantined\":{},\"installed_round\":{}}}",
+             \"chunks\":{},\"requests\":{},\"ring_dropped\":{},\
+             \"quarantined\":{},\"installed_round\":{}}}",
             self.id,
             self.cycles,
             self.idle_cycles,
@@ -84,6 +89,7 @@ impl NodeTelemetry {
             self.recoveries(),
             self.chunks,
             self.requests,
+            self.ring_dropped,
             self.quarantined(),
             match self.installed_round {
                 Some(r) => r.to_string(),
@@ -192,7 +198,8 @@ impl FleetTelemetry {
              \"threads\":{},\"convergence_round\":{},\
              \"packets_sent\":{},\"packets_delivered\":{},\"packets_dropped\":{},\
              \"total_cycles\":{},\"total_instructions\":{},\
-             \"total_faults\":{},\"total_contained\":{},\"total_recoveries\":{},",
+             \"total_faults\":{},\"total_contained\":{},\"total_recoveries\":{},\
+             \"total_ring_dropped\":{},",
             self.seed,
             self.protection,
             self.nodes,
@@ -210,6 +217,7 @@ impl FleetTelemetry {
             self.total(NodeTelemetry::faults),
             self.total(NodeTelemetry::contained),
             self.total(NodeTelemetry::recoveries),
+            self.total(|n| n.ring_dropped),
         ));
         if let Some(scope) = &self.scope {
             s.push_str(&format!("\"scope\":{},", scope.to_json()));
@@ -252,6 +260,8 @@ mod tests {
         assert!(j.contains("\"convergence_round\":null"));
         assert!(j.contains("\"installed_round\":null"));
         assert!(j.contains("\"quarantined\":0"));
+        assert!(j.contains("\"total_ring_dropped\":0"));
+        assert!(j.contains("\"ring_dropped\":0"));
         assert!(!j.contains("\"scope\""), "no sink attached, no scope key");
         assert_eq!(j, t.clone().to_json());
         let mut parallel = t.clone();

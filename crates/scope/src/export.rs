@@ -6,6 +6,11 @@
 //! (`B`/`E`) slices on one track per domain, and every other event becomes
 //! a thread-scoped instant. Timestamps are the simulated cycle stamps
 //! (1 cycle = 1 µs in the viewer).
+//!
+//! [`chrome_trace_tracks`] renders a *multi-process* document — one
+//! process per fleet node, with flow arrows (`ph:"s"`/`ph:"f"`) stitching
+//! causally related points on different nodes into the happens-before DAG
+//! `harbor-blackbox` reconstructs from postmortem dumps.
 
 use crate::event::Event;
 
@@ -211,6 +216,117 @@ pub fn chrome_trace(events: &[Event]) -> String {
     out
 }
 
+/// One point on a [`chrome_trace_tracks`] track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrackItem {
+    /// A labelled thread-scoped instant. `args` is a raw `"key":value`
+    /// fragment (may be empty).
+    Instant {
+        /// Timestamp (viewer µs).
+        ts: u64,
+        /// Instant name.
+        name: String,
+        /// Raw JSON `args` body fragment.
+        args: String,
+    },
+    /// The source end of a flow arrow (a send). Rendered as a 1-tick slice
+    /// carrying a `ph:"s"` flow start, so the viewer has a slice to anchor
+    /// the arrow to.
+    FlowStart {
+        /// Timestamp (viewer µs).
+        ts: u64,
+        /// Flow id shared with the matching [`TrackItem::FlowEnd`].
+        id: u64,
+        /// Flow/slice name.
+        name: String,
+    },
+    /// The sink end of a flow arrow (a receive).
+    FlowEnd {
+        /// Timestamp (viewer µs).
+        ts: u64,
+        /// Flow id shared with the matching [`TrackItem::FlowStart`].
+        id: u64,
+        /// Flow/slice name.
+        name: String,
+    },
+}
+
+/// Renders a multi-process Trace Event document: one process (`pid`) per
+/// track, named by the supplied label, with flow arrows connecting
+/// [`TrackItem::FlowStart`]/[`TrackItem::FlowEnd`] pairs that share an id.
+/// Timestamps are whatever logical unit the caller stamped (cycles or
+/// Lamport time); each flow endpoint is also given a 1-tick `X` slice so
+/// Perfetto has geometry to draw the arrow between.
+pub fn chrome_trace_tracks(tracks: &[(u32, String, Vec<TrackItem>)]) -> String {
+    let n: usize = tracks.iter().map(|(_, _, items)| items.len()).sum();
+    let mut out = String::with_capacity(256 + n * 128);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |s: String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&s);
+    };
+    for (pid, label, _) in tracks {
+        push(
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\
+                 \"args\":{{\"name\":\"{label}\"}}}}"
+            ),
+            &mut first,
+        );
+    }
+    for (pid, _, items) in tracks {
+        for item in items {
+            match item {
+                TrackItem::Instant { ts, name, args } => push(
+                    format!(
+                        "{{\"name\":\"{name}\",\"ph\":\"i\",\"ts\":{ts},\"pid\":{pid},\
+                         \"tid\":0,\"cat\":\"causal\",\"s\":\"t\",\"args\":{{{args}}}}}"
+                    ),
+                    &mut first,
+                ),
+                TrackItem::FlowStart { ts, id, name } => {
+                    push(
+                        format!(
+                            "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":1,\
+                             \"pid\":{pid},\"tid\":0,\"cat\":\"causal\"}}"
+                        ),
+                        &mut first,
+                    );
+                    push(
+                        format!(
+                            "{{\"name\":\"{name}\",\"ph\":\"s\",\"id\":{id},\"ts\":{ts},\
+                             \"pid\":{pid},\"tid\":0,\"cat\":\"causal\"}}"
+                        ),
+                        &mut first,
+                    );
+                }
+                TrackItem::FlowEnd { ts, id, name } => {
+                    push(
+                        format!(
+                            "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":1,\
+                             \"pid\":{pid},\"tid\":0,\"cat\":\"causal\"}}"
+                        ),
+                        &mut first,
+                    );
+                    push(
+                        format!(
+                            "{{\"name\":\"{name}\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\
+                             \"ts\":{ts},\"pid\":{pid},\"tid\":0,\"cat\":\"causal\"}}"
+                        ),
+                        &mut first,
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +371,44 @@ mod tests {
     #[test]
     fn empty_stream_is_valid() {
         let j = chrome_trace(&[]);
+        assert!(j.contains("traceEvents"));
+        assert!(j.ends_with("]}"));
+    }
+
+    #[test]
+    fn tracks_render_flows_with_matching_ids() {
+        let tracks = vec![
+            (
+                0u32,
+                "node 0".to_string(),
+                vec![TrackItem::FlowStart { ts: 3, id: 42, name: "chunk".to_string() }],
+            ),
+            (
+                1u32,
+                "node 1".to_string(),
+                vec![
+                    TrackItem::FlowEnd { ts: 5, id: 42, name: "chunk".to_string() },
+                    TrackItem::Instant {
+                        ts: 6,
+                        name: "fault".to_string(),
+                        args: "\"code\":2".to_string(),
+                    },
+                ],
+            ),
+        ];
+        let j = chrome_trace_tracks(&tracks);
+        assert_eq!(j.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(j.matches("\"ph\":\"f\"").count(), 1);
+        assert_eq!(j.matches("\"id\":42").count(), 2);
+        assert_eq!(j.matches("\"ph\":\"X\"").count(), 2);
+        assert!(j.contains("\"name\":\"node 1\""));
+        assert!(j.contains("\"code\":2"));
+        assert!(j.starts_with('{') && j.ends_with("]}"));
+    }
+
+    #[test]
+    fn empty_tracks_are_valid() {
+        let j = chrome_trace_tracks(&[]);
         assert!(j.contains("traceEvents"));
         assert!(j.ends_with("]}"));
     }

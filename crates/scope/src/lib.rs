@@ -17,7 +17,11 @@
 //!   stable JSON snapshot;
 //! * [`DomainProfiler`] — attributes every cycle to (domain,
 //!   [`Mechanism`]), reconciling exactly with `Cpu::cycles()`;
-//! * [`export::chrome_trace`] — Perfetto-loadable trace output.
+//! * [`export::chrome_trace`] — Perfetto-loadable trace output, and
+//!   [`export::chrome_trace_tracks`] — the multi-node variant with flow
+//!   arrows used for fleet-wide causal traces;
+//! * [`ArchSnapshot`] — the uniform architectural register capture the
+//!   `harbor-blackbox` flight recorder rings and dumps.
 //!
 //! The crate is dependency-free: events carry raw domain indices and
 //! addresses, so the model crates can all depend on it without cycles. With
@@ -32,8 +36,10 @@ pub mod export;
 pub mod metrics;
 pub mod profile;
 pub mod sink;
+pub mod snapshot;
 
 pub use event::{Event, EventKind};
 pub use metrics::{CycleHistogram, MetricsRegistry};
 pub use profile::{DomainProfiler, Mechanism, ProfileReport, ProfileRow, RegionMap};
-pub use sink::{KindCounts, RingSink, ScopeSink, SinkSpec, StreamSink, TraceSink};
+pub use sink::{KindCounts, KindMask, RingSink, ScopeSink, SinkSpec, StreamSink, TraceSink};
+pub use snapshot::ArchSnapshot;

@@ -6,6 +6,13 @@
 //! what `harbor-trace` and the profiler use). [`ScopeSink`] wraps both in a
 //! concrete `Clone`-able enum so machine environments that are themselves
 //! plain values (`UmpuEnv`, `SosSystem`) can own a sink.
+//!
+//! A ring sink can additionally carry a [`KindMask`]: event kinds outside
+//! the mask are not recorded *and*, at instrumentation sites that consult
+//! [`ScopeSink::accepts`] before constructing the event, never even built.
+//! That is what keeps an always-on flight recorder (`harbor-blackbox`)
+//! cheap: the per-store check events are filtered out before any work
+//! happens, while the rare protection events still land in the ring.
 
 use crate::event::{Event, EventKind};
 
@@ -29,6 +36,7 @@ impl Default for KindCounts {
 }
 
 impl KindCounts {
+    #[inline]
     fn bump(&mut self, kind: EventKind) {
         self.0[kind.index()] += 1;
     }
@@ -44,25 +52,78 @@ impl KindCounts {
     }
 }
 
+/// A set of [`EventKind`]s, as one bit per kind. `Copy`, so configuration
+/// structs can carry one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindMask(u16);
+
+impl KindMask {
+    /// Every kind enabled (the default for plain sinks).
+    pub const ALL: KindMask = KindMask(u16::MAX);
+
+    /// No kind enabled.
+    pub const NONE: KindMask = KindMask(0);
+
+    /// This mask with `kind` enabled.
+    #[must_use]
+    pub const fn with(self, kind: EventKind) -> KindMask {
+        KindMask(self.0 | 1 << kind.index())
+    }
+
+    /// This mask with `kind` disabled.
+    #[must_use]
+    pub const fn without(self, kind: EventKind) -> KindMask {
+        KindMask(self.0 & !(1 << kind.index()))
+    }
+
+    /// Whether `kind` is enabled.
+    #[inline]
+    pub const fn contains(self, kind: EventKind) -> bool {
+        self.0 & 1 << kind.index() != 0
+    }
+}
+
+impl Default for KindMask {
+    fn default() -> Self {
+        KindMask::ALL
+    }
+}
+
 /// Bounded ring-buffer sink: retains the most recent `capacity` events,
 /// dropping the oldest bodies when full. Per-kind counts stay exact
 /// regardless of drops, so metrics built on a ring sink never undercount.
+/// An optional [`KindMask`] filters whole kinds out *before* recording —
+/// a masked kind is as if it never happened (not retained, not counted).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RingSink {
     capacity: usize,
-    buf: std::collections::VecDeque<Event>,
+    mask: KindMask,
+    buf: Vec<Event>,
+    /// Once the buffer is saturated, the slot the next event overwrites —
+    /// which is also where the oldest retained event lives. A wrapping
+    /// cursor makes the saturated push a single slot store, where a deque
+    /// pop-then-push costs several times as much on the recorder hot path.
+    head: usize,
     recorded: u64,
     dropped: u64,
     counts: KindCounts,
 }
 
 impl RingSink {
-    /// A ring sink retaining at most `capacity` events (minimum 1).
+    /// A ring sink retaining at most `capacity` events (minimum 1), all
+    /// kinds enabled.
     pub fn new(capacity: usize) -> RingSink {
+        RingSink::with_mask(capacity, KindMask::ALL)
+    }
+
+    /// A ring sink recording only the kinds in `mask`.
+    pub fn with_mask(capacity: usize, mask: KindMask) -> RingSink {
         let capacity = capacity.max(1);
         RingSink {
             capacity,
-            buf: std::collections::VecDeque::with_capacity(capacity),
+            mask,
+            buf: Vec::with_capacity(capacity),
+            head: 0,
             recorded: 0,
             dropped: 0,
             counts: KindCounts::default(),
@@ -73,24 +134,54 @@ impl RingSink {
     pub const fn capacity(&self) -> usize {
         self.capacity
     }
-}
 
-impl TraceSink for RingSink {
-    fn record(&mut self, ev: &Event) {
-        if self.buf.len() == self.capacity {
-            self.buf.pop_front();
-            self.dropped += 1;
-        }
-        self.buf.push_back(*ev);
-        self.recorded += 1;
-        self.counts.bump(ev.kind());
+    /// The kind filter.
+    pub const fn mask(&self) -> KindMask {
+        self.mask
+    }
+
+    /// The retained events, oldest first. The cursor is 0 until the ring
+    /// saturates, so the unsaturated buffer is already in order.
+    fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
     }
 }
 
-/// Unbounded streaming sink: retains every event in order.
+impl TraceSink for RingSink {
+    #[inline]
+    fn record(&mut self, ev: &Event) {
+        let kind = ev.kind();
+        if !self.mask.contains(kind) {
+            return;
+        }
+        if self.buf.len() < self.capacity {
+            self.buf.push(*ev);
+        } else {
+            self.buf[self.head] = *ev;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+        self.recorded += 1;
+        self.counts.bump(kind);
+    }
+}
+
+/// Events per allocation chunk of a [`StreamSink`]. Chunking keeps pushes
+/// O(1) without ever copying the backlog: a growing `Vec` would move the
+/// whole event history on each reallocation, which is what made unbounded
+/// sinks superlinear at fleet scale.
+const STREAM_CHUNK: usize = 1024;
+
+/// Unbounded streaming sink: retains every event in order. Storage is
+/// chunked ([`STREAM_CHUNK`] events per allocation) so recording never
+/// relocates previously retained events.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StreamSink {
-    events: Vec<Event>,
+    chunks: Vec<Vec<Event>>,
+    total: u64,
     counts: KindCounts,
 }
 
@@ -99,11 +190,55 @@ impl StreamSink {
     pub fn new() -> StreamSink {
         StreamSink::default()
     }
+
+    /// Events retained.
+    pub const fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    pub const fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.total as usize);
+        for chunk in &self.chunks {
+            out.extend_from_slice(chunk);
+        }
+        out
+    }
+
+    /// The last `n` retained events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<Event> {
+        let n = n.min(self.total as usize);
+        let mut out = Vec::with_capacity(n);
+        let mut skip = self.total as usize - n;
+        for chunk in &self.chunks {
+            if skip >= chunk.len() {
+                skip -= chunk.len();
+                continue;
+            }
+            out.extend_from_slice(&chunk[skip..]);
+            skip = 0;
+        }
+        out
+    }
 }
 
 impl TraceSink for StreamSink {
+    #[inline]
     fn record(&mut self, ev: &Event) {
-        self.events.push(*ev);
+        match self.chunks.last_mut() {
+            Some(chunk) if chunk.len() < STREAM_CHUNK => chunk.push(*ev),
+            _ => {
+                let mut chunk = Vec::with_capacity(STREAM_CHUNK);
+                chunk.push(*ev);
+                self.chunks.push(chunk);
+            }
+        }
+        self.total += 1;
         self.counts.bump(ev.kind());
     }
 }
@@ -128,17 +263,33 @@ impl ScopeSink {
         ScopeSink::Ring(RingSink::new(capacity))
     }
 
+    /// A ring sink of `capacity` events recording only the kinds in `mask`.
+    pub fn masked_ring(capacity: usize, mask: KindMask) -> ScopeSink {
+        ScopeSink::Ring(RingSink::with_mask(capacity, mask))
+    }
+
     /// An unbounded streaming sink.
     pub fn stream() -> ScopeSink {
         ScopeSink::Stream(StreamSink::new())
+    }
+
+    /// Whether this sink records events of `kind`. Instrumentation sites on
+    /// hot paths consult this *before* constructing the event, so a masked
+    /// kind costs one bit test instead of an event build + record.
+    #[inline]
+    pub const fn accepts(&self, kind: EventKind) -> bool {
+        match self {
+            ScopeSink::Ring(r) => r.mask.contains(kind),
+            ScopeSink::Stream(_) => true,
+        }
     }
 
     /// The retained events, oldest first. A ring sink returns only what it
     /// still holds; pair with [`ScopeSink::dropped`] to know what was shed.
     pub fn events(&self) -> Vec<Event> {
         match self {
-            ScopeSink::Ring(r) => r.buf.iter().copied().collect(),
-            ScopeSink::Stream(s) => s.events.clone(),
+            ScopeSink::Ring(r) => r.iter().copied().collect(),
+            ScopeSink::Stream(s) => s.events(),
         }
     }
 
@@ -149,24 +300,23 @@ impl ScopeSink {
         match self {
             ScopeSink::Ring(r) => {
                 let skip = r.buf.len().saturating_sub(n);
-                r.buf.iter().skip(skip).copied().collect()
+                r.iter().skip(skip).copied().collect()
             }
-            ScopeSink::Stream(s) => {
-                let skip = s.events.len().saturating_sub(n);
-                s.events[skip..].to_vec()
-            }
+            ScopeSink::Stream(s) => s.tail(n),
         }
     }
 
     /// Total events recorded (including any dropped bodies).
+    #[inline]
     pub const fn recorded(&self) -> u64 {
         match self {
             ScopeSink::Ring(r) => r.recorded,
-            ScopeSink::Stream(s) => s.events.len() as u64,
+            ScopeSink::Stream(s) => s.total,
         }
     }
 
     /// Event bodies dropped under pressure (ring sinks only).
+    #[inline]
     pub const fn dropped(&self) -> u64 {
         match self {
             ScopeSink::Ring(r) => r.dropped,
@@ -184,6 +334,7 @@ impl ScopeSink {
 }
 
 impl TraceSink for ScopeSink {
+    #[inline]
     fn record(&mut self, ev: &Event) {
         match self {
             ScopeSink::Ring(r) => r.record(ev),
@@ -198,6 +349,8 @@ impl TraceSink for ScopeSink {
 pub enum SinkSpec {
     /// A bounded ring sink of the given capacity.
     Ring(usize),
+    /// A bounded ring sink recording only the kinds in the mask.
+    MaskedRing(usize, KindMask),
     /// An unbounded streaming sink.
     Stream,
 }
@@ -207,6 +360,7 @@ impl SinkSpec {
     pub fn build(self) -> ScopeSink {
         match self {
             SinkSpec::Ring(cap) => ScopeSink::ring(cap),
+            SinkSpec::MaskedRing(cap, mask) => ScopeSink::masked_ring(cap, mask),
             SinkSpec::Stream => ScopeSink::stream(),
         }
     }
@@ -247,16 +401,61 @@ mod tests {
     }
 
     #[test]
+    fn stream_chunking_preserves_order_across_boundaries() {
+        let mut s = StreamSink::new();
+        let n = STREAM_CHUNK as u64 * 3 + 17;
+        for c in 0..n {
+            s.record(&ev(c));
+        }
+        assert_eq!(s.len(), n);
+        let all: Vec<u64> = s.events().iter().map(Event::cycles).collect();
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
+        let tail: Vec<u64> = s.tail(STREAM_CHUNK + 5).iter().map(Event::cycles).collect();
+        assert_eq!(tail, (n - STREAM_CHUNK as u64 - 5..n).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn tail_larger_than_retained_is_everything() {
         let mut s = ScopeSink::ring(2);
         s.record(&ev(1));
         assert_eq!(s.tail(10).len(), 1);
+        let mut s = ScopeSink::stream();
+        s.record(&ev(1));
+        assert_eq!(s.tail(10).len(), 1);
+    }
+
+    #[test]
+    fn masked_ring_filters_before_counting() {
+        let mask = KindMask::NONE.with(EventKind::Fault).with(EventKind::Recovery);
+        assert!(mask.contains(EventKind::Fault));
+        assert!(!mask.contains(EventKind::MemMapCheck));
+        let mut s = ScopeSink::masked_ring(8, mask.without(EventKind::Recovery));
+        assert!(s.accepts(EventKind::Fault));
+        assert!(!s.accepts(EventKind::Recovery));
+        s.record(&Event::Fault { cycles: 1, code: 2, addr: 3, info: 4 });
+        s.record(&ev(2)); // Recovery: masked out entirely.
+        assert_eq!(s.recorded(), 1);
+        assert_eq!(s.events().len(), 1);
+        assert_eq!(s.kind_counts().get(EventKind::Recovery), 0);
+        assert_eq!(s.kind_counts().get(EventKind::Fault), 1);
+    }
+
+    #[test]
+    fn unmasked_sinks_accept_everything() {
+        for sink in [ScopeSink::ring(4), ScopeSink::stream()] {
+            for kind in EventKind::ALL {
+                assert!(sink.accepts(kind));
+            }
+        }
     }
 
     #[test]
     fn sink_spec_builds_the_right_shape() {
         assert!(matches!(SinkSpec::Ring(8).build(), ScopeSink::Ring(_)));
         assert!(matches!(SinkSpec::Stream.build(), ScopeSink::Stream(_)));
+        let masked = SinkSpec::MaskedRing(8, KindMask::NONE.with(EventKind::Fault)).build();
+        assert!(masked.accepts(EventKind::Fault));
+        assert!(!masked.accepts(EventKind::MemMapCheck));
     }
 
     #[test]

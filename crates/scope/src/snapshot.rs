@@ -1,0 +1,119 @@
+//! Architectural state snapshots: the machine registers a flight recorder
+//! captures alongside its event ring.
+//!
+//! [`ArchSnapshot`] is the uniform, build-independent register dump the
+//! paper's debugging story needs at the instant of a protection fault: the
+//! program counter and stack pointer, the active protection domain, and
+//! the protection-unit configuration (`mem_map_*` registers, stack bound,
+//! safe-stack window). `mini-sos` fills one in from whichever build is
+//! running (UMPU hardware registers, SFI run-time RAM cells, or zeros for
+//! the unprotected build); `harbor-blackbox` rings and dumps them.
+
+/// One architectural state capture, stamped with the simulated cycle
+/// counter at which it was taken.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArchSnapshot {
+    /// Cycle stamp.
+    pub cycles: u64,
+    /// Program counter (word address).
+    pub pc: u32,
+    /// Run-time stack pointer.
+    pub sp: u16,
+    /// Active protection domain (raw 3-bit index, 7 = trusted).
+    pub domain: u8,
+    /// `mem_map_base`: RAM address of the memory-map table.
+    pub mem_map_base: u16,
+    /// `mem_prot_bottom`: inclusive lower bound of protected space.
+    pub prot_bottom: u16,
+    /// `mem_prot_top`: exclusive upper bound of protected space.
+    pub prot_top: u16,
+    /// log2 of the protection block size.
+    pub block_log2: u8,
+    /// Latched run-time-stack bound register.
+    pub stack_bound: u16,
+    /// Safe-stack pointer.
+    pub safe_stack_ptr: u16,
+    /// Safe-stack base (initial pointer).
+    pub safe_stack_base: u16,
+    /// Safe-stack limit (exclusive).
+    pub safe_stack_limit: u16,
+}
+
+impl ArchSnapshot {
+    /// The snapshot's fields in declaration order, paired with their stable
+    /// serialization names (used by `harbor-blackbox` dumps; keeping the
+    /// list here keeps the wire format next to the struct).
+    pub fn fields(&self) -> [(&'static str, u64); 12] {
+        [
+            ("cycles", self.cycles),
+            ("pc", self.pc as u64),
+            ("sp", self.sp as u64),
+            ("domain", self.domain as u64),
+            ("mem_map_base", self.mem_map_base as u64),
+            ("prot_bottom", self.prot_bottom as u64),
+            ("prot_top", self.prot_top as u64),
+            ("block_log2", self.block_log2 as u64),
+            ("stack_bound", self.stack_bound as u64),
+            ("safe_stack_ptr", self.safe_stack_ptr as u64),
+            ("safe_stack_base", self.safe_stack_base as u64),
+            ("safe_stack_limit", self.safe_stack_limit as u64),
+        ]
+    }
+
+    /// Rebuilds a snapshot from `(name, value)` pairs as produced by
+    /// [`ArchSnapshot::fields`]; unknown names are ignored, missing names
+    /// stay at their `Default` (zero).
+    pub fn from_fields<'a>(pairs: impl IntoIterator<Item = (&'a str, u64)>) -> ArchSnapshot {
+        let mut s = ArchSnapshot::default();
+        for (name, v) in pairs {
+            match name {
+                "cycles" => s.cycles = v,
+                "pc" => s.pc = v as u32,
+                "sp" => s.sp = v as u16,
+                "domain" => s.domain = v as u8,
+                "mem_map_base" => s.mem_map_base = v as u16,
+                "prot_bottom" => s.prot_bottom = v as u16,
+                "prot_top" => s.prot_top = v as u16,
+                "block_log2" => s.block_log2 = v as u8,
+                "stack_bound" => s.stack_bound = v as u16,
+                "safe_stack_ptr" => s.safe_stack_ptr = v as u16,
+                "safe_stack_base" => s.safe_stack_base = v as u16,
+                "safe_stack_limit" => s.safe_stack_limit = v as u16,
+                _ => {}
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_round_trip() {
+        let s = ArchSnapshot {
+            cycles: 99,
+            pc: 0x1234,
+            sp: 0x0fff,
+            domain: 2,
+            mem_map_base: 0x70,
+            prot_bottom: 0x200,
+            prot_top: 0xe00,
+            block_log2: 3,
+            stack_bound: 0x0e80,
+            safe_stack_ptr: 0x0d10,
+            safe_stack_base: 0x0d00,
+            safe_stack_limit: 0x0e00,
+        };
+        let back = ArchSnapshot::from_fields(s.fields());
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn unknown_names_are_ignored() {
+        let s = ArchSnapshot::from_fields([("pc", 7u64), ("nonsense", 9)]);
+        assert_eq!(s.pc, 7);
+        assert_eq!(s.sp, 0);
+    }
+}

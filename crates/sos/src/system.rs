@@ -12,7 +12,9 @@ use avr_core::exec::{Cpu, Step};
 use avr_core::mem::{Flash, PlainEnv};
 use avr_core::{Fault, WordAddr};
 use harbor::DomainId;
-use harbor_scope::{DomainProfiler, Event, Mechanism, RegionMap, ScopeSink, TraceSink};
+use harbor_scope::{
+    ArchSnapshot, DomainProfiler, Event, Mechanism, RegionMap, ScopeSink, TraceSink,
+};
 use harbor_sfi::SfiRuntime;
 use umpu::UmpuEnv;
 
@@ -179,6 +181,7 @@ impl SosSystem {
     }
 
     /// The attached trace sink, if any.
+    #[inline]
     pub fn scope(&self) -> Option<&ScopeSink> {
         match &self.mach {
             Mach::Umpu(c) => c.env.scope.as_ref(),
@@ -622,6 +625,7 @@ impl SosSystem {
     }
 
     /// Total cycles executed.
+    #[inline]
     pub fn cycles(&self) -> u64 {
         match &self.mach {
             Mach::Plain(c) => c.cycles(),
@@ -755,6 +759,95 @@ impl SosSystem {
             Mach::Umpu(c) => Some(&c.env),
             Mach::Plain(_) => None,
         }
+    }
+
+    /// Current run-time stack pointer.
+    pub fn sp(&self) -> u16 {
+        match &self.mach {
+            Mach::Plain(c) => c.sp,
+            Mach::Umpu(c) => c.sp,
+        }
+    }
+
+    /// The active protection domain's raw index (7 = trusted): the UMPU
+    /// domain tracker's register, the SFI run-time's `cur_dom` RAM cell, or
+    /// always-trusted for the unprotected build (which has no domains).
+    pub fn active_domain(&self) -> u8 {
+        match (&self.mach, self.protection) {
+            (Mach::Umpu(c), _) => c.env.tracker.current.index(),
+            (Mach::Plain(c), Protection::Sfi) => {
+                let rt = self.runtime.as_ref().expect("SFI runtime");
+                rt.current_domain(&c.env.data).index()
+            }
+            _ => DomainId::TRUSTED.index(),
+        }
+    }
+
+    /// One architectural state capture at this instant — the uniform
+    /// register vocabulary the `harbor-blackbox` flight recorder rings and
+    /// freezes into postmortem dumps. UMPU builds read the hardware units'
+    /// registers, SFI builds the run-time's RAM cells, and the unprotected
+    /// build reports zeros for the protection registers it does not have.
+    pub fn arch_snapshot(&self) -> ArchSnapshot {
+        let mut s = match (&self.mach, self.protection) {
+            (Mach::Umpu(c), _) => c.env.regs_snapshot(),
+            (Mach::Plain(c), Protection::Sfi) => {
+                let rt = self.runtime.as_ref().expect("SFI runtime");
+                let l = *rt.layout();
+                ArchSnapshot {
+                    domain: rt.current_domain(&c.env.data).index(),
+                    mem_map_base: l.mem_map_base,
+                    prot_bottom: l.prot_bottom,
+                    prot_top: l.prot_top,
+                    block_log2: l.block_log2,
+                    stack_bound: self.sram16(l.stack_bound),
+                    safe_stack_ptr: self.sram16(l.safe_stack_ptr),
+                    safe_stack_base: l.safe_stack_base,
+                    safe_stack_limit: l.safe_stack_limit,
+                    ..ArchSnapshot::default()
+                }
+            }
+            _ => ArchSnapshot { domain: DomainId::TRUSTED.index(), ..ArchSnapshot::default() },
+        };
+        s.cycles = self.cycles();
+        s.pc = self.pc();
+        s.sp = self.sp();
+        s
+    }
+
+    /// The occupied bytes of the safe (control) stack, `base..ptr` — the
+    /// return-address and crossing-frame record a postmortem dump preserves
+    /// so the fatal call chain can be reconstructed. Empty for the
+    /// unprotected build (no safe stack exists).
+    pub fn safe_stack_bytes(&self) -> Vec<u8> {
+        let (base, ptr) = match (&self.mach, self.protection) {
+            (Mach::Umpu(c), _) => (c.env.safe_stack.base, c.env.safe_stack.ptr),
+            (Mach::Plain(_), Protection::Sfi) => {
+                let l = *self.runtime.as_ref().expect("SFI runtime").layout();
+                (l.safe_stack_base, self.sram16(l.safe_stack_ptr))
+            }
+            _ => return Vec::new(),
+        };
+        (base..ptr.max(base)).map(|a| self.sram(a)).collect()
+    }
+
+    /// Per-domain ownership census of the memory-map table: element `d` is
+    /// the number of protection blocks domain `d` currently owns, with
+    /// element 7 counting trusted/free blocks. All zeros for the `None`
+    /// build (no map exists).
+    pub fn ownership_summary(&self) -> [u16; 8] {
+        let mut owned = [0u16; 8];
+        let map = match (&self.mach, self.protection) {
+            (Mach::Umpu(c), _) => c.env.memory_map_view(),
+            (Mach::Plain(c), Protection::Sfi) => {
+                self.runtime.as_ref().expect("SFI runtime").memory_map_view(&c.env.data)
+            }
+            _ => return owned,
+        };
+        for block in 0..map.config().num_blocks() {
+            owned[map.record(block).owner.index() as usize & 7] += 1;
+        }
+        owned
     }
 
     /// The rich fault record of the most recent protection fault, where the

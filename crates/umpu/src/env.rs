@@ -7,7 +7,7 @@ use avr_core::exec::{CallEvent, CallOutcome, Env, RetOutcome};
 use avr_core::mem::{DataMem, Flash, PORT_DEBUG, RAMEND};
 use avr_core::{EnvFault, Fault, WordAddr};
 use harbor::{DomainId, DomainMode, MemMapConfig, MemoryMap, ProtectionFault};
-use harbor_scope::{Event, ScopeSink, TraceSink};
+use harbor_scope::{ArchSnapshot, Event, EventKind, ScopeSink, TraceSink};
 
 /// A complete UMPU machine configuration, applied in one shot by
 /// [`UmpuEnv::configure`] (hosts) or assembled by kernel boot code writing
@@ -190,16 +190,42 @@ impl UmpuEnv {
         self.tracker.clear_frames();
         self.safe_stack.ptr = self.safe_stack.base;
         self.last_fault = None;
-        self.emit(|c| Event::Recovery { cycles: c });
+        self.emit(EventKind::Recovery, |c| Event::Recovery { cycles: c });
     }
 
     /// Reports an event to the attached sink, if any. The closure receives
-    /// the latched cycle stamp; with no sink it is never called, so the
-    /// disabled path does no work beyond the `Option` test.
-    fn emit(&mut self, f: impl FnOnce(u64) -> Event) {
+    /// the latched cycle stamp; with no sink — or a sink whose
+    /// [`KindMask`](harbor_scope::KindMask) filters `kind` out — it is
+    /// never called, so the disabled and masked paths do no work beyond an
+    /// `Option` test and a bit test. That pre-check is what keeps an
+    /// always-on flight recorder affordable on the per-store hot path.
+    fn emit(&mut self, kind: EventKind, f: impl FnOnce(u64) -> Event) {
         let now = self.now;
         if let Some(sink) = self.scope.as_mut() {
-            sink.record(&f(now));
+            if sink.accepts(kind) {
+                sink.record(&f(now));
+            }
+        }
+    }
+
+    /// The protection units' architectural registers, as the uniform
+    /// [`ArchSnapshot`] vocabulary (the flight-recorder capture). The CPU
+    /// core's `pc`/`sp`/`cycles` are not visible from the environment and
+    /// are left zero for the caller to fill.
+    pub fn regs_snapshot(&self) -> ArchSnapshot {
+        ArchSnapshot {
+            cycles: 0,
+            pc: 0,
+            sp: 0,
+            domain: self.tracker.current.index(),
+            mem_map_base: self.mmc.mem_map_base,
+            prot_bottom: self.mmc.prot_bottom,
+            prot_top: self.mmc.prot_top,
+            block_log2: self.mmc.block_log2,
+            stack_bound: self.tracker.stack_bound,
+            safe_stack_ptr: self.safe_stack.ptr,
+            safe_stack_base: self.safe_stack.base,
+            safe_stack_limit: self.safe_stack.limit,
         }
     }
 
@@ -282,7 +308,7 @@ impl UmpuEnv {
         match f {
             ProtectionFault::MemMapViolation { addr, domain, .. }
             | ProtectionFault::KernelSpaceViolation { addr, domain } => {
-                self.emit(|c| Event::MemMapCheck {
+                self.emit(EventKind::MemMapCheck, |c| Event::MemMapCheck {
                     cycles: c,
                     domain,
                     addr,
@@ -291,7 +317,7 @@ impl UmpuEnv {
                 });
             }
             ProtectionFault::StackBoundViolation { addr, bound } => {
-                self.emit(move |c| Event::StackCheck {
+                self.emit(EventKind::StackCheck, move |c| Event::StackCheck {
                     cycles: c,
                     domain: cur,
                     addr,
@@ -300,13 +326,16 @@ impl UmpuEnv {
                 });
             }
             ProtectionFault::SafeStackOverflow { ptr } => {
-                self.emit(|c| Event::SafeStackOverflow { cycles: c, ptr });
+                self.emit(EventKind::SafeStackOverflow, |c| Event::SafeStackOverflow {
+                    cycles: c,
+                    ptr,
+                });
             }
             _ => {}
         }
         let (addr, info) = fault_operands(&f);
         let code = f.code();
-        self.emit(|c| Event::Fault { cycles: c, code, addr, info });
+        self.emit(EventKind::Fault, |c| Event::Fault { cycles: c, code, addr, info });
         self.last_fault = Some(f);
         Fault::Env(EnvFault { code, addr, info })
     }
@@ -462,7 +491,7 @@ impl Env for UmpuEnv {
                 if stall > 0 {
                     // In-map store: the checker took a bus cycle to read the
                     // ownership record.
-                    self.emit(|c| Event::MemMapCheck {
+                    self.emit(EventKind::MemMapCheck, |c| Event::MemMapCheck {
                         cycles: c,
                         domain: domain.index(),
                         addr,
@@ -471,7 +500,7 @@ impl Env for UmpuEnv {
                     });
                 } else if addr >= self.mmc.prot_top && !domain.is_trusted() {
                     // Run-time stack store arbitrated by the bound register.
-                    self.emit(|c| Event::StackCheck {
+                    self.emit(EventKind::StackCheck, |c| Event::StackCheck {
                         cycles: c,
                         domain: domain.index(),
                         addr,
@@ -535,10 +564,19 @@ impl Env for UmpuEnv {
             self.tracker.current = DomainId::TRUSTED;
             self.tracker.stack_bound = ev.sp;
             let ptr = self.safe_stack.ptr;
-            self.emit(|c| Event::SafeStackPush { cycles: c, frame: true, ptr });
+            self.emit(EventKind::SafeStackPush, |c| Event::SafeStackPush {
+                cycles: c,
+                frame: true,
+                ptr,
+            });
             let from = caller.index();
             let vector = ev.target as u16;
-            self.emit(|c| Event::InterruptEntry { cycles: c, from, vector, stall: 5 });
+            self.emit(EventKind::InterruptEntry, |c| Event::InterruptEntry {
+                cycles: c,
+                from,
+                vector,
+                stall: 5,
+            });
             return Ok(CallOutcome { target: ev.target, extra_cycles: 5 });
         }
         let target = ev.target as u16;
@@ -552,7 +590,11 @@ impl Env for UmpuEnv {
                     return Err(self.raise(f));
                 }
                 let ptr = self.safe_stack.ptr;
-                self.emit(|c| Event::SafeStackPush { cycles: c, frame: false, ptr });
+                self.emit(EventKind::SafeStackPush, |c| Event::SafeStackPush {
+                    cycles: c,
+                    frame: false,
+                    ptr,
+                });
                 Ok(CallOutcome { target: ev.target, extra_cycles: 0 })
             }
             Ok(Some(callee)) => {
@@ -581,16 +623,20 @@ impl Env for UmpuEnv {
                 let ptr = self.safe_stack.ptr;
                 let entry =
                     (target - self.tracker.jt_base) % harbor::JumpTableLayout::ENTRIES_PER_PAGE;
-                self.emit(|c| Event::JumpTableDispatch {
+                self.emit(EventKind::JumpTableDispatch, |c| Event::JumpTableDispatch {
                     cycles: c,
                     domain: callee.index(),
                     entry,
                     target,
                 });
-                self.emit(|c| Event::SafeStackPush { cycles: c, frame: true, ptr });
+                self.emit(EventKind::SafeStackPush, |c| Event::SafeStackPush {
+                    cycles: c,
+                    frame: true,
+                    ptr,
+                });
                 let from = caller.index();
                 let to = callee.index();
-                self.emit(|c| Event::CrossDomainCall {
+                self.emit(EventKind::CrossDomainCall, |c| Event::CrossDomainCall {
                     cycles: c,
                     caller: from,
                     callee: to,
@@ -625,9 +671,19 @@ impl Env for UmpuEnv {
             self.tracker.current = DomainId::new(dom & 7).expect("3-bit id");
             self.tracker.stack_bound = bound;
             let ptr = self.safe_stack.ptr;
-            self.emit(|c| Event::SafeStackPop { cycles: c, frame: true, ptr });
+            self.emit(EventKind::SafeStackPop, |c| Event::SafeStackPop {
+                cycles: c,
+                frame: true,
+                ptr,
+            });
             let to = dom & 7;
-            self.emit(|c| Event::CrossDomainRet { cycles: c, from, to, target: ret, stall: 5 });
+            self.emit(EventKind::CrossDomainRet, |c| Event::CrossDomainRet {
+                cycles: c,
+                from,
+                to,
+                target: ret,
+                stall: 5,
+            });
             Ok(RetOutcome { target: ret as u32, extra_cycles: 5 })
         } else {
             let ret = match self.safe_stack.pop_word(&self.data) {
@@ -635,7 +691,11 @@ impl Env for UmpuEnv {
                 Err(f) => return Err(self.raise(f)),
             };
             let ptr = self.safe_stack.ptr;
-            self.emit(|c| Event::SafeStackPop { cycles: c, frame: false, ptr });
+            self.emit(EventKind::SafeStackPop, |c| Event::SafeStackPop {
+                cycles: c,
+                frame: false,
+                ptr,
+            });
             Ok(RetOutcome { target: ret as u32, extra_cycles: 0 })
         }
     }

@@ -20,4 +20,7 @@ cargo run -q -p harbor-flow --bin lint-modules -- -D
 echo "== harbor-trace --check"
 cargo run -q -p mini-sos --bin harbor-trace -- --check
 
+echo "== harbor-postmortem --check"
+cargo run -q -p harbor-fleet --bin harbor-postmortem -- --check
+
 echo "== ci: all green"

@@ -1,0 +1,116 @@
+//! Fleet-level harbor-blackbox integration: postmortem dumps must be
+//! byte-identical between serial and parallel runs, faults and dumps must
+//! pair one-to-one, and — as a property over random seeds, loss rates and
+//! fault patterns — Lamport stamps must strictly increase along every
+//! happens-before edge of the fleet's causal DAG.
+
+use harbor::DomainId;
+use harbor_blackbox::{build_edges, check_monotone, Postmortem};
+use harbor_fleet::{BlackboxConfig, Fleet, FleetConfig, ModuleImage, NetConfig};
+use mini_sos::kernel::MSG_TIMER;
+use mini_sos::{modules, Protection};
+use proptest::prelude::*;
+
+const NODES: usize = 8;
+const ROUNDS: u64 = 24;
+
+fn seed() -> u64 {
+    match std::env::var("HARBOR_SEED") {
+        Ok(v) => v.parse().expect("HARBOR_SEED must be a u64"),
+        Err(_) => 0x5c09e,
+    }
+}
+
+/// A fleet under the full blackbox, with Blink everywhere, the faulting
+/// Surge on every node, and an OTA dissemination mid-run so the causal
+/// logs carry real radio traffic.
+fn run(seed: u64, loss: f64, threads: usize, fault_rounds: &[u64]) -> Fleet {
+    let cfg = FleetConfig {
+        nodes: NODES,
+        protection: Protection::Umpu,
+        seed,
+        net: NetConfig { loss, ..NetConfig::default() },
+        threads,
+        blackbox: Some(BlackboxConfig::default()),
+        ..FleetConfig::default()
+    };
+    let mut fleet =
+        Fleet::new(&cfg, &[modules::blink(0), modules::surge(3, 2)]).expect("fleet builds");
+    for round in 0..ROUNDS {
+        fleet.post_all(DomainId::num(0), MSG_TIMER);
+        if fault_rounds.contains(&round) {
+            for victim in (0..NODES).step_by(2) {
+                fleet.post(victim, DomainId::num(3), MSG_TIMER);
+            }
+        }
+        // The patch goes out only after the faults have fired: installing
+        // Tree Routing gives Surge's lookup a real target and cures it.
+        if round == 18 {
+            let image =
+                ModuleImage::assemble(&modules::tree_routing(2), &fleet.layout(), cfg.protection)
+                    .expect("image assembles");
+            fleet.disseminate(&image);
+        }
+        fleet.step_round();
+    }
+    fleet
+}
+
+#[test]
+fn every_fault_freezes_exactly_one_dump() {
+    let mut fleet = run(seed(), 0.1, 1, &[8, 16]);
+    let telemetry = fleet.telemetry();
+    let faults = telemetry.total(harbor_fleet::NodeTelemetry::faults);
+    let dumps = fleet.dumps();
+    assert!(faults > 0, "the scenario faults");
+    assert_eq!(faults, dumps.len() as u64, "one dump per fault");
+    for dump in &dumps {
+        assert_eq!(dump.protection, "umpu");
+        assert!(!dump.events.is_empty(), "the ring captured the lead-up");
+        let back = Postmortem::from_json(&dump.to_json()).expect("round-trips");
+        assert_eq!(&back, dump, "dump JSON is lossless");
+    }
+}
+
+#[test]
+fn serial_and_parallel_dumps_are_byte_identical() {
+    let s = seed();
+    let serial: Vec<String> =
+        run(s, 0.1, 1, &[8, 16]).dumps().iter().map(Postmortem::to_json).collect();
+    let parallel: Vec<String> =
+        run(s, 0.1, 4, &[8, 16]).dumps().iter().map(Postmortem::to_json).collect();
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "dump bytes must not depend on the schedule");
+}
+
+#[test]
+fn causal_trace_is_deterministic_and_has_message_edges() {
+    let s = seed();
+    let serial = run(s, 0.1, 1, &[8]).causal_trace();
+    let parallel = run(s, 0.1, 4, &[8]).causal_trace();
+    assert_eq!(serial, parallel, "chrome trace must not depend on the schedule");
+    assert!(serial.contains("\"ph\":\"s\""), "flow arrows present");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// The Lamport invariant holds along every happens-before edge — for
+    /// any seed, any loss rate, any fault pattern, serial or parallel.
+    #[test]
+    fn lamport_monotone_along_every_edge(
+        s in 0u64..1_000_000,
+        loss_pct in 0u32..50,
+        fault_round in 0u64..18,
+        threads in 1usize..5,
+    ) {
+        let mut fleet = run(s, f64::from(loss_pct) / 100.0, threads, &[fault_round]);
+        let logs = fleet.causal_logs();
+        let edges = build_edges(&logs);
+        prop_assert!(edges.iter().any(|e| e.message), "radio traffic produced message edges");
+        prop_assert!(check_monotone(&logs).is_ok(), "{:?}", check_monotone(&logs));
+    }
+}

@@ -41,11 +41,13 @@ fn run(scope: Option<SinkSpec>, threads: usize) -> harbor_fleet::FleetTelemetry 
 fn per_node_sinks_do_not_perturb_the_fleet() {
     let bare = run(None, 1);
     let traced = run(Some(SinkSpec::Ring(64)), 1);
-    // Every machine-level counter agrees; only the scope reduction differs.
+    // Every machine-level counter agrees; only the sink's own bookkeeping
+    // (the scope reduction and the per-node ring-drop mirror) differs.
     let mut traced_wiped = traced.clone();
     traced_wiped.scope = None;
     for n in &mut traced_wiped.per_node {
         n.metrics = harbor_scope::MetricsRegistry::new();
+        n.ring_dropped = 0;
     }
     let mut bare_wiped = bare.clone();
     for n in &mut bare_wiped.per_node {
@@ -55,6 +57,9 @@ fn per_node_sinks_do_not_perturb_the_fleet() {
     assert_eq!(bare.comparable_json(), {
         let mut t = traced.clone();
         t.scope = None;
+        for n in &mut t.per_node {
+            n.ring_dropped = 0;
+        }
         t.comparable_json()
     });
 }
