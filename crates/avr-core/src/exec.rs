@@ -153,6 +153,53 @@ pub trait Env {
     /// raised from bus hooks carry the cycle of the instruction that caused
     /// them. Purely observational; the default keeps nothing.
     fn set_now(&mut self, _cycles: u64) {}
+
+    /// Arbitrates a fetch from `pc` *without* reading the word — the
+    /// fast-path (harbor-turbo) CFI hook. An implementation must fault (and
+    /// emit exactly the same protection events) in precisely the cases where
+    /// [`Env::fetch`] would fault, so that a fast path calling
+    /// `check_fetch` + cached decode is indistinguishable from `fetch` +
+    /// decode. The default never faults, matching environments whose
+    /// `fetch` cannot fail.
+    ///
+    /// # Errors
+    ///
+    /// Exactly when [`Env::fetch`] at the same `pc` would fault.
+    fn check_fetch(&mut self, _pc: WordAddr) -> Result<(), Fault> {
+        Ok(())
+    }
+
+    /// Raw flash word at `pc`, bypassing all protection checks — the
+    /// fast-path block builder's unprivileged view of code memory (used only
+    /// to *decode ahead*, never to execute unchecked). `None` (the default)
+    /// opts the environment out of fast-path execution entirely.
+    fn code_word(&self, _pc: WordAddr) -> Option<u16> {
+        None
+    }
+
+    /// A stamp over every piece of state [`Env::check_fetch`] consults.
+    /// An implementation must return a *different* value whenever a state
+    /// change could alter any `check_fetch` outcome (domain switch,
+    /// code-region or jump-table reconfiguration, protection enable bit).
+    /// The fast path uses this to cache [`Env::check_fetch_range`] grants:
+    /// while the epoch holds, a granted range needs no per-word re-check.
+    /// The default (a constant) is correct for environments whose
+    /// `check_fetch` can never fault.
+    fn cfi_epoch(&self) -> u64 {
+        0
+    }
+
+    /// Whether *every* word address in `start..end` would pass
+    /// [`Env::check_fetch`] under the current state — with **no** observable
+    /// side effects (no faults raised, no events emitted). `true` lets a
+    /// fast path skip the per-word checks for the whole range until
+    /// [`Env::cfi_epoch`] changes; `false` means "not provable as a range"
+    /// and the caller must fall back to exact per-word `check_fetch` calls
+    /// (preserving the faulting word address and event order). The
+    /// conservative default is `false`.
+    fn check_fetch_range(&self, _start: WordAddr, _end: WordAddr) -> bool {
+        false
+    }
 }
 
 /// One retired instruction, as recorded by [`Cpu::step_traced`].
@@ -236,22 +283,26 @@ impl<E: Env> Cpu<E> {
     }
 
     /// Reads register `r`.
+    #[inline]
     pub fn reg(&self, r: Reg) -> u8 {
         self.regs[r.index() as usize]
     }
 
     /// Writes register `r`.
+    #[inline]
     pub fn set_reg(&mut self, r: Reg, v: u8) {
         self.regs[r.index() as usize] = v;
     }
 
     /// Reads the 16-bit pair whose low register is `lo`.
+    #[inline]
     pub fn reg16(&self, lo: Reg) -> u16 {
         let i = lo.index() as usize;
         (self.regs[i + 1] as u16) << 8 | self.regs[i] as u16
     }
 
     /// Writes the 16-bit pair whose low register is `lo`.
+    #[inline]
     pub fn set_reg16(&mut self, lo: Reg, v: u16) {
         let i = lo.index() as usize;
         self.regs[i] = v as u8;
@@ -259,11 +310,13 @@ impl<E: Env> Cpu<E> {
     }
 
     /// Reads SREG flag `f` (use the [`flags`] constants).
+    #[inline]
     pub fn flag(&self, f: u8) -> bool {
         self.sreg & (1 << f) != 0
     }
 
     /// Sets or clears SREG flag `f`.
+    #[inline]
     pub fn set_flag(&mut self, f: u8, v: bool) {
         if v {
             self.sreg |= 1 << f;
@@ -274,6 +327,7 @@ impl<E: Env> Cpu<E> {
 
     // ── data-space routing ──────────────────────────────────────────────
 
+    #[inline]
     fn data_read(&mut self, addr: u16) -> Result<u8, Fault> {
         match addr {
             0x00..=0x1f => Ok(self.regs[addr as usize]),
@@ -283,6 +337,7 @@ impl<E: Env> Cpu<E> {
     }
 
     /// Returns stall cycles contributed by the environment.
+    #[inline]
     fn data_write(&mut self, addr: u16, v: u8) -> Result<u8, Fault> {
         match addr {
             0x00..=0x1f => {
@@ -294,6 +349,7 @@ impl<E: Env> Cpu<E> {
         }
     }
 
+    #[inline]
     fn io_in(&mut self, port: u8) -> u8 {
         match port {
             0x3d => self.sp as u8,
@@ -304,6 +360,7 @@ impl<E: Env> Cpu<E> {
         }
     }
 
+    #[inline]
     fn io_out(&mut self, port: u8, v: u8) -> Result<u8, Fault> {
         match port {
             0x3d => {
@@ -328,6 +385,7 @@ impl<E: Env> Cpu<E> {
 
     // ── flag helpers ────────────────────────────────────────────────────
 
+    #[inline]
     fn logic_flags(&mut self, res: u8) {
         self.set_flag(flags::V, false);
         self.set_flag(flags::N, res & 0x80 != 0);
@@ -335,6 +393,7 @@ impl<E: Env> Cpu<E> {
         self.set_flag(flags::Z, res == 0);
     }
 
+    #[inline]
     fn add_flags(&mut self, d: u8, r: u8, res: u8) {
         let (d, r, res) = (d as u16, r as u16, res as u16);
         let carries = (d & r) | (r & !res) | (!res & d);
@@ -347,6 +406,7 @@ impl<E: Env> Cpu<E> {
         self.set_flag(flags::Z, res & 0xff == 0);
     }
 
+    #[inline]
     fn sub_flags(&mut self, d: u8, r: u8, res: u8, preserve_z: bool) {
         let (d, r, res) = (d as u16, r as u16, res as u16);
         let borrows = (!d & r) | (r & res) | (res & !d);
@@ -365,6 +425,7 @@ impl<E: Env> Cpu<E> {
         }
     }
 
+    #[inline]
     fn shift_right_flags(&mut self, d: u8, res: u8) {
         self.set_flag(flags::C, d & 1 != 0);
         self.set_flag(flags::N, res & 0x80 != 0);
@@ -377,6 +438,7 @@ impl<E: Env> Cpu<E> {
 
     /// Resolves the effective address of an indirect access and applies the
     /// pointer update, returning the address to access.
+    #[inline]
     fn ptr_access(&mut self, ptr: Ptr, mode: PtrMode) -> u16 {
         let lo = ptr.lo();
         match mode {
@@ -405,6 +467,22 @@ impl<E: Env> Cpu<E> {
     /// state is left as of the start of the faulting instruction's commit —
     /// suitable for inspection by an exception handler in the harness.
     pub fn step(&mut self) -> Result<Step, Fault> {
+        self.begin_step()?;
+        self.step_tail()
+    }
+
+    /// Everything [`Cpu::step`] does before the fetch: latches the cycle
+    /// counter into the environment and dispatches a pending interrupt if
+    /// SREG `I` is set. Returns whether an interrupt dispatched (in which
+    /// case the PC has moved to the vector). Exposed so a fast-path engine
+    /// (harbor-turbo) can interleave the exact reference step sequence with
+    /// its own cached decode.
+    ///
+    /// # Errors
+    ///
+    /// A [`Fault`] from the environment's interrupt-dispatch arbitration.
+    #[inline]
+    pub fn begin_step(&mut self) -> Result<bool, Fault> {
         self.env.set_now(self.cycles);
         // Interrupt dispatch: between instructions, with I set.
         if self.flag(flags::I) {
@@ -422,13 +500,39 @@ impl<E: Env> Cpu<E> {
                 self.set_flag(flags::I, false);
                 // AVR interrupt response time: 4 cycles + any unit stalls.
                 self.cycles += 4 + out.extra_cycles as u64;
+                return Ok(true);
             }
         }
+        Ok(false)
+    }
+
+    /// Everything [`Cpu::step`] does after interrupt dispatch: fetch,
+    /// decode, execute. The fast-path engine falls back to this whenever
+    /// its cache cannot serve the current PC.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cpu::step`].
+    #[inline]
+    pub fn step_tail(&mut self) -> Result<Step, Fault> {
         let pc0 = self.pc;
         let w0 = self.env.fetch(pc0)?;
         let w1 =
             if isa::is_two_word(w0) { Some(self.env.fetch(pc0.wrapping_add(1))?) } else { None };
         let instr = isa::decode(w0, w1).map_err(|_| Fault::IllegalOpcode { pc: pc0, word: w0 })?;
+        self.exec_decoded(pc0, instr)
+    }
+
+    /// Executes an already-decoded `instr` that was fetched from `pc0`,
+    /// advancing the PC and updating cycle/instruction counters exactly as
+    /// [`Cpu::step`] would. The caller is responsible for the fetch-side
+    /// protection checks ([`Env::check_fetch`] on every word the reference
+    /// `fetch` path would touch) — harbor-turbo does this per instruction.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cpu::step`].
+    pub fn exec_decoded(&mut self, pc0: WordAddr, instr: Instr) -> Result<Step, Fault> {
         let words = instr.words();
         self.pc = pc0.wrapping_add(words);
         let mut extra: u8 = 0;
@@ -436,35 +540,61 @@ impl<E: Env> Cpu<E> {
 
         use Instr::*;
         match instr {
-            Add { d, r } | Adc { d, r } => {
-                let c = if matches!(instr, Adc { .. }) && self.flag(flags::C) { 1 } else { 0 };
+            Add { d, r } => {
+                let dv = self.reg(d);
+                let rv = self.reg(r);
+                let res = dv.wrapping_add(rv);
+                self.add_flags(dv, rv, res);
+                self.set_reg(d, res);
+            }
+            Adc { d, r } => {
+                let c = self.flag(flags::C) as u8;
                 let dv = self.reg(d);
                 let rv = self.reg(r);
                 let res = dv.wrapping_add(rv).wrapping_add(c);
                 self.add_flags(dv, rv, res);
                 self.set_reg(d, res);
             }
-            Sub { d, r } | Sbc { d, r } => {
-                let c = if matches!(instr, Sbc { .. }) && self.flag(flags::C) { 1 } else { 0 };
+            Sub { d, r } => {
+                let dv = self.reg(d);
+                let rv = self.reg(r);
+                let res = dv.wrapping_sub(rv);
+                self.sub_flags(dv, rv, res, false);
+                self.set_reg(d, res);
+            }
+            Sbc { d, r } => {
+                let c = self.flag(flags::C) as u8;
                 let dv = self.reg(d);
                 let rv = self.reg(r);
                 let res = dv.wrapping_sub(rv).wrapping_sub(c);
-                self.sub_flags(dv, rv, res, matches!(instr, Sbc { .. }));
+                self.sub_flags(dv, rv, res, true);
                 self.set_reg(d, res);
             }
-            Subi { d, k } | Sbci { d, k } => {
-                let c = if matches!(instr, Sbci { .. }) && self.flag(flags::C) { 1 } else { 0 };
+            Subi { d, k } => {
+                let dv = self.reg(d);
+                let res = dv.wrapping_sub(k);
+                self.sub_flags(dv, k, res, false);
+                self.set_reg(d, res);
+            }
+            Sbci { d, k } => {
+                let c = self.flag(flags::C) as u8;
                 let dv = self.reg(d);
                 let res = dv.wrapping_sub(k).wrapping_sub(c);
-                self.sub_flags(dv, k, res, matches!(instr, Sbci { .. }));
+                self.sub_flags(dv, k, res, true);
                 self.set_reg(d, res);
             }
-            Cp { d, r } | Cpc { d, r } => {
-                let c = if matches!(instr, Cpc { .. }) && self.flag(flags::C) { 1 } else { 0 };
+            Cp { d, r } => {
+                let dv = self.reg(d);
+                let rv = self.reg(r);
+                let res = dv.wrapping_sub(rv);
+                self.sub_flags(dv, rv, res, false);
+            }
+            Cpc { d, r } => {
+                let c = self.flag(flags::C) as u8;
                 let dv = self.reg(d);
                 let rv = self.reg(r);
                 let res = dv.wrapping_sub(rv).wrapping_sub(c);
-                self.sub_flags(dv, rv, res, matches!(instr, Cpc { .. }));
+                self.sub_flags(dv, rv, res, true);
             }
             Cpi { d, k } => {
                 let dv = self.reg(d);
@@ -594,17 +724,17 @@ impl<E: Env> Cpu<E> {
                 let res = (self.reg(d) as i8 as i16).wrapping_mul(self.reg(r) as i16) as u16;
                 self.mul_commit(res);
             }
-            Fmul { d, r } | Fmuls { d, r } | Fmulsu { d, r } => {
-                let prod: u16 = match instr {
-                    Fmul { .. } => self.reg(d) as u16 * self.reg(r) as u16,
-                    Fmuls { .. } => (self.reg(d) as i8 as i16 * self.reg(r) as i8 as i16) as u16,
-                    _ => (self.reg(d) as i8 as i16).wrapping_mul(self.reg(r) as i16) as u16,
-                };
-                let res = prod << 1;
-                self.set_flag(flags::C, prod & 0x8000 != 0);
-                self.set_flag(flags::Z, res == 0);
-                self.set_reg(Reg::R0, res as u8);
-                self.set_reg(Reg::R1, (res >> 8) as u8);
+            Fmul { d, r } => {
+                let prod = self.reg(d) as u16 * self.reg(r) as u16;
+                self.fmul_commit(prod);
+            }
+            Fmuls { d, r } => {
+                let prod = (self.reg(d) as i8 as i16 * self.reg(r) as i8 as i16) as u16;
+                self.fmul_commit(prod);
+            }
+            Fmulsu { d, r } => {
+                let prod = (self.reg(d) as i8 as i16).wrapping_mul(self.reg(r) as i16) as u16;
+                self.fmul_commit(prod);
             }
 
             // ── control flow ────────────────────────────────────────────
@@ -628,19 +758,27 @@ impl<E: Env> Cpu<E> {
                 let target = self.reg16(Reg::ZL) as u32;
                 extra = self.do_call(CallKind::Icall, pc0, target)?;
             }
-            Ret | Reti => {
+            Ret => {
                 let out = self.env.on_ret(self.sp)?;
                 self.sp = self.sp.wrapping_add(2);
                 self.pc = out.target & 0xffff;
                 extra = out.extra_cycles;
-                if matches!(instr, Reti) {
-                    self.set_flag(flags::I, true);
+            }
+            Reti => {
+                let out = self.env.on_ret(self.sp)?;
+                self.sp = self.sp.wrapping_add(2);
+                self.pc = out.target & 0xffff;
+                extra = out.extra_cycles;
+                self.set_flag(flags::I, true);
+            }
+            Brbs { s, k } => {
+                if self.flag(s) {
+                    self.pc = self.pc.wrapping_add(k as i32 as u32) & 0xffff;
+                    extra = 1;
                 }
             }
-            Brbs { s, k } | Brbc { s, k } => {
-                let set = self.flag(s);
-                let take = if matches!(instr, Brbs { .. }) { set } else { !set };
-                if take {
+            Brbc { s, k } => {
+                if !self.flag(s) {
                     self.pc = self.pc.wrapping_add(k as i32 as u32) & 0xffff;
                     extra = 1;
                 }
@@ -798,8 +936,18 @@ impl<E: Env> Cpu<E> {
         Ok(step)
     }
 
+    #[inline]
     fn mul_commit(&mut self, res: u16) {
         self.set_flag(flags::C, res & 0x8000 != 0);
+        self.set_flag(flags::Z, res == 0);
+        self.set_reg(Reg::R0, res as u8);
+        self.set_reg(Reg::R1, (res >> 8) as u8);
+    }
+
+    #[inline]
+    fn fmul_commit(&mut self, prod: u16) {
+        let res = prod << 1;
+        self.set_flag(flags::C, prod & 0x8000 != 0);
         self.set_flag(flags::Z, res == 0);
         self.set_reg(Reg::R0, res as u8);
         self.set_reg(Reg::R1, (res >> 8) as u8);

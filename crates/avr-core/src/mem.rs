@@ -322,6 +322,17 @@ impl Env for PlainEnv {
     fn next_irq_at(&self) -> Option<u64> {
         self.timer.as_ref().map(Timer::next_fire)
     }
+
+    // `check_fetch` keeps the never-faulting default: `fetch` cannot fail.
+    // That also makes every range trivially fetchable, forever (the epoch
+    // keeps its constant default).
+    fn check_fetch_range(&self, _start: WordAddr, _end: WordAddr) -> bool {
+        true
+    }
+
+    fn code_word(&self, pc: WordAddr) -> Option<u16> {
+        Some(self.flash.word(pc))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,163 @@
+//! Turbo-engine speedup bench: host wall-time of a fleet run stepped by the
+//! reference interpreter versus the `harbor-turbo` fast path at 64/256/512
+//! nodes. Turbo removes per-instruction fetch/decode work behind a
+//! predecoded page cache (shared across the fleet), so the simulated
+//! machines must stay *byte-identical* — the bench asserts equal cycle and
+//! instruction totals before reporting any wall-clock number — and the win
+//! should grow with fleet size as the shared image amortises across nodes.
+//!
+//! Methodology (shared with `blackbox_overhead`): the workload is an active
+//! fleet (Blink, Tree Routing and the patched Surge all firing every round),
+//! and the two modes run *interleaved*, taking the minimum over [`ITERS`]
+//! alternating pairs, so a host load spike penalises both modes rather than
+//! whichever happened to run under it. Results land in `BENCH_turbo.json`.
+//!
+//! ```sh
+//! cargo run --release -p harbor-bench --bin turbo_speedup -- --seed 7
+//! ```
+//!
+//! `--check` runs the CI gate instead of the timed bench: one small fleet
+//! in each mode, asserting turbo leaves the machines byte-identical *and*
+//! that the reference path's cycle total matches the golden value recorded
+//! below — i.e. having the turbo subsystem in the build (but disabled) does
+//! not perturb reference execution.
+
+use harbor::DomainId;
+use harbor_fleet::{Fleet, FleetConfig, NetConfig};
+use mini_sos::kernel::MSG_TIMER;
+use mini_sos::{modules, Protection};
+use std::time::Instant;
+
+const ROUNDS: u64 = 40;
+
+/// Alternating reference/turbo pairs per node count; each mode reports its
+/// minimum, which converges on the quiet-host time.
+const ITERS: usize = 16;
+
+struct Run {
+    wall_ms: f64,
+    cycles: u64,
+    instructions: u64,
+}
+
+/// One timed run, reference or turbo.
+fn run_once(nodes: usize, turbo: bool, seed: u64) -> Run {
+    let cfg = FleetConfig {
+        nodes,
+        protection: Protection::Umpu,
+        seed,
+        net: NetConfig { loss: 0.1, ..NetConfig::default() },
+        threads: 1, // serial: wall-time differences come from the engine only
+        turbo,
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::new(
+        &cfg,
+        &[modules::blink(0), modules::tree_routing(1), modules::surge_fixed(3, 1)],
+    )
+    .expect("fleet builds");
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        fleet.post_all(DomainId::num(0), MSG_TIMER);
+        fleet.post_all(DomainId::num(1), MSG_TIMER);
+        fleet.post_all(DomainId::num(3), MSG_TIMER);
+        fleet.step_round();
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let t = fleet.telemetry();
+    Run { wall_ms, cycles: t.total(|n| n.cycles), instructions: t.total(|n| n.instructions) }
+}
+
+/// Golden reference-mode cycle total for the `--check` fleet (32 nodes,
+/// seed `0x5c09e`, 40 rounds). If this drifts, something changed reference
+/// execution itself; update it only for an *intentional* workload or
+/// kernel change, never to paper over a turbo-side difference.
+const CHECK_NODES: usize = 32;
+const CHECK_REFERENCE_CYCLES: u64 = 414_848;
+
+/// The CI gate (`--check`): reference cycles pinned to the golden value,
+/// and turbo byte-identical to reference on the same fleet.
+fn check(seed: u64) {
+    let reference = run_once(CHECK_NODES, false, seed);
+    let turbo = run_once(CHECK_NODES, true, seed);
+    assert_eq!(
+        (reference.cycles, reference.instructions),
+        (turbo.cycles, turbo.instructions),
+        "turbo must not perturb the machines"
+    );
+    assert_eq!(
+        reference.cycles, CHECK_REFERENCE_CYCLES,
+        "reference cycle total drifted from the golden value; if the \
+         workload or kernel changed intentionally, update \
+         CHECK_REFERENCE_CYCLES in turbo_speedup.rs"
+    );
+    println!(
+        "turbo_speedup --check: ok ({} cycles, {} instructions, turbo identical)",
+        reference.cycles, reference.instructions
+    );
+}
+
+fn seed_from_args() -> u64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--seed" {
+            let v = args.next().expect("--seed needs a value");
+            return v.parse().expect("--seed must be a u64");
+        }
+    }
+    0x5c09e
+}
+
+fn main() {
+    let seed = seed_from_args();
+    if std::env::args().any(|a| a == "--check") {
+        check(seed);
+        return;
+    }
+    println!(
+        "turbo_speedup: seed={seed}, {ROUNDS} rounds per run, \
+         min over {ITERS} interleaved pairs, serial stepping\n"
+    );
+    println!(
+        "{:>6}  {:>12}  {:>10}  {:>8}  identical",
+        "nodes", "reference ms", "turbo ms", "speedup"
+    );
+
+    // Warm the allocator, decode table and caches before anything is timed.
+    run_once(64, true, seed);
+
+    let mut runs = Vec::new();
+    for nodes in [64usize, 256, 512] {
+        let mut reference = run_once(nodes, false, seed);
+        let mut turbo = run_once(nodes, true, seed);
+        for _ in 1..ITERS {
+            let r = run_once(nodes, false, seed);
+            let t = run_once(nodes, true, seed);
+            assert_eq!((r.cycles, r.instructions), (reference.cycles, reference.instructions));
+            assert_eq!((t.cycles, t.instructions), (turbo.cycles, turbo.instructions));
+            reference.wall_ms = reference.wall_ms.min(r.wall_ms);
+            turbo.wall_ms = turbo.wall_ms.min(t.wall_ms);
+        }
+        let identical =
+            reference.cycles == turbo.cycles && reference.instructions == turbo.instructions;
+        assert!(identical, "{nodes}-node run: turbo must not perturb the machines");
+        let speedup = reference.wall_ms / turbo.wall_ms;
+        println!(
+            "{nodes:>6}  {:>12.1}  {:>10.1}  {:>7.2}x  {identical}",
+            reference.wall_ms, turbo.wall_ms, speedup
+        );
+        runs.push(format!(
+            "{{\"nodes\":{nodes},\"rounds\":{ROUNDS},\
+             \"reference_ms\":{:.3},\"turbo_ms\":{:.3},\"speedup\":{:.3},\
+             \"cycles\":{},\"machine_identical\":{identical}}}",
+            reference.wall_ms, turbo.wall_ms, speedup, reference.cycles
+        ));
+    }
+
+    let json = format!(
+        "{{\"bench\":\"turbo_speedup\",\"seed\":{seed},\"iters\":{ITERS},\"runs\":[{}]}}",
+        runs.join(",")
+    );
+    std::fs::write("BENCH_turbo.json", &json).expect("write BENCH_turbo.json");
+    println!("\nwrote BENCH_turbo.json");
+}

@@ -75,6 +75,11 @@ pub struct FleetConfig {
     /// node's own telemetry each round. Like `scope`, the blackbox is
     /// observational: the simulated machines stay byte-identical.
     pub blackbox: Option<BlackboxConfig>,
+    /// Run every node through the `harbor-turbo` fast-path engine.
+    /// Execution is cycle-, state- and telemetry-identical either way
+    /// (regression-tested in `tests/fleet_turbo.rs`); turbo only removes
+    /// per-instruction fetch/decode work, so large fleets step faster.
+    pub turbo: bool,
 }
 
 /// Blackbox sizing for every node in the fleet: flight-recorder depth and
@@ -100,6 +105,7 @@ impl Default for FleetConfig {
             load_policy: None,
             scope: None,
             blackbox: None,
+            turbo: false,
         }
     }
 }
@@ -224,6 +230,14 @@ impl Fleet {
         })?;
         proto.boot().expect("prototype boots");
         proto.set_load_policy(cfg.load_policy);
+        // Enable on the *prototype*, before cloning: priming decodes the
+        // flash image once, and every node then shares it behind an `Arc`.
+        // Only ever enable here — a system built under `HARBOR_TURBO=1`
+        // already carries an engine, so the CI matrix leg covers the fleet
+        // path too.
+        if cfg.turbo && !proto.turbo_enabled() {
+            proto.set_turbo(true);
+        }
         let layout = proto.layout;
         let nodes = (0..cfg.nodes)
             .map(|i| {

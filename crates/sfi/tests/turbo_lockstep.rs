@@ -1,0 +1,134 @@
+//! Turbo-engine lockstep over SFI-sandboxed code. SFI's protection is
+//! *inline instructions* (check stubs the rewriter splices into the module),
+//! so the turbo engine needs no special handling: caching the decode of a
+//! check stub still executes the check. These tests prove it — the
+//! sandboxed store path, the cross-domain unwind and the software fault
+//! path are instruction-identical under turbo.
+
+use avr_asm::Asm;
+use avr_core::exec::{Cpu, Step};
+use avr_core::isa::{Ptr, PtrMode, Reg};
+use avr_core::mem::PlainEnv;
+use avr_core::Fault;
+use harbor::{fault_code, DomainId};
+use harbor_sfi::{rewrite, verify, SfiLayout, SfiRuntime, VerifierConfig};
+use harbor_turbo::TurboEngine;
+
+const RT_ORIGIN: u32 = 0x0040;
+const MOD_ORIGIN: u32 = 0x1000;
+const DOM: u8 = 2;
+const SEG: u16 = 0x0300;
+
+/// Builds the sandboxed machine from `sandbox.rs` (runtime + rewritten
+/// module + jump table + kernel driver), returning just the CPU.
+fn machine(body: impl FnOnce(&mut Asm)) -> Cpu<PlainEnv> {
+    let rt = SfiRuntime::build(SfiLayout::default_layout(), RT_ORIGIN);
+    let mut env = PlainEnv::new();
+    rt.install(&mut env.flash, &mut env.data);
+
+    let mut m = Asm::new();
+    body(&mut m);
+    let original = m.assemble(MOD_ORIGIN).unwrap();
+    let rewritten = rewrite(original.words(), MOD_ORIGIN, &[MOD_ORIGIN], MOD_ORIGIN, &rt)
+        .expect("module rewrites");
+    verify(rewritten.object.words(), MOD_ORIGIN, &VerifierConfig::for_runtime(&rt))
+        .expect("rewriter output verifies");
+    rewritten.object.load_into(&mut env.flash);
+
+    let entry = rewritten.translated(MOD_ORIGIN);
+    rt.set_code_bounds(
+        &mut env.data,
+        DomainId::num(DOM),
+        MOD_ORIGIN as u16,
+        rewritten.object.end() as u16,
+    );
+    let jt_entry = rt.layout().jt_base + DOM as u16 * 128;
+    let mut jt = Asm::new();
+    let t = jt.constant("entry", entry);
+    jt.rjmp(t);
+    jt.assemble(jt_entry as u32).unwrap().load_into(&mut env.flash);
+
+    let mut k = Asm::new();
+    let xdom = k.constant("xdom", rt.stub("harbor_xdom_call"));
+    k.call(xdom);
+    k.words(&[jt_entry]);
+    k.brk();
+    k.assemble(0).unwrap().load_into(&mut env.flash);
+
+    rt.host_set_segment(&mut env.data, DomainId::num(DOM), SEG, 32).unwrap();
+    Cpu::new(env)
+}
+
+fn assert_same_state(a: &Cpu<PlainEnv>, b: &Cpu<PlainEnv>, what: &str) {
+    assert_eq!(a.pc, b.pc, "{what}: pc");
+    assert_eq!(a.sp, b.sp, "{what}: sp");
+    assert_eq!(a.sreg, b.sreg, "{what}: sreg");
+    assert_eq!(a.regs, b.regs, "{what}: register file");
+    assert_eq!(a.cycles(), b.cycles(), "{what}: cycles");
+    assert_eq!(a.instructions(), b.instructions(), "{what}: instructions");
+    assert_eq!(a.env.data.sram(), b.env.data.sram(), "{what}: sram");
+}
+
+/// Steps both machines through the whole cross-domain round trip (driver →
+/// stub → rewritten module → unwind → BREAK), comparing after every single
+/// instruction: every check stub, every run-time routine, lockstep.
+#[test]
+fn sandboxed_round_trip_is_lockstep_identical() {
+    let mk = || {
+        machine(|a| {
+            a.ldi(Reg::R16, 0x42);
+            a.ldi(Reg::R26, (SEG & 0xff) as u8);
+            a.ldi(Reg::R27, (SEG >> 8) as u8);
+            a.st(Ptr::X, PtrMode::PostInc, Reg::R16);
+            a.inc(Reg::R16);
+            a.st(Ptr::X, PtrMode::Plain, Reg::R16);
+            a.ret();
+        })
+    };
+    let mut reference = mk();
+    let mut turbo_cpu = mk();
+    let mut turbo = TurboEngine::new();
+    for n in 0..100_000 {
+        let r = reference.step();
+        let t = turbo.step(&mut turbo_cpu, 0);
+        assert_eq!(r, t, "step {n}: outcome diverged");
+        assert_same_state(&reference, &turbo_cpu, &format!("step {n}"));
+        match r {
+            Ok(Step::Continue) => {}
+            Ok(Step::Break) => {
+                assert_eq!(reference.env.sram_byte(SEG), 0x42);
+                assert_eq!(reference.env.sram_byte(SEG + 1), 0x43);
+                assert!(turbo.stats().cached > 0, "fast path served instructions");
+                return;
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    panic!("did not reach break");
+}
+
+/// The software fault path (a store the inline check rejects, escalated
+/// through the run-time's panic port) faults at the same instruction with
+/// the same code and machine state under turbo.
+#[test]
+fn software_fault_is_identical_under_turbo() {
+    let mk = || {
+        machine(|a| {
+            a.ldi(Reg::R16, 1);
+            a.sts(SEG + 0x80, Reg::R16); // free (trusted-owned) block
+            a.ret();
+        })
+    };
+    let mut reference = mk();
+    let mut turbo_cpu = mk();
+    let mut turbo = TurboEngine::new();
+    let r = reference.run_to_break(1_000_000);
+    let t = turbo.run_to_break(&mut turbo_cpu, 0, 1_000_000);
+    match &r {
+        Err(Fault::Env(e)) => assert_eq!(e.code, fault_code::MEM_MAP),
+        other => panic!("expected MEM_MAP fault, got {other:?}"),
+    }
+    assert_eq!(r, t, "fault verdict diverged");
+    assert_same_state(&reference, &turbo_cpu, "at fault");
+    assert_eq!(reference.env.sram_byte(SEG + 0x80), 0, "store blocked in both");
+}

@@ -16,6 +16,7 @@ use harbor_scope::{
     ArchSnapshot, DomainProfiler, Event, Mechanism, RegionMap, ScopeSink, TraceSink,
 };
 use harbor_sfi::SfiRuntime;
+use harbor_turbo::{TurboEngine, TurboStats};
 use umpu::UmpuEnv;
 
 /// One protection fault the system observed, in the uniform
@@ -78,6 +79,14 @@ pub struct SosSystem {
     scope: Option<ScopeSink>,
     // Every protection fault observed, in order.
     faults: Vec<FaultRecord>,
+    // Monotonic count of host-side flash mutations (module install/unload,
+    // OTA reassembly) — the single invalidation signal for any cache keyed
+    // on flash contents. Bumped by `write_flash_object`/`write_jt_entry`,
+    // the two choke points every flash write goes through.
+    flash_generation: u64,
+    // The opt-in fast path; `None` (the default) runs the reference
+    // interpreter. Cycle-identical either way — see `DESIGN.md` §6.
+    turbo: Option<TurboEngine>,
 }
 
 impl SosSystem {
@@ -155,7 +164,7 @@ impl SosSystem {
             }
         };
 
-        Ok(SosSystem {
+        let mut sys = SosSystem {
             protection,
             layout,
             kernel,
@@ -166,7 +175,55 @@ impl SosSystem {
             load_policy: None,
             scope: None,
             faults: Vec::new(),
-        })
+            flash_generation: 0,
+            turbo: None,
+        };
+        if turbo_env_default() {
+            sys.set_turbo(true);
+        }
+        Ok(sys)
+    }
+
+    /// Enables or disables the turbo fast-path engine (`harbor-turbo`).
+    /// Execution is cycle-, event- and state-identical either way; turbo
+    /// only removes per-instruction fetch/decode work. The default follows
+    /// the `HARBOR_TURBO` environment variable (`1` = on), so the whole
+    /// test suite can run as a turbo matrix leg without code changes.
+    pub fn set_turbo(&mut self, on: bool) {
+        self.turbo = if on {
+            // Prime eagerly: the decoded image is shared (`Arc`) by every
+            // clone of this system, so a fleet built from one prototype
+            // reads a single cache-hot image across all its nodes.
+            let mut t = TurboEngine::new();
+            match &self.mach {
+                Mach::Plain(c) => t.prime(&c.env, self.flash_generation),
+                Mach::Umpu(c) => t.prime(&c.env, self.flash_generation),
+            }
+            Some(t)
+        } else {
+            None
+        };
+    }
+
+    /// Whether the turbo fast path is active.
+    pub fn turbo_enabled(&self) -> bool {
+        self.turbo.is_some()
+    }
+
+    /// The turbo engine's cache counters, if turbo is enabled.
+    pub fn turbo_stats(&self) -> Option<TurboStats> {
+        self.turbo.as_ref().map(TurboEngine::stats)
+    }
+
+    /// Monotonic count of host-side flash mutations. Every path that burns
+    /// flash on a booted system — [`SosSystem::install_module`],
+    /// [`SosSystem::unload_module`], OTA reassembly through `harbor-fleet` —
+    /// funnels through the two flash-write choke points, each of which bumps
+    /// this counter; observers caching anything derived from flash contents
+    /// (the turbo engine's decoded blocks) use it as their single
+    /// invalidation point.
+    pub fn flash_generation(&self) -> u64 {
+        self.flash_generation
     }
 
     /// Attaches a trace sink: from here on, every protection decision,
@@ -467,7 +524,7 @@ impl SosSystem {
         // Revoke the code region and reclaim owned memory.
         match &mut self.mach {
             Mach::Umpu(cpu) => {
-                cpu.env.tracker.code_regions[dom.index() as usize] = None;
+                cpu.env.clear_code_region(dom);
                 let mut map = cpu.env.memory_map_view();
                 let reclaimed = map.free_all_owned(dom);
                 let base = cpu.env.mmc.mem_map_base;
@@ -518,6 +575,7 @@ impl SosSystem {
     }
 
     fn write_flash_object(&mut self, obj: &avr_asm::Object) {
+        self.flash_generation += 1;
         match &mut self.mach {
             Mach::Plain(c) => obj.load_into(&mut c.env.flash),
             Mach::Umpu(c) => obj.load_into(&mut c.env.flash),
@@ -530,6 +588,7 @@ impl SosSystem {
         let word = avr_core::isa::encode(avr_core::isa::Instr::Rjmp { k: k as i16 })
             .expect("valid rjmp")
             .word0();
+        self.flash_generation += 1;
         match &mut self.mach {
             Mach::Plain(c) => c.env.flash.set_word(at, word),
             Mach::Umpu(c) => c.env.flash.set_word(at, word),
@@ -602,9 +661,12 @@ impl SosSystem {
     ///
     /// Any [`Fault`], including protection faults as [`Fault::Env`].
     pub fn run_to_break(&mut self, max_cycles: u64) -> Result<Step, Fault> {
-        let r = match &mut self.mach {
-            Mach::Plain(c) => c.run_to_break(max_cycles),
-            Mach::Umpu(c) => c.run_to_break(max_cycles),
+        let generation = self.flash_generation;
+        let r = match (&mut self.mach, &mut self.turbo) {
+            (Mach::Plain(c), Some(t)) => t.run_to_break(c, generation, max_cycles),
+            (Mach::Umpu(c), Some(t)) => t.run_to_break(c, generation, max_cycles),
+            (Mach::Plain(c), None) => c.run_to_break(max_cycles),
+            (Mach::Umpu(c), None) => c.run_to_break(max_cycles),
         };
         self.note_result(&r);
         r
@@ -616,9 +678,12 @@ impl SosSystem {
     ///
     /// Any [`Fault`].
     pub fn run_to_pc(&mut self, pc: WordAddr, max_cycles: u64) -> Result<Step, Fault> {
-        let r = match &mut self.mach {
-            Mach::Plain(c) => c.run_to_pc(pc, max_cycles),
-            Mach::Umpu(c) => c.run_to_pc(pc, max_cycles),
+        let generation = self.flash_generation;
+        let r = match (&mut self.mach, &mut self.turbo) {
+            (Mach::Plain(c), Some(t)) => t.run_to_pc(c, generation, pc, max_cycles),
+            (Mach::Umpu(c), Some(t)) => t.run_to_pc(c, generation, pc, max_cycles),
+            (Mach::Plain(c), None) => c.run_to_pc(pc, max_cycles),
+            (Mach::Umpu(c), None) => c.run_to_pc(pc, max_cycles),
         };
         self.note_result(&r);
         r
@@ -985,4 +1050,10 @@ impl SosSystem {
         }
         out
     }
+}
+
+/// Initial turbo state for freshly built systems: on when `HARBOR_TURBO=1`
+/// is set, so CI can run the entire suite as a turbo matrix leg.
+fn turbo_env_default() -> bool {
+    std::env::var_os("HARBOR_TURBO").is_some_and(|v| v == "1")
 }

@@ -1,0 +1,396 @@
+//! The turbo engine: a generation-keyed predecoded-page cache over the
+//! decode table, stepping the reference CPU without per-instruction
+//! fetch/decode work.
+//!
+//! # Cycle-identity contract
+//!
+//! Every [`TurboEngine::step`] performs *exactly* the reference
+//! [`Cpu::step`] sequence, with cached decode substituted for fetch+decode:
+//!
+//! 1. [`Cpu::begin_step`] — cycle latch into the environment, then interrupt
+//!    dispatch (identical to the reference; the page lookup simply restarts
+//!    at the vector).
+//! 2. The fetch-side protection check, in one of two equivalent forms:
+//!    * a cached **whole-page grant** — [`Env::check_fetch_range`] proved
+//!      once, under the current [`Env::cfi_epoch`], that every word of the
+//!      256-word page passes [`Env::check_fetch`]; granted checks are
+//!      side-effect free, so skipping their re-execution is unobservable;
+//!    * otherwise, per-word [`Env::check_fetch`] on the instruction's first
+//!      word — and on its second word for two-word instructions — in the
+//!      same order the reference `fetch` calls would run, so a protection
+//!      environment raises the same CFI fault at the same word with the
+//!      same trace events.
+//! 3. [`Cpu::exec_decoded`] with the cached instruction — the same execute
+//!    match, cycle accounting and counters as the reference.
+//!
+//! Anything the cache cannot serve (an environment without
+//! [`Env::code_word`], a reserved encoding) falls back to
+//! [`Cpu::step_tail`], the literal reference tail, so faults like
+//! [`Fault::IllegalOpcode`] are byte-identical too. Per-store MMC checks,
+//! safe-stack arbitration and I/O side effects all still run through the
+//! environment on every instruction — only fetch/decode bookkeeping is
+//! hoisted out of the per-instruction path.
+//!
+//! # Cache organisation
+//!
+//! Decoded code lives in 256-word **pages** (a flat `pc → instruction`
+//! array, so a lookup is two dependent loads with no tag compare). A
+//! freshly built system may be [`TurboEngine::prime`]d with a complete
+//! decoded image, which is shared behind an `Arc`: a fleet clones one
+//! prototype to hundreds of nodes, and every node then reads the *same*
+//! cache-hot image instead of carrying its own copy. A node whose flash
+//! diverges (OTA install, hot load) drops to a private, lazily decoded
+//! page table.
+//!
+//! # Invalidation
+//!
+//! Flash is only mutable host-side (the simulated CPU has no `SPM`), so a
+//! single generation counter — bumped by the host on every flash write, see
+//! `SosSystem::flash_generation` — is a sufficient invalidation signal: the
+//! engine drops its pages whenever the caller's generation differs from the
+//! one they were decoded under. Fetch-check state changes (a domain switch,
+//! an `OUT` to the UMPU config ports) are tracked separately and more
+//! cheaply, through [`Env::cfi_epoch`]: they expire the cached page grants,
+//! not the decoded pages.
+
+use crate::table::DecodeTable;
+use avr_core::exec::{Cpu, Env, Step};
+use avr_core::isa::Instr;
+use avr_core::mem::FLASH_WORDS;
+use avr_core::{Fault, WordAddr};
+use std::sync::Arc;
+
+/// log2 of the page size, in words.
+const PAGE_SHIFT: usize = 8;
+/// Decoded-page size in words.
+const PAGE_WORDS: usize = 1 << PAGE_SHIFT;
+/// Number of pages covering the 64k-word flash.
+const PAGES: usize = FLASH_WORDS >> PAGE_SHIFT;
+
+/// One predecoded flash word. `words == 0` marks an unservable slot (a
+/// reserved encoding, or no raw code view) that must take the reference
+/// fallback path.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    instr: Instr,
+    words: u8,
+}
+
+const EMPTY_SLOT: Slot = Slot { instr: Instr::Nop, words: 0 };
+
+/// A decoded 256-word span of flash. Every slot holds the instruction that
+/// would execute if the PC landed on that word — including "middle" words
+/// of two-word instructions, which decode exactly as the reference would
+/// decode a jump into them.
+type Page = [Slot; PAGE_WORDS];
+
+/// A complete decoded flash image at one generation, shared (`Arc`) across
+/// every engine cloned from the same prototype.
+#[derive(Debug)]
+struct SharedImage {
+    generation: u64,
+    // Fixed-size, so a lookup indexed by `(pc & 0xffff) >> PAGE_SHIFT` is
+    // provably in bounds — no per-step bounds check.
+    pages: Box<[Page; PAGES]>,
+}
+
+/// Running totals for the engine (test/bench introspection).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TurboStats {
+    /// Instructions served from the decoded-page cache.
+    pub cached: u64,
+    /// Instructions executed through the reference fallback path.
+    pub fallback: u64,
+    /// Pages decoded (256 per primed image, plus lazy rebuilds after
+    /// invalidation).
+    pub blocks_built: u64,
+    /// Whole-cache invalidations caused by a generation change.
+    pub invalidations: u64,
+}
+
+/// The fast-path execution engine. One per CPU; the decode table behind it
+/// is a process-wide static shared by every engine, and a primed engine
+/// additionally shares its decoded image with every clone.
+#[derive(Debug, Clone)]
+pub struct TurboEngine {
+    /// Complete decoded image from [`TurboEngine::prime`], if the flash has
+    /// not diverged from it since.
+    shared: Option<Arc<SharedImage>>,
+    /// Lazily decoded private pages (used when there is no shared image).
+    private: Box<[Option<Box<Page>>; PAGES]>,
+    /// Cached whole-page fetch grants: `cfi_epoch + 1` at grant time, so 0
+    /// means "not granted". A stale stamp re-runs the range check.
+    page_grant: Box<[u64; PAGES]>,
+    generation: u64,
+    stats: TurboStats,
+}
+
+impl Default for TurboEngine {
+    fn default() -> Self {
+        TurboEngine::new()
+    }
+}
+
+impl TurboEngine {
+    /// Creates an engine with a cold cache (and forces the global decode
+    /// table to exist, so first-step latency is table-free).
+    pub fn new() -> TurboEngine {
+        DecodeTable::global();
+        TurboEngine {
+            shared: None,
+            private: Box::new([const { None }; PAGES]),
+            page_grant: Box::new([0; PAGES]),
+            generation: 0,
+            stats: TurboStats::default(),
+        }
+    }
+
+    /// Cache/bookkeeping counters so far.
+    pub const fn stats(&self) -> TurboStats {
+        self.stats
+    }
+
+    /// Eagerly decodes the environment's entire flash into a shared image
+    /// tagged with `generation`. Clones of a primed engine (fleet prototype
+    /// cloning) share the image behind an `Arc`, so a 512-node fleet reads
+    /// one cache-hot copy instead of decoding — and carrying — 512. A
+    /// no-op for environments without a raw code view.
+    pub fn prime<E: Env>(&mut self, env: &E, generation: u64) {
+        if env.code_word(0).is_none() {
+            return;
+        }
+        let Ok(pages) = Box::<[Page; PAGES]>::try_from(
+            (0..PAGES).map(|pi| build_page(env, pi)).collect::<Vec<Page>>().into_boxed_slice(),
+        ) else {
+            unreachable!("one page per flash page");
+        };
+        self.stats.blocks_built += PAGES as u64;
+        self.generation = generation;
+        self.shared = Some(Arc::new(SharedImage { generation, pages }));
+        for p in self.private.iter_mut() {
+            *p = None;
+        }
+    }
+
+    /// Drops every cached page if `generation` differs from the one the
+    /// cache was decoded under (the host bumps its generation on any flash
+    /// write; see the module docs). A primed engine whose image is from an
+    /// older generation falls back to private lazy decoding.
+    pub fn sync_generation(&mut self, generation: u64) {
+        if self.generation != generation {
+            self.generation = generation;
+            if self.shared.as_ref().is_some_and(|img| img.generation != generation) {
+                self.shared = None;
+            }
+            for p in self.private.iter_mut() {
+                *p = None;
+            }
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Executes exactly one reference step (see the module docs for the
+    /// sequence). `generation` is the caller's current flash generation.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the faults [`Cpu::step`] would raise, with identical CPU
+    /// state, cycle counts and protection-event streams.
+    pub fn step<E: Env>(&mut self, cpu: &mut Cpu<E>, generation: u64) -> Result<Step, Fault> {
+        self.sync_generation(generation);
+        self.step_synced(cpu)
+    }
+
+    /// Runs until `BREAK`/`SLEEP`, mirroring [`Cpu::run_to_break`] (including
+    /// its post-step cycle-limit check).
+    ///
+    /// # Errors
+    ///
+    /// As [`Cpu::run_to_break`].
+    pub fn run_to_break<E: Env>(
+        &mut self,
+        cpu: &mut Cpu<E>,
+        generation: u64,
+        max_cycles: u64,
+    ) -> Result<Step, Fault> {
+        self.sync_generation(generation);
+        let limit = cpu.cycles().saturating_add(max_cycles);
+        // Pin the shared image for the whole run (flash only mutates
+        // host-side, between runs), so the per-step path is a direct page
+        // lookup with no `Option` dispatch or pointer re-chasing.
+        if let Some(img) = self.shared.clone() {
+            let pages: &[Page; PAGES] = &img.pages;
+            loop {
+                match self.step_with_image(cpu, pages)? {
+                    Step::Continue => {}
+                    s => return Ok(s),
+                }
+                if cpu.cycles() > limit {
+                    return Err(Fault::CycleLimit { cycles: cpu.cycles() });
+                }
+            }
+        }
+        loop {
+            match self.step_synced(cpu)? {
+                Step::Continue => {}
+                s => return Ok(s),
+            }
+            if cpu.cycles() > limit {
+                return Err(Fault::CycleLimit { cycles: cpu.cycles() });
+            }
+        }
+    }
+
+    /// Runs until the PC reaches `stop_pc`, mirroring [`Cpu::run_to_pc`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Cpu::run_to_pc`].
+    pub fn run_to_pc<E: Env>(
+        &mut self,
+        cpu: &mut Cpu<E>,
+        generation: u64,
+        stop_pc: WordAddr,
+        max_cycles: u64,
+    ) -> Result<Step, Fault> {
+        self.sync_generation(generation);
+        let limit = cpu.cycles().saturating_add(max_cycles);
+        if let Some(img) = self.shared.clone() {
+            let pages: &[Page; PAGES] = &img.pages;
+            while cpu.pc != stop_pc {
+                match self.step_with_image(cpu, pages)? {
+                    Step::Continue => {}
+                    s => return Ok(s),
+                }
+                if cpu.cycles() > limit {
+                    return Err(Fault::CycleLimit { cycles: cpu.cycles() });
+                }
+            }
+            return Ok(Step::Continue);
+        }
+        while cpu.pc != stop_pc {
+            match self.step_synced(cpu)? {
+                Step::Continue => {}
+                s => return Ok(s),
+            }
+            if cpu.cycles() > limit {
+                return Err(Fault::CycleLimit { cycles: cpu.cycles() });
+            }
+        }
+        Ok(Step::Continue)
+    }
+
+    #[inline]
+    fn step_synced<E: Env>(&mut self, cpu: &mut Cpu<E>) -> Result<Step, Fault> {
+        cpu.begin_step()?;
+        let pc = cpu.pc;
+        // Flash wraps at 64k words (as `Flash::word` does), so the cache
+        // index does too; `pc` itself stays raw, matching the reference.
+        let idx = (pc as usize) & (FLASH_WORDS - 1);
+        // Both indices are masked to their table sizes, so every lookup
+        // below is provably in bounds.
+        let (pi, off) = ((idx >> PAGE_SHIFT) & (PAGES - 1), idx & (PAGE_WORDS - 1));
+        let slot = match &self.shared {
+            Some(img) => img.pages[pi][off],
+            None => match &mut self.private[pi] {
+                Some(p) => p[off],
+                p @ None => {
+                    self.stats.blocks_built += 1;
+                    p.insert(Box::new(build_page(&cpu.env, pi)))[off]
+                }
+            },
+        };
+        if slot.words == 0 {
+            // Unservable word (no raw code view, or a reserved encoding):
+            // run the literal reference tail so faults are byte-identical.
+            self.stats.fallback += 1;
+            return cpu.step_tail();
+        }
+        self.fetch_checked(cpu, pi, off, pc, slot.words)?;
+        self.stats.cached += 1;
+        cpu.exec_decoded(pc, slot.instr)
+    }
+
+    /// [`TurboEngine::step_synced`] with the shared image pre-resolved by
+    /// the caller's run loop: the page lookup is two dependent loads off a
+    /// pinned data pointer, with no `Option` dispatch.
+    #[inline(always)]
+    fn step_with_image<E: Env>(
+        &mut self,
+        cpu: &mut Cpu<E>,
+        pages: &[Page; PAGES],
+    ) -> Result<Step, Fault> {
+        cpu.begin_step()?;
+        let pc = cpu.pc;
+        let idx = (pc as usize) & (FLASH_WORDS - 1);
+        let (pi, off) = ((idx >> PAGE_SHIFT) & (PAGES - 1), idx & (PAGE_WORDS - 1));
+        let slot = pages[pi][off];
+        if slot.words == 0 {
+            self.stats.fallback += 1;
+            return cpu.step_tail();
+        }
+        self.fetch_checked(cpu, pi, off, pc, slot.words)?;
+        self.stats.cached += 1;
+        cpu.exec_decoded(pc, slot.instr)
+    }
+
+    /// Fetch-side protection for one cached instruction: a still-valid
+    /// whole-page grant covers the check (granted checks have no observable
+    /// effects); otherwise try to (re)establish one, and failing that,
+    /// check word by word exactly as the reference fetch path would.
+    #[inline(always)]
+    fn fetch_checked<E: Env>(
+        &mut self,
+        cpu: &mut Cpu<E>,
+        pi: usize,
+        off: usize,
+        pc: WordAddr,
+        words: u8,
+    ) -> Result<(), Fault> {
+        let stamp = cpu.env.cfi_epoch().wrapping_add(1);
+        if self.page_grant[pi] == stamp {
+            if words == 2 && off == PAGE_WORDS - 1 {
+                // Second word spills into the next page; check it alone.
+                cpu.env.check_fetch(pc.wrapping_add(1))?;
+            }
+            return Ok(());
+        }
+        let start = (pi << PAGE_SHIFT) as WordAddr;
+        if cpu.env.check_fetch_range(start, start + PAGE_WORDS as WordAddr) {
+            self.page_grant[pi] = stamp;
+            if words == 2 && off == PAGE_WORDS - 1 {
+                cpu.env.check_fetch(pc.wrapping_add(1))?;
+            }
+        } else {
+            cpu.env.check_fetch(pc)?;
+            if words == 2 {
+                cpu.env.check_fetch(pc.wrapping_add(1))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Decodes one 256-word page through the shared decode table. Slots the
+/// table rejects (reserved encodings) — or that the environment offers no
+/// raw view of — stay unservable and take the fallback path at run time.
+fn build_page<E: Env>(env: &E, pi: usize) -> Page {
+    let table = DecodeTable::global();
+    let mut page = [EMPTY_SLOT; PAGE_WORDS];
+    for (i, slot) in page.iter_mut().enumerate() {
+        let pc = ((pi << PAGE_SHIFT) + i) as WordAddr;
+        let Some(w0) = env.code_word(pc) else { continue };
+        let w1 = if table.is_two_word(w0) {
+            match env.code_word(pc.wrapping_add(1)) {
+                Some(w1) => w1,
+                None => continue,
+            }
+        } else {
+            0
+        };
+        if let Some((instr, words)) = table.decode(w0, w1) {
+            *slot = Slot { instr, words };
+        }
+    }
+    page
+}

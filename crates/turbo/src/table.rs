@@ -1,0 +1,134 @@
+//! The 64k-entry decode table: every possible first opcode word, predecoded.
+//!
+//! The reference interpreter decodes each fetched word through
+//! [`avr_core::isa::decode`]'s nested match chain. The table replaces that
+//! with one array index: for one-word instructions the slot holds the fully
+//! decoded [`Instr`]; for the four two-word instructions (`JMP`, `CALL`,
+//! `LDS`, `STS`) it holds the operand fields that come from the first word,
+//! and [`DecodeTable::decode`] patches in the second word. The table is
+//! built once per process (first use) from the reference decoder itself, so
+//! it cannot diverge from the oracle — and an exhaustive unit test proves
+//! slot-for-slot equivalence anyway.
+
+use avr_core::isa::{self, Instr, Reg};
+use std::sync::OnceLock;
+
+/// One predecoded table slot.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// A complete one-word instruction.
+    One(Instr),
+    /// `JMP` with the first word's address bits already shifted into place;
+    /// the full target is `hi | w1`.
+    Jmp { hi: u32 },
+    /// `CALL`, same split as [`Slot::Jmp`].
+    Call { hi: u32 },
+    /// `LDS Rd, k` — `k` is the second word verbatim.
+    Lds { d: Reg },
+    /// `STS k, Rr` — `k` is the second word verbatim.
+    Sts { r: Reg },
+    /// Reserved or unsupported encoding.
+    Illegal,
+}
+
+/// The full 64k-entry predecode table. Build it once with
+/// [`DecodeTable::global`] and share it across every engine (it is immutable
+/// after construction, so one static serves a whole fleet).
+#[derive(Debug)]
+pub struct DecodeTable {
+    slots: Vec<Slot>,
+}
+
+impl DecodeTable {
+    fn build() -> DecodeTable {
+        let mut slots = Vec::with_capacity(0x1_0000);
+        for w0 in 0..=0xffffu16 {
+            let slot = if isa::is_two_word(w0) {
+                // Decode with a zero second word, then remember which fields
+                // the second word supplies.
+                match isa::decode(w0, Some(0)) {
+                    Ok(Instr::Jmp { k }) => Slot::Jmp { hi: k },
+                    Ok(Instr::Call { k }) => Slot::Call { hi: k },
+                    Ok(Instr::Lds { d, .. }) => Slot::Lds { d },
+                    Ok(Instr::Sts { r, .. }) => Slot::Sts { r },
+                    _ => Slot::Illegal,
+                }
+            } else {
+                match isa::decode(w0, None) {
+                    Ok(i) => Slot::One(i),
+                    Err(_) => Slot::Illegal,
+                }
+            };
+            slots.push(slot);
+        }
+        DecodeTable { slots }
+    }
+
+    /// The process-wide table, built on first use.
+    pub fn global() -> &'static DecodeTable {
+        static TABLE: OnceLock<DecodeTable> = OnceLock::new();
+        TABLE.get_or_init(DecodeTable::build)
+    }
+
+    /// Whether `w0` begins a two-word instruction (table-driven
+    /// [`isa::is_two_word`]).
+    #[inline]
+    pub fn is_two_word(&self, w0: u16) -> bool {
+        matches!(
+            self.slots[w0 as usize],
+            Slot::Jmp { .. } | Slot::Call { .. } | Slot::Lds { .. } | Slot::Sts { .. }
+        )
+    }
+
+    /// Table-driven decode: the instruction and its word count, or `None`
+    /// for a reserved encoding. `w1` is ignored for one-word instructions,
+    /// so callers may pass anything when `is_two_word` is false.
+    #[inline]
+    pub fn decode(&self, w0: u16, w1: u16) -> Option<(Instr, u8)> {
+        match self.slots[w0 as usize] {
+            Slot::One(i) => Some((i, 1)),
+            Slot::Jmp { hi } => Some((Instr::Jmp { k: hi | w1 as u32 }, 2)),
+            Slot::Call { hi } => Some((Instr::Call { k: hi | w1 as u32 }, 2)),
+            Slot::Lds { d } => Some((Instr::Lds { d, k: w1 }, 2)),
+            Slot::Sts { r } => Some((Instr::Sts { k: w1, r }, 2)),
+            Slot::Illegal => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The table must agree with the reference decoder on every first word,
+    /// for several second words exercising all operand bits.
+    #[test]
+    fn exhaustive_equivalence_with_reference_decoder() {
+        let t = DecodeTable::global();
+        for w0 in 0..=0xffffu16 {
+            assert_eq!(t.is_two_word(w0), isa::is_two_word(w0), "is_two_word({w0:#06x})");
+            for w1 in [0x0000u16, 0xffff, 0x1234, 0x8001] {
+                let reference = if isa::is_two_word(w0) {
+                    isa::decode(w0, Some(w1)).ok()
+                } else {
+                    isa::decode(w0, None).ok()
+                };
+                let table = t.decode(w0, w1).map(|(i, _)| i);
+                assert_eq!(table, reference, "decode({w0:#06x}, {w1:#06x})");
+                if !isa::is_two_word(w0) {
+                    break; // w1 is irrelevant; one probe suffices
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn word_counts_match_the_isa() {
+        let t = DecodeTable::global();
+        for w0 in 0..=0xffffu16 {
+            if let Some((i, words)) = t.decode(w0, 0) {
+                assert_eq!(words as u32, i.words(), "words({w0:#06x})");
+            }
+        }
+    }
+}

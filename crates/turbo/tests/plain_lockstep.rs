@@ -1,0 +1,238 @@
+//! Instruction-by-instruction lockstep of the turbo engine against the
+//! reference interpreter on the plain (protection-free) machine: identical
+//! registers, PC, SP, SREG, SRAM, cycle counts and fault behaviour.
+
+use avr_core::exec::{Cpu, Step};
+use avr_core::isa::{Instr, Ptr, PtrMode, Reg};
+use avr_core::mem::{PlainEnv, Timer};
+use avr_core::Fault;
+use harbor_turbo::TurboEngine;
+
+fn machine(prog: &[Instr]) -> Cpu<PlainEnv> {
+    let mut env = PlainEnv::new();
+    env.load_program(0, prog);
+    Cpu::new(env)
+}
+
+fn assert_same_state(a: &Cpu<PlainEnv>, b: &Cpu<PlainEnv>, what: &str) {
+    assert_eq!(a.pc, b.pc, "{what}: pc");
+    assert_eq!(a.sp, b.sp, "{what}: sp");
+    assert_eq!(a.sreg, b.sreg, "{what}: sreg");
+    assert_eq!(a.regs, b.regs, "{what}: register file");
+    assert_eq!(a.cycles(), b.cycles(), "{what}: cycles");
+    assert_eq!(a.instructions(), b.instructions(), "{what}: instructions");
+    assert_eq!(a.idle_cycles(), b.idle_cycles(), "{what}: idle cycles");
+    assert_eq!(a.env.data.sram(), b.env.data.sram(), "{what}: sram");
+    assert_eq!(a.env.debug_out, b.env.debug_out, "{what}: debug out");
+}
+
+/// Steps both machines to completion in lockstep, comparing after every
+/// instruction, and returns the terminal outcome (which must also agree).
+fn lockstep(prog: &[Instr], max_steps: usize) -> Result<Step, Fault> {
+    let mut reference = machine(prog);
+    let mut turbo_cpu = machine(prog);
+    let mut turbo = TurboEngine::new();
+    for n in 0..max_steps {
+        let r = reference.step();
+        let t = turbo.step(&mut turbo_cpu, 0);
+        assert_eq!(r, t, "step {n}: outcome diverged");
+        assert_same_state(&reference, &turbo_cpu, &format!("step {n}"));
+        match r {
+            Ok(Step::Continue) => {}
+            other => return other,
+        }
+    }
+    panic!("program did not terminate in {max_steps} steps");
+}
+
+#[test]
+fn arithmetic_loop_is_lockstep_identical() {
+    // A counting loop exercising ALU flags, a conditional branch taken and
+    // not taken, and stores through the MMC-free bus.
+    let prog = [
+        Instr::Ldi { d: Reg::R16, k: 0 },
+        Instr::Ldi { d: Reg::R17, k: 10 },
+        // loop:
+        Instr::Inc { d: Reg::R16 },
+        Instr::Sts { k: 0x0100, r: Reg::R16 },
+        Instr::Cp { d: Reg::R16, r: Reg::R17 },
+        Instr::Brbc { s: 1, k: -5 }, // brne loop (Z clear)
+        Instr::Break,
+    ];
+    let out = lockstep(&prog, 200);
+    assert_eq!(out, Ok(Step::Break));
+}
+
+#[test]
+fn calls_returns_and_stack_are_lockstep_identical() {
+    let prog = [
+        Instr::Ldi { d: Reg::R24, k: 7 },
+        Instr::Rcall { k: 1 }, // -> subroutine at word 3
+        Instr::Break,
+        // subroutine:
+        Instr::Push { r: Reg::R24 },
+        Instr::Inc { d: Reg::R24 },
+        Instr::Pop { d: Reg::R25 },
+        Instr::Ret,
+    ];
+    let out = lockstep(&prog, 100);
+    assert_eq!(out, Ok(Step::Break));
+}
+
+#[test]
+fn two_word_instructions_are_lockstep_identical() {
+    let prog = [
+        Instr::Ldi { d: Reg::R20, k: 0x5a },
+        Instr::Sts { k: 0x0200, r: Reg::R20 },
+        Instr::Lds { d: Reg::R21, k: 0x0200 },
+        Instr::Jmp { k: 9 },   // words 5-6 -> the CALL at word 9
+        Instr::Nop,            // word 7: skipped by the jump
+        Instr::Nop,            // word 8
+        Instr::Call { k: 12 }, // words 9-10 -> the RET at word 12
+        Instr::Break,          // word 11
+        Instr::Ret,            // word 12
+    ];
+    let out = lockstep(&prog, 100);
+    assert_eq!(out, Ok(Step::Break));
+}
+
+#[test]
+fn skips_over_two_word_instructions_are_lockstep_identical() {
+    let prog = [
+        Instr::Ldi { d: Reg::R16, k: 1 },
+        Instr::Sbrs { r: Reg::R16, b: 0 }, // bit set: skip the 2-word STS
+        Instr::Sts { k: 0x0100, r: Reg::R16 },
+        Instr::Sbrc { r: Reg::R16, b: 1 }, // bit clear: skip the 1-word INC
+        Instr::Inc { d: Reg::R16 },
+        Instr::Cpse { d: Reg::R16, r: Reg::R16 }, // equal: skip
+        Instr::Ldi { d: Reg::R16, k: 0xff },
+        Instr::Break,
+    ];
+    let out = lockstep(&prog, 100);
+    assert_eq!(out, Ok(Step::Break));
+}
+
+#[test]
+fn indirect_memory_modes_are_lockstep_identical() {
+    let prog = [
+        Instr::Ldi { d: Reg::R26, k: 0x00 }, // X = 0x0100
+        Instr::Ldi { d: Reg::R27, k: 0x01 },
+        Instr::Ldi { d: Reg::R16, k: 0xaa },
+        Instr::St { ptr: Ptr::X, mode: PtrMode::PostInc, r: Reg::R16 },
+        Instr::St { ptr: Ptr::X, mode: PtrMode::PostInc, r: Reg::R16 },
+        Instr::Ld { d: Reg::R17, ptr: Ptr::X, mode: PtrMode::PreDec },
+        Instr::Ldi { d: Reg::R28, k: 0x04 }, // Y = 0x0104
+        Instr::Ldi { d: Reg::R29, k: 0x01 },
+        Instr::Std { ptr: Ptr::Y, q: 3, r: Reg::R17 },
+        Instr::Ldd { d: Reg::R18, ptr: Ptr::Y, q: 3 },
+        Instr::Break,
+    ];
+    let out = lockstep(&prog, 100);
+    assert_eq!(out, Ok(Step::Break));
+}
+
+#[test]
+fn timer_interrupts_and_sleep_are_lockstep_identical() {
+    // Vector at 0 jumps over the handler; handler increments r20 and RETIs;
+    // main enables I, sleeps repeatedly, so every wake-up path (IRQ dispatch
+    // + SLEEP fast-forward) runs through both engines.
+    let prog = [
+        Instr::Jmp { k: 4 }, // reset -> main (word 4)
+        Instr::Nop,          // word 2: irq vector
+        Instr::Inc { d: Reg::R20 },
+        Instr::Reti,
+        // main (word 4):
+        Instr::Bset { s: 7 }, // sei
+        Instr::Sleep,
+        Instr::Sleep,
+        Instr::Sleep,
+        Instr::Break,
+    ];
+    let mk = || {
+        let mut env = PlainEnv::new();
+        env.load_program(0, &prog);
+        env.timer = Some(Timer::new(50, 2));
+        Cpu::new(env)
+    };
+    let mut reference = mk();
+    let mut turbo_cpu = mk();
+    let mut turbo = TurboEngine::new();
+    for n in 0..500 {
+        let r = reference.step();
+        let t = turbo.step(&mut turbo_cpu, 0);
+        assert_eq!(r, t, "step {n}");
+        assert_same_state(&reference, &turbo_cpu, &format!("step {n}"));
+        if r == Ok(Step::Break) {
+            assert!(reference.reg(Reg::R20) >= 3, "handler ran per sleep");
+            return;
+        }
+    }
+    panic!("did not reach break");
+}
+
+#[test]
+fn illegal_opcode_faults_identically() {
+    let mut env_a = PlainEnv::new();
+    env_a.load_program(0, &[Instr::Nop]);
+    env_a.flash.set_word(1, 0x0001); // reserved encoding
+    let env_b = env_a.clone();
+    let mut reference = Cpu::new(env_a);
+    let mut turbo_cpu = Cpu::new(env_b);
+    let mut turbo = TurboEngine::new();
+    assert_eq!(reference.step(), Ok(Step::Continue));
+    assert_eq!(turbo.step(&mut turbo_cpu, 0), Ok(Step::Continue));
+    let r = reference.step();
+    let t = turbo.step(&mut turbo_cpu, 0);
+    assert_eq!(r, Err(Fault::IllegalOpcode { pc: 1, word: 0x0001 }));
+    assert_eq!(t, r, "fault verdict diverged");
+    assert_same_state(&reference, &turbo_cpu, "after fault");
+}
+
+#[test]
+fn generation_bump_invalidates_cached_code() {
+    // Execute a loop, then patch flash host-side and bump the generation:
+    // the engine must see the new code immediately (stale blocks dropped).
+    let prog = [Instr::Ldi { d: Reg::R16, k: 1 }, Instr::Rjmp { k: -2 }];
+    let mut cpu = machine(&prog);
+    let mut turbo = TurboEngine::new();
+    for _ in 0..8 {
+        turbo.step(&mut cpu, 1).unwrap();
+    }
+    assert!(turbo.stats().blocks_built >= 1);
+    // Host rewrites word 0 to a BREAK, bumps the generation.
+    cpu.env.flash.load_program(0, &[Instr::Break]);
+    cpu.pc = 0;
+    let out = turbo.step(&mut cpu, 2).unwrap();
+    assert_eq!(out, Step::Break, "engine executed the patched instruction");
+    assert!(turbo.stats().invalidations >= 2, "generation change invalidated the cache");
+}
+
+#[test]
+fn run_to_break_matches_reference_cycle_limit_behaviour() {
+    let prog = [Instr::Ldi { d: Reg::R16, k: 1 }, Instr::Rjmp { k: -2 }];
+    let mut reference = machine(&prog);
+    let mut turbo_cpu = machine(&prog);
+    let mut turbo = TurboEngine::new();
+    let r = reference.run_to_break(1000);
+    let t = turbo.run_to_break(&mut turbo_cpu, 0, 1000);
+    assert!(matches!(r, Err(Fault::CycleLimit { .. })));
+    assert_eq!(r, t, "cycle-limit fault diverged");
+    assert_same_state(&reference, &turbo_cpu, "after cycle limit");
+}
+
+#[test]
+fn run_to_pc_matches_reference() {
+    let prog = [
+        Instr::Ldi { d: Reg::R16, k: 3 },
+        Instr::Dec { d: Reg::R16 },
+        Instr::Brbc { s: 1, k: -2 },
+        Instr::Break,
+    ];
+    let mut reference = machine(&prog);
+    let mut turbo_cpu = machine(&prog);
+    let mut turbo = TurboEngine::new();
+    let r = reference.run_to_pc(3, 10_000);
+    let t = turbo.run_to_pc(&mut turbo_cpu, 0, 3, 10_000);
+    assert_eq!(r, t);
+    assert_same_state(&reference, &turbo_cpu, "at stop pc");
+}

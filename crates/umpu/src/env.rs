@@ -111,6 +111,10 @@ pub struct UmpuEnv {
     // Cycle stamp latched from `Env::set_now` for event timestamps.
     now: u64,
     enabled: bool,
+    // Bumped on every mutation of fetch-check state (`enabled`, active
+    // domain, code regions, jump-table geometry) — the `Env::cfi_epoch`
+    // stamp that lets the fast path cache whole-range fetch grants.
+    cfi_epoch: u64,
     // Staging registers for the code-region configuration ports.
     code_select: u8,
     code_start: u16,
@@ -138,6 +142,7 @@ impl UmpuEnv {
             scope: None,
             now: 0,
             enabled: false,
+            cfi_epoch: 0,
             code_select: 0,
             code_start: 0,
             code_end: 0,
@@ -147,6 +152,13 @@ impl UmpuEnv {
     /// Whether the UMPU checks are enabled.
     pub const fn enabled(&self) -> bool {
         self.enabled
+    }
+
+    // Every mutation of state the fetch check reads must go through here;
+    // a missed bump would let the fast path keep honouring a stale
+    // whole-page fetch grant (see `Env::cfi_epoch`).
+    fn bump_cfi(&mut self) {
+        self.cfi_epoch = self.cfi_epoch.wrapping_add(1);
     }
 
     /// Host-side one-shot configuration + enable (the kernel-boot
@@ -173,11 +185,13 @@ impl UmpuEnv {
             self.data.write(cfg.mem_map_base + i as u16, b).expect("map table fits in RAM");
         }
         self.enabled = true;
+        self.bump_cfi();
     }
 
     /// Forces the active domain (kernel boot / test setup).
     pub fn set_current_domain(&mut self, d: DomainId) {
         self.tracker.current = d;
+        self.bump_cfi();
     }
 
     /// Resets the control-flow protection state to a clean trusted context
@@ -186,6 +200,7 @@ impl UmpuEnv {
     /// corruption is detected"). Memory and the memory map are untouched.
     pub fn recover_to_trusted(&mut self) {
         self.tracker.current = DomainId::TRUSTED;
+        self.bump_cfi();
         self.tracker.stack_bound = RAMEND;
         self.tracker.clear_frames();
         self.safe_stack.ptr = self.safe_stack.base;
@@ -232,6 +247,13 @@ impl UmpuEnv {
     /// Registers a domain's code region for the fetch-decoder check.
     pub fn set_code_region(&mut self, d: DomainId, start_word: u16, end_word: u16) {
         self.tracker.code_regions[d.index() as usize] = Some((start_word, end_word));
+        self.bump_cfi();
+    }
+
+    /// Clears a domain's code region (module unload).
+    pub fn clear_code_region(&mut self, d: DomainId) {
+        self.tracker.code_regions[d.index() as usize] = None;
+        self.bump_cfi();
     }
 
     /// A golden-model view of the memory-map table currently in RAM.
@@ -361,6 +383,9 @@ impl UmpuEnv {
             };
             return Err(self.raise(f));
         }
+        // Config-port writes are rare (kernel boot, loader); any of them may
+        // change fetch-check state, so bump unconditionally.
+        self.bump_cfi();
         let set_lo = |r: &mut u16, v: u8| *r = (*r & 0xff00) | v as u16;
         let set_hi = |r: &mut u16, v: u8| *r = (*r & 0x00ff) | ((v as u16) << 8);
         match port {
@@ -460,6 +485,11 @@ impl Env for UmpuEnv {
     }
 
     fn fetch(&mut self, pc: WordAddr) -> Result<u16, Fault> {
+        self.check_fetch(pc)?;
+        Ok(self.flash.word(pc))
+    }
+
+    fn check_fetch(&mut self, pc: WordAddr) -> Result<(), Fault> {
         if self.enabled && !self.tracker.fetch_allowed(pc as u16) {
             let f = ProtectionFault::CfiViolation {
                 pc: pc as u16,
@@ -467,7 +497,37 @@ impl Env for UmpuEnv {
             };
             return Err(self.raise(f));
         }
-        Ok(self.flash.word(pc))
+        Ok(())
+    }
+
+    fn code_word(&self, pc: WordAddr) -> Option<u16> {
+        Some(self.flash.word(pc))
+    }
+
+    fn cfi_epoch(&self) -> u64 {
+        self.cfi_epoch
+    }
+
+    fn check_fetch_range(&self, start: WordAddr, end: WordAddr) -> bool {
+        // The range form of `DomainTrackerUnit::fetch_allowed`: the whole
+        // range must sit inside one of the granted intervals (disabled or
+        // trusted = all of flash; otherwise the jump tables or the active
+        // domain's code region). A range straddling interval boundaries
+        // reports `false` and the caller re-checks word by word.
+        if !self.enabled || self.tracker.current.is_trusted() {
+            return true;
+        }
+        let jt_start = self.tracker.jt_base as u32;
+        let jt_end = jt_start + self.tracker.jt_domains as u32 * 128;
+        // `jt_end <= 0xffff` keeps this the conservative subset of the
+        // per-word check, whose u16 arithmetic a wrapping geometry derails.
+        if jt_end <= 0xffff && start >= jt_start && end <= jt_end {
+            return true;
+        }
+        match self.tracker.code_regions[self.tracker.current.index() as usize] {
+            Some((s, e)) => start >= s as u32 && end <= e as u32,
+            None => false,
+        }
     }
 
     fn flash_byte(&mut self, byte_addr: u32) -> u8 {
@@ -562,6 +622,7 @@ impl Env for UmpuEnv {
                 return Err(self.raise(f));
             }
             self.tracker.current = DomainId::TRUSTED;
+            self.bump_cfi();
             self.tracker.stack_bound = ev.sp;
             let ptr = self.safe_stack.ptr;
             self.emit(EventKind::SafeStackPush, |c| Event::SafeStackPush {
@@ -619,6 +680,7 @@ impl Env for UmpuEnv {
                     return Err(self.raise(f));
                 }
                 self.tracker.current = callee;
+                self.bump_cfi();
                 self.tracker.stack_bound = ev.sp;
                 let ptr = self.safe_stack.ptr;
                 let entry =
@@ -669,6 +731,7 @@ impl Env for UmpuEnv {
                 Err(f) => return Err(self.raise(f)),
             };
             self.tracker.current = DomainId::new(dom & 7).expect("3-bit id");
+            self.bump_cfi();
             self.tracker.stack_bound = bound;
             let ptr = self.safe_stack.ptr;
             self.emit(EventKind::SafeStackPop, |c| Event::SafeStackPop {

@@ -14,6 +14,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q"
 cargo test --workspace -q
 
+echo "== cargo test -q (HARBOR_TURBO=1 matrix leg)"
+# Same systems, stepped through the harbor-turbo fast path: every identity
+# and kernel test must pass with the engine substituted in.
+HARBOR_TURBO=1 cargo test -q -p mini-sos -p harbor-sfi -p harbor-fleet -p harbor-repro
+
+echo "== turbo_speedup --check"
+# Gate: reference cycles pinned to the golden value (the turbo subsystem,
+# when disabled, must not perturb reference execution), and turbo
+# byte-identical to reference on the same fleet.
+cargo run -q -p harbor-bench --bin turbo_speedup -- --check
+
 echo "== harbor-flow lint-modules -D"
 cargo run -q -p harbor-flow --bin lint-modules -- -D
 
