@@ -200,6 +200,37 @@ pub trait Env {
     fn check_fetch_range(&self, _start: WordAddr, _end: WordAddr) -> bool {
         false
     }
+
+    /// [`Env::sram_write`] with the word address of the *store instruction*
+    /// attached — the check-elision hook. `certified` is `true` when the
+    /// caller already knows `pc` holds a statically certified store (a
+    /// fast-path slot whose elision bit is baked in); an environment with a
+    /// store certificate may then skip its memory-map walk, but must remain
+    /// byte-identical to the full check (same result, same stall cycles,
+    /// same protection events). The default ignores the extra context.
+    ///
+    /// # Errors
+    ///
+    /// Exactly when [`Env::sram_write`] at the same `addr` would fault.
+    fn sram_write_at(
+        &mut self,
+        pc: WordAddr,
+        addr: u16,
+        v: u8,
+        certified: bool,
+    ) -> Result<u8, Fault> {
+        let _ = (pc, certified);
+        self.sram_write(addr, v)
+    }
+
+    /// Whether the store instruction at `pc` is covered by a static store
+    /// certificate under the current protection state. Fast-path page
+    /// builders bake this into decoded slots; the stamp discipline is the
+    /// same as for fetch grants — pages are rebuilt when the backing state
+    /// changes. The default (`false`) opts out of elision.
+    fn store_certified(&self, _pc: WordAddr) -> bool {
+        false
+    }
 }
 
 /// One retired instruction, as recorded by [`Cpu::step_traced`].
@@ -247,6 +278,7 @@ pub struct Cpu<E> {
     cycles: u64,
     instrs: u64,
     idle_cycles: u64,
+    store_hint: bool,
 }
 
 impl<E: Env> Cpu<E> {
@@ -263,7 +295,18 @@ impl<E: Env> Cpu<E> {
             cycles: 0,
             instrs: 0,
             idle_cycles: 0,
+            store_hint: false,
         }
+    }
+
+    /// Marks the *next* store executed by [`Cpu::exec_decoded`] as
+    /// statically certified: its SRAM write is routed to
+    /// [`Env::sram_write_at`] with `certified = true`. Consumed (reset to
+    /// `false`) by the next data-space write; a fast path sets it from the
+    /// decoded slot's elision bit immediately before dispatch.
+    #[inline]
+    pub fn set_store_hint(&mut self, certified: bool) {
+        self.store_hint = certified;
     }
 
     /// Total cycles executed so far.
@@ -346,6 +389,22 @@ impl<E: Env> Cpu<E> {
             }
             0x20..=0x5f => self.io_out((addr - 0x20) as u8, v),
             _ => self.env.sram_write(addr, v),
+        }
+    }
+
+    /// [`Cpu::data_write`] for the store instructions (`st`/`std`/`sts`),
+    /// carrying the instruction's own word address and the pending
+    /// certification hint down to the environment.
+    #[inline]
+    fn data_write_at(&mut self, pc: WordAddr, addr: u16, v: u8) -> Result<u8, Fault> {
+        let certified = core::mem::take(&mut self.store_hint);
+        match addr {
+            0x00..=0x1f => {
+                self.regs[addr as usize] = v;
+                Ok(0)
+            }
+            0x20..=0x5f => self.io_out((addr - 0x20) as u8, v),
+            _ => self.env.sram_write_at(pc, addr, v, certified),
         }
     }
 
@@ -818,7 +877,7 @@ impl<E: Env> Cpu<E> {
             St { ptr, mode, r } => {
                 let v = self.reg(r);
                 let addr = self.ptr_access(ptr, mode);
-                extra = self.data_write(addr, v)?;
+                extra = self.data_write_at(pc0, addr, v)?;
             }
             Ldd { d, ptr, q } => {
                 let addr = self.reg16(ptr.lo()).wrapping_add(q as u16);
@@ -828,7 +887,7 @@ impl<E: Env> Cpu<E> {
             Std { ptr, q, r } => {
                 let v = self.reg(r);
                 let addr = self.reg16(ptr.lo()).wrapping_add(q as u16);
-                extra = self.data_write(addr, v)?;
+                extra = self.data_write_at(pc0, addr, v)?;
             }
             Lds { d, k } => {
                 let v = self.data_read(k)?;
@@ -836,7 +895,7 @@ impl<E: Env> Cpu<E> {
             }
             Sts { k, r } => {
                 let v = self.reg(r);
-                extra = self.data_write(k, v)?;
+                extra = self.data_write_at(pc0, k, v)?;
             }
             Lpm0 => {
                 let v = self.env.flash_byte(self.reg16(Reg::ZL) as u32);

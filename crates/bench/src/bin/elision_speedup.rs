@@ -1,0 +1,129 @@
+//! Store-check elision speedup bench: host wall-time of a turbo-stepped
+//! UMPU fleet with the memory-map-checker walk *elided* on certified stores
+//! versus the same fleet with the full dynamic check, at 64/256/512 nodes.
+//! Both modes run the turbo fast path, so the delta isolates what the
+//! `harbor-flow` store certificate buys on top of predecoding — and because
+//! elision is semantics-preserving, the simulated machines must stay
+//! byte-identical (asserted on every run before any wall-clock number is
+//! reported).
+//!
+//! The workload is deliberately store-dominated (`modules::stress_store`
+//! sweeping its own state segment every tick, with Blink and Tree Routing
+//! along for realism): the elision win scales with the fraction of executed
+//! instructions that are certified stores.
+//!
+//! Methodology (shared with `turbo_speedup`): interleaved pairs, minimum
+//! over [`ITERS`] iterations, serial stepping. Results land in
+//! `BENCH_prove.json`. Run with `--release` — debug builds re-run the full
+//! check under `debug_assert!` on every elided store, which is the
+//! soundness harness, not the fast path.
+//!
+//! ```sh
+//! cargo run --release -p harbor-bench --bin elision_speedup -- --seed 7
+//! ```
+
+use harbor::DomainId;
+use harbor_fleet::{Fleet, FleetConfig, NetConfig};
+use mini_sos::kernel::MSG_TIMER;
+use mini_sos::{modules, Protection};
+use std::time::Instant;
+
+const ROUNDS: u64 = 40;
+
+/// Alternating baseline/elision pairs per node count; each mode reports its
+/// minimum, which converges on the quiet-host time.
+const ITERS: usize = 16;
+
+struct Run {
+    wall_ms: f64,
+    cycles: u64,
+    instructions: u64,
+}
+
+/// One timed run: turbo always on, elision per `prove`.
+fn run_once(nodes: usize, prove: bool, seed: u64) -> Run {
+    let cfg = FleetConfig {
+        nodes,
+        protection: Protection::Umpu,
+        seed,
+        net: NetConfig { loss: 0.1, ..NetConfig::default() },
+        threads: 1, // serial: wall-time differences come from the store path only
+        turbo: true,
+        prove,
+        ..FleetConfig::default()
+    };
+    let mut fleet =
+        Fleet::new(&cfg, &[modules::blink(0), modules::tree_routing(1), modules::stress_store(2)])
+            .expect("fleet builds");
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        fleet.post_all(DomainId::num(0), MSG_TIMER);
+        fleet.post_all(DomainId::num(1), MSG_TIMER);
+        fleet.post_all(DomainId::num(2), MSG_TIMER);
+        fleet.step_round();
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let t = fleet.telemetry();
+    Run { wall_ms, cycles: t.total(|n| n.cycles), instructions: t.total(|n| n.instructions) }
+}
+
+fn seed_from_args() -> u64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--seed" {
+            let v = args.next().expect("--seed needs a value");
+            return v.parse().expect("--seed must be a u64");
+        }
+    }
+    0x5c09e
+}
+
+fn main() {
+    let seed = seed_from_args();
+    println!(
+        "elision_speedup: seed={seed}, {ROUNDS} rounds per run, \
+         min over {ITERS} interleaved pairs, turbo on in both modes\n"
+    );
+    println!(
+        "{:>6}  {:>12}  {:>10}  {:>8}  identical",
+        "nodes", "turbo-only ms", "elision ms", "speedup"
+    );
+
+    // Warm the allocator, decode table and caches before anything is timed.
+    run_once(64, true, seed);
+
+    let mut runs = Vec::new();
+    for nodes in [64usize, 256, 512] {
+        let mut baseline = run_once(nodes, false, seed);
+        let mut elision = run_once(nodes, true, seed);
+        for _ in 1..ITERS {
+            let b = run_once(nodes, false, seed);
+            let e = run_once(nodes, true, seed);
+            assert_eq!((b.cycles, b.instructions), (baseline.cycles, baseline.instructions));
+            assert_eq!((e.cycles, e.instructions), (elision.cycles, elision.instructions));
+            baseline.wall_ms = baseline.wall_ms.min(b.wall_ms);
+            elision.wall_ms = elision.wall_ms.min(e.wall_ms);
+        }
+        let identical =
+            baseline.cycles == elision.cycles && baseline.instructions == elision.instructions;
+        assert!(identical, "{nodes}-node run: elision must not perturb the machines");
+        let speedup = baseline.wall_ms / elision.wall_ms;
+        println!(
+            "{nodes:>6}  {:>12.1}  {:>10.1}  {:>7.2}x  {identical}",
+            baseline.wall_ms, elision.wall_ms, speedup
+        );
+        runs.push(format!(
+            "{{\"nodes\":{nodes},\"rounds\":{ROUNDS},\
+             \"turbo_only_ms\":{:.3},\"elision_ms\":{:.3},\"speedup\":{:.3},\
+             \"cycles\":{},\"machine_identical\":{identical}}}",
+            baseline.wall_ms, elision.wall_ms, speedup, baseline.cycles
+        ));
+    }
+
+    let json = format!(
+        "{{\"bench\":\"elision_speedup\",\"seed\":{seed},\"iters\":{ITERS},\"runs\":[{}]}}",
+        runs.join(",")
+    );
+    std::fs::write("BENCH_prove.json", &json).expect("write BENCH_prove.json");
+    println!("\nwrote BENCH_prove.json");
+}

@@ -1,0 +1,202 @@
+//! `harbor-prove`: the store-certificate inspection tool and CI gate.
+//!
+//! Default mode prints, for every in-tree module admitted into a UMPU
+//! system, the `harbor-flow` store certificate the loader derives: how many
+//! stores the dataflow pass proved to land inside the module's own state
+//! segment (and may therefore skip the memory-map-checker walk), plus the
+//! certificate digest. The table feeds `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run --release -p harbor-bench --bin harbor_prove
+//! ```
+//!
+//! `--check` runs the CI gate instead:
+//!
+//! 1. **determinism** — two independently built systems must derive
+//!    byte-identical certificates (same digests, same counts);
+//! 2. **elision floor** — every module's elision rate is pinned to a golden
+//!    floor below; a drop means the dataflow pass lost precision;
+//! 3. **identity** — a small fleet stepped with elision on is byte-identical
+//!    to the reference run (and, in debug builds, every elided store re-runs
+//!    the full dynamic check under `debug_assert!` parity).
+
+use harbor::DomainId;
+use harbor_fleet::{Fleet, FleetConfig, NetConfig};
+use mini_sos::kernel::MSG_TIMER;
+use mini_sos::{modules, Protection, SosSystem};
+
+/// The workload whose certificates the tool reports: every demo module that
+/// can live in a UMPU system side by side.
+fn workload() -> Vec<mini_sos::loader::ModuleSource> {
+    vec![
+        modules::blink(0),
+        modules::tree_routing(1),
+        modules::stress_store(2),
+        modules::surge_fixed(3, 1),
+        modules::producer(4, 5),
+        modules::consumer(5, 4),
+    ]
+}
+
+/// Golden per-module elision-rate floors (fraction of static stores the
+/// dataflow pass certifies). `surge_fixed`, `producer` and `consumer` store
+/// through malloc'd or cross-domain pointers, which are *correctly* refused
+/// — only their direct state writes certify. Update a floor only for an
+/// intentional module or analysis change, never to paper over a precision
+/// regression.
+const FLOORS: &[(&str, f64)] = &[
+    ("blink", 1.0),
+    ("tree_routing", 1.0),
+    ("stress_store", 1.0),
+    ("surge_fixed", 0.80),
+    ("producer", 0.75),
+    ("consumer", 1.0),
+];
+
+struct Row {
+    name: &'static str,
+    domain: u8,
+    certified: u32,
+    total: u32,
+    digest: u64,
+}
+
+/// Builds one UMPU system over the workload with elision on and collects
+/// the per-module certificate rows (in domain order, like the loader).
+fn derive() -> Vec<Row> {
+    let sources = workload();
+    let names: Vec<(&'static str, u8)> =
+        sources.iter().map(|s| (s.name, s.domain.index())).collect();
+    let mut sys = SosSystem::build(Protection::Umpu, &sources, |a, api| {
+        api.run_scheduler(a);
+        a.brk();
+    })
+    .expect("workload builds");
+    sys.set_prove(true);
+    let (certs, _) = sys.store_certificates();
+    certs
+        .iter()
+        .map(|(dom, c)| {
+            let &(name, domain) = names
+                .iter()
+                .find(|(_, d)| *d == dom.index())
+                .expect("certificate for an unknown domain");
+            Row {
+                name,
+                domain,
+                certified: c.certified_stores,
+                total: c.total_stores,
+                digest: c.digest,
+            }
+        })
+        .collect()
+}
+
+fn rate(r: &Row) -> f64 {
+    if r.total == 0 {
+        1.0
+    } else {
+        f64::from(r.certified) / f64::from(r.total)
+    }
+}
+
+/// The CI gate: determinism, pinned floors, fleet identity.
+fn check() {
+    // 1. Determinism: independent builds, identical certificates.
+    let a = derive();
+    let b = derive();
+    assert_eq!(a.len(), b.len(), "certificate count diverged between builds");
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(
+            (x.name, x.certified, x.total, x.digest),
+            (y.name, y.certified, y.total, y.digest),
+            "certificate for `{}` is not deterministic",
+            x.name
+        );
+    }
+
+    // 2. Elision floors.
+    for row in &a {
+        let &(_, floor) = FLOORS
+            .iter()
+            .find(|(n, _)| *n == row.name)
+            .unwrap_or_else(|| panic!("no pinned floor for module `{}`", row.name));
+        assert!(
+            rate(row) >= floor,
+            "`{}` elision rate {:.3} fell below the pinned floor {floor:.3} \
+             ({}/{} stores certified); the dataflow pass lost precision",
+            row.name,
+            rate(row),
+            row.certified,
+            row.total,
+        );
+    }
+
+    // 3. Fleet identity: elision on == reference, byte for byte. In debug
+    //    builds this also exercises the per-store `debug_assert!` parity.
+    let run = |prove: bool| {
+        let cfg = FleetConfig {
+            nodes: 8,
+            protection: Protection::Umpu,
+            seed: 0x5c09e,
+            net: NetConfig { loss: 0.1, ..NetConfig::default() },
+            threads: 1,
+            prove,
+            ..FleetConfig::default()
+        };
+        let mut fleet = Fleet::new(
+            &cfg,
+            &[modules::blink(0), modules::tree_routing(1), modules::stress_store(2)],
+        )
+        .expect("fleet builds");
+        for _ in 0..12 {
+            for dom in [0, 1, 2] {
+                fleet.post_all(DomainId::num(dom), MSG_TIMER);
+            }
+            fleet.step_round();
+        }
+        fleet.telemetry().comparable_json()
+    };
+    assert_eq!(run(false), run(true), "elision perturbed the fleet");
+
+    let certified: u32 = a.iter().map(|r| r.certified).sum();
+    let total: u32 = a.iter().map(|r| r.total).sum();
+    println!(
+        "harbor_prove --check: ok ({} modules, {certified}/{total} stores certified, \
+         deterministic, fleet identical)",
+        a.len()
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--check") {
+        check();
+        return;
+    }
+    let rows = derive();
+    println!(
+        "{:<14} {:>6} {:>10} {:>7} {:>6}  digest",
+        "module", "domain", "certified", "total", "rate"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>6} {:>10} {:>7} {:>5.1}%  {:#018x}",
+            r.name,
+            r.domain,
+            r.certified,
+            r.total,
+            rate(r) * 100.0,
+            r.digest
+        );
+    }
+    let certified: u32 = rows.iter().map(|r| r.certified).sum();
+    let total: u32 = rows.iter().map(|r| r.total).sum();
+    println!(
+        "{:<14} {:>6} {:>10} {:>7} {:>5.1}%",
+        "(all)",
+        "-",
+        certified,
+        total,
+        100.0 * f64::from(certified) / f64::from(total.max(1))
+    );
+}

@@ -80,6 +80,13 @@ pub struct FleetConfig {
     /// (regression-tested in `tests/fleet_turbo.rs`); turbo only removes
     /// per-instruction fetch/decode work, so large fleets step faster.
     pub turbo: bool,
+    /// Enable certified store-check elision (`harbor-prove`) on every node.
+    /// Under the UMPU build, admission derives a `harbor-flow` store
+    /// certificate per module and statically proven stores skip the
+    /// memory-map-checker walk. Execution is cycle-, state- and
+    /// telemetry-identical either way (regression-tested in
+    /// `tests/fleet_prove.rs`); a no-op under the other builds.
+    pub prove: bool,
 }
 
 /// Blackbox sizing for every node in the fleet: flight-recorder depth and
@@ -106,6 +113,7 @@ impl Default for FleetConfig {
             scope: None,
             blackbox: None,
             turbo: false,
+            prove: false,
         }
     }
 }
@@ -235,6 +243,11 @@ impl Fleet {
         // Only ever enable here — a system built under `HARBOR_TURBO=1`
         // already carries an engine, so the CI matrix leg covers the fleet
         // path too.
+        // Prove before turbo: the decoded pages bake the elision bit, so
+        // the map must be published before the engine primes.
+        if cfg.prove && !proto.prove_enabled() {
+            proto.set_prove(true);
+        }
         if cfg.turbo && !proto.turbo_enabled() {
             proto.set_turbo(true);
         }

@@ -4,10 +4,11 @@
 //! binary cannot depend on (the loader depends on this crate).
 //!
 //! ```text
-//! lint-modules [-D] [--dot DIR]
-//!   -D         treat any lint finding (or verify failure) as an error
-//!   --dot DIR  export each module's CFG and the cross-domain call graph
-//!              as Graphviz dot files into DIR
+//! lint-modules [-D|--deny] [--dot DIR]
+//!   -D, --deny  treat any lint finding (or verify failure) as an error
+//!               (nonzero exit)
+//!   --dot DIR   export each module's CFG and the cross-domain call graph
+//!               as Graphviz dot files into DIR
 //! ```
 
 use avr_asm::Asm;
@@ -87,7 +88,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "-D" => deny = true,
+            "-D" | "--deny" => deny = true,
             "--dot" => dot_dir = Some(args.next().expect("--dot needs a directory")),
             other => {
                 eprintln!("unknown argument: {other}");

@@ -22,19 +22,28 @@
 //!   cross-domain calls charged at the safe-stack frame cost) emitting a
 //!   per-module [`StackCertificate`] that the `mini-sos` loader can gate
 //!   on *before* a module ever executes;
-//! * [`lint`] — non-fatal findings (unreachable blocks, unbalanced
-//!   push/pop, skip-into-operand, call-depth overflow), printed by the
-//!   `lint-modules` binary alongside dot exports of the CFG and the
-//!   cross-domain call graph.
+//! * [`dataflow`] — an interprocedural abstract interpretation tracking
+//!   per-register value intervals and pointer provenance, emitting a
+//!   per-PC [`StoreCertificate`] of stores statically proven to land
+//!   inside the module's own segment — the input to run-time check
+//!   elision in `umpu`, `sfi` and `turbo` (see `DESIGN.md` §7);
+//! * [`lint`] — non-fatal findings with stable `HF####` diagnostic codes
+//!   (unreachable blocks, unbalanced push/pop, skip-into-operand,
+//!   call-depth overflow), printed by the `lint-modules` binary alongside
+//!   dot exports of the CFG and the cross-domain call graph.
 
 #![warn(missing_docs)]
 
 pub mod cfg;
+pub mod dataflow;
 pub mod lint;
 pub mod stack;
 pub mod verify;
 
 pub use cfg::{Block, CallEdge, Cfg, Slot, XdomSite};
+pub use dataflow::{
+    certify_module_stores, certify_stores, DataflowConfig, Interval, Provenance, StoreCertificate,
+};
 pub use lint::{lint, Lint};
 pub use stack::{analyze_stack, certify, StackAnalysis, StackCertificate};
 pub use verify::{CfgVerifier, ModuleAnalysis};

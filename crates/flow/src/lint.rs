@@ -5,6 +5,12 @@
 //! eventually trips the safe-stack overflow check, a skip into an operand
 //! is already a verify error), but a clean module build should produce
 //! none, so `lint-modules -D` treats any finding as an error in CI.
+//!
+//! Every finding carries a **stable diagnostic code** (`HF0001`-style,
+//! [`Lint::code`]) that tooling may match on; the codes are append-only —
+//! a code is never reused or renumbered, even if its lint is retired. The
+//! rendered form is pinned by the snapshot test in
+//! `tests/lint_snapshot.rs`.
 
 use crate::cfg::Cfg;
 use crate::stack::analyze_stack;
@@ -46,8 +52,23 @@ pub enum Lint {
     },
 }
 
+impl Lint {
+    /// The finding's stable diagnostic code. Codes are append-only: never
+    /// reused, never renumbered (tooling and suppression lists match on
+    /// them).
+    pub const fn code(&self) -> &'static str {
+        match self {
+            Lint::UnreachableBlock { .. } => "HF0001",
+            Lint::UnbalancedPushPop { .. } => "HF0002",
+            Lint::SkipIntoOperand { .. } => "HF0003",
+            Lint::CallDepthOverflow { .. } => "HF0004",
+        }
+    }
+}
+
 impl fmt::Display for Lint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.code())?;
         match *self {
             Lint::UnreachableBlock { start } => {
                 write!(f, "unreachable block at {start:#06x}")

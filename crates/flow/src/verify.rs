@@ -25,7 +25,7 @@ use crate::lint::{lint, Lint};
 use crate::stack::{certify, StackCertificate};
 use avr_core::isa::{Instr, IwPair, Reg};
 use harbor_sfi::{SfiRuntime, StubRole, VerifierConfig, VerifyError};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Does `i` write register `reg`? Used by the store-check-window proof
 /// (conservative: unknown instructions write nothing).
@@ -124,6 +124,17 @@ impl CfgVerifier {
         &self.config
     }
 
+    /// This verifier with `set` allow-listed as certified raw stores (see
+    /// [`harbor_sfi::VerifierConfig`]'s `certified_raw_stores`): both
+    /// verification phases then accept those — and only those — raw store
+    /// instructions. Callers must populate `set` exclusively from a
+    /// certificate derived by [`CfgVerifier::certify_stores`] on the same
+    /// image.
+    pub fn allowing_raw_stores(mut self, set: BTreeSet<u32>) -> CfgVerifier {
+        self.config.certified_raw_stores = set;
+        self
+    }
+
     /// Role of the stub a resolved call/jump target names, if any.
     pub(crate) fn role_of(&self, target: u32) -> Option<StubRole> {
         self.roles.get(&target).copied()
@@ -189,6 +200,38 @@ impl CfgVerifier {
     ) -> Result<StackCertificate, VerifyError> {
         let cfg = Cfg::build(words, origin, entries, &self.config)?;
         Ok(certify(&cfg, self))
+    }
+
+    /// Derives the [`crate::dataflow::StoreCertificate`] of a *rewritten*
+    /// image against the segment `[seg_base, seg_base + seg_len)`, with
+    /// stub knowledge from this verifier's role table: `harbor_save_ret`
+    /// preserves all registers, the store-check stubs preserve everything
+    /// but the pointer pairs, every other out-of-module call havocs the
+    /// whole file. The loader uses this to *independently* re-derive the
+    /// certificate a rewriter claims — correctness never depends on the
+    /// rewriter.
+    ///
+    /// # Errors
+    ///
+    /// Only the decode-level errors from [`Cfg::build`].
+    pub fn certify_stores(
+        &self,
+        words: &[u16],
+        origin: u32,
+        entries: &[u32],
+        seg_base: u16,
+        seg_len: u16,
+    ) -> Result<crate::dataflow::StoreCertificate, VerifyError> {
+        let cfg = Cfg::build(words, origin, entries, &self.config)?;
+        let mut dc = crate::dataflow::DataflowConfig::for_segment(seg_base, seg_len);
+        for (&addr, &role) in &self.roles {
+            if role == StubRole::SaveRet {
+                dc.transparent_calls.insert(addr);
+            } else if role.is_store_check() {
+                dc.pointer_clobber_calls.insert(addr);
+            }
+        }
+        Ok(crate::dataflow::certify_stores(&cfg, &dc))
     }
 
     /// Phase 2: the flow-sensitive properties, over reachable code only

@@ -1,0 +1,281 @@
+//! Targeted tests of the store-safety dataflow pass: what it certifies,
+//! what it must refuse, and that its output is deterministic.
+
+use avr_asm::Asm;
+use avr_core::isa::{IwPair, Ptr, PtrMode, Reg};
+use harbor_flow::dataflow::certify_module_stores;
+
+const ORIGIN: u32 = 0x1000;
+const SEG: u16 = 0x0300;
+const SEG_LEN: u16 = 32;
+
+fn cert_of(asm: Asm) -> harbor_flow::StoreCertificate {
+    let obj = asm.assemble(ORIGIN).expect("test module assembles");
+    certify_module_stores(obj.words(), ORIGIN, &[ORIGIN], SEG, SEG_LEN).expect("image decodes")
+}
+
+/// Word address of the `n`-th store-shaped instruction in the image.
+fn store_addrs(words: &[u16], origin: u32) -> Vec<u32> {
+    use avr_core::isa::{decode, Instr};
+    let mut out = Vec::new();
+    let mut idx = 0usize;
+    while idx < words.len() {
+        let addr = origin + idx as u32;
+        let i = decode(words[idx], words.get(idx + 1).copied()).expect("decodes");
+        if matches!(i, Instr::St { .. } | Instr::Std { .. } | Instr::Sts { .. }) {
+            out.push(addr);
+        }
+        idx += i.words() as usize;
+    }
+    out
+}
+
+#[test]
+fn constant_sts_inside_segment_is_certified() {
+    let mut a = Asm::new();
+    a.ldi(Reg::R16, 1);
+    a.sts(SEG + 4, Reg::R16);
+    a.ret();
+    let c = cert_of(a);
+    assert_eq!((c.total_stores, c.certified_stores), (1, 1));
+}
+
+#[test]
+fn constant_sts_outside_segment_is_refused() {
+    let mut a = Asm::new();
+    a.ldi(Reg::R16, 1);
+    a.sts(SEG + SEG_LEN, Reg::R16); // first byte past the segment
+    a.sts(SEG - 1, Reg::R16); // last byte before it
+    a.ret();
+    let c = cert_of(a);
+    assert_eq!((c.total_stores, c.certified_stores), (2, 0));
+}
+
+#[test]
+fn ldi_pair_store_is_certified_and_loaded_pointer_is_not() {
+    let mut a = Asm::new();
+    // X ← immediate segment address: certifiable.
+    a.ldi(Reg::R26, (SEG & 0xff) as u8);
+    a.ldi(Reg::R27, (SEG >> 8) as u8);
+    a.st(Ptr::X, PtrMode::Plain, Reg::R16);
+    // X ← loaded from RAM: unknowable.
+    a.lds(Reg::R26, SEG);
+    a.lds(Reg::R27, SEG + 1);
+    a.st(Ptr::X, PtrMode::Plain, Reg::R16);
+    a.ret();
+    let obj = a.assemble(ORIGIN).unwrap();
+    let c = certify_module_stores(obj.words(), ORIGIN, &[ORIGIN], SEG, SEG_LEN).unwrap();
+    let stores = store_addrs(obj.words(), ORIGIN);
+    assert_eq!(stores.len(), 2);
+    assert!(c.certified(stores[0]), "immediate pointer store is proven");
+    assert!(!c.certified(stores[1]), "loaded pointer store is not");
+    assert_eq!((c.total_stores, c.certified_stores), (2, 1));
+}
+
+#[test]
+fn adiw_and_subi_chains_stay_inside_the_interval() {
+    let mut a = Asm::new();
+    // X = SEG + 8; X += 4 (adiw); still inside.
+    a.ldi(Reg::R26, ((SEG + 8) & 0xff) as u8);
+    a.ldi(Reg::R27, (SEG >> 8) as u8);
+    a.adiw(IwPair::X, 4);
+    a.st(Ptr::X, PtrMode::Plain, Reg::R16);
+    // subi low byte by 40 — would cross below the segment: refused.
+    a.subi(Reg::R26, 40);
+    a.st(Ptr::X, PtrMode::Plain, Reg::R16);
+    a.ret();
+    let obj = a.assemble(ORIGIN).unwrap();
+    let c = certify_module_stores(obj.words(), ORIGIN, &[ORIGIN], SEG, SEG_LEN).unwrap();
+    let stores = store_addrs(obj.words(), ORIGIN);
+    assert!(c.certified(stores[0]), "adiw-adjusted pointer inside the segment");
+    assert!(!c.certified(stores[1]), "subi moved the pointer below the segment");
+}
+
+#[test]
+fn movw_propagates_the_pointer() {
+    let mut a = Asm::new();
+    a.ldi(Reg::R30, (SEG & 0xff) as u8);
+    a.ldi(Reg::R31, (SEG >> 8) as u8);
+    a.movw(Reg::R26, Reg::R30); // X ← Z
+    a.st(Ptr::X, PtrMode::Plain, Reg::R16);
+    a.ret();
+    let c = cert_of(a);
+    assert_eq!((c.total_stores, c.certified_stores), (1, 1));
+}
+
+#[test]
+fn displaced_store_is_certified_only_within_bounds() {
+    let mut a = Asm::new();
+    a.ldi(Reg::R28, (SEG & 0xff) as u8);
+    a.ldi(Reg::R29, (SEG >> 8) as u8);
+    a.std(Ptr::Y, 5, Reg::R16); // SEG+5: inside
+    a.std(Ptr::Y, (SEG_LEN) as u8, Reg::R16); // SEG+len: one past
+    a.ret();
+    let obj = a.assemble(ORIGIN).unwrap();
+    let c = certify_module_stores(obj.words(), ORIGIN, &[ORIGIN], SEG, SEG_LEN).unwrap();
+    let stores = store_addrs(obj.words(), ORIGIN);
+    assert!(c.certified(stores[0]));
+    assert!(!c.certified(stores[1]));
+}
+
+#[test]
+fn post_increment_stores_are_never_certified() {
+    let mut a = Asm::new();
+    a.ldi(Reg::R26, (SEG & 0xff) as u8);
+    a.ldi(Reg::R27, (SEG >> 8) as u8);
+    a.st(Ptr::X, PtrMode::PostInc, Reg::R16);
+    a.ret();
+    let c = cert_of(a);
+    assert_eq!((c.total_stores, c.certified_stores), (1, 0));
+}
+
+#[test]
+fn external_call_havocs_the_pointer() {
+    let mut a = Asm::new();
+    a.ldi(Reg::R26, (SEG & 0xff) as u8);
+    a.ldi(Reg::R27, (SEG >> 8) as u8);
+    a.call_abs(0x0010); // out-of-module call: clobbers everything
+    a.st(Ptr::X, PtrMode::Plain, Reg::R16);
+    a.ret();
+    let c = cert_of(a);
+    assert_eq!((c.total_stores, c.certified_stores), (1, 0));
+}
+
+#[test]
+fn internal_call_summary_preserves_untouched_registers() {
+    // helper writes only r18; the X pointer survives the call and the
+    // store after it stays certified.
+    let mut a = Asm::new();
+    let helper = a.label("helper");
+    a.ldi(Reg::R26, (SEG & 0xff) as u8);
+    a.ldi(Reg::R27, (SEG >> 8) as u8);
+    a.rcall(helper);
+    a.st(Ptr::X, PtrMode::Plain, Reg::R16);
+    a.ret();
+    a.bind(helper);
+    a.ldi(Reg::R18, 7);
+    a.ret();
+    let c = cert_of(a);
+    assert_eq!((c.total_stores, c.certified_stores), (1, 1));
+}
+
+#[test]
+fn internal_call_summary_havocs_written_pointer() {
+    // helper rewrites r27 from RAM — the store after the call must not be
+    // certified even though the call is intra-module.
+    let mut a = Asm::new();
+    let helper = a.label("helper");
+    a.ldi(Reg::R26, (SEG & 0xff) as u8);
+    a.ldi(Reg::R27, (SEG >> 8) as u8);
+    a.rcall(helper);
+    a.st(Ptr::X, PtrMode::Plain, Reg::R16);
+    a.ret();
+    a.bind(helper);
+    a.lds(Reg::R27, SEG);
+    a.ret();
+    let c = cert_of(a);
+    assert_eq!((c.total_stores, c.certified_stores), (1, 0));
+}
+
+#[test]
+fn joined_paths_keep_only_the_common_proof() {
+    // Both branches set X inside the segment → certified after the join.
+    let mut a = Asm::new();
+    let other = a.label("other");
+    let join = a.label("join");
+    a.ldi(Reg::R27, (SEG >> 8) as u8);
+    a.sbrc(Reg::R24, 0);
+    a.rjmp(other);
+    a.ldi(Reg::R26, (SEG & 0xff) as u8);
+    a.rjmp(join);
+    a.bind(other);
+    a.ldi(Reg::R26, ((SEG + 10) & 0xff) as u8);
+    a.bind(join);
+    a.st(Ptr::X, PtrMode::Plain, Reg::R16);
+    a.ret();
+    let c = cert_of(a);
+    assert_eq!((c.total_stores, c.certified_stores), (1, 1));
+}
+
+#[test]
+fn joined_paths_refuse_when_one_side_escapes() {
+    // One branch points X outside the segment: the join must refuse.
+    let mut a = Asm::new();
+    let other = a.label("other");
+    let join = a.label("join");
+    a.ldi(Reg::R27, (SEG >> 8) as u8);
+    a.sbrc(Reg::R24, 0);
+    a.rjmp(other);
+    a.ldi(Reg::R26, (SEG & 0xff) as u8);
+    a.rjmp(join);
+    a.bind(other);
+    a.ldi(Reg::R26, ((SEG + SEG_LEN) & 0xff) as u8); // one past the end
+    a.bind(join);
+    a.st(Ptr::X, PtrMode::Plain, Reg::R16);
+    a.ret();
+    let c = cert_of(a);
+    assert_eq!((c.total_stores, c.certified_stores), (1, 0));
+}
+
+#[test]
+fn frame_relative_pointer_is_tracked_but_never_certified() {
+    // Y ← SP (in r28, SPL / in r29, SPH): Frame provenance, refused even
+    // though nothing further disturbs the registers.
+    let mut a = Asm::new();
+    a.in_(Reg::R28, 0x3d);
+    a.in_(Reg::R29, 0x3e);
+    a.std(Ptr::Y, 1, Reg::R16);
+    a.ret();
+    let c = cert_of(a);
+    assert_eq!((c.total_stores, c.certified_stores), (1, 0));
+}
+
+#[test]
+fn push_is_never_counted_or_certified() {
+    let mut a = Asm::new();
+    a.push(Reg::R16);
+    a.pop(Reg::R16);
+    a.ret();
+    let c = cert_of(a);
+    assert_eq!((c.total_stores, c.certified_stores), (0, 0));
+}
+
+#[test]
+fn certificate_is_deterministic() {
+    let build = || {
+        let mut a = Asm::new();
+        a.ldi(Reg::R16, 1);
+        a.sts(SEG, Reg::R16);
+        a.ldi(Reg::R26, (SEG & 0xff) as u8);
+        a.ldi(Reg::R27, (SEG >> 8) as u8);
+        a.st(Ptr::X, PtrMode::Plain, Reg::R16);
+        a.lds(Reg::R26, SEG);
+        a.st(Ptr::X, PtrMode::Plain, Reg::R16);
+        a.ret();
+        a
+    };
+    let a = cert_of(build());
+    let b = cert_of(build());
+    assert_eq!(a, b);
+    assert_eq!(a.digest, b.digest);
+    assert_eq!(a.certified_pcs(), b.certified_pcs());
+}
+
+#[test]
+fn loop_with_counted_pointer_advance_is_refused() {
+    // X walks forward each iteration — the fixpoint join must widen the
+    // pointer and refuse, even though the first iteration is in bounds.
+    let mut a = Asm::new();
+    let l = a.label("l");
+    a.ldi(Reg::R26, (SEG & 0xff) as u8);
+    a.ldi(Reg::R27, (SEG >> 8) as u8);
+    a.ldi(Reg::R16, 200);
+    a.bind(l);
+    a.st(Ptr::X, PtrMode::Plain, Reg::R17);
+    a.adiw(IwPair::X, 1);
+    a.dec(Reg::R16);
+    a.brne(l);
+    a.ret();
+    let c = cert_of(a);
+    assert_eq!((c.total_stores, c.certified_stores), (1, 0));
+}

@@ -1,0 +1,100 @@
+//! Snapshot of the lint diagnostics: every code's rendered form is pinned
+//! here, so a change to a message, a code, or which shapes fire which lint
+//! shows up as a reviewable snapshot diff instead of silently retraining
+//! whatever tooling matches on the output.
+
+use avr_asm::Asm;
+use avr_core::isa::{Ptr, PtrMode, Reg};
+use harbor_flow::{CfgVerifier, Lint};
+use harbor_sfi::{rewrite, SfiLayout, SfiRuntime};
+
+const ORIGIN: u32 = 0x1000;
+
+fn runtime() -> SfiRuntime {
+    SfiRuntime::build(SfiLayout::default_layout(), 0x0040)
+}
+
+/// The code table itself is stable: append-only, never renumbered.
+#[test]
+fn codes_are_stable() {
+    assert_eq!(Lint::UnreachableBlock { start: 0 }.code(), "HF0001");
+    assert_eq!(Lint::UnbalancedPushPop { block: 0 }.code(), "HF0002");
+    assert_eq!(Lint::SkipIntoOperand { addr: 0, landing: 0 }.code(), "HF0003");
+    assert_eq!(Lint::CallDepthOverflow { safe_stack_bytes: 0, capacity: 0 }.code(), "HF0004");
+}
+
+/// Every variant's rendered diagnostic, pinned exactly: `CODE: message`.
+#[test]
+fn rendered_diagnostics_match_snapshot() {
+    let rendered: Vec<String> = [
+        Lint::UnreachableBlock { start: 0x1010 },
+        Lint::UnbalancedPushPop { block: 0x1024 },
+        Lint::SkipIntoOperand { addr: 0x1002, landing: 0x1004 },
+        Lint::CallDepthOverflow { safe_stack_bytes: 300, capacity: 256 },
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    assert_eq!(
+        rendered,
+        [
+            "HF0001: unreachable block at 0x1010",
+            "HF0002: unbalanced push/pop on some path into 0x1024",
+            "HF0003: skip at 0x1002 lands on inline operand at 0x1004",
+            "HF0004: certified safe-stack demand 300 exceeds the 256-byte region",
+        ]
+    );
+}
+
+/// Rewrites `asm`, analyzes it, and renders its findings one per line —
+/// codes only on the left so the snapshot survives rewriter layout drift.
+fn findings(asm: Asm) -> Vec<String> {
+    let rt = runtime();
+    let verifier = CfgVerifier::for_runtime(&rt);
+    let original = asm.assemble(ORIGIN).expect("shape assembles");
+    let rewritten =
+        rewrite(original.words(), ORIGIN, &[ORIGIN], ORIGIN, &rt).expect("shape rewrites");
+    let analysis = verifier
+        .analyze(rewritten.object.words(), ORIGIN, &[rewritten.translated(ORIGIN)])
+        .expect("shape verifies");
+    analysis.lints.iter().map(|l| l.code().to_string()).collect()
+}
+
+/// The end-to-end snapshot over the in-tree lint shapes: which codes each
+/// one produces, in address order.
+#[test]
+fn in_tree_shapes_match_snapshot() {
+    // Clean handler: the corpus baseline must stay finding-free.
+    let mut clean = Asm::new();
+    clean.ldi(Reg::R16, 1);
+    clean.sts(0x0300, Reg::R16);
+    clean.ret();
+    assert_eq!(findings(clean), Vec::<String>::new());
+
+    // Code after an unconditional return that nothing jumps to.
+    let mut unreachable = Asm::new();
+    unreachable.ret();
+    unreachable.ldi(Reg::R16, 2);
+    unreachable.ret();
+    assert_eq!(findings(unreachable), ["HF0001"]);
+
+    // One branch pushes, the join never pops on that path.
+    let mut unbalanced = Asm::new();
+    let join = unbalanced.label("join");
+    unbalanced.sbrc(Reg::R16, 0);
+    unbalanced.push(Reg::R17);
+    unbalanced.rjmp(join);
+    unbalanced.bind(join);
+    unbalanced.ret();
+    assert_eq!(findings(unbalanced), ["HF0002"]);
+
+    // A loop whose head is the save-ret prologue itself: no finite
+    // safe-stack bound exists, so the certification saturates.
+    let mut overflow = Asm::new();
+    let head = overflow.label("head");
+    overflow.bind(head);
+    overflow.st(Ptr::X, PtrMode::Plain, Reg::R0);
+    overflow.rcall(head);
+    overflow.ret();
+    assert_eq!(findings(overflow), ["HF0004"]);
+}

@@ -36,6 +36,6 @@ mod runtime;
 pub mod verifier;
 
 pub use layout::SfiLayout;
-pub use rewriter::{rewrite, RewriteError, RewrittenModule};
+pub use rewriter::{rewrite, rewrite_with_elision, RewriteError, RewrittenModule};
 pub use runtime::{store_stub_name, SfiRuntime, StubRole, STUB_TABLE};
-pub use verifier::{verify, verify_constant_memory, VerifierConfig, VerifyError};
+pub use verifier::{raw_stores, verify, verify_constant_memory, VerifierConfig, VerifyError};

@@ -163,6 +163,30 @@ pub fn rewrite(
     dst_origin: u32,
     runtime: &SfiRuntime,
 ) -> Result<RewrittenModule, RewriteError> {
+    rewrite_with_elision(words, src_origin, entry_points, dst_origin, runtime, &BTreeSet::new())
+}
+
+/// [`rewrite`] with store-check elision: source-image store instructions
+/// whose addresses appear in `elide` are emitted *verbatim* instead of
+/// being expanded into a store-check-stub construct, on the strength of a
+/// static store certificate (`harbor-flow`'s dataflow pass) proving they
+/// land inside the module's own state segment. The verifier must then be
+/// run with the matching [`crate::VerifierConfig::certified_raw_stores`]
+/// allow-list — derived independently, never from the set passed here
+/// (correctness "depends only upon the correctness of the verifier", and
+/// elision keeps it that way).
+///
+/// # Errors
+///
+/// See [`RewriteError`].
+pub fn rewrite_with_elision(
+    words: &[u16],
+    src_origin: u32,
+    entry_points: &[u32],
+    dst_origin: u32,
+    runtime: &SfiRuntime,
+    elide: &BTreeSet<u32>,
+) -> Result<RewrittenModule, RewriteError> {
     let items = disasm(src_origin, words);
     let src_end = src_origin + words.len() as u32;
 
@@ -208,6 +232,7 @@ pub fn rewrite(
         src_end,
         boundaries: &boundaries,
         entries: &entries,
+        elide,
         stubs: StubConsts::default(),
         scratch: 0,
     };
@@ -252,6 +277,7 @@ struct Rewriter<'r> {
     src_end: u32,
     boundaries: &'r BTreeSet<u32>,
     entries: &'r BTreeSet<u32>,
+    elide: &'r BTreeSet<u32>,
     stubs: StubConsts,
     scratch: u32,
 }
@@ -346,6 +372,13 @@ impl Rewriter<'_> {
 
         match instr {
             // ── stores ──────────────────────────────────────────────────
+            // A certificate-elided store keeps its original one-word form;
+            // every other store expands into its check-stub construct.
+            Instr::St { .. } | Instr::Std { .. } | Instr::Sts { .. }
+                if self.elide.contains(&addr) =>
+            {
+                self.a.emit(instr);
+            }
             Instr::St { ptr, mode, r } => {
                 let stub = self.stub_const(self.runtime.store_stub(ptr, mode));
                 self.a.push(Reg::R0);

@@ -41,6 +41,13 @@ pub struct VerifierConfig {
     pub allowed_jump_stubs: BTreeSet<u32>,
     /// The cross-domain call stub (whose calls carry an inline operand).
     pub xdom_call_stub: u32,
+    /// Word addresses of store instructions allowed to remain *raw*
+    /// (un-rewritten) because a static store certificate proves them to
+    /// land inside the module's own state segment (`DESIGN.md` §7). Empty
+    /// — the default — restores the paper's "no raw stores" rule verbatim.
+    /// The loader only populates this from a certificate it re-derived
+    /// itself, never from a rewriter's claim.
+    pub certified_raw_stores: BTreeSet<u32>,
 }
 
 impl VerifierConfig {
@@ -66,6 +73,7 @@ impl VerifierConfig {
             allowed_call_stubs,
             allowed_jump_stubs,
             xdom_call_stub: rt.stub("harbor_xdom_call"),
+            certified_raw_stores: BTreeSet::new(),
         }
     }
 }
@@ -254,9 +262,12 @@ pub fn verify(words: &[u16], origin: u32, cfg: &VerifierConfig) -> Result<(), Ve
     // Pass 2: per-instruction rules.
     for (pos, &(addr, instr)) in instrs.iter().enumerate() {
         match instr {
-            Instr::St { .. } | Instr::Std { .. } | Instr::Sts { .. } => {
-                return Err(VerifyError::RawStore { addr })
+            Instr::St { .. } | Instr::Std { .. } | Instr::Sts { .. }
+                if !cfg.certified_raw_stores.contains(&addr) =>
+            {
+                return Err(VerifyError::RawStore { addr });
             }
+            Instr::St { .. } | Instr::Std { .. } | Instr::Sts { .. } => {}
             Instr::Icall | Instr::Ijmp => return Err(VerifyError::ComputedTransfer { addr }),
             Instr::Ret | Instr::Reti => return Err(VerifyError::BareReturn { addr }),
             Instr::Out { a, .. } if a == 0x3d || a == 0x3e => {
@@ -324,6 +335,30 @@ pub fn verify(words: &[u16], origin: u32, cfg: &VerifierConfig) -> Result<(), Ve
         }
     }
     Ok(())
+}
+
+/// Word addresses of every raw store instruction (`st`/`std`/`sts`) in the
+/// image, walking instruction boundaries exactly as the verifier does
+/// (two-word instructions and cross-domain inline operands are skipped).
+/// The walk stops at the first undecodable word — [`verify`] rejects such
+/// an image outright, so nothing past it can ever execute as accepted code.
+pub fn raw_stores(words: &[u16], origin: u32, cfg: &VerifierConfig) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut idx = 0usize;
+    while idx < words.len() {
+        let addr = origin + idx as u32;
+        let Ok(instr) = isa::decode(words[idx], words.get(idx + 1).copied()) else { break };
+        if matches!(instr, Instr::St { .. } | Instr::Std { .. } | Instr::Sts { .. }) {
+            out.push(addr);
+        }
+        idx += instr.words() as usize;
+        if let Instr::Call { k } = instr {
+            if k == cfg.xdom_call_stub {
+                idx += 1; // the inline operand is data
+            }
+        }
+    }
+    out
 }
 
 // ─────────────────────────────────────────────────────────────────────────
@@ -395,9 +430,12 @@ pub fn verify_constant_memory(
         idx += instr.words() as usize;
 
         match instr {
-            Instr::St { .. } | Instr::Std { .. } | Instr::Sts { .. } => {
-                return Err(VerifyError::RawStore { addr })
+            Instr::St { .. } | Instr::Std { .. } | Instr::Sts { .. }
+                if !cfg.certified_raw_stores.contains(&addr) =>
+            {
+                return Err(VerifyError::RawStore { addr });
             }
+            Instr::St { .. } | Instr::Std { .. } | Instr::Sts { .. } => {}
             Instr::Icall | Instr::Ijmp => return Err(VerifyError::ComputedTransfer { addr }),
             Instr::Ret | Instr::Reti => return Err(VerifyError::BareReturn { addr }),
             Instr::Out { a, .. } if a == 0x3d || a == 0x3e => {

@@ -9,7 +9,7 @@ use avr_asm::{Asm, Object};
 use avr_core::isa::{self, Instr};
 use harbor::DomainId;
 use harbor_flow::CfgVerifier;
-use harbor_sfi::{rewrite, verify, SfiRuntime, VerifierConfig};
+use harbor_sfi::{rewrite_with_elision, verify, SfiRuntime, VerifierConfig};
 use std::fmt;
 
 /// Build-time context handed to module source code.
@@ -100,12 +100,26 @@ pub struct LoadPolicy {
     /// Also run the flow-sensitive deep verifier (`CfgVerifier`), not just
     /// the linear scan, before accepting the module.
     pub deep_verify: bool,
+    /// Leave stores *raw* (no store-check stub) when the dataflow pass
+    /// (`harbor-flow`'s `StoreCertificate`) proves they land inside the
+    /// module's own state segment. The admission gate independently
+    /// re-derives the certificate on the rewritten image and rejects any
+    /// raw store it cannot prove — elision never widens what a module can
+    /// write, it only removes checks on stores that could never fault.
+    pub elide_certified: bool,
 }
 
 impl LoadPolicy {
-    /// A policy with the given allotment and deep verification on.
+    /// A policy with the given allotment, deep verification on, and store
+    /// elision off.
     pub const fn with_allotment(safe_stack_allotment: u16) -> LoadPolicy {
-        LoadPolicy { safe_stack_allotment, deep_verify: true }
+        LoadPolicy { safe_stack_allotment, deep_verify: true, elide_certified: false }
+    }
+
+    /// The same policy with certified-store elision enabled.
+    pub const fn with_elision(mut self) -> LoadPolicy {
+        self.elide_certified = true;
+        self
     }
 }
 
@@ -160,14 +174,22 @@ impl fmt::Display for LoadError {
 impl std::error::Error for LoadError {}
 
 /// Applies `policy` to an already-verified SFI module image: optionally
-/// the deep verifier, always the certified-stack-bound gate. This is the
-/// single admission point — the local loader and `harbor-fleet`'s
+/// the deep verifier, always the certified-stack-bound gate, and — when
+/// the image contains raw stores — the claimed-⊆-derived store gate. This
+/// is the single admission point — the local loader and `harbor-fleet`'s
 /// dissemination install path both call it, so a module rejected here
 /// never reaches flash by either route.
 ///
+/// `state_seg` is `(base, len)` of the module's own state segment: the
+/// only region a raw store may be statically certified against. Any raw
+/// store the *re-derived* certificate does not cover — or any raw store at
+/// all when the policy has elision off — is rejected as
+/// [`harbor_sfi::VerifyError::RawStore`], so correctness never depends on
+/// whoever produced (or rewrote) the image.
+///
 /// # Errors
 ///
-/// [`LoadError::Verify`] from the deep verifier, or
+/// [`LoadError::Verify`] from the deep verifier or the store gate, or
 /// [`LoadError::StackBound`] when the certificate exceeds the allotment
 /// (or is saturated).
 pub fn check_policy(
@@ -177,8 +199,24 @@ pub fn check_policy(
     origin: u32,
     entries: &[u32],
     rt: &SfiRuntime,
+    state_seg: (u16, u16),
 ) -> Result<(), LoadError> {
-    let verifier = CfgVerifier::for_runtime(rt);
+    let mut verifier = CfgVerifier::for_runtime(rt);
+    let raw = harbor_sfi::raw_stores(words, origin, verifier.config());
+    if !raw.is_empty() {
+        if !policy.elide_certified {
+            return Err(LoadError::Verify(harbor_sfi::VerifyError::RawStore { addr: raw[0] }));
+        }
+        let derived = verifier
+            .certify_stores(words, origin, entries, state_seg.0, state_seg.1)
+            .map_err(LoadError::Verify)?;
+        for &addr in &raw {
+            if !derived.certified(addr) {
+                return Err(LoadError::Verify(harbor_sfi::VerifyError::RawStore { addr }));
+            }
+        }
+        verifier = verifier.allowing_raw_stores(raw.into_iter().collect());
+    }
     if policy.deep_verify {
         verifier.verify(words, origin, entries).map_err(LoadError::Verify)?;
     }
@@ -235,13 +273,32 @@ pub fn load_module_with_policy(
         Protection::Sfi => {
             let rt = runtime.expect("SFI build has a runtime");
             let entry_points: Vec<u32> = src.entries.iter().map(|e| original.require(e)).collect();
-            let rewritten = rewrite(original.words(), origin, &entry_points, origin, rt)
-                .map_err(LoadError::Rewrite)?;
-            verify(rewritten.object.words(), origin, &VerifierConfig::for_runtime(rt))
-                .map_err(LoadError::Verify)?;
+            let state_seg = (ctx.state_addr, layout.state_len());
+            // Stores certified against the module's own state segment stay
+            // raw under an eliding policy; the admission gate re-derives
+            // the certificate on the *rewritten* image below, so this
+            // pre-rewrite pass is an optimisation hint, not a trust root.
+            let elide: std::collections::BTreeSet<u32> = match policy {
+                Some(p) if p.elide_certified => harbor_flow::certify_module_stores(
+                    original.words(),
+                    origin,
+                    &entry_points,
+                    state_seg.0,
+                    state_seg.1,
+                )
+                .map(|c| c.certified_pcs().into_iter().collect())
+                .unwrap_or_default(),
+                _ => std::collections::BTreeSet::new(),
+            };
+            let rewritten =
+                rewrite_with_elision(original.words(), origin, &entry_points, origin, rt, &elide)
+                    .map_err(LoadError::Rewrite)?;
+            let mut vcfg = VerifierConfig::for_runtime(rt);
+            vcfg.certified_raw_stores = elide.iter().map(|&a| rewritten.translated(a)).collect();
+            verify(rewritten.object.words(), origin, &vcfg).map_err(LoadError::Verify)?;
             let addrs: Vec<u32> = entry_points.iter().map(|&e| rewritten.translated(e)).collect();
             if let Some(p) = policy {
-                check_policy(p, src.name, rewritten.object.words(), origin, &addrs, rt)?;
+                check_policy(p, src.name, rewritten.object.words(), origin, &addrs, rt, state_seg)?;
             }
             (rewritten.object, addrs)
         }

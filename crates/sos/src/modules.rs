@@ -176,6 +176,44 @@ pub fn surge_fixed(dom: u8, tree_dom: u8) -> ModuleSource {
     }
 }
 
+/// Store-stress: a module whose timer handler hammers the first half of its
+/// static state segment with direct `sts` writes — 16 unrolled stores per
+/// pass (the unroll is capped by the backward-branch range), 16 passes per
+/// message. Every store targets a constant address inside the module's own
+/// segment, so the `harbor-flow` dataflow pass certifies all of them — the
+/// store-dominated workload the `elision_speedup` bench uses to expose the
+/// memory-map-check elision win.
+pub fn stress_store(dom: u8) -> ModuleSource {
+    ModuleSource {
+        name: "stress_store",
+        domain: DomainId::num(dom),
+        entries: vec!["stress_handler"],
+        build: Box::new(|a, ctx| {
+            let state = ctx.state_addr;
+            let unroll = ctx.layout.state_len().min(16);
+            let timer = a.label("stress_timer");
+            let pass = a.label("stress_pass");
+            a.here("stress_handler");
+            a.cpi(R24, MSG_INIT);
+            a.brne(timer);
+            a.clr(R18);
+            a.sts(state, R18);
+            a.ret();
+            a.bind(timer);
+            a.lds(R18, state);
+            a.inc(R18);
+            a.ldi(R19, 16);
+            a.bind(pass);
+            for i in 0..unroll {
+                a.sts(state + i, R18);
+            }
+            a.dec(R19);
+            a.brne(pass);
+            a.ret();
+        }),
+    }
+}
+
 /// Producer half of the SOS buffer-handoff pipeline: on each timer message
 /// it mallocs an 8-byte buffer, writes a sample, transfers ownership to
 /// `consumer_dom` via `change_own`, publishes the pointer in its state and

@@ -87,6 +87,17 @@ pub struct SosSystem {
     // The opt-in fast path; `None` (the default) runs the reference
     // interpreter. Cycle-identical either way — see `DESIGN.md` §6.
     turbo: Option<TurboEngine>,
+    // Opt-in store-check elision (the UMPU build): when set, admission
+    // derives a `StoreCertificate` per module and publishes the union
+    // elision map to the env. Cycle-, event- and state-identical either
+    // way — see `DESIGN.md` §7.
+    prove: bool,
+    // Cached per-domain store certificates, re-derived (with the elision
+    // map) at every rebuild point; `certs_generation` records the flash
+    // generation they were derived under, mirroring the turbo pages'
+    // invalidation discipline.
+    store_certs: Vec<(DomainId, harbor_flow::StoreCertificate)>,
+    certs_generation: u64,
 }
 
 impl SosSystem {
@@ -177,11 +188,85 @@ impl SosSystem {
             faults: Vec::new(),
             flash_generation: 0,
             turbo: None,
+            prove: false,
+            store_certs: Vec::new(),
+            certs_generation: 0,
         };
+        if prove_env_default() {
+            sys.set_prove(true);
+        }
         if turbo_env_default() {
             sys.set_turbo(true);
         }
         Ok(sys)
+    }
+
+    /// Enables or disables store-check elision (`harbor-prove`). Under the
+    /// UMPU build, admission derives a `harbor-flow` [`StoreCertificate`]
+    /// for every loaded module against its own state segment and publishes
+    /// the union as the env's elision map: certified stores skip the MMC
+    /// walk (and re-run it under `debug_assert!` parity). Execution is
+    /// cycle-, event- and state-identical either way. The default follows
+    /// the `HARBOR_PROVE` environment variable (`1` = on), so the whole
+    /// test suite can run as an elision matrix leg without code changes.
+    /// A no-op outside UMPU (the SFI build elides through [`LoadPolicy`]'s
+    /// `elide_certified`, which *does* change cycle counts).
+    pub fn set_prove(&mut self, on: bool) {
+        self.prove = on;
+        self.rebuild_elision();
+        if self.turbo.is_some() {
+            // Re-prime so the shared decoded image carries elision bits
+            // consistent with the new map.
+            self.set_turbo(true);
+        }
+    }
+
+    /// Whether store-check elision is active.
+    pub fn prove_enabled(&self) -> bool {
+        self.prove
+    }
+
+    /// The cached per-domain store certificates (empty unless
+    /// [`SosSystem::set_prove`] is on under UMPU), and the flash generation
+    /// they were derived under.
+    pub fn store_certificates(&self) -> (&[(DomainId, harbor_flow::StoreCertificate)], u64) {
+        (&self.store_certs, self.certs_generation)
+    }
+
+    /// Re-derives every module's store certificate and publishes the union
+    /// elision map — called at each point the set of loaded modules (or
+    /// their flash) changes: build, install, unload. Always bumps the
+    /// flash generation so decoded fast-path pages (which bake the elision
+    /// bit per slot) can never outlive the map they were built against.
+    fn rebuild_elision(&mut self) {
+        self.store_certs.clear();
+        let map = if self.prove && self.protection == Protection::Umpu {
+            let mut map = umpu::ElisionMap::new();
+            for m in &self.modules {
+                let seg = self.layout.state_addr(m.domain.index());
+                let len = self.layout.state_len();
+                if let Ok(cert) = harbor_flow::certify_module_stores(
+                    m.object.words(),
+                    m.object.origin(),
+                    &m.entry_addrs,
+                    seg,
+                    len,
+                ) {
+                    for pc in cert.certified_pcs() {
+                        map.set(pc);
+                    }
+                    self.store_certs.push((m.domain, cert));
+                }
+            }
+            (!map.is_empty()).then(|| std::sync::Arc::new(map))
+        } else {
+            None
+        };
+        self.flash_generation += 1;
+        self.certs_generation = self.flash_generation;
+        if let Mach::Umpu(c) = &mut self.mach {
+            c.env.set_elision_map(map);
+        }
     }
 
     /// Enables or disables the turbo fast-path engine (`harbor-turbo`).
@@ -438,6 +523,7 @@ impl SosSystem {
                 loaded.object.origin(),
                 &loaded.entry_addrs,
                 rt,
+                (self.layout.state_addr(loaded.domain.index()), self.layout.state_len()),
             ),
             _ => Ok(()),
         }
@@ -495,6 +581,7 @@ impl SosSystem {
 
         let dom = loaded.domain;
         self.modules.push(loaded);
+        self.rebuild_elision();
         let cycles = self.cycles();
         self.emit(Event::ModuleInstall { cycles, domain: dom.index() });
         self.post(dom, MSG_INIT);
@@ -548,6 +635,7 @@ impl SosSystem {
                 // module's heap memory cannot be identified — it leaks.
             }
         }
+        self.rebuild_elision();
         let cycles = self.cycles();
         self.emit(Event::ModuleUnload { cycles, domain: dom.index() });
     }
@@ -1056,4 +1144,11 @@ impl SosSystem {
 /// is set, so CI can run the entire suite as a turbo matrix leg.
 fn turbo_env_default() -> bool {
     std::env::var_os("HARBOR_TURBO").is_some_and(|v| v == "1")
+}
+
+/// Initial elision state for freshly built systems: on when
+/// `HARBOR_PROVE=1` is set, so CI can run the entire suite as an elision
+/// matrix leg (byte-identical under UMPU, a no-op elsewhere).
+fn prove_env_default() -> bool {
+    std::env::var_os("HARBOR_PROVE").is_some_and(|v| v == "1")
 }

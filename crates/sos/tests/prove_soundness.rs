@@ -1,0 +1,309 @@
+//! Soundness of certified-store elision, end to end.
+//!
+//! **UMPU** (`SosSystem::set_prove`): elision must be *invisible*. For
+//! seeded, generated modules mixing certifiable and uncertifiable store
+//! shapes, a proving system and a reference system driven identically must
+//! agree on every observable — cycle count, fault history, and memory.
+//! Every elided store is additionally re-checked against the dynamic MMC
+//! inside `UmpuEnv::sram_write_at` (a `debug_assert`, active in these
+//! tests), so a single unsound certificate aborts the run loudly instead
+//! of skewing state.
+//!
+//! **SFI** (`LoadPolicy::with_elision`): elision is *visible* in cycles —
+//! that is the paper's point — so the contract is different: fewer cycles,
+//! identical memory and faults, and a store the certificate cannot cover
+//! still trapped dynamically.
+//!
+//! Reproduce a run with `HARBOR_SEED=n cargo test --test prove_soundness`
+//! (the default seed is fixed, so plain `cargo test` is deterministic).
+
+use harbor::DomainId;
+use mini_sos::kernel::{MSG_INIT, MSG_TIMER};
+use mini_sos::loader::ModuleCtx;
+use mini_sos::{modules, LoadPolicy, ModuleSource, Protection, SosSystem};
+use rand::{Rng, SeedableRng, StdRng};
+
+const R18: avr_core::isa::Reg = avr_core::isa::Reg::R18;
+const R20: avr_core::isa::Reg = avr_core::isa::Reg::R20;
+
+fn seed() -> u64 {
+    match std::env::var("HARBOR_SEED") {
+        Ok(v) => v.parse().expect("HARBOR_SEED must be a u64"),
+        Err(_) => 0x5eed,
+    }
+}
+
+fn scheduler_app(a: &mut avr_asm::Asm, api: &mini_sos::KernelApi) {
+    api.run_scheduler(a);
+    a.brk();
+}
+
+/// One store shape in a generated handler body. Offsets are pre-clamped to
+/// the module's 32-byte state segment, so every shape is *dynamically*
+/// legal — but only some are *statically* certifiable (constant `sts`,
+/// immediate-pair pointers), which is exactly the mix that exercises both
+/// the elided and the checked path in one run.
+#[derive(Clone)]
+enum Op {
+    /// `ldi` + `sts state+off` — the certifiable workhorse.
+    StsImm { off: u16, val: u8 },
+    /// X loaded from immediates, then a plain `st X`.
+    StX { off: u16 },
+    /// Y loaded from immediates, then a displaced `std Y+disp`.
+    StdY { base: u16, disp: u8 },
+    /// X loaded from immediates, then a post-increment burst.
+    Burst { off: u16, n: u8 },
+    /// A counted `sts` loop (back edge, constant target).
+    Loop { off: u16, count: u8 },
+}
+
+fn generate(rng: &mut StdRng, len: u16) -> Vec<Op> {
+    (0..rng.gen_range(2usize..8))
+        .map(|_| match rng.gen_range(0u8..5) {
+            0 => Op::StsImm { off: rng.gen_range(0..len), val: rng.gen_range(0u8..255) },
+            1 => Op::StX { off: rng.gen_range(0..len) },
+            2 => {
+                let disp = rng.gen_range(0u8..8);
+                Op::StdY { base: rng.gen_range(0..len - disp as u16), disp }
+            }
+            3 => {
+                let n = rng.gen_range(1u8..5);
+                Op::Burst { off: rng.gen_range(0..len - n as u16), n }
+            }
+            _ => Op::Loop { off: rng.gen_range(0..len), count: rng.gen_range(1u8..4) },
+        })
+        .collect()
+}
+
+/// Wraps a recipe in a standard message handler: init clears the segment
+/// head, the timer path replays the recipe.
+fn fuzz_module(dom: u8, recipe: Vec<Op>) -> ModuleSource {
+    ModuleSource {
+        name: "fuzz",
+        domain: DomainId::num(dom),
+        entries: vec!["fuzz_handler"],
+        build: Box::new(move |a, ctx| emit(a, ctx, &recipe)),
+    }
+}
+
+fn emit(a: &mut avr_asm::Asm, ctx: &ModuleCtx, recipe: &[Op]) {
+    use avr_core::isa::{Ptr, PtrMode, Reg};
+    let state = ctx.state_addr;
+    let timer = a.label("fuzz_timer");
+    a.here("fuzz_handler");
+    a.cpi(Reg::R24, MSG_INIT);
+    a.brne(timer);
+    a.clr(R18);
+    a.sts(state, R18);
+    a.ret();
+    a.bind(timer);
+    a.ldi(R18, 0x5a);
+    for (i, op) in recipe.iter().enumerate() {
+        match *op {
+            Op::StsImm { off, val } => {
+                a.ldi(R18, val);
+                a.sts(state + off, R18);
+            }
+            Op::StX { off } => {
+                let p = state + off;
+                a.ldi(Reg::R26, (p & 0xff) as u8);
+                a.ldi(Reg::R27, (p >> 8) as u8);
+                a.st(Ptr::X, PtrMode::Plain, R18);
+            }
+            Op::StdY { base, disp } => {
+                let p = state + base;
+                a.ldi(Reg::R28, (p & 0xff) as u8);
+                a.ldi(Reg::R29, (p >> 8) as u8);
+                a.std(Ptr::Y, disp, R18);
+            }
+            Op::Burst { off, n } => {
+                let p = state + off;
+                a.ldi(Reg::R26, (p & 0xff) as u8);
+                a.ldi(Reg::R27, (p >> 8) as u8);
+                for _ in 0..n {
+                    a.st(Ptr::X, PtrMode::PostInc, R18);
+                }
+            }
+            Op::Loop { off, count } => {
+                let l = a.label(&format!("fuzz_loop_{i}"));
+                a.ldi(R20, count);
+                a.bind(l);
+                a.sts(state + off, R18);
+                a.dec(R20);
+                a.brne(l);
+            }
+        }
+    }
+    a.ret();
+}
+
+/// Builds an UMPU system over `src`, optionally proving, and drives three
+/// timer ticks. Returns the observables the twin runs must agree on, plus
+/// how many stores the certificate covered.
+fn drive_umpu(src: ModuleSource, prove: bool) -> (u64, Vec<u8>, String, usize) {
+    let mut sys = SosSystem::build(Protection::Umpu, &[src], scheduler_app).unwrap();
+    if prove {
+        sys.set_prove(true);
+    }
+    let certified: usize =
+        sys.store_certificates().0.iter().map(|(_, c)| c.certified_pcs().len()).sum();
+    sys.boot().unwrap();
+    for _ in 0..3 {
+        sys.post(DomainId::num(2), MSG_TIMER);
+    }
+    sys.run_to_break(4_000_000).unwrap();
+    let state = sys.layout.state_addr(2);
+    let seg: Vec<u8> = (0..sys.layout.state_len()).map(|i| sys.sram(state + i)).collect();
+    (sys.cycles(), seg, format!("{:?}", sys.fault_history()), certified)
+}
+
+/// The twin-run soundness sweep: for each generated module, a proving
+/// system and a reference system are byte-for-byte indistinguishable.
+#[test]
+fn random_modules_run_byte_identically_under_elision() {
+    let mut rng = StdRng::seed_from_u64(seed());
+    let len = mini_sos::SosLayout::default_layout().state_len();
+    let mut total_certified = 0usize;
+    for case in 0..12 {
+        let recipe = generate(&mut rng, len);
+        let (ref_cycles, ref_seg, ref_faults, _) =
+            drive_umpu(fuzz_module(2, recipe.clone()), false);
+        let (cycles, seg, faults, certified) = drive_umpu(fuzz_module(2, recipe), true);
+        assert_eq!(cycles, ref_cycles, "case {case}: cycle divergence under elision");
+        assert_eq!(seg, ref_seg, "case {case}: state divergence under elision");
+        assert_eq!(faults, ref_faults, "case {case}: fault divergence under elision");
+        total_certified += certified;
+    }
+    // The sweep must actually exercise the elided path, or the agreement
+    // above is vacuous.
+    assert!(total_certified > 0, "no generated store was ever certified");
+}
+
+/// A module that mixes certified own-segment stores with a wild store into
+/// another domain's segment: the wild store is never certified, so it hits
+/// the dynamic MMC on both systems and the recorded faults are identical.
+#[test]
+fn wild_store_faults_identically_under_elision() {
+    let wild = |dom: u8| -> ModuleSource {
+        ModuleSource {
+            name: "fuzz",
+            domain: DomainId::num(dom),
+            entries: vec!["wild_handler"],
+            build: Box::new(|a, ctx| {
+                use avr_core::isa::Reg;
+                let state = ctx.state_addr;
+                let foreign = ctx.layout.state_addr(5);
+                let timer = a.label("wild_timer");
+                a.here("wild_handler");
+                a.cpi(Reg::R24, MSG_INIT);
+                a.brne(timer);
+                a.clr(R18);
+                a.sts(state, R18);
+                a.ret();
+                a.bind(timer);
+                a.ldi(R18, 0x77);
+                a.sts(state, R18); // certified: own segment
+                a.sts(foreign, R18); // never certified: cross-domain
+                a.ret();
+            }),
+        }
+    };
+    let run = |prove: bool| {
+        let mut sys = SosSystem::build(Protection::Umpu, &[wild(2)], scheduler_app).unwrap();
+        if prove {
+            sys.set_prove(true);
+        }
+        sys.boot().unwrap();
+        sys.post(DomainId::num(2), MSG_TIMER);
+        let err = sys.run_to_break(4_000_000).unwrap_err();
+        let foreign = sys.layout.state_addr(5);
+        (format!("{err:?}"), format!("{:?}", sys.fault_history()), sys.cycles(), sys.sram(foreign))
+    };
+    let (ref_err, ref_faults, ref_cycles, ref_foreign) = run(false);
+    let (err, faults, cycles, foreign) = run(true);
+    assert_eq!(err, ref_err, "fault divergence under elision");
+    assert_eq!(faults, ref_faults, "fault-history divergence under elision");
+    assert_eq!(cycles, ref_cycles, "cycle divergence under elision");
+    assert_eq!(foreign, ref_foreign, "foreign-byte divergence under elision");
+    assert_eq!(foreign, 0, "the wild store must never land");
+}
+
+/// Boots an SFI system, hot-loads `stress_store` under `policy`, delivers
+/// its init, then measures one timer tick. Returns (tick cycles, tick
+/// count byte, fault count).
+fn sfi_tick(policy: LoadPolicy) -> (u64, u8, usize) {
+    let mut sys = SosSystem::build(Protection::Sfi, &[], scheduler_app).unwrap();
+    sys.boot().unwrap();
+    sys.set_load_policy(Some(policy));
+    sys.load_module(&modules::stress_store(2)).expect("stress_store admitted");
+    sys.steer(sys.symbol("ker_boot_done") + 1);
+    sys.run_to_break(10_000_000).unwrap(); // deliver MSG_INIT
+    let before = sys.cycles();
+    sys.post(DomainId::num(2), MSG_TIMER);
+    sys.steer(sys.symbol("ker_boot_done") + 1);
+    sys.run_to_break(10_000_000).unwrap();
+    let state = sys.layout.state_addr(2);
+    (sys.cycles() - before, sys.sram(state), sys.fault_history().len())
+}
+
+/// Under SFI, elision is allowed to change cycles — that is the win — but
+/// nothing else: the elided build runs the same 256 stores per tick
+/// measurably faster, with identical state and no faults.
+#[test]
+fn sfi_elision_is_faster_and_state_identical() {
+    let (checked_cycles, checked_state, checked_faults) =
+        sfi_tick(LoadPolicy::with_allotment(u16::MAX));
+    let (elided_cycles, elided_state, elided_faults) =
+        sfi_tick(LoadPolicy::with_allotment(u16::MAX).with_elision());
+    assert_eq!(elided_state, checked_state, "state divergence under SFI elision");
+    assert_eq!(elided_state, 1, "stress_store counted its tick");
+    assert_eq!((checked_faults, elided_faults), (0, 0), "no faults on the legal workload");
+    assert!(
+        elided_cycles < checked_cycles,
+        "elision must shed store-check cycles ({elided_cycles} >= {checked_cycles})"
+    );
+}
+
+/// The SFI negative: a store the certificate cannot cover keeps its
+/// dynamic check even under an eliding policy, and that check still traps
+/// a cross-domain write.
+#[test]
+fn sfi_elision_still_traps_uncertified_wild_store() {
+    let wild = ModuleSource {
+        name: "fuzz",
+        domain: DomainId::num(2),
+        entries: vec!["sfi_wild_handler"],
+        build: Box::new(|a, ctx| {
+            use avr_core::isa::Reg;
+            let state = ctx.state_addr;
+            let foreign = ctx.layout.state_addr(5);
+            let timer = a.label("sfi_wild_timer");
+            a.here("sfi_wild_handler");
+            a.cpi(Reg::R24, MSG_INIT);
+            a.brne(timer);
+            a.clr(R18);
+            a.sts(state, R18);
+            a.ret();
+            a.bind(timer);
+            a.ldi(R18, 0x99);
+            a.sts(state, R18);
+            a.sts(foreign, R18);
+            a.ret();
+        }),
+    };
+    let mut sys = SosSystem::build(Protection::Sfi, &[], scheduler_app).unwrap();
+    sys.boot().unwrap();
+    sys.set_load_policy(Some(LoadPolicy::with_allotment(u16::MAX).with_elision()));
+    sys.load_module(&wild).expect("the wild module itself is admissible");
+    sys.steer(sys.symbol("ker_boot_done") + 1);
+    sys.run_to_break(10_000_000).unwrap(); // init: own-segment store only
+    sys.post(DomainId::num(2), MSG_TIMER);
+    sys.steer(sys.symbol("ker_boot_done") + 1);
+    let r = sys.run_to_break(10_000_000);
+    assert!(
+        r.is_err() || !sys.fault_history().is_empty(),
+        "the uncertified wild store must trap dynamically"
+    );
+    let foreign = sys.layout.state_addr(5);
+    assert_eq!(sys.sram(foreign), 0, "the wild store must never land");
+}

@@ -69,14 +69,17 @@ const PAGES: usize = FLASH_WORDS >> PAGE_SHIFT;
 
 /// One predecoded flash word. `words == 0` marks an unservable slot (a
 /// reserved encoding, or no raw code view) that must take the reference
-/// fallback path.
+/// fallback path. `elide` carries the store-elision bit
+/// ([`Env::store_certified`] at build time) so a proven store pays zero
+/// per-step lookup cost: the bit rides in the slot the step loads anyway.
 #[derive(Debug, Clone, Copy)]
 struct Slot {
     instr: Instr,
     words: u8,
+    elide: bool,
 }
 
-const EMPTY_SLOT: Slot = Slot { instr: Instr::Nop, words: 0 };
+const EMPTY_SLOT: Slot = Slot { instr: Instr::Nop, words: 0, elide: false };
 
 /// A decoded 256-word span of flash. Every slot holds the instruction that
 /// would execute if the PC landed on that word — including "middle" words
@@ -308,6 +311,7 @@ impl TurboEngine {
         }
         self.fetch_checked(cpu, pi, off, pc, slot.words)?;
         self.stats.cached += 1;
+        cpu.set_store_hint(slot.elide);
         cpu.exec_decoded(pc, slot.instr)
     }
 
@@ -331,6 +335,7 @@ impl TurboEngine {
         }
         self.fetch_checked(cpu, pi, off, pc, slot.words)?;
         self.stats.cached += 1;
+        cpu.set_store_hint(slot.elide);
         cpu.exec_decoded(pc, slot.instr)
     }
 
@@ -389,7 +394,12 @@ fn build_page<E: Env>(env: &E, pi: usize) -> Page {
             0
         };
         if let Some((instr, words)) = table.decode(w0, w1) {
-            *slot = Slot { instr, words };
+            // Bake the elision bit only for store shapes: the bit is dead
+            // weight elsewhere, and keeping it store-only means a stale
+            // hint can never leak onto a non-store instruction.
+            let elide = matches!(instr, Instr::St { .. } | Instr::Std { .. } | Instr::Sts { .. })
+                && env.store_certified(pc);
+            *slot = Slot { instr, words, elide };
         }
     }
     page

@@ -1,6 +1,7 @@
 //! [`UmpuEnv`]: the protected machine — flash, RAM and the UMPU functional
 //! units attached to the CPU's bus hooks.
 
+use crate::elide::ElisionMap;
 use crate::regs::*;
 use crate::units::{DomainTrackerUnit, Mmc, SafeStackUnit};
 use avr_core::exec::{CallEvent, CallOutcome, Env, RetOutcome};
@@ -119,6 +120,10 @@ pub struct UmpuEnv {
     code_select: u8,
     code_start: u16,
     code_end: u16,
+    // Published store-elision map (see `crate::elide`): `None` means no
+    // store is ever elided. Swapped wholesale by the host at certificate
+    // rebuild points; shared so env clones stay in sync with the loader.
+    elision: Option<std::sync::Arc<ElisionMap>>,
 }
 
 impl Default for UmpuEnv {
@@ -146,7 +151,21 @@ impl UmpuEnv {
             code_select: 0,
             code_start: 0,
             code_end: 0,
+            elision: None,
         }
+    }
+
+    /// Publishes (or clears, with `None`) the store-elision map. The host
+    /// must only publish a map derived from the *current* flash contents
+    /// and segment ownership — and republish at every point that could
+    /// invalidate it (module install/unload, ownership reconfiguration).
+    pub fn set_elision_map(&mut self, map: Option<std::sync::Arc<ElisionMap>>) {
+        self.elision = map;
+    }
+
+    /// The currently published store-elision map, if any.
+    pub fn elision_map(&self) -> Option<&std::sync::Arc<ElisionMap>> {
+        self.elision.as_ref()
     }
 
     /// Whether the UMPU checks are enabled.
@@ -572,6 +591,49 @@ impl Env for UmpuEnv {
             }
             Err(f) => Err(self.raise(f)),
         }
+    }
+
+    fn sram_write_at(
+        &mut self,
+        pc: WordAddr,
+        addr: u16,
+        v: u8,
+        certified: bool,
+    ) -> Result<u8, Fault> {
+        if self.enabled && (certified || self.store_certified(pc)) {
+            // The elided path: the certificate proves this store lands in
+            // the executing module's own in-map segment, so the MMC walk is
+            // skipped. Everything observable is reproduced byte-identically:
+            // the write, the one-cycle in-map stall, and the granted
+            // MemMapCheck event (a trusted domain at the same pc gets the
+            // identical outcome from the full check; no other domain can
+            // fetch this pc at all).
+            debug_assert_eq!(
+                self.mmc.check_store(
+                    &self.data,
+                    addr,
+                    self.tracker.current,
+                    self.tracker.stack_bound
+                ),
+                Ok(1),
+                "elided store at pc {pc:#06x} (addr {addr:#06x}) disagrees with the full MMC check",
+            );
+            let domain = self.tracker.current;
+            self.data.write(addr, v)?;
+            self.emit(EventKind::MemMapCheck, |c| Event::MemMapCheck {
+                cycles: c,
+                domain: domain.index(),
+                addr,
+                granted: true,
+                stall: 1,
+            });
+            return Ok(1);
+        }
+        self.sram_write(addr, v)
+    }
+
+    fn store_certified(&self, pc: WordAddr) -> bool {
+        self.enabled && self.elision.as_ref().is_some_and(|m| m.certified(pc))
     }
 
     fn io_read(&mut self, port: u8) -> u8 {

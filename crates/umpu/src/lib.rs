@@ -54,10 +54,12 @@
 #![warn(missing_docs)]
 
 pub mod area;
+pub mod elide;
 mod env;
 pub mod mpu;
 pub mod regs;
 mod units;
 
+pub use elide::ElisionMap;
 pub use env::{UmpuConfig, UmpuEnv};
 pub use units::{DomainTrackerUnit, Mmc, SafeStackUnit};

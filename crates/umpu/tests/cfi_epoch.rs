@@ -1,0 +1,181 @@
+//! Negative tests for the CFI-epoch contract between [`UmpuEnv`] and the
+//! `harbor-turbo` fast path: every mutation of state the fetch check reads
+//! must bump [`Env::cfi_epoch`], or the engine would keep honouring a
+//! whole-page fetch grant it established under the old state. Each test
+//! establishes a grant, performs one mutation, and asserts the next turbo
+//! step is byte-identical to the reference interpreter — in particular,
+//! that a fetch the reference check now denies faults under turbo too.
+
+use avr_core::exec::{Cpu, Env};
+use avr_core::isa::{Instr, Reg};
+use harbor::DomainId;
+use harbor_turbo::TurboEngine;
+use umpu::regs::PORT_DOM_ID;
+use umpu::{UmpuConfig, UmpuEnv};
+
+const CFG: UmpuConfig = UmpuConfig::default_layout();
+
+/// Domain 2's code page (one full 256-word turbo page, so the engine can
+/// take the whole-page grant).
+const USER: u32 = 0x1000;
+
+/// A machine running domain 2 inside its own code page, with the turbo
+/// whole-page fetch grant already established (asserted via the cache
+/// stats — without it every test here would pass vacuously).
+fn granted_machine() -> (Cpu<UmpuEnv>, TurboEngine) {
+    let mut env = UmpuEnv::new();
+    env.configure(&CFG);
+    env.flash.load_program(USER, &[Instr::Nop, Instr::Nop, Instr::Nop, Instr::Rjmp { k: -4 }]);
+    env.set_code_region(DomainId::num(2), USER as u16, (USER + 0x100) as u16);
+    env.set_current_domain(DomainId::num(2));
+    let mut cpu = Cpu::new(env);
+    cpu.pc = USER;
+    let mut eng = TurboEngine::new();
+    for _ in 0..4 {
+        eng.step(&mut cpu, 0).expect("granted page steps cleanly");
+    }
+    assert!(eng.stats().cached >= 4, "setup must run through the cached fast path");
+    (cpu, eng)
+}
+
+/// One post-mutation step, turbo versus a reference clone: identical
+/// outcome (fault or not), identical fault, identical cycles and pc. With
+/// `expect_fault`, additionally require the step to fault — the stale
+/// grant, if honoured, would let it succeed.
+fn assert_step_matches_reference(
+    cpu: &mut Cpu<UmpuEnv>,
+    eng: &mut TurboEngine,
+    expect_fault: bool,
+) {
+    let mut reference = cpu.clone();
+    let turbo = eng.step(cpu, 0);
+    let r = reference.step();
+    assert_eq!(
+        format!("{turbo:?}"),
+        format!("{r:?}"),
+        "turbo diverged from the reference step after the mutation"
+    );
+    assert_eq!(cpu.cycles(), reference.cycles(), "cycle divergence");
+    assert_eq!(cpu.pc, reference.pc, "pc divergence");
+    if expect_fault {
+        assert!(turbo.is_err(), "stale turbo fetch grant was honoured");
+    }
+}
+
+/// `set_current_domain`: after a host domain switch to a domain with no
+/// code region, the granted page must no longer be fetchable.
+#[test]
+fn domain_switch_revokes_the_page_grant() {
+    let (mut cpu, mut eng) = granted_machine();
+    cpu.env.set_current_domain(DomainId::num(3));
+    assert_step_matches_reference(&mut cpu, &mut eng, true);
+}
+
+/// `set_code_region`: editing the active domain's region away from the
+/// granted page must revoke it.
+#[test]
+fn code_region_edit_revokes_the_page_grant() {
+    let (mut cpu, mut eng) = granted_machine();
+    cpu.env.set_code_region(DomainId::num(2), 0x2000, 0x2100);
+    assert_step_matches_reference(&mut cpu, &mut eng, true);
+}
+
+/// `clear_code_region`: unloading the active domain's code must revoke it.
+#[test]
+fn code_region_clear_revokes_the_page_grant() {
+    let (mut cpu, mut eng) = granted_machine();
+    cpu.env.clear_code_region(DomainId::num(2));
+    assert_step_matches_reference(&mut cpu, &mut eng, true);
+}
+
+/// `configure`: a reconfiguration that shrinks the jump-table window must
+/// revoke a grant established inside the old window. Domain 2 runs in its
+/// own jump-table page (word `0x0900`, fetchable by any user domain while
+/// `jt_domains = 8`); after reconfiguring with a single jump table, that
+/// page is outside every granted interval.
+#[test]
+fn reconfiguration_revokes_a_jump_table_page_grant() {
+    let jt_page = u32::from(CFG.jt_base) + 2 * 128;
+    let mut env = UmpuEnv::new();
+    env.configure(&CFG);
+    env.flash.load_program(jt_page, &[Instr::Nop, Instr::Nop, Instr::Nop, Instr::Rjmp { k: -4 }]);
+    env.set_current_domain(DomainId::num(2));
+    let mut cpu = Cpu::new(env);
+    cpu.pc = jt_page;
+    let mut eng = TurboEngine::new();
+    for _ in 0..4 {
+        eng.step(&mut cpu, 0).expect("jump-table page steps cleanly");
+    }
+    assert!(eng.stats().cached >= 4, "setup must run through the cached fast path");
+
+    let shrunk = UmpuConfig { jt_domains: 1, ..CFG };
+    cpu.env.configure(&shrunk);
+    cpu.env.set_current_domain(DomainId::num(2)); // configure leaves the domain alone
+    assert_step_matches_reference(&mut cpu, &mut eng, true);
+}
+
+/// `recover_to_trusted`: recovery can only *widen* fetch rights (the
+/// trusted domain fetches anywhere), so the assertion is identity rather
+/// than a fault — plus the epoch bump itself, which is what keeps a later
+/// narrowing mutation from inheriting the pre-recovery grant.
+#[test]
+fn recovery_bumps_the_epoch_and_stays_identical() {
+    let (mut cpu, mut eng) = granted_machine();
+    let before = cpu.env.cfi_epoch();
+    cpu.env.recover_to_trusted();
+    assert!(cpu.env.cfi_epoch() > before, "recovery must bump the CFI epoch");
+    assert_step_matches_reference(&mut cpu, &mut eng, false);
+}
+
+/// `umpu_io_write`: the in-band mutation. Trusted code writes the
+/// active-domain port mid-run; the very next fetch happens as the new
+/// domain, which has no code region — the grant the trusted code
+/// established over its own page must not carry over.
+#[test]
+fn port_write_domain_switch_revokes_the_page_grant() {
+    let mut env = UmpuEnv::new();
+    env.configure(&CFG);
+    // Trusted kernel page at 0: switch to domain 3, then keep executing.
+    env.flash.load_program(
+        0,
+        &[
+            Instr::Ldi { d: Reg::R16, k: 3 },
+            Instr::Out { a: PORT_DOM_ID, r: Reg::R16 },
+            Instr::Nop,
+            Instr::Break,
+        ],
+    );
+    let mut cpu = Cpu::new(env);
+    let mut eng = TurboEngine::new();
+    eng.step(&mut cpu, 0).expect("ldi");
+    eng.step(&mut cpu, 0).expect("out (trusted may write config ports)");
+    assert!(eng.stats().cached >= 2, "setup must run through the cached fast path");
+    // Now executing as domain 3 with no code region: the fetch of `nop`
+    // must fault, stale grant or not.
+    assert_step_matches_reference(&mut cpu, &mut eng, true);
+}
+
+/// Every bump site, in one sweep: the epoch is strictly monotonic across
+/// each mutation (a site that forgets to bump shows up here even if no
+/// end-to-end scenario above happens to catch it).
+#[test]
+fn every_bump_site_advances_the_epoch() {
+    let mut env = UmpuEnv::new();
+    let mut last = env.cfi_epoch();
+    let mut check = |env: &mut UmpuEnv, site: &str| {
+        assert!(env.cfi_epoch() > last, "`{site}` did not bump the CFI epoch");
+        last = env.cfi_epoch();
+    };
+    env.configure(&CFG);
+    check(&mut env, "configure");
+    env.set_current_domain(DomainId::num(2));
+    check(&mut env, "set_current_domain");
+    env.set_code_region(DomainId::num(2), 0x1000, 0x1100);
+    check(&mut env, "set_code_region");
+    env.clear_code_region(DomainId::num(2));
+    check(&mut env, "clear_code_region");
+    env.recover_to_trusted();
+    check(&mut env, "recover_to_trusted");
+    env.io_write(PORT_DOM_ID, 0x07).expect("trusted port write");
+    check(&mut env, "umpu_io_write");
+}

@@ -19,11 +19,22 @@ echo "== cargo test -q (HARBOR_TURBO=1 matrix leg)"
 # and kernel test must pass with the engine substituted in.
 HARBOR_TURBO=1 cargo test -q -p mini-sos -p harbor-sfi -p harbor-fleet -p harbor-repro
 
+echo "== cargo test -q (HARBOR_PROVE=1 matrix leg)"
+# Same systems with certified-store elision substituted in: UMPU elision is
+# byte-identical, so every kernel and identity test must still pass.
+HARBOR_PROVE=1 cargo test -q -p mini-sos -p harbor-sfi -p harbor-fleet -p harbor-repro
+
 echo "== turbo_speedup --check"
 # Gate: reference cycles pinned to the golden value (the turbo subsystem,
 # when disabled, must not perturb reference execution), and turbo
 # byte-identical to reference on the same fleet.
 cargo run -q -p harbor-bench --bin turbo_speedup -- --check
+
+echo "== harbor_prove --check"
+# Gate: store certificates are deterministic, per-module elision rates
+# stay above their pinned floors, and an 8-node fleet reports identical
+# telemetry with elision on and off.
+cargo run -q -p harbor-bench --bin harbor_prove -- --check
 
 echo "== harbor-flow lint-modules -D"
 cargo run -q -p harbor-flow --bin lint-modules -- -D
