@@ -1,0 +1,135 @@
+//! Tower overhead bench: host wall-time of a blackbox-equipped fleet run
+//! with versus without the harbor-tower aggregation pipeline attached, at
+//! 64/256/512 nodes. The tower samples bounded per-node counter deltas
+//! once per round (no per-event hooks, no per-node retention), so
+//! always-on aggregation must stay within a few percent of the
+//! blackbox-only run.
+//!
+//! Methodology mirrors `blackbox_overhead`: an active fleet (Blink, Tree
+//! Routing and the patched Surge all firing every round), the two modes
+//! run *interleaved*, each reporting its minimum over [`ITERS`]
+//! alternating pairs so a host load spike penalises both modes equally.
+//! The tower is observational — the simulated machines must be
+//! byte-identical with and without it — so the bench asserts equal cycle
+//! and instruction totals before reporting wall-clock cost. Results land
+//! in `BENCH_tower.json`.
+//!
+//! ```sh
+//! cargo run --release -p harbor-bench --bin tower_overhead -- --seed 7
+//! ```
+
+use harbor::DomainId;
+use harbor_fleet::{BlackboxConfig, Fleet, FleetConfig, NetConfig, TowerConfig};
+use mini_sos::kernel::MSG_TIMER;
+use mini_sos::{modules, Protection};
+use std::time::Instant;
+
+const ROUNDS: u64 = 40;
+
+/// Alternating blackbox-only/tower pairs per node count; each mode reports
+/// its minimum, which converges on the quiet-host time.
+const ITERS: usize = 16;
+
+struct Run {
+    wall_ms: f64,
+    cycles: u64,
+    instructions: u64,
+    ingested: u64,
+}
+
+/// One timed run, blackbox always on, tower optional.
+fn run_once(nodes: usize, tower: bool, seed: u64) -> Run {
+    let cfg = FleetConfig {
+        nodes,
+        protection: Protection::Umpu,
+        seed,
+        net: NetConfig { loss: 0.1, ..NetConfig::default() },
+        threads: 1, // serial: wall-time differences come from the tower only
+        blackbox: Some(BlackboxConfig::default()),
+        cohorts: 8,
+        tower: tower.then(TowerConfig::default),
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::new(
+        &cfg,
+        &[modules::blink(0), modules::tree_routing(1), modules::surge_fixed(3, 1)],
+    )
+    .expect("fleet builds");
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        fleet.post_all(DomainId::num(0), MSG_TIMER);
+        fleet.post_all(DomainId::num(1), MSG_TIMER);
+        fleet.post_all(DomainId::num(3), MSG_TIMER);
+        fleet.step_round();
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let ingested = fleet.tower_rollup().map_or(0, |r| r.ingested);
+    let t = fleet.telemetry();
+    Run {
+        wall_ms,
+        cycles: t.total(|n| n.cycles),
+        instructions: t.total(|n| n.instructions),
+        ingested,
+    }
+}
+
+fn seed_from_args() -> u64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--seed" {
+            let v = args.next().expect("--seed needs a value");
+            return v.parse().expect("--seed must be a u64");
+        }
+    }
+    0x70_3e_12
+}
+
+fn main() {
+    let seed = seed_from_args();
+    println!(
+        "tower_overhead: seed={seed}, {ROUNDS} rounds per run, \
+         min over {ITERS} interleaved pairs, serial stepping, blackbox on\n"
+    );
+    println!(
+        "{:>6}  {:>12}  {:>10}  {:>10}  {:>10}  identical",
+        "nodes", "blackbox ms", "tower ms", "overhead", "samples"
+    );
+
+    // Warm the allocator and caches before anything is timed.
+    run_once(64, false, seed);
+
+    let mut runs = Vec::new();
+    for nodes in [64usize, 256, 512] {
+        let mut base = run_once(nodes, false, seed);
+        let mut tow = run_once(nodes, true, seed);
+        for _ in 1..ITERS {
+            let b = run_once(nodes, false, seed);
+            let t = run_once(nodes, true, seed);
+            assert_eq!((b.cycles, b.instructions), (base.cycles, base.instructions));
+            assert_eq!((t.cycles, t.instructions), (tow.cycles, tow.instructions));
+            base.wall_ms = base.wall_ms.min(b.wall_ms);
+            tow.wall_ms = tow.wall_ms.min(t.wall_ms);
+        }
+        let identical = base.cycles == tow.cycles && base.instructions == tow.instructions;
+        assert!(identical, "{nodes}-node run: the tower must not perturb the machines");
+        assert_eq!(tow.ingested, nodes as u64 * ROUNDS, "one sample per node per round");
+        let overhead_pct = (tow.wall_ms / base.wall_ms - 1.0) * 100.0;
+        println!(
+            "{nodes:>6}  {:>12.1}  {:>10.1}  {:>9.1}%  {:>10}  {identical}",
+            base.wall_ms, tow.wall_ms, overhead_pct, tow.ingested
+        );
+        runs.push(format!(
+            "{{\"nodes\":{nodes},\"rounds\":{ROUNDS},\
+             \"blackbox_ms\":{:.3},\"tower_ms\":{:.3},\"overhead_pct\":{:.2},\
+             \"samples\":{},\"machine_identical\":{identical}}}",
+            base.wall_ms, tow.wall_ms, overhead_pct, tow.ingested
+        ));
+    }
+
+    let json = format!(
+        "{{\"bench\":\"tower_overhead\",\"seed\":{seed},\"iters\":{ITERS},\"runs\":[{}]}}",
+        runs.join(",")
+    );
+    std::fs::write("BENCH_tower.json", &json).expect("write BENCH_tower.json");
+    println!("\nwrote BENCH_tower.json");
+}

@@ -31,6 +31,18 @@ impl AlertKind {
             AlertKind::RingDropRate => "ring_drop_rate",
         }
     }
+
+    /// Dense index (0..[`AlertKind::COUNT`]) for per-kind accumulation.
+    pub const fn index(self) -> usize {
+        match self {
+            AlertKind::FaultRate => 0,
+            AlertKind::RetransmitRate => 1,
+            AlertKind::RingDropRate => 2,
+        }
+    }
+
+    /// Number of alert kinds.
+    pub const COUNT: usize = 3;
 }
 
 /// One raised alert.

@@ -130,14 +130,22 @@ fn main() -> ExitCode {
     } else if args.is_empty() {
         run_demo()
     } else {
+        let mut dumps = Vec::with_capacity(args.len());
         for path in &args {
             match load_dump(path) {
-                Ok(dump) => println!("{}", report(&dump)),
+                Ok(dump) => dumps.push(dump),
                 Err(e) => {
                     eprintln!("harbor-postmortem: {e}");
                     return ExitCode::FAILURE;
                 }
             }
+        }
+        // Report in (node, fault cycle) order, not argv/discovery order:
+        // the rendering is diffable no matter how the shell globbed the
+        // dump files.
+        dumps.sort_by_key(|d| (d.node, d.fault.cycles));
+        for dump in &dumps {
+            println!("{}", report(dump));
         }
         ExitCode::SUCCESS
     }

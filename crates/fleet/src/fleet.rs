@@ -27,6 +27,7 @@ use harbor_blackbox::{
     Alert, CausalKind, CausalLog, CausalRecord, FlightRecorder, LamportClock, Postmortem,
     RecorderConfig, Watchdog, WatchdogConfig, SEEDER_ID,
 };
+use harbor_tower::{FleetRollup, Tower, TowerConfig};
 use mini_sos::loader::{LoadError, ModuleSource};
 use mini_sos::{Protection, SosLayout, SosSystem};
 use std::collections::BTreeSet;
@@ -87,6 +88,17 @@ pub struct FleetConfig {
     /// telemetry-identical either way (regression-tested in
     /// `tests/fleet_prove.rs`); a no-op under the other builds.
     pub prove: bool,
+    /// Cohort count for telemetry grouping: node `i` is tagged cohort
+    /// `i % cohorts`. Purely observational (a stand-in for a rollout ring
+    /// or hardware batch); `1` puts the whole fleet in cohort 0.
+    pub cohorts: u32,
+    /// Optional telemetry-aggregation pipeline. When set, the fleet feeds
+    /// every node's per-round counter deltas, postmortem dumps and
+    /// watchdog alerts into a [`harbor_tower::Tower`] and
+    /// [`Fleet::tower_rollup`] serves the merged per-cohort rollup.
+    /// Observational like `scope`/`blackbox`: the simulated machines stay
+    /// byte-identical.
+    pub tower: Option<TowerConfig>,
 }
 
 /// Blackbox sizing for every node in the fleet: flight-recorder depth and
@@ -114,6 +126,8 @@ impl Default for FleetConfig {
             blackbox: None,
             turbo: false,
             prove: false,
+            cohorts: 1,
+            tower: None,
         }
     }
 }
@@ -213,6 +227,7 @@ pub struct Fleet {
     nodes: Vec<Mutex<Node>>,
     radio: Radio,
     seeder: Option<Seeder>,
+    tower: Option<Tower>,
     next_image_id: u16,
     round: u64,
 }
@@ -259,6 +274,7 @@ impl Fleet {
                     sys.attach_scope(spec.build());
                 }
                 let mut node = Node::new(i as u32, cfg.seed, sys);
+                node.cohort = i as u32 % cfg.cohorts.max(1);
                 if let Some(bb) = cfg.blackbox {
                     let recorder = FlightRecorder::new(bb.recorder);
                     // An explicit scope spec wins; otherwise the recorder
@@ -283,6 +299,7 @@ impl Fleet {
             nodes,
             radio: Radio::new(cfg.seed, cfg.nodes as u32, cfg.net),
             seeder: None,
+            tower: cfg.tower.as_ref().map(Tower::new),
             next_image_id: 1,
             round: 0,
         })
@@ -403,7 +420,36 @@ impl Fleet {
             }
         }
 
+        // Phase 4 (serial): feed the tower in node-id order. Ingestion is
+        // order-insensitive within a round (every aggregate is a sum), but
+        // a fixed order keeps the phase schedule-independent by
+        // construction, like phase 3.
+        if self.tower.is_some() {
+            self.feed_tower(round, true);
+        }
+
         self.round += 1;
+    }
+
+    /// Streams every node's counter deltas, fresh postmortem dumps and
+    /// fresh watchdog alerts into the tower. `is_round` marks a real
+    /// round boundary; a residual drain (host posts after the last round)
+    /// adjusts totals without counting as a node-round sample.
+    fn feed_tower(&mut self, round: u64, is_round: bool) {
+        let Some(tower) = &mut self.tower else { return };
+        for n in &mut self.nodes {
+            let node = n.get_mut().expect("node lock");
+            let sample = node.tower_sample(round, is_round);
+            if is_round || !sample.deltas.is_zero() {
+                tower.ingest(&sample);
+            }
+            for dump in node.unrouted_dumps() {
+                tower.ingest_dump(node.cohort, &dump);
+            }
+            for alert in node.unrouted_alerts() {
+                tower.ingest_alert(alert.node, node.cohort, alert.kind.index());
+            }
+        }
     }
 
     fn step_nodes(&mut self, round: u64) {
@@ -520,17 +566,35 @@ impl Fleet {
         }
     }
 
-    /// Every postmortem dump the fleet's flight recorders froze, in
-    /// node-id order (each node's dumps oldest first). Empty unless the
-    /// config enabled the blackbox.
+    /// The merged telemetry rollup: per-cohort time series, health
+    /// scores, top-K offenders and the dump index. `None` unless the
+    /// config attached a tower. Drains any residual counter movement
+    /// first (host-side posts after the last round), so the rollup's
+    /// totals reconcile exactly against [`Fleet::telemetry`] at any
+    /// point, not just on a round boundary.
+    pub fn tower_rollup(&mut self) -> Option<FleetRollup> {
+        self.tower.is_some().then(|| {
+            let round = self.round;
+            self.feed_tower(round, false);
+            self.tower.as_ref().expect("tower attached").rollup()
+        })
+    }
+
+    /// Every postmortem dump the fleet's flight recorders froze, sorted
+    /// by `(node, fault cycle stamp)` — a total order independent of
+    /// discovery order, so reports built from it are diffable. Empty
+    /// unless the config enabled the blackbox.
     pub fn dumps(&mut self) -> Vec<Postmortem> {
-        self.nodes
+        let mut dumps: Vec<Postmortem> = self
+            .nodes
             .iter_mut()
             .flat_map(|n| {
                 let node = n.get_mut().expect("node lock");
                 node.recorder.as_ref().map_or(Vec::new(), |r| r.dumps().to_vec())
             })
-            .collect()
+            .collect();
+        dumps.sort_by_key(|d| (d.node, d.fault.cycles));
+        dumps
     }
 
     /// Every causal log in the run: the nodes in id order, then the

@@ -22,6 +22,12 @@
 //! * [`campaign`] — fleet-scale fault-injection campaigns measuring
 //!   containment and recovery under the three protection builds.
 //!
+//! With [`FleetConfig::tower`] set, every round also streams per-node
+//! counter deltas, postmortem dumps and watchdog alerts into a
+//! `harbor-tower` aggregation pipeline; [`Fleet::tower_rollup`] serves the
+//! merged per-cohort rollup (time series, health scores, top-K offenders,
+//! dump index) that the `harbor-tower` CLI renders and gates on.
+//!
 //! Everything is reproducible from a single `u64` seed: the radio, every
 //! node and every campaign derive their generators from it, and no ambient
 //! entropy exists anywhere in the crate.
@@ -60,6 +66,7 @@ pub mod telemetry;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
 pub use fleet::{BlackboxConfig, Fleet, FleetConfig};
+pub use harbor_tower::{FleetRollup, HealthConfig, TowerConfig};
 pub use image::{ImageError, ModuleImage};
 pub use net::{Envelope, NetConfig, Packet, Radio, BROADCAST, SEEDER};
 pub use node::Node;

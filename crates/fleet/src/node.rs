@@ -63,6 +63,10 @@ impl Dissem {
 pub struct Node {
     /// Node id (also its radio address).
     pub id: u32,
+    /// Cohort tag for fleet rollups (assigned by the fleet at build:
+    /// `id % cohorts`). Purely observational — nodes in different cohorts
+    /// run identical code; the tag only groups their telemetry.
+    pub cohort: u32,
     /// The node's simulated processor + kernel + modules.
     pub sys: SosSystem,
     /// This node's counters.
@@ -85,6 +89,16 @@ pub struct Node {
     /// every round, and a string-keyed counter lookup is too slow for that
     /// path.
     faults: u64,
+    // Elided-store total already mirrored into the metrics registry (the
+    // env counter is cumulative; the metric is fed by delta so clones of a
+    // warm prototype start clean).
+    elided_seen: u64,
+    // Cumulative totals already fed to the tower (delta baseline) plus
+    // high-water marks for dump/alert routing. All zero until the fleet's
+    // feed phase touches them; a tower-less run never does.
+    tower_prev: harbor_tower::CounterSet,
+    dumps_fed: usize,
+    alerts_fed: usize,
     dissem: Option<Dissem>,
     installed: Vec<u16>,
     quarantined: Vec<u16>,
@@ -97,6 +111,7 @@ impl Node {
     pub fn new(id: u32, fleet_seed: u64, sys: SosSystem) -> Node {
         Node {
             id,
+            cohort: 0,
             sys,
             telemetry: NodeTelemetry { id, ..NodeTelemetry::default() },
             inbox: Vec::new(),
@@ -107,6 +122,10 @@ impl Node {
             watchdog: None,
             seq: 0,
             faults: 0,
+            elided_seen: 0,
+            tower_prev: harbor_tower::CounterSet::default(),
+            dumps_fed: 0,
+            alerts_fed: 0,
             dissem: None,
             installed: Vec::new(),
             quarantined: Vec::new(),
@@ -238,9 +257,81 @@ impl Node {
         self.telemetry.idle_cycles = self.sys.idle_cycles();
         self.telemetry.instructions = self.sys.instructions();
         self.telemetry.ring_dropped = self.sys.scope().map_or(0, ScopeSink::dropped);
+        // Mirror the env's elided-store total into the metrics registry by
+        // delta; the key only ever appears once a store actually elides, so
+        // non-prove runs keep an unchanged registry.
+        let elided = self.sys.stores_elided();
+        if elided > self.elided_seen {
+            self.telemetry.metrics.inc("umpu.stores_elided", elided - self.elided_seen);
+            self.elided_seen = elided;
+        }
         if let Some(wd) = &mut self.watchdog {
             wd.observe(round, self.faults, self.telemetry.requests, self.telemetry.ring_dropped);
+            self.telemetry.alerts = wd.alerts().len() as u64;
         }
+    }
+
+    /// Snapshot of this node's cumulative totals in tower vocabulary.
+    fn tower_totals(&self) -> harbor_tower::CounterSet {
+        harbor_tower::CounterSet {
+            samples: 0, // set by the delta taker
+            cycles: self.telemetry.cycles,
+            idle_cycles: self.telemetry.idle_cycles,
+            instructions: self.telemetry.instructions,
+            rx: self.telemetry.rx,
+            tx: self.telemetry.tx,
+            messages: self.telemetry.messages,
+            queue_drops: self.telemetry.queue_drops,
+            chunks: self.telemetry.chunks,
+            retransmits: self.telemetry.requests,
+            faults: self.faults,
+            contained: self.telemetry.contained(),
+            recoveries: self.telemetry.recoveries(),
+            quarantined: self.telemetry.quarantined(),
+            installs: self.sys.modules_installed(),
+            unloads: self.sys.modules_unloaded(),
+            alerts: self.telemetry.alerts,
+            dumps: self.recorder.as_ref().map_or(0, |r| r.dumps().len() as u64),
+            ring_dropped: self.telemetry.ring_dropped,
+            stores_elided: self.elided_seen,
+        }
+    }
+
+    /// One [`harbor_tower::RoundSample`] for the fleet's feed phase: the
+    /// delta of every cumulative counter since the previous sample. Pass
+    /// `is_round: false` for a residual drain after the last round (counts
+    /// host-side posts that landed after stepping; contributes no sample).
+    pub fn tower_sample(&mut self, round: u64, is_round: bool) -> harbor_tower::RoundSample {
+        let totals = self.tower_totals();
+        let mut deltas = totals.delta(&self.tower_prev);
+        self.tower_prev = totals;
+        deltas.samples = u64::from(is_round);
+        harbor_tower::RoundSample {
+            node: self.id,
+            cohort: self.cohort,
+            round,
+            deltas,
+            faults_total: self.faults,
+            alerts_total: self.telemetry.alerts,
+        }
+    }
+
+    /// Postmortem dumps frozen since the last feed (tower routing).
+    pub fn unrouted_dumps(&mut self) -> Vec<harbor_blackbox::Postmortem> {
+        let Some(rec) = &self.recorder else { return Vec::new() };
+        let dumps = rec.dumps();
+        let fresh = dumps[self.dumps_fed.min(dumps.len())..].to_vec();
+        self.dumps_fed = dumps.len();
+        fresh
+    }
+
+    /// Watchdog alerts raised since the last feed (tower routing).
+    pub fn unrouted_alerts(&mut self) -> Vec<harbor_blackbox::Alert> {
+        let Some(wd) = &self.watchdog else { return Vec::new() };
+        let alerts = wd.alerts();
+        let fresh = alerts[self.alerts_fed.min(alerts.len())..].to_vec();
+        self.alerts_fed = alerts.len();
+        fresh
     }
 
     fn receive(&mut self, round: u64, packet: Packet) {

@@ -38,6 +38,10 @@ pub struct NodeTelemetry {
     /// sink attached) — nonzero means postmortems on this node are losing
     /// history.
     pub ring_dropped: u64,
+    /// Watchdog alerts this node has raised (0 with no blackbox attached).
+    /// Alert decisions are a pure function of the node's own counters, so
+    /// the count is schedule-independent like everything else here.
+    pub alerts: u64,
     /// Round at which the disseminated module was installed, if it was.
     pub installed_round: Option<u64>,
     /// Named counters + histograms for everything protection-related.
@@ -74,7 +78,7 @@ impl NodeTelemetry {
             "{{\"id\":{},\"cycles\":{},\"idle_cycles\":{},\"instructions\":{},\
              \"rx\":{},\"tx\":{},\"messages\":{},\"queue_drops\":{},\
              \"faults\":{},\"contained\":{},\"recoveries\":{},\
-             \"chunks\":{},\"requests\":{},\"ring_dropped\":{},\
+             \"chunks\":{},\"requests\":{},\"ring_dropped\":{},\"alerts\":{},\
              \"quarantined\":{},\"installed_round\":{}}}",
             self.id,
             self.cycles,
@@ -90,6 +94,7 @@ impl NodeTelemetry {
             self.chunks,
             self.requests,
             self.ring_dropped,
+            self.alerts,
             self.quarantined(),
             match self.installed_round {
                 Some(r) => r.to_string(),
@@ -199,7 +204,7 @@ impl FleetTelemetry {
              \"packets_sent\":{},\"packets_delivered\":{},\"packets_dropped\":{},\
              \"total_cycles\":{},\"total_instructions\":{},\
              \"total_faults\":{},\"total_contained\":{},\"total_recoveries\":{},\
-             \"total_ring_dropped\":{},",
+             \"total_ring_dropped\":{},\"total_alerts\":{},",
             self.seed,
             self.protection,
             self.nodes,
@@ -218,6 +223,7 @@ impl FleetTelemetry {
             self.total(NodeTelemetry::contained),
             self.total(NodeTelemetry::recoveries),
             self.total(|n| n.ring_dropped),
+            self.total(|n| n.alerts),
         ));
         if let Some(scope) = &self.scope {
             s.push_str(&format!("\"scope\":{},", scope.to_json()));
@@ -261,7 +267,8 @@ mod tests {
         assert!(j.contains("\"installed_round\":null"));
         assert!(j.contains("\"quarantined\":0"));
         assert!(j.contains("\"total_ring_dropped\":0"));
-        assert!(j.contains("\"ring_dropped\":0"));
+        assert!(j.contains("\"total_alerts\":0"));
+        assert!(j.contains("\"ring_dropped\":0,\"alerts\":0"));
         assert!(!j.contains("\"scope\""), "no sink attached, no scope key");
         assert_eq!(j, t.clone().to_json());
         let mut parallel = t.clone();

@@ -98,6 +98,11 @@ pub struct SosSystem {
     // invalidation discipline.
     store_certs: Vec<(DomainId, harbor_flow::StoreCertificate)>,
     certs_generation: u64,
+    // Lifecycle counts for post-boot dynamic loads — boot-time module
+    // registration is not counted. Observability only (fleet rollups
+    // attribute OTA churn per cohort from these).
+    modules_installed: u64,
+    modules_unloaded: u64,
 }
 
 impl SosSystem {
@@ -191,6 +196,8 @@ impl SosSystem {
             prove: false,
             store_certs: Vec::new(),
             certs_generation: 0,
+            modules_installed: 0,
+            modules_unloaded: 0,
         };
         if prove_env_default() {
             sys.set_prove(true);
@@ -309,6 +316,26 @@ impl SosSystem {
     /// invalidation point.
     pub fn flash_generation(&self) -> u64 {
         self.flash_generation
+    }
+
+    /// Run-time count of stores that took the certified elided path
+    /// (`harbor-prove` under the UMPU build; always 0 otherwise).
+    pub fn stores_elided(&self) -> u64 {
+        match &self.mach {
+            Mach::Umpu(c) => c.env.stores_elided(),
+            Mach::Plain(_) => 0,
+        }
+    }
+
+    /// Modules dynamically installed since boot (boot-time registration
+    /// is not counted).
+    pub fn modules_installed(&self) -> u64 {
+        self.modules_installed
+    }
+
+    /// Modules unloaded since boot.
+    pub fn modules_unloaded(&self) -> u64 {
+        self.modules_unloaded
     }
 
     /// Attaches a trace sink: from here on, every protection decision,
@@ -582,6 +609,7 @@ impl SosSystem {
         let dom = loaded.domain;
         self.modules.push(loaded);
         self.rebuild_elision();
+        self.modules_installed += 1;
         let cycles = self.cycles();
         self.emit(Event::ModuleInstall { cycles, domain: dom.index() });
         self.post(dom, MSG_INIT);
@@ -636,6 +664,7 @@ impl SosSystem {
             }
         }
         self.rebuild_elision();
+        self.modules_unloaded += 1;
         let cycles = self.cycles();
         self.emit(Event::ModuleUnload { cycles, domain: dom.index() });
     }

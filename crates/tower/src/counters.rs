@@ -1,0 +1,200 @@
+//! Mergeable counter bundles — the unit of ingestion and aggregation.
+//!
+//! A [`CounterSet`] carries one round's *deltas* for one node (or the
+//! element-wise sum of many such deltas). All aggregation in tower is
+//! addition of these bundles, so any grouping — per window, per cohort,
+//! per shard — merges commutatively and associatively and the rollup is
+//! independent of how nodes were partitioned.
+
+/// Macro-free, fixed-order counter bundle. Field order here is the JSON
+/// key order; keep the two in sync (`to_json` and `FIELDS`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    /// Node-round samples folded into this bundle.
+    pub samples: u64,
+    pub cycles: u64,
+    pub idle_cycles: u64,
+    pub instructions: u64,
+    pub rx: u64,
+    pub tx: u64,
+    pub messages: u64,
+    pub queue_drops: u64,
+    pub chunks: u64,
+    pub retransmits: u64,
+    pub faults: u64,
+    pub contained: u64,
+    pub recoveries: u64,
+    pub quarantined: u64,
+    pub installs: u64,
+    pub unloads: u64,
+    pub alerts: u64,
+    pub dumps: u64,
+    pub ring_dropped: u64,
+    pub stores_elided: u64,
+}
+
+impl CounterSet {
+    /// Field names in JSON/render order.
+    pub const FIELDS: [&'static str; 20] = [
+        "samples",
+        "cycles",
+        "idle_cycles",
+        "instructions",
+        "rx",
+        "tx",
+        "messages",
+        "queue_drops",
+        "chunks",
+        "retransmits",
+        "faults",
+        "contained",
+        "recoveries",
+        "quarantined",
+        "installs",
+        "unloads",
+        "alerts",
+        "dumps",
+        "ring_dropped",
+        "stores_elided",
+    ];
+
+    /// Values in the same order as [`Self::FIELDS`].
+    pub fn values(&self) -> [u64; 20] {
+        [
+            self.samples,
+            self.cycles,
+            self.idle_cycles,
+            self.instructions,
+            self.rx,
+            self.tx,
+            self.messages,
+            self.queue_drops,
+            self.chunks,
+            self.retransmits,
+            self.faults,
+            self.contained,
+            self.recoveries,
+            self.quarantined,
+            self.installs,
+            self.unloads,
+            self.alerts,
+            self.dumps,
+            self.ring_dropped,
+            self.stores_elided,
+        ]
+    }
+
+    /// Element-wise accumulate.
+    pub fn add(&mut self, other: &CounterSet) {
+        self.samples += other.samples;
+        self.cycles += other.cycles;
+        self.idle_cycles += other.idle_cycles;
+        self.instructions += other.instructions;
+        self.rx += other.rx;
+        self.tx += other.tx;
+        self.messages += other.messages;
+        self.queue_drops += other.queue_drops;
+        self.chunks += other.chunks;
+        self.retransmits += other.retransmits;
+        self.faults += other.faults;
+        self.contained += other.contained;
+        self.recoveries += other.recoveries;
+        self.quarantined += other.quarantined;
+        self.installs += other.installs;
+        self.unloads += other.unloads;
+        self.alerts += other.alerts;
+        self.dumps += other.dumps;
+        self.ring_dropped += other.ring_dropped;
+        self.stores_elided += other.stores_elided;
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.values().iter().all(|&v| v == 0)
+    }
+
+    /// Element-wise `self - prev`, saturating at zero — turns two
+    /// snapshots of cumulative totals into a per-round delta bundle.
+    pub fn delta(&self, prev: &CounterSet) -> CounterSet {
+        CounterSet {
+            samples: self.samples.saturating_sub(prev.samples),
+            cycles: self.cycles.saturating_sub(prev.cycles),
+            idle_cycles: self.idle_cycles.saturating_sub(prev.idle_cycles),
+            instructions: self.instructions.saturating_sub(prev.instructions),
+            rx: self.rx.saturating_sub(prev.rx),
+            tx: self.tx.saturating_sub(prev.tx),
+            messages: self.messages.saturating_sub(prev.messages),
+            queue_drops: self.queue_drops.saturating_sub(prev.queue_drops),
+            chunks: self.chunks.saturating_sub(prev.chunks),
+            retransmits: self.retransmits.saturating_sub(prev.retransmits),
+            faults: self.faults.saturating_sub(prev.faults),
+            contained: self.contained.saturating_sub(prev.contained),
+            recoveries: self.recoveries.saturating_sub(prev.recoveries),
+            quarantined: self.quarantined.saturating_sub(prev.quarantined),
+            installs: self.installs.saturating_sub(prev.installs),
+            unloads: self.unloads.saturating_sub(prev.unloads),
+            alerts: self.alerts.saturating_sub(prev.alerts),
+            dumps: self.dumps.saturating_sub(prev.dumps),
+            ring_dropped: self.ring_dropped.saturating_sub(prev.ring_dropped),
+            stores_elided: self.stores_elided.saturating_sub(prev.stores_elided),
+        }
+    }
+
+    /// Deterministic JSON object, every field rendered, fixed order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        for (i, (name, value)) in Self::FIELDS.iter().zip(self.values()).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\":");
+            out.push_str(&value.to_string());
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// One node's telemetry delta for one round, tagged with its cohort —
+/// the wire unit between the fleet and a shard aggregator. `faults_total`
+/// and `alerts_total` are *cumulative* (not deltas): the top-K tracker
+/// needs absolute severity per node without any per-node state in the
+/// aggregator.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundSample {
+    pub node: u32,
+    pub cohort: u32,
+    pub round: u64,
+    pub deltas: CounterSet,
+    pub faults_total: u64,
+    pub alerts_total: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_renders_every_field_in_order() {
+        let c = CounterSet { samples: 1, stores_elided: 9, ..CounterSet::default() };
+        let json = c.to_json();
+        assert!(json.starts_with("{\"samples\":1,\"cycles\":0"));
+        assert!(json.ends_with("\"ring_dropped\":0,\"stores_elided\":9}"));
+        let keys = json.matches(':').count();
+        assert_eq!(keys, CounterSet::FIELDS.len());
+    }
+
+    #[test]
+    fn add_is_element_wise() {
+        let mut a = CounterSet { faults: 2, cycles: 10, ..CounterSet::default() };
+        let b = CounterSet { faults: 3, retransmits: 7, ..CounterSet::default() };
+        a.add(&b);
+        assert_eq!(a.faults, 5);
+        assert_eq!(a.cycles, 10);
+        assert_eq!(a.retransmits, 7);
+        assert!(!a.is_zero());
+        assert!(CounterSet::default().is_zero());
+    }
+}

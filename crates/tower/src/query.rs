@@ -1,0 +1,137 @@
+//! Human-readable query surface over a [`FleetRollup`] — the rendering
+//! half of the `harbor-tower` CLI. Everything here is a pure function
+//! of the rollup, so tables are as deterministic as the JSON.
+
+use crate::tower::FleetRollup;
+
+fn row(out: &mut String, cells: &[String], widths: &[usize]) {
+    for (cell, width) in cells.iter().zip(widths) {
+        out.push_str(&format!("{cell:>width$}  "));
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out.push('\n');
+}
+
+/// Per-cohort fault-rate table: samples, faults, per-myriad rates,
+/// recoveries, retransmits, cycle p99, health score.
+pub fn cohort_table(rollup: &FleetRollup) -> String {
+    let headers = [
+        "cohort",
+        "samples",
+        "faults",
+        "fault_pm",
+        "contained",
+        "recoveries",
+        "retransmits",
+        "alerts",
+        "cycles_p99",
+        "score",
+        "health",
+    ];
+    let widths: Vec<usize> = headers.iter().map(|h| h.len().max(10)).collect();
+    let mut out = String::new();
+    row(&mut out, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(), &widths);
+    for (c, h) in rollup.cohorts.iter().zip(&rollup.health) {
+        let t = &c.totals;
+        let fault_pm = (t.faults * 10_000).checked_div(t.samples).unwrap_or(0);
+        let cells = vec![
+            c.cohort.to_string(),
+            t.samples.to_string(),
+            t.faults.to_string(),
+            fault_pm.to_string(),
+            t.contained.to_string(),
+            t.recoveries.to_string(),
+            t.retransmits.to_string(),
+            t.alerts.to_string(),
+            c.cycle_sketch.quantile(9900).to_string(),
+            h.score.to_string(),
+            if h.healthy { "ok".to_string() } else { "UNHEALTHY".to_string() },
+        ];
+        row(&mut out, &cells, &widths);
+    }
+    out
+}
+
+/// Top-K offender table, descending severity.
+pub fn top_nodes_table(rollup: &FleetRollup) -> String {
+    let headers = ["node", "cohort", "faults", "alerts"];
+    let widths: Vec<usize> = headers.iter().map(|h| h.len().max(8)).collect();
+    let mut out = String::new();
+    row(&mut out, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(), &widths);
+    for n in &rollup.top_nodes {
+        let cells = vec![
+            n.node.to_string(),
+            n.cohort.to_string(),
+            n.faults.to_string(),
+            n.alerts.to_string(),
+        ];
+        row(&mut out, &cells, &widths);
+    }
+    out
+}
+
+/// Dump-index table, sorted by (node, cycles) like the rollup itself.
+pub fn dump_table(rollup: &FleetRollup) -> String {
+    let headers = ["id", "node", "cohort", "round", "domain", "code", "addr", "cycles"];
+    let widths: Vec<usize> = headers.iter().map(|h| h.len().max(14)).collect();
+    let mut out = String::new();
+    row(&mut out, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(), &widths);
+    for d in &rollup.dumps {
+        let cells = vec![
+            d.id.clone(),
+            d.node.to_string(),
+            d.cohort.to_string(),
+            d.round.to_string(),
+            d.domain.to_string(),
+            d.code.to_string(),
+            format!("0x{:04x}", d.addr),
+            d.cycles.to_string(),
+        ];
+        row(&mut out, &cells, &widths);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{CounterSet, RoundSample};
+    use crate::tower::{Tower, TowerConfig};
+
+    fn demo_rollup() -> FleetRollup {
+        let mut tower = Tower::new(&TowerConfig::default());
+        for round in 0..4 {
+            for node in 0..4u32 {
+                tower.ingest(&RoundSample {
+                    node,
+                    cohort: node % 2,
+                    round,
+                    deltas: CounterSet {
+                        samples: 1,
+                        cycles: 10,
+                        faults: u64::from(node == 1),
+                        ..CounterSet::default()
+                    },
+                    faults_total: u64::from(node == 1) * (round + 1),
+                    alerts_total: 0,
+                });
+            }
+        }
+        tower.rollup()
+    }
+
+    #[test]
+    fn tables_render_all_rows_deterministically() {
+        let rollup = demo_rollup();
+        let table = cohort_table(&rollup);
+        assert_eq!(table.lines().count(), 3, "header + two cohorts");
+        assert_eq!(table, cohort_table(&rollup));
+        assert!(table.contains("UNHEALTHY"), "crash-looping cohort flagged:\n{table}");
+        let top = top_nodes_table(&rollup);
+        assert_eq!(top.lines().count(), 2, "header + one offender");
+        assert!(top.lines().nth(1).unwrap().trim_start().starts_with('1'));
+        assert!(dump_table(&rollup).starts_with("            id"));
+    }
+}

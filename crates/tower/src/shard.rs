@@ -1,0 +1,382 @@
+//! Bounded-memory per-shard aggregation.
+//!
+//! A [`ShardAggregator`] owns a disjoint subset of the fleet (the fleet
+//! routes node `n` to shard `n % shards`) and folds every incoming
+//! [`RoundSample`] into per-cohort accumulators: running totals, a
+//! bounded time-series of per-window counter bundles (old windows are
+//! *folded*, never lost, so totals always reconcile exactly), a
+//! per-domain fault attribution table, a cycle-delta quantile sketch,
+//! and a bounded top-K severity candidate map. Nothing here retains
+//! per-node-per-round state: memory is O(cohorts × windows + top-K),
+//! independent of fleet size and run length.
+//!
+//! Everything a shard stores is mergeable by addition or by
+//! window-index-keyed addition, so the fleet rollup is byte-identical
+//! regardless of the shard count (see `FleetRollup`). The only
+//! deliberate partition-dependence is the per-shard candidate cap
+//! [`TOPK_CANDIDATES`], far above any realistic concurrent-offender
+//! count.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use harbor_blackbox::Postmortem;
+
+use crate::counters::{CounterSet, RoundSample};
+use crate::sketch::QuantileSketch;
+
+/// Per-shard cap on distinct nodes tracked for top-K severity ranking.
+/// Nodes with zero faults and zero alerts are never tracked.
+pub const TOPK_CANDIDATES: usize = 1024;
+/// Per-shard cap on indexed dump references.
+pub const DUMP_CAP: usize = 4096;
+/// Number of watchdog alert kinds (fault / retransmit / ring-drop).
+pub const ALERT_KINDS: usize = 3;
+
+/// One retained window of a cohort's time series.
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// Window index: `round / window_len`.
+    pub index: u64,
+    pub counters: CounterSet,
+}
+
+/// Severity record for one node, keyed by cumulative totals so it can
+/// be overwritten in place on every sample without per-round state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeStat {
+    pub node: u32,
+    pub cohort: u32,
+    pub faults: u64,
+    pub alerts: u64,
+}
+
+impl NodeStat {
+    /// Severity key: more faults, then more alerts, then lower node id.
+    fn rank(&self) -> (u64, u64, std::cmp::Reverse<u32>) {
+        (self.faults, self.alerts, std::cmp::Reverse(self.node))
+    }
+
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"node\":{},\"cohort\":{},\"faults\":{},\"alerts\":{}}}",
+            self.node, self.cohort, self.faults, self.alerts
+        )
+    }
+}
+
+/// Sort descending by severity (stable across shard counts: ties broken
+/// by node id, which is unique).
+pub fn rank_nodes(stats: &mut [NodeStat]) {
+    stats.sort_by_key(|s| std::cmp::Reverse(s.rank()));
+}
+
+/// Compact reference to one postmortem dump, addressable by a stable
+/// id: `n{node}-r{round}-c{fault_cycles}`.
+#[derive(Debug, Clone)]
+pub struct DumpRef {
+    pub id: String,
+    pub node: u32,
+    pub cohort: u32,
+    pub round: u64,
+    pub lamport: u64,
+    /// Domain at fault (raw 3-bit index, 7 = trusted).
+    pub domain: u8,
+    /// Fault code from the `FaultRecord`.
+    pub code: u16,
+    /// Faulting address.
+    pub addr: u16,
+    /// Cycle stamp of the fault.
+    pub cycles: u64,
+}
+
+impl DumpRef {
+    pub fn from_postmortem(cohort: u32, dump: &Postmortem) -> DumpRef {
+        DumpRef {
+            id: dump_id(dump.node, dump.round, dump.fault.cycles),
+            node: dump.node,
+            cohort,
+            round: dump.round,
+            lamport: dump.lamport,
+            domain: dump.at_fault.domain,
+            code: dump.fault.code,
+            addr: dump.fault.addr,
+            cycles: dump.fault.cycles,
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":\"{}\",\"node\":{},\"cohort\":{},\"round\":{},\"lamport\":{},\
+             \"domain\":{},\"code\":{},\"addr\":{},\"cycles\":{}}}",
+            self.id,
+            self.node,
+            self.cohort,
+            self.round,
+            self.lamport,
+            self.domain,
+            self.code,
+            self.addr,
+            self.cycles
+        )
+    }
+}
+
+/// The stable dump id scheme shared by the aggregator and the CLI.
+pub fn dump_id(node: u32, round: u64, fault_cycles: u64) -> String {
+    format!("n{node}-r{round}-c{fault_cycles}")
+}
+
+/// Per-cohort accumulator. Invariant: `totals == folded + Σ windows`
+/// (element-wise), checked by `debug_assert` after every mutation batch.
+#[derive(Debug, Clone, Default)]
+pub struct CohortAccum {
+    /// Running totals since ingestion began.
+    pub totals: CounterSet,
+    /// Sum of evicted windows (eviction folds, it never discards).
+    pub folded: CounterSet,
+    /// How many windows have been folded into `folded`.
+    pub folded_windows: u64,
+    /// Bounded live time series, oldest first, contiguous indices.
+    pub windows: VecDeque<Window>,
+    /// Faults attributed per protection domain (from dump routing).
+    pub domain_faults: [u64; 8],
+    /// Watchdog alerts per kind (fault-rate / retransmit / ring-drop).
+    pub alert_kinds: [u64; ALERT_KINDS],
+    /// Per-node-round cycle deltas.
+    pub cycle_sketch: QuantileSketch,
+}
+
+impl CohortAccum {
+    fn ingest(&mut self, window_index: u64, deltas: &CounterSet, max_windows: usize) {
+        self.totals.add(deltas);
+        // Residual drains (samples == 0) adjust totals without standing in
+        // as a node-round observation.
+        if deltas.samples > 0 {
+            self.cycle_sketch.observe(deltas.cycles);
+        }
+        match self.windows.back_mut() {
+            Some(w) if w.index == window_index => w.counters.add(deltas),
+            _ => {
+                debug_assert!(
+                    self.windows.back().is_none_or(|w| w.index < window_index),
+                    "window indices must be monotone"
+                );
+                self.windows.push_back(Window { index: window_index, counters: *deltas });
+            }
+        }
+        while self.windows.len() > max_windows.max(1) {
+            let old = self.windows.pop_front().expect("non-empty");
+            self.folded.add(&old.counters);
+            self.folded_windows += 1;
+        }
+    }
+
+    /// The fold invariant — totals are never lost to window eviction.
+    pub fn reconciles(&self) -> bool {
+        let mut sum = self.folded;
+        for w in &self.windows {
+            sum.add(&w.counters);
+        }
+        sum == self.totals
+    }
+}
+
+/// Aggregator for one disjoint slice of the fleet.
+#[derive(Debug, Clone)]
+pub struct ShardAggregator {
+    /// Rounds per time-series window.
+    window_len: u64,
+    /// Live windows retained per cohort before folding.
+    max_windows: usize,
+    /// Cohort id → accumulator. BTreeMap for deterministic iteration.
+    cohorts: BTreeMap<u32, CohortAccum>,
+    /// Bounded severity candidates, keyed by node id (disjoint across
+    /// shards, so merging candidate maps never collides).
+    candidates: BTreeMap<u32, NodeStat>,
+    /// Indexed dump references, in ingestion order.
+    dumps: Vec<DumpRef>,
+    /// Dumps dropped once `DUMP_CAP` was reached.
+    dumps_dropped: u64,
+    /// Total samples ingested.
+    ingested: u64,
+    /// Highest round seen.
+    last_round: u64,
+}
+
+impl ShardAggregator {
+    pub fn new(window_len: u64, max_windows: usize) -> ShardAggregator {
+        ShardAggregator {
+            window_len: window_len.max(1),
+            max_windows: max_windows.max(1),
+            cohorts: BTreeMap::new(),
+            candidates: BTreeMap::new(),
+            dumps: Vec::new(),
+            dumps_dropped: 0,
+            ingested: 0,
+            last_round: 0,
+        }
+    }
+
+    pub fn window_len(&self) -> u64 {
+        self.window_len
+    }
+
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    pub fn last_round(&self) -> u64 {
+        self.last_round
+    }
+
+    pub fn cohorts(&self) -> &BTreeMap<u32, CohortAccum> {
+        &self.cohorts
+    }
+
+    pub fn candidates(&self) -> &BTreeMap<u32, NodeStat> {
+        &self.candidates
+    }
+
+    pub fn dumps(&self) -> &[DumpRef] {
+        &self.dumps
+    }
+
+    pub fn dumps_dropped(&self) -> u64 {
+        self.dumps_dropped
+    }
+
+    /// Fold one node-round sample into the cohort accumulators.
+    pub fn ingest(&mut self, sample: &RoundSample) {
+        self.ingested += 1;
+        self.last_round = self.last_round.max(sample.round);
+        let window_index = sample.round / self.window_len;
+        let accum = self.cohorts.entry(sample.cohort).or_default();
+        accum.ingest(window_index, &sample.deltas, self.max_windows);
+        debug_assert!(accum.reconciles(), "cohort fold invariant broke");
+        if sample.faults_total > 0 || sample.alerts_total > 0 {
+            self.candidates.insert(
+                sample.node,
+                NodeStat {
+                    node: sample.node,
+                    cohort: sample.cohort,
+                    faults: sample.faults_total,
+                    alerts: sample.alerts_total,
+                },
+            );
+            if self.candidates.len() > TOPK_CANDIDATES {
+                let weakest = self
+                    .candidates
+                    .values()
+                    .min_by_key(|s| s.rank())
+                    .map(|s| s.node)
+                    .expect("non-empty");
+                self.candidates.remove(&weakest);
+            }
+        }
+    }
+
+    /// Route a postmortem dump: index it and attribute the fault to its
+    /// protection domain within the cohort series.
+    pub fn ingest_dump(&mut self, cohort: u32, dump: &Postmortem) {
+        let accum = self.cohorts.entry(cohort).or_default();
+        accum.domain_faults[(dump.at_fault.domain & 7) as usize] += 1;
+        if self.dumps.len() < DUMP_CAP {
+            self.dumps.push(DumpRef::from_postmortem(cohort, dump));
+        } else {
+            self.dumps_dropped += 1;
+        }
+    }
+
+    /// Route a watchdog alert by kind index (see `AlertKind::index`).
+    pub fn ingest_alert(&mut self, cohort: u32, kind_index: usize) {
+        let accum = self.cohorts.entry(cohort).or_default();
+        accum.alert_kinds[kind_index.min(ALERT_KINDS - 1)] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(node: u32, cohort: u32, round: u64, faults: u64) -> RoundSample {
+        RoundSample {
+            node,
+            cohort,
+            round,
+            deltas: CounterSet {
+                samples: 1,
+                cycles: 100 + node as u64,
+                faults,
+                ..CounterSet::default()
+            },
+            faults_total: faults * (round + 1),
+            alerts_total: 0,
+        }
+    }
+
+    #[test]
+    fn window_fold_preserves_totals() {
+        let mut shard = ShardAggregator::new(1, 4);
+        for round in 0..64 {
+            for node in 0..3 {
+                shard.ingest(&sample(node, 0, round, u64::from(node == 1)));
+            }
+        }
+        let accum = &shard.cohorts()[&0];
+        assert_eq!(accum.windows.len(), 4, "bounded retention");
+        assert_eq!(accum.folded_windows, 60);
+        assert!(accum.reconciles());
+        assert_eq!(accum.totals.samples, 192);
+        assert_eq!(accum.totals.faults, 64);
+        assert_eq!(shard.ingested(), 192);
+        assert_eq!(shard.last_round(), 63);
+    }
+
+    #[test]
+    fn window_len_groups_rounds() {
+        let mut shard = ShardAggregator::new(4, 100);
+        for round in 0..10 {
+            shard.ingest(&sample(0, 0, round, 0));
+        }
+        let accum = &shard.cohorts()[&0];
+        let idx: Vec<u64> = accum.windows.iter().map(|w| w.index).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+        assert_eq!(accum.windows[0].counters.samples, 4);
+        assert_eq!(accum.windows[2].counters.samples, 2);
+    }
+
+    #[test]
+    fn top_k_candidates_stay_bounded_and_keep_the_worst() {
+        let mut shard = ShardAggregator::new(1, 8);
+        for node in 0..(TOPK_CANDIDATES as u32 + 50) {
+            let mut s = sample(node, 0, 0, 1);
+            s.faults_total = u64::from(node) + 1;
+            shard.ingest(&s);
+        }
+        assert_eq!(shard.candidates().len(), TOPK_CANDIDATES);
+        let max = shard.candidates().values().map(|s| s.faults).max().unwrap();
+        assert_eq!(max, TOPK_CANDIDATES as u64 + 50, "worst offender retained");
+        let min = shard.candidates().values().map(|s| s.faults).min().unwrap();
+        assert_eq!(min, 51, "weakest candidates evicted first");
+    }
+
+    #[test]
+    fn zero_severity_nodes_are_never_tracked() {
+        let mut shard = ShardAggregator::new(1, 8);
+        shard.ingest(&sample(5, 0, 0, 0));
+        assert!(shard.candidates().is_empty());
+    }
+
+    #[test]
+    fn rank_orders_by_faults_then_alerts_then_node() {
+        let mut stats = vec![
+            NodeStat { node: 3, cohort: 0, faults: 1, alerts: 0 },
+            NodeStat { node: 1, cohort: 0, faults: 2, alerts: 0 },
+            NodeStat { node: 2, cohort: 0, faults: 1, alerts: 5 },
+            NodeStat { node: 0, cohort: 0, faults: 1, alerts: 0 },
+        ];
+        rank_nodes(&mut stats);
+        let order: Vec<u32> = stats.iter().map(|s| s.node).collect();
+        assert_eq!(order, vec![1, 2, 0, 3]);
+    }
+}

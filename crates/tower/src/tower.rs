@@ -1,0 +1,453 @@
+//! The tower pipeline: shard fan-out and fleet rollup.
+//!
+//! A [`Tower`] owns a fixed set of [`ShardAggregator`]s and routes each
+//! sample/dump/alert to `node % shards`. [`Tower::rollup`] merges the
+//! shards into one [`FleetRollup`] — per-cohort totals, window series,
+//! domain fault attribution, cycle percentiles, health scores, ranked
+//! top-K offenders and a dump index — rendered as deterministic JSON.
+//!
+//! Merging is window-index-keyed addition, so the rollup bytes are
+//! identical no matter how many shards the same samples were spread
+//! over (every per-shard structure is either a sum or keyed by data
+//! that does not depend on the partition). That property is what lets
+//! the CI gate compare a 1-shard and an N-shard run byte-for-byte.
+
+use std::collections::BTreeMap;
+
+use harbor_blackbox::Postmortem;
+
+use crate::counters::{CounterSet, RoundSample};
+use crate::health::{score_cohort, CohortHealth, HealthConfig};
+use crate::shard::{rank_nodes, DumpRef, NodeStat, ShardAggregator, Window, ALERT_KINDS};
+use crate::sketch::QuantileSketch;
+
+/// Pipeline shape. `Copy` so it can ride inside `FleetConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TowerConfig {
+    /// Aggregator shards; samples route by `node % shards`.
+    pub shards: u32,
+    /// Rounds per time-series window.
+    pub window_len: u64,
+    /// Live windows retained per (shard, cohort) before folding.
+    pub max_windows: u32,
+    /// Offenders reported by the rollup.
+    pub top_k: u32,
+    /// Health-score budgets.
+    pub health: HealthConfig,
+}
+
+impl Default for TowerConfig {
+    fn default() -> Self {
+        TowerConfig {
+            shards: 4,
+            window_len: 1,
+            max_windows: 512,
+            top_k: 10,
+            health: HealthConfig::default(),
+        }
+    }
+}
+
+/// Streaming aggregation pipeline for one fleet.
+#[derive(Debug, Clone)]
+pub struct Tower {
+    cfg: TowerConfig,
+    shards: Vec<ShardAggregator>,
+}
+
+impl Tower {
+    pub fn new(cfg: &TowerConfig) -> Tower {
+        let n = cfg.shards.max(1) as usize;
+        Tower {
+            cfg: *cfg,
+            shards: (0..n)
+                .map(|_| ShardAggregator::new(cfg.window_len, cfg.max_windows as usize))
+                .collect(),
+        }
+    }
+
+    pub fn config(&self) -> &TowerConfig {
+        &self.cfg
+    }
+
+    fn shard_of(&self, node: u32) -> usize {
+        node as usize % self.shards.len()
+    }
+
+    /// Total samples ingested across all shards.
+    pub fn ingested(&self) -> u64 {
+        self.shards.iter().map(|s| s.ingested()).sum()
+    }
+
+    pub fn ingest(&mut self, sample: &RoundSample) {
+        let shard = self.shard_of(sample.node);
+        self.shards[shard].ingest(sample);
+    }
+
+    pub fn ingest_dump(&mut self, cohort: u32, dump: &Postmortem) {
+        let shard = self.shard_of(dump.node);
+        self.shards[shard].ingest_dump(cohort, dump);
+    }
+
+    pub fn ingest_alert(&mut self, node: u32, cohort: u32, kind_index: usize) {
+        let shard = self.shard_of(node);
+        self.shards[shard].ingest_alert(cohort, kind_index);
+    }
+
+    /// Merge every shard into one fleet-wide rollup.
+    pub fn rollup(&self) -> FleetRollup {
+        // Cohort id → merged accumulators. Window merge is keyed by
+        // window index, which depends only on rounds — never on which
+        // shard a node landed in.
+        let mut cohorts: BTreeMap<u32, MergedCohort> = BTreeMap::new();
+        let mut candidates: Vec<NodeStat> = Vec::new();
+        let mut dumps: Vec<DumpRef> = Vec::new();
+        let mut dumps_dropped = 0u64;
+        let mut last_round = 0u64;
+        for shard in &self.shards {
+            last_round = last_round.max(shard.last_round());
+            for (&cohort, accum) in shard.cohorts() {
+                let merged = cohorts.entry(cohort).or_default();
+                merged.totals.add(&accum.totals);
+                merged.folded.add(&accum.folded);
+                merged.folded_windows = merged.folded_windows.max(accum.folded_windows);
+                for w in &accum.windows {
+                    merged.windows.entry(w.index).or_default().add(&w.counters);
+                }
+                for (a, b) in merged.domain_faults.iter_mut().zip(accum.domain_faults) {
+                    *a += b;
+                }
+                for (a, b) in merged.alert_kinds.iter_mut().zip(accum.alert_kinds) {
+                    *a += b;
+                }
+                merged.cycle_sketch.merge(&accum.cycle_sketch);
+            }
+            candidates.extend(shard.candidates().values().copied());
+            dumps.extend(shard.dumps().iter().cloned());
+            dumps_dropped += shard.dumps_dropped();
+        }
+
+        rank_nodes(&mut candidates);
+        candidates.truncate(self.cfg.top_k as usize);
+        // Node ids are unique fleet-wide, fault cycle stamps are unique
+        // per node: (node, cycles) is a total order, schedule-free.
+        dumps.sort_by_key(|d| (d.node, d.cycles));
+
+        let cohorts: Vec<CohortSeries> = cohorts
+            .into_iter()
+            .map(|(cohort, m)| CohortSeries {
+                cohort,
+                totals: m.totals,
+                folded: m.folded,
+                folded_windows: m.folded_windows,
+                windows: m
+                    .windows
+                    .into_iter()
+                    .map(|(index, counters)| Window { index, counters })
+                    .collect(),
+                domain_faults: m.domain_faults,
+                alert_kinds: m.alert_kinds,
+                cycle_sketch: m.cycle_sketch,
+            })
+            .collect();
+        let health: Vec<CohortHealth> =
+            cohorts.iter().map(|c| score_cohort(&self.cfg.health, c.cohort, &c.windows)).collect();
+
+        FleetRollup {
+            window_len: self.cfg.window_len.max(1),
+            last_round,
+            ingested: self.ingested(),
+            cohorts,
+            health,
+            top_nodes: candidates,
+            dumps,
+            dumps_dropped,
+        }
+    }
+}
+
+#[derive(Default)]
+struct MergedCohort {
+    totals: CounterSet,
+    folded: CounterSet,
+    folded_windows: u64,
+    windows: BTreeMap<u64, CounterSet>,
+    domain_faults: [u64; 8],
+    alert_kinds: [u64; ALERT_KINDS],
+    cycle_sketch: QuantileSketch,
+}
+
+/// One cohort's merged series within a [`FleetRollup`].
+#[derive(Debug, Clone)]
+pub struct CohortSeries {
+    pub cohort: u32,
+    pub totals: CounterSet,
+    /// Sum of windows evicted from the bounded series.
+    pub folded: CounterSet,
+    pub folded_windows: u64,
+    /// Ascending window index; `totals == folded + Σ windows`.
+    pub windows: Vec<Window>,
+    /// Faults attributed per protection domain (7 = trusted).
+    pub domain_faults: [u64; 8],
+    /// Watchdog alerts by kind (fault / retransmit / ring-drop).
+    pub alert_kinds: [u64; ALERT_KINDS],
+    /// Per-node-round cycle deltas.
+    pub cycle_sketch: QuantileSketch,
+}
+
+impl CohortSeries {
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!(
+            "{{\"cohort\":{},\"totals\":{},\"folded\":{},\"folded_windows\":{}",
+            self.cohort,
+            self.totals.to_json(),
+            self.folded.to_json(),
+            self.folded_windows
+        ));
+        out.push_str(",\"domain_faults\":[");
+        for (i, d) in self.domain_faults.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.to_string());
+        }
+        out.push_str("],\"alert_kinds\":[");
+        for (i, a) in self.alert_kinds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&a.to_string());
+        }
+        out.push_str("],\"cycles\":");
+        out.push_str(&self.cycle_sketch.to_json());
+        out.push_str(",\"windows\":[");
+        for (i, w) in self.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"index\":{},\"counters\":{}}}",
+                w.index,
+                w.counters.to_json()
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The merged, queryable fleet-wide aggregate.
+#[derive(Debug, Clone)]
+pub struct FleetRollup {
+    pub window_len: u64,
+    pub last_round: u64,
+    /// Node-round samples ingested.
+    pub ingested: u64,
+    /// One series per cohort, ascending cohort id.
+    pub cohorts: Vec<CohortSeries>,
+    /// One score per cohort, same order.
+    pub health: Vec<CohortHealth>,
+    /// Worst offenders, descending severity, truncated to top-K.
+    pub top_nodes: Vec<NodeStat>,
+    /// Dump index, sorted by (node, fault cycles).
+    pub dumps: Vec<DumpRef>,
+    pub dumps_dropped: u64,
+}
+
+impl FleetRollup {
+    /// Fleet-wide totals: the sum of every cohort's totals. The
+    /// reconciliation gate compares this against raw `NodeTelemetry`.
+    pub fn totals(&self) -> CounterSet {
+        let mut sum = CounterSet::default();
+        for c in &self.cohorts {
+            sum.add(&c.totals);
+        }
+        sum
+    }
+
+    /// Look up a dump by its stable id (`n{node}-r{round}-c{cycles}`).
+    pub fn find_dump(&self, id: &str) -> Option<&DumpRef> {
+        self.dumps.iter().find(|d| d.id == id)
+    }
+
+    /// Cohorts whose health score is below the unhealthy threshold.
+    pub fn unhealthy(&self) -> Vec<u32> {
+        self.health.iter().filter(|h| !h.healthy).map(|h| h.cohort).collect()
+    }
+
+    /// Deterministic JSON: fixed key order, integers only, every list
+    /// deterministically sorted. Byte-identical across schedules and
+    /// shard counts for the same fleet run.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str(&format!(
+            "{{\"schema\":\"harbor-tower-rollup-v1\",\"window_len\":{},\"last_round\":{},\
+             \"ingested\":{},\"totals\":{}",
+            self.window_len,
+            self.last_round,
+            self.ingested,
+            self.totals().to_json()
+        ));
+        out.push_str(",\"cohorts\":[");
+        for (i, c) in self.cohorts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_json());
+        }
+        out.push_str("],\"health\":[");
+        for (i, h) in self.health.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&h.to_json());
+        }
+        out.push_str("],\"top_nodes\":[");
+        for (i, n) in self.top_nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&n.to_json());
+        }
+        out.push_str("],\"dumps\":[");
+        for (i, d) in self.dumps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.to_json());
+        }
+        out.push_str(&format!("],\"dumps_dropped\":{}}}", self.dumps_dropped));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(node: u32, cohort: u32, round: u64, faults: u64, cycles: u64) -> RoundSample {
+        RoundSample {
+            node,
+            cohort,
+            round,
+            deltas: CounterSet { samples: 1, cycles, faults, ..CounterSet::default() },
+            faults_total: faults * (round + 1),
+            alerts_total: 0,
+        }
+    }
+
+    fn feed(tower: &mut Tower, nodes: u32, rounds: u64) {
+        for round in 0..rounds {
+            for node in 0..nodes {
+                let cohort = node % 4;
+                let faults = u64::from(cohort == 2 && round >= rounds / 2);
+                tower.ingest(&sample(node, cohort, round, faults, 100 + node as u64 * 3));
+            }
+        }
+    }
+
+    #[test]
+    fn rollup_is_shard_count_independent() {
+        let mut reference: Option<String> = None;
+        for shards in [1u32, 2, 4, 7, 16] {
+            let cfg = TowerConfig { shards, ..TowerConfig::default() };
+            let mut tower = Tower::new(&cfg);
+            feed(&mut tower, 24, 32);
+            let json = tower.rollup().to_json();
+            match &reference {
+                None => reference = Some(json),
+                Some(r) => assert_eq!(r, &json, "{shards} shards diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn rollup_is_shard_count_independent_with_folding() {
+        let mut reference: Option<String> = None;
+        for shards in [1u32, 3, 8] {
+            let cfg = TowerConfig { shards, max_windows: 6, ..TowerConfig::default() };
+            let mut tower = Tower::new(&cfg);
+            feed(&mut tower, 24, 40);
+            let json = tower.rollup().to_json();
+            match &reference {
+                None => reference = Some(json),
+                Some(r) => assert_eq!(r, &json, "{shards} shards diverged under folding"),
+            }
+        }
+        let r = reference.unwrap();
+        assert!(r.contains("\"folded_windows\":34"), "40 windows, 6 live: {r}");
+    }
+
+    #[test]
+    fn totals_reconcile_with_windows_plus_folded() {
+        let cfg = TowerConfig { shards: 3, max_windows: 5, ..TowerConfig::default() };
+        let mut tower = Tower::new(&cfg);
+        feed(&mut tower, 17, 30);
+        let rollup = tower.rollup();
+        for c in &rollup.cohorts {
+            let mut sum = c.folded;
+            for w in &c.windows {
+                sum.add(&w.counters);
+            }
+            assert_eq!(sum, c.totals, "cohort {} fold invariant", c.cohort);
+        }
+        assert_eq!(rollup.totals().samples, 17 * 30);
+        assert_eq!(rollup.ingested, 17 * 30);
+    }
+
+    #[test]
+    fn faulting_cohort_is_flagged_and_ranked() {
+        let cfg = TowerConfig { top_k: 5, ..TowerConfig::default() };
+        let mut tower = Tower::new(&cfg);
+        feed(&mut tower, 24, 32);
+        let rollup = tower.rollup();
+        assert_eq!(rollup.unhealthy(), vec![2], "only cohort 2 crash-loops");
+        assert_eq!(rollup.top_nodes.len(), 5);
+        for n in &rollup.top_nodes {
+            assert_eq!(n.cohort, 2, "every top offender is in the bad cohort");
+        }
+        // Descending severity; within equal severity, ascending node id.
+        for pair in rollup.top_nodes.windows(2) {
+            let a = (pair[0].faults, pair[0].alerts, std::cmp::Reverse(pair[0].node));
+            let b = (pair[1].faults, pair[1].alerts, std::cmp::Reverse(pair[1].node));
+            assert!(a >= b, "ranking order broke: {:?} before {:?}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn window_len_buckets_the_series() {
+        let cfg = TowerConfig { window_len: 8, ..TowerConfig::default() };
+        let mut tower = Tower::new(&cfg);
+        feed(&mut tower, 8, 32);
+        let rollup = tower.rollup();
+        assert_eq!(rollup.cohorts[0].windows.len(), 4, "32 rounds / 8 per window");
+        assert_eq!(rollup.window_len, 8);
+    }
+
+    #[test]
+    fn dump_ids_are_findable() {
+        let rollup = FleetRollup {
+            window_len: 1,
+            last_round: 0,
+            ingested: 0,
+            cohorts: Vec::new(),
+            health: Vec::new(),
+            top_nodes: Vec::new(),
+            dumps: vec![DumpRef {
+                id: "n3-r7-c999".to_string(),
+                node: 3,
+                cohort: 1,
+                round: 7,
+                lamport: 21,
+                domain: 2,
+                code: 1,
+                addr: 0x400,
+                cycles: 999,
+            }],
+            dumps_dropped: 0,
+        };
+        assert!(rollup.find_dump("n3-r7-c999").is_some());
+        assert!(rollup.find_dump("n3-r7-c998").is_none());
+    }
+}

@@ -124,6 +124,10 @@ pub struct UmpuEnv {
     // store is ever elided. Swapped wholesale by the host at certificate
     // rebuild points; shared so env clones stay in sync with the loader.
     elision: Option<std::sync::Arc<ElisionMap>>,
+    // Stores that took the certified fast path instead of the MMC walk.
+    // Observability only (surfaced as the `umpu.stores_elided` metric);
+    // never read by any check, so it cannot perturb execution.
+    stores_elided: u64,
 }
 
 impl Default for UmpuEnv {
@@ -152,6 +156,7 @@ impl UmpuEnv {
             code_start: 0,
             code_end: 0,
             elision: None,
+            stores_elided: 0,
         }
     }
 
@@ -166,6 +171,11 @@ impl UmpuEnv {
     /// The currently published store-elision map, if any.
     pub fn elision_map(&self) -> Option<&std::sync::Arc<ElisionMap>> {
         self.elision.as_ref()
+    }
+
+    /// Run-time count of stores that took the certified elided path.
+    pub const fn stores_elided(&self) -> u64 {
+        self.stores_elided
     }
 
     /// Whether the UMPU checks are enabled.
@@ -620,6 +630,7 @@ impl Env for UmpuEnv {
             );
             let domain = self.tracker.current;
             self.data.write(addr, v)?;
+            self.stores_elided += 1;
             self.emit(EventKind::MemMapCheck, |c| Event::MemMapCheck {
                 cycles: c,
                 domain: domain.index(),

@@ -24,6 +24,12 @@ echo "== cargo test -q (HARBOR_PROVE=1 matrix leg)"
 # byte-identical, so every kernel and identity test must still pass.
 HARBOR_PROVE=1 cargo test -q -p mini-sos -p harbor-sfi -p harbor-fleet -p harbor-repro
 
+echo "== cargo test -q (HARBOR_TURBO=1 HARBOR_PROVE=1 combined leg, tower attached)"
+# Both substitutions at once, exercised through the tower pipeline: the
+# fleet_tower suite attaches the aggregator to turbo+prove fleets and
+# reconciles every rolled-up counter against raw telemetry.
+HARBOR_TURBO=1 HARBOR_PROVE=1 cargo test -q -p harbor-repro --test fleet_tower
+
 echo "== turbo_speedup --check"
 # Gate: reference cycles pinned to the golden value (the turbo subsystem,
 # when disabled, must not perturb reference execution), and turbo
@@ -44,5 +50,12 @@ cargo run -q -p mini-sos --bin harbor-trace -- --check
 
 echo "== harbor-postmortem --check"
 cargo run -q -p harbor-fleet --bin harbor-postmortem -- --check
+
+echo "== harbor-tower --check"
+# Gate: rollup bytes identical across serial/parallel stepping and shard
+# counts, exact reconciliation against raw NodeTelemetry (including the
+# turbo and prove legs), and a seeded 512-node crash-loop campaign that
+# must flag exactly the faulted cohort as unhealthy.
+cargo run -q --release -p harbor-fleet --bin harbor-tower -- --check
 
 echo "== ci: all green"
