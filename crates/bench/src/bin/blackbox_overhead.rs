@@ -19,6 +19,7 @@
 //! ```
 
 use harbor::DomainId;
+use harbor_bench::report::{machine_hash_words, seed_from_args, BenchReport, BenchRun};
 use harbor_fleet::{BlackboxConfig, Fleet, FleetConfig, NetConfig};
 use mini_sos::kernel::MSG_TIMER;
 use mini_sos::{modules, Protection};
@@ -70,19 +71,8 @@ fn run_once(nodes: usize, blackbox: Option<BlackboxConfig>, seed: u64) -> Run {
     }
 }
 
-fn seed_from_args() -> u64 {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--seed" {
-            let v = args.next().expect("--seed needs a value");
-            return v.parse().expect("--seed must be a u64");
-        }
-    }
-    0x5c09e
-}
-
 fn main() {
-    let seed = seed_from_args();
+    let seed = seed_from_args(0x5c09e);
     println!(
         "blackbox_overhead: seed={seed}, {ROUNDS} rounds per run, \
          min over {ITERS} interleaved pairs, serial stepping\n"
@@ -95,7 +85,7 @@ fn main() {
     // Warm the allocator and caches before anything is timed.
     run_once(64, None, seed);
 
-    let mut runs = Vec::new();
+    let mut report = BenchReport::new("blackbox_overhead", seed, ITERS);
     for nodes in [64usize, 256, 512] {
         let mut none = run_once(nodes, None, seed);
         let mut rec = run_once(nodes, Some(BlackboxConfig::default()), seed);
@@ -115,18 +105,16 @@ fn main() {
             "{nodes:>6}  {:>10.1}  {:>12.1}  {:>9.1}%  {:>10}  {identical}",
             none.wall_ms, rec.wall_ms, overhead_pct, rec.recorded
         );
-        runs.push(format!(
-            "{{\"nodes\":{nodes},\"rounds\":{ROUNDS},\
-             \"none_ms\":{:.3},\"recorder_ms\":{:.3},\"overhead_pct\":{:.2},\
-             \"events\":{},\"machine_identical\":{identical}}}",
-            none.wall_ms, rec.wall_ms, overhead_pct, rec.recorded
-        ));
+        report.run(
+            BenchRun::new(nodes, ROUNDS)
+                .ms("none_ms", none.wall_ms)
+                .ms("recorder_ms", rec.wall_ms)
+                .ratio("overhead_pct", overhead_pct)
+                .num("events", rec.recorded)
+                .num("machine_identical", identical)
+                .machine(machine_hash_words(&[none.cycles, none.instructions])),
+        );
     }
 
-    let json = format!(
-        "{{\"bench\":\"blackbox_overhead\",\"seed\":{seed},\"iters\":{ITERS},\"runs\":[{}]}}",
-        runs.join(",")
-    );
-    std::fs::write("BENCH_blackbox.json", &json).expect("write BENCH_blackbox.json");
-    println!("\nwrote BENCH_blackbox.json");
+    report.write("blackbox");
 }

@@ -23,6 +23,7 @@
 //! ```
 
 use harbor::DomainId;
+use harbor_bench::report::{machine_hash_words, seed_from_args, BenchReport, BenchRun};
 use harbor_fleet::{Fleet, FleetConfig, NetConfig};
 use mini_sos::kernel::MSG_TIMER;
 use mini_sos::{modules, Protection};
@@ -67,19 +68,8 @@ fn run_once(nodes: usize, prove: bool, seed: u64) -> Run {
     Run { wall_ms, cycles: t.total(|n| n.cycles), instructions: t.total(|n| n.instructions) }
 }
 
-fn seed_from_args() -> u64 {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--seed" {
-            let v = args.next().expect("--seed needs a value");
-            return v.parse().expect("--seed must be a u64");
-        }
-    }
-    0x5c09e
-}
-
 fn main() {
-    let seed = seed_from_args();
+    let seed = seed_from_args(0x5c09e);
     println!(
         "elision_speedup: seed={seed}, {ROUNDS} rounds per run, \
          min over {ITERS} interleaved pairs, turbo on in both modes\n"
@@ -92,7 +82,7 @@ fn main() {
     // Warm the allocator, decode table and caches before anything is timed.
     run_once(64, true, seed);
 
-    let mut runs = Vec::new();
+    let mut report = BenchReport::new("elision_speedup", seed, ITERS);
     for nodes in [64usize, 256, 512] {
         let mut baseline = run_once(nodes, false, seed);
         let mut elision = run_once(nodes, true, seed);
@@ -112,18 +102,16 @@ fn main() {
             "{nodes:>6}  {:>12.1}  {:>10.1}  {:>7.2}x  {identical}",
             baseline.wall_ms, elision.wall_ms, speedup
         );
-        runs.push(format!(
-            "{{\"nodes\":{nodes},\"rounds\":{ROUNDS},\
-             \"turbo_only_ms\":{:.3},\"elision_ms\":{:.3},\"speedup\":{:.3},\
-             \"cycles\":{},\"machine_identical\":{identical}}}",
-            baseline.wall_ms, elision.wall_ms, speedup, baseline.cycles
-        ));
+        report.run(
+            BenchRun::new(nodes, ROUNDS)
+                .ms("turbo_only_ms", baseline.wall_ms)
+                .ms("elision_ms", elision.wall_ms)
+                .ratio("speedup", speedup)
+                .num("cycles", baseline.cycles)
+                .num("machine_identical", identical)
+                .machine(machine_hash_words(&[baseline.cycles, baseline.instructions])),
+        );
     }
 
-    let json = format!(
-        "{{\"bench\":\"elision_speedup\",\"seed\":{seed},\"iters\":{ITERS},\"runs\":[{}]}}",
-        runs.join(",")
-    );
-    std::fs::write("BENCH_prove.json", &json).expect("write BENCH_prove.json");
-    println!("\nwrote BENCH_prove.json");
+    report.write("prove");
 }

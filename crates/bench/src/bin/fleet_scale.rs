@@ -12,6 +12,7 @@
 //! ```
 
 use harbor::DomainId;
+use harbor_bench::report::{machine_hash, seed_from_args, BenchReport, BenchRun};
 use harbor_fleet::{Fleet, FleetConfig, ModuleImage, NetConfig};
 use mini_sos::kernel::MSG_TIMER;
 use mini_sos::{modules, Protection};
@@ -43,24 +44,13 @@ fn run_once(nodes: usize, threads: usize, seed: u64) -> (String, f64) {
     (fleet.telemetry().comparable_json(), ms)
 }
 
-fn seed_from_args() -> u64 {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--seed" {
-            let v = args.next().expect("--seed needs a value");
-            return v.parse().expect("--seed must be a u64");
-        }
-    }
-    0xf1ee7
-}
-
 fn main() {
-    let seed = seed_from_args();
+    let seed = seed_from_args(0xf1ee7);
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("fleet_scale: seed={seed}, {cores} core(s) available, {ROUNDS} rounds per run\n");
     println!("{:>6}  {:>10}  {:>10}  {:>8}  identical", "nodes", "serial ms", "par ms", "speedup");
 
-    let mut runs = Vec::new();
+    let mut report = BenchReport::new("fleet_scale", seed, 1);
     for nodes in [64usize, 256, 512] {
         let (serial_json, serial_ms) = run_once(nodes, 1, seed);
         let (parallel_json, parallel_ms) = run_once(nodes, 0, seed);
@@ -73,11 +63,14 @@ fn main() {
             "{nodes:>6}  {serial_ms:>10.1}  {parallel_ms:>10.1}  {speedup:>7.2}x  {identical}"
         );
         assert!(identical, "{nodes}-node telemetry must not depend on the thread schedule");
-        runs.push(format!(
-            "{{\"nodes\":{nodes},\"rounds\":{ROUNDS},\"serial_ms\":{serial_ms:.3},\
-             \"parallel_ms\":{parallel_ms:.3},\"speedup\":{speedup:.3},\
-             \"telemetry_identical\":{identical}}}"
-        ));
+        report.run(
+            BenchRun::new(nodes, ROUNDS)
+                .ms("serial_ms", serial_ms)
+                .ms("parallel_ms", parallel_ms)
+                .ratio("speedup", speedup)
+                .num("telemetry_identical", identical)
+                .machine(machine_hash(serial_json.as_bytes())),
+        );
     }
 
     if cores == 1 {
@@ -85,11 +78,6 @@ fn main() {
         println!("phase is embarrassingly parallel and scales with worker count.");
     }
 
-    let json = format!(
-        "{{\"bench\":\"fleet_scale\",\"seed\":{seed},\"threads_available\":{cores},\
-         \"runs\":[{}]}}",
-        runs.join(",")
-    );
-    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
-    println!("\nwrote BENCH_fleet.json");
+    report.raw("threads_available", &cores.to_string());
+    report.write("fleet");
 }

@@ -12,6 +12,7 @@
 //! ```
 
 use harbor::DomainId;
+use harbor_bench::report::{machine_hash_words, seed_from_args, BenchReport, BenchRun};
 use harbor_fleet::{Fleet, FleetConfig, NetConfig};
 use harbor_scope::SinkSpec;
 use mini_sos::kernel::MSG_TIMER;
@@ -60,19 +61,8 @@ fn run_once(nodes: usize, scope: Option<SinkSpec>, seed: u64) -> Run {
     }
 }
 
-fn seed_from_args() -> u64 {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--seed" {
-            let v = args.next().expect("--seed needs a value");
-            return v.parse().expect("--seed must be a u64");
-        }
-    }
-    0x5c09e
-}
-
 fn main() {
-    let seed = seed_from_args();
+    let seed = seed_from_args(0x5c09e);
     println!(
         "scope_overhead: seed={seed}, {ROUNDS} rounds per run, \
          min over {ITERS} interleaved passes, serial stepping\n"
@@ -85,7 +75,7 @@ fn main() {
     // Warm the allocator and caches before anything is timed.
     run_once(64, None, seed);
 
-    let mut runs = Vec::new();
+    let mut report = BenchReport::new("scope_overhead", seed, ITERS);
     for nodes in [64usize, 256, 512] {
         let mut none = run_once(nodes, None, seed);
         let mut ring = run_once(nodes, Some(SinkSpec::Ring(256)), seed);
@@ -113,18 +103,17 @@ fn main() {
             "{nodes:>6}  {:>10.1}  {:>10.1}  {:>10.1}  {:>12}  {identical}",
             none.wall_ms, ring.wall_ms, stream.wall_ms, stream.recorded
         );
-        runs.push(format!(
-            "{{\"nodes\":{nodes},\"rounds\":{ROUNDS},\
-             \"none_ms\":{:.3},\"ring_ms\":{:.3},\"stream_ms\":{:.3},\
-             \"events\":{},\"ring_dropped\":{},\"machine_identical\":{identical}}}",
-            none.wall_ms, ring.wall_ms, stream.wall_ms, stream.recorded, ring.dropped
-        ));
+        report.run(
+            BenchRun::new(nodes, ROUNDS)
+                .ms("none_ms", none.wall_ms)
+                .ms("ring_ms", ring.wall_ms)
+                .ms("stream_ms", stream.wall_ms)
+                .num("events", stream.recorded)
+                .num("ring_dropped", ring.dropped)
+                .num("machine_identical", identical)
+                .machine(machine_hash_words(&[none.cycles, none.instructions])),
+        );
     }
 
-    let json = format!(
-        "{{\"bench\":\"scope_overhead\",\"seed\":{seed},\"iters\":{ITERS},\"runs\":[{}]}}",
-        runs.join(",")
-    );
-    std::fs::write("BENCH_scope.json", &json).expect("write BENCH_scope.json");
-    println!("\nwrote BENCH_scope.json");
+    report.write("scope");
 }

@@ -19,6 +19,7 @@
 //! ```
 
 use harbor::DomainId;
+use harbor_bench::report::{machine_hash_words, seed_from_args, BenchReport, BenchRun};
 use harbor_fleet::{BlackboxConfig, Fleet, FleetConfig, NetConfig, TowerConfig};
 use mini_sos::kernel::MSG_TIMER;
 use mini_sos::{modules, Protection};
@@ -73,19 +74,8 @@ fn run_once(nodes: usize, tower: bool, seed: u64) -> Run {
     }
 }
 
-fn seed_from_args() -> u64 {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--seed" {
-            let v = args.next().expect("--seed needs a value");
-            return v.parse().expect("--seed must be a u64");
-        }
-    }
-    0x70_3e_12
-}
-
 fn main() {
-    let seed = seed_from_args();
+    let seed = seed_from_args(0x70_3e_12);
     println!(
         "tower_overhead: seed={seed}, {ROUNDS} rounds per run, \
          min over {ITERS} interleaved pairs, serial stepping, blackbox on\n"
@@ -98,7 +88,7 @@ fn main() {
     // Warm the allocator and caches before anything is timed.
     run_once(64, false, seed);
 
-    let mut runs = Vec::new();
+    let mut report = BenchReport::new("tower_overhead", seed, ITERS);
     for nodes in [64usize, 256, 512] {
         let mut base = run_once(nodes, false, seed);
         let mut tow = run_once(nodes, true, seed);
@@ -118,18 +108,16 @@ fn main() {
             "{nodes:>6}  {:>12.1}  {:>10.1}  {:>9.1}%  {:>10}  {identical}",
             base.wall_ms, tow.wall_ms, overhead_pct, tow.ingested
         );
-        runs.push(format!(
-            "{{\"nodes\":{nodes},\"rounds\":{ROUNDS},\
-             \"blackbox_ms\":{:.3},\"tower_ms\":{:.3},\"overhead_pct\":{:.2},\
-             \"samples\":{},\"machine_identical\":{identical}}}",
-            base.wall_ms, tow.wall_ms, overhead_pct, tow.ingested
-        ));
+        report.run(
+            BenchRun::new(nodes, ROUNDS)
+                .ms("blackbox_ms", base.wall_ms)
+                .ms("tower_ms", tow.wall_ms)
+                .ratio("overhead_pct", overhead_pct)
+                .num("samples", tow.ingested)
+                .num("machine_identical", identical)
+                .machine(machine_hash_words(&[base.cycles, base.instructions])),
+        );
     }
 
-    let json = format!(
-        "{{\"bench\":\"tower_overhead\",\"seed\":{seed},\"iters\":{ITERS},\"runs\":[{}]}}",
-        runs.join(",")
-    );
-    std::fs::write("BENCH_tower.json", &json).expect("write BENCH_tower.json");
-    println!("\nwrote BENCH_tower.json");
+    report.write("tower");
 }

@@ -23,6 +23,7 @@
 //! not perturb reference execution.
 
 use harbor::DomainId;
+use harbor_bench::report::{machine_hash_words, seed_from_args, BenchReport, BenchRun};
 use harbor_fleet::{Fleet, FleetConfig, NetConfig};
 use mini_sos::kernel::MSG_TIMER;
 use mini_sos::{modules, Protection};
@@ -97,19 +98,8 @@ fn check(seed: u64) {
     );
 }
 
-fn seed_from_args() -> u64 {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--seed" {
-            let v = args.next().expect("--seed needs a value");
-            return v.parse().expect("--seed must be a u64");
-        }
-    }
-    0x5c09e
-}
-
 fn main() {
-    let seed = seed_from_args();
+    let seed = seed_from_args(0x5c09e);
     if std::env::args().any(|a| a == "--check") {
         check(seed);
         return;
@@ -126,7 +116,7 @@ fn main() {
     // Warm the allocator, decode table and caches before anything is timed.
     run_once(64, true, seed);
 
-    let mut runs = Vec::new();
+    let mut report = BenchReport::new("turbo_speedup", seed, ITERS);
     for nodes in [64usize, 256, 512] {
         let mut reference = run_once(nodes, false, seed);
         let mut turbo = run_once(nodes, true, seed);
@@ -146,18 +136,16 @@ fn main() {
             "{nodes:>6}  {:>12.1}  {:>10.1}  {:>7.2}x  {identical}",
             reference.wall_ms, turbo.wall_ms, speedup
         );
-        runs.push(format!(
-            "{{\"nodes\":{nodes},\"rounds\":{ROUNDS},\
-             \"reference_ms\":{:.3},\"turbo_ms\":{:.3},\"speedup\":{:.3},\
-             \"cycles\":{},\"machine_identical\":{identical}}}",
-            reference.wall_ms, turbo.wall_ms, speedup, reference.cycles
-        ));
+        report.run(
+            BenchRun::new(nodes, ROUNDS)
+                .ms("reference_ms", reference.wall_ms)
+                .ms("turbo_ms", turbo.wall_ms)
+                .ratio("speedup", speedup)
+                .num("cycles", reference.cycles)
+                .num("machine_identical", identical)
+                .machine(machine_hash_words(&[reference.cycles, reference.instructions])),
+        );
     }
 
-    let json = format!(
-        "{{\"bench\":\"turbo_speedup\",\"seed\":{seed},\"iters\":{ITERS},\"runs\":[{}]}}",
-        runs.join(",")
-    );
-    std::fs::write("BENCH_turbo.json", &json).expect("write BENCH_turbo.json");
-    println!("\nwrote BENCH_turbo.json");
+    report.write("turbo");
 }

@@ -231,6 +231,36 @@ mod tests {
     }
 
     #[test]
+    fn two_bursts_fire_exactly_twice_under_default_budgets() {
+        // Regression for the re-arm edge: a fault burst trips the
+        // detector once, stays silent while the 8-round default window
+        // still holds the burst, re-arms as the deltas age out, and a
+        // second burst after the drain fires exactly one more alert —
+        // two total, never one (stuck armed) or three (edge re-fires
+        // while still over budget).
+        let mut w = Watchdog::new(5, WatchdogConfig::default());
+        let mut total = 0u64;
+        for round in 0..20u64 {
+            // Bursts: 3 faults in rounds 0-2, 3 more in rounds 11-13;
+            // the 8 rounds between them fully drain the window.
+            if matches!(round, 0..=2 | 11..=13) {
+                total += 1;
+            }
+            let fired = w.observe(round, total, 0, 0);
+            match round {
+                // Third fault of each burst: 3 > max_faults = 2.
+                2 | 13 => {
+                    assert_eq!(fired.len(), 1, "round {round}: {fired:?}");
+                    assert_eq!(fired[0].kind, AlertKind::FaultRate);
+                    assert_eq!(fired[0].value, 3);
+                }
+                _ => assert!(fired.is_empty(), "round {round}: {fired:?}"),
+            }
+        }
+        assert_eq!(w.alerts().len(), 2);
+    }
+
+    #[test]
     fn detectors_are_independent() {
         let cfg =
             WatchdogConfig { window: 4, max_faults: 0, max_retransmits: 0, max_ring_drops: 0 };

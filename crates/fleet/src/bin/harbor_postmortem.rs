@@ -8,7 +8,7 @@
 //! # (dump JSONs and the fleet causal trace land in target/blackbox/).
 //! cargo run -p harbor-fleet --bin harbor-postmortem
 //!
-//! # Report previously written dumps.
+//! # Report previously written dumps (--json for machine-readable output).
 //! cargo run -p harbor-fleet --bin harbor-postmortem -- target/blackbox/*.json
 //!
 //! # CI invariants.
@@ -22,6 +22,8 @@
 //! dump JSON; (4) Lamport stamps are strictly monotone along every
 //! happens-before edge of the fleet's causal DAG; (5) every dump survives a
 //! JSON round-trip unchanged. Exits non-zero on any violation.
+
+mod cli;
 
 use harbor::DomainId;
 use harbor_blackbox::{check_monotone, reconstruct, Postmortem};
@@ -124,14 +126,15 @@ fn load_dump(path: &str) -> Result<Postmortem, String> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--check") {
+    let cli = cli::Cli::parse();
+    let files = cli.free(&[]);
+    if cli.flag("--check") {
         run_checks()
-    } else if args.is_empty() {
+    } else if files.is_empty() {
         run_demo()
     } else {
-        let mut dumps = Vec::with_capacity(args.len());
-        for path in &args {
+        let mut dumps = Vec::with_capacity(files.len());
+        for path in &files {
             match load_dump(path) {
                 Ok(dump) => dumps.push(dump),
                 Err(e) => {
@@ -144,8 +147,13 @@ fn main() -> ExitCode {
         // the rendering is diffable no matter how the shell globbed the
         // dump files.
         dumps.sort_by_key(|d| (d.node, d.fault.cycles));
-        for dump in &dumps {
-            println!("{}", report(dump));
+        if cli.flag("--json") {
+            let body: Vec<String> = dumps.iter().map(Postmortem::to_json).collect();
+            println!("[{}]", body.join(","));
+        } else {
+            for dump in &dumps {
+                println!("{}", report(dump));
+            }
         }
         ExitCode::SUCCESS
     }

@@ -28,6 +28,8 @@
 //! index and causal retrieval all agreeing. Exits non-zero on any
 //! violation.
 
+mod cli;
+
 use harbor::DomainId;
 use harbor_blackbox::reconstruct;
 use harbor_fleet::{
@@ -110,15 +112,15 @@ fn run_scenario(
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--check") {
+    let cli = cli::Cli::parse();
+    if cli.flag("--check") {
         run_checks()
-    } else if args.iter().any(|a| a == "--json") {
+    } else if cli.flag("--json") {
         let mut fleet = run_scenario(64, 0, 4, false, false, true);
         println!("{}", fleet.tower_rollup().expect("tower attached").to_json());
         ExitCode::SUCCESS
-    } else if let Some(pos) = args.iter().position(|a| a == "--trace") {
-        let Some(id) = args.get(pos + 1) else {
+    } else if cli.flag("--trace") {
+        let Some(id) = cli.value("--trace") else {
             eprintln!("harbor-tower: --trace needs a dump id (n<node>-r<round>-c<cycles>)");
             return ExitCode::FAILURE;
         };

@@ -27,12 +27,14 @@ use harbor_blackbox::{
     Alert, CausalKind, CausalLog, CausalRecord, FlightRecorder, LamportClock, Postmortem,
     RecorderConfig, Watchdog, WatchdogConfig, SEEDER_ID,
 };
+use harbor_pulse::{Phase, Pulse, PulseReport, RoundLedger, RoundTiming, StepStats, WorkerStat};
 use harbor_tower::{FleetRollup, Tower, TowerConfig};
 use mini_sos::loader::{LoadError, ModuleSource};
 use mini_sos::{Protection, SosLayout, SosSystem};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Nodes a worker claims per grab of the shared cursor.
 const BATCH: usize = 4;
@@ -99,6 +101,14 @@ pub struct FleetConfig {
     /// Observational like `scope`/`blackbox`: the simulated machines stay
     /// byte-identical.
     pub tower: Option<TowerConfig>,
+    /// Attach the `harbor-pulse` host-side profiler: per-round per-phase
+    /// wall-clock timers, per-worker step stats and the idle-work ledger,
+    /// served by [`Fleet::pulse_report`]. Strictly observational — pulse
+    /// reads node state and the host clock and never touches a machine,
+    /// an RNG or the telemetry JSON (regression-tested in
+    /// `tests/fleet_pulse.rs`) — and when `false` the step path is the
+    /// exact uninstrumented loop, not a timer that discards its reads.
+    pub pulse: bool,
 }
 
 /// Blackbox sizing for every node in the fleet: flight-recorder depth and
@@ -128,6 +138,7 @@ impl Default for FleetConfig {
             prove: false,
             cohorts: 1,
             tower: None,
+            pulse: false,
         }
     }
 }
@@ -228,8 +239,25 @@ pub struct Fleet {
     radio: Radio,
     seeder: Option<Seeder>,
     tower: Option<Tower>,
+    pulse: Option<Pulse>,
     next_image_id: u16,
     round: u64,
+}
+
+/// Marks a phase boundary on the chained lap clock: returns the
+/// nanoseconds since the previous boundary and advances the chain. The
+/// laps partition one interval on the monotonic clock, so their sum can
+/// never exceed a stopwatch started before the chain and read after it.
+fn lap(chain: &mut Option<Instant>) -> u64 {
+    match chain {
+        Some(prev) => {
+            let now = Instant::now();
+            let ns = now.duration_since(*prev).as_nanos() as u64;
+            *chain = Some(now);
+            ns
+        }
+        None => 0,
+    }
 }
 
 impl Fleet {
@@ -300,6 +328,7 @@ impl Fleet {
             radio: Radio::new(cfg.seed, cfg.nodes as u32, cfg.net),
             seeder: None,
             tower: cfg.tower.as_ref().map(Tower::new),
+            pulse: cfg.pulse.then(Pulse::new),
             next_image_id: 1,
             round: 0,
         })
@@ -393,6 +422,13 @@ impl Fleet {
     /// One simulation round: deliver → step (parallel) → collect.
     pub fn step_round(&mut self) {
         let round = self.round;
+        // Pulse timing: a whole-round stopwatch anchored *before* the lap
+        // chain starts and read *after* its last boundary, so
+        // `Σ phase_ns <= wall_ns` holds by clock monotonicity — the gap is
+        // the unattributed slack `harbor-pulse --check` gates on.
+        let wall = self.pulse.as_ref().map(|_| Instant::now());
+        let mut chain = wall.map(|_| Instant::now());
+        let mut phase_ns = [0u64; Phase::COUNT];
 
         // Phase 1 (serial): deliveries and the seeder's transmissions.
         for (dest, env) in self.radio.take_due(round) {
@@ -407,9 +443,11 @@ impl Fleet {
         if let Some(seeder) = &mut self.seeder {
             seeder.step(round, &mut self.radio);
         }
+        phase_ns[Phase::Deliver as usize] = lap(&mut chain);
 
         // Phase 2 (parallel): step every node.
-        self.step_nodes(round);
+        let stats = self.step_nodes(round);
+        phase_ns[Phase::Step as usize] = lap(&mut chain);
 
         // Phase 3 (serial): collect outboxes in node-id order so the
         // radio's RNG sees a schedule-independent draw order.
@@ -419,6 +457,7 @@ impl Fleet {
                 self.radio.send(round, to, env);
             }
         }
+        phase_ns[Phase::Collect as usize] = lap(&mut chain);
 
         // Phase 4 (serial): feed the tower in node-id order. Ingestion is
         // order-insensitive within a round (every aggregate is a sum), but
@@ -426,6 +465,12 @@ impl Fleet {
         // construction, like phase 3.
         if self.tower.is_some() {
             self.feed_tower(round, true);
+        }
+        phase_ns[Phase::Feed as usize] = lap(&mut chain);
+
+        if let (Some(pulse), Some(wall)) = (&mut self.pulse, wall) {
+            let wall_ns = wall.elapsed().as_nanos() as u64;
+            pulse.record_round(round, RoundTiming { wall_ns, phase_ns }, stats.unwrap_or_default());
         }
 
         self.round += 1;
@@ -452,14 +497,17 @@ impl Fleet {
         }
     }
 
-    fn step_nodes(&mut self, round: u64) {
+    fn step_nodes(&mut self, round: u64) -> Option<StepStats> {
         let budget = self.cfg.cycle_budget;
         let workers = self.threads.min(self.nodes.len());
+        if self.pulse.is_some() {
+            return Some(self.step_nodes_pulsed(round, budget, workers));
+        }
         if workers <= 1 {
             for node in &mut self.nodes {
                 node.get_mut().expect("node lock").step(round, budget);
             }
-            return;
+            return None;
         }
         let cursor = AtomicUsize::new(0);
         let nodes = &self.nodes;
@@ -477,6 +525,117 @@ impl Fleet {
                 });
             }
         });
+        None
+    }
+
+    /// The step phase with pulse probes: identical node visitation (same
+    /// batch cursor, same per-node order within a batch), plus busy
+    /// timing at the coarsest grain that still answers the question —
+    /// serial runs time the whole phase once (busy = span = finish by
+    /// definition when there is no barrier), parallel workers time one
+    /// clock read pair per [`BATCH`] nodes, not per node. That grain is
+    /// what keeps the measured overhead within the ≤3% budget
+    /// `BENCH_pulse.json` tracks. Each worker classifies every node's
+    /// [`Node::pending_work`] *before* stepping it, accumulates a
+    /// partial [`RoundLedger`] (element-wise mergeable, so the total is
+    /// schedule-independent), and reads the node's cycle counter after.
+    fn step_nodes_pulsed(&mut self, round: u64, budget: u64, workers: usize) -> StepStats {
+        // All worker times are measured from this shared phase anchor,
+        // taken after the deliver-phase lap boundary — so every worker's
+        // `finish_ns` is bounded by the step-phase lap by construction.
+        let anchor = Instant::now();
+        let step_batch = |nodes: &mut dyn Iterator<Item = &Mutex<Node>>,
+                          stat: &mut WorkerStat,
+                          ledger: &mut RoundLedger,
+                          cycles: &mut (u64, u64)| {
+            let t0 = Instant::now();
+            for node in nodes {
+                let mut node = node.lock().expect("node lock");
+                ledger.observe(node.pending_work());
+                node.step(round, budget);
+                let c = node.sys.cycles();
+                cycles.0 += c;
+                cycles.1 = cycles.1.max(c);
+                stat.nodes += 1;
+            }
+            stat.busy_ns += t0.elapsed().as_nanos() as u64;
+        };
+        if workers <= 1 {
+            // One worker, no barrier: busy, span and finish are all the
+            // same interval — the whole step phase — so the serial path
+            // needs no per-batch clock reads (or locks; `get_mut` like
+            // the uninstrumented loop) to stay inside the overhead
+            // budget at small fleet sizes.
+            let mut stat = WorkerStat::default();
+            let mut ledger = RoundLedger::default();
+            let mut cycles = (0u64, 0u64);
+            for node in &mut self.nodes {
+                let node = node.get_mut().expect("node lock");
+                ledger.observe(node.pending_work());
+                node.step(round, budget);
+                let c = node.sys.cycles();
+                cycles.0 += c;
+                cycles.1 = cycles.1.max(c);
+                stat.nodes += 1;
+            }
+            stat.finish_ns = anchor.elapsed().as_nanos() as u64;
+            stat.span_ns = stat.finish_ns;
+            stat.busy_ns = stat.finish_ns;
+            return StepStats {
+                workers: vec![stat],
+                ledger,
+                cycles_total: cycles.0,
+                cycles_frontier: cycles.1,
+            };
+        }
+        let cursor = AtomicUsize::new(0);
+        let nodes = &self.nodes;
+        let parts: Mutex<Vec<(WorkerStat, RoundLedger, u64, u64)>> =
+            Mutex::new(Vec::with_capacity(workers));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut stat = WorkerStat::default();
+                    let mut ledger = RoundLedger::default();
+                    let mut cycles = (0u64, 0u64);
+                    let mut first_grab: Option<u64> = None;
+                    let mut last_done = 0u64;
+                    loop {
+                        let start = cursor.fetch_add(BATCH, Ordering::Relaxed);
+                        if start >= nodes.len() {
+                            break;
+                        }
+                        if first_grab.is_none() {
+                            first_grab = Some(anchor.elapsed().as_nanos() as u64);
+                        }
+                        let end = (start + BATCH).min(nodes.len());
+                        step_batch(
+                            &mut nodes[start..end].iter(),
+                            &mut stat,
+                            &mut ledger,
+                            &mut cycles,
+                        );
+                        last_done = anchor.elapsed().as_nanos() as u64;
+                    }
+                    // Batch busy intervals are disjoint sub-intervals of
+                    // [first_grab, last_done], so busy <= span; the exit
+                    // stamp comes last, so span <= finish.
+                    stat.span_ns = last_done.saturating_sub(first_grab.unwrap_or(last_done));
+                    stat.finish_ns = anchor.elapsed().as_nanos() as u64;
+                    if stat.nodes > 0 {
+                        parts.lock().expect("pulse parts").push((stat, ledger, cycles.0, cycles.1));
+                    }
+                });
+            }
+        });
+        let mut stats = StepStats::default();
+        for (stat, ledger, sum, max) in parts.into_inner().expect("pulse parts") {
+            stats.workers.push(stat);
+            stats.ledger.merge(&ledger);
+            stats.cycles_total += sum;
+            stats.cycles_frontier = stats.cycles_frontier.max(max);
+        }
+        stats
     }
 
     /// Steps `rounds` rounds.
@@ -578,6 +737,20 @@ impl Fleet {
             self.feed_tower(round, false);
             self.tower.as_ref().expect("tower attached").rollup()
         })
+    }
+
+    /// Snapshot of the pulse profiler: per-phase sketches, worker stats,
+    /// the idle-work ledger and the retained round timeline. `None`
+    /// unless the config set [`FleetConfig::pulse`].
+    pub fn pulse_report(&self) -> Option<PulseReport> {
+        self.pulse.as_ref().map(Pulse::report)
+    }
+
+    /// Channel counters without building full telemetry:
+    /// `(sent, delivered, dropped, in_flight)`. `harbor-pulse` cross-checks
+    /// the ledger's inbox counts against deliveries with this.
+    pub fn radio_stats(&self) -> (u64, u64, u64, usize) {
+        (self.radio.sent, self.radio.delivered, self.radio.dropped, self.radio.in_flight_count())
     }
 
     /// Every postmortem dump the fleet's flight recorders froze, sorted

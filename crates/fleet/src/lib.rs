@@ -28,6 +28,14 @@
 //! merged per-cohort rollup (time series, health scores, top-K offenders,
 //! dump index) that the `harbor-tower` CLI renders and gates on.
 //!
+//! With [`FleetConfig::pulse`] set, the fleet also profiles *itself*: a
+//! `harbor-pulse` recorder times every pipeline phase (deliver, step,
+//! collect, tower feed), accounts per-worker busy/barrier time, and keeps
+//! an idle-work ledger of nodes stepped with nothing to do —
+//! [`Fleet::pulse_report`] serves the snapshot the `harbor-pulse` CLI
+//! renders and gates on. Pulse reads state and the host clock only; a
+//! pulse-enabled run's telemetry is byte-identical to a disabled run's.
+//!
 //! Everything is reproducible from a single `u64` seed: the radio, every
 //! node and every campaign derive their generators from it, and no ambient
 //! entropy exists anywhere in the crate.
@@ -66,6 +74,7 @@ pub mod telemetry;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
 pub use fleet::{BlackboxConfig, Fleet, FleetConfig};
+pub use harbor_pulse::{PendingWork, Pulse, PulseReport};
 pub use harbor_tower::{FleetRollup, HealthConfig, TowerConfig};
 pub use image::{ImageError, ModuleImage};
 pub use net::{Envelope, NetConfig, Packet, Radio, BROADCAST, SEEDER};

@@ -176,6 +176,12 @@ impl Radio {
     pub fn in_flight_count(&self) -> usize {
         self.in_flight.values().map(Vec::len).sum()
     }
+
+    /// Round of the earliest pending delivery, `None` when the channel is
+    /// drained (used by `harbor-pulse` to script quiescence exactly).
+    pub fn next_due(&self) -> Option<u64> {
+        self.in_flight.keys().next().copied()
+    }
 }
 
 #[cfg(test)]

@@ -182,6 +182,19 @@ impl Node {
         self.outbox.push((to, Envelope { from: self.id, seq, lamport, packet }));
     }
 
+    /// Classifies this node's pending work for the idle-work ledger — a
+    /// pure function of node state (inbox, OTA reassembly, kernel queue),
+    /// never of the schedule, so serial and parallel runs classify
+    /// identically. The fleet calls this immediately before
+    /// [`Node::step`] when pulse is attached.
+    pub fn pending_work(&self) -> harbor_pulse::PendingWork {
+        harbor_pulse::PendingWork {
+            inbox: !self.inbox.is_empty(),
+            ota: self.dissem.is_some(),
+            queue: self.sys.queue_len() > 0,
+        }
+    }
+
     /// One simulation round: consume the inbox, advance dissemination
     /// (NACK missing chunks with exponential backoff), and run the node's
     /// CPU for up to `cycle_budget` cycles if work is queued. Faults are

@@ -1,0 +1,178 @@
+//! Perfetto host-track export on the shared guest-cycle clock.
+//!
+//! Guest traces from `harbor-scope` stamp events in simulated cycles
+//! (1 cycle = 1 viewer µs). Host wall time lives on a different clock, so
+//! to interleave both in one Perfetto document each retained round's host
+//! phase spans are mapped *proportionally* onto the guest-cycle interval
+//! the round executed — `[frontier_start, frontier_end)` of the fleet's
+//! cycle frontier. Inside a round, a phase that took 60% of the host wall
+//! occupies 60% of the round's guest-cycle width; the real nanosecond
+//! numbers ride along in the span `args` so nothing is lost to the
+//! projection. Host tracks use pids ≥ [`HOST_PID_BASE`] (guest exporters
+//! use node ids as pids), so
+//! [`merge_chrome_traces`](harbor_scope::export::merge_chrome_traces)
+//! can splice a host document with any node's guest trace without pid
+//! collisions.
+
+use crate::probe::Phase;
+use crate::report::PulseReport;
+use harbor_scope::export::{chrome_trace_tracks, TrackItem};
+
+/// First pid used by host-side tracks; guest traces keep pids below this.
+pub const HOST_PID_BASE: u32 = 1_000_000;
+
+/// Maps a host-nanosecond offset within a round onto the round's
+/// guest-cycle interval (u128 intermediate: `width * wall_ns` can
+/// overflow u64 for long soak rounds).
+fn project(frontier_start: u64, width: u64, off_ns: u64, wall_ns: u64) -> u64 {
+    let wall = wall_ns.max(1) as u128;
+    frontier_start + (width as u128 * off_ns as u128 / wall) as u64
+}
+
+/// Renders the retained timeline as a Chrome trace-event document:
+///
+/// * pid [`HOST_PID_BASE`] — `host pipeline`: one span per round (with the
+///   ledger in `args`) and one nested-looking span per phase, laid out on
+///   the guest-cycle clock;
+/// * pid [`HOST_PID_BASE`]` + 1` — `host workers`: per-round spans for the
+///   busiest and idlest worker's busy time, plus barrier-wait args.
+///
+/// Merge with a node's guest trace via
+/// [`merge_chrome_traces`](harbor_scope::export::merge_chrome_traces).
+pub fn chrome_trace(report: &PulseReport) -> String {
+    let mut pipeline: Vec<TrackItem> = Vec::with_capacity(report.timeline.len() * 5);
+    let mut workers: Vec<TrackItem> = Vec::with_capacity(report.timeline.len());
+    for r in &report.timeline {
+        let width = r.frontier_end - r.frontier_start;
+        let wall = r.timing.wall_ns;
+        pipeline.push(TrackItem::Span {
+            ts: r.frontier_start,
+            dur: width,
+            name: format!("round {}", r.round),
+            args: format!(
+                "\"wall_ns\":{},\"cycles\":{},\"ledger\":{}",
+                wall,
+                r.cycles_delta,
+                r.ledger.to_json()
+            ),
+        });
+        let mut off = 0u64;
+        for p in Phase::ALL {
+            let ns = r.timing.phase_ns[p as usize];
+            let ts = project(r.frontier_start, width, off, wall);
+            let end = project(r.frontier_start, width, off + ns, wall);
+            pipeline.push(TrackItem::Span {
+                ts,
+                dur: end - ts,
+                name: p.name().to_string(),
+                args: format!("\"ns\":{ns}"),
+            });
+            off += ns;
+        }
+        if let (Some(max), Some(min)) =
+            (r.workers.iter().max_by_key(|w| w.busy_ns), r.workers.iter().min_by_key(|w| w.busy_ns))
+        {
+            let step_ns = r.timing.phase_ns[Phase::Step as usize];
+            let first_out = r.workers.iter().map(|w| w.finish_ns).min().unwrap_or(step_ns);
+            workers.push(TrackItem::Span {
+                ts: r.frontier_start,
+                dur: width,
+                name: format!("{}w step", r.workers.len()),
+                args: format!(
+                    "\"busy_max_ns\":{},\"busy_min_ns\":{},\"barrier_max_ns\":{}",
+                    max.busy_ns,
+                    min.busy_ns,
+                    step_ns.saturating_sub(first_out)
+                ),
+            });
+        }
+    }
+    chrome_trace_tracks(&[
+        (HOST_PID_BASE, "host pipeline".to_string(), pipeline),
+        (HOST_PID_BASE + 1, "host workers".to_string(), workers),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::RoundLedger;
+    use crate::probe::{RoundTiming, WorkerStat};
+    use crate::report::RoundRecord;
+    use harbor_tower::QuantileSketch;
+
+    fn report_with(timeline: Vec<RoundRecord>) -> PulseReport {
+        PulseReport {
+            rounds: timeline.len() as u64,
+            phase: std::array::from_fn(|_| QuantileSketch::new()),
+            wall: QuantileSketch::new(),
+            gap: QuantileSketch::new(),
+            busy: QuantileSketch::new(),
+            barrier: QuantileSketch::new(),
+            imbalance_pm: QuantileSketch::new(),
+            idle_pm: QuantileSketch::new(),
+            throughput: QuantileSketch::new(),
+            ledger: RoundLedger::default(),
+            timeline,
+        }
+    }
+
+    #[test]
+    fn phases_project_proportionally_onto_frontier() {
+        let r = RoundRecord {
+            round: 7,
+            // 1000 ns wall, phases 100/600/200/100 → 10%/60%/20%/10%.
+            timing: RoundTiming { wall_ns: 1_000, phase_ns: [100, 600, 200, 100] },
+            ledger: RoundLedger { stepped: 4, busy: 1, inbox: 1, ota: 0, queue: 0 },
+            workers: vec![
+                WorkerStat { nodes: 2, busy_ns: 500, span_ns: 550, finish_ns: 580 },
+                WorkerStat { nodes: 2, busy_ns: 300, span_ns: 320, finish_ns: 590 },
+            ],
+            cycles_delta: 2_000,
+            frontier_start: 10_000,
+            frontier_end: 11_000,
+        };
+        let j = chrome_trace(&report_with(vec![r]));
+        assert!(j.contains("\"name\":\"round 7\",\"ph\":\"X\",\"ts\":10000,\"dur\":1000"));
+        assert!(j.contains("\"name\":\"deliver\",\"ph\":\"X\",\"ts\":10000,\"dur\":100"));
+        assert!(j.contains("\"name\":\"step\",\"ph\":\"X\",\"ts\":10100,\"dur\":600"));
+        assert!(j.contains("\"name\":\"collect\",\"ph\":\"X\",\"ts\":10700,\"dur\":200"));
+        assert!(j.contains("\"name\":\"feed\",\"ph\":\"X\",\"ts\":10900,\"dur\":100"));
+        // Ledger and raw nanoseconds survive in args.
+        assert!(j.contains("\"ledger\":{\"stepped\":4,\"busy\":1,\"idle\":3"));
+        assert!(j.contains("\"busy_max_ns\":500,\"busy_min_ns\":300,\"barrier_max_ns\":20"));
+        assert!(j.contains(&format!("\"pid\":{HOST_PID_BASE}")));
+        assert!(j.contains("\"name\":\"host pipeline\""));
+        assert!(j.contains("\"name\":\"host workers\""));
+    }
+
+    #[test]
+    fn projection_survives_huge_walls() {
+        // width * wall_ns would overflow u64; the u128 path must not.
+        let r = RoundRecord {
+            round: 0,
+            timing: RoundTiming {
+                wall_ns: 40_000_000_000, // 40 s round
+                phase_ns: [0, 40_000_000_000, 0, 0],
+            },
+            ledger: RoundLedger { stepped: 1, busy: 1, inbox: 0, ota: 0, queue: 1 },
+            workers: vec![],
+            cycles_delta: u64::MAX / 2,
+            frontier_start: 0,
+            frontier_end: u64::MAX / 2,
+        };
+        let j = chrome_trace(&report_with(vec![r]));
+        assert!(j.contains(&format!(
+            "\"name\":\"step\",\"ph\":\"X\",\"ts\":0,\"dur\":{}",
+            u64::MAX / 2
+        )));
+    }
+
+    #[test]
+    fn empty_report_is_valid_and_mergeable() {
+        let j = chrome_trace(&report_with(vec![]));
+        assert!(j.ends_with("]}"));
+        let merged = harbor_scope::export::merge_chrome_traces(&[&j, &j]);
+        assert!(merged.contains("host pipeline"));
+    }
+}

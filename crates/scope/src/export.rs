@@ -229,6 +229,20 @@ pub enum TrackItem {
         /// Raw JSON `args` body fragment.
         args: String,
     },
+    /// A complete (`ph:"X"`) duration slice — host-side phase spans and
+    /// anything else whose begin and end are known up front. `args` is a
+    /// raw `"key":value` fragment (may be empty).
+    Span {
+        /// Start timestamp (viewer µs).
+        ts: u64,
+        /// Duration (viewer µs; rendered as at least 1 tick so zero-width
+        /// spans stay visible).
+        dur: u64,
+        /// Slice name.
+        name: String,
+        /// Raw JSON `args` body fragment.
+        args: String,
+    },
     /// The source end of a flow arrow (a send). Rendered as a 1-tick slice
     /// carrying a `ph:"s"` flow start, so the viewer has a slice to anchor
     /// the arrow to.
@@ -288,6 +302,14 @@ pub fn chrome_trace_tracks(tracks: &[(u32, String, Vec<TrackItem>)]) -> String {
                     ),
                     &mut first,
                 ),
+                TrackItem::Span { ts, dur, name, args } => push(
+                    format!(
+                        "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{},\
+                         \"pid\":{pid},\"tid\":0,\"cat\":\"span\",\"args\":{{{args}}}}}",
+                        (*dur).max(1)
+                    ),
+                    &mut first,
+                ),
                 TrackItem::FlowStart { ts, id, name } => {
                     push(
                         format!(
@@ -322,6 +344,39 @@ pub fn chrome_trace_tracks(tracks: &[(u32, String, Vec<TrackItem>)]) -> String {
                 }
             }
         }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Splices several chrome-trace documents into one: the `traceEvents`
+/// arrays are concatenated in argument order and the first document's
+/// envelope is kept. Callers are responsible for keeping `pid` ranges
+/// disjoint (guest exporters use small pids; host-side exporters like
+/// `harbor-pulse` use pids ≥ 1,000,000) and for stamping all documents on
+/// one shared clock — this is pure concatenation, no re-timing.
+///
+/// Documents whose `traceEvents` array is empty contribute nothing;
+/// anything that does not look like a chrome-trace document is skipped.
+pub fn merge_chrome_traces(docs: &[&str]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for doc in docs {
+        let Some(start) = doc.find("\"traceEvents\":[") else { continue };
+        let body_start = start + "\"traceEvents\":[".len();
+        let Some(body_end) = doc.rfind(']') else { continue };
+        if body_end <= body_start {
+            continue;
+        }
+        let body = doc[body_start..body_end].trim();
+        if body.is_empty() {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(body);
     }
     out.push_str("]}");
     out
@@ -411,5 +466,47 @@ mod tests {
         let j = chrome_trace_tracks(&[]);
         assert!(j.contains("traceEvents"));
         assert!(j.ends_with("]}"));
+    }
+
+    #[test]
+    fn span_items_render_with_minimum_width() {
+        let tracks = vec![(
+            9u32,
+            "host".to_string(),
+            vec![
+                TrackItem::Span { ts: 100, dur: 40, name: "step".to_string(), args: String::new() },
+                TrackItem::Span {
+                    ts: 140,
+                    dur: 0,
+                    name: "feed".to_string(),
+                    args: "\"ns\":12".to_string(),
+                },
+            ],
+        )];
+        let j = chrome_trace_tracks(&tracks);
+        assert!(j.contains("\"name\":\"step\",\"ph\":\"X\",\"ts\":100,\"dur\":40"));
+        // Zero-width spans are widened to 1 tick so the viewer shows them.
+        assert!(j.contains("\"name\":\"feed\",\"ph\":\"X\",\"ts\":140,\"dur\":1"));
+        assert!(j.contains("\"ns\":12"));
+    }
+
+    #[test]
+    fn merge_splices_trace_events() {
+        let a = chrome_trace(&[Event::Fault { cycles: 3, code: 1, addr: 0x40, info: 2 }]);
+        let b = chrome_trace_tracks(&[(
+            1_000_000u32,
+            "host".to_string(),
+            vec![TrackItem::Span { ts: 1, dur: 5, name: "round".to_string(), args: String::new() }],
+        )]);
+        let merged = merge_chrome_traces(&[&a, &b]);
+        assert!(merged.contains("\"name\":\"fault\""));
+        assert!(merged.contains("\"name\":\"round\""));
+        assert!(merged.contains("\"pid\":1000000"));
+        assert_eq!(merged.matches("\"traceEvents\"").count(), 1);
+        // Empty and garbage documents contribute nothing and do not break
+        // the splice.
+        let with_junk = merge_chrome_traces(&[&a, "not json", "{\"traceEvents\":[]}"]);
+        assert!(with_junk.contains("\"name\":\"fault\""));
+        assert!(with_junk.ends_with("]}"));
     }
 }

@@ -5,6 +5,7 @@
 //!
 //! ```sh
 //! cargo run -p mini-sos --bin harbor-trace          # report + trace files
+//! cargo run -p mini-sos --bin harbor-trace -- --json    # machine-readable
 //! cargo run -p mini-sos --bin harbor-trace -- --check   # CI invariants
 //! ```
 //!
@@ -14,6 +15,12 @@
 //! (3) profile totals reconcile exactly with the CPU cycle counter; (4)
 //! faults land in the trace and the fault history, and recovery allows a
 //! clean refault. Exits non-zero on any violation.
+
+// The shared CLI helper lives with the other harbor-* binaries in the
+// fleet crate; mini-sos sits below harbor-fleet in the dependency graph,
+// so it includes the module by path instead of through a crate edge.
+#[path = "../../../fleet/src/bin/cli.rs"]
+mod cli;
 
 use harbor::DomainId;
 use harbor_scope::{export, DomainProfiler, Event, MetricsRegistry, ScopeSink};
@@ -61,35 +68,62 @@ fn drive_round(sys: &mut SosSystem, profiler: Option<&mut DomainProfiler>) {
 }
 
 fn main() -> ExitCode {
-    if std::env::args().any(|a| a == "--check") {
+    let cli = cli::Cli::parse();
+    if cli.flag("--check") {
         run_checks()
     } else {
-        run_report()
+        run_report(cli.flag("--json"))
     }
 }
 
-fn run_report() -> ExitCode {
+/// One traced steady-state run per build: the profiled system, its event
+/// stream and the metrics folded from it.
+fn trace_build(p: Protection) -> (DomainProfiler, Vec<Event>, MetricsRegistry) {
+    let mut sys = build_workload(p);
+    sys.attach_scope(ScopeSink::stream());
+    let mut profiler = DomainProfiler::new(sys.scope_region_map(), sys.cycles());
+    for _ in 0..ROUNDS {
+        drive_round(&mut sys, Some(&mut profiler));
+    }
+    let events = sys.take_scope().expect("sink attached").events();
+    let mut metrics = MetricsRegistry::new();
+    for ev in &events {
+        metrics.record_event(ev);
+    }
+    (profiler, events, metrics)
+}
+
+fn run_report(json: bool) -> ExitCode {
+    if json {
+        // Machine-readable form (like `harbor-tower --json`): one object
+        // per build with the profile and metrics, no files written.
+        let mut out = String::from("{");
+        for (i, p) in BUILDS.iter().enumerate() {
+            let (profiler, events, metrics) = trace_build(*p);
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"events\":{},\"profile\":{},\"metrics\":{}}}",
+                prot_name(*p),
+                events.len(),
+                profiler.report().to_json(),
+                metrics.to_json()
+            ));
+        }
+        out.push('}');
+        println!("{out}");
+        return ExitCode::SUCCESS;
+    }
     let out_dir = std::path::Path::new("target").join("scope");
     std::fs::create_dir_all(&out_dir).expect("create target/scope");
     for p in BUILDS {
-        let mut sys = build_workload(p);
-        sys.attach_scope(ScopeSink::stream());
-        let mut profiler = DomainProfiler::new(sys.scope_region_map(), sys.cycles());
-        for _ in 0..ROUNDS {
-            drive_round(&mut sys, Some(&mut profiler));
-        }
-        let events = sys.take_scope().expect("sink attached").events();
+        let (profiler, events, metrics) = trace_build(p);
         let trace_path = out_dir.join(format!("trace_{}.json", prot_name(p)));
         std::fs::write(&trace_path, export::chrome_trace(&events)).expect("write trace");
-
-        let mut metrics = MetricsRegistry::new();
-        for ev in &events {
-            metrics.record_event(ev);
-        }
-        let report = profiler.report();
         println!("═══ {} ═══", prot_name(p));
         println!("trace: {} ({} events)", trace_path.display(), events.len());
-        println!("{}", report.render_table());
+        println!("{}", profiler.report().render_table());
         println!("metrics: {}\n", metrics.to_json());
     }
     ExitCode::SUCCESS

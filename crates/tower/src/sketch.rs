@@ -101,6 +101,12 @@ impl QuantileSketch {
         self.max = self.max.max(other.max);
     }
 
+    /// Integer mean of every observation (floor division; 0 when empty).
+    /// Exact — the sum and count are tracked outside the buckets.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
     /// Quantile in per-myriad (p50 = 5000, p99 = 9900). Returns the
     /// lower bound of the bucket holding the q-th observation, clamped
     /// to the exact observed maximum so p100 is never an overestimate.
@@ -198,6 +204,20 @@ mod tests {
             }
             assert_eq!(merged.to_json(), whole.to_json(), "{parts}-way split diverged");
         }
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut s = QuantileSketch::new();
+        assert_eq!(s.mean(), 0);
+        for v in [10u64, 20, 31] {
+            s.observe(v);
+        }
+        assert_eq!(s.mean(), 20);
+        // Mean stays exact above the linear range (buckets only bound the
+        // quantiles, not the sum).
+        s.observe(1_000_000);
+        assert_eq!(s.mean(), (10 + 20 + 31 + 1_000_000) / 4);
     }
 
     #[test]

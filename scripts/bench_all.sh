@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Run every BENCH_*.json emitter in release mode and fold the results into
+# one combined artefact: pulse_overhead runs last with --combine, which
+# embeds each sibling report under the "benches" key of BENCH_pulse.json.
+# All emitters share the bench::report writer, so every file has the same
+# schema (bench, seed, min_of, runs[{nodes, rounds, ..., machine}]).
+#
+#   scripts/bench_all.sh             # default seeds
+#   scripts/bench_all.sh --seed 7    # forwarded to every emitter
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+for bench in fleet_scale scope_overhead blackbox_overhead \
+             turbo_speedup elision_speedup tower_overhead; do
+    echo "== $bench"
+    cargo run -q --release -p harbor-bench --bin "$bench" -- "$@"
+    echo
+done
+
+echo "== pulse_overhead --combine"
+cargo run -q --release -p harbor-bench --bin pulse_overhead -- --combine "$@"
+
+echo
+echo "combined report: BENCH_pulse.json"

@@ -58,4 +58,17 @@ echo "== harbor-tower --check"
 # must flag exactly the faulted cohort as unhealthy.
 cargo run -q --release -p harbor-fleet --bin harbor-tower -- --check
 
+echo "== harbor-pulse --check"
+# Gate: phase timers reconcile (Σ phases ≤ wall, per-worker busy ≤ span ≤
+# finish ≤ step), the idle-work ledger exactly matches a host-side census
+# and the post-quiescence radio delta, and pulse-enabled runs keep fleet
+# telemetry byte-identical to pulse-off runs across serial and parallel
+# stepping.
+cargo run -q --release -p harbor-fleet --bin harbor-pulse -- --check
+
+echo "== harbor-pulse --check (HARBOR_TURBO=1 HARBOR_PROVE=1 combined leg)"
+# Same gate with both execution substitutions active: profiling must stay
+# observational no matter which engine steps the nodes.
+HARBOR_TURBO=1 HARBOR_PROVE=1 cargo run -q --release -p harbor-fleet --bin harbor-pulse -- --check
+
 echo "== ci: all green"

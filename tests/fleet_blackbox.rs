@@ -73,6 +73,49 @@ fn every_fault_freezes_exactly_one_dump() {
 }
 
 #[test]
+fn watchdog_fires_exactly_twice_across_two_bursts() {
+    // End-to-end re-arm regression under the *default* watchdog budgets
+    // (8-round window, 2 faults): node 0 crash-bursts for three rounds,
+    // goes quiet long enough for the window to drain, then bursts again.
+    // The rising-edge detector must raise exactly two FaultRate alerts —
+    // one per burst — and nothing else (loss is 0, so no retransmits).
+    const BURSTS: [std::ops::RangeInclusive<u64>; 2] = [0..=2, 11..=13];
+    let cfg = FleetConfig {
+        nodes: 4,
+        protection: Protection::Umpu,
+        seed: seed(),
+        net: NetConfig { loss: 0.0, ..NetConfig::default() },
+        threads: 1,
+        blackbox: Some(BlackboxConfig::default()),
+        ..FleetConfig::default()
+    };
+    let mut fleet =
+        Fleet::new(&cfg, &[modules::blink(0), modules::surge(3, 2)]).expect("fleet builds");
+    for round in 0..20 {
+        fleet.post_all(DomainId::num(0), MSG_TIMER);
+        if BURSTS.iter().any(|b| b.contains(&round)) {
+            fleet.post(0, DomainId::num(3), MSG_TIMER);
+        }
+        fleet.step_round();
+    }
+    let alerts = fleet.alerts();
+    let fault_alerts: Vec<_> =
+        alerts.iter().filter(|a| a.kind == harbor_blackbox::AlertKind::FaultRate).collect();
+    assert_eq!(fault_alerts.len(), 2, "one alert per burst: {fault_alerts:?}");
+    for (alert, burst) in fault_alerts.iter().zip(&BURSTS) {
+        assert_eq!(alert.node, 0);
+        // The edge is the third fault of the burst: 3 > the budget of 2.
+        assert_eq!(alert.round, *burst.end());
+        assert_eq!(alert.value, 3);
+        assert_eq!(alert.limit, 2);
+    }
+    assert!(
+        !alerts.iter().any(|a| a.kind == harbor_blackbox::AlertKind::RetransmitRate),
+        "a lossless radio never retransmits"
+    );
+}
+
+#[test]
 fn serial_and_parallel_dumps_are_byte_identical() {
     let s = seed();
     let serial: Vec<String> =
