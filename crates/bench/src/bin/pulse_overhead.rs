@@ -42,7 +42,7 @@ const ITERS: usize = 16;
 const MAX_OVERHEAD_PCT: f64 = 3.0;
 
 /// Sibling reports `--combine` embeds (suffix of `BENCH_<suffix>.json`).
-const SIBLINGS: [&str; 6] = ["fleet", "scope", "blackbox", "turbo", "prove", "tower"];
+const SIBLINGS: [&str; 7] = ["fleet", "scope", "blackbox", "turbo", "prove", "tower", "helm"];
 
 struct Run {
     wall_ms: f64,

@@ -31,7 +31,7 @@ use harbor_pulse::{Phase, Pulse, PulseReport, RoundLedger, RoundTiming, StepStat
 use harbor_tower::{FleetRollup, Tower, TowerConfig};
 use mini_sos::loader::{LoadError, ModuleSource};
 use mini_sos::{Protection, SosLayout, SosSystem};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -238,6 +238,14 @@ pub struct Fleet {
     nodes: Vec<Mutex<Node>>,
     radio: Radio,
     seeder: Option<Seeder>,
+    // Causal identity (clock, log, sequence counter) of a seeder retired
+    // by a rollout commit/rollback, so a later dissemination never reuses
+    // `(SEEDER_ID, seq)` identities or rewinds the Lamport clock.
+    retired_seeder: Option<(LamportClock, CausalLog, u64)>,
+    // Images retained for rollout management: the one in flight (so a
+    // stage extension can re-seed it) and the last committed known-good.
+    rollouts: BTreeMap<u16, ModuleImage>,
+    known_good: Option<u16>,
     tower: Option<Tower>,
     pulse: Option<Pulse>,
     next_image_id: u16,
@@ -327,6 +335,9 @@ impl Fleet {
             nodes,
             radio: Radio::new(cfg.seed, cfg.nodes as u32, cfg.net),
             seeder: None,
+            retired_seeder: None,
+            rollouts: BTreeMap::new(),
+            known_good: None,
             tower: cfg.tower.as_ref().map(Tower::new),
             pulse: cfg.pulse.then(Pulse::new),
             next_image_id: 1,
@@ -338,6 +349,16 @@ impl Fleet {
     /// station).
     pub fn layout(&self) -> SosLayout {
         self.layout
+    }
+
+    /// Protection build every node boots with.
+    pub fn protection(&self) -> Protection {
+        self.cfg.protection
+    }
+
+    /// The admission policy every node applies to disseminated modules.
+    pub fn load_policy(&self) -> Option<mini_sos::LoadPolicy> {
+        self.cfg.load_policy
     }
 
     /// Node count.
@@ -367,12 +388,21 @@ impl Fleet {
     pub fn disseminate(&mut self, image: &ModuleImage) -> u16 {
         let id = self.next_image_id;
         self.next_image_id += 1;
-        // The seeder's causal identity (clock, log, sequence counter)
-        // outlives any one dissemination — a later image must not reuse
-        // `(SEEDER_ID, seq)` message identities or rewind the clock.
+        self.seed_image(id, image);
+        id
+    }
+
+    /// Points the base station at `image` under an existing id. The
+    /// seeder's causal identity (clock, log, sequence counter) outlives
+    /// any one dissemination — a later image must not reuse
+    /// `(SEEDER_ID, seq)` message identities or rewind the clock.
+    fn seed_image(&mut self, id: u16, image: &ModuleImage) {
         let (clock, causal, seq) = match self.seeder.take() {
             Some(s) => (s.clock, s.causal, s.seq),
-            None => (LamportClock::new(), CausalLog::new(SEEDER_ID), 0),
+            None => match self.retired_seeder.take() {
+                Some(identity) => identity,
+                None => (LamportClock::new(), CausalLog::new(SEEDER_ID), 0),
+            },
         };
         self.seeder = Some(Seeder {
             image_id: id,
@@ -384,7 +414,105 @@ impl Fleet {
             causal,
             seq,
         });
+    }
+
+    /// Quiesces the base station, preserving its causal identity for the
+    /// next dissemination. Called when a rollout commits (the fleet has
+    /// the image) or rolls back (nobody should keep downloading it).
+    fn retire_seeder(&mut self) {
+        if let Some(s) = self.seeder.take() {
+            self.retired_seeder = Some((s.clock, s.causal, s.seq));
+        }
+    }
+
+    /// Starts a *staged* dissemination of `image`: only nodes in
+    /// `cohorts` may download and flash it; every other node is gated
+    /// ineligible and ignores the image's adverts and chunks. Each
+    /// eligible node checkpoints its machine immediately before flashing,
+    /// so [`Fleet::rollback_rollout`] can restore the exact pre-rollout
+    /// state. Returns the image id. Gating is host-side management (not
+    /// radio traffic): an ungated fleet run is byte-identical to one that
+    /// never used rollouts.
+    pub fn begin_rollout(&mut self, image: &ModuleImage, cohorts: &[u32]) -> u16 {
+        let id = self.disseminate(image);
+        self.rollouts.insert(id, image.clone());
+        for n in &mut self.nodes {
+            let node = n.get_mut().expect("node lock");
+            let eligible = cohorts.contains(&node.cohort);
+            node.arm_rollout(id, eligible);
+        }
         id
+    }
+
+    /// Widens rollout `id` to `cohorts` (a stage promotion): newly
+    /// eligible nodes get their stage grant, and the base station
+    /// re-pushes the full image so they hear an advert without waiting
+    /// for the periodic re-advert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a retained rollout image.
+    pub fn extend_rollout(&mut self, id: u16, cohorts: &[u32]) {
+        for n in &mut self.nodes {
+            let node = n.get_mut().expect("node lock");
+            if cohorts.contains(&node.cohort) {
+                node.arm_rollout(id, true);
+            }
+        }
+        match &mut self.seeder {
+            Some(s) if s.image_id == id => s.announced = false,
+            _ => {
+                let image = self.rollouts.get(&id).expect("rollout image retained").clone();
+                self.seed_image(id, &image);
+            }
+        }
+    }
+
+    /// Rolls back rollout `id` fleet-wide: the seeder stops serving the
+    /// image, every node that flashed it restores its pre-flash
+    /// checkpoint (landing on the exact pre-rollout flash generation),
+    /// and every node quarantines the id so still-circulating chunks are
+    /// never reassembled.
+    pub fn rollback_rollout(&mut self, id: u16) {
+        if self.seeder.as_ref().is_some_and(|s| s.image_id == id) {
+            self.retire_seeder();
+        }
+        for n in &mut self.nodes {
+            n.get_mut().expect("node lock").rollback_rollout(id);
+        }
+        self.rollouts.remove(&id);
+    }
+
+    /// Commits rollout `id` as the fleet's known-good image: checkpoints
+    /// and gates are dropped, the seeder retires, and the image is
+    /// retained for future reference ([`Fleet::known_good_image`]).
+    pub fn commit_rollout(&mut self, id: u16) {
+        if self.seeder.as_ref().is_some_and(|s| s.image_id == id) {
+            self.retire_seeder();
+        }
+        for n in &mut self.nodes {
+            n.get_mut().expect("node lock").commit_rollout(id);
+        }
+        if let Some(prev) = self.known_good.replace(id) {
+            if prev != id {
+                self.rollouts.remove(&prev);
+            }
+        }
+    }
+
+    /// The last committed rollout image id, if any rollout ever committed.
+    pub fn known_good(&self) -> Option<u16> {
+        self.known_good
+    }
+
+    /// The last committed rollout image (retained at commit).
+    pub fn known_good_image(&self) -> Option<&ModuleImage> {
+        self.known_good.and_then(|id| self.rollouts.get(&id))
+    }
+
+    /// Cohort count the fleet was built with (≥ 1).
+    pub fn cohorts(&self) -> u32 {
+        self.cfg.cohorts.max(1)
     }
 
     /// Whether every node has installed the image under dissemination
@@ -779,6 +907,8 @@ impl Fleet {
             self.nodes.iter_mut().map(|n| n.get_mut().expect("node lock").causal.clone()).collect();
         if let Some(seeder) = &self.seeder {
             logs.push(seeder.causal.clone());
+        } else if let Some((_, causal, _)) = &self.retired_seeder {
+            logs.push(causal.clone());
         }
         logs
     }

@@ -19,6 +19,7 @@ use harbor_blackbox::{
 use harbor_scope::ScopeSink;
 use mini_sos::SosSystem;
 use rand::{Rng, SeedableRng, StdRng};
+use std::collections::BTreeMap;
 
 /// Most chunk indices listed in a single retransmission request.
 const MAX_REQUEST: usize = 16;
@@ -102,6 +103,16 @@ pub struct Node {
     dissem: Option<Dissem>,
     installed: Vec<u16>,
     quarantined: Vec<u16>,
+    // Rollout gate: image id → eligibility under the current stage grant.
+    // Managed host-side by the fleet's rollout APIs (never over the radio),
+    // so an ungated fleet behaves byte-identically to one with no
+    // controller attached. An ineligible entry makes the node ignore the
+    // image's adverts and chunks until a later stage grants it.
+    gate: BTreeMap<u16, bool>,
+    // Pre-flash checkpoint of the whole machine, taken immediately before
+    // a gated rollout image is burned. Restoring it is what makes
+    // auto-rollback land on the *exact* pre-rollout flash generation.
+    checkpoint: Option<(u16, Box<SosSystem>)>,
     rng: StdRng,
 }
 
@@ -129,6 +140,8 @@ impl Node {
             dissem: None,
             installed: Vec::new(),
             quarantined: Vec::new(),
+            gate: BTreeMap::new(),
+            checkpoint: None,
             rng: StdRng::seed_from_u64(
                 fleet_seed ^ (id as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
             ),
@@ -150,6 +163,57 @@ impl Node {
     /// never re-downloaded.
     fn has_resolved(&self, module: u16) -> bool {
         self.has_installed(module) || self.has_quarantined(module)
+    }
+
+    /// Whether a rollout gate exists for `module` and marks this node
+    /// ineligible — adverts and chunks for the image are then ignored, so
+    /// a staged canary never reaches cohorts outside its grant.
+    fn rollout_blocked(&self, module: u16) -> bool {
+        self.gate.get(&module).is_some_and(|&eligible| !eligible)
+    }
+
+    /// Registers (or widens) a rollout gate for `module`. `eligible`
+    /// nodes may download and flash the image — a flip from ineligible to
+    /// eligible is a stage grant and counts toward `helm.stages_promoted`.
+    /// Gates never narrow: once granted, a node stays eligible.
+    pub(crate) fn arm_rollout(&mut self, module: u16, eligible: bool) {
+        let was = self.gate.get(&module).copied().unwrap_or(false);
+        if eligible && !was {
+            self.telemetry.metrics.inc("helm.stages_promoted", 1);
+        }
+        self.gate.insert(module, was || eligible);
+    }
+
+    /// Rolls back rollout image `module`: restores the pre-flash
+    /// checkpoint (if this node burned the image), quarantines the id so
+    /// still-circulating chunks are never reassembled, and drops any
+    /// in-progress download. Restoring the checkpoint rewinds the whole
+    /// machine — flash, flash generation, cycle counters — to the instant
+    /// before the install.
+    pub(crate) fn rollback_rollout(&mut self, module: u16) {
+        if self.dissem.as_ref().is_some_and(|d| d.module == module) {
+            self.dissem = None;
+        }
+        self.gate.remove(&module);
+        if !self.quarantined.contains(&module) {
+            self.quarantined.push(module);
+        }
+        if self.checkpoint.as_ref().is_some_and(|(id, _)| *id == module) {
+            let (_, sys) = self.checkpoint.take().expect("checkpoint present");
+            self.sys = *sys;
+            self.installed.retain(|&m| m != module);
+            self.telemetry.installed_round = None;
+            self.telemetry.metrics.inc("helm.rollbacks", 1);
+        }
+    }
+
+    /// Commits rollout image `module`: the checkpoint (and the gate) are
+    /// no longer needed — the image is the fleet's known-good.
+    pub(crate) fn commit_rollout(&mut self, module: u16) {
+        self.gate.remove(&module);
+        if self.checkpoint.as_ref().is_some_and(|(id, _)| *id == module) {
+            self.checkpoint = None;
+        }
     }
 
     /// Host-side message injection (a local sensor event): posts `msg` to
@@ -307,6 +371,9 @@ impl Node {
             dumps: self.recorder.as_ref().map_or(0, |r| r.dumps().len() as u64),
             ring_dropped: self.telemetry.ring_dropped,
             stores_elided: self.elided_seen,
+            images_admitted: self.telemetry.metrics.counter("helm.images_admitted"),
+            stages_promoted: self.telemetry.metrics.counter("helm.stages_promoted"),
+            rollbacks: self.telemetry.metrics.counter("helm.rollbacks"),
         }
     }
 
@@ -350,12 +417,15 @@ impl Node {
     fn receive(&mut self, round: u64, packet: Packet) {
         match packet {
             Packet::Advert { module, total } => {
+                if self.rollout_blocked(module) {
+                    return;
+                }
                 if !self.has_resolved(module) && self.dissem.is_none() && total > 0 {
                     self.dissem = Some(Dissem::new(module, total, round));
                 }
             }
             Packet::Chunk { module, seq, total, payload } => {
-                if self.has_resolved(module) {
+                if self.has_resolved(module) || self.rollout_blocked(module) {
                     return;
                 }
                 if self.dissem.is_none() && total > 0 {
@@ -404,6 +474,14 @@ impl Node {
                     return;
                 }
                 if self.sys.modules.iter().all(|m| m.domain != dom) {
+                    // A gated rollout image checkpoints the machine before
+                    // flash is touched: rollback restores this clone, so
+                    // the node lands back on the exact pre-rollout flash
+                    // generation.
+                    if self.gate.contains_key(&module) {
+                        self.checkpoint = Some((module, Box::new(self.sys.clone())));
+                        self.telemetry.metrics.inc("helm.images_admitted", 1);
+                    }
                     self.sys.install_module(loaded);
                 }
                 self.installed.push(module);

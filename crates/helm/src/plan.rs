@@ -1,0 +1,181 @@
+//! Rollout plans: the stage ladder, promotion windows and health
+//! thresholds a campaign is admitted under, plus the per-cohort baselines
+//! that make every later decision a pure function of (plan, rollup).
+
+use std::collections::BTreeMap;
+
+/// The shape of a staged rollout, fixed at admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanConfig {
+    /// Cohorts *newly* granted per stage, in rollout order. The grants
+    /// are cumulative: stage `s` has every cohort of stages `0..=s` in
+    /// flight. The union over all stages is the whole fleet.
+    pub stages: Vec<Vec<u32>>,
+    /// Consecutive decision rounds a stage must hold fully-flashed and
+    /// healthy before promotion (the promotion window).
+    pub promote_after: u64,
+    /// An in-flight cohort whose health score drops strictly below this
+    /// triggers rollback.
+    pub min_score: u64,
+    /// Stall valve: a stage that has not fully flashed within this many
+    /// decision rounds rolls back rather than camping forever.
+    pub max_stage_rounds: u64,
+}
+
+impl PlanConfig {
+    /// The canonical canary ladder over `cohorts` cohorts: stage sizes
+    /// double cumulatively (1 → 2 → 4 → … → all), mirroring a
+    /// 1% → 10% → 50% → 100% ring rollout.
+    pub fn ladder(cohorts: u32) -> PlanConfig {
+        let mut stages = Vec::new();
+        let mut granted = 0u32;
+        let mut target = 1u32;
+        while granted < cohorts {
+            let t = target.min(cohorts);
+            stages.push((granted..t).collect());
+            granted = t;
+            target = target.saturating_mul(2);
+        }
+        PlanConfig { stages, promote_after: 2, min_score: 60, max_stage_rounds: 48 }
+    }
+
+    /// Every cohort the ladder ever grants, in grant order.
+    pub fn all_cohorts(&self) -> Vec<u32> {
+        self.stages.iter().flatten().copied().collect()
+    }
+}
+
+/// Per-cohort counter baselines captured from the admission rollup, so
+/// install/rollback progress is measured as a delta against the world
+/// *before* this campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Cumulative installs at admission.
+    pub installs: u64,
+    /// Cumulative checkpoint rollbacks at admission.
+    pub rollbacks: u64,
+}
+
+/// One admitted rollout: the image, its admission certificate, the stage
+/// ladder and the baselines every decision is computed against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RolloutPlan {
+    /// Image id the fleet disseminates under.
+    pub image: u16,
+    /// Module name from the wire image.
+    pub name: String,
+    /// Store-certificate digest from the admission deep verify.
+    pub digest: u64,
+    /// Stores statically proven safe by the admission pass.
+    pub certified_stores: u32,
+    /// Store instructions in the image.
+    pub total_stores: u32,
+    /// The ladder and thresholds.
+    pub cfg: PlanConfig,
+    /// Fleet round the plan was admitted on.
+    pub admitted_round: u64,
+    /// First tower window index at (or after) which a regression edge
+    /// implicates this rollout; earlier edges belong to history.
+    pub start_window: u64,
+    /// Per-cohort counter baselines at admission.
+    pub baseline: BTreeMap<u32, Baseline>,
+    /// Nodes per cohort (fixed by the fleet build).
+    pub cohort_nodes: BTreeMap<u32, u64>,
+}
+
+/// Escapes a string for embedding in a hand-rendered JSON document
+/// (backslash, quote and control characters).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl RolloutPlan {
+    /// Deterministic JSON: fixed key order, integers only.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!(
+            "{{\"image\":{},\"name\":\"{}\",\"digest\":\"{:016x}\",\
+             \"certified_stores\":{},\"total_stores\":{},\"stages\":[",
+            self.image,
+            json_escape(&self.name),
+            self.digest,
+            self.certified_stores,
+            self.total_stores
+        ));
+        for (i, stage) in self.cfg.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, c) in stage.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push(']');
+        }
+        out.push_str(&format!(
+            "],\"promote_after\":{},\"min_score\":{},\"max_stage_rounds\":{},\
+             \"admitted_round\":{},\"start_window\":{}}}",
+            self.cfg.promote_after,
+            self.cfg.min_score,
+            self.cfg.max_stage_rounds,
+            self.admitted_round,
+            self.start_window
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_doubles_cumulatively() {
+        let p = PlanConfig::ladder(8);
+        assert_eq!(p.stages, vec![vec![0], vec![1], vec![2, 3], vec![4, 5, 6, 7]]);
+        assert_eq!(p.all_cohorts(), (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn ladder_handles_small_and_odd_cohort_counts() {
+        assert_eq!(PlanConfig::ladder(1).stages, vec![vec![0]]);
+        assert_eq!(PlanConfig::ladder(2).stages, vec![vec![0], vec![1]]);
+        let p = PlanConfig::ladder(5);
+        assert_eq!(p.stages, vec![vec![0], vec![1], vec![2, 3], vec![4]]);
+        assert_eq!(p.all_cohorts().len(), 5);
+    }
+
+    #[test]
+    fn plan_json_is_stable() {
+        let plan = RolloutPlan {
+            image: 3,
+            name: "surge".to_string(),
+            digest: 0xdead_beef,
+            certified_stores: 4,
+            total_stores: 6,
+            cfg: PlanConfig::ladder(4),
+            admitted_round: 10,
+            start_window: 10,
+            baseline: BTreeMap::new(),
+            cohort_nodes: BTreeMap::new(),
+        };
+        let json = plan.to_json();
+        assert!(json.starts_with("{\"image\":3,\"name\":\"surge\",\"digest\":\"00000000deadbeef\""));
+        assert!(json.contains("\"stages\":[[0],[1],[2,3]]"));
+        assert!(json.ends_with("\"admitted_round\":10,\"start_window\":10}"));
+    }
+}

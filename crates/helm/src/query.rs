@@ -1,0 +1,181 @@
+//! Human-readable rendering of a campaign — the table half of the
+//! `harbor-helm` CLI. Pure functions of the controller, so tables are
+//! as deterministic as the JSON.
+
+use crate::controller::Helm;
+
+fn row(out: &mut String, cells: &[String], widths: &[usize]) {
+    for (cell, width) in cells.iter().zip(widths) {
+        out.push_str(&format!("{cell:>width$}  "));
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out.push('\n');
+}
+
+/// The stage ladder with each stage's status.
+pub fn plan_table(helm: &Helm) -> String {
+    let headers = ["stage", "cohorts", "status"];
+    let widths: Vec<usize> = headers.iter().map(|h| h.len().max(12)).collect();
+    let mut out = String::new();
+    row(&mut out, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(), &widths);
+    let plan = helm.plan();
+    let state = helm.state();
+    for (i, stage) in plan.cfg.stages.iter().enumerate() {
+        let i = i as u32;
+        let status = match state {
+            crate::controller::RolloutState::Done => "promoted",
+            crate::controller::RolloutState::RolledBack
+            | crate::controller::RolloutState::RollingBack => {
+                if i < helm.stage() {
+                    "promoted"
+                } else if i == helm.stage() {
+                    "rolled-back"
+                } else {
+                    "never-granted"
+                }
+            }
+            _ => {
+                if i < helm.stage() {
+                    "promoted"
+                } else if i == helm.stage() {
+                    "in-flight"
+                } else {
+                    "pending"
+                }
+            }
+        };
+        let cells = vec![i.to_string(), format!("{stage:?}"), status.to_string()];
+        row(&mut out, &cells, &widths);
+    }
+    out
+}
+
+/// One-screen campaign status: image, state, stage, verdict.
+pub fn status(helm: &Helm) -> String {
+    let plan = helm.plan();
+    let mut out = format!(
+        "image {} \"{}\"  digest {:016x}  stores {}/{} certified\n\
+         state {}  stage {}/{}  decisions {}\n",
+        plan.image,
+        plan.name,
+        plan.digest,
+        plan.certified_stores,
+        plan.total_stores,
+        helm.state().name(),
+        helm.stage(),
+        plan.cfg.stages.len(),
+        helm.log().len(),
+    );
+    if let Some(v) = helm.verdict() {
+        out.push_str(&format!(
+            "verdict: {} at round {} after {} stages",
+            v.outcome, v.round, v.stages_completed
+        ));
+        match v.known_good {
+            Some(id) => out.push_str(&format!("  (known-good: image {id})\n")),
+            None => out.push('\n'),
+        }
+        if let Some(e) = &v.evidence {
+            out.push_str(&format!(
+                "evidence: cohort {} score {} fault_pm {} dumps {:?}\n",
+                e.cohort, e.score, e.fault_pm, e.dumps
+            ));
+        }
+    }
+    out
+}
+
+/// The decision log as a table (hold records collapse into a count per
+/// stage to keep the table readable; the JSON log keeps every record).
+pub fn decision_table(helm: &Helm) -> String {
+    let headers = ["round", "stage", "decision", "state", "detail"];
+    let widths = [6usize, 5, 12, 12, 8];
+    let mut out = String::new();
+    row(&mut out, &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(), &widths);
+    let mut holds: u64 = 0;
+    let flush_holds = |out: &mut String, holds: &mut u64| {
+        if *holds > 0 {
+            out.push_str(&format!("{:>6}  {:>5}  {:>12}\n", "…", "", format!("{holds} holds")));
+            *holds = 0;
+        }
+    };
+    for r in helm.log() {
+        if r.decision == "hold" {
+            holds += 1;
+            continue;
+        }
+        flush_holds(&mut out, &mut holds);
+        let cells = vec![
+            r.round.to_string(),
+            r.stage.to_string(),
+            r.decision.to_string(),
+            r.state.name().to_string(),
+            r.detail.clone(),
+        ];
+        row(&mut out, &cells, &widths);
+    }
+    flush_holds(&mut out, &mut holds);
+    out
+}
+
+/// The whole campaign as one deterministic JSON document.
+pub fn to_json(helm: &Helm) -> String {
+    let verdict = match helm.verdict() {
+        Some(v) => v.to_json(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"schema\":\"harbor-helm-v1\",\"plan\":{},\"state\":\"{}\",\"stage\":{},\
+         \"log\":{},\"verdict\":{}}}",
+        helm.plan().to_json(),
+        helm.state().name(),
+        helm.stage(),
+        helm.log_json(),
+        verdict
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Baseline, PlanConfig, RolloutPlan};
+    use std::collections::BTreeMap;
+
+    fn sample_helm() -> Helm {
+        let plan = RolloutPlan {
+            image: 1,
+            name: "blink".to_string(),
+            digest: 3,
+            certified_stores: 0,
+            total_stores: 0,
+            cfg: PlanConfig::ladder(2),
+            admitted_round: 0,
+            start_window: 0,
+            baseline: BTreeMap::from([(0, Baseline::default()), (1, Baseline::default())]),
+            cohort_nodes: BTreeMap::from([(0, 1), (1, 1)]),
+        };
+        let mut helm = Helm::new(plan);
+        helm.start(0);
+        helm
+    }
+
+    #[test]
+    fn tables_render_and_are_deterministic() {
+        let helm = sample_helm();
+        assert_eq!(plan_table(&helm), plan_table(&helm));
+        assert!(plan_table(&helm).contains("in-flight"));
+        assert!(status(&helm).contains("state canary"));
+        assert!(decision_table(&helm).contains("start-stage"));
+    }
+
+    #[test]
+    fn json_document_is_stable() {
+        let helm = sample_helm();
+        let json = to_json(&helm);
+        assert!(json.starts_with("{\"schema\":\"harbor-helm-v1\",\"plan\":{\"image\":1"));
+        assert!(json.ends_with("\"verdict\":null}"));
+        assert_eq!(json, to_json(&helm));
+    }
+}

@@ -31,11 +31,20 @@ pub struct CounterSet {
     pub dumps: u64,
     pub ring_dropped: u64,
     pub stores_elided: u64,
+    /// Rollout images admitted and flashed under a `harbor-helm` stage
+    /// grant (node-side admission passed; the image was burned).
+    pub images_admitted: u64,
+    /// Stage grants received from the rollout controller (one per node
+    /// per stage that made the node eligible).
+    pub stages_promoted: u64,
+    /// Checkpoint restores: the controller rolled this node back to its
+    /// pre-rollout flash state.
+    pub rollbacks: u64,
 }
 
 impl CounterSet {
     /// Field names in JSON/render order.
-    pub const FIELDS: [&'static str; 20] = [
+    pub const FIELDS: [&'static str; 23] = [
         "samples",
         "cycles",
         "idle_cycles",
@@ -56,10 +65,13 @@ impl CounterSet {
         "dumps",
         "ring_dropped",
         "stores_elided",
+        "images_admitted",
+        "stages_promoted",
+        "rollbacks",
     ];
 
     /// Values in the same order as [`Self::FIELDS`].
-    pub fn values(&self) -> [u64; 20] {
+    pub fn values(&self) -> [u64; 23] {
         [
             self.samples,
             self.cycles,
@@ -81,6 +93,9 @@ impl CounterSet {
             self.dumps,
             self.ring_dropped,
             self.stores_elided,
+            self.images_admitted,
+            self.stages_promoted,
+            self.rollbacks,
         ]
     }
 
@@ -106,6 +121,9 @@ impl CounterSet {
         self.dumps += other.dumps;
         self.ring_dropped += other.ring_dropped;
         self.stores_elided += other.stores_elided;
+        self.images_admitted += other.images_admitted;
+        self.stages_promoted += other.stages_promoted;
+        self.rollbacks += other.rollbacks;
     }
 
     pub fn is_zero(&self) -> bool {
@@ -136,6 +154,9 @@ impl CounterSet {
             dumps: self.dumps.saturating_sub(prev.dumps),
             ring_dropped: self.ring_dropped.saturating_sub(prev.ring_dropped),
             stores_elided: self.stores_elided.saturating_sub(prev.stores_elided),
+            images_admitted: self.images_admitted.saturating_sub(prev.images_admitted),
+            stages_promoted: self.stages_promoted.saturating_sub(prev.stages_promoted),
+            rollbacks: self.rollbacks.saturating_sub(prev.rollbacks),
         }
     }
 
@@ -178,10 +199,10 @@ mod tests {
 
     #[test]
     fn json_renders_every_field_in_order() {
-        let c = CounterSet { samples: 1, stores_elided: 9, ..CounterSet::default() };
+        let c = CounterSet { samples: 1, stores_elided: 9, rollbacks: 2, ..CounterSet::default() };
         let json = c.to_json();
         assert!(json.starts_with("{\"samples\":1,\"cycles\":0"));
-        assert!(json.ends_with("\"ring_dropped\":0,\"stores_elided\":9}"));
+        assert!(json.ends_with("\"images_admitted\":0,\"stages_promoted\":0,\"rollbacks\":2}"));
         let keys = json.matches(':').count();
         assert_eq!(keys, CounterSet::FIELDS.len());
     }

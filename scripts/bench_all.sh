@@ -11,7 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 for bench in fleet_scale scope_overhead blackbox_overhead \
-             turbo_speedup elision_speedup tower_overhead; do
+             turbo_speedup elision_speedup tower_overhead helm_overhead; do
     echo "== $bench"
     cargo run -q --release -p harbor-bench --bin "$bench" -- "$@"
     echo

@@ -71,4 +71,18 @@ echo "== harbor-pulse --check (HARBOR_TURBO=1 HARBOR_PROVE=1 combined leg)"
 # observational no matter which engine steps the nodes.
 HARBOR_TURBO=1 HARBOR_PROVE=1 cargo run -q --release -p harbor-fleet --bin harbor-pulse -- --check
 
+echo "== harbor-helm --check"
+# Gate: on a 512-node 8-cohort fleet a healthy image promotes through the
+# full canary ladder, a crash-looping image auto-rolls-back with every
+# canary node restored to its exact pre-rollout flash generation (and no
+# other node ever flashed), decision logs are byte-identical across
+# serial/parallel stepping, shard counts, turbo and prove, and a fleet
+# with an idle controller attached reports byte-identical telemetry.
+cargo run -q --release -p harbor-helm --bin harbor-helm -- --check
+
+echo "== harbor-helm --check (HARBOR_TURBO=1 HARBOR_PROVE=1 combined leg)"
+# Same gate with both execution substitutions active: the control plane
+# must reach the same decisions no matter which engine steps the nodes.
+HARBOR_TURBO=1 HARBOR_PROVE=1 cargo run -q --release -p harbor-helm --bin harbor-helm -- --check
+
 echo "== ci: all green"
